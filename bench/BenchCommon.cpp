@@ -1,0 +1,140 @@
+//===- bench/BenchCommon.cpp ----------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Stats.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace primsel;
+using namespace primsel::bench;
+
+BenchConfig BenchConfig::fromEnvironment() {
+  BenchConfig C;
+  if (const char *S = std::getenv("PRIMSEL_SCALE"))
+    C.Scale = std::atof(S);
+  if (const char *S = std::getenv("PRIMSEL_ITERS"))
+    C.Iters = static_cast<unsigned>(std::atoi(S));
+  if (const char *S = std::getenv("PRIMSEL_REPEATS"))
+    C.Repeats = static_cast<unsigned>(std::atoi(S));
+  if (const char *S = std::getenv("PRIMSEL_CACHE"))
+    C.CacheDir = S;
+  return C;
+}
+
+CachedMeasuredProvider::CachedMeasuredProvider(const PrimitiveLibrary &Lib,
+                                               const BenchConfig &Config,
+                                               unsigned Threads,
+                                               const std::string &Tag)
+    : Path(Config.CacheDir + "/primsel-costs-" + Tag + "-t" +
+           std::to_string(Threads) + "-s" +
+           std::to_string(static_cast<int>(Config.Scale * 100)) + ".txt"),
+      Prov(Lib, [&] {
+        ProfilerOptions Opts;
+        Opts.Threads = Threads;
+        Opts.Repeats = Config.Repeats;
+        Opts.Warmups = 1;
+        return Opts;
+      }()) {
+  if (Prov.database().load(Path))
+    std::printf("# loaded cost cache %s (%zu conv entries)\n", Path.c_str(),
+                Prov.database().numConvEntries());
+}
+
+CachedMeasuredProvider::~CachedMeasuredProvider() {
+  Prov.database().save(Path);
+}
+
+double primsel::bench::timeNetworkPlan(const NetworkGraph &Net,
+                                       const NetworkPlan &Plan,
+                                       const PrimitiveLibrary &Lib,
+                                       unsigned Threads,
+                                       const BenchConfig &Config) {
+  Executor Exec(Net, Plan, Lib, Threads);
+  const TensorShape &Sh = Net.node(0).OutShape;
+  Tensor3D In(Sh.C, Sh.H, Sh.W, Layout::CHW);
+  In.fillRandom(3);
+  Exec.run(In); // warm-up
+  SampleStats Stats;
+  for (unsigned I = 0; I < Config.Iters; ++I)
+    Stats.add(Exec.run(In).TotalMillis);
+  return Stats.mean();
+}
+
+NetworkResult primsel::bench::runNetworkComparison(
+    const std::string &ModelName, const PrimitiveLibrary &Lib,
+    CostProvider &Costs, unsigned Threads, const BenchConfig &Config,
+    bool Measured, const std::vector<Strategy> &Strategies,
+    CostProvider *BaselineCosts, unsigned BaselineThreads) {
+  NetworkResult R;
+  R.Network = ModelName;
+  NetworkGraph Net = *buildModel(ModelName, Config.Scale);
+
+  auto Evaluate = [&](Strategy S, CostProvider &Provider,
+                      unsigned NumThreads) {
+    NetworkPlan Plan = planForStrategy(S, Net, Lib, Provider);
+    if (Measured)
+      return timeNetworkPlan(Net, Plan, Lib, NumThreads, Config);
+    return modelPlanCost(Plan, Net, Lib, Provider);
+  };
+
+  R.Sum2DMillis =
+      Evaluate(Strategy::Sum2D, BaselineCosts ? *BaselineCosts : Costs,
+               BaselineThreads ? BaselineThreads : Threads);
+  for (Strategy S : Strategies) {
+    BarResult Bar;
+    Bar.S = S;
+    Bar.MeanMillis = Evaluate(S, Costs, Threads);
+    Bar.SpeedupVsSum2D = R.Sum2DMillis / Bar.MeanMillis;
+    R.Bars.push_back(Bar);
+    std::printf("#   %-14s %-14s %10.3f ms  (%.2fx)\n", ModelName.c_str(),
+                strategyName(S), Bar.MeanMillis, Bar.SpeedupVsSum2D);
+    std::fflush(stdout);
+  }
+  return R;
+}
+
+void primsel::bench::printSpeedupTable(
+    const std::string &Title, const std::vector<NetworkResult> &Results) {
+  std::printf("\n%s\n", Title.c_str());
+  std::printf("# speedup vs sum2d (higher is better)\n");
+  std::printf("%-12s", "network");
+  if (!Results.empty())
+    for (const BarResult &Bar : Results.front().Bars)
+      std::printf(" %13s", strategyName(Bar.S));
+  std::printf("\n");
+  for (const NetworkResult &R : Results) {
+    std::printf("%-12s", R.Network.c_str());
+    for (const BarResult &Bar : R.Bars)
+      std::printf(" %13.2f", Bar.SpeedupVsSum2D);
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void primsel::bench::printAbsoluteTable(
+    const std::string &Title, const std::vector<NetworkResult> &Results,
+    const std::vector<Strategy> &Columns) {
+  std::printf("\n%s\n", Title.c_str());
+  std::printf("%-14s", "network");
+  for (Strategy S : Columns)
+    std::printf(" %13s", strategyName(S));
+  std::printf("\n");
+  for (const NetworkResult &R : Results) {
+    std::printf("%-14s", R.Network.c_str());
+    for (Strategy S : Columns) {
+      double Millis = 0.0;
+      if (S == Strategy::Sum2D) {
+        Millis = R.Sum2DMillis;
+      } else {
+        for (const BarResult &Bar : R.Bars)
+          if (Bar.S == S)
+            Millis = Bar.MeanMillis;
+      }
+      std::printf(" %13.2f", Millis);
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}

@@ -1,0 +1,114 @@
+//===- bench/BenchCommon.h - Shared benchmark harness -----------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the figure/table benchmarks: environment knobs,
+/// cost-database file caching (so the profiling pass is paid once across
+/// bench binaries), whole-network timing, and speedup-table printing in the
+/// paper's format.
+///
+/// Environment knobs:
+///   PRIMSEL_SCALE    spatial input scale (default 0.25; 1.0 = paper size)
+///   PRIMSEL_ITERS    timed forward passes per bar (default 3; paper uses 5)
+///   PRIMSEL_REPEATS  profiler repeats per (layer, primitive) (default 1)
+///   PRIMSEL_CACHE    cost-cache directory (default ".")
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_BENCH_BENCHCOMMON_H
+#define PRIMSEL_BENCH_BENCHCOMMON_H
+
+#include "core/Selector.h"
+#include "core/Strategies.h"
+#include "cost/AnalyticModel.h"
+#include "cost/Profiler.h"
+#include "nn/Models.h"
+#include "runtime/Executor.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace primsel {
+namespace bench {
+
+/// Parsed environment configuration.
+struct BenchConfig {
+  double Scale = 0.25;
+  unsigned Iters = 3;
+  unsigned Repeats = 1;
+  std::string CacheDir = ".";
+
+  static BenchConfig fromEnvironment();
+};
+
+/// A measured (or modelled) bar of a figure: one strategy on one network.
+struct BarResult {
+  Strategy S;
+  double MeanMillis = 0.0;
+  double SpeedupVsSum2D = 0.0;
+};
+
+/// One network's column in a figure.
+struct NetworkResult {
+  std::string Network;
+  double Sum2DMillis = 0.0;
+  std::vector<BarResult> Bars;
+};
+
+/// Build a measured cost provider whose database is cached on disk under
+/// \p Tag, so repeated bench binaries skip re-profiling.
+class CachedMeasuredProvider {
+public:
+  CachedMeasuredProvider(const PrimitiveLibrary &Lib,
+                         const BenchConfig &Config, unsigned Threads,
+                         const std::string &Tag);
+  ~CachedMeasuredProvider();
+
+  MeasuredCostProvider &provider() { return Prov; }
+
+private:
+  std::string Path;
+  MeasuredCostProvider Prov;
+};
+
+/// Execute \p Plan on \p Net for Config.Iters forward passes and return the
+/// mean wall-clock per pass (the paper's methodology, §5.2).
+double timeNetworkPlan(const NetworkGraph &Net, const NetworkPlan &Plan,
+                       const PrimitiveLibrary &Lib, unsigned Threads,
+                       const BenchConfig &Config);
+
+/// Run the whole-network comparison for one network: every strategy in
+/// \p Strategies (plus the sum2d baseline), timed by real execution when
+/// \p Measured, or modelled via \p Costs otherwise.
+///
+/// The paper normalizes every figure to the *single-threaded* sum2d
+/// baseline (§5.2), so multithreaded comparisons pass \p BaselineThreads=1
+/// (and, for modelled runs, a 1-thread \p BaselineCosts provider); when
+/// left at the defaults the baseline uses the same configuration as the
+/// bars.
+NetworkResult runNetworkComparison(const std::string &ModelName,
+                                   const PrimitiveLibrary &Lib,
+                                   CostProvider &Costs, unsigned Threads,
+                                   const BenchConfig &Config, bool Measured,
+                                   const std::vector<Strategy> &Strategies,
+                                   CostProvider *BaselineCosts = nullptr,
+                                   unsigned BaselineThreads = 0);
+
+/// Print a figure as a gnuplot-compatible table: one row per network, one
+/// column per strategy, values are speedups vs sum2d.
+void printSpeedupTable(const std::string &Title,
+                       const std::vector<NetworkResult> &Results);
+
+/// Print absolute times in the Table 2/3 format.
+void printAbsoluteTable(const std::string &Title,
+                        const std::vector<NetworkResult> &Results,
+                        const std::vector<Strategy> &Columns);
+
+} // namespace bench
+} // namespace primsel
+
+#endif // PRIMSEL_BENCH_BENCHCOMMON_H

@@ -1,0 +1,74 @@
+//===- bench/ablation_quantized.cpp - §3 data-type family study -----------===//
+//
+// The q16 fixed-point family realizes §3's data-type motivation (routines
+// on "16-bit fixed point data" vs "32-bit floating point"). This ablation
+// shows how the unchanged formulation adopts such routines only where the
+// target rewards them: solving the same networks over the paper's library
+// vs the extended (+q16) library, under both machine profiles.
+//
+// Expected shape: on the analytic Cortex-A57 profile (4-wide NEON-class
+// vectors, where int16 doubles the useful lanes) the extended library
+// improves the modelled time and q16 routines take over a chunk of the
+// conv layers; on the analytic Haswell profile (8-wide AVX2) q16 is never
+// selected and the two libraries tie. No target-specific logic exists in
+// the optimizer -- the cost tables alone carry the difference (§4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace primsel;
+using namespace primsel::bench;
+
+namespace {
+
+unsigned countQ16(const NetworkGraph &Net, const NetworkPlan &Plan,
+                  const PrimitiveLibrary &Lib) {
+  unsigned Count = 0;
+  for (NetworkGraph::NodeId N : Net.convNodes())
+    if (Lib.get(Plan.ConvPrim[N]).family() == ConvFamily::Quantized)
+      ++Count;
+  return Count;
+}
+
+} // namespace
+
+int main() {
+  BenchConfig Config = BenchConfig::fromEnvironment();
+  PrimitiveLibrary Paper = buildFullLibrary();
+  PrimitiveLibrary Extended = buildExtendedLibrary();
+
+  std::printf("# Quantized-family ablation (§3 data types): PBQP modelled\n"
+              "# cost over the paper's library vs +q16, per profile "
+              "(scale=%.2f)\n\n",
+              Config.Scale);
+  std::printf("%-12s %-8s %12s %12s %10s %9s\n", "network", "profile",
+              "paper(ms)", "+q16(ms)", "gain%", "q16-convs");
+
+  for (bool Arm : {false, true}) {
+    MachineProfile Profile =
+        Arm ? MachineProfile::cortexA57() : MachineProfile::haswell();
+    AnalyticCostProvider PaperCosts(Paper, Profile, 1);
+    AnalyticCostProvider ExtCosts(Extended, Profile, 1);
+    for (const std::string &Name : modelNames()) {
+      NetworkGraph Net = *buildModel(Name, Config.Scale);
+      SelectionResult Base = selectPBQP(Net, Paper, PaperCosts);
+      SelectionResult Ext = selectPBQP(Net, Extended, ExtCosts);
+      double Gain = 100.0 * (Base.ModelledCostMs - Ext.ModelledCostMs) /
+                    Base.ModelledCostMs;
+      std::printf("%-12s %-8s %12.3f %12.3f %9.1f%% %5u/%zu\n", Name.c_str(),
+                  Arm ? "a57" : "haswell", Base.ModelledCostMs,
+                  Ext.ModelledCostMs, Gain,
+                  countQ16(Net, Ext.Plan, Extended),
+                  Net.convNodes().size());
+    }
+  }
+
+  std::printf("\n# haswell rows: 0.0%% gain and 0 q16 convs (AVX2 keeps the\n"
+              "# f32 GEMMs ahead); a57 rows: q16 takes layers and the\n"
+              "# modelled time drops -- same optimizer, different cost "
+              "tables.\n");
+  return 0;
+}

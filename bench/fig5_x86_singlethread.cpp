@@ -1,0 +1,40 @@
+//===- bench/fig5_x86_singlethread.cpp - Figure 5 -------------------------===//
+//
+// Regenerates Figure 5: single-threaded whole-network speedup over sum2d on
+// the x86 host for AlexNet, VGG-B, VGG-C, VGG-E and GoogLeNet, with one bar
+// per strategy (direct, im2, kn2, winograd, fft, local-optimal CHW, PBQP,
+// mkldnn-like, caffe-like). All bars are real measured executions; the
+// profiling pass is cached on disk. PRIMSEL_SCALE=1.0 restores the paper's
+// full input resolution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace primsel;
+using namespace primsel::bench;
+
+int main() {
+  BenchConfig Config = BenchConfig::fromEnvironment();
+  PrimitiveLibrary Lib = buildFullLibrary();
+  CachedMeasuredProvider Cached(Lib, Config, /*Threads=*/1, "x86");
+
+  std::printf("# Figure 5: whole-network benchmarking (x86_64), "
+              "single-threaded, scale=%.2f, iters=%u\n",
+              Config.Scale, Config.Iters);
+
+  const std::vector<std::string> Networks = {"alexnet", "vgg-b", "vgg-c",
+                                             "vgg-e", "googlenet"};
+  std::vector<Strategy> Bars = figureStrategies(/*IncludeArmcl=*/false);
+  std::vector<NetworkResult> Results;
+  for (const std::string &Net : Networks)
+    Results.push_back(runNetworkComparison(Net, Lib, Cached.provider(), 1,
+                                           Config, /*Measured=*/true, Bars));
+
+  printSpeedupTable(
+      "Figure 5: Single-Threaded speedup vs sum2d on x86_64 (measured)",
+      Results);
+  return 0;
+}

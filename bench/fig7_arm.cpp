@@ -1,0 +1,53 @@
+//===- bench/fig7_arm.cpp - Figure 7a/7b -----------------------------------===//
+//
+// Regenerates Figure 7: whole-network speedups on the ARM Cortex-A57, both
+// single-threaded (7a) and multithreaded (7b), for AlexNet and GoogLeNet
+// (the VGG models "are too large to fit on this platform", §5.7, so they
+// are omitted exactly as in the paper). No ARM hardware is available, so
+// both panels use the analytic Cortex-A57 machine model (DESIGN.md
+// substitution table); the armcl-like comparator bar is included as in the
+// paper's ARM figures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace primsel;
+using namespace primsel::bench;
+
+int main() {
+  BenchConfig Config = BenchConfig::fromEnvironment();
+  PrimitiveLibrary Lib = buildFullLibrary();
+  const std::vector<std::string> Networks = {"alexnet", "googlenet"};
+  std::vector<Strategy> Bars = figureStrategies(/*IncludeArmcl=*/true);
+
+  std::printf("# Figure 7: ARM Cortex-A57 (analytic model), scale=%.2f\n",
+              Config.Scale);
+
+  {
+    AnalyticCostProvider Prov(Lib, MachineProfile::cortexA57(), 1);
+    std::vector<NetworkResult> Results;
+    for (const std::string &Net : Networks)
+      Results.push_back(runNetworkComparison(Net, Lib, Prov, 1, Config,
+                                             /*Measured=*/false, Bars));
+    printSpeedupTable(
+        "Figure 7a: Single-Threaded speedup vs sum2d on Cortex-A57",
+        Results);
+  }
+  {
+    AnalyticCostProvider Prov(Lib, MachineProfile::cortexA57(), 4);
+    AnalyticCostProvider Baseline(Lib, MachineProfile::cortexA57(), 1);
+    std::vector<NetworkResult> Results;
+    for (const std::string &Net : Networks)
+      Results.push_back(runNetworkComparison(Net, Lib, Prov, 4, Config,
+                                             /*Measured=*/false, Bars,
+                                             &Baseline,
+                                             /*BaselineThreads=*/1));
+    printSpeedupTable(
+        "Figure 7b: Multi-Threaded speedup vs sum2d on Cortex-A57",
+        Results);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+//===- bench/solver_overheads.cpp - §5.4 optimization overheads -----------===//
+//
+// Regenerates the §5.4 report: PBQP query sizes and solve times for every
+// evaluated network ("Solving the PBQP optimization query took less than
+// one second for each of the networks ... In each case, the solver reported
+// that the optimal solution was found"). Graphs are built at full scale;
+// costs come from the analytic model (the solver's work is identical
+// whichever provider filled the tables).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/PBQPBuilder.h"
+#include "pbqp/BranchBound.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace primsel;
+using namespace primsel::bench;
+
+int main() {
+  PrimitiveLibrary Lib = buildFullLibrary();
+  AnalyticCostProvider Prov(Lib, MachineProfile::haswell(), 1);
+
+  std::printf("# PBQP optimization overheads (full-scale networks)\n");
+  std::printf("%-12s %8s %8s %10s %8s %6s %6s %6s %6s %6s\n", "network",
+              "nodes", "edges", "solve(ms)", "optimal", "R0", "RI", "RII",
+              "RN", "core");
+  for (const std::string &Name : modelNames()) {
+    NetworkGraph Net = *buildModel(Name, 1.0);
+    SelectionResult R = selectPBQP(Net, Lib, Prov);
+    std::printf("%-12s %8u %8u %10.2f %8s %6u %6u %6u %6u %6u\n",
+                Name.c_str(), R.NumNodes, R.NumEdges, R.SolveMillis,
+                R.Solver.ProvablyOptimal ? "yes" : "no", R.Solver.NumR0,
+                R.Solver.NumRI, R.Solver.NumRII, R.Solver.NumRN,
+                R.Solver.NumCoreEnumerated);
+  }
+  std::printf("\n# paper expectation: every query solves optimally in well "
+              "under one second\n");
+
+  // Independent check with the exact branch-and-bound solver. B&B carries
+  // a search budget: where it completes, both solvers must agree on the
+  // optimum; where the budget runs out (the GoogLeNet-scale queries whose
+  // assignment spaces reach 70^57), its incumbent-vs-reduction gap shows
+  // why the reduction approach is the production solver.
+  std::printf("\n# cross-check: reduction solver vs exact branch-and-bound "
+              "(budgeted)\n");
+  std::printf("%-12s %14s %14s %10s %12s %10s\n", "network", "reduction-ms",
+              "branchbound-ms", "bb-status", "bb-visits", "gap%");
+  for (const std::string &Name : modelNames()) {
+    NetworkGraph Net = *buildModel(Name, 1.0);
+    DTTableCache Tables(Prov);
+    PBQPFormulation F = buildPBQP(Net, Lib, Prov, Tables);
+
+    Timer TRed;
+    pbqp::Solution Red = pbqp::solve(F.G);
+    double RedMs = TRed.millis();
+
+    pbqp::BranchBoundOptions Options;
+    Options.MaxVisits = 100'000;
+    pbqp::BranchBoundStats Stats;
+    Timer TBB;
+    pbqp::Solution BB = pbqp::solveBranchBound(F.G, Options, &Stats);
+    double BBMs = TBB.millis();
+
+    double Gap = 100.0 * (BB.TotalCost - Red.TotalCost) /
+                 std::max(1e-12, Red.TotalCost);
+    std::printf("%-12s %14.2f %14.2f %10s %12llu %9.2f%%\n", Name.c_str(),
+                RedMs, BBMs, BB.ProvablyOptimal ? "optimal" : "budget",
+                static_cast<unsigned long long>(Stats.Visited), Gap);
+  }
+  std::printf("\n# gap is (bb-incumbent - reduction-optimum); 0.00%% with "
+              "status 'optimal'\n# confirms the reduction solver's result "
+              "exactly\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- bench/table2_x86_times.cpp - Table 2 --------------------------------===//
+//
+// Regenerates Table 2: absolute single-inference times (ms) on the x86
+// host for AlexNet and GoogLeNet under SUM2D, L.OPT (local optimal CHW),
+// PBQP and the caffe-like comparator, with (S)ingle- and (M)ulti-threaded
+// rows. (S) rows are measured; (M) rows are measured when the host has
+// multiple cores and use the analytic 4-core model otherwise (DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+#include <thread>
+
+using namespace primsel;
+using namespace primsel::bench;
+
+int main() {
+  BenchConfig Config = BenchConfig::fromEnvironment();
+  PrimitiveLibrary Lib = buildFullLibrary();
+  const std::vector<std::string> Networks = {"alexnet", "googlenet"};
+  const std::vector<Strategy> Bars = {Strategy::LocalOptimalCHW,
+                                      Strategy::PBQP, Strategy::CaffeLike};
+  const std::vector<Strategy> Columns = {Strategy::Sum2D,
+                                         Strategy::LocalOptimalCHW,
+                                         Strategy::PBQP, Strategy::CaffeLike};
+
+  std::printf("# Table 2: single inference time on x86_64 (ms), "
+              "scale=%.2f\n",
+              Config.Scale);
+
+  std::vector<NetworkResult> SingleRows;
+  {
+    CachedMeasuredProvider Cached(Lib, Config, 1, "x86");
+    for (const std::string &Net : Networks) {
+      NetworkResult R = runNetworkComparison(
+          Net, Lib, Cached.provider(), 1, Config, /*Measured=*/true, Bars);
+      R.Network = "(S) " + R.Network;
+      SingleRows.push_back(R);
+    }
+  }
+  printAbsoluteTable("Table 2 (S): single-threaded, measured", SingleRows,
+                     Columns);
+
+  unsigned Cores = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<NetworkResult> MultiRows;
+  if (Cores >= 2) {
+    CachedMeasuredProvider Cached(Lib, Config, Cores, "x86");
+    for (const std::string &Net : Networks) {
+      NetworkResult R = runNetworkComparison(
+          Net, Lib, Cached.provider(), Cores, Config,
+          /*Measured=*/true, Bars, /*BaselineCosts=*/nullptr,
+          /*BaselineThreads=*/1);
+      R.Network = "(M) " + R.Network;
+      MultiRows.push_back(R);
+    }
+    printAbsoluteTable("Table 2 (M): multi-threaded, measured", MultiRows,
+                       Columns);
+  } else {
+    AnalyticCostProvider Prov(Lib, MachineProfile::haswell(), 4);
+    AnalyticCostProvider Baseline(Lib, MachineProfile::haswell(), 1);
+    for (const std::string &Net : Networks) {
+      NetworkResult R = runNetworkComparison(Net, Lib, Prov, 4, Config,
+                                             /*Measured=*/false, Bars,
+                                             &Baseline,
+                                             /*BaselineThreads=*/1);
+      R.Network = "(M) " + R.Network;
+      MultiRows.push_back(R);
+    }
+    printAbsoluteTable(
+        "Table 2 (M): multi-threaded (analytic 4-core model; 1-core host)",
+        MultiRows, Columns);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+//===- bench/table3_arm_times.cpp - Table 3 --------------------------------===//
+//
+// Regenerates Table 3: absolute single-inference times (ms) on the ARM
+// Cortex-A57 for AlexNet and GoogLeNet under SUM2D, L.OPT, PBQP and the
+// caffe-like comparator, (S) and (M) rows. Uses the analytic Cortex-A57
+// model throughout (no ARM hardware; DESIGN.md substitution table).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace primsel;
+using namespace primsel::bench;
+
+int main() {
+  BenchConfig Config = BenchConfig::fromEnvironment();
+  PrimitiveLibrary Lib = buildFullLibrary();
+  const std::vector<std::string> Networks = {"alexnet", "googlenet"};
+  const std::vector<Strategy> Bars = {Strategy::LocalOptimalCHW,
+                                      Strategy::PBQP, Strategy::CaffeLike};
+  const std::vector<Strategy> Columns = {Strategy::Sum2D,
+                                         Strategy::LocalOptimalCHW,
+                                         Strategy::PBQP, Strategy::CaffeLike};
+
+  std::printf("# Table 3: single inference time on Cortex-A57 (ms), "
+              "analytic model, scale=%.2f\n",
+              Config.Scale);
+
+  for (unsigned Threads : {1u, 4u}) {
+    AnalyticCostProvider Prov(Lib, MachineProfile::cortexA57(), Threads);
+    AnalyticCostProvider Baseline(Lib, MachineProfile::cortexA57(), 1);
+    std::vector<NetworkResult> Rows;
+    for (const std::string &Net : Networks) {
+      NetworkResult R = runNetworkComparison(Net, Lib, Prov, Threads, Config,
+                                             /*Measured=*/false, Bars,
+                                             &Baseline,
+                                             /*BaselineThreads=*/1);
+      R.Network = (Threads == 1 ? "(S) " : "(M) ") + R.Network;
+      Rows.push_back(R);
+    }
+    printAbsoluteTable(Threads == 1
+                           ? "Table 3 (S): single-threaded (analytic A57)"
+                           : "Table 3 (M): multi-threaded (analytic A57)",
+                       Rows, Columns);
+  }
+  return 0;
+}

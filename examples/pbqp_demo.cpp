@@ -1,0 +1,81 @@
+//===- examples/pbqp_demo.cpp - the paper's Figure 2, worked --------------===//
+//
+// Walks through the paper's Figure 2 example of why primitive selection
+// with data layout transformation costs is not a per-layer decision: three
+// conv layers, three primitives A/B/C each. Without edge costs the best
+// per-layer picks are B, C, B (total 37). Once the edge cost matrices are
+// added, the per-layer favourite B for conv1 is no longer globally optimal
+// and the optimum rises to 45. (The edge matrices are reconstructed to be
+// consistent with the stated totals; see tests/pbqp_test.cpp.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "pbqp/BruteForce.h"
+#include "pbqp/Solver.h"
+
+#include <cstdio>
+
+using namespace primsel;
+using namespace primsel::pbqp;
+
+static const char *altName(unsigned I) {
+  static const char *Names[] = {"A", "B", "C"};
+  return Names[I];
+}
+
+int main() {
+  CostVector Conv1(3), Conv2(3), Conv3(3);
+  Conv1[0] = 8;
+  Conv1[1] = 6;
+  Conv1[2] = 10;
+  Conv2[0] = 17;
+  Conv2[1] = 19;
+  Conv2[2] = 14;
+  Conv3[0] = 20;
+  Conv3[1] = 17;
+  Conv3[2] = 22;
+
+  std::printf("Figure 2a: node costs only\n");
+  Graph NodeOnly;
+  NodeId N1 = NodeOnly.addNode(Conv1);
+  NodeId N2 = NodeOnly.addNode(Conv2);
+  NodeId N3 = NodeOnly.addNode(Conv3);
+  (void)N1;
+  (void)N2;
+  (void)N3;
+  Solution S1 = solve(NodeOnly);
+  std::printf("  conv1=%s conv2=%s conv3=%s, total cost %.0f\n\n",
+              altName(S1.Selection[0]), altName(S1.Selection[1]),
+              altName(S1.Selection[2]), S1.TotalCost);
+
+  std::printf("Figure 2b: with data-layout edge cost matrices\n");
+  Graph WithEdges;
+  NodeId M1 = WithEdges.addNode(Conv1);
+  NodeId M2 = WithEdges.addNode(Conv2);
+  NodeId M3 = WithEdges.addNode(Conv3);
+  const double E12[3][3] = {{0, 2, 4}, {4, 2, 5}, {2, 1, 0}};
+  const double E23[3][3] = {{1, 4, 5}, {6, 2, 5}, {1, 5, 0}};
+  CostMatrix M12(3, 3), M23(3, 3);
+  for (unsigned R = 0; R < 3; ++R)
+    for (unsigned C = 0; C < 3; ++C) {
+      M12.at(R, C) = E12[R][C];
+      M23.at(R, C) = E23[R][C];
+    }
+  WithEdges.addEdge(M1, M2, M12);
+  WithEdges.addEdge(M2, M3, M23);
+
+  Solution S2 = solve(WithEdges);
+  std::printf("  conv1=%s conv2=%s conv3=%s, total cost %.0f (%s)\n",
+              altName(S2.Selection[0]), altName(S2.Selection[1]),
+              altName(S2.Selection[2]), S2.TotalCost,
+              S2.ProvablyOptimal ? "provably optimal" : "heuristic");
+
+  Solution BF = solveBruteForce(WithEdges);
+  std::printf("  brute force agrees: %.0f\n\n", BF.TotalCost);
+
+  std::printf("The per-layer favourite for conv1 was %s; with transform\n"
+              "costs the global optimum selects %s there instead -- edge\n"
+              "costs make selection a whole-graph (NP-hard) problem.\n",
+              altName(S1.Selection[0]), altName(S2.Selection[0]));
+  return 0;
+}

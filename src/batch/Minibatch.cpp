@@ -1,0 +1,131 @@
+//===- batch/Minibatch.cpp ------------------------------------------------===//
+
+#include "batch/Minibatch.h"
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace primsel;
+
+const char *primsel::batchPolicyName(BatchPolicy P) {
+  switch (P) {
+  case BatchPolicy::LayerParallel:
+    return "layer-parallel";
+  case BatchPolicy::ImageParallel:
+    return "image-parallel";
+  }
+  assert(false && "unknown batch policy");
+  return "?";
+}
+
+namespace {
+
+/// Layer-parallel schedule: one base instance, images in sequence, the run
+/// context's pool available inside each image ("parallel GEMM").
+class LayerParallelInstance : public ConvInstance {
+public:
+  explicit LayerParallelInstance(std::unique_ptr<ConvInstance> Base)
+      : Base(std::move(Base)) {}
+
+  void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override {
+    Base->run(In, Out, Ctx);
+  }
+
+  void runBatch(const std::vector<Tensor3D> &In, std::vector<Tensor3D> &Out,
+                const RunContext &Ctx) override {
+    assert(In.size() == Out.size() && "batch size mismatch");
+    for (size_t I = 0; I < In.size(); ++I)
+      Base->run(In[I], Out[I], Ctx);
+  }
+
+private:
+  std::unique_ptr<ConvInstance> Base;
+};
+
+/// Image-parallel schedule: the pool distributes whole images; each image
+/// runs single-threaded ("minibatch parallelism"). Base instances keep
+/// per-run scratch state, so each concurrent image needs its own instance.
+class ImageParallelInstance : public ConvInstance {
+public:
+  ImageParallelInstance(const ConvPrimitive &BasePrim, const ConvScenario &S,
+                        const Kernel4D &Weights) {
+    // One instance per image slot; slot count is bounded by the batch.
+    // Weight packing is duplicated, which is the honest memory cost of
+    // running images concurrently with stateful primitives.
+    Instances.reserve(static_cast<size_t>(S.Batch));
+    ConvScenario PerImage = S.singleImage();
+    for (int64_t I = 0; I < S.Batch; ++I)
+      Instances.push_back(BasePrim.instantiate(PerImage, Weights));
+  }
+
+  void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override {
+    Instances.front()->run(In, Out, Ctx);
+  }
+
+  void runBatch(const std::vector<Tensor3D> &In, std::vector<Tensor3D> &Out,
+                const RunContext &Ctx) override {
+    assert(In.size() == Out.size() && "batch size mismatch");
+    assert(In.size() <= Instances.size() && "batch exceeds instance slots");
+    RunContext SingleThreaded; // no pool: images must not nest parallelism
+    if (Ctx.Pool && Ctx.Pool->numThreads() > 1) {
+      Ctx.Pool->parallelFor(0, static_cast<int64_t>(In.size()),
+                            [&](int64_t I) {
+                              Instances[static_cast<size_t>(I)]->run(
+                                  In[static_cast<size_t>(I)],
+                                  Out[static_cast<size_t>(I)],
+                                  SingleThreaded);
+                            });
+      return;
+    }
+    for (size_t I = 0; I < In.size(); ++I)
+      Instances[I]->run(In[I], Out[I], SingleThreaded);
+  }
+
+private:
+  std::vector<std::unique_ptr<ConvInstance>> Instances;
+};
+
+} // namespace
+
+std::string MinibatchPrimitive::name() const {
+  return Base.name() +
+         (Policy == BatchPolicy::LayerParallel ? "@bser" : "@bpar");
+}
+
+size_t MinibatchPrimitive::workspaceBytes(const ConvScenario &S) const {
+  size_t PerImage = Base.workspaceBytes(S.singleImage());
+  // Image-parallel keeps every image's workspace live at once.
+  if (Policy == BatchPolicy::ImageParallel)
+    return PerImage * static_cast<size_t>(S.Batch);
+  return PerImage;
+}
+
+std::unique_ptr<ConvInstance>
+MinibatchPrimitive::instantiate(const ConvScenario &S,
+                                const Kernel4D &Weights) const {
+  assert(supports(S) && "instantiating an unsupported scenario");
+  if (Policy == BatchPolicy::LayerParallel)
+    return std::make_unique<LayerParallelInstance>(
+        Base.instantiate(S.singleImage(), Weights));
+  return std::make_unique<ImageParallelInstance>(Base, S, Weights);
+}
+
+unsigned primsel::addMinibatchVariants(PrimitiveLibrary &Lib) {
+  // Snapshot the current size: wrappers must not wrap wrappers.
+  unsigned BaseCount = Lib.size();
+  for (PrimitiveId Id = 0; Id < BaseCount; ++Id) {
+    const ConvPrimitive &P = Lib.get(Id);
+    if (P.supportsBatch(2))
+      continue; // already batch-capable
+    Lib.add(std::make_unique<MinibatchPrimitive>(P, BatchPolicy::LayerParallel));
+    Lib.add(std::make_unique<MinibatchPrimitive>(P, BatchPolicy::ImageParallel));
+  }
+  return Lib.size() - BaseCount;
+}
+
+PrimitiveLibrary primsel::buildBatchedLibrary() {
+  PrimitiveLibrary Lib = buildFullLibrary();
+  addMinibatchVariants(Lib);
+  return Lib;
+}

@@ -1,0 +1,50 @@
+//===- codegen/CodeGen.h - C++ code generation from plans -------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ahead-of-time C++ code generation from a solved NetworkPlan -- the
+/// paper's deployment story made concrete: "We mapped the solution to code
+/// with a simple code generator which emitted calls to primitive operations
+/// in our library" (§5.2), and §7 notes the approach "is well-suited to
+/// systems such as XLA that generate DNN code ahead of time".
+///
+/// emitPlanSource() renders a complete, self-contained C++ translation unit
+/// defining a Program class: its constructor performs all setup-time work
+/// (primitive lookup, weight generation, weight packing), and run() is the
+/// straight-line sequence of primitive, layer-operator and layout-transform
+/// calls the plan prescribes -- no graph interpretation remains at run
+/// time. Generated programs compute exactly the same function as the
+/// Executor interpreting the same plan with the same weight seed (verified
+/// by examples/codegen_driver).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_CODEGEN_CODEGEN_H
+#define PRIMSEL_CODEGEN_CODEGEN_H
+
+#include "core/Plan.h"
+
+#include <string>
+
+namespace primsel {
+
+/// Knobs for the generated translation unit.
+struct CodeGenOptions {
+  /// Namespace wrapping the generated Program class.
+  std::string Namespace = "generated";
+  /// Class name of the generated program.
+  std::string ClassName = "Program";
+};
+
+/// Render \p Plan over \p Net as a compilable C++ translation unit that
+/// links against the primsel library. The plan must be legalized.
+std::string emitPlanSource(const NetworkGraph &Net, const NetworkPlan &Plan,
+                           const PrimitiveLibrary &Lib,
+                           const CodeGenOptions &Options = {});
+
+} // namespace primsel
+
+#endif // PRIMSEL_CODEGEN_CODEGEN_H

@@ -1,0 +1,70 @@
+//===- core/Legalizer.cpp -------------------------------------------------===//
+
+#include "core/Legalizer.h"
+
+#include <cassert>
+
+using namespace primsel;
+
+bool primsel::legalize(NetworkPlan &Plan, const NetworkGraph &Net,
+                       DTTableCache &Tables) {
+  assert(Plan.OutLayout.size() == Net.numNodes() &&
+         Plan.InLayout.size() == Net.numNodes() && "plan not sized");
+  Plan.Chains.clear();
+  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
+    const NetworkGraph::Node &Node = Net.node(N);
+    for (unsigned I = 0; I < Node.Inputs.size(); ++I) {
+      NetworkGraph::NodeId Producer = Node.Inputs[I];
+      Layout From = Plan.OutLayout[Producer];
+      Layout To = Plan.InLayout[N];
+      if (From == To)
+        continue;
+      const DTTable &T = Tables.get(Net.node(Producer).OutShape);
+      if (!T.reachable(From, To))
+        return false;
+      Plan.Chains[{N, I}] = T.path(From, To);
+    }
+  }
+  return true;
+}
+
+double primsel::modelPlanCost(const NetworkPlan &Plan,
+                              const NetworkGraph &Net,
+                              const PrimitiveLibrary &Lib,
+                              CostProvider &Costs) {
+  (void)Lib; // kept in the signature for symmetry with planForStrategy
+  double Total = 0.0;
+  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
+    const NetworkGraph::Node &Node = Net.node(N);
+    if (Node.L.Kind == LayerKind::Conv)
+      Total += Costs.convCost(Node.Scenario, Plan.ConvPrim[N]);
+  }
+  for (const auto &[Edge, Chain] : Plan.Chains) {
+    assert(Chain.size() >= 2 && "degenerate legalization chain");
+    NetworkGraph::NodeId Producer = Net.node(Edge.first).Inputs[Edge.second];
+    const TensorShape &Shape = Net.node(Producer).OutShape;
+    for (size_t I = 0; I + 1 < Chain.size(); ++I)
+      Total += Costs.transformCost(Chain[I], Chain[I + 1], Shape);
+  }
+  return Total;
+}
+
+bool primsel::isLegalized(const NetworkPlan &Plan, const NetworkGraph &Net) {
+  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
+    const NetworkGraph::Node &Node = Net.node(N);
+    for (unsigned I = 0; I < Node.Inputs.size(); ++I) {
+      Layout From = Plan.OutLayout[Node.Inputs[I]];
+      Layout To = Plan.InLayout[N];
+      auto It = Plan.Chains.find({N, I});
+      if (It == Plan.Chains.end()) {
+        if (From != To)
+          return false;
+        continue;
+      }
+      const std::vector<Layout> &Chain = It->second;
+      if (Chain.size() < 2 || Chain.front() != From || Chain.back() != To)
+        return false;
+    }
+  }
+  return true;
+}

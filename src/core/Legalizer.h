@@ -1,0 +1,45 @@
+//===- core/Legalizer.h - Layout legalization -------------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The legalization phase of §3: "The legalization phase inserts additional
+/// data layout conversion layers to bisect illegal edges, and legalize an
+/// assignment. The legalizer can then select one or more data layout
+/// transformation primitives to implement the conversion layers." Given a
+/// primitive/layout assignment, legalize() fills in the cheapest transform
+/// chain for every mismatched edge using the DT graph's shortest paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_CORE_LEGALIZER_H
+#define PRIMSEL_CORE_LEGALIZER_H
+
+#include "core/DTGraph.h"
+#include "core/Plan.h"
+
+namespace primsel {
+
+/// Populate \p Plan.Chains for every edge where the producer's output
+/// layout differs from the consumer's required input layout. InLayout /
+/// OutLayout must already be assigned. Returns false if some edge cannot be
+/// legalized (no chain of direct routines connects the two layouts).
+bool legalize(NetworkPlan &Plan, const NetworkGraph &Net,
+              DTTableCache &Tables);
+
+/// Total modelled cost of a legalized plan in milliseconds: the sum of the
+/// conv node costs plus the cost of every legalization chain (dummy layers
+/// are zero-cost in the model, §5.2).
+double modelPlanCost(const NetworkPlan &Plan, const NetworkGraph &Net,
+                     const PrimitiveLibrary &Lib, CostProvider &Costs);
+
+/// Check the structural invariant of a legalized plan: along every edge the
+/// producer's layout, via the chain if present, ends at the consumer's
+/// required layout. Used by tests and asserted by the executor.
+bool isLegalized(const NetworkPlan &Plan, const NetworkGraph &Net);
+
+} // namespace primsel
+
+#endif // PRIMSEL_CORE_LEGALIZER_H

@@ -1,0 +1,91 @@
+//===- core/PBQPBuilder.cpp -----------------------------------------------===//
+
+#include "core/PBQPBuilder.h"
+
+#include <cassert>
+
+using namespace primsel;
+
+namespace {
+
+/// The layout a node's alternative consumes its inputs in.
+Layout altInLayout(const PBQPFormulation &F, const PrimitiveLibrary &Lib,
+                   NetworkGraph::NodeId N, unsigned Alt) {
+  if (!F.ConvAlternatives[N].empty())
+    return Lib.get(F.ConvAlternatives[N][Alt]).inputLayout();
+  return F.LayoutAlternatives[N][Alt];
+}
+
+/// The layout a node's alternative produces its output in.
+Layout altOutLayout(const PBQPFormulation &F, const PrimitiveLibrary &Lib,
+                    NetworkGraph::NodeId N, unsigned Alt) {
+  if (!F.ConvAlternatives[N].empty())
+    return Lib.get(F.ConvAlternatives[N][Alt]).outputLayout();
+  return F.LayoutAlternatives[N][Alt];
+}
+
+} // namespace
+
+PBQPFormulation primsel::buildPBQP(const NetworkGraph &Net,
+                                   const PrimitiveLibrary &Lib,
+                                   CostProvider &Costs,
+                                   DTTableCache &Tables) {
+  PBQPFormulation F;
+  F.ConvAlternatives.resize(Net.numNodes());
+  F.LayoutAlternatives.resize(Net.numNodes());
+
+  // Nodes: cost vectors over alternatives.
+  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
+    const NetworkGraph::Node &Node = Net.node(N);
+    if (Node.L.Kind == LayerKind::Conv) {
+      std::vector<PrimitiveId> Alts = Lib.supporting(Node.Scenario);
+      assert(!Alts.empty() &&
+             "no primitive supports a conv scenario (sum2d should)");
+      pbqp::CostVector V(static_cast<unsigned>(Alts.size()));
+      for (unsigned I = 0; I < Alts.size(); ++I)
+        V[I] = Costs.convCost(Node.Scenario, Alts[I]);
+      F.ConvAlternatives[N] = std::move(Alts);
+      pbqp::NodeId Id = F.G.addNode(std::move(V));
+      (void)Id;
+      assert(Id == N && "PBQP ids must mirror network ids");
+      continue;
+    }
+    // Dummy node: zero cost for every layout; inputs pinned to CHW.
+    std::vector<Layout> Alts;
+    if (Node.L.Kind == LayerKind::Input)
+      Alts = {Layout::CHW};
+    else
+      Alts.assign(AllLayouts.begin(), AllLayouts.end());
+    pbqp::CostVector V(static_cast<unsigned>(Alts.size()), 0.0);
+    F.LayoutAlternatives[N] = std::move(Alts);
+    pbqp::NodeId Id = F.G.addNode(std::move(V));
+    (void)Id;
+    assert(Id == N && "PBQP ids must mirror network ids");
+  }
+
+  // Edges: DT shortest-chain cost between the producer's output layout and
+  // the consumer's input layout on the producer's output shape.
+  auto NumAlts = [&](NetworkGraph::NodeId N) {
+    return F.ConvAlternatives[N].empty()
+               ? static_cast<unsigned>(F.LayoutAlternatives[N].size())
+               : static_cast<unsigned>(F.ConvAlternatives[N].size());
+  };
+
+  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
+    const NetworkGraph::Node &Node = Net.node(N);
+    for (NetworkGraph::NodeId P : Node.Inputs) {
+      const DTTable &T = Tables.get(Net.node(P).OutShape);
+      pbqp::CostMatrix M(NumAlts(P), NumAlts(N));
+      for (unsigned A = 0; A < M.rows(); ++A) {
+        Layout From = altOutLayout(F, Lib, P, A);
+        for (unsigned B = 0; B < M.cols(); ++B) {
+          Layout To = altInLayout(F, Lib, N, B);
+          double C = T.cost(From, To);
+          M.at(A, B) = C;
+        }
+      }
+      F.G.addEdge(P, N, std::move(M));
+    }
+  }
+  return F;
+}

@@ -1,0 +1,51 @@
+//===- core/PBQPBuilder.h - DNN graph -> PBQP instance ----------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps primitive selection in the presence of data layout transformations
+/// onto PBQP (paper §3.2/§3.3). Conv layers become PBQP nodes whose
+/// alternatives are the supporting primitives (node cost = profiled
+/// execution time). All other layers become zero-cost wildcard nodes whose
+/// alternatives are the six layouts ("All other layers were represented in
+/// our formulation as dummy nodes, accepting any input and output layouts,
+/// and having zero cost", §5.2); the input layer is pinned to the canonical
+/// CHW. Edge cost matrices hold the shortest-chain DT cost between the
+/// producer alternative's output layout and the consumer alternative's
+/// input layout, on the tensor shape flowing along the edge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_CORE_PBQPBUILDER_H
+#define PRIMSEL_CORE_PBQPBUILDER_H
+
+#include "core/DTGraph.h"
+#include "nn/Graph.h"
+#include "pbqp/Graph.h"
+#include "primitives/Registry.h"
+
+#include <vector>
+
+namespace primsel {
+
+/// A PBQP instance plus the mapping back to network decisions.
+struct PBQPFormulation {
+  pbqp::Graph G;
+  /// Per network node (same index as PBQP node): the primitive behind each
+  /// alternative, for Conv nodes.
+  std::vector<std::vector<PrimitiveId>> ConvAlternatives;
+  /// Per network node: the layout behind each alternative, for non-Conv
+  /// nodes.
+  std::vector<std::vector<Layout>> LayoutAlternatives;
+};
+
+/// Build the PBQP instance for \p Net over \p Lib with costs from
+/// \p Tables' provider.
+PBQPFormulation buildPBQP(const NetworkGraph &Net, const PrimitiveLibrary &Lib,
+                          CostProvider &Costs, DTTableCache &Tables);
+
+} // namespace primsel
+
+#endif // PRIMSEL_CORE_PBQPBUILDER_H

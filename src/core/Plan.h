@@ -1,0 +1,52 @@
+//===- core/Plan.h - Network instantiation plans ----------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A NetworkPlan is a complete instantiation decision for a network: which
+/// primitive implements each conv layer, which layout every other layer
+/// operates in, and the legalizing chains of layout transformations on each
+/// edge (the output of the paper's legalization phase, §3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_CORE_PLAN_H
+#define PRIMSEL_CORE_PLAN_H
+
+#include "nn/Graph.h"
+#include "primitives/Registry.h"
+#include "tensor/Layout.h"
+
+#include <map>
+#include <vector>
+
+namespace primsel {
+
+/// Identifies one incoming edge of a node: (consumer node, input index).
+using EdgeKey = std::pair<NetworkGraph::NodeId, unsigned>;
+
+/// A full primitive/layout assignment plus legalization chains.
+struct NetworkPlan {
+  /// Per node: the primitive chosen for Conv nodes (undefined elsewhere).
+  std::vector<PrimitiveId> ConvPrim;
+  /// Per node: the layout of the tensor it produces. For conv nodes this is
+  /// the primitive's Lout; dummy nodes operate in (and produce) their
+  /// assigned layout; inputs produce the canonical CHW.
+  std::vector<Layout> OutLayout;
+  /// Per node: the layout it requires on its input(s). Conv: the
+  /// primitive's Lin; dummies: same as OutLayout.
+  std::vector<Layout> InLayout;
+  /// For every edge whose producer layout differs from the consumer's
+  /// required layout: the full chain of layouts (inclusive of both ends,
+  /// length >= 2) that the legalizer selected. Edges absent from the map
+  /// need no transformation.
+  std::map<EdgeKey, std::vector<Layout>> Chains;
+
+  bool empty() const { return OutLayout.empty(); }
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_CORE_PLAN_H

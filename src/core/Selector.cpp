@@ -1,0 +1,51 @@
+//===- core/Selector.cpp --------------------------------------------------===//
+
+#include "core/Selector.h"
+
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace primsel;
+
+SelectionResult primsel::selectPBQP(const NetworkGraph &Net,
+                                    const PrimitiveLibrary &Lib,
+                                    CostProvider &Costs,
+                                    const pbqp::SolverOptions &Options) {
+  SelectionResult R;
+  DTTableCache Tables(Costs);
+
+  PBQPFormulation F = buildPBQP(Net, Lib, Costs, Tables);
+  R.NumNodes = F.G.numNodes();
+  R.NumEdges = F.G.numEdges();
+
+  Timer SolveTimer;
+  R.Solver = pbqp::solve(F.G, Options);
+  R.SolveMillis = SolveTimer.millis();
+
+  // Map the PBQP solution back onto the network.
+  NetworkPlan &Plan = R.Plan;
+  Plan.ConvPrim.assign(Net.numNodes(), 0);
+  Plan.OutLayout.assign(Net.numNodes(), Layout::CHW);
+  Plan.InLayout.assign(Net.numNodes(), Layout::CHW);
+  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
+    unsigned Alt = R.Solver.Selection[N];
+    if (!F.ConvAlternatives[N].empty()) {
+      PrimitiveId P = F.ConvAlternatives[N][Alt];
+      Plan.ConvPrim[N] = P;
+      Plan.InLayout[N] = Lib.get(P).inputLayout();
+      Plan.OutLayout[N] = Lib.get(P).outputLayout();
+    } else {
+      Layout L = F.LayoutAlternatives[N][Alt];
+      Plan.InLayout[N] = L;
+      Plan.OutLayout[N] = L;
+    }
+  }
+
+  bool Legal = legalize(Plan, Net, Tables);
+  assert(Legal && "PBQP solution with finite cost must be legalizable");
+  (void)Legal;
+
+  R.ModelledCostMs = modelPlanCost(Plan, Net, Lib, Costs);
+  return R;
+}

@@ -1,0 +1,48 @@
+//===- core/Selector.h - PBQP-based optimal selection -----------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end optimizer: build the PBQP query from the network and the
+/// cost tables, solve it, map the solution back to a primitive/layout
+/// assignment, and legalize the result (paper §3/§5.2: "we extracted all
+/// convolutional scenarios in the graph, performed the profiling to gather
+/// cost data, and constructed the PBQP query for the minimum cost
+/// instantiation").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_CORE_SELECTOR_H
+#define PRIMSEL_CORE_SELECTOR_H
+
+#include "core/Legalizer.h"
+#include "core/PBQPBuilder.h"
+#include "core/Plan.h"
+#include "pbqp/Solver.h"
+
+namespace primsel {
+
+/// Outcome of a PBQP selection.
+struct SelectionResult {
+  NetworkPlan Plan;
+  /// Modelled total cost of the legalized plan, in ms.
+  double ModelledCostMs = 0.0;
+  /// Wall-clock time spent solving the PBQP query (§5.4 reports < 1 s).
+  double SolveMillis = 0.0;
+  /// Solver statistics, including provable optimality.
+  pbqp::Solution Solver;
+  /// PBQP instance sizes, for the overhead report.
+  unsigned NumNodes = 0;
+  unsigned NumEdges = 0;
+};
+
+/// Run the full pipeline on \p Net. The returned plan is legalized.
+SelectionResult selectPBQP(const NetworkGraph &Net,
+                           const PrimitiveLibrary &Lib, CostProvider &Costs,
+                           const pbqp::SolverOptions &Options = {});
+
+} // namespace primsel
+
+#endif // PRIMSEL_CORE_SELECTOR_H

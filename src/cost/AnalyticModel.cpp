@@ -1,0 +1,261 @@
+//===- cost/AnalyticModel.cpp ---------------------------------------------===//
+
+#include "cost/AnalyticModel.h"
+
+#include "tensor/Transform.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+using namespace primsel;
+
+namespace {
+
+/// Deterministic per-(primitive, scenario) perturbation in [0.93, 1.10].
+/// Near-identical routines really do differ by small, architecture-specific
+/// margins that "there is no good way to select between ... except by
+/// profiling" (paper §4); this models that spread reproducibly.
+double deterministicJitter(const std::string &Name, const ConvScenario &S) {
+  size_t H = std::hash<std::string>{}(Name + "|" + S.key());
+  double Unit = static_cast<double>(H % 10007) / 10006.0;
+  return 0.93 + 0.17 * Unit;
+}
+
+double vecUtil(int64_t InnerLen, unsigned VW) {
+  return std::min(1.0, static_cast<double>(InnerLen) / VW);
+}
+
+bool nameHas(const std::string &Name, const char *Sub) {
+  return Name.find(Sub) != std::string::npos;
+}
+
+/// Parse the Winograd tile parameters out of a variant name
+/// ("wino2d-m4r3-...": M = 4, R = 3).
+void parseWinoTile(const std::string &Name, int64_t &M, int64_t &R) {
+  size_t Pos = Name.find("-m");
+  assert(Pos != std::string::npos && "winograd name without tile");
+  M = Name[Pos + 2] - '0';
+  R = Name[Pos + 4] - '0';
+  assert(M >= 1 && M <= 9 && R >= 1 && R <= 9 && "bad tile digits");
+}
+
+double fftOps(double N) { return 5.0 * N * std::log2(std::max(2.0, N)); }
+
+struct ModelTerms {
+  double Flops = 0.0;      ///< useful floating point work
+  double Efficiency = 0.1; ///< fraction of vector peak achieved
+  double TrafficBytes = 0; ///< streaming memory traffic per run
+};
+
+ModelTerms modelPrimitive(const ConvPrimitive &P, const ConvScenario &S,
+                          const MachineProfile &Prof) {
+  const std::string Name = P.name();
+  const unsigned VW = Prof.VectorWidth;
+  const double Ho = static_cast<double>(S.outHeight());
+  const double Wo = static_cast<double>(S.outWidth());
+  const double Macs = S.macs();
+  // Scalar code is insensitive to vector width, so its *fraction* of the
+  // vector peak rises as the vectors narrow.
+  const double ScalarAdjust = 8.0 / VW;
+
+  ModelTerms T;
+  const double InBytes = static_cast<double>(S.C) * S.H * S.W * 4;
+  const double OutBytes = static_cast<double>(S.M) * Ho * Wo * 4;
+  const double WeightBytes = static_cast<double>(S.M) * S.C * S.K * S.K * 4;
+  const double WsBytes = static_cast<double>(P.workspaceBytes(S));
+  T.TrafficBytes = InBytes + OutBytes + WeightBytes + 2.0 * WsBytes;
+
+  switch (P.family()) {
+  case ConvFamily::Sum2D:
+    T.Flops = 2.0 * Macs;
+    T.Efficiency = 0.030 * ScalarAdjust;
+    break;
+
+  case ConvFamily::Direct: {
+    T.Flops = 2.0 * Macs;
+    double Eff = 0.10;
+    if (nameHas(Name, "direct-mckk"))
+      Eff = 0.10;
+    else if (nameHas(Name, "direct-cmkk"))
+      Eff = 0.085;
+    else if (nameHas(Name, "direct-mhck"))
+      Eff = 0.11;
+    else if (nameHas(Name, "direct-t16"))
+      Eff = 0.12;
+    else if (nameHas(Name, "direct-pix"))
+      Eff = 0.13 * vecUtil(S.C, VW);
+    else if (nameHas(Name, "direct-pt4"))
+      Eff = 0.14 * vecUtil(S.C, VW);
+    else if (nameHas(Name, "direct-ovec"))
+      Eff = 0.12 * vecUtil(S.M, VW);
+    else if (nameHas(Name, "direct-rows"))
+      Eff = 0.09;
+    T.Efficiency = std::max(Eff, 0.02);
+    break;
+  }
+
+  case ConvFamily::Im2: {
+    T.Flops = 2.0 * Macs;
+    double GemmEff = nameHas(Name, "-n-") ? 0.045 * ScalarAdjust
+                     : nameHas(Name, "-bt-") ? 0.30
+                                             : 0.35;
+    // The K dimension of the GEMM is C*K*K; short reductions hurt.
+    GemmEff *= std::sqrt(vecUtil(S.C * S.K * S.K, 4 * VW));
+    T.Efficiency = std::max(GemmEff, 0.02);
+    break;
+  }
+
+  case ConvFamily::Kn2: {
+    // K*K GEMMs over all H*W pixels (not just Ho*Wo) plus the shift-add.
+    T.Flops = 2.0 * static_cast<double>(S.M) * S.C * S.H * S.W * S.K * S.K;
+    double GemmEff = nameHas(Name, "-bt-") ? 0.28 : 0.33;
+    // kn2's GEMM reduction dimension is C alone: "Bad case: few channels"
+    // (Table 1).
+    GemmEff *= std::sqrt(vecUtil(S.C, 4 * VW));
+    T.Efficiency = std::max(GemmEff, 0.02);
+    T.TrafficBytes +=
+        static_cast<double>(S.K) * S.K * S.M * S.H * S.W * 4 * 2;
+    break;
+  }
+
+  case ConvFamily::Winograd: {
+    int64_t Tm = 0, Tr = 0;
+    parseWinoTile(Name, Tm, Tr);
+    const int64_t N = Tm + Tr - 1;
+    const bool TwoD = nameHas(Name, "wino2d");
+    const bool VF8 = nameHas(Name, "-vf8-");
+    double PwEff = VF8 ? (VW == 8 ? 0.42 : 0.26) : (VW == 8 ? 0.34 : 0.36);
+    double TrEff = 0.12;
+    double PwFlops, TrFlops;
+    if (TwoD) {
+      double Tiles = std::ceil(Ho / Tm) * std::ceil(Wo / Tm);
+      PwFlops = 2.0 * N * N * S.M * S.C * Tiles;
+      TrFlops = Tiles * (4.0 * N * N * N * S.C +
+                         2.0 * S.M * (Tm * N * N + Tm * Tm * N));
+    } else {
+      double Tw = std::ceil(Wo / Tm);
+      PwFlops = 2.0 * N * S.M * S.C * Tw * Tr * Ho;
+      TrFlops = Ho * (Tr * 2.0 * N * N * S.C * Tw + 2.0 * Tm * N * S.M * Tw);
+    }
+    // Blend the two phases into one effective rate.
+    T.Flops = PwFlops + TrFlops;
+    T.Efficiency =
+        T.Flops / (PwFlops / PwEff + TrFlops / TrEff);
+    // Winograd streams the transformed weights too.
+    T.TrafficBytes += static_cast<double>(S.M) * S.C * N * (TwoD ? N : Tr) * 4;
+    break;
+  }
+
+  case ConvFamily::FFT: {
+    const double Wp = static_cast<double>(S.paddedWidth());
+    const double Hp = static_cast<double>(S.paddedHeight());
+    double F = 1;
+    while (F < Wp + S.K - 1)
+      F *= 2;
+    double Forward = S.C * Hp * fftOps(F);
+    double KernelFFT =
+        nameHas(Name, "-kc-") ? 0.0
+                              : static_cast<double>(S.M) * S.C * S.K *
+                                    fftOps(F);
+    double Pointwise = static_cast<double>(S.M) * S.C * S.K * Ho * F * 8.0;
+    double Inverse = static_cast<double>(S.M) * Ho * fftOps(F);
+    T.Flops = Forward + KernelFFT + Pointwise + Inverse;
+    T.Efficiency = 0.10;
+    if (nameHas(Name, "-kc-"))
+      T.TrafficBytes += static_cast<double>(S.M) * S.C * S.K * F * 8;
+    break;
+  }
+
+  case ConvFamily::Sparse: {
+    // Work scales with the non-zero fraction; the indexed access pattern
+    // costs efficiency relative to a dense GEMM.
+    T.Flops = 2.0 * Macs * std::max(0.02, S.density());
+    T.Efficiency = nameHas(Name, "im2col") ? 0.22 : 0.16;
+    break;
+  }
+
+  case ConvFamily::Quantized: {
+    // 16-bit arithmetic doubles the useful SIMD lanes, which matters most
+    // on narrow-vector machines: on NEON-class cores (VW = 4) the int16
+    // path clears the f32 GEMM's efficiency, on AVX2 (VW = 8) the
+    // quantize/dequantize overhead leaves it behind. Efficiency is stated
+    // relative to the f32 peak, hence values above the GEMM's 0.35 encode
+    // the doubled lane count.
+    T.Flops = 2.0 * Macs;
+    T.Efficiency = VW <= 4 ? 0.48 : 0.24;
+    // Quantization reads and rewrites the input; dequantization streams
+    // the output once more.
+    T.TrafficBytes += InBytes + OutBytes;
+    break;
+  }
+  }
+
+  // Layout-crossing variants pay the conversion's traffic.
+  if (P.inputLayout() != Layout::CHW && P.family() != ConvFamily::Direct)
+    T.TrafficBytes += InBytes;
+  if (P.inputLayout() != P.outputLayout())
+    T.TrafficBytes += OutBytes;
+  return T;
+}
+
+} // namespace
+
+double primsel::analyticConvCost(const ConvPrimitive &P,
+                                 const ConvScenario &S,
+                                 const MachineProfile &Prof,
+                                 unsigned Threads) {
+  ModelTerms T = modelPrimitive(P, S, Prof);
+  unsigned Teff = std::max(1u, std::min(Threads, Prof.Cores));
+
+  double ComputeSec =
+      T.Flops / (T.Efficiency * Prof.PeakGFlopsPerCore * 1e9 * Teff);
+  // Bandwidth is shared; parallelism helps it only a little.
+  double MemSec =
+      T.TrafficBytes / (Prof.MemBandwidthGBs * 1e9 *
+                        (Teff > 1 ? 1.5 : 1.0));
+  double Sec = std::max(ComputeSec, MemSec) + 0.35 * std::min(ComputeSec, MemSec);
+
+  // Cache-pressure penalty: working sets beyond the LLC thrash it. This is
+  // the term that makes 2D Winograd lose to 1D on the small-cache ARM
+  // profile (paper Figure 4 discussion).
+  double Ws = static_cast<double>(P.workspaceBytes(S));
+  double LLC = static_cast<double>(Prof.LastLevelCacheBytes);
+  if (Ws > LLC)
+    Sec *= 1.0 + 0.35 * std::log2(Ws / LLC);
+
+  if (Teff > 1)
+    Sec += 20e-6; // fork/join overhead
+
+  return Sec * 1e3 * deterministicJitter(P.name(), S);
+}
+
+double primsel::analyticTransformCost(Layout From, Layout To,
+                                      const TensorShape &Shape,
+                                      const MachineProfile &Prof,
+                                      unsigned Threads) {
+  (void)Threads; // transposition is bandwidth-bound; threads do not help
+  double Bytes = static_cast<double>(Shape.elements()) * 4;
+  // Read + write, with a strided-access penalty; transforms whose innermost
+  // dimension survives (e.g. CHW -> HCW keeps W innermost) stream better.
+  std::array<Dim, 3> FromOrder = layoutOrder(From);
+  std::array<Dim, 3> ToOrder = layoutOrder(To);
+  double StridePenalty = FromOrder[2] == ToOrder[2] ? 1.15 : 1.8;
+  double Sec = 2.0 * Bytes * StridePenalty / (Prof.MemBandwidthGBs * 1e9);
+  return Sec * 1e3 + 2e-3;
+}
+
+AnalyticCostProvider::AnalyticCostProvider(const PrimitiveLibrary &Lib,
+                                           const MachineProfile &Profile,
+                                           unsigned Threads)
+    : Lib(Lib), Profile(Profile), Threads(Threads) {}
+
+double AnalyticCostProvider::convCost(const ConvScenario &S, PrimitiveId Id) {
+  return analyticConvCost(Lib.get(Id), S, Profile, Threads);
+}
+
+double AnalyticCostProvider::transformCost(Layout From, Layout To,
+                                           const TensorShape &Shape) {
+  return analyticTransformCost(From, To, Shape, Profile, Threads);
+}

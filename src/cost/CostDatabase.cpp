@@ -1,0 +1,90 @@
+//===- cost/CostDatabase.cpp ----------------------------------------------===//
+
+#include "cost/CostDatabase.h"
+
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+using namespace primsel;
+
+std::string CostDatabase::convKey(const ConvScenario &S,
+                                  const std::string &PrimName) {
+  return S.key() + "|" + PrimName;
+}
+
+std::string CostDatabase::transformKey(Layout From, Layout To,
+                                       const TensorShape &Shape) {
+  std::ostringstream OS;
+  OS << layoutName(From) << ">" << layoutName(To) << "|c" << Shape.C << "_h"
+     << Shape.H << "_w" << Shape.W;
+  return OS.str();
+}
+
+bool CostDatabase::hasConvCost(const ConvScenario &S,
+                               const std::string &PrimName) const {
+  return ConvCosts.count(convKey(S, PrimName)) != 0;
+}
+
+double CostDatabase::convCost(const ConvScenario &S,
+                              const std::string &PrimName) const {
+  auto It = ConvCosts.find(convKey(S, PrimName));
+  assert(It != ConvCosts.end() && "conv cost not in database");
+  return It->second;
+}
+
+void CostDatabase::setConvCost(const ConvScenario &S,
+                               const std::string &PrimName, double Millis) {
+  ConvCosts[convKey(S, PrimName)] = Millis;
+}
+
+bool CostDatabase::hasTransformCost(Layout From, Layout To,
+                                    const TensorShape &Shape) const {
+  return TransformCosts.count(transformKey(From, To, Shape)) != 0;
+}
+
+double CostDatabase::transformCost(Layout From, Layout To,
+                                   const TensorShape &Shape) const {
+  auto It = TransformCosts.find(transformKey(From, To, Shape));
+  assert(It != TransformCosts.end() && "transform cost not in database");
+  return It->second;
+}
+
+void CostDatabase::setTransformCost(Layout From, Layout To,
+                                    const TensorShape &Shape, double Millis) {
+  TransformCosts[transformKey(From, To, Shape)] = Millis;
+}
+
+bool CostDatabase::save(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out.precision(9);
+  for (const auto &[Key, Millis] : ConvCosts)
+    Out << "conv " << Key << " " << Millis << "\n";
+  for (const auto &[Key, Millis] : TransformCosts)
+    Out << "dt " << Key << " " << Millis << "\n";
+  return static_cast<bool>(Out);
+}
+
+bool CostDatabase::load(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  // Line-oriented so a malformed record (hand edits, version drift) is
+  // skipped rather than truncating the rest of the file.
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::istringstream LS(Line);
+    std::string Kind, Key;
+    double Millis;
+    if (!(LS >> Kind >> Key >> Millis))
+      continue;
+    if (Kind == "conv")
+      ConvCosts[Key] = Millis;
+    else if (Kind == "dt")
+      TransformCosts[Key] = Millis;
+    // Unknown kinds are skipped for forward compatibility.
+  }
+  return true;
+}

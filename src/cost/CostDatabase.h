@@ -1,0 +1,62 @@
+//===- cost/CostDatabase.h - Cost tables with disk cache --------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage for profiled costs. The paper observes that "the resulting cost
+/// tables are tiny compared to the weight data ... making it feasible to
+/// produce these cost tables before deployment, and ship them with the
+/// trained model" (§4); this class is that artifact -- an in-memory table
+/// with a simple line-oriented text serialization keyed by primitive name
+/// and scenario, so it survives library reorderings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_COST_COSTDATABASE_H
+#define PRIMSEL_COST_COSTDATABASE_H
+
+#include "cost/CostProvider.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace primsel {
+
+/// Conv and transform cost tables, serializable to a text file.
+class CostDatabase {
+public:
+  /// True if a cost for (S, primitive name) is present.
+  bool hasConvCost(const ConvScenario &S, const std::string &PrimName) const;
+  double convCost(const ConvScenario &S, const std::string &PrimName) const;
+  void setConvCost(const ConvScenario &S, const std::string &PrimName,
+                   double Millis);
+
+  bool hasTransformCost(Layout From, Layout To,
+                        const TensorShape &Shape) const;
+  double transformCost(Layout From, Layout To, const TensorShape &Shape) const;
+  void setTransformCost(Layout From, Layout To, const TensorShape &Shape,
+                        double Millis);
+
+  size_t numConvEntries() const { return ConvCosts.size(); }
+  size_t numTransformEntries() const { return TransformCosts.size(); }
+
+  /// Write every entry to \p Path; returns false on I/O failure.
+  bool save(const std::string &Path) const;
+  /// Merge entries from \p Path; returns false if unreadable.
+  bool load(const std::string &Path);
+
+private:
+  static std::string convKey(const ConvScenario &S,
+                             const std::string &PrimName);
+  static std::string transformKey(Layout From, Layout To,
+                                  const TensorShape &Shape);
+
+  std::unordered_map<std::string, double> ConvCosts;
+  std::unordered_map<std::string, double> TransformCosts;
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_COST_COSTDATABASE_H

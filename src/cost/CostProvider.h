@@ -1,0 +1,44 @@
+//===- cost/CostProvider.h - Cost source interface --------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface through which the selector obtains costs: either measured
+/// by the layerwise profiler (the paper's approach, §3.1) or estimated by
+/// the analytic machine model (our substitute for hardware we do not have).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_COST_COSTPROVIDER_H
+#define PRIMSEL_COST_COSTPROVIDER_H
+
+#include "nn/Graph.h"
+#include "nn/Layer.h"
+#include "primitives/Registry.h"
+#include "tensor/Layout.h"
+
+namespace primsel {
+
+/// Supplies the two cost kinds the PBQP formulation needs (paper §3.2):
+/// instance costs for (scenario, primitive) pairs, and data layout
+/// transformation costs for the tensors flowing along graph edges.
+class CostProvider {
+public:
+  virtual ~CostProvider();
+
+  /// Execution time, in milliseconds, of implementing \p S with primitive
+  /// \p Id. Only called when the primitive supports the scenario.
+  virtual double convCost(const ConvScenario &S, PrimitiveId Id) = 0;
+
+  /// Execution time, in milliseconds, of one *direct* transform routine
+  /// From -> To on a tensor of \p Shape. Only called for routines in
+  /// directTransformRoutines().
+  virtual double transformCost(Layout From, Layout To,
+                               const TensorShape &Shape) = 0;
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_COST_COSTPROVIDER_H

@@ -1,0 +1,29 @@
+//===- cost/MachineProfile.cpp --------------------------------------------===//
+
+#include "cost/MachineProfile.h"
+
+using namespace primsel;
+
+MachineProfile MachineProfile::haswell() {
+  MachineProfile P;
+  P.Name = "intel-haswell-i5-4570";
+  P.Cores = 4;
+  P.VectorWidth = 8; // AVX2, 8 x FP32
+  // 3.2 GHz x 8 lanes x 2 (FMA) = 51.2 GFLOP/s per core.
+  P.PeakGFlopsPerCore = 51.2;
+  P.MemBandwidthGBs = 21.0;
+  P.LastLevelCacheBytes = 6u << 20; // 6 MB L3
+  return P;
+}
+
+MachineProfile MachineProfile::cortexA57() {
+  MachineProfile P;
+  P.Name = "arm-cortex-a57";
+  P.Cores = 4;
+  P.VectorWidth = 4; // NEON, 4 x FP32
+  // 1.9 GHz x 4 lanes x 2 (FMA) = 15.2 GFLOP/s per core.
+  P.PeakGFlopsPerCore = 15.2;
+  P.MemBandwidthGBs = 12.0;
+  P.LastLevelCacheBytes = 2u << 20; // 2 MB shared L2, no L3
+  return P;
+}

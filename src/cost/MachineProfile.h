@@ -1,0 +1,48 @@
+//===- cost/MachineProfile.h - Target machine descriptions ------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coarse architectural descriptions of the paper's two evaluation targets,
+/// consumed by the analytic cost model. The analytic model substitutes for
+/// hardware we do not have (the ARM Cortex-A57 board) and for multi-core
+/// runs on single-core CI hosts; see the substitution table in DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_COST_MACHINEPROFILE_H
+#define PRIMSEL_COST_MACHINEPROFILE_H
+
+#include <cstddef>
+#include <string>
+
+namespace primsel {
+
+/// What the analytic cost model knows about a CPU.
+struct MachineProfile {
+  std::string Name;
+  /// Physical cores used by the multithreaded configuration.
+  unsigned Cores = 1;
+  /// SIMD lanes of FP32 (8 for AVX2, 4 for NEON).
+  unsigned VectorWidth = 1;
+  /// Peak per-core throughput in GFLOP/s (FMA counted as two ops).
+  double PeakGFlopsPerCore = 1.0;
+  /// Sustained memory bandwidth in GB/s shared by all cores.
+  double MemBandwidthGBs = 1.0;
+  /// Last-level cache size; working sets beyond it are penalized.
+  size_t LastLevelCacheBytes = 1 << 20;
+
+  /// Intel Core i5-4570 (Haswell, 4 cores, AVX2) -- the paper's desktop
+  /// target (§5.1).
+  static MachineProfile haswell();
+
+  /// ARM Cortex-A57 as in the NVIDIA Tegra X1 (4 cores, NEON, 2 MB L2) --
+  /// the paper's embedded target (§5.1).
+  static MachineProfile cortexA57();
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_COST_MACHINEPROFILE_H

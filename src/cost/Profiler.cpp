@@ -1,0 +1,99 @@
+//===- cost/Profiler.cpp --------------------------------------------------===//
+
+#include "cost/Profiler.h"
+
+#include "support/Timer.h"
+#include "tensor/Transform.h"
+
+#include <cassert>
+
+using namespace primsel;
+
+CostProvider::~CostProvider() = default;
+
+MeasuredCostProvider::MeasuredCostProvider(const PrimitiveLibrary &Lib,
+                                           const ProfilerOptions &Options)
+    : Lib(Lib), Options(Options) {
+  if (Options.Threads > 1)
+    Pool = std::make_unique<ThreadPool>(Options.Threads);
+}
+
+double MeasuredCostProvider::measureConv(const ConvScenario &S,
+                                         PrimitiveId Id) {
+  const ConvPrimitive &P = Lib.get(Id);
+  assert(P.supports(S) && "measuring an unsupported scenario");
+
+  Kernel4D Weights(S.M, S.C, S.K);
+  Weights.fillRandom(Options.Seed + 1);
+  // Profile on weights with the scenario's sparsity ratio so routines that
+  // exploit sparsity are measured on representative kernels (§8).
+  Weights.applySparsity(S.SparsityPct, Options.Seed + 2);
+
+  // One input/output pair per minibatch image (§8 extension; Batch is 1
+  // throughout the paper's own experiments).
+  std::vector<Tensor3D> In, Out;
+  for (int64_t B = 0; B < S.Batch; ++B) {
+    In.emplace_back(S.C, S.H, S.W, P.inputLayout());
+    In.back().fillRandom(Options.Seed + 3 + static_cast<uint64_t>(B));
+    Out.emplace_back(S.M, S.outHeight(), S.outWidth(), P.outputLayout());
+  }
+
+  std::unique_ptr<ConvInstance> Inst = P.instantiate(S, Weights);
+  RunContext Ctx{Pool.get()};
+  auto RunOnce = [&] {
+    if (S.Batch == 1)
+      Inst->run(In.front(), Out.front(), Ctx);
+    else
+      Inst->runBatch(In, Out, Ctx);
+  };
+  for (unsigned I = 0; I < Options.Warmups; ++I)
+    RunOnce();
+
+  double BestMillis = 0.0;
+  for (unsigned I = 0; I < std::max(1u, Options.Repeats); ++I) {
+    Timer T;
+    RunOnce();
+    double Millis = T.millis();
+    if (I == 0 || Millis < BestMillis)
+      BestMillis = Millis;
+  }
+  return BestMillis;
+}
+
+double MeasuredCostProvider::measureTransform(Layout From, Layout To,
+                                              const TensorShape &Shape) {
+  Tensor3D Src(Shape.C, Shape.H, Shape.W, From);
+  Src.fillRandom(Options.Seed);
+  Tensor3D Dst(Shape.C, Shape.H, Shape.W, To);
+
+  for (unsigned I = 0; I < Options.Warmups; ++I)
+    runTransform(Src, Dst);
+
+  double BestMillis = 0.0;
+  for (unsigned I = 0; I < std::max(1u, Options.Repeats); ++I) {
+    Timer T;
+    runTransform(Src, Dst);
+    double Millis = T.millis();
+    if (I == 0 || Millis < BestMillis)
+      BestMillis = Millis;
+  }
+  return BestMillis;
+}
+
+double MeasuredCostProvider::convCost(const ConvScenario &S, PrimitiveId Id) {
+  const std::string &Name = Lib.get(Id).name();
+  if (Cache.hasConvCost(S, Name))
+    return Cache.convCost(S, Name);
+  double Millis = measureConv(S, Id);
+  Cache.setConvCost(S, Name, Millis);
+  return Millis;
+}
+
+double MeasuredCostProvider::transformCost(Layout From, Layout To,
+                                           const TensorShape &Shape) {
+  if (Cache.hasTransformCost(From, To, Shape))
+    return Cache.transformCost(From, To, Shape);
+  double Millis = measureTransform(From, To, Shape);
+  Cache.setTransformCost(From, To, Shape, Millis);
+  return Millis;
+}

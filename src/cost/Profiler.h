@@ -1,0 +1,72 @@
+//===- cost/Profiler.h - Layerwise profiler ---------------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement half of the paper's two-stage solution (§3.1): "we
+/// profile the execution time of the primitive operating on tensors of the
+/// size used in the layer", on random inputs, because "the cost of execution
+/// of most DNN layers depends primarily on the dimensions of the input
+/// rather than on the actual input values" (§2.2). Identical scenarios are
+/// measured once ("Layerwise profiling need only be run once per hardware
+/// platform per DNN model", §4); results are cached in a CostDatabase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_COST_PROFILER_H
+#define PRIMSEL_COST_PROFILER_H
+
+#include "cost/CostDatabase.h"
+#include "cost/CostProvider.h"
+#include "support/ThreadPool.h"
+
+#include <memory>
+
+namespace primsel {
+
+/// Knobs for the profiler.
+struct ProfilerOptions {
+  /// Threads the measured configuration uses (1 = the paper's (S) rows).
+  unsigned Threads = 1;
+  /// Timed repetitions; the minimum is kept (least-noise estimator for a
+  /// deterministic workload).
+  unsigned Repeats = 1;
+  /// Untimed warm-up runs before measuring.
+  unsigned Warmups = 1;
+  /// Seed for the random inputs/weights.
+  uint64_t Seed = 42;
+};
+
+/// CostProvider that measures on first use and memoizes in a CostDatabase.
+class MeasuredCostProvider : public CostProvider {
+public:
+  MeasuredCostProvider(const PrimitiveLibrary &Lib,
+                       const ProfilerOptions &Options = {});
+
+  double convCost(const ConvScenario &S, PrimitiveId Id) override;
+  double transformCost(Layout From, Layout To,
+                       const TensorShape &Shape) override;
+
+  /// Measure one primitive on one scenario (no cache involvement).
+  double measureConv(const ConvScenario &S, PrimitiveId Id);
+  /// Measure one direct transform routine on one shape (no cache).
+  double measureTransform(Layout From, Layout To, const TensorShape &Shape);
+
+  /// The cache; expose it so tools can save/load it across processes.
+  CostDatabase &database() { return Cache; }
+  const CostDatabase &database() const { return Cache; }
+
+  unsigned threads() const { return Options.Threads; }
+
+private:
+  const PrimitiveLibrary &Lib;
+  ProfilerOptions Options;
+  CostDatabase Cache;
+  std::unique_ptr<ThreadPool> Pool;
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_COST_PROFILER_H

@@ -1,0 +1,102 @@
+//===- fft/FFT.cpp --------------------------------------------------------===//
+
+#include "fft/FFT.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace primsel;
+
+int64_t primsel::nextPow2(int64_t N) {
+  assert(N >= 1 && "nextPow2 of non-positive value");
+  int64_t P = 1;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+void primsel::fftInPlace(std::vector<std::complex<float>> &Data,
+                         bool Inverse) {
+  const size_t N = Data.size();
+  assert(N > 0 && (N & (N - 1)) == 0 && "FFT size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (size_t I = 1, J = 0; I < N; ++I) {
+    size_t Bit = N >> 1;
+    for (; J & Bit; Bit >>= 1)
+      J ^= Bit;
+    J ^= Bit;
+    if (I < J)
+      std::swap(Data[I], Data[J]);
+  }
+
+  for (size_t Len = 2; Len <= N; Len <<= 1) {
+    double Angle = 2.0 * M_PI / static_cast<double>(Len);
+    if (!Inverse)
+      Angle = -Angle;
+    std::complex<double> WLen(std::cos(Angle), std::sin(Angle));
+    for (size_t I = 0; I < N; I += Len) {
+      std::complex<double> W(1.0, 0.0);
+      for (size_t J = 0; J < Len / 2; ++J) {
+        std::complex<double> U(Data[I + J]);
+        std::complex<double> V(Data[I + J + Len / 2]);
+        V *= W;
+        Data[I + J] = std::complex<float>(U + V);
+        Data[I + J + Len / 2] = std::complex<float>(U - V);
+        W *= WLen;
+      }
+    }
+  }
+
+  if (Inverse) {
+    float Scale = 1.0f / static_cast<float>(N);
+    for (std::complex<float> &X : Data)
+      X *= Scale;
+  }
+}
+
+std::vector<std::complex<float>> primsel::realFFT(const float *Signal,
+                                                  int64_t SignalLen,
+                                                  int64_t FFTSize) {
+  assert(FFTSize >= SignalLen && "FFT size smaller than the signal");
+  std::vector<std::complex<float>> Data(static_cast<size_t>(FFTSize));
+  for (int64_t I = 0; I < SignalLen; ++I)
+    Data[static_cast<size_t>(I)] = std::complex<float>(Signal[I], 0.0f);
+  fftInPlace(Data, /*Inverse=*/false);
+  return Data;
+}
+
+std::vector<std::complex<float>>
+primsel::prepareTapSpectrum(const float *Taps, int64_t TapCount,
+                            int64_t FFTSize) {
+  // Correlation with taps t is convolution with reversed taps. Build the
+  // reversed tap signal and transform it once.
+  std::vector<float> Reversed(static_cast<size_t>(TapCount));
+  for (int64_t I = 0; I < TapCount; ++I)
+    Reversed[static_cast<size_t>(I)] = Taps[TapCount - 1 - I];
+  return realFFT(Reversed.data(), TapCount, FFTSize);
+}
+
+void primsel::fftCorrelate1D(
+    const float *Signal, int64_t SignalLen,
+    const std::vector<std::complex<float>> &TapSpectrum, int64_t TapCount,
+    float *Out, bool Accumulate) {
+  const int64_t FFTSize = static_cast<int64_t>(TapSpectrum.size());
+  assert(FFTSize >= SignalLen + TapCount - 1 &&
+         "FFT size too small for linear convolution");
+  std::vector<std::complex<float>> Freq = realFFT(Signal, SignalLen, FFTSize);
+  for (size_t I = 0; I < Freq.size(); ++I)
+    Freq[I] *= TapSpectrum[I];
+  fftInPlace(Freq, /*Inverse=*/true);
+
+  // Convolution with reversed taps places the valid correlation outputs at
+  // offsets [TapCount-1, SignalLen-1].
+  const int64_t NumOut = SignalLen - TapCount + 1;
+  for (int64_t I = 0; I < NumOut; ++I) {
+    float V = Freq[static_cast<size_t>(I + TapCount - 1)].real();
+    if (Accumulate)
+      Out[I] += V;
+    else
+      Out[I] = V;
+  }
+}

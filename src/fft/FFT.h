@@ -1,0 +1,56 @@
+//===- fft/FFT.h - FFT substrate for fft-family convolution -----*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative radix-2 complex FFT and 1D FFT convolution. The paper's fft
+/// family "computes 2D convolution as a sum of 1D FFT convolutions, which
+/// requires less space than 2D FFT convolution at the cost of more
+/// operations" (§4); primitives/FFTConv builds on the 1D routine here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_FFT_FFT_H
+#define PRIMSEL_FFT_FFT_H
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace primsel {
+
+/// Smallest power of two >= \p N (N >= 1).
+int64_t nextPow2(int64_t N);
+
+/// In-place radix-2 Cooley-Tukey FFT. \p Data size must be a power of two.
+/// \p Inverse selects the inverse transform (includes the 1/N scaling).
+void fftInPlace(std::vector<std::complex<float>> &Data, bool Inverse);
+
+/// Frequency-domain image of a real signal, zero-padded to \p FFTSize.
+/// \p FFTSize must be a power of two >= SignalLen.
+std::vector<std::complex<float>> realFFT(const float *Signal,
+                                         int64_t SignalLen, int64_t FFTSize);
+
+/// 1D *correlation* (the DNN convention for "convolution") of a signal of
+/// length \p SignalLen against a \p TapCount tap filter, producing
+/// SignalLen - TapCount + 1 valid outputs:
+///   Out[i] = sum_k Taps[k] * Signal[i + k]
+///
+/// The filter spectrum is supplied pre-computed (conjugated tap transform)
+/// so per-call work is one forward and one inverse FFT; kernels are
+/// transformed once at primitive setup.
+void fftCorrelate1D(const float *Signal, int64_t SignalLen,
+                    const std::vector<std::complex<float>> &TapSpectrum,
+                    int64_t TapCount, float *Out, bool Accumulate);
+
+/// Pre-compute the spectrum fftCorrelate1D expects for \p Taps.
+/// Correlation is implemented as convolution with the reversed taps.
+std::vector<std::complex<float>> prepareTapSpectrum(const float *Taps,
+                                                    int64_t TapCount,
+                                                    int64_t FFTSize);
+
+} // namespace primsel
+
+#endif // PRIMSEL_FFT_FFT_H

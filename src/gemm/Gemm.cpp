@@ -1,0 +1,115 @@
+//===- gemm/Gemm.cpp ------------------------------------------------------===//
+
+#include "gemm/Gemm.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace primsel;
+
+const char *primsel::gemmVariantName(GemmVariant V) {
+  switch (V) {
+  case GemmVariant::Naive:
+    return "naive";
+  case GemmVariant::Blocked:
+    return "blocked";
+  case GemmVariant::TransposedB:
+    return "Bt";
+  }
+  assert(false && "unknown gemm variant");
+  return "?";
+}
+
+namespace {
+
+void gemmRowNaive(int64_t I, int64_t N, int64_t K, const float *A,
+                  const float *B, float *CRow) {
+  const float *ARow = A + I * K;
+  for (int64_t J = 0; J < N; ++J) {
+    float Sum = 0.0f;
+    for (int64_t P = 0; P < K; ++P)
+      Sum += ARow[P] * B[P * N + J];
+    CRow[J] += Sum;
+  }
+}
+
+/// i-k-j ordering: stream through a row of B for each A element. This keeps
+/// the inner loop unit-stride in both B and C and lets the compiler
+/// vectorize it.
+void gemmRowBlocked(int64_t I, int64_t N, int64_t K, const float *A,
+                    const float *B, float *CRow) {
+  const float *ARow = A + I * K;
+  for (int64_t P = 0; P < K; ++P) {
+    float AV = ARow[P];
+    const float *BRow = B + P * N;
+    for (int64_t J = 0; J < N; ++J)
+      CRow[J] += AV * BRow[J];
+  }
+}
+
+/// B is stored transposed (N x K): both operands are read row-wise, so the
+/// dot product is two sequential streams. Good when N is small or K large.
+void gemmRowTransposedB(int64_t I, int64_t N, int64_t K, const float *A,
+                        const float *Bt, float *CRow) {
+  const float *ARow = A + I * K;
+  for (int64_t J = 0; J < N; ++J) {
+    const float *BRow = Bt + J * K;
+    float Sum = 0.0f;
+    for (int64_t P = 0; P < K; ++P)
+      Sum += ARow[P] * BRow[P];
+    CRow[J] += Sum;
+  }
+}
+
+} // namespace
+
+void primsel::sgemm(GemmVariant Variant, int64_t M, int64_t N, int64_t K,
+                    const float *A, const float *B, float *C, int64_t LdC,
+                    bool Accumulate, ThreadPool *Pool) {
+  assert(M >= 0 && N >= 0 && K >= 0 && "negative GEMM dimensions");
+  assert(LdC >= N && "C row stride shorter than row");
+
+  auto RunRow = [&](int64_t I) {
+    float *CRow = C + I * LdC;
+    if (!Accumulate)
+      std::memset(CRow, 0, static_cast<size_t>(N) * sizeof(float));
+    switch (Variant) {
+    case GemmVariant::Naive:
+      gemmRowNaive(I, N, K, A, B, CRow);
+      break;
+    case GemmVariant::Blocked:
+      gemmRowBlocked(I, N, K, A, B, CRow);
+      break;
+    case GemmVariant::TransposedB:
+      gemmRowTransposedB(I, N, K, A, B, CRow);
+      break;
+    }
+  };
+
+  if (Pool && Pool->numThreads() > 1) {
+    Pool->parallelFor(0, M, RunRow);
+    return;
+  }
+  for (int64_t I = 0; I < M; ++I)
+    RunRow(I);
+}
+
+void primsel::sgemv(int64_t M, int64_t K, const float *A, const float *X,
+                    float *Y, bool Accumulate, ThreadPool *Pool) {
+  auto RunRow = [&](int64_t I) {
+    const float *ARow = A + I * K;
+    float Sum = 0.0f;
+    for (int64_t P = 0; P < K; ++P)
+      Sum += ARow[P] * X[P];
+    Y[I] = Accumulate ? Y[I] + Sum : Sum;
+  };
+  if (Pool && Pool->numThreads() > 1) {
+    Pool->parallelFor(0, M, RunRow);
+    return;
+  }
+  for (int64_t I = 0; I < M; ++I)
+    RunRow(I);
+}

@@ -1,0 +1,130 @@
+//===- nn/Graph.cpp -------------------------------------------------------===//
+
+#include "nn/Graph.h"
+
+#include <cassert>
+
+using namespace primsel;
+
+NetworkGraph::NodeId NetworkGraph::addInput(const std::string &Name,
+                                            TensorShape Shape) {
+  assert(Shape.C > 0 && Shape.H > 0 && Shape.W > 0 && "bad input shape");
+  Node N;
+  N.L = Layer::input(Name);
+  N.OutShape = Shape;
+  Nodes.push_back(std::move(N));
+  return static_cast<NodeId>(Nodes.size() - 1);
+}
+
+/// Ceil-mode pooling output size (Caffe convention), clamped so the last
+/// window starts inside the padded input.
+static int64_t pooledExtent(int64_t In, int64_t K, int64_t Stride,
+                            int64_t Pad) {
+  int64_t Out = (In + 2 * Pad - K + Stride - 1) / Stride + 1;
+  if (Pad > 0 && (Out - 1) * Stride >= In + Pad)
+    --Out;
+  assert(Out > 0 && "pooling produced empty output");
+  return Out;
+}
+
+TensorShape NetworkGraph::inferShape(const Layer &L,
+                                     const std::vector<NodeId> &Inputs) const {
+  switch (L.Kind) {
+  case LayerKind::Input:
+    assert(false && "inputs use addInput");
+    return {};
+  case LayerKind::Conv: {
+    const TensorShape &In = Nodes[Inputs[0]].OutShape;
+    ConvScenario S{In.C,   In.H,          In.W,         L.Stride,
+                   L.KernelSize, L.OutChannels, L.Pad, L.SparsityPct};
+    assert(S.outHeight() > 0 && S.outWidth() > 0 &&
+           "convolution produces empty output");
+    return {S.M, S.outHeight(), S.outWidth()};
+  }
+  case LayerKind::MaxPool:
+  case LayerKind::AvgPool: {
+    const TensorShape &In = Nodes[Inputs[0]].OutShape;
+    return {In.C, pooledExtent(In.H, L.KernelSize, L.Stride, L.Pad),
+            pooledExtent(In.W, L.KernelSize, L.Stride, L.Pad)};
+  }
+  case LayerKind::FullyConnected:
+    return {L.OutChannels, 1, 1};
+  case LayerKind::Concat: {
+    TensorShape Out = Nodes[Inputs[0]].OutShape;
+    for (size_t I = 1; I < Inputs.size(); ++I) {
+      const TensorShape &In = Nodes[Inputs[I]].OutShape;
+      assert(In.H == Out.H && In.W == Out.W &&
+             "concat inputs must agree on spatial dims");
+      Out.C += In.C;
+    }
+    return Out;
+  }
+  case LayerKind::ReLU:
+  case LayerKind::LRN:
+  case LayerKind::Softmax:
+  case LayerKind::Dropout:
+    return Nodes[Inputs[0]].OutShape;
+  }
+  assert(false && "unknown layer kind");
+  return {};
+}
+
+NetworkGraph::NodeId NetworkGraph::addLayer(Layer L,
+                                            const std::vector<NodeId> &Inputs) {
+  assert(!Inputs.empty() && "non-input layers need at least one input");
+  assert((L.Kind == LayerKind::Concat || Inputs.size() == 1) &&
+         "only concat takes multiple inputs");
+  for (NodeId In : Inputs)
+    assert(In < Nodes.size() && "input node does not exist (topology order)");
+
+  Node N;
+  N.L = std::move(L);
+  N.Inputs = Inputs;
+  N.OutShape = inferShape(N.L, Inputs);
+  if (N.L.Kind == LayerKind::Conv) {
+    const TensorShape &In = Nodes[Inputs[0]].OutShape;
+    N.Scenario =
+        ConvScenario{In.C,           In.H,            In.W,    N.L.Stride,
+                     N.L.KernelSize, N.L.OutChannels, N.L.Pad, N.L.SparsityPct};
+  }
+  N.Scenario.Batch = Batch;
+  NodeId Id = static_cast<NodeId>(Nodes.size());
+  for (NodeId In : Inputs)
+    Nodes[In].Consumers.push_back(Id);
+  Nodes.push_back(std::move(N));
+  return Id;
+}
+
+void NetworkGraph::setBatch(int64_t NewBatch) {
+  assert(NewBatch >= 1 && "batch must be positive");
+  Batch = NewBatch;
+  // Batch does not affect per-image shapes, so retroactive application to
+  // already-added conv nodes is safe.
+  for (Node &N : Nodes)
+    if (N.L.Kind == LayerKind::Conv)
+      N.Scenario.Batch = NewBatch;
+}
+
+std::vector<NetworkGraph::NodeId> NetworkGraph::convNodes() const {
+  std::vector<NodeId> Out;
+  for (NodeId N = 0; N < Nodes.size(); ++N)
+    if (Nodes[N].L.Kind == LayerKind::Conv)
+      Out.push_back(N);
+  return Out;
+}
+
+std::vector<NetworkGraph::NodeId> NetworkGraph::outputs() const {
+  std::vector<NodeId> Out;
+  for (NodeId N = 0; N < Nodes.size(); ++N)
+    if (Nodes[N].Consumers.empty())
+      Out.push_back(N);
+  return Out;
+}
+
+double NetworkGraph::totalConvMacs() const {
+  double Total = 0.0;
+  for (const Node &N : Nodes)
+    if (N.L.Kind == LayerKind::Conv)
+      Total += N.Scenario.macs();
+  return Total;
+}

@@ -1,0 +1,97 @@
+//===- nn/Graph.h - DNN layer graph -----------------------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DNN graph IR: a DAG of layers executed in topological order (paper
+/// §2: "each layer of the graph is executed in topological order. Data flows
+/// between layers along directed edges ... similar to data dependences in a
+/// basic block"). Shapes are inferred at construction, so every conv node
+/// knows its ConvScenario statically (§3.1: "the dimensions of all inputs to
+/// DNN layers are known statically").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_NN_GRAPH_H
+#define PRIMSEL_NN_GRAPH_H
+
+#include "nn/Layer.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace primsel {
+
+/// Logical C x H x W shape of a tensor flowing along a graph edge.
+struct TensorShape {
+  int64_t C = 0;
+  int64_t H = 0;
+  int64_t W = 0;
+
+  int64_t elements() const { return C * H * W; }
+  bool operator==(const TensorShape &O) const {
+    return C == O.C && H == O.H && W == O.W;
+  }
+};
+
+/// A DAG of layers. Nodes are appended in topological order (every input of
+/// a node must already exist), which keeps execution order trivial.
+class NetworkGraph {
+public:
+  using NodeId = uint32_t;
+
+  struct Node {
+    Layer L;
+    std::vector<NodeId> Inputs;
+    std::vector<NodeId> Consumers; ///< reverse edges, maintained by addLayer
+    TensorShape OutShape;
+    /// Valid only for Conv nodes: the scenario of this layer.
+    ConvScenario Scenario;
+  };
+
+  explicit NetworkGraph(std::string Name) : NetName(std::move(Name)) {}
+
+  const std::string &name() const { return NetName; }
+
+  /// Append an input layer with an explicit shape.
+  NodeId addInput(const std::string &Name, TensorShape Shape);
+
+  /// Append \p L consuming the outputs of \p Inputs; infers the output
+  /// shape. Concat accepts multiple inputs; every other kind exactly one.
+  NodeId addLayer(Layer L, const std::vector<NodeId> &Inputs);
+
+  unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
+  const Node &node(NodeId N) const { return Nodes[N]; }
+  const std::vector<Node> &nodes() const { return Nodes; }
+
+  /// Ids of all Conv nodes, in topological order.
+  std::vector<NodeId> convNodes() const;
+
+  /// Nodes with no consumers (network outputs).
+  std::vector<NodeId> outputs() const;
+
+  /// Total conv multiply-accumulate work of the whole network.
+  double totalConvMacs() const;
+
+  /// Set the inference minibatch size (§8 extension; default 1, the
+  /// paper's latency-sensitive configuration). Applies to every conv
+  /// scenario, including nodes added before the call; per-image tensor
+  /// shapes are unaffected.
+  void setBatch(int64_t NewBatch);
+  int64_t batch() const { return Batch; }
+
+private:
+  TensorShape inferShape(const Layer &L,
+                         const std::vector<NodeId> &Inputs) const;
+
+  std::string NetName;
+  std::vector<Node> Nodes;
+  int64_t Batch = 1;
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_NN_GRAPH_H

@@ -1,0 +1,69 @@
+//===- nn/Layer.cpp -------------------------------------------------------===//
+
+#include "nn/Layer.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace primsel;
+
+std::string ConvScenario::key() const {
+  std::ostringstream OS;
+  OS << "c" << C << "_h" << H << "_w" << W << "_s" << Stride << "_k" << K
+     << "_m" << M << "_p" << Pad;
+  // Dense scenarios keep the historical key so shipped cost tables stay
+  // valid; the sparsity suffix only appears for the future-work extension.
+  if (SparsityPct > 0)
+    OS << "_sp" << SparsityPct;
+  // Batch-1 scenarios likewise keep the historical key (§8 minibatch
+  // extension).
+  if (Batch != 1)
+    OS << "_b" << Batch;
+  return OS.str();
+}
+
+size_t ConvScenarioHash::operator()(const ConvScenario &S) const {
+  // FNV-style mix of the scenario fields.
+  size_t Hash = 1469598103934665603ull;
+  auto Mix = [&Hash](int64_t V) {
+    Hash ^= static_cast<size_t>(V);
+    Hash *= 1099511628211ull;
+  };
+  Mix(S.C);
+  Mix(S.H);
+  Mix(S.W);
+  Mix(S.Stride);
+  Mix(S.K);
+  Mix(S.M);
+  Mix(S.Pad);
+  Mix(S.SparsityPct);
+  Mix(S.Batch);
+  return Hash;
+}
+
+const char *primsel::layerKindName(LayerKind K) {
+  switch (K) {
+  case LayerKind::Input:
+    return "input";
+  case LayerKind::Conv:
+    return "conv";
+  case LayerKind::ReLU:
+    return "relu";
+  case LayerKind::MaxPool:
+    return "maxpool";
+  case LayerKind::AvgPool:
+    return "avgpool";
+  case LayerKind::LRN:
+    return "lrn";
+  case LayerKind::FullyConnected:
+    return "fc";
+  case LayerKind::Concat:
+    return "concat";
+  case LayerKind::Softmax:
+    return "softmax";
+  case LayerKind::Dropout:
+    return "dropout";
+  }
+  assert(false && "unknown layer kind");
+  return "?";
+}

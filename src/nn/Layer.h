@@ -1,0 +1,204 @@
+//===- nn/Layer.h - DNN layer descriptors -----------------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Layer descriptors for the DNN graph IR (paper §2: "A deep neural network
+/// consists of a directed graph of layers"). Convolution layers carry the
+/// paper's scenario tuple; every other layer kind is a "dummy" node for the
+/// purposes of primitive selection (§5.2) but is still executed for real by
+/// the runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_NN_LAYER_H
+#define PRIMSEL_NN_LAYER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace primsel {
+
+/// The paper's convolutional scenario 6-tuple {C, H, W, delta, K, M} (§3),
+/// extended with padding so the public AlexNet/VGG/GoogLeNet models can be
+/// expressed (see the deviation note in DESIGN.md). Minibatch size is fixed
+/// at 1 as in the paper ("our application context is highly latency
+/// sensitive ... considers only a minibatch size of 1").
+struct ConvScenario {
+  int64_t C = 0;      ///< input feature maps
+  int64_t H = 0;      ///< input feature map height
+  int64_t W = 0;      ///< input feature map width
+  int64_t Stride = 1; ///< delta, the convolution stride
+  int64_t K = 0;      ///< radix of the (square) filters
+  int64_t M = 0;      ///< output feature maps
+  int64_t Pad = 0;    ///< symmetric zero padding
+  /// Kernel sparsity ratio in percent (0 = dense). The paper's Future Work
+  /// extension (§8): "our approach can be used to decide whether a dense or
+  /// a sparse implementation ... will be faster for any given convolutional
+  /// layer, with the addition of a kernel sparsity ratio parameter to the
+  /// formulation."
+  int64_t SparsityPct = 0;
+  /// Minibatch size. The paper fixes batch 1 (§3) but names the extension
+  /// in §8: "this can be encoded with another integer parameter to the
+  /// model (the minibatch size). This would enable our optimization
+  /// approach to select either parallel GEMM or minibatch parallelism on a
+  /// per-layer basis." See batch/Minibatch.h.
+  int64_t Batch = 1;
+
+  int64_t outHeight() const { return (H + 2 * Pad - K) / Stride + 1; }
+  int64_t outWidth() const { return (W + 2 * Pad - K) / Stride + 1; }
+  int64_t paddedHeight() const { return H + 2 * Pad; }
+  int64_t paddedWidth() const { return W + 2 * Pad; }
+
+  /// Multiply-accumulate count, O(H x W x C x K^2 x M) (paper §2.1), with
+  /// stride reducing the output plane and the batch scaling total work.
+  double macs() const {
+    return static_cast<double>(outHeight()) * outWidth() * C * K * K * M *
+           Batch;
+  }
+
+  /// The same scenario at minibatch size 1 (the per-image subproblem the
+  /// base primitives implement).
+  ConvScenario singleImage() const {
+    ConvScenario S = *this;
+    S.Batch = 1;
+    return S;
+  }
+
+  bool operator==(const ConvScenario &O) const {
+    return C == O.C && H == O.H && W == O.W && Stride == O.Stride &&
+           K == O.K && M == O.M && Pad == O.Pad &&
+           SparsityPct == O.SparsityPct && Batch == O.Batch;
+  }
+
+  /// Fraction of non-zero kernel weights, in [0, 1].
+  double density() const {
+    return 1.0 - static_cast<double>(SparsityPct) / 100.0;
+  }
+
+  /// Stable text key, e.g. "c64_h56_w56_s1_k3_m128_p1"; used by the cost
+  /// database on disk.
+  std::string key() const;
+};
+
+/// Hash for use in unordered maps keyed by scenario.
+struct ConvScenarioHash {
+  size_t operator()(const ConvScenario &S) const;
+};
+
+/// Kinds of layers appearing in the evaluated networks.
+enum class LayerKind : uint8_t {
+  Input,          ///< network input placeholder
+  Conv,           ///< multi-channel multi-kernel convolution (§2.1)
+  ReLU,           ///< rectified linear activation
+  MaxPool,        ///< max pooling (ceil-mode output dims, Caffe convention)
+  AvgPool,        ///< average pooling
+  LRN,            ///< local response normalization (AlexNet/GoogLeNet)
+  FullyConnected, ///< dense layer; consumes the flattened input
+  Concat,         ///< channel-wise concatenation (GoogLeNet inception)
+  Softmax,        ///< final classifier normalization
+  Dropout,        ///< identity at inference time
+};
+
+const char *layerKindName(LayerKind K);
+
+/// True for layer kinds that are modelled as zero-cost wildcard-layout
+/// "dummy" nodes in the PBQP formulation (every kind except Conv; §5.2).
+inline bool isDummyKind(LayerKind K) { return K != LayerKind::Conv; }
+
+/// A single layer: kind, name, and the parameters relevant to its kind.
+struct Layer {
+  LayerKind Kind = LayerKind::Input;
+  std::string Name;
+
+  // Conv / pooling parameters (K/Stride/Pad also used by pooling).
+  int64_t OutChannels = 0; ///< Conv M, or FullyConnected output units
+  int64_t KernelSize = 0;
+  int64_t Stride = 1;
+  int64_t Pad = 0;
+  int64_t SparsityPct = 0; ///< conv kernel sparsity ratio (§8 extension)
+
+  static Layer input(std::string Name) {
+    Layer L;
+    L.Kind = LayerKind::Input;
+    L.Name = std::move(Name);
+    return L;
+  }
+  static Layer conv(std::string Name, int64_t OutChannels, int64_t KernelSize,
+                    int64_t Stride = 1, int64_t Pad = 0,
+                    int64_t SparsityPct = 0) {
+    Layer L;
+    L.Kind = LayerKind::Conv;
+    L.Name = std::move(Name);
+    L.OutChannels = OutChannels;
+    L.KernelSize = KernelSize;
+    L.Stride = Stride;
+    L.Pad = Pad;
+    L.SparsityPct = SparsityPct;
+    return L;
+  }
+  static Layer relu(std::string Name) {
+    Layer L;
+    L.Kind = LayerKind::ReLU;
+    L.Name = std::move(Name);
+    return L;
+  }
+  static Layer maxPool(std::string Name, int64_t KernelSize, int64_t Stride,
+                       int64_t Pad = 0) {
+    Layer L;
+    L.Kind = LayerKind::MaxPool;
+    L.Name = std::move(Name);
+    L.KernelSize = KernelSize;
+    L.Stride = Stride;
+    L.Pad = Pad;
+    return L;
+  }
+  static Layer avgPool(std::string Name, int64_t KernelSize, int64_t Stride,
+                       int64_t Pad = 0) {
+    Layer L;
+    L.Kind = LayerKind::AvgPool;
+    L.Name = std::move(Name);
+    L.KernelSize = KernelSize;
+    L.Stride = Stride;
+    L.Pad = Pad;
+    return L;
+  }
+  static Layer lrn(std::string Name) {
+    Layer L;
+    L.Kind = LayerKind::LRN;
+    L.Name = std::move(Name);
+    return L;
+  }
+  static Layer fullyConnected(std::string Name, int64_t OutUnits) {
+    Layer L;
+    L.Kind = LayerKind::FullyConnected;
+    L.Name = std::move(Name);
+    L.OutChannels = OutUnits;
+    return L;
+  }
+  static Layer concat(std::string Name) {
+    Layer L;
+    L.Kind = LayerKind::Concat;
+    L.Name = std::move(Name);
+    return L;
+  }
+  static Layer softmax(std::string Name) {
+    Layer L;
+    L.Kind = LayerKind::Softmax;
+    L.Name = std::move(Name);
+    return L;
+  }
+  static Layer dropout(std::string Name) {
+    Layer L;
+    L.Kind = LayerKind::Dropout;
+    L.Name = std::move(Name);
+    return L;
+  }
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_NN_LAYER_H

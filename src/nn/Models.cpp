@@ -1,0 +1,346 @@
+//===- nn/Models.cpp ------------------------------------------------------===//
+
+#include "nn/Models.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+using namespace primsel;
+
+using NodeId = NetworkGraph::NodeId;
+
+/// Scale a spatial extent, keeping it large enough for the front K=11/K=7
+/// layers to stay valid.
+static int64_t scaled(int64_t Extent, double Scale) {
+  int64_t S = static_cast<int64_t>(std::llround(Extent * Scale));
+  return std::max<int64_t>(S, 32);
+}
+
+namespace {
+
+/// Convenience builder that threads the "current" node through a chain.
+class ChainBuilder {
+public:
+  ChainBuilder(NetworkGraph &G, NodeId Start) : G(G), Current(Start) {}
+
+  NodeId conv(const std::string &Name, int64_t M, int64_t K, int64_t Stride = 1,
+              int64_t Pad = 0, bool FollowWithRelu = true) {
+    Current = G.addLayer(Layer::conv(Name, M, K, Stride, Pad), {Current});
+    if (FollowWithRelu)
+      Current = G.addLayer(Layer::relu(Name + "_relu"), {Current});
+    return Current;
+  }
+  NodeId maxPool(const std::string &Name, int64_t K, int64_t Stride,
+                 int64_t Pad = 0) {
+    Current = G.addLayer(Layer::maxPool(Name, K, Stride, Pad), {Current});
+    return Current;
+  }
+  NodeId avgPool(const std::string &Name, int64_t K, int64_t Stride) {
+    Current = G.addLayer(Layer::avgPool(Name, K, Stride), {Current});
+    return Current;
+  }
+  NodeId lrn(const std::string &Name) {
+    Current = G.addLayer(Layer::lrn(Name), {Current});
+    return Current;
+  }
+  NodeId fc(const std::string &Name, int64_t Units, bool FollowWithRelu) {
+    Current = G.addLayer(Layer::fullyConnected(Name, Units), {Current});
+    if (FollowWithRelu)
+      Current = G.addLayer(Layer::relu(Name + "_relu"), {Current});
+    return Current;
+  }
+  NodeId dropout(const std::string &Name) {
+    Current = G.addLayer(Layer::dropout(Name), {Current});
+    return Current;
+  }
+  NodeId softmax(const std::string &Name) {
+    Current = G.addLayer(Layer::softmax(Name), {Current});
+    return Current;
+  }
+  NodeId current() const { return Current; }
+  void setCurrent(NodeId N) { Current = N; }
+
+private:
+  NetworkGraph &G;
+  NodeId Current;
+};
+
+} // namespace
+
+NetworkGraph primsel::alexNet(double Scale) {
+  NetworkGraph G("alexnet");
+  int64_t In = scaled(227, Scale);
+  ChainBuilder B(G, G.addInput("data", {3, In, In}));
+  B.conv("conv1", 96, 11, 4, 0);
+  B.lrn("norm1");
+  B.maxPool("pool1", 3, 2);
+  B.conv("conv2", 256, 5, 1, 2);
+  B.lrn("norm2");
+  B.maxPool("pool2", 3, 2);
+  B.conv("conv3", 384, 3, 1, 1);
+  B.conv("conv4", 384, 3, 1, 1);
+  B.conv("conv5", 256, 3, 1, 1);
+  B.maxPool("pool5", 3, 2);
+  B.fc("fc6", 4096, true);
+  B.dropout("drop6");
+  B.fc("fc7", 4096, true);
+  B.dropout("drop7");
+  B.fc("fc8", 1000, false);
+  B.softmax("prob");
+  return G;
+}
+
+/// Shared VGG scaffold: \p Stages lists the conv layers per stage as
+/// (OutChannels, KernelSize) pairs; a 2x2 max pool follows each stage.
+static NetworkGraph
+buildVgg(const std::string &Name, double Scale,
+         const std::vector<std::vector<std::pair<int64_t, int64_t>>> &Stages) {
+  NetworkGraph G(Name);
+  int64_t In = scaled(224, Scale);
+  ChainBuilder B(G, G.addInput("data", {3, In, In}));
+  int StageIdx = 1;
+  for (const auto &Stage : Stages) {
+    int ConvIdx = 1;
+    for (const auto &[M, K] : Stage) {
+      std::string LayerName = "conv" + std::to_string(StageIdx) + "_" +
+                              std::to_string(ConvIdx++);
+      B.conv(LayerName, M, K, 1, (K - 1) / 2);
+    }
+    B.maxPool("pool" + std::to_string(StageIdx), 2, 2);
+    ++StageIdx;
+  }
+  B.fc("fc6", 4096, true);
+  B.dropout("drop6");
+  B.fc("fc7", 4096, true);
+  B.dropout("drop7");
+  B.fc("fc8", 1000, false);
+  B.softmax("prob");
+  return G;
+}
+
+NetworkGraph primsel::vggB(double Scale) {
+  return buildVgg("vgg-b", Scale,
+                  {{{64, 3}, {64, 3}},
+                   {{128, 3}, {128, 3}},
+                   {{256, 3}, {256, 3}},
+                   {{512, 3}, {512, 3}},
+                   {{512, 3}, {512, 3}}});
+}
+
+NetworkGraph primsel::vggC(double Scale) {
+  return buildVgg("vgg-c", Scale,
+                  {{{64, 3}, {64, 3}},
+                   {{128, 3}, {128, 3}},
+                   {{256, 3}, {256, 3}, {256, 1}},
+                   {{512, 3}, {512, 3}, {512, 1}},
+                   {{512, 3}, {512, 3}, {512, 1}}});
+}
+
+NetworkGraph primsel::vggD(double Scale) {
+  return buildVgg("vgg-d", Scale,
+                  {{{64, 3}, {64, 3}},
+                   {{128, 3}, {128, 3}},
+                   {{256, 3}, {256, 3}, {256, 3}},
+                   {{512, 3}, {512, 3}, {512, 3}},
+                   {{512, 3}, {512, 3}, {512, 3}}});
+}
+
+NetworkGraph primsel::vggE(double Scale) {
+  return buildVgg("vgg-e", Scale,
+                  {{{64, 3}, {64, 3}},
+                   {{128, 3}, {128, 3}},
+                   {{256, 3}, {256, 3}, {256, 3}, {256, 3}},
+                   {{512, 3}, {512, 3}, {512, 3}, {512, 3}},
+                   {{512, 3}, {512, 3}, {512, 3}, {512, 3}}});
+}
+
+/// One inception module (paper Figure 3): four parallel towers joined by a
+/// channel concat.
+static NodeId inception(NetworkGraph &G, NodeId In, const std::string &Name,
+                        int64_t P1x1, int64_t P3x3Reduce, int64_t P3x3,
+                        int64_t P5x5Reduce, int64_t P5x5, int64_t PoolProj) {
+  auto ConvRelu = [&](NodeId From, const std::string &LayerName, int64_t M,
+                      int64_t K, int64_t Pad) {
+    NodeId C = G.addLayer(Layer::conv(LayerName, M, K, 1, Pad), {From});
+    return G.addLayer(Layer::relu(LayerName + "_relu"), {C});
+  };
+  NodeId T1 = ConvRelu(In, Name + "_1x1", P1x1, 1, 0);
+  NodeId T2R = ConvRelu(In, Name + "_3x3_reduce", P3x3Reduce, 1, 0);
+  NodeId T2 = ConvRelu(T2R, Name + "_3x3", P3x3, 3, 1);
+  NodeId T3R = ConvRelu(In, Name + "_5x5_reduce", P5x5Reduce, 1, 0);
+  NodeId T3 = ConvRelu(T3R, Name + "_5x5", P5x5, 5, 2);
+  NodeId Pool = G.addLayer(Layer::maxPool(Name + "_pool", 3, 1, 1), {In});
+  NodeId T4 = ConvRelu(Pool, Name + "_pool_proj", PoolProj, 1, 0);
+  return G.addLayer(Layer::concat(Name + "_output"), {T1, T2, T3, T4});
+}
+
+NetworkGraph primsel::googLeNet(double Scale) {
+  NetworkGraph G("googlenet");
+  int64_t In = scaled(224, Scale);
+  ChainBuilder B(G, G.addInput("data", {3, In, In}));
+  B.conv("conv1_7x7_s2", 64, 7, 2, 3);
+  B.maxPool("pool1_3x3_s2", 3, 2);
+  B.lrn("pool1_norm1");
+  B.conv("conv2_3x3_reduce", 64, 1, 1, 0);
+  B.conv("conv2_3x3", 192, 3, 1, 1);
+  B.lrn("conv2_norm2");
+  B.maxPool("pool2_3x3_s2", 3, 2);
+
+  NodeId N = B.current();
+  N = inception(G, N, "inception_3a", 64, 96, 128, 16, 32, 32);
+  N = inception(G, N, "inception_3b", 128, 128, 192, 32, 96, 64);
+  N = G.addLayer(Layer::maxPool("pool3_3x3_s2", 3, 2), {N});
+  N = inception(G, N, "inception_4a", 192, 96, 208, 16, 48, 64);
+  N = inception(G, N, "inception_4b", 160, 112, 224, 24, 64, 64);
+  N = inception(G, N, "inception_4c", 128, 128, 256, 24, 64, 64);
+  N = inception(G, N, "inception_4d", 112, 144, 288, 32, 64, 64);
+  N = inception(G, N, "inception_4e", 256, 160, 320, 32, 128, 128);
+  N = G.addLayer(Layer::maxPool("pool4_3x3_s2", 3, 2), {N});
+  N = inception(G, N, "inception_5a", 256, 160, 320, 32, 128, 128);
+  N = inception(G, N, "inception_5b", 384, 192, 384, 48, 128, 128);
+  B.setCurrent(N);
+
+  // Global average pooling: kernel spans whatever spatial extent remains.
+  const TensorShape &Shape = G.node(B.current()).OutShape;
+  B.avgPool("pool5", Shape.H, 1);
+  B.dropout("pool5_drop");
+  B.fc("loss3_classifier", 1000, false);
+  B.softmax("prob");
+  return G;
+}
+
+NetworkGraph primsel::tinyChain(int64_t InputSize) {
+  NetworkGraph G("tiny-chain");
+  ChainBuilder B(G, G.addInput("data", {3, InputSize, InputSize}));
+  B.conv("conv1", 16, 3, 1, 1);
+  B.maxPool("pool1", 2, 2);
+  B.conv("conv2", 32, 3, 1, 1);
+  B.conv("conv3", 32, 1, 1, 0);
+  B.fc("fc", 10, false);
+  B.softmax("prob");
+  return G;
+}
+
+NetworkGraph primsel::tinyDag(int64_t InputSize) {
+  NetworkGraph G("tiny-dag");
+  NodeId In = G.addInput("data", {8, InputSize, InputSize});
+  NodeId Stem = G.addLayer(Layer::conv("stem", 16, 3, 1, 1), {In});
+  NodeId N = inception(G, Stem, "mix", 8, 8, 16, 4, 8, 8);
+  NodeId Pool = G.addLayer(Layer::maxPool("pool", 2, 2), {N});
+  NodeId Fc = G.addLayer(Layer::fullyConnected("fc", 10), {Pool});
+  G.addLayer(Layer::softmax("prob"), {Fc});
+  return G;
+}
+
+std::optional<NetworkGraph> primsel::buildModel(const std::string &Name,
+                                                double Scale) {
+  if (Name == "alexnet")
+    return alexNet(Scale);
+  if (Name == "vgg-b")
+    return vggB(Scale);
+  if (Name == "vgg-c")
+    return vggC(Scale);
+  if (Name == "vgg-d")
+    return vggD(Scale);
+  if (Name == "vgg-e")
+    return vggE(Scale);
+  if (Name == "googlenet")
+    return googLeNet(Scale);
+  return std::nullopt;
+}
+
+std::vector<std::string> primsel::modelNames() {
+  return {"alexnet", "vgg-b", "vgg-c", "vgg-d", "vgg-e", "googlenet"};
+}
+
+NetworkGraph primsel::randomNetwork(uint64_t Seed, int64_t InputSize,
+                                    unsigned Stages) {
+  assert(InputSize >= 8 && "input too small for a random network");
+  Rng R(Seed);
+  NetworkGraph G("random-" + std::to_string(Seed));
+
+  int64_t Channels = 2 + static_cast<int64_t>(R.nextBelow(4));
+  NodeId Input = G.addInput("data", {Channels, InputSize, InputSize});
+
+  // Frontier nodes all share one spatial extent per stage, so concat is
+  // always legal within a stage; pooling ends a stage and shrinks it.
+  std::vector<NodeId> Frontier = {Input};
+  unsigned Serial = 0;
+  auto Name = [&Serial](const char *Kind) {
+    return std::string(Kind) + "_" + std::to_string(Serial++);
+  };
+  auto PickFrontier = [&] {
+    return Frontier[R.nextBelow(Frontier.size())];
+  };
+
+  int64_t Extent = InputSize;
+  for (unsigned Stage = 0; Stage < Stages; ++Stage) {
+    unsigned Ops = 2 + static_cast<unsigned>(R.nextBelow(4));
+    for (unsigned Op = 0; Op < Ops; ++Op) {
+      switch (R.nextBelow(6)) {
+      case 0:
+      case 1:
+      case 2: { // conv, spatial-preserving (pad = K/2)
+        int64_t K = std::array<int64_t, 3>{1, 3, 5}[R.nextBelow(3)];
+        if (K >= Extent)
+          K = 1;
+        int64_t M = 2 + static_cast<int64_t>(R.nextBelow(14));
+        int64_t Sparsity = R.nextBelow(4) == 0
+                               ? static_cast<int64_t>(R.nextBelow(90))
+                               : 0;
+        Frontier.push_back(G.addLayer(
+            Layer::conv(Name("conv"), M, K, 1, K / 2, Sparsity),
+            {PickFrontier()}));
+        break;
+      }
+      case 3: // activation
+        Frontier.push_back(
+            G.addLayer(Layer::relu(Name("relu")), {PickFrontier()}));
+        break;
+      case 4: // normalization
+        Frontier.push_back(
+            G.addLayer(Layer::lrn(Name("lrn")), {PickFrontier()}));
+        break;
+      case 5: { // concat of two distinct frontier nodes, when available
+        if (Frontier.size() < 2) {
+          Frontier.push_back(
+              G.addLayer(Layer::relu(Name("relu")), {PickFrontier()}));
+          break;
+        }
+        NodeId A = PickFrontier();
+        NodeId B = PickFrontier();
+        if (A == B) {
+          Frontier.push_back(
+              G.addLayer(Layer::dropout(Name("drop")), {A}));
+          break;
+        }
+        Frontier.push_back(
+            G.addLayer(Layer::concat(Name("concat")), {A, B}));
+        break;
+      }
+      }
+    }
+    // End the stage: pool one node down and restart the frontier from it,
+    // unless the plane is already tiny.
+    if (Extent >= 8) {
+      bool Max = R.nextBelow(2) == 0;
+      Layer Pool = Max ? Layer::maxPool(Name("maxpool"), 2, 2)
+                       : Layer::avgPool(Name("avgpool"), 2, 2);
+      NodeId Pooled = G.addLayer(std::move(Pool), {PickFrontier()});
+      Frontier = {Pooled};
+      Extent = G.node(Pooled).OutShape.H;
+    }
+  }
+
+  // A classifier head on one frontier node; the rest stay as extra outputs
+  // (multi-output networks are legal and exercised this way).
+  NodeId Head = G.addLayer(
+      Layer::fullyConnected(Name("fc"), 4 + static_cast<int64_t>(R.nextBelow(12))),
+      {PickFrontier()});
+  G.addLayer(Layer::softmax(Name("softmax")), {Head});
+  return G;
+}

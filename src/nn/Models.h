@@ -1,0 +1,68 @@
+//===- nn/Models.h - The evaluated network architectures --------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the network architectures the paper evaluates (§5.2):
+/// AlexNet, the VGG family (B, C, D, E) and GoogLeNet. The \p Scale
+/// parameter shrinks the spatial input resolution (1.0 = the published
+/// 224x224-class inputs) so the profiling-based benchmarks fit a CI budget;
+/// see the substitution table in DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_NN_MODELS_H
+#define PRIMSEL_NN_MODELS_H
+
+#include "nn/Graph.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace primsel {
+
+/// AlexNet (Krizhevsky et al.), one-tower variant: 5 conv layers,
+/// conv1 K=11 stride 4, conv2 K=5, conv3..5 K=3. Grouped convolutions are
+/// flattened to group=1 (see DESIGN.md).
+NetworkGraph alexNet(double Scale = 1.0);
+
+/// VGG configuration B: 10 conv layers, all 3x3.
+NetworkGraph vggB(double Scale = 1.0);
+/// VGG configuration C: 13 conv layers, three of them 1x1.
+NetworkGraph vggC(double Scale = 1.0);
+/// VGG configuration D (a.k.a. VGG-16): 13 conv layers, all 3x3.
+NetworkGraph vggD(double Scale = 1.0);
+/// VGG configuration E (a.k.a. VGG-19): 16 conv layers, all 3x3.
+NetworkGraph vggE(double Scale = 1.0);
+
+/// GoogLeNet (Szegedy et al.): 9 inception modules (Figure 3 of the paper
+/// shows one), 57 conv layers total, without the auxiliary classifiers.
+NetworkGraph googLeNet(double Scale = 1.0);
+
+/// A small linear conv chain for tests and the quickstart example.
+NetworkGraph tinyChain(int64_t InputSize = 32);
+
+/// A small DAG with one inception-style branch/concat for tests.
+NetworkGraph tinyDag(int64_t InputSize = 32);
+
+/// A pseudo-random, always-valid DAG for fuzz and property tests: conv /
+/// activation / LRN / concat ops in spatial-preserving stages separated by
+/// stride-2 pooling, ending in a classifier head. Deterministic per
+/// \p Seed; extra frontier nodes become additional network outputs.
+NetworkGraph randomNetwork(uint64_t Seed, int64_t InputSize = 32,
+                           unsigned Stages = 3);
+
+/// Look up a model builder by name ("alexnet", "vgg-b", "vgg-c", "vgg-d",
+/// "vgg-e", "googlenet"); returns std::nullopt for unknown names.
+std::optional<NetworkGraph> buildModel(const std::string &Name,
+                                       double Scale = 1.0);
+
+/// The names accepted by buildModel.
+std::vector<std::string> modelNames();
+
+} // namespace primsel
+
+#endif // PRIMSEL_NN_MODELS_H

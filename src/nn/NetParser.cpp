@@ -1,0 +1,315 @@
+//===- nn/NetParser.cpp ---------------------------------------------------===//
+
+#include "nn/NetParser.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace primsel;
+
+namespace {
+
+/// Split on whitespace.
+std::vector<std::string> splitWords(const std::string &Line) {
+  std::vector<std::string> Words;
+  std::istringstream IS(Line);
+  std::string W;
+  while (IS >> W)
+    Words.push_back(W);
+  return Words;
+}
+
+/// Split "a,b,c" on commas.
+std::vector<std::string> splitList(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+      continue;
+    }
+    Cur += C;
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+/// Build-in-progress state plus diagnostics.
+class Builder {
+public:
+  NetParseResult run(const std::string &Text) {
+    std::istringstream IS(Text);
+    std::string Line;
+    unsigned LineNo = 0;
+    while (std::getline(IS, Line)) {
+      ++LineNo;
+      if (size_t Hash = Line.find('#'); Hash != std::string::npos)
+        Line.resize(Hash);
+      std::vector<std::string> Words = splitWords(Line);
+      if (Words.empty())
+        continue;
+      if (!directive(Words, LineNo))
+        return {std::nullopt, Error, LineNo};
+    }
+    if (!Net)
+      return {std::nullopt, "missing 'network <name>' directive", 0};
+    if (Net->numNodes() == 0)
+      return {std::nullopt, "network has no layers", 0};
+    if (Batch > 1)
+      Net->setBatch(Batch);
+    return {std::move(Net), "", 0};
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Error = Msg;
+    return false;
+  }
+
+  bool parseInt(const std::string &S, int64_t &V) {
+    if (S.empty())
+      return false;
+    char *End = nullptr;
+    V = std::strtoll(S.c_str(), &End, 10);
+    return End && *End == '\0';
+  }
+
+  /// Attribute lookup with an int conversion; \p Required distinguishes
+  /// "missing" from "malformed".
+  bool intAttr(const std::map<std::string, std::string> &Attrs,
+               const std::string &Key, int64_t &V, bool Required,
+               int64_t Default = 0) {
+    auto It = Attrs.find(Key);
+    if (It == Attrs.end()) {
+      if (Required)
+        return fail("missing required attribute '" + Key + "'");
+      V = Default;
+      return true;
+    }
+    if (!parseInt(It->second, V))
+      return fail("attribute '" + Key + "' is not an integer: '" +
+                  It->second + "'");
+    return true;
+  }
+
+  bool resolveInputs(const std::map<std::string, std::string> &Attrs,
+                     std::vector<NetworkGraph::NodeId> &Ids) {
+    auto It = Attrs.find("from");
+    if (It == Attrs.end())
+      return fail("missing 'from=' input list");
+    for (const std::string &Name : splitList(It->second)) {
+      auto Found = NodeByName.find(Name);
+      if (Found == NodeByName.end())
+        return fail("unknown input layer '" + Name +
+                    "' (layers must be declared before use)");
+      Ids.push_back(Found->second);
+    }
+    if (Ids.empty())
+      return fail("empty 'from=' input list");
+    return true;
+  }
+
+  bool addNamed(const std::string &Name, Layer L,
+                const std::vector<NetworkGraph::NodeId> &Inputs) {
+    if (NodeByName.count(Name))
+      return fail("duplicate layer name '" + Name + "'");
+    NodeByName[Name] = Net->addLayer(std::move(L), Inputs);
+    return true;
+  }
+
+  bool directive(const std::vector<std::string> &Words, unsigned LineNo) {
+    (void)LineNo;
+    const std::string &Kind = Words[0];
+
+    if (Kind == "network") {
+      if (Net)
+        return fail("duplicate 'network' directive");
+      if (Words.size() != 2)
+        return fail("expected: network <name>");
+      Net.emplace(Words[1]);
+      return true;
+    }
+    if (!Net)
+      return fail("first directive must be 'network <name>'");
+
+    if (Kind == "batch") {
+      int64_t B = 0;
+      if (Words.size() != 2 || !parseInt(Words[1], B) || B < 1)
+        return fail("expected: batch <positive integer>");
+      Batch = B;
+      return true;
+    }
+
+    if (Kind == "input") {
+      if (Words.size() != 5)
+        return fail("expected: input <name> <C> <H> <W>");
+      int64_t C = 0, H = 0, W = 0;
+      if (!parseInt(Words[2], C) || !parseInt(Words[3], H) ||
+          !parseInt(Words[4], W) || C < 1 || H < 1 || W < 1)
+        return fail("input dimensions must be positive integers");
+      if (NodeByName.count(Words[1]))
+        return fail("duplicate layer name '" + Words[1] + "'");
+      NodeByName[Words[1]] = Net->addInput(Words[1], {C, H, W});
+      return true;
+    }
+
+    // Every remaining directive is: <kind> <name> key=value...
+    if (Words.size() < 2)
+      return fail("expected: " + Kind + " <name> ...");
+    const std::string &Name = Words[1];
+    std::map<std::string, std::string> Attrs;
+    for (size_t I = 2; I < Words.size(); ++I) {
+      size_t Eq = Words[I].find('=');
+      if (Eq == std::string::npos || Eq == 0)
+        return fail("malformed attribute '" + Words[I] +
+                    "' (expected key=value)");
+      Attrs[Words[I].substr(0, Eq)] = Words[I].substr(Eq + 1);
+    }
+    std::vector<NetworkGraph::NodeId> Inputs;
+    if (!resolveInputs(Attrs, Inputs))
+      return false;
+
+    if (Kind == "conv") {
+      int64_t M = 0, K = 0, Stride = 1, Pad = 0, Sparsity = 0;
+      if (!intAttr(Attrs, "out", M, true) || !intAttr(Attrs, "k", K, true) ||
+          !intAttr(Attrs, "stride", Stride, false, 1) ||
+          !intAttr(Attrs, "pad", Pad, false, 0) ||
+          !intAttr(Attrs, "sparsity", Sparsity, false, 0))
+        return false;
+      if (M < 1 || K < 1 || Stride < 1 || Pad < 0 || Sparsity < 0 ||
+          Sparsity > 100)
+        return fail("conv parameters out of range");
+      return addNamed(Name, Layer::conv(Name, M, K, Stride, Pad, Sparsity),
+                      Inputs);
+    }
+    if (Kind == "maxpool" || Kind == "avgpool") {
+      int64_t K = 0, Stride = 1, Pad = 0;
+      if (!intAttr(Attrs, "k", K, true) ||
+          !intAttr(Attrs, "stride", Stride, true) ||
+          !intAttr(Attrs, "pad", Pad, false, 0))
+        return false;
+      Layer L = Kind == "maxpool" ? Layer::maxPool(Name, K, Stride, Pad)
+                                  : Layer::avgPool(Name, K, Stride, Pad);
+      return addNamed(Name, std::move(L), Inputs);
+    }
+    if (Kind == "fc") {
+      int64_t Units = 0;
+      if (!intAttr(Attrs, "out", Units, true))
+        return false;
+      if (Units < 1)
+        return fail("fc units must be positive");
+      return addNamed(Name, Layer::fullyConnected(Name, Units), Inputs);
+    }
+    if (Kind == "relu")
+      return addNamed(Name, Layer::relu(Name), Inputs);
+    if (Kind == "lrn")
+      return addNamed(Name, Layer::lrn(Name), Inputs);
+    if (Kind == "softmax")
+      return addNamed(Name, Layer::softmax(Name), Inputs);
+    if (Kind == "dropout")
+      return addNamed(Name, Layer::dropout(Name), Inputs);
+    if (Kind == "concat") {
+      if (Inputs.size() < 2)
+        return fail("concat needs at least two inputs");
+      return addNamed(Name, Layer::concat(Name), Inputs);
+    }
+    return fail("unknown directive '" + Kind + "'");
+  }
+
+  std::optional<NetworkGraph> Net;
+  std::map<std::string, NetworkGraph::NodeId> NodeByName;
+  std::string Error;
+  int64_t Batch = 1;
+};
+
+const char *directiveFor(LayerKind K) {
+  switch (K) {
+  case LayerKind::Input:
+    return "input";
+  case LayerKind::Conv:
+    return "conv";
+  case LayerKind::ReLU:
+    return "relu";
+  case LayerKind::MaxPool:
+    return "maxpool";
+  case LayerKind::AvgPool:
+    return "avgpool";
+  case LayerKind::LRN:
+    return "lrn";
+  case LayerKind::FullyConnected:
+    return "fc";
+  case LayerKind::Concat:
+    return "concat";
+  case LayerKind::Softmax:
+    return "softmax";
+  case LayerKind::Dropout:
+    return "dropout";
+  }
+  assert(false && "unknown layer kind");
+  return "?";
+}
+
+} // namespace
+
+NetParseResult primsel::parseNetworkText(const std::string &Text) {
+  return Builder().run(Text);
+}
+
+NetParseResult primsel::parseNetworkFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return {std::nullopt, "cannot open '" + Path + "'", 0};
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return parseNetworkText(SS.str());
+}
+
+std::string primsel::serializeNetwork(const NetworkGraph &Net) {
+  std::ostringstream OS;
+  OS << "network " << Net.name() << "\n";
+  if (Net.batch() != 1)
+    OS << "batch " << Net.batch() << "\n";
+  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
+    const NetworkGraph::Node &Node = Net.node(N);
+    const Layer &L = Node.L;
+    OS << directiveFor(L.Kind) << " " << L.Name;
+    if (L.Kind == LayerKind::Input) {
+      OS << " " << Node.OutShape.C << " " << Node.OutShape.H << " "
+         << Node.OutShape.W << "\n";
+      continue;
+    }
+    OS << " from=";
+    for (size_t I = 0; I < Node.Inputs.size(); ++I) {
+      if (I)
+        OS << ",";
+      OS << Net.node(Node.Inputs[I]).L.Name;
+    }
+    switch (L.Kind) {
+    case LayerKind::Conv:
+      OS << " out=" << L.OutChannels << " k=" << L.KernelSize
+         << " stride=" << L.Stride << " pad=" << L.Pad;
+      if (L.SparsityPct > 0)
+        OS << " sparsity=" << L.SparsityPct;
+      break;
+    case LayerKind::MaxPool:
+    case LayerKind::AvgPool:
+      OS << " k=" << L.KernelSize << " stride=" << L.Stride
+         << " pad=" << L.Pad;
+      break;
+    case LayerKind::FullyConnected:
+      OS << " out=" << L.OutChannels;
+      break;
+    default:
+      break;
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}

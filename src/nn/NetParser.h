@@ -1,0 +1,64 @@
+//===- nn/NetParser.h - Network text format ---------------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-oriented text format for network graphs, in the spirit of the
+/// Caffe prototxt files the paper's evaluation consumed ("Each of these
+/// network architectures has a public model ... We used these public
+/// versions of the network architectures", §5.2). parseNetworkText() builds
+/// a NetworkGraph from a description; serializeNetwork() renders one back;
+/// they round-trip.
+///
+/// Format, one directive per line ('#' starts a comment):
+///
+///   network <name>
+///   batch <N>                         # optional, §8 minibatch extension
+///   input <name> <C> <H> <W>
+///   conv <name> from=<input> out=<M> k=<K> [stride=<S>] [pad=<P>]
+///        [sparsity=<pct>]
+///   relu|lrn|softmax|dropout <name> from=<input>
+///   maxpool|avgpool <name> from=<input> k=<K> stride=<S> [pad=<P>]
+///   fc <name> from=<input> out=<units>
+///   concat <name> from=<a>,<b>,...
+///
+/// Layers must appear after every layer they consume (topological order,
+/// matching NetworkGraph's construction discipline).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_NN_NETPARSER_H
+#define PRIMSEL_NN_NETPARSER_H
+
+#include "nn/Graph.h"
+
+#include <optional>
+#include <string>
+
+namespace primsel {
+
+/// Outcome of a parse: either a network, or a diagnostic with the 1-based
+/// line it refers to.
+struct NetParseResult {
+  std::optional<NetworkGraph> Net;
+  std::string Error;
+  unsigned Line = 0;
+
+  bool ok() const { return Net.has_value(); }
+};
+
+/// Parse a network description from \p Text.
+NetParseResult parseNetworkText(const std::string &Text);
+
+/// Parse a network description from the file at \p Path.
+NetParseResult parseNetworkFile(const std::string &Path);
+
+/// Render \p Net in the same text format; parseNetworkText() on the result
+/// reconstructs an identical graph.
+std::string serializeNetwork(const NetworkGraph &Net);
+
+} // namespace primsel
+
+#endif // PRIMSEL_NN_NETPARSER_H

@@ -1,0 +1,190 @@
+//===- pbqp/BranchBound.cpp -----------------------------------------------===//
+
+#include "pbqp/BranchBound.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace primsel;
+using namespace primsel::pbqp;
+
+namespace {
+
+/// Search state shared across the recursion.
+class Searcher {
+public:
+  Searcher(const Graph &G, const BranchBoundOptions &Options)
+      : G(G), Options(Options), Assigned(G.numNodes(), false),
+        Choice(G.numNodes(), 0) {
+    // Branch on high-degree, small-domain nodes first: their assignment
+    // constrains the most edges per unit of branching factor.
+    Order.resize(G.numNodes());
+    for (NodeId N = 0; N < G.numNodes(); ++N)
+      Order[N] = N;
+    std::stable_sort(Order.begin(), Order.end(), [&](NodeId A, NodeId B) {
+      size_t DegA = G.adjacentEdges(A).size();
+      size_t DegB = G.adjacentEdges(B).size();
+      if (DegA != DegB)
+        return DegA > DegB;
+      return G.nodeCosts(A).length() < G.nodeCosts(B).length();
+    });
+
+    // Precompute each edge's global minimum entry for the bound term on
+    // unassigned-unassigned edges, and detect negative costs: several
+    // shortcuts below are valid only when all costs are nonnegative (true
+    // for instances built from execution times, but not for arbitrary
+    // PBQP graphs).
+    EdgeMin.reserve(G.edges().size());
+    for (const Graph::Edge &E : G.edges()) {
+      Cost Min = InfiniteCost;
+      for (unsigned R = 0; R < E.Costs.rows(); ++R)
+        for (unsigned C = 0; C < E.Costs.cols(); ++C)
+          Min = std::min(Min, E.Costs.at(R, C));
+      EdgeMin.push_back(Min);
+      if (Min < 0.0)
+        AllNonNegative = false;
+    }
+    for (NodeId N = 0; N < G.numNodes() && AllNonNegative; ++N)
+      for (unsigned Alt = 0; Alt < G.nodeCosts(N).length(); ++Alt)
+        if (G.nodeCosts(N)[Alt] < 0.0) {
+          AllNonNegative = false;
+          break;
+        }
+
+    // Greedy warm start: take every node's locally cheapest alternative so
+    // the search begins with a finite incumbent to prune against.
+    std::vector<unsigned> Greedy(G.numNodes(), 0);
+    for (NodeId N = 0; N < G.numNodes(); ++N)
+      Greedy[N] = G.nodeCosts(N).argMin();
+    Best = Greedy;
+    BestCost = G.solutionCost(Greedy);
+  }
+
+  Solution run(BranchBoundStats *Stats) {
+    descend(0, 0.0);
+    Solution Sol;
+    Sol.Selection = Best;
+    Sol.TotalCost = G.solutionCost(Best);
+    Sol.ProvablyOptimal = !Aborted;
+    if (Stats) {
+      Stats->Visited = Visited;
+      Stats->Pruned = Pruned;
+    }
+    return Sol;
+  }
+
+private:
+  /// Cost of assigning \p Alt to \p N against already-assigned neighbours.
+  Cost attachmentCost(NodeId N, unsigned Alt) const {
+    Cost Sum = G.nodeCosts(N)[Alt];
+    for (uint32_t EI : G.adjacentEdges(N)) {
+      const Graph::Edge &E = G.edges()[EI];
+      NodeId Other = E.U == N ? E.V : E.U;
+      if (!Assigned[Other])
+        continue;
+      Sum += E.U == N ? E.Costs.at(Alt, Choice[Other])
+                      : E.Costs.at(Choice[Other], Alt);
+    }
+    return Sum;
+  }
+
+  /// Admissible lower bound on completing the partial assignment with the
+  /// nodes at Order[Depth...].
+  Cost remainderBound(unsigned Depth) const {
+    Cost Bound = 0.0;
+    for (unsigned I = Depth; I < Order.size(); ++I) {
+      NodeId N = Order[I];
+      Cost BestAlt = InfiniteCost;
+      for (unsigned Alt = 0; Alt < G.nodeCosts(N).length(); ++Alt)
+        BestAlt = std::min(BestAlt, attachmentCost(N, Alt));
+      Bound += BestAlt;
+      if (AllNonNegative && Bound >= BestCost)
+        return Bound; // remaining terms cannot lower a nonnegative sum
+    }
+    // Unassigned-unassigned edges contribute at least their minimum entry
+    // (counted once per edge; negative minima must be included to keep the
+    // bound admissible).
+    for (uint32_t EI = 0; EI < G.edges().size(); ++EI) {
+      const Graph::Edge &E = G.edges()[EI];
+      if (!Assigned[E.U] && !Assigned[E.V])
+        Bound += EdgeMin[EI];
+    }
+    return Bound;
+  }
+
+  void descend(unsigned Depth, Cost Partial) {
+    if (Aborted)
+      return;
+    if (Options.MaxVisits && Visited >= Options.MaxVisits) {
+      Aborted = true;
+      return;
+    }
+    ++Visited;
+    if (Depth == Order.size()) {
+      if (Partial < BestCost) {
+        BestCost = Partial;
+        Best = Choice;
+      }
+      return;
+    }
+    if (Partial + remainderBound(Depth) >= BestCost) {
+      ++Pruned;
+      return;
+    }
+
+    NodeId N = Order[Depth];
+    // Expand cheapest-attachment-first: good incumbents early tighten
+    // pruning for the rest of the subtree.
+    unsigned Alts = G.nodeCosts(N).length();
+    std::vector<std::pair<Cost, unsigned>> Ranked;
+    Ranked.reserve(Alts);
+    for (unsigned Alt = 0; Alt < Alts; ++Alt)
+      Ranked.emplace_back(attachmentCost(N, Alt), Alt);
+    std::sort(Ranked.begin(), Ranked.end());
+
+    Assigned[N] = true;
+    for (const auto &[AltCost, Alt] : Ranked) {
+      // With nonnegative costs the partial sum only grows, so the ranked
+      // order lets us cut the whole remainder of the alternative list.
+      if (AllNonNegative && Partial + AltCost >= BestCost)
+        break;
+      Choice[N] = Alt;
+      descend(Depth + 1, Partial + AltCost);
+      if (Aborted)
+        break;
+    }
+    Assigned[N] = false;
+  }
+
+  const Graph &G;
+  BranchBoundOptions Options;
+
+  std::vector<NodeId> Order;
+  std::vector<Cost> EdgeMin;
+  std::vector<bool> Assigned;
+  std::vector<unsigned> Choice;
+
+  std::vector<unsigned> Best;
+  Cost BestCost = InfiniteCost;
+  bool AllNonNegative = true;
+
+  uint64_t Visited = 0;
+  uint64_t Pruned = 0;
+  bool Aborted = false;
+};
+
+} // namespace
+
+Solution pbqp::solveBranchBound(const Graph &G,
+                                const BranchBoundOptions &Options,
+                                BranchBoundStats *Stats) {
+  Solution Empty;
+  Empty.ProvablyOptimal = true;
+  if (G.numNodes() == 0) {
+    if (Stats)
+      *Stats = {};
+    return Empty;
+  }
+  Searcher S(G, Options);
+  return S.run(Stats);
+}

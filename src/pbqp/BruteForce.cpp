@@ -1,0 +1,48 @@
+//===- pbqp/BruteForce.cpp ------------------------------------------------===//
+
+#include "pbqp/BruteForce.h"
+
+#include <cassert>
+
+using namespace primsel;
+using namespace primsel::pbqp;
+
+Solution pbqp::solveBruteForce(const Graph &G, double MaxAssignments) {
+  Solution Sol;
+  Sol.ProvablyOptimal = true;
+  Sol.Selection.assign(G.numNodes(), 0);
+  if (G.numNodes() == 0)
+    return Sol;
+
+  double Space = 1.0;
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Space *= G.nodeCosts(N).length();
+  assert(Space <= MaxAssignments &&
+         "brute-force assignment space exceeds the configured bound");
+  (void)MaxAssignments;
+
+  std::vector<unsigned> Current(G.numNodes(), 0);
+  std::vector<unsigned> Best = Current;
+  Cost BestCost = G.solutionCost(Current);
+
+  while (true) {
+    // Advance the odometer.
+    unsigned I = 0;
+    for (; I < G.numNodes(); ++I) {
+      if (++Current[I] < G.nodeCosts(I).length())
+        break;
+      Current[I] = 0;
+    }
+    if (I == G.numNodes())
+      break;
+    Cost C = G.solutionCost(Current);
+    if (C < BestCost) {
+      BestCost = C;
+      Best = Current;
+    }
+  }
+
+  Sol.Selection = Best;
+  Sol.TotalCost = BestCost;
+  return Sol;
+}

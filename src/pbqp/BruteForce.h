@@ -1,0 +1,29 @@
+//===- pbqp/BruteForce.h - Exhaustive PBQP solver ---------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive PBQP solver. Exponential; used as the ground truth oracle in
+/// tests and for tiny instances.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_PBQP_BRUTEFORCE_H
+#define PRIMSEL_PBQP_BRUTEFORCE_H
+
+#include "pbqp/Graph.h"
+#include "pbqp/Solver.h"
+
+namespace primsel {
+namespace pbqp {
+
+/// Enumerate every assignment of \p G and return the best. Asserts if the
+/// assignment space exceeds \p MaxAssignments.
+Solution solveBruteForce(const Graph &G, double MaxAssignments = 1e8);
+
+} // namespace pbqp
+} // namespace primsel
+
+#endif // PRIMSEL_PBQP_BRUTEFORCE_H

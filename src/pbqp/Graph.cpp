@@ -1,0 +1,84 @@
+//===- pbqp/Graph.cpp -----------------------------------------------------===//
+
+#include "pbqp/Graph.h"
+
+#include <algorithm>
+
+using namespace primsel;
+using namespace primsel::pbqp;
+
+unsigned CostVector::argMin() const {
+  assert(!Values.empty() && "argMin of empty cost vector");
+  unsigned Best = 0;
+  for (unsigned I = 1; I < Values.size(); ++I)
+    if (Values[I] < Values[Best])
+      Best = I;
+  return Best;
+}
+
+CostMatrix CostMatrix::transposed() const {
+  CostMatrix T(NumCols, NumRows);
+  for (unsigned R = 0; R < NumRows; ++R)
+    for (unsigned C = 0; C < NumCols; ++C)
+      T.at(C, R) = at(R, C);
+  return T;
+}
+
+void CostMatrix::add(const CostMatrix &Other) {
+  assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
+         "adding cost matrices of different shapes");
+  for (size_t I = 0; I < Values.size(); ++I)
+    Values[I] += Other.Values[I];
+}
+
+bool CostMatrix::isZero() const {
+  return std::all_of(Values.begin(), Values.end(),
+                     [](Cost C) { return C == 0.0; });
+}
+
+NodeId Graph::addNode(CostVector Costs) {
+  assert(Costs.length() > 0 && "node must have at least one alternative");
+  NodeId Id = static_cast<NodeId>(Nodes.size());
+  Nodes.push_back(std::move(Costs));
+  Adjacency.emplace_back();
+  return Id;
+}
+
+void Graph::addEdge(NodeId U, NodeId V, CostMatrix Costs) {
+  assert(U < Nodes.size() && V < Nodes.size() && "edge endpoint out of range");
+  assert(U != V && "self edges are not allowed in PBQP");
+  assert(Costs.rows() == Nodes[U].length() &&
+         Costs.cols() == Nodes[V].length() &&
+         "edge matrix shape does not match endpoint alternative counts");
+
+  // Merge with an existing edge if there is one (either orientation).
+  for (uint32_t EI : Adjacency[U]) {
+    Edge &E = Edges[EI];
+    if (E.U == U && E.V == V) {
+      E.Costs.add(Costs);
+      return;
+    }
+    if (E.U == V && E.V == U) {
+      E.Costs.add(Costs.transposed());
+      return;
+    }
+  }
+
+  uint32_t EI = static_cast<uint32_t>(Edges.size());
+  Edges.push_back(Edge{U, V, std::move(Costs)});
+  Adjacency[U].push_back(EI);
+  Adjacency[V].push_back(EI);
+}
+
+Cost Graph::solutionCost(const std::vector<unsigned> &Selection) const {
+  assert(Selection.size() == Nodes.size() &&
+         "selection length does not match node count");
+  Cost Total = 0.0;
+  for (unsigned N = 0; N < Nodes.size(); ++N) {
+    assert(Selection[N] < Nodes[N].length() && "selection out of range");
+    Total += Nodes[N][Selection[N]];
+  }
+  for (const Edge &E : Edges)
+    Total += E.Costs.at(Selection[E.U], Selection[E.V]);
+  return Total;
+}

@@ -1,0 +1,136 @@
+//===- pbqp/Graph.h - PBQP problem graphs -----------------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Partitioned Boolean Quadratic Programming problem graphs (paper §3.3).
+/// Each node carries a cost vector (one entry per alternative); each edge
+/// carries a cost matrix indexed by the pair of alternatives chosen for its
+/// endpoints. Forbidden combinations are expressed with infinite cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_PBQP_GRAPH_H
+#define PRIMSEL_PBQP_GRAPH_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace primsel {
+namespace pbqp {
+
+/// Cost value; +infinity marks illegal assignments.
+using Cost = double;
+
+/// The infinite cost used for illegal assignment pairs.
+inline constexpr Cost InfiniteCost = std::numeric_limits<Cost>::infinity();
+
+using NodeId = uint32_t;
+
+/// A dense cost vector over a node's alternatives.
+class CostVector {
+public:
+  CostVector() = default;
+  explicit CostVector(unsigned Length, Cost Fill = 0.0)
+      : Values(Length, Fill) {}
+
+  unsigned length() const { return static_cast<unsigned>(Values.size()); }
+  Cost &operator[](unsigned I) { return Values[I]; }
+  Cost operator[](unsigned I) const { return Values[I]; }
+
+  /// Index of the smallest entry (first on ties).
+  unsigned argMin() const;
+  Cost min() const { return Values.empty() ? 0.0 : Values[argMin()]; }
+
+private:
+  std::vector<Cost> Values;
+};
+
+/// A dense Rows x Cols cost matrix attached to an edge; Rows indexes the
+/// edge's first endpoint, Cols the second.
+class CostMatrix {
+public:
+  CostMatrix() = default;
+  CostMatrix(unsigned Rows, unsigned Cols, Cost Fill = 0.0)
+      : NumRows(Rows), NumCols(Cols),
+        Values(static_cast<size_t>(Rows) * Cols, Fill) {}
+
+  unsigned rows() const { return NumRows; }
+  unsigned cols() const { return NumCols; }
+
+  Cost &at(unsigned R, unsigned C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Values[static_cast<size_t>(R) * NumCols + C];
+  }
+  Cost at(unsigned R, unsigned C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Values[static_cast<size_t>(R) * NumCols + C];
+  }
+
+  CostMatrix transposed() const;
+
+  /// Elementwise sum; shapes must match.
+  void add(const CostMatrix &Other);
+
+  /// True if every entry is the same finite value plus a per-row and
+  /// per-column offset of zero -- i.e. the matrix adds nothing to the
+  /// decision and the edge can be dropped after folding row/col minima.
+  /// We use the simpler standard test: the matrix is independent if
+  /// M[r][c] == RowMin[r] for all c after subtracting column minima.
+  bool isZero() const;
+
+private:
+  unsigned NumRows = 0;
+  unsigned NumCols = 0;
+  std::vector<Cost> Values;
+};
+
+/// A PBQP problem instance: nodes with cost vectors, edges with cost
+/// matrices. Parallel edges are merged by summing matrices.
+class Graph {
+public:
+  struct Edge {
+    NodeId U;
+    NodeId V;
+    CostMatrix Costs; ///< rows index U's alternatives, cols index V's
+  };
+
+  /// Add a node with the given alternatives' costs; returns its id.
+  NodeId addNode(CostVector Costs);
+
+  /// Add (or merge into an existing) edge between \p U and \p V. \p Costs
+  /// rows must equal U's alternative count and cols V's. Self edges are
+  /// forbidden.
+  void addEdge(NodeId U, NodeId V, CostMatrix Costs);
+
+  unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
+  unsigned numEdges() const { return static_cast<unsigned>(Edges.size()); }
+
+  const CostVector &nodeCosts(NodeId N) const { return Nodes[N]; }
+  CostVector &nodeCosts(NodeId N) { return Nodes[N]; }
+
+  const std::vector<Edge> &edges() const { return Edges; }
+
+  /// Indices into edges() incident to \p N.
+  const std::vector<uint32_t> &adjacentEdges(NodeId N) const {
+    return Adjacency[N];
+  }
+
+  /// Total cost of a full assignment (one alternative per node).
+  Cost solutionCost(const std::vector<unsigned> &Selection) const;
+
+private:
+  std::vector<CostVector> Nodes;
+  std::vector<Edge> Edges;
+  std::vector<std::vector<uint32_t>> Adjacency;
+};
+
+} // namespace pbqp
+} // namespace primsel
+
+#endif // PRIMSEL_PBQP_GRAPH_H

@@ -1,0 +1,373 @@
+//===- pbqp/Solver.cpp ----------------------------------------------------===//
+
+#include "pbqp/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace primsel;
+using namespace primsel::pbqp;
+
+namespace {
+
+/// Mutable solver state: a copy of the graph that reductions destroy.
+class ReductionState {
+public:
+  explicit ReductionState(const Graph &G) {
+    NodeCosts.reserve(G.numNodes());
+    for (NodeId N = 0; N < G.numNodes(); ++N)
+      NodeCosts.push_back(G.nodeCosts(N));
+    NodeDead.assign(G.numNodes(), false);
+    Adjacency.resize(G.numNodes());
+    for (const Graph::Edge &E : G.edges())
+      addWorkEdge(E.U, E.V, E.Costs);
+  }
+
+  struct WorkEdge {
+    NodeId U;
+    NodeId V;
+    CostMatrix Costs;
+    bool Dead = false;
+  };
+
+  /// One record per removed node, replayed in reverse to recover the
+  /// selection.
+  struct Record {
+    enum KindTy { R0, RI, RII, Fixed } Kind;
+    NodeId X = 0;
+    // RI: neighbour and the (X-rows) matrix. RII: both neighbours/matrices.
+    NodeId Y = 0;
+    NodeId Z = 0;
+    CostMatrix MXY;
+    CostMatrix MXZ;
+    CostVector XCosts;
+    unsigned FixedSelection = 0; ///< for Fixed (RN / core enumeration)
+  };
+
+  unsigned degree(NodeId N) const {
+    unsigned D = 0;
+    for (uint32_t EI : Adjacency[N])
+      if (!Edges[EI].Dead)
+        ++D;
+    return D;
+  }
+
+  /// Live edge ids incident to \p N.
+  std::vector<uint32_t> liveEdges(NodeId N) const {
+    std::vector<uint32_t> Out;
+    for (uint32_t EI : Adjacency[N])
+      if (!Edges[EI].Dead)
+        Out.push_back(EI);
+    return Out;
+  }
+
+  /// Matrix of edge \p EI oriented so rows index node \p X.
+  CostMatrix orientedMatrix(uint32_t EI, NodeId X) const {
+    const WorkEdge &E = Edges[EI];
+    assert(E.U == X || E.V == X);
+    return E.U == X ? E.Costs : E.Costs.transposed();
+  }
+
+  NodeId otherEnd(uint32_t EI, NodeId X) const {
+    const WorkEdge &E = Edges[EI];
+    return E.U == X ? E.V : E.U;
+  }
+
+  void addWorkEdge(NodeId U, NodeId V, const CostMatrix &M) {
+    assert(U != V && "self edge in PBQP reduction");
+    // Merge into an existing live edge if present.
+    for (uint32_t EI : Adjacency[U]) {
+      WorkEdge &E = Edges[EI];
+      if (E.Dead)
+        continue;
+      if (E.U == U && E.V == V) {
+        E.Costs.add(M);
+        return;
+      }
+      if (E.U == V && E.V == U) {
+        E.Costs.add(M.transposed());
+        return;
+      }
+    }
+    uint32_t EI = static_cast<uint32_t>(Edges.size());
+    Edges.push_back(WorkEdge{U, V, M, false});
+    Adjacency[U].push_back(EI);
+    Adjacency[V].push_back(EI);
+  }
+
+  void killEdge(uint32_t EI) { Edges[EI].Dead = true; }
+  void killNode(NodeId N) { NodeDead[N] = true; }
+
+  std::vector<CostVector> NodeCosts;
+  std::vector<bool> NodeDead;
+  std::vector<WorkEdge> Edges;
+  std::vector<std::vector<uint32_t>> Adjacency;
+  std::vector<Record> Trail;
+};
+
+/// Exhaustively assign the remaining live nodes; returns false if the
+/// assignment space exceeds \p Limit.
+bool enumerateCore(ReductionState &S, double Limit, Solution &Sol,
+                   std::vector<unsigned> &Selection) {
+  std::vector<NodeId> Live;
+  for (NodeId N = 0; N < S.NodeCosts.size(); ++N)
+    if (!S.NodeDead[N])
+      Live.push_back(N);
+  assert(!Live.empty());
+
+  double Space = 1.0;
+  for (NodeId N : Live) {
+    Space *= S.NodeCosts[N].length();
+    if (Space > Limit)
+      return false;
+  }
+
+  // Collect the live edges once.
+  std::vector<uint32_t> LiveEdges;
+  for (uint32_t EI = 0; EI < S.Edges.size(); ++EI)
+    if (!S.Edges[EI].Dead)
+      LiveEdges.push_back(EI);
+
+  std::vector<unsigned> Current(Live.size(), 0);
+  std::vector<unsigned> Best(Live.size(), 0);
+  Cost BestCost = InfiniteCost;
+
+  // Odometer enumeration over the core's assignment space.
+  while (true) {
+    Cost Total = 0.0;
+    for (size_t I = 0; I < Live.size(); ++I)
+      Total += S.NodeCosts[Live[I]][Current[I]];
+    for (uint32_t EI : LiveEdges) {
+      const ReductionState::WorkEdge &E = S.Edges[EI];
+      // Map node ids to positions in Live (small core; linear search).
+      auto Pos = [&](NodeId N) {
+        return static_cast<size_t>(std::find(Live.begin(), Live.end(), N) -
+                                   Live.begin());
+      };
+      Total += E.Costs.at(Current[Pos(E.U)], Current[Pos(E.V)]);
+    }
+    if (Total < BestCost) {
+      BestCost = Total;
+      Best = Current;
+    }
+    // Advance the odometer.
+    size_t I = 0;
+    for (; I < Live.size(); ++I) {
+      if (++Current[I] < S.NodeCosts[Live[I]].length())
+        break;
+      Current[I] = 0;
+    }
+    if (I == Live.size())
+      break;
+  }
+
+  for (size_t I = 0; I < Live.size(); ++I) {
+    Selection[Live[I]] = Best[I];
+    S.killNode(Live[I]);
+    ++Sol.NumCoreEnumerated;
+  }
+  for (uint32_t EI : LiveEdges)
+    S.killEdge(EI);
+  return true;
+}
+
+/// Commit the RN heuristic choice for \p X: pick the alternative with the
+/// best local cost (own cost plus the row minima of every incident edge)
+/// and fold the chosen rows into the neighbours.
+void applyRN(ReductionState &S, NodeId X, Solution &Sol,
+             std::vector<unsigned> &Selection) {
+  std::vector<uint32_t> Incident = S.liveEdges(X);
+  const CostVector &CX = S.NodeCosts[X];
+
+  unsigned BestAlt = 0;
+  Cost BestCost = InfiniteCost;
+  for (unsigned I = 0; I < CX.length(); ++I) {
+    Cost Local = CX[I];
+    for (uint32_t EI : Incident) {
+      CostMatrix M = S.orientedMatrix(EI, X);
+      Cost RowMin = InfiniteCost;
+      for (unsigned J = 0; J < M.cols(); ++J)
+        RowMin = std::min(RowMin, M.at(I, J));
+      Local += RowMin;
+    }
+    if (Local < BestCost) {
+      BestCost = Local;
+      BestAlt = I;
+    }
+  }
+
+  for (uint32_t EI : Incident) {
+    CostMatrix M = S.orientedMatrix(EI, X);
+    NodeId Y = S.otherEnd(EI, X);
+    for (unsigned J = 0; J < M.cols(); ++J)
+      S.NodeCosts[Y][J] += M.at(BestAlt, J);
+    S.killEdge(EI);
+  }
+  Selection[X] = BestAlt;
+  S.killNode(X);
+  ++Sol.NumRN;
+}
+
+} // namespace
+
+Solution pbqp::solve(const Graph &G, const SolverOptions &Options) {
+  Solution Sol;
+  Sol.Selection.assign(G.numNodes(), 0);
+  Sol.ProvablyOptimal = true;
+  if (G.numNodes() == 0)
+    return Sol;
+
+  ReductionState S(G);
+
+  // Reduction phase: repeatedly remove the lowest-degree reducible node.
+  while (true) {
+    NodeId Best = 0;
+    unsigned BestDegree = ~0u;
+    bool Any = false;
+    for (NodeId N = 0; N < S.NodeCosts.size(); ++N) {
+      if (S.NodeDead[N])
+        continue;
+      unsigned D = S.degree(N);
+      if (!Any || D < BestDegree) {
+        Any = true;
+        Best = N;
+        BestDegree = D;
+      }
+      if (BestDegree == 0)
+        break;
+    }
+    if (!Any)
+      break;
+
+    if (BestDegree == 0) {
+      // R0: the node is independent; its vector can no longer change, so
+      // decide now.
+      ReductionState::Record Rec;
+      Rec.Kind = ReductionState::Record::R0;
+      Rec.X = Best;
+      Rec.XCosts = S.NodeCosts[Best];
+      S.Trail.push_back(std::move(Rec));
+      S.killNode(Best);
+      ++Sol.NumR0;
+      continue;
+    }
+
+    if (BestDegree == 1) {
+      // RI: fold X's best response into its single neighbour.
+      std::vector<uint32_t> Incident = S.liveEdges(Best);
+      uint32_t EI = Incident[0];
+      CostMatrix M = S.orientedMatrix(EI, Best);
+      NodeId Y = S.otherEnd(EI, Best);
+      const CostVector &CX = S.NodeCosts[Best];
+      for (unsigned J = 0; J < M.cols(); ++J) {
+        Cost BestResp = InfiniteCost;
+        for (unsigned I = 0; I < CX.length(); ++I)
+          BestResp = std::min(BestResp, CX[I] + M.at(I, J));
+        S.NodeCosts[Y][J] += BestResp;
+      }
+      ReductionState::Record Rec;
+      Rec.Kind = ReductionState::Record::RI;
+      Rec.X = Best;
+      Rec.Y = Y;
+      Rec.MXY = std::move(M);
+      Rec.XCosts = CX;
+      S.Trail.push_back(std::move(Rec));
+      S.killEdge(EI);
+      S.killNode(Best);
+      ++Sol.NumRI;
+      continue;
+    }
+
+    if (BestDegree == 2) {
+      // RII: replace X with a derived edge between its two neighbours.
+      std::vector<uint32_t> Incident = S.liveEdges(Best);
+      CostMatrix MXY = S.orientedMatrix(Incident[0], Best);
+      CostMatrix MXZ = S.orientedMatrix(Incident[1], Best);
+      NodeId Y = S.otherEnd(Incident[0], Best);
+      NodeId Z = S.otherEnd(Incident[1], Best);
+      assert(Y != Z && "parallel edges must have been merged");
+      const CostVector &CX = S.NodeCosts[Best];
+
+      CostMatrix Derived(MXY.cols(), MXZ.cols());
+      for (unsigned J = 0; J < MXY.cols(); ++J)
+        for (unsigned K = 0; K < MXZ.cols(); ++K) {
+          Cost BestResp = InfiniteCost;
+          for (unsigned I = 0; I < CX.length(); ++I)
+            BestResp =
+                std::min(BestResp, CX[I] + MXY.at(I, J) + MXZ.at(I, K));
+          Derived.at(J, K) = BestResp;
+        }
+
+      ReductionState::Record Rec;
+      Rec.Kind = ReductionState::Record::RII;
+      Rec.X = Best;
+      Rec.Y = Y;
+      Rec.Z = Z;
+      Rec.MXY = std::move(MXY);
+      Rec.MXZ = std::move(MXZ);
+      Rec.XCosts = CX;
+      S.Trail.push_back(std::move(Rec));
+
+      S.killEdge(Incident[0]);
+      S.killEdge(Incident[1]);
+      S.killNode(Best);
+      if (!Derived.isZero())
+        S.addWorkEdge(Y, Z, Derived);
+      ++Sol.NumRII;
+      continue;
+    }
+
+    // Irreducible core: enumerate exactly when feasible, else RN heuristic.
+    if (!Options.DisableCoreEnumeration &&
+        enumerateCore(S, Options.MaxCoreEnumeration, Sol, Sol.Selection))
+      continue;
+    applyRN(S, Best, Sol, Sol.Selection);
+    Sol.ProvablyOptimal = false;
+  }
+
+  // Back-propagation: replay the trail in reverse, deciding each reduced
+  // node from its (already decided) neighbours.
+  for (auto It = S.Trail.rbegin(); It != S.Trail.rend(); ++It) {
+    const ReductionState::Record &Rec = *It;
+    switch (Rec.Kind) {
+    case ReductionState::Record::R0:
+      Sol.Selection[Rec.X] = Rec.XCosts.argMin();
+      break;
+    case ReductionState::Record::RI: {
+      unsigned SelY = Sol.Selection[Rec.Y];
+      unsigned BestI = 0;
+      Cost BestCost = InfiniteCost;
+      for (unsigned I = 0; I < Rec.XCosts.length(); ++I) {
+        Cost C = Rec.XCosts[I] + Rec.MXY.at(I, SelY);
+        if (C < BestCost) {
+          BestCost = C;
+          BestI = I;
+        }
+      }
+      Sol.Selection[Rec.X] = BestI;
+      break;
+    }
+    case ReductionState::Record::RII: {
+      unsigned SelY = Sol.Selection[Rec.Y];
+      unsigned SelZ = Sol.Selection[Rec.Z];
+      unsigned BestI = 0;
+      Cost BestCost = InfiniteCost;
+      for (unsigned I = 0; I < Rec.XCosts.length(); ++I) {
+        Cost C = Rec.XCosts[I] + Rec.MXY.at(I, SelY) + Rec.MXZ.at(I, SelZ);
+        if (C < BestCost) {
+          BestCost = C;
+          BestI = I;
+        }
+      }
+      Sol.Selection[Rec.X] = BestI;
+      break;
+    }
+    case ReductionState::Record::Fixed:
+      Sol.Selection[Rec.X] = Rec.FixedSelection;
+      break;
+    }
+  }
+
+  Sol.TotalCost = G.solutionCost(Sol.Selection);
+  return Sol;
+}

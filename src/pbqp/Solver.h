@@ -1,0 +1,72 @@
+//===- pbqp/Solver.h - Reduction-based PBQP solver --------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PBQP solver in the style of Scholz/Eckstein and Hames/Scholz (the paper
+/// uses "the PBQP solver of Scholz et al." and reports that "in each case,
+/// the solver reported that the optimal solution was found", §5.4).
+///
+/// The solver applies the classic graph reductions:
+///   R0  degree-0 nodes are solved independently;
+///   RI  degree-1 nodes fold their best response into the neighbour;
+///   RII degree-2 nodes fold a derived matrix into the edge joining their
+///       two neighbours.
+/// When only nodes of degree >= 3 remain, it exhaustively enumerates the
+/// remaining irreducible core if its assignment space is small enough
+/// (DNN layer graphs are mostly series-parallel, so the core is almost
+/// always empty or tiny, which is why the paper's queries solve optimally in
+/// under a second); otherwise it falls back to the RN local-minimum
+/// heuristic and reports the solution as not provably optimal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_PBQP_SOLVER_H
+#define PRIMSEL_PBQP_SOLVER_H
+
+#include "pbqp/Graph.h"
+
+#include <vector>
+
+namespace primsel {
+namespace pbqp {
+
+/// Result of solving a PBQP instance.
+struct Solution {
+  /// Chosen alternative for each node.
+  std::vector<unsigned> Selection;
+  /// Total cost of the selection evaluated on the original graph.
+  Cost TotalCost = 0.0;
+  /// True if the solver can prove this is a global optimum (no RN heuristic
+  /// reduction was required).
+  bool ProvablyOptimal = false;
+
+  /// Reduction statistics, for the §5.4-style overhead report.
+  unsigned NumR0 = 0;
+  unsigned NumRI = 0;
+  unsigned NumRII = 0;
+  unsigned NumRN = 0;
+  /// Number of nodes solved by exhaustive enumeration of the irreducible
+  /// core.
+  unsigned NumCoreEnumerated = 0;
+};
+
+/// Options controlling the solver.
+struct SolverOptions {
+  /// Enumerate the irreducible core exactly while its assignment-space size
+  /// is at most this bound; beyond it, use the RN heuristic.
+  double MaxCoreEnumeration = 1 << 20;
+  /// Disable exact core enumeration entirely (forces RN; used in tests and
+  /// in the ablation bench).
+  bool DisableCoreEnumeration = false;
+};
+
+/// Solve \p G. The input graph is not modified.
+Solution solve(const Graph &G, const SolverOptions &Options = {});
+
+} // namespace pbqp
+} // namespace primsel
+
+#endif // PRIMSEL_PBQP_SOLVER_H

@@ -1,0 +1,158 @@
+//===- pbqp/TextIO.cpp ----------------------------------------------------===//
+
+#include "pbqp/TextIO.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+using namespace primsel;
+using namespace primsel::pbqp;
+
+namespace {
+
+void printCost(std::ostringstream &OS, Cost C) {
+  if (C == InfiniteCost) {
+    OS << "inf";
+    return;
+  }
+  // max_digits10 keeps the round trip exact for finite doubles.
+  OS.precision(17);
+  OS << C;
+}
+
+bool parseCost(const std::string &Tok, Cost &C) {
+  if (Tok == "inf") {
+    C = InfiniteCost;
+    return true;
+  }
+  char *End = nullptr;
+  C = std::strtod(Tok.c_str(), &End);
+  return End && *End == '\0' && std::isfinite(C);
+}
+
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Toks;
+  std::istringstream IS(Line);
+  std::string T;
+  while (IS >> T)
+    Toks.push_back(T);
+  return Toks;
+}
+
+} // namespace
+
+std::string pbqp::dumpGraph(const Graph &G) {
+  std::ostringstream OS;
+  OS << "pbqp\n";
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    OS << "node " << N;
+    const CostVector &V = G.nodeCosts(N);
+    for (unsigned I = 0; I < V.length(); ++I) {
+      OS << " ";
+      printCost(OS, V[I]);
+    }
+    OS << "\n";
+  }
+  for (const Graph::Edge &E : G.edges()) {
+    OS << "edge " << E.U << " " << E.V << " " << E.Costs.rows() << " "
+       << E.Costs.cols();
+    for (unsigned R = 0; R < E.Costs.rows(); ++R)
+      for (unsigned C = 0; C < E.Costs.cols(); ++C) {
+        OS << " ";
+        printCost(OS, E.Costs.at(R, C));
+      }
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+GraphParseResult pbqp::parseGraph(const std::string &Text) {
+  std::istringstream IS(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  bool SawHeader = false;
+  Graph G;
+
+  auto Fail = [&](const std::string &Msg) {
+    return GraphParseResult{std::nullopt, Msg, LineNo};
+  };
+
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    if (size_t Hash = Line.find('#'); Hash != std::string::npos)
+      Line.resize(Hash);
+    std::vector<std::string> Toks = tokenize(Line);
+    if (Toks.empty())
+      continue;
+
+    if (!SawHeader) {
+      if (Toks.size() != 1 || Toks[0] != "pbqp")
+        return Fail("expected 'pbqp' header");
+      SawHeader = true;
+      continue;
+    }
+
+    if (Toks[0] == "node") {
+      if (Toks.size() < 3)
+        return Fail("node needs an id and at least one cost");
+      char *End = nullptr;
+      unsigned long Id = std::strtoul(Toks[1].c_str(), &End, 10);
+      if (!End || *End != '\0')
+        return Fail("malformed node id '" + Toks[1] + "'");
+      if (Id != G.numNodes())
+        return Fail("node ids must be dense and in order");
+      CostVector V(static_cast<unsigned>(Toks.size() - 2));
+      for (size_t I = 2; I < Toks.size(); ++I)
+        if (!parseCost(Toks[I], V[static_cast<unsigned>(I - 2)]))
+          return Fail("malformed cost '" + Toks[I] + "'");
+      G.addNode(std::move(V));
+      continue;
+    }
+
+    if (Toks[0] == "edge") {
+      if (Toks.size() < 5)
+        return Fail("edge needs: edge <u> <v> <rows> <cols> <values...>");
+      unsigned long U = 0, V = 0, Rows = 0, Cols = 0;
+      char *End = nullptr;
+      U = std::strtoul(Toks[1].c_str(), &End, 10);
+      if (!End || *End != '\0')
+        return Fail("malformed edge endpoint '" + Toks[1] + "'");
+      V = std::strtoul(Toks[2].c_str(), &End, 10);
+      if (!End || *End != '\0')
+        return Fail("malformed edge endpoint '" + Toks[2] + "'");
+      Rows = std::strtoul(Toks[3].c_str(), &End, 10);
+      if (!End || *End != '\0')
+        return Fail("malformed row count '" + Toks[3] + "'");
+      Cols = std::strtoul(Toks[4].c_str(), &End, 10);
+      if (!End || *End != '\0')
+        return Fail("malformed column count '" + Toks[4] + "'");
+      if (U >= G.numNodes() || V >= G.numNodes())
+        return Fail("edge endpoint refers to an undeclared node");
+      if (U == V)
+        return Fail("self edges are not allowed");
+      if (Rows != G.nodeCosts(static_cast<NodeId>(U)).length() ||
+          Cols != G.nodeCosts(static_cast<NodeId>(V)).length())
+        return Fail("matrix shape disagrees with endpoint alternative "
+                    "counts");
+      if (Toks.size() != 5 + static_cast<size_t>(Rows) * Cols)
+        return Fail("matrix value count disagrees with rows*cols");
+      CostMatrix M(static_cast<unsigned>(Rows), static_cast<unsigned>(Cols));
+      size_t Tok = 5;
+      for (unsigned R = 0; R < Rows; ++R)
+        for (unsigned C = 0; C < Cols; ++C)
+          if (!parseCost(Toks[Tok++], M.at(R, C)))
+            return Fail("malformed cost '" + Toks[Tok - 1] + "'");
+      G.addEdge(static_cast<NodeId>(U), static_cast<NodeId>(V),
+                std::move(M));
+      continue;
+    }
+
+    return Fail("unknown directive '" + Toks[0] + "'");
+  }
+
+  if (!SawHeader)
+    return Fail("missing 'pbqp' header");
+  return {std::move(G), "", 0};
+}

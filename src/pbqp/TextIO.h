@@ -1,0 +1,54 @@
+//===- pbqp/TextIO.h - PBQP instance serialization --------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization for PBQP instances, so optimization queries can be
+/// dumped from a selection run, archived next to the shipped cost tables
+/// (§4: "the resulting cost tables are tiny ... making it feasible to
+/// produce these cost tables before deployment"), replayed in bug reports,
+/// and round-tripped in tests.
+///
+/// Format ('#' starts a comment; "inf" encodes the infinite cost):
+///
+///   pbqp
+///   node <id> <c0> <c1> ...
+///   edge <u> <v> <rows> <cols> <m00> <m01> ... (row-major)
+///
+/// Node ids must be dense and in order (the format is a dump, not a
+/// patch language).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_PBQP_TEXTIO_H
+#define PRIMSEL_PBQP_TEXTIO_H
+
+#include "pbqp/Graph.h"
+
+#include <optional>
+#include <string>
+
+namespace primsel {
+namespace pbqp {
+
+/// Render \p G in the text format.
+std::string dumpGraph(const Graph &G);
+
+/// Parse result: a graph or a line-numbered diagnostic.
+struct GraphParseResult {
+  std::optional<Graph> G;
+  std::string Error;
+  unsigned Line = 0;
+
+  bool ok() const { return G.has_value(); }
+};
+
+/// Parse a graph from the text format.
+GraphParseResult parseGraph(const std::string &Text);
+
+} // namespace pbqp
+} // namespace primsel
+
+#endif // PRIMSEL_PBQP_TEXTIO_H

@@ -1,0 +1,538 @@
+//===- primitives/Direct.cpp - Direct loop-nest convolutions -------------===//
+//
+// Part of primsel. See DESIGN.md.
+//
+// The direct-loop family (paper §4): multichannel multikernel convolution as
+// a six-deep loop nest, "with different reorderings, tilings, and schedules
+// to improve execution time, vectorization, and spatial and temporal
+// locality". Each registered variant fixes a loop order and an input/output
+// layout pair. sum-of-single-channels (loop order M C H W K K) is the
+// family's textbook member and the baseline every experiment normalizes to.
+//
+//===----------------------------------------------------------------------===//
+
+#include "primitives/Registry.h"
+
+#include "primitives/Reference.h"
+#include "support/AlignedBuffer.h"
+#include "support/ThreadPool.h"
+#include "tensor/Transform.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace primsel;
+
+namespace {
+
+/// The loop orders implemented by the direct family.
+enum class DirectOrder : uint8_t {
+  Sum2D,        ///< M C Ho Wo Kh Kw; scalar textbook loop (the baseline)
+  MCKhKwHoWo,   ///< kernel-stationary; inner Wo unit stride (CHW)
+  CMKhKwHoWo,   ///< input-plane-stationary; reuses one input plane (CHW)
+  MHoCKhWo,     ///< output-row-stationary (CHW)
+  TiledW16,     ///< MCKhKwHo with Wo tiled by 16 (CHW)
+  HWPixelMajor, ///< Ho Wo M KhKwC; per-pixel dot products (HWC)
+  HWOutVector,  ///< Ho Wo Kh Kw C M; inner M writes the out pixel (HWC)
+  HWTiled4,     ///< pixel-major with a 4-wide Wo tile (HWC)
+  HCWRows,      ///< Ho M C Kh Wo over HCW rows
+};
+
+struct DirectConfig {
+  DirectOrder Order;
+  Layout In;
+  Layout Out;
+  const char *Name;
+};
+
+/// Dense view of a tensor with cached strides for hot loops.
+struct PlaneView {
+  const float *Data;
+  int64_t SC, SH, SW;
+
+  explicit PlaneView(const Tensor3D &T)
+      : Data(T.data()), SC(T.stride(Dim::C)), SH(T.stride(Dim::H)),
+        SW(T.stride(Dim::W)) {}
+
+  const float *rowPtr(int64_t C, int64_t H) const {
+    return Data + C * SC + H * SH;
+  }
+};
+
+struct MutPlaneView {
+  float *Data;
+  int64_t SC, SH, SW;
+
+  explicit MutPlaneView(Tensor3D &T)
+      : Data(T.data()), SC(T.stride(Dim::C)), SH(T.stride(Dim::H)),
+        SW(T.stride(Dim::W)) {}
+
+  float *rowPtr(int64_t C, int64_t H) const {
+    return Data + C * SC + H * SH;
+  }
+};
+
+class DirectInstance : public ConvInstance {
+public:
+  DirectInstance(const DirectConfig &Cfg, const ConvScenario &S,
+                 const Kernel4D &Weights)
+      : Cfg(Cfg), S(S), PackedW(static_cast<size_t>(Weights.size())) {
+    // CHW/HCW variants read weights in MCKK order, which is how Kernel4D
+    // stores them. HWC variants want the channel innermost: pack to
+    // M x K x K x C so per-pixel dot products stream both operands.
+    bool ChannelInnermost = Cfg.Order == DirectOrder::HWPixelMajor ||
+                            Cfg.Order == DirectOrder::HWTiled4;
+    bool FilterInnermost = Cfg.Order == DirectOrder::HWOutVector;
+    if (ChannelInnermost) {
+      for (int64_t F = 0; F < S.M; ++F)
+        for (int64_t Kr = 0; Kr < S.K; ++Kr)
+          for (int64_t Kc = 0; Kc < S.K; ++Kc)
+            for (int64_t C = 0; C < S.C; ++C)
+              PackedW[(((F * S.K + Kr) * S.K + Kc) * S.C + C)] =
+                  Weights.at(F, C, Kr, Kc);
+    } else if (FilterInnermost) {
+      // K x K x C x M: the inner loop writes all M outputs of one pixel.
+      for (int64_t Kr = 0; Kr < S.K; ++Kr)
+        for (int64_t Kc = 0; Kc < S.K; ++Kc)
+          for (int64_t C = 0; C < S.C; ++C)
+            for (int64_t F = 0; F < S.M; ++F)
+              PackedW[(((Kr * S.K + Kc) * S.C + C) * S.M + F)] =
+                  Weights.at(F, C, Kr, Kc);
+    } else {
+      std::memcpy(PackedW.data(), Weights.data(),
+                  static_cast<size_t>(Weights.size()) * sizeof(float));
+    }
+  }
+
+  void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override;
+
+private:
+  void runRows(const Tensor3D &In, Tensor3D &Out, int64_t RowBegin,
+               int64_t RowEnd) const;
+  void runFilters(const Tensor3D &In, Tensor3D &Out, int64_t FilterBegin,
+                  int64_t FilterEnd) const;
+
+  DirectConfig Cfg;
+  ConvScenario S;
+  AlignedBuffer PackedW;
+};
+
+/// sum2d: the unoptimized textbook loop with inline bounds checks; the
+/// common baseline of every figure/table.
+static void runSum2D(const ConvScenario &S, const float *W,
+                     const Tensor3D &In, Tensor3D &Out, int64_t FBegin,
+                     int64_t FEnd) {
+  PlaneView IV(In);
+  MutPlaneView OV(Out);
+  const int64_t Ho = S.outHeight(), Wo = S.outWidth();
+  for (int64_t F = FBegin; F < FEnd; ++F)
+    for (int64_t C = 0; C < S.C; ++C) {
+      const float *WBase = W + (F * S.C + C) * S.K * S.K;
+      for (int64_t R = 0; R < Ho; ++R)
+        for (int64_t Col = 0; Col < Wo; ++Col) {
+          float Acc = C == 0 ? 0.0f : OV.rowPtr(F, R)[Col * OV.SW];
+          for (int64_t Kr = 0; Kr < S.K; ++Kr) {
+            int64_t IR = R * S.Stride + Kr - S.Pad;
+            if (IR < 0 || IR >= S.H)
+              continue;
+            for (int64_t Kc = 0; Kc < S.K; ++Kc) {
+              int64_t IC = Col * S.Stride + Kc - S.Pad;
+              if (IC < 0 || IC >= S.W)
+                continue;
+              Acc += IV.rowPtr(C, IR)[IC * IV.SW] * WBase[Kr * S.K + Kc];
+            }
+          }
+          OV.rowPtr(F, R)[Col * OV.SW] = Acc;
+        }
+    }
+}
+
+void DirectInstance::runFilters(const Tensor3D &In, Tensor3D &Out,
+                                int64_t FBegin, int64_t FEnd) const {
+  const int64_t Ho = S.outHeight(), Wo = S.outWidth();
+  const float *W = PackedW.data();
+
+  switch (Cfg.Order) {
+  case DirectOrder::Sum2D:
+    runSum2D(S, W, In, Out, FBegin, FEnd);
+    return;
+
+  case DirectOrder::MCKhKwHoWo: {
+    // Padded CHW input is materialized by run(); no bounds checks here.
+    PlaneView IV(In);
+    MutPlaneView OV(Out);
+    for (int64_t F = FBegin; F < FEnd; ++F) {
+      for (int64_t R = 0; R < Ho; ++R)
+        std::memset(OV.rowPtr(F, R), 0,
+                    static_cast<size_t>(Wo) * sizeof(float));
+      for (int64_t C = 0; C < S.C; ++C) {
+        const float *WBase = W + (F * S.C + C) * S.K * S.K;
+        for (int64_t Kr = 0; Kr < S.K; ++Kr)
+          for (int64_t Kc = 0; Kc < S.K; ++Kc) {
+            float WV = WBase[Kr * S.K + Kc];
+            for (int64_t R = 0; R < Ho; ++R) {
+              const float *IRow = IV.rowPtr(C, R * S.Stride + Kr) + Kc;
+              float *ORow = OV.rowPtr(F, R);
+              if (S.Stride == 1) {
+                for (int64_t Col = 0; Col < Wo; ++Col)
+                  ORow[Col] += WV * IRow[Col];
+              } else {
+                for (int64_t Col = 0; Col < Wo; ++Col)
+                  ORow[Col] += WV * IRow[Col * S.Stride];
+              }
+            }
+          }
+      }
+    }
+    return;
+  }
+
+  case DirectOrder::MHoCKhWo: {
+    PlaneView IV(In);
+    MutPlaneView OV(Out);
+    for (int64_t F = FBegin; F < FEnd; ++F)
+      for (int64_t R = 0; R < Ho; ++R) {
+        float *ORow = OV.rowPtr(F, R);
+        std::memset(ORow, 0, static_cast<size_t>(Wo) * sizeof(float));
+        for (int64_t C = 0; C < S.C; ++C) {
+          const float *WBase = W + (F * S.C + C) * S.K * S.K;
+          for (int64_t Kr = 0; Kr < S.K; ++Kr) {
+            const float *IRow = IV.rowPtr(C, R * S.Stride + Kr);
+            for (int64_t Kc = 0; Kc < S.K; ++Kc) {
+              float WV = WBase[Kr * S.K + Kc];
+              const float *IP = IRow + Kc;
+              if (S.Stride == 1) {
+                for (int64_t Col = 0; Col < Wo; ++Col)
+                  ORow[Col] += WV * IP[Col];
+              } else {
+                for (int64_t Col = 0; Col < Wo; ++Col)
+                  ORow[Col] += WV * IP[Col * S.Stride];
+              }
+            }
+          }
+        }
+      }
+    return;
+  }
+
+  case DirectOrder::TiledW16: {
+    PlaneView IV(In);
+    MutPlaneView OV(Out);
+    constexpr int64_t Tile = 16;
+    for (int64_t F = FBegin; F < FEnd; ++F) {
+      for (int64_t R = 0; R < Ho; ++R)
+        std::memset(OV.rowPtr(F, R), 0,
+                    static_cast<size_t>(Wo) * sizeof(float));
+      for (int64_t C = 0; C < S.C; ++C) {
+        const float *WBase = W + (F * S.C + C) * S.K * S.K;
+        for (int64_t ColTile = 0; ColTile < Wo; ColTile += Tile) {
+          int64_t ColEnd = std::min(Wo, ColTile + Tile);
+          for (int64_t R = 0; R < Ho; ++R) {
+            float *ORow = OV.rowPtr(F, R);
+            for (int64_t Kr = 0; Kr < S.K; ++Kr) {
+              const float *IRow = IV.rowPtr(C, R * S.Stride + Kr);
+              for (int64_t Kc = 0; Kc < S.K; ++Kc) {
+                float WV = WBase[Kr * S.K + Kc];
+                for (int64_t Col = ColTile; Col < ColEnd; ++Col)
+                  ORow[Col] += WV * IRow[Col * S.Stride + Kc];
+              }
+            }
+          }
+        }
+      }
+    }
+    return;
+  }
+
+  default:
+    assert(false && "loop order is not filter-parallel");
+  }
+}
+
+void DirectInstance::runRows(const Tensor3D &In, Tensor3D &Out,
+                             int64_t RowBegin, int64_t RowEnd) const {
+  const int64_t Wo = S.outWidth();
+  const float *W = PackedW.data();
+  PlaneView IV(In);
+  MutPlaneView OV(Out);
+
+  switch (Cfg.Order) {
+  case DirectOrder::CMKhKwHoWo: {
+    // Input-plane-stationary: one pass per input channel, accumulating into
+    // every output plane. Parallel over output rows to stay race-free.
+    for (int64_t R = RowBegin; R < RowEnd; ++R)
+      for (int64_t F = 0; F < S.M; ++F)
+        std::memset(OV.rowPtr(F, R), 0,
+                    static_cast<size_t>(Wo) * sizeof(float));
+    for (int64_t C = 0; C < S.C; ++C)
+      for (int64_t F = 0; F < S.M; ++F) {
+        const float *WBase = W + (F * S.C + C) * S.K * S.K;
+        for (int64_t Kr = 0; Kr < S.K; ++Kr)
+          for (int64_t Kc = 0; Kc < S.K; ++Kc) {
+            float WV = WBase[Kr * S.K + Kc];
+            for (int64_t R = RowBegin; R < RowEnd; ++R) {
+              const float *IRow = IV.rowPtr(C, R * S.Stride + Kr) + Kc;
+              float *ORow = OV.rowPtr(F, R);
+              for (int64_t Col = 0; Col < Wo; ++Col)
+                ORow[Col] += WV * IRow[Col * S.Stride];
+            }
+          }
+      }
+    return;
+  }
+
+  case DirectOrder::HWPixelMajor: {
+    // HWC: for each output pixel, M dot products over the K*K*C patch.
+    const int64_t PatchC = S.C;
+    for (int64_t R = RowBegin; R < RowEnd; ++R)
+      for (int64_t Col = 0; Col < Wo; ++Col) {
+        float *OPix = OV.Data + R * OV.SH + Col * OV.SW;
+        for (int64_t F = 0; F < S.M; ++F) {
+          const float *WBase = W + F * S.K * S.K * PatchC;
+          float Acc = 0.0f;
+          for (int64_t Kr = 0; Kr < S.K; ++Kr) {
+            const float *IRow = IV.Data + (R * S.Stride + Kr) * IV.SH +
+                                Col * S.Stride * IV.SW;
+            const float *WRow = WBase + Kr * S.K * PatchC;
+            for (int64_t Kc = 0; Kc < S.K; ++Kc) {
+              const float *IPix = IRow + Kc * IV.SW;
+              const float *WPix = WRow + Kc * PatchC;
+              for (int64_t C = 0; C < PatchC; ++C)
+                Acc += IPix[C] * WPix[C];
+            }
+          }
+          OPix[F] = Acc;
+        }
+      }
+    return;
+  }
+
+  case DirectOrder::HWOutVector: {
+    // HWC with the filter loop innermost: accumulate the whole output pixel
+    // vector; weights packed K x K x C x M.
+    for (int64_t R = RowBegin; R < RowEnd; ++R)
+      for (int64_t Col = 0; Col < Wo; ++Col) {
+        float *OPix = OV.Data + R * OV.SH + Col * OV.SW;
+        std::memset(OPix, 0, static_cast<size_t>(S.M) * sizeof(float));
+        for (int64_t Kr = 0; Kr < S.K; ++Kr) {
+          const float *IRow = IV.Data + (R * S.Stride + Kr) * IV.SH +
+                              Col * S.Stride * IV.SW;
+          for (int64_t Kc = 0; Kc < S.K; ++Kc) {
+            const float *IPix = IRow + Kc * IV.SW;
+            const float *WBase = W + (Kr * S.K + Kc) * S.C * S.M;
+            for (int64_t C = 0; C < S.C; ++C) {
+              float IVal = IPix[C];
+              const float *WRow = WBase + C * S.M;
+              for (int64_t F = 0; F < S.M; ++F)
+                OPix[F] += IVal * WRow[F];
+            }
+          }
+        }
+      }
+    return;
+  }
+
+  case DirectOrder::HWTiled4: {
+    // Pixel-major with four adjacent output pixels sharing a weight pass.
+    const int64_t PatchC = S.C;
+    constexpr int64_t Tile = 4;
+    for (int64_t R = RowBegin; R < RowEnd; ++R)
+      for (int64_t ColTile = 0; ColTile < Wo; ColTile += Tile) {
+        int64_t ColEnd = std::min(Wo, ColTile + Tile);
+        for (int64_t F = 0; F < S.M; ++F) {
+          const float *WBase = W + F * S.K * S.K * PatchC;
+          float Acc[Tile] = {0, 0, 0, 0};
+          for (int64_t Kr = 0; Kr < S.K; ++Kr)
+            for (int64_t Kc = 0; Kc < S.K; ++Kc) {
+              const float *WPix = WBase + (Kr * S.K + Kc) * PatchC;
+              for (int64_t Col = ColTile; Col < ColEnd; ++Col) {
+                const float *IPix = IV.Data + (R * S.Stride + Kr) * IV.SH +
+                                    (Col * S.Stride + Kc) * IV.SW;
+                float Dot = 0.0f;
+                for (int64_t C = 0; C < PatchC; ++C)
+                  Dot += IPix[C] * WPix[C];
+                Acc[Col - ColTile] += Dot;
+              }
+            }
+          for (int64_t Col = ColTile; Col < ColEnd; ++Col)
+            (OV.Data + R * OV.SH + Col * OV.SW)[F] = Acc[Col - ColTile];
+        }
+      }
+    return;
+  }
+
+  case DirectOrder::HCWRows: {
+    // HCW: rows of one channel are contiguous; accumulate per output row.
+    for (int64_t R = RowBegin; R < RowEnd; ++R)
+      for (int64_t F = 0; F < S.M; ++F) {
+        float *ORow = OV.Data + R * OV.SH + F * OV.SC;
+        std::memset(ORow, 0, static_cast<size_t>(Wo) * sizeof(float));
+        for (int64_t C = 0; C < S.C; ++C) {
+          const float *WBase = W + (F * S.C + C) * S.K * S.K;
+          for (int64_t Kr = 0; Kr < S.K; ++Kr) {
+            const float *IRow =
+                IV.Data + (R * S.Stride + Kr) * IV.SH + C * IV.SC;
+            for (int64_t Kc = 0; Kc < S.K; ++Kc) {
+              float WV = WBase[Kr * S.K + Kc];
+              for (int64_t Col = 0; Col < Wo; ++Col)
+                ORow[Col] += WV * IRow[Col * S.Stride + Kc];
+            }
+          }
+        }
+      }
+    return;
+  }
+
+  default:
+    assert(false && "loop order is not row-parallel");
+  }
+}
+
+/// The layout each loop order writes through its raw-pointer arithmetic.
+static Layout nativeOutputLayout(DirectOrder Order) {
+  switch (Order) {
+  case DirectOrder::Sum2D:
+  case DirectOrder::MCKhKwHoWo:
+  case DirectOrder::CMKhKwHoWo:
+  case DirectOrder::MHoCKhWo:
+  case DirectOrder::TiledW16:
+    return Layout::CHW;
+  case DirectOrder::HWPixelMajor:
+  case DirectOrder::HWOutVector:
+  case DirectOrder::HWTiled4:
+    return Layout::HWC;
+  case DirectOrder::HCWRows:
+    return Layout::HCW;
+  }
+  assert(false && "unknown loop order");
+  return Layout::CHW;
+}
+
+void DirectInstance::run(const Tensor3D &In, Tensor3D &Out,
+                         const RunContext &Ctx) {
+  // sum2d folds padding into its bounds checks; every other variant runs on
+  // a padded copy so the hot loops stay branch-free.
+  const Tensor3D *Input = &In;
+  Tensor3D Padded;
+  if (S.Pad > 0 && Cfg.Order != DirectOrder::Sum2D) {
+    Padded = makePaddedInput(In, S.Pad, Cfg.In);
+    Input = &Padded;
+  }
+
+  // Cross-layout variants compute in the loop order's native layout and
+  // convert on the way out; the conversion is part of this primitive's
+  // measured cost.
+  Layout Native = nativeOutputLayout(Cfg.Order);
+  Tensor3D NativeOut;
+  Tensor3D *Target = &Out;
+  if (Cfg.Out != Native) {
+    NativeOut = Tensor3D(S.M, S.outHeight(), S.outWidth(), Native);
+    Target = &NativeOut;
+  }
+
+  bool FilterParallel = Cfg.Order == DirectOrder::Sum2D ||
+                        Cfg.Order == DirectOrder::MCKhKwHoWo ||
+                        Cfg.Order == DirectOrder::MHoCKhWo ||
+                        Cfg.Order == DirectOrder::TiledW16;
+  int64_t Extent = FilterParallel ? S.M : S.outHeight();
+  auto RunChunk = [&](int64_t Begin, int64_t End) {
+    if (FilterParallel)
+      runFilters(*Input, *Target, Begin, End);
+    else
+      runRows(*Input, *Target, Begin, End);
+  };
+
+  ThreadPool *Pool = Ctx.Pool;
+  if (!Pool || Pool->numThreads() == 1) {
+    RunChunk(0, Extent);
+  } else {
+    // Chunk manually so each worker runs one contiguous slab (the loop
+    // structure of the variant is preserved within a slab).
+    int64_t NumChunks = std::min<int64_t>(Pool->numThreads(), Extent);
+    int64_t ChunkSize = (Extent + NumChunks - 1) / NumChunks;
+    Pool->parallelFor(0, NumChunks, [&](int64_t Chunk) {
+      int64_t Begin = Chunk * ChunkSize;
+      int64_t End = std::min(Extent, Begin + ChunkSize);
+      if (Begin < End)
+        RunChunk(Begin, End);
+    });
+  }
+
+  if (Target != &Out)
+    runTransform(*Target, Out);
+}
+
+class DirectPrimitive : public ConvPrimitive {
+public:
+  explicit DirectPrimitive(const DirectConfig &Cfg) : Cfg(Cfg) {}
+
+  std::string name() const override { return Cfg.Name; }
+  ConvFamily family() const override {
+    return Cfg.Order == DirectOrder::Sum2D ? ConvFamily::Sum2D
+                                           : ConvFamily::Direct;
+  }
+  Layout inputLayout() const override { return Cfg.In; }
+  Layout outputLayout() const override { return Cfg.Out; }
+
+  bool supports(const ConvScenario &S) const override {
+    // Direct loops handle any stride, kernel size and padding ("Strided:
+    // ++" in Table 1).
+    return S.outHeight() >= 1 && S.outWidth() >= 1;
+  }
+
+  size_t workspaceBytes(const ConvScenario &S) const override {
+    if (S.Pad == 0 || Cfg.Order == DirectOrder::Sum2D)
+      return 0;
+    return static_cast<size_t>(S.C) * S.paddedHeight() * S.paddedWidth() *
+           sizeof(float);
+  }
+
+  std::unique_ptr<ConvInstance>
+  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
+    assert(supports(S) && "instantiating unsupported scenario");
+    return std::make_unique<DirectInstance>(Cfg, S, Weights);
+  }
+
+private:
+  DirectConfig Cfg;
+};
+
+} // namespace
+
+void primsel::registerSum2D(PrimitiveLibrary &Lib) {
+  Lib.add(std::make_unique<DirectPrimitive>(
+      DirectConfig{DirectOrder::Sum2D, Layout::CHW, Layout::CHW, "sum2d"}));
+}
+
+void primsel::registerDirectFamily(PrimitiveLibrary &Lib) {
+  const DirectConfig Configs[] = {
+      {DirectOrder::MCKhKwHoWo, Layout::CHW, Layout::CHW,
+       "direct-mckk-chw-chw"},
+      {DirectOrder::CMKhKwHoWo, Layout::CHW, Layout::CHW,
+       "direct-cmkk-chw-chw"},
+      {DirectOrder::MHoCKhWo, Layout::CHW, Layout::CHW,
+       "direct-mhck-chw-chw"},
+      {DirectOrder::TiledW16, Layout::CHW, Layout::CHW,
+       "direct-t16-chw-chw"},
+      {DirectOrder::MCKhKwHoWo, Layout::CHW, Layout::HWC,
+       "direct-mckk-chw-hwc"},
+      {DirectOrder::HWPixelMajor, Layout::HWC, Layout::HWC,
+       "direct-pix-hwc-hwc"},
+      {DirectOrder::HWOutVector, Layout::HWC, Layout::HWC,
+       "direct-ovec-hwc-hwc"},
+      {DirectOrder::HWTiled4, Layout::HWC, Layout::HWC,
+       "direct-pt4-hwc-hwc"},
+      {DirectOrder::HWPixelMajor, Layout::HWC, Layout::CHW,
+       "direct-pix-hwc-chw"},
+      {DirectOrder::HCWRows, Layout::HCW, Layout::HCW,
+       "direct-rows-hcw-hcw"},
+      {DirectOrder::CMKhKwHoWo, Layout::CHW, Layout::HWC,
+       "direct-cmkk-chw-hwc"},
+      {DirectOrder::MHoCKhWo, Layout::CHW, Layout::HWC,
+       "direct-mhck-chw-hwc"},
+      {DirectOrder::HWOutVector, Layout::HWC, Layout::CHW,
+       "direct-ovec-hwc-chw"},
+  };
+  for (const DirectConfig &Cfg : Configs)
+    Lib.add(std::make_unique<DirectPrimitive>(Cfg));
+}

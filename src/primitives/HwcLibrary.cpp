@@ -1,0 +1,342 @@
+//===- primitives/HwcLibrary.cpp - Second-vendor HWC-native library -------===//
+//
+// Part of primsel. See DESIGN.md.
+//
+// The paper's §8 ensemble extension: "Our approach can enable the
+// construction of DNNs using convolution routines from different libraries,
+// if at least one edge in the DT graph connects a convolution from library A
+// to one from library B." This file is library B: a small, self-contained
+// "vendor" library ("hwcnn") whose routines are HWC-native, in the style of
+// mobile inference libraries that keep channels innermost for per-pixel
+// vectorization. Because it shares the native library's layout vocabulary,
+// the DT graph connects the two libraries everywhere, and the unchanged PBQP
+// formulation can build mixed-library plans.
+//
+// The key structural trick the library exploits: with channels innermost,
+// an im2row patch matrix is built from contiguous K*C-float row segments,
+// and the GEMM output (Ho*Wo) x M *is* the HWC output tensor, so no
+// scatter/unpack pass is needed at either end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "primitives/Registry.h"
+
+#include "gemm/Gemm.h"
+#include "primitives/Reference.h"
+#include "support/AlignedBuffer.h"
+#include "support/ThreadPool.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace primsel;
+
+namespace {
+
+constexpr const char *HwcLibraryTag = "hwcnn";
+
+/// Weights flattened to a (K*K*C) x M row-major matrix whose row index is
+/// (kh*K + kw)*C + c -- the same order an HWC im2row patch row uses, so the
+/// GEMM streams both operands. When \p Transposed, the M x (K*K*C) transpose
+/// is produced instead (for the TransposedB GEMM kernel).
+AlignedBuffer packWeightsKKCxM(const ConvScenario &S, const Kernel4D &W,
+                               bool Transposed) {
+  int64_t Rows = S.K * S.K * S.C;
+  AlignedBuffer Packed(static_cast<size_t>(Rows * S.M));
+  for (int64_t Kr = 0; Kr < S.K; ++Kr)
+    for (int64_t Kc = 0; Kc < S.K; ++Kc)
+      for (int64_t C = 0; C < S.C; ++C) {
+        int64_t Row = (Kr * S.K + Kc) * S.C + C;
+        for (int64_t F = 0; F < S.M; ++F) {
+          float V = W.at(F, C, Kr, Kc);
+          if (Transposed)
+            Packed[F * Rows + Row] = V;
+          else
+            Packed[Row * S.M + F] = V;
+        }
+      }
+  return Packed;
+}
+
+/// Common legality for every hwcnn routine: dense kernels and a
+/// non-degenerate output plane.
+bool hwcSupportsCommon(const ConvScenario &S) {
+  return S.SparsityPct == 0 && S.K >= 1 && S.Stride >= 1 && S.Pad >= 0 &&
+         S.outHeight() >= 1 && S.outWidth() >= 1;
+}
+
+//===----------------------------------------------------------------------===//
+// hwcnn-im2row: patch matrix + GEMM, HWC -> HWC
+//===----------------------------------------------------------------------===//
+
+class HwcIm2RowInstance : public ConvInstance {
+public:
+  HwcIm2RowInstance(GemmVariant Variant, const ConvScenario &S,
+                    const Kernel4D &Weights)
+      : Variant(Variant), S(S),
+        PackedW(packWeightsKKCxM(S, Weights,
+                                 Variant == GemmVariant::TransposedB)),
+        Patches(static_cast<size_t>(S.outHeight() * S.outWidth() * S.K *
+                                    S.K * S.C)) {}
+
+  void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override {
+    assert(In.layout() == Layout::HWC && Out.layout() == Layout::HWC &&
+           "hwcnn-im2row operates on HWC tensors");
+    // Fold padding into a padded copy once; afterwards every patch segment
+    // is an in-bounds contiguous K*C-float memcpy.
+    const Tensor3D *Src = &In;
+    Tensor3D Padded;
+    if (S.Pad > 0) {
+      Padded = makePaddedInput(In, S.Pad, Layout::HWC);
+      Src = &Padded;
+    }
+    int64_t Ho = S.outHeight(), Wo = S.outWidth();
+    int64_t SegLen = S.K * S.C;          // one kh row of a patch
+    int64_t PatchLen = S.K * SegLen;     // full patch row length
+    const float *Base = Src->data();
+    int64_t RowStride = Src->stride(Dim::H);
+    int64_t ColStride = Src->stride(Dim::W);
+
+    auto FillRow = [&](int64_t P) {
+      int64_t OutRow = P / Wo, OutCol = P % Wo;
+      int64_t TopRow = OutRow * S.Stride, LeftCol = OutCol * S.Stride;
+      float *Dst = Patches.data() + P * PatchLen;
+      for (int64_t Kr = 0; Kr < S.K; ++Kr)
+        std::memcpy(Dst + Kr * SegLen,
+                    Base + (TopRow + Kr) * RowStride + LeftCol * ColStride,
+                    static_cast<size_t>(SegLen) * sizeof(float));
+    };
+    if (Ctx.Pool && Ctx.Pool->numThreads() > 1)
+      Ctx.Pool->parallelFor(0, Ho * Wo, FillRow);
+    else
+      for (int64_t P = 0; P < Ho * Wo; ++P)
+        FillRow(P);
+
+    // (Ho*Wo x KKC) * (KKC x M) writes the HWC output tensor directly.
+    sgemm(Variant, Ho * Wo, S.M, PatchLen, Patches.data(), PackedW.data(),
+          Out.data(), S.M, /*Accumulate=*/false, Ctx.Pool);
+  }
+
+private:
+  GemmVariant Variant;
+  ConvScenario S;
+  AlignedBuffer PackedW;
+  AlignedBuffer Patches;
+};
+
+class HwcIm2RowPrimitive : public ConvPrimitive {
+public:
+  explicit HwcIm2RowPrimitive(GemmVariant Variant) : Variant(Variant) {}
+
+  std::string name() const override {
+    return Variant == GemmVariant::TransposedB
+               ? "hwcnn-im2row-tb-hwc-hwc"
+               : "hwcnn-im2row-hwc-hwc";
+  }
+  ConvFamily family() const override { return ConvFamily::Im2; }
+  Layout inputLayout() const override { return Layout::HWC; }
+  Layout outputLayout() const override { return Layout::HWC; }
+  const char *libraryTag() const override { return HwcLibraryTag; }
+
+  bool supports(const ConvScenario &S) const override {
+    return hwcSupportsCommon(S);
+  }
+
+  size_t workspaceBytes(const ConvScenario &S) const override {
+    size_t Patch = static_cast<size_t>(S.outHeight() * S.outWidth() * S.K *
+                                       S.K * S.C);
+    size_t Pad = S.Pad > 0 ? static_cast<size_t>(S.C * S.paddedHeight() *
+                                                 S.paddedWidth())
+                           : 0;
+    return (Patch + Pad) * sizeof(float);
+  }
+
+  std::unique_ptr<ConvInstance>
+  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
+    return std::make_unique<HwcIm2RowInstance>(Variant, S, Weights);
+  }
+
+private:
+  GemmVariant Variant;
+};
+
+//===----------------------------------------------------------------------===//
+// hwcnn-pointwise: 1x1 convolution as a single GEMM, HWC -> HWC
+//===----------------------------------------------------------------------===//
+
+class HwcPointwiseInstance : public ConvInstance {
+public:
+  HwcPointwiseInstance(GemmVariant Variant, const ConvScenario &S,
+                       const Kernel4D &Weights)
+      : Variant(Variant), S(S),
+        PackedW(packWeightsKKCxM(S, Weights,
+                                 Variant == GemmVariant::TransposedB)) {}
+
+  void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override {
+    assert(In.layout() == Layout::HWC && Out.layout() == Layout::HWC &&
+           "hwcnn-pointwise operates on HWC tensors");
+    int64_t Ho = S.outHeight(), Wo = S.outWidth();
+    const float *A = In.data();
+    AlignedBuffer Gathered;
+    if (S.Stride != 1) {
+      // Gather the strided sample grid into a dense (Ho*Wo) x C matrix.
+      Gathered = AlignedBuffer(static_cast<size_t>(Ho * Wo * S.C));
+      int64_t RowStride = In.stride(Dim::H), ColStride = In.stride(Dim::W);
+      for (int64_t R = 0; R < Ho; ++R)
+        for (int64_t Col = 0; Col < Wo; ++Col)
+          std::memcpy(Gathered.data() + (R * Wo + Col) * S.C,
+                      In.data() + R * S.Stride * RowStride +
+                          Col * S.Stride * ColStride,
+                      static_cast<size_t>(S.C) * sizeof(float));
+      A = Gathered.data();
+    }
+    // (Ho*Wo x C) * (C x M); the result is the HWC output verbatim.
+    sgemm(Variant, Ho * Wo, S.M, S.C, A, PackedW.data(), Out.data(), S.M,
+          /*Accumulate=*/false, Ctx.Pool);
+  }
+
+private:
+  GemmVariant Variant;
+  ConvScenario S;
+  AlignedBuffer PackedW;
+};
+
+class HwcPointwisePrimitive : public ConvPrimitive {
+public:
+  explicit HwcPointwisePrimitive(GemmVariant Variant) : Variant(Variant) {}
+
+  std::string name() const override {
+    return Variant == GemmVariant::TransposedB
+               ? "hwcnn-pointwise-tb-hwc-hwc"
+               : "hwcnn-pointwise-hwc-hwc";
+  }
+  ConvFamily family() const override { return ConvFamily::Im2; }
+  Layout inputLayout() const override { return Layout::HWC; }
+  Layout outputLayout() const override { return Layout::HWC; }
+  const char *libraryTag() const override { return HwcLibraryTag; }
+
+  bool supports(const ConvScenario &S) const override {
+    return hwcSupportsCommon(S) && S.K == 1 && S.Pad == 0;
+  }
+
+  size_t workspaceBytes(const ConvScenario &S) const override {
+    return S.Stride != 1 ? static_cast<size_t>(S.outHeight() * S.outWidth() *
+                                               S.C) *
+                               sizeof(float)
+                         : 0;
+  }
+
+  std::unique_ptr<ConvInstance>
+  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
+    return std::make_unique<HwcPointwiseInstance>(Variant, S, Weights);
+  }
+
+private:
+  GemmVariant Variant;
+};
+
+//===----------------------------------------------------------------------===//
+// hwcnn-direct: per-pixel accumulator loop, HWC -> HWC
+//===----------------------------------------------------------------------===//
+
+class HwcDirectInstance : public ConvInstance {
+public:
+  HwcDirectInstance(const ConvScenario &S, const Kernel4D &Weights)
+      : S(S), PackedW(packWeightsKKCxM(S, Weights, /*Transposed=*/false)) {}
+
+  void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override {
+    assert(In.layout() == Layout::HWC && Out.layout() == Layout::HWC &&
+           "hwcnn-direct operates on HWC tensors");
+    const Tensor3D *Src = &In;
+    Tensor3D Padded;
+    if (S.Pad > 0) {
+      Padded = makePaddedInput(In, S.Pad, Layout::HWC);
+      Src = &Padded;
+    }
+    int64_t Ho = S.outHeight(), Wo = S.outWidth();
+    const float *Base = Src->data();
+    int64_t RowStride = Src->stride(Dim::H), ColStride = Src->stride(Dim::W);
+    float *OutBase = Out.data();
+
+    auto RunRow = [&](int64_t OutRow) {
+      for (int64_t OutCol = 0; OutCol < Wo; ++OutCol) {
+        float *Acc = OutBase + (OutRow * Wo + OutCol) * S.M;
+        for (int64_t F = 0; F < S.M; ++F)
+          Acc[F] = 0.0f;
+        int64_t TopRow = OutRow * S.Stride, LeftCol = OutCol * S.Stride;
+        for (int64_t Kr = 0; Kr < S.K; ++Kr) {
+          const float *InSeg =
+              Base + (TopRow + Kr) * RowStride + LeftCol * ColStride;
+          const float *WSeg = PackedW.data() + Kr * S.K * S.C * S.M;
+          // The inner pair streams S.K*S.C input floats against the
+          // matching weight rows, writing all M outputs of this pixel.
+          for (int64_t I = 0; I < S.K * S.C; ++I) {
+            float X = InSeg[I];
+            const float *WRow = WSeg + I * S.M;
+            for (int64_t F = 0; F < S.M; ++F)
+              Acc[F] += X * WRow[F];
+          }
+        }
+      }
+    };
+    if (Ctx.Pool && Ctx.Pool->numThreads() > 1)
+      Ctx.Pool->parallelFor(0, Ho, RunRow);
+    else
+      for (int64_t R = 0; R < Ho; ++R)
+        RunRow(R);
+  }
+
+private:
+  ConvScenario S;
+  AlignedBuffer PackedW;
+};
+
+class HwcDirectPrimitive : public ConvPrimitive {
+public:
+  std::string name() const override { return "hwcnn-direct-hwc-hwc"; }
+  ConvFamily family() const override { return ConvFamily::Direct; }
+  Layout inputLayout() const override { return Layout::HWC; }
+  Layout outputLayout() const override { return Layout::HWC; }
+  const char *libraryTag() const override { return HwcLibraryTag; }
+
+  bool supports(const ConvScenario &S) const override {
+    return hwcSupportsCommon(S);
+  }
+
+  size_t workspaceBytes(const ConvScenario &S) const override {
+    return S.Pad > 0 ? static_cast<size_t>(S.C * S.paddedHeight() *
+                                           S.paddedWidth()) *
+                           sizeof(float)
+                     : 0;
+  }
+
+  std::unique_ptr<ConvInstance>
+  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
+    return std::make_unique<HwcDirectInstance>(S, Weights);
+  }
+};
+
+} // namespace
+
+void primsel::registerHwcLibrary(PrimitiveLibrary &Lib) {
+  Lib.add(std::make_unique<HwcIm2RowPrimitive>(GemmVariant::Blocked));
+  Lib.add(std::make_unique<HwcIm2RowPrimitive>(GemmVariant::TransposedB));
+  Lib.add(std::make_unique<HwcPointwisePrimitive>(GemmVariant::Blocked));
+  Lib.add(std::make_unique<HwcPointwisePrimitive>(GemmVariant::TransposedB));
+  Lib.add(std::make_unique<HwcDirectPrimitive>());
+}
+
+PrimitiveLibrary primsel::buildHwcLibrary() {
+  PrimitiveLibrary Lib;
+  // Every library that wants to participate in whole-network planning needs
+  // the sum2d baseline so the common normalization point exists.
+  registerSum2D(Lib);
+  registerHwcLibrary(Lib);
+  return Lib;
+}
+
+PrimitiveLibrary primsel::buildEnsembleLibrary() {
+  PrimitiveLibrary Lib = buildFullLibrary();
+  registerHwcLibrary(Lib);
+  return Lib;
+}

@@ -1,0 +1,249 @@
+//===- primitives/Im2.cpp - im2col / im2row GEMM convolution -------------===//
+//
+// Part of primsel. See DESIGN.md.
+//
+// The im2 family (paper §4): "first construct a Toeplitz matrix from the
+// input image, and convolve this with the kernel using a single call to the
+// BLAS GEMM routine". im2col builds the patch matrix with patches as
+// columns (natural from CHW, producing CHW output); im2row builds it with
+// patches as rows (natural from HWC, producing HWC output). Variants differ
+// in the GEMM inner kernel -- including the one that "passes the kernel
+// matrix to the GEMM matrix multiplication call as a transposed matrix"
+// that the paper's Figure 4 selects on ARM.
+//
+//===----------------------------------------------------------------------===//
+
+#include "primitives/Registry.h"
+
+#include "gemm/Gemm.h"
+#include "primitives/Reference.h"
+#include "support/AlignedBuffer.h"
+#include "support/ThreadPool.h"
+#include "tensor/Transform.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace primsel;
+
+namespace {
+
+struct Im2Config {
+  bool RowMajorPatches; ///< false: im2col, true: im2row
+  GemmVariant Gemm;
+  Layout In;
+  Layout Out;
+  const char *Name;
+};
+
+class Im2Instance : public ConvInstance {
+public:
+  Im2Instance(const Im2Config &Cfg, const ConvScenario &S,
+              const Kernel4D &Weights)
+      : Cfg(Cfg), S(S),
+        PackedW(static_cast<size_t>(Weights.size())),
+        Patches(static_cast<size_t>(S.C * S.K * S.K * S.outHeight() *
+                                    S.outWidth())) {
+    if (!Cfg.RowMajorPatches) {
+      // im2col: A = kernel matrix [M][C*K*K]; MCKK storage is already flat.
+      std::memcpy(PackedW.data(), Weights.data(),
+                  static_cast<size_t>(Weights.size()) * sizeof(float));
+      return;
+    }
+    // im2row: patches are rows ordered [kr][kc][c]. The kernel operand is
+    // either B = [C*K*K][M] (plain GEMM) or B^T = [M][C*K*K] (TransposedB),
+    // both with the matching [kr][kc][c] element order.
+    const int64_t K = S.K, C = S.C, M = S.M;
+    for (int64_t Kr = 0; Kr < K; ++Kr)
+      for (int64_t Kc = 0; Kc < K; ++Kc)
+        for (int64_t Ch = 0; Ch < C; ++Ch)
+          for (int64_t F = 0; F < M; ++F) {
+            int64_t Flat = (Kr * K + Kc) * C + Ch;
+            float V = Weights.at(F, Ch, Kr, Kc);
+            if (Cfg.Gemm == GemmVariant::TransposedB)
+              PackedW[F * (C * K * K) + Flat] = V;
+            else
+              PackedW[Flat * M + F] = V;
+          }
+  }
+
+  void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override;
+
+private:
+  void buildColPatches(const Tensor3D &In, ThreadPool *Pool);
+  void buildRowPatches(const Tensor3D &In, ThreadPool *Pool);
+
+  Im2Config Cfg;
+  ConvScenario S;
+  AlignedBuffer PackedW;
+  AlignedBuffer Patches;
+};
+
+/// im2col patch matrix: P[(c*K+kr)*K+kc][ho*Wo+wo], zero-filled where the
+/// receptive field leaves the input.
+void Im2Instance::buildColPatches(const Tensor3D &In, ThreadPool *Pool) {
+  const int64_t Ho = S.outHeight(), Wo = S.outWidth();
+  const int64_t PixelCount = Ho * Wo;
+  const int64_t SC = In.stride(Dim::C), SH = In.stride(Dim::H),
+                SW = In.stride(Dim::W);
+  const float *Data = In.data();
+  float *P = Patches.data();
+
+  auto FillChannel = [&](int64_t Ch) {
+    for (int64_t Kr = 0; Kr < S.K; ++Kr)
+      for (int64_t Kc = 0; Kc < S.K; ++Kc) {
+        float *Row = P + ((Ch * S.K + Kr) * S.K + Kc) * PixelCount;
+        for (int64_t R = 0; R < Ho; ++R) {
+          int64_t IR = R * S.Stride + Kr - S.Pad;
+          float *Dst = Row + R * Wo;
+          if (IR < 0 || IR >= S.H) {
+            std::memset(Dst, 0, static_cast<size_t>(Wo) * sizeof(float));
+            continue;
+          }
+          const float *Src = Data + Ch * SC + IR * SH;
+          for (int64_t Col = 0; Col < Wo; ++Col) {
+            int64_t IC = Col * S.Stride + Kc - S.Pad;
+            Dst[Col] = (IC < 0 || IC >= S.W) ? 0.0f : Src[IC * SW];
+          }
+        }
+      }
+  };
+  if (Pool && Pool->numThreads() > 1)
+    Pool->parallelFor(0, S.C, FillChannel);
+  else
+    for (int64_t Ch = 0; Ch < S.C; ++Ch)
+      FillChannel(Ch);
+}
+
+/// im2row patch matrix: R[ho*Wo+wo][(kr*K+kc)*C+c].
+void Im2Instance::buildRowPatches(const Tensor3D &In, ThreadPool *Pool) {
+  const int64_t Ho = S.outHeight(), Wo = S.outWidth();
+  const int64_t PatchLen = S.K * S.K * S.C;
+  const int64_t SC = In.stride(Dim::C), SH = In.stride(Dim::H),
+                SW = In.stride(Dim::W);
+  const float *Data = In.data();
+  float *P = Patches.data();
+
+  auto FillRow = [&](int64_t R) {
+    for (int64_t Col = 0; Col < Wo; ++Col) {
+      float *Patch = P + (R * Wo + Col) * PatchLen;
+      for (int64_t Kr = 0; Kr < S.K; ++Kr) {
+        int64_t IR = R * S.Stride + Kr - S.Pad;
+        for (int64_t Kc = 0; Kc < S.K; ++Kc) {
+          int64_t IC = Col * S.Stride + Kc - S.Pad;
+          float *Dst = Patch + (Kr * S.K + Kc) * S.C;
+          if (IR < 0 || IR >= S.H || IC < 0 || IC >= S.W) {
+            std::memset(Dst, 0, static_cast<size_t>(S.C) * sizeof(float));
+            continue;
+          }
+          const float *Src = Data + IR * SH + IC * SW;
+          if (SC == 1) {
+            std::memcpy(Dst, Src, static_cast<size_t>(S.C) * sizeof(float));
+          } else {
+            for (int64_t Ch = 0; Ch < S.C; ++Ch)
+              Dst[Ch] = Src[Ch * SC];
+          }
+        }
+      }
+    }
+  };
+  if (Pool && Pool->numThreads() > 1)
+    Pool->parallelFor(0, Ho, FillRow);
+  else
+    for (int64_t R = 0; R < Ho; ++R)
+      FillRow(R);
+}
+
+void Im2Instance::run(const Tensor3D &In, Tensor3D &Out,
+                      const RunContext &Ctx) {
+  const int64_t Ho = S.outHeight(), Wo = S.outWidth();
+  const int64_t PatchLen = S.C * S.K * S.K;
+  ThreadPool *Pool = Ctx.Pool;
+
+  Layout Native = Cfg.RowMajorPatches ? Layout::HWC : Layout::CHW;
+  Tensor3D NativeOut;
+  Tensor3D *Target = &Out;
+  if (Out.layout() != Native) {
+    NativeOut = Tensor3D(S.M, Ho, Wo, Native);
+    Target = &NativeOut;
+  }
+
+  if (!Cfg.RowMajorPatches) {
+    // Out[M][Ho*Wo] = Wmat[M][PatchLen] x P[PatchLen][Ho*Wo].
+    buildColPatches(In, Pool);
+    sgemm(Cfg.Gemm, S.M, Ho * Wo, PatchLen, PackedW.data(), Patches.data(),
+          Target->data(), Ho * Wo, /*Accumulate=*/false, Pool);
+  } else {
+    // Out[Ho*Wo][M] = R[Ho*Wo][PatchLen] x Wmat[PatchLen][M] (or x B^T for
+    // the transposed-kernel variant).
+    buildRowPatches(In, Pool);
+    sgemm(Cfg.Gemm, Ho * Wo, S.M, PatchLen, Patches.data(), PackedW.data(),
+          Target->data(), S.M, /*Accumulate=*/false, Pool);
+  }
+
+  if (Target != &Out)
+    runTransform(*Target, Out);
+}
+
+class Im2Primitive : public ConvPrimitive {
+public:
+  explicit Im2Primitive(const Im2Config &Cfg) : Cfg(Cfg) {}
+
+  std::string name() const override { return Cfg.Name; }
+  ConvFamily family() const override { return ConvFamily::Im2; }
+  Layout inputLayout() const override { return Cfg.In; }
+  Layout outputLayout() const override { return Cfg.Out; }
+
+  bool supports(const ConvScenario &S) const override {
+    // Any stride and kernel ("Strided: ++" in Table 1); the cost is the
+    // Toeplitz workspace, not legality.
+    return S.outHeight() >= 1 && S.outWidth() >= 1;
+  }
+
+  size_t workspaceBytes(const ConvScenario &S) const override {
+    return static_cast<size_t>(S.C) * S.K * S.K * S.outHeight() *
+           S.outWidth() * sizeof(float);
+  }
+
+  std::unique_ptr<ConvInstance>
+  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
+    assert(supports(S) && "instantiating unsupported scenario");
+    return std::make_unique<Im2Instance>(Cfg, S, Weights);
+  }
+
+private:
+  Im2Config Cfg;
+};
+
+} // namespace
+
+void primsel::registerIm2Family(PrimitiveLibrary &Lib) {
+  const Im2Config Configs[] = {
+      {false, GemmVariant::Blocked, Layout::CHW, Layout::CHW,
+       "im2col-b-chw-chw"},
+      {false, GemmVariant::Naive, Layout::CHW, Layout::CHW,
+       "im2col-n-chw-chw"},
+      {false, GemmVariant::Blocked, Layout::HWC, Layout::CHW,
+       "im2col-b-hwc-chw"},
+      {false, GemmVariant::Blocked, Layout::CHW, Layout::HWC,
+       "im2col-b-chw-hwc"},
+      {true, GemmVariant::Blocked, Layout::HWC, Layout::HWC,
+       "im2row-b-hwc-hwc"},
+      {true, GemmVariant::TransposedB, Layout::HWC, Layout::HWC,
+       "im2row-bt-hwc-hwc"},
+      {true, GemmVariant::Naive, Layout::HWC, Layout::HWC,
+       "im2row-n-hwc-hwc"},
+      {true, GemmVariant::Blocked, Layout::CHW, Layout::HWC,
+       "im2row-b-chw-hwc"},
+      {true, GemmVariant::TransposedB, Layout::CHW, Layout::HWC,
+       "im2row-bt-chw-hwc"},
+      {true, GemmVariant::Blocked, Layout::HWC, Layout::CHW,
+       "im2row-b-hwc-chw"},
+      {false, GemmVariant::Naive, Layout::HWC, Layout::CHW,
+       "im2col-n-hwc-chw"},
+      {true, GemmVariant::Naive, Layout::CHW, Layout::HWC,
+       "im2row-n-chw-hwc"},
+  };
+  for (const Im2Config &Cfg : Configs)
+    Lib.add(std::make_unique<Im2Primitive>(Cfg));
+}

@@ -1,0 +1,46 @@
+//===- primitives/Primitive.cpp -------------------------------------------===//
+
+#include "primitives/Primitive.h"
+
+#include <cassert>
+
+using namespace primsel;
+
+// Out-of-line virtual anchors.
+ConvInstance::~ConvInstance() = default;
+ConvPrimitive::~ConvPrimitive() = default;
+
+const char *ConvPrimitive::libraryTag() const { return "primsel"; }
+
+bool ConvPrimitive::supportsBatch(int64_t Batch) const { return Batch == 1; }
+
+void ConvInstance::runBatch(const std::vector<Tensor3D> &In,
+                            std::vector<Tensor3D> &Out,
+                            const RunContext &Ctx) {
+  assert(In.size() == Out.size() && "batch size mismatch");
+  for (size_t I = 0; I < In.size(); ++I)
+    run(In[I], Out[I], Ctx);
+}
+
+const char *primsel::convFamilyName(ConvFamily F) {
+  switch (F) {
+  case ConvFamily::Sum2D:
+    return "sum2d";
+  case ConvFamily::Direct:
+    return "direct";
+  case ConvFamily::Im2:
+    return "im2";
+  case ConvFamily::Kn2:
+    return "kn2";
+  case ConvFamily::Winograd:
+    return "winograd";
+  case ConvFamily::FFT:
+    return "fft";
+  case ConvFamily::Sparse:
+    return "sparse";
+  case ConvFamily::Quantized:
+    return "q16";
+  }
+  assert(false && "unknown convolution family");
+  return "?";
+}

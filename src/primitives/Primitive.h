@@ -1,0 +1,124 @@
+//===- primitives/Primitive.h - Conv primitive interface --------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The convolution primitive interface. A primitive is modelled exactly as
+/// in the paper (§3): a 3-tuple {Lin, P, Lout} of input layout, routine, and
+/// output layout, plus a predicate describing which convolutional scenarios
+/// it supports (e.g. Winograd requires stride 1 and K in {3,5}).
+///
+/// Primitives are *descriptors*; instantiate() binds one to a scenario and a
+/// set of weights, performing any weight re-packing or transformation once
+/// (im2 kernel matrix flattening, Winograd U = G g G^T, FFT tap spectra).
+/// Weight packing is setup-time work outside the runtime cost model, as in
+/// deployment (weights ship pre-packed with the model).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_PRIMITIVES_PRIMITIVE_H
+#define PRIMSEL_PRIMITIVES_PRIMITIVE_H
+
+#include "nn/Layer.h"
+#include "tensor/Tensor.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace primsel {
+
+class ThreadPool;
+
+/// The six algorithm families of §4 (sum2d is the baseline member of the
+/// direct-loop family but is tracked separately because every experiment
+/// normalizes to it).
+enum class ConvFamily : uint8_t {
+  Sum2D,    ///< textbook sum-of-single-channels baseline
+  Direct,   ///< direct loop-nest variants
+  Im2,      ///< im2col / im2row + GEMM
+  Kn2,      ///< low-memory kn2row / kn2col GEMM (Vasudevan et al.)
+  Winograd,  ///< Winograd minimal filtering, 1D and 2D
+  FFT,       ///< sum of 1D FFT convolutions
+  Sparse,    ///< sparsity-exploiting routines (the paper's §8 future work)
+  Quantized, ///< 16-bit fixed-point routines (§3 motivates primitives on
+             ///< "16-bit fixed point data" whose outputs cannot feed f32
+             ///< routines without conversion; ours quantize and dequantize
+             ///< at the boundary so tensors stay f32 between layers)
+};
+
+constexpr unsigned NumConvFamilies = 8;
+
+const char *convFamilyName(ConvFamily F);
+
+/// Execution context handed to primitives at run time.
+struct RunContext {
+  /// Worker pool; nullptr or a 1-thread pool means single-threaded
+  /// execution (the paper's (S) configuration).
+  ThreadPool *Pool = nullptr;
+};
+
+/// A primitive bound to a concrete scenario with packed weights; ready to
+/// execute repeatedly.
+class ConvInstance {
+public:
+  virtual ~ConvInstance();
+
+  /// Execute one forward convolution. \p In must be in the primitive's
+  /// input layout with the scenario's input shape; \p Out must be in the
+  /// primitive's output layout with the scenario's output shape.
+  virtual void run(const Tensor3D &In, Tensor3D &Out,
+                   const RunContext &Ctx) = 0;
+
+  /// Execute one forward convolution per image of a minibatch (§8
+  /// extension). The default runs the images serially through run(), which
+  /// is the correct (if unscheduled) semantics for any instance; the
+  /// minibatch wrappers override it with their batch schedule.
+  virtual void runBatch(const std::vector<Tensor3D> &In,
+                        std::vector<Tensor3D> &Out, const RunContext &Ctx);
+};
+
+/// Descriptor of one routine in the primitive library.
+class ConvPrimitive {
+public:
+  virtual ~ConvPrimitive();
+
+  /// Unique name, e.g. "wino2d-m4r3-vf8-chw-chw".
+  virtual std::string name() const = 0;
+  virtual ConvFamily family() const = 0;
+  /// Lin of the paper's {Lin, P, Lout} tuple.
+  virtual Layout inputLayout() const = 0;
+  /// Lout of the paper's {Lin, P, Lout} tuple.
+  virtual Layout outputLayout() const = 0;
+
+  /// True if this routine can implement \p S at all (legality, not speed).
+  virtual bool supports(const ConvScenario &S) const = 0;
+
+  /// The library this routine ships in. The paper's §8 ensemble extension
+  /// mixes "convolution routines from different libraries, if at least one
+  /// edge in the DT graph connects a convolution from library A to one from
+  /// library B"; the tag lets harnesses restrict selection to one library
+  /// or report the per-library composition of a mixed plan.
+  virtual const char *libraryTag() const;
+
+  /// True if this routine can execute scenarios with minibatch size
+  /// \p Batch. Base routines are per-image (batch 1); the §8 minibatch
+  /// wrappers accept any batch. PrimitiveLibrary::supporting enforces this
+  /// in addition to supports(), so per-image routines need not inspect
+  /// Scenario.Batch themselves.
+  virtual bool supportsBatch(int64_t Batch) const;
+
+  /// Approximate per-run workspace the instance will allocate, in bytes.
+  /// Feeds the analytic cost model's cache-pressure term.
+  virtual size_t workspaceBytes(const ConvScenario &S) const = 0;
+
+  /// Bind to a scenario + weights. Must only be called when supports(S).
+  virtual std::unique_ptr<ConvInstance>
+  instantiate(const ConvScenario &S, const Kernel4D &Weights) const = 0;
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_PRIMITIVES_PRIMITIVE_H

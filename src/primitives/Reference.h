@@ -1,0 +1,37 @@
+//===- primitives/Reference.h - Reference convolution -----------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reference direct convolution used as the correctness oracle for every
+/// primitive in the library, and helpers shared by primitive
+/// implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_PRIMITIVES_REFERENCE_H
+#define PRIMSEL_PRIMITIVES_REFERENCE_H
+
+#include "nn/Layer.h"
+#include "tensor/Tensor.h"
+
+namespace primsel {
+
+/// Straightforward direct convolution (DNN convention, i.e. correlation):
+///   Out[m][ho][wo] = sum_{c,kh,kw}
+///       In[c][ho*S + kh - P][wo*S + kw - P] * W[m][c][kh][kw]
+/// with zero padding. \p In and \p Out may be in any layout; access is by
+/// logical coordinates. Slow and obviously correct.
+void referenceConv(const ConvScenario &S, const Tensor3D &In,
+                   const Kernel4D &Weights, Tensor3D &Out);
+
+/// Copy \p In into a zero-padded tensor of shape C x (H+2P) x (W+2P) in
+/// layout \p L. Used by primitives that cannot fold padding into their
+/// indexing (Winograd, FFT, kn2 temporaries).
+Tensor3D makePaddedInput(const Tensor3D &In, int64_t Pad, Layout L);
+
+} // namespace primsel
+
+#endif // PRIMSEL_PRIMITIVES_REFERENCE_H

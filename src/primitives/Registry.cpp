@@ -1,0 +1,87 @@
+//===- primitives/Registry.cpp --------------------------------------------===//
+
+#include "primitives/Registry.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace primsel;
+
+PrimitiveId PrimitiveLibrary::add(std::unique_ptr<ConvPrimitive> P) {
+  assert(P && "registering a null primitive");
+  assert(!findByName(P->name()) && "duplicate primitive name");
+  Primitives.push_back(std::move(P));
+  return static_cast<PrimitiveId>(Primitives.size() - 1);
+}
+
+std::vector<PrimitiveId>
+PrimitiveLibrary::supporting(const ConvScenario &S) const {
+  std::vector<PrimitiveId> Out;
+  for (PrimitiveId Id = 0; Id < Primitives.size(); ++Id)
+    if (Primitives[Id]->supportsBatch(S.Batch) && Primitives[Id]->supports(S))
+      Out.push_back(Id);
+  return Out;
+}
+
+std::vector<PrimitiveId> PrimitiveLibrary::supporting(const ConvScenario &S,
+                                                      ConvFamily F) const {
+  std::vector<PrimitiveId> Out;
+  for (PrimitiveId Id = 0; Id < Primitives.size(); ++Id)
+    if (Primitives[Id]->family() == F &&
+        Primitives[Id]->supportsBatch(S.Batch) && Primitives[Id]->supports(S))
+      Out.push_back(Id);
+  return Out;
+}
+
+std::optional<PrimitiveId>
+PrimitiveLibrary::findByName(const std::string &Name) const {
+  for (PrimitiveId Id = 0; Id < Primitives.size(); ++Id)
+    if (Primitives[Id]->name() == Name)
+      return Id;
+  return std::nullopt;
+}
+
+PrimitiveId PrimitiveLibrary::sum2dBaseline() const {
+  for (PrimitiveId Id = 0; Id < Primitives.size(); ++Id)
+    if (Primitives[Id]->family() == ConvFamily::Sum2D)
+      return Id;
+  assert(false && "library has no sum2d baseline");
+  return 0;
+}
+
+std::vector<std::string> PrimitiveLibrary::libraryTags() const {
+  std::vector<std::string> Tags;
+  for (const auto &P : Primitives) {
+    std::string Tag = P->libraryTag();
+    if (std::find(Tags.begin(), Tags.end(), Tag) == Tags.end())
+      Tags.push_back(std::move(Tag));
+  }
+  return Tags;
+}
+
+std::vector<PrimitiveId>
+PrimitiveLibrary::withTag(const std::string &Tag) const {
+  std::vector<PrimitiveId> Out;
+  for (PrimitiveId Id = 0; Id < Primitives.size(); ++Id)
+    if (Tag == Primitives[Id]->libraryTag())
+      Out.push_back(Id);
+  return Out;
+}
+
+PrimitiveLibrary primsel::buildFullLibrary() {
+  PrimitiveLibrary Lib;
+  registerSum2D(Lib);
+  registerDirectFamily(Lib);
+  registerIm2Family(Lib);
+  registerKn2Family(Lib);
+  registerWinogradFamily(Lib);
+  registerFFTFamily(Lib);
+  registerSparseFamily(Lib);
+  return Lib;
+}
+
+PrimitiveLibrary primsel::buildExtendedLibrary() {
+  PrimitiveLibrary Lib = buildFullLibrary();
+  registerQuantizedFamily(Lib);
+  return Lib;
+}

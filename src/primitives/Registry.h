@@ -1,0 +1,99 @@
+//===- primitives/Registry.h - The primitive library ------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns the set of convolution primitives available for selection. The
+/// full library built by buildFullLibrary() contains more than 70 routines
+/// across the six families, matching the paper's evaluation setup ("a
+/// library of more than 70 DNN primitives", abstract).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_PRIMITIVES_REGISTRY_H
+#define PRIMSEL_PRIMITIVES_REGISTRY_H
+
+#include "primitives/Primitive.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace primsel {
+
+/// Dense id of a primitive within one PrimitiveLibrary.
+using PrimitiveId = uint32_t;
+
+/// An ordered, owning collection of primitives.
+class PrimitiveLibrary {
+public:
+  PrimitiveLibrary() = default;
+  PrimitiveLibrary(PrimitiveLibrary &&) = default;
+  PrimitiveLibrary &operator=(PrimitiveLibrary &&) = default;
+
+  PrimitiveId add(std::unique_ptr<ConvPrimitive> P);
+
+  unsigned size() const { return static_cast<unsigned>(Primitives.size()); }
+  const ConvPrimitive &get(PrimitiveId Id) const { return *Primitives[Id]; }
+
+  /// Ids of all primitives that can legally implement \p S.
+  std::vector<PrimitiveId> supporting(const ConvScenario &S) const;
+
+  /// Ids of all primitives of \p F that can legally implement \p S.
+  std::vector<PrimitiveId> supporting(const ConvScenario &S,
+                                      ConvFamily F) const;
+
+  /// Find a primitive by name.
+  std::optional<PrimitiveId> findByName(const std::string &Name) const;
+
+  /// Id of the sum2d baseline primitive; asserts it exists.
+  PrimitiveId sum2dBaseline() const;
+
+  /// The distinct library tags present, in first-appearance order (§8
+  /// ensembles; a single-vendor library reports one tag).
+  std::vector<std::string> libraryTags() const;
+
+  /// Ids of all primitives carrying \p Tag.
+  std::vector<PrimitiveId> withTag(const std::string &Tag) const;
+
+private:
+  std::vector<std::unique_ptr<ConvPrimitive>> Primitives;
+};
+
+/// Registration hooks implemented by each family's translation unit.
+void registerSum2D(PrimitiveLibrary &Lib);
+void registerDirectFamily(PrimitiveLibrary &Lib);
+void registerIm2Family(PrimitiveLibrary &Lib);
+void registerKn2Family(PrimitiveLibrary &Lib);
+void registerWinogradFamily(PrimitiveLibrary &Lib);
+void registerFFTFamily(PrimitiveLibrary &Lib);
+void registerSparseFamily(PrimitiveLibrary &Lib);
+/// The second-vendor "hwcnn" library (§8 ensembles; see HwcLibrary.cpp).
+void registerHwcLibrary(PrimitiveLibrary &Lib);
+/// 16-bit fixed-point routines (§3 data-type motivation; Quantized.cpp).
+void registerQuantizedFamily(PrimitiveLibrary &Lib);
+
+/// Build the full >70 primitive library used throughout the evaluation --
+/// the paper's seven-family setup (sum2d + the six §4 families + the §8
+/// sparse extension).
+PrimitiveLibrary buildFullLibrary();
+
+/// Build the full library plus the 16-bit fixed-point family (§3's
+/// data-type motivation). Kept out of buildFullLibrary() so the paper's
+/// figures are regenerated over the paper's own family set; the q16
+/// selection behaviour has its own ablation (bench/ablation_quantized).
+PrimitiveLibrary buildExtendedLibrary();
+
+/// Build the stand-alone hwcnn vendor library (plus the sum2d baseline so
+/// whole-network harnesses keep their normalization point).
+PrimitiveLibrary buildHwcLibrary();
+
+/// Build the two-library ensemble of the paper's §8 future work: the full
+/// native library plus the hwcnn vendor library in one selection space.
+PrimitiveLibrary buildEnsembleLibrary();
+
+} // namespace primsel
+
+#endif // PRIMSEL_PRIMITIVES_REGISTRY_H

@@ -1,0 +1,464 @@
+//===- primitives/Winograd.cpp - Winograd convolution primitives ---------===//
+//
+// Part of primsel. See DESIGN.md.
+//
+// The Winograd family (paper §4): minimal-filtering convolution for K = 3
+// and K = 5. Two-dimensional variants transform N x N input tiles
+// (Y = A^T [(G g G^T) .* (B^T d B)] A) and batch the pointwise stage into
+// one M x C x Tiles product per frequency -- fast but memory hungry. The
+// one-dimensional variants apply F(m, r) along rows, once per kernel row:
+// more floating point operations but a working set of only a couple of rows,
+// which is why the paper's optimizer prefers them on the small-cache ARM
+// target (Figure 4). The vector-factor (vf4/vf8) variants change the tile
+// blocking of the pointwise stage, mirroring the paper's 4-way NEON vs
+// 8-way AVX2 Winograd codes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "primitives/Registry.h"
+
+#include "support/AlignedBuffer.h"
+#include "support/ThreadPool.h"
+#include "tensor/Transform.h"
+#include "winograd/ToomCook.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+using namespace primsel;
+
+namespace {
+
+struct WinoConfig {
+  int64_t M;      ///< outputs per tile (per dimension)
+  int64_t R;      ///< filter taps; must equal the scenario's K
+  bool TwoD;      ///< 2D tiles vs row-wise 1D
+  int TileBlock;  ///< pointwise-stage blocking: the "vector factor"
+  Layout In;
+  Layout Out;
+  const char *Name;
+};
+
+/// ceil(A / B) for positive operands.
+int64_t ceilDiv(int64_t A, int64_t B) { return (A + B - 1) / B; }
+
+/// Accumulate Mo[M][T] += U[M][C] x V[C][T] with a TB-wide tile block in
+/// the inner loop (the "vector factor").
+template <int TB>
+void freqGemmAccum(const float *U, const float *V, float *Mo, int64_t M,
+                   int64_t C, int64_t T) {
+  for (int64_t F = 0; F < M; ++F) {
+    float *Row = Mo + F * T;
+    const float *URow = U + F * C;
+    for (int64_t Ch = 0; Ch < C; ++Ch) {
+      float UV = URow[Ch];
+      const float *VRow = V + Ch * T;
+      int64_t I = 0;
+      for (; I + TB <= T; I += TB)
+        for (int B = 0; B < TB; ++B)
+          Row[I + B] += UV * VRow[I + B];
+      for (; I < T; ++I)
+        Row[I] += UV * VRow[I];
+    }
+  }
+}
+
+void runFreqGemm(int TileBlock, const float *U, const float *V, float *Mo,
+                 int64_t M, int64_t C, int64_t T) {
+  if (TileBlock == 8)
+    freqGemmAccum<8>(U, V, Mo, M, C, T);
+  else
+    freqGemmAccum<4>(U, V, Mo, M, C, T);
+}
+
+/// Copy \p In into a zero-margin CHW buffer of Hp x Wp with the image at
+/// offset (Pad, Pad). Reads go through logical strides, so an HWC input
+/// pays its gather cost here.
+Tensor3D makeWinogradInput(const Tensor3D &In, int64_t Pad, int64_t Hp,
+                           int64_t Wp) {
+  Tensor3D P(In.channels(), Hp, Wp, Layout::CHW);
+  P.zero();
+  const int64_t SC = In.stride(Dim::C), SH = In.stride(Dim::H),
+                SW = In.stride(Dim::W);
+  const float *Src = In.data();
+  float *Dst = P.data();
+  for (int64_t Ch = 0; Ch < In.channels(); ++Ch)
+    for (int64_t R = 0; R < In.height(); ++R) {
+      float *DRow = Dst + (Ch * Hp + R + Pad) * Wp + Pad;
+      const float *SRow = Src + Ch * SC + R * SH;
+      if (SW == 1)
+        std::memcpy(DRow, SRow,
+                    static_cast<size_t>(In.width()) * sizeof(float));
+      else
+        for (int64_t Col = 0; Col < In.width(); ++Col)
+          DRow[Col] = SRow[Col * SW];
+    }
+  return P;
+}
+
+class Wino2DInstance : public ConvInstance {
+public:
+  Wino2DInstance(const WinoConfig &Cfg, const ConvScenario &S,
+                 const Kernel4D &Weights)
+      : Cfg(Cfg), S(S), T(generateWinograd(Cfg.M, Cfg.R)) {
+    const int64_t N = T.N, R = Cfg.R;
+    U.reset(static_cast<size_t>(N * N * S.M * S.C));
+    // U[freq][f][c] = (G g G^T)[i][j] for freq = i*N + j.
+    std::vector<float> Tmp(static_cast<size_t>(N * R));
+    for (int64_t F = 0; F < S.M; ++F)
+      for (int64_t Ch = 0; Ch < S.C; ++Ch) {
+        // Tmp = G (N x R) * g (R x R).
+        for (int64_t I = 0; I < N; ++I)
+          for (int64_t B = 0; B < R; ++B) {
+            float Acc = 0.0f;
+            for (int64_t A = 0; A < R; ++A)
+              Acc += T.G[I * R + A] * Weights.at(F, Ch, A, B);
+            Tmp[I * R + B] = Acc;
+          }
+        // u[i][j] = sum_b Tmp[i][b] * G[j][b].
+        for (int64_t I = 0; I < N; ++I)
+          for (int64_t J = 0; J < N; ++J) {
+            float Acc = 0.0f;
+            for (int64_t B = 0; B < R; ++B)
+              Acc += Tmp[I * R + B] * T.G[J * R + B];
+            U[((I * N + J) * S.M + F) * S.C + Ch] = Acc;
+          }
+      }
+  }
+
+  void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override;
+
+private:
+  WinoConfig Cfg;
+  ConvScenario S;
+  WinogradTransform T;
+  AlignedBuffer U;
+};
+
+void Wino2DInstance::run(const Tensor3D &In, Tensor3D &Out,
+                         const RunContext &Ctx) {
+  const int64_t N = T.N, M2 = Cfg.M;
+  const int64_t Ho = S.outHeight(), Wo = S.outWidth();
+  const int64_t Th = ceilDiv(Ho, M2), Tw = ceilDiv(Wo, M2);
+  const int64_t NumTiles = Th * Tw;
+  const int64_t Hp = Th * M2 + Cfg.R - 1, Wp = Tw * M2 + Cfg.R - 1;
+  ThreadPool *Pool = Ctx.Pool;
+
+  Tensor3D P = makeWinogradInput(In, S.Pad, Hp, Wp);
+  const float *PD = P.data();
+
+  AlignedBuffer V(static_cast<size_t>(N * N * S.C * NumTiles));
+  AlignedBuffer Mo(static_cast<size_t>(N * N * S.M * NumTiles));
+  Mo.fill(0.0f);
+
+  // Input transform: V[freq][c][tile] = (B^T d B)[i][j].
+  auto TransformChannel = [&](int64_t Ch) {
+    std::vector<float> D(static_cast<size_t>(N * N));
+    std::vector<float> Tmp(static_cast<size_t>(N * N));
+    for (int64_t TileR = 0; TileR < Th; ++TileR)
+      for (int64_t TileC = 0; TileC < Tw; ++TileC) {
+        int64_t Tile = TileR * Tw + TileC;
+        const float *Base =
+            PD + (Ch * Hp + TileR * M2) * Wp + TileC * M2;
+        for (int64_t I = 0; I < N; ++I)
+          std::memcpy(&D[I * N], Base + I * Wp,
+                      static_cast<size_t>(N) * sizeof(float));
+        // Tmp = B^T * d.
+        for (int64_t I = 0; I < N; ++I)
+          for (int64_t J = 0; J < N; ++J) {
+            float Acc = 0.0f;
+            for (int64_t A = 0; A < N; ++A)
+              Acc += T.BT[I * N + A] * D[A * N + J];
+            Tmp[I * N + J] = Acc;
+          }
+        // v[i][j] = sum_b Tmp[i][b] * BT[j][b].
+        for (int64_t I = 0; I < N; ++I)
+          for (int64_t J = 0; J < N; ++J) {
+            float Acc = 0.0f;
+            for (int64_t B = 0; B < N; ++B)
+              Acc += Tmp[I * N + B] * T.BT[J * N + B];
+            V[((I * N + J) * S.C + Ch) * NumTiles + Tile] = Acc;
+          }
+      }
+  };
+  if (Pool && Pool->numThreads() > 1)
+    Pool->parallelFor(0, S.C, TransformChannel);
+  else
+    for (int64_t Ch = 0; Ch < S.C; ++Ch)
+      TransformChannel(Ch);
+
+  // Pointwise stage, batched per frequency.
+  auto FreqStage = [&](int64_t Freq) {
+    runFreqGemm(Cfg.TileBlock, U.data() + Freq * S.M * S.C,
+                V.data() + Freq * S.C * NumTiles,
+                Mo.data() + Freq * S.M * NumTiles, S.M, S.C, NumTiles);
+  };
+  if (Pool && Pool->numThreads() > 1)
+    Pool->parallelFor(0, N * N, FreqStage);
+  else
+    for (int64_t Freq = 0; Freq < N * N; ++Freq)
+      FreqStage(Freq);
+
+  // Output transform into the native CHW layout, clipped at the edges.
+  Layout Native = Layout::CHW;
+  Tensor3D NativeOut;
+  Tensor3D *Target = &Out;
+  if (Out.layout() != Native) {
+    NativeOut = Tensor3D(S.M, Ho, Wo, Native);
+    Target = &NativeOut;
+  }
+  float *OD = Target->data();
+
+  auto InverseFilter = [&](int64_t F) {
+    std::vector<float> Mm(static_cast<size_t>(N * N));
+    std::vector<float> Tmp(static_cast<size_t>(M2 * N));
+    for (int64_t Tile = 0; Tile < NumTiles; ++Tile) {
+      for (int64_t I = 0; I < N; ++I)
+        for (int64_t J = 0; J < N; ++J)
+          Mm[I * N + J] =
+              Mo[((I * N + J) * S.M + F) * NumTiles + Tile];
+      // Tmp = A^T (m x N) * Mm.
+      for (int64_t I = 0; I < M2; ++I)
+        for (int64_t J = 0; J < N; ++J) {
+          float Acc = 0.0f;
+          for (int64_t A = 0; A < N; ++A)
+            Acc += T.AT[I * N + A] * Mm[A * N + J];
+          Tmp[I * N + J] = Acc;
+        }
+      int64_t TileR = Tile / Tw, TileC = Tile % Tw;
+      for (int64_t I = 0; I < M2; ++I) {
+        int64_t Row = TileR * M2 + I;
+        if (Row >= Ho)
+          break;
+        float *ORow = OD + (F * Ho + Row) * Wo;
+        for (int64_t J = 0; J < M2; ++J) {
+          int64_t Col = TileC * M2 + J;
+          if (Col >= Wo)
+            break;
+          float Acc = 0.0f;
+          for (int64_t B = 0; B < N; ++B)
+            Acc += Tmp[I * N + B] * T.AT[J * N + B];
+          ORow[Col] = Acc;
+        }
+      }
+    }
+  };
+  if (Pool && Pool->numThreads() > 1)
+    Pool->parallelFor(0, S.M, InverseFilter);
+  else
+    for (int64_t F = 0; F < S.M; ++F)
+      InverseFilter(F);
+
+  if (Target != &Out)
+    runTransform(*Target, Out);
+}
+
+class Wino1DInstance : public ConvInstance {
+public:
+  Wino1DInstance(const WinoConfig &Cfg, const ConvScenario &S,
+                 const Kernel4D &Weights)
+      : Cfg(Cfg), S(S), T(generateWinograd(Cfg.M, Cfg.R)) {
+    const int64_t N = T.N, R = Cfg.R;
+    // U1[kr][freq][f][c] = (G g_row)[freq].
+    U.reset(static_cast<size_t>(R * N * S.M * S.C));
+    for (int64_t Kr = 0; Kr < R; ++Kr)
+      for (int64_t F = 0; F < S.M; ++F)
+        for (int64_t Ch = 0; Ch < S.C; ++Ch)
+          for (int64_t I = 0; I < N; ++I) {
+            float Acc = 0.0f;
+            for (int64_t A = 0; A < R; ++A)
+              Acc += T.G[I * R + A] * Weights.at(F, Ch, Kr, A);
+            U[((Kr * N + I) * S.M + F) * S.C + Ch] = Acc;
+          }
+  }
+
+  void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override;
+
+private:
+  void runRowRange(const float *PD, int64_t Hp, int64_t Wp, float *OD,
+                   int64_t RowBegin, int64_t RowEnd) const;
+
+  WinoConfig Cfg;
+  ConvScenario S;
+  WinogradTransform T;
+  AlignedBuffer U;
+};
+
+void Wino1DInstance::runRowRange(const float *PD, int64_t Hp, int64_t Wp,
+                                 float *OD, int64_t RowBegin,
+                                 int64_t RowEnd) const {
+  const int64_t N = T.N, M1 = Cfg.M, R = Cfg.R;
+  const int64_t Ho = S.outHeight(), Wo = S.outWidth();
+  const int64_t Tw = ceilDiv(Wo, M1);
+  (void)Hp;
+
+  // Per-chunk scratch: one row's worth of transformed input and products.
+  std::vector<float> V(static_cast<size_t>(N * S.C * Tw));
+  std::vector<float> Mrow(static_cast<size_t>(N * S.M * Tw));
+
+  for (int64_t Row = RowBegin; Row < RowEnd; ++Row) {
+    std::fill(Mrow.begin(), Mrow.end(), 0.0f);
+    for (int64_t Kr = 0; Kr < R; ++Kr) {
+      // Transform the needed padded input row for every channel.
+      int64_t InRow = Row + Kr;
+      for (int64_t Ch = 0; Ch < S.C; ++Ch) {
+        const float *IRow = PD + (Ch * Hp + InRow) * Wp;
+        for (int64_t Tile = 0; Tile < Tw; ++Tile) {
+          const float *D = IRow + Tile * M1;
+          for (int64_t I = 0; I < N; ++I) {
+            float Acc = 0.0f;
+            for (int64_t A = 0; A < N; ++A)
+              Acc += T.BT[I * N + A] * D[A];
+            V[(I * S.C + Ch) * Tw + Tile] = Acc;
+          }
+        }
+      }
+      // Pointwise stage for this kernel row.
+      for (int64_t Freq = 0; Freq < N; ++Freq)
+        runFreqGemm(Cfg.TileBlock,
+                    U.data() + ((Kr * N + Freq) * S.M) * S.C,
+                    V.data() + Freq * S.C * Tw,
+                    Mrow.data() + Freq * S.M * Tw, S.M, S.C, Tw);
+    }
+    // Inverse transform: y = A^T mvec per (filter, tile).
+    for (int64_t F = 0; F < S.M; ++F) {
+      float *ORow = OD + (F * Ho + Row) * Wo;
+      for (int64_t Tile = 0; Tile < Tw; ++Tile) {
+        for (int64_t I = 0; I < M1; ++I) {
+          int64_t Col = Tile * M1 + I;
+          if (Col >= Wo)
+            break;
+          float Acc = 0.0f;
+          for (int64_t A = 0; A < N; ++A)
+            Acc += T.AT[I * N + A] * Mrow[(A * S.M + F) * Tw + Tile];
+          ORow[Col] = Acc;
+        }
+      }
+    }
+  }
+}
+
+void Wino1DInstance::run(const Tensor3D &In, Tensor3D &Out,
+                         const RunContext &Ctx) {
+  const int64_t M1 = Cfg.M;
+  const int64_t Ho = S.outHeight(), Wo = S.outWidth();
+  const int64_t Tw = ceilDiv(Wo, M1);
+  // Rows are streamed, so only the width needs tile margin.
+  const int64_t Hp = S.H + 2 * S.Pad;
+  const int64_t Wp = Tw * M1 + Cfg.R - 1;
+  ThreadPool *Pool = Ctx.Pool;
+
+  Tensor3D P = makeWinogradInput(In, S.Pad, Hp, Wp);
+
+  Layout Native = Layout::CHW;
+  Tensor3D NativeOut;
+  Tensor3D *Target = &Out;
+  if (Out.layout() != Native) {
+    NativeOut = Tensor3D(S.M, Ho, Wo, Native);
+    Target = &NativeOut;
+  }
+  float *OD = Target->data();
+
+  if (Pool && Pool->numThreads() > 1) {
+    int64_t NumChunks = std::min<int64_t>(Pool->numThreads(), Ho);
+    int64_t ChunkSize = ceilDiv(Ho, NumChunks);
+    Pool->parallelFor(0, NumChunks, [&](int64_t Chunk) {
+      int64_t Begin = Chunk * ChunkSize;
+      int64_t End = std::min(Ho, Begin + ChunkSize);
+      if (Begin < End)
+        runRowRange(P.data(), Hp, Wp, OD, Begin, End);
+    });
+  } else {
+    runRowRange(P.data(), Hp, Wp, OD, 0, Ho);
+  }
+
+  if (Target != &Out)
+    runTransform(*Target, Out);
+}
+
+class WinogradPrimitive : public ConvPrimitive {
+public:
+  explicit WinogradPrimitive(const WinoConfig &Cfg) : Cfg(Cfg) {}
+
+  std::string name() const override { return Cfg.Name; }
+  ConvFamily family() const override { return ConvFamily::Winograd; }
+  Layout inputLayout() const override { return Cfg.In; }
+  Layout outputLayout() const override { return Cfg.Out; }
+
+  bool supports(const ConvScenario &S) const override {
+    return S.K == Cfg.R && S.Stride == 1 && S.outHeight() >= 1 &&
+           S.outWidth() >= 1;
+  }
+
+  size_t workspaceBytes(const ConvScenario &S) const override {
+    const int64_t N = Cfg.M + Cfg.R - 1;
+    const int64_t Ho = S.outHeight(), Wo = S.outWidth();
+    if (Cfg.TwoD) {
+      int64_t Tiles = ceilDiv(Ho, Cfg.M) * ceilDiv(Wo, Cfg.M);
+      return static_cast<size_t>(N) * N * (S.C + S.M) * Tiles *
+             sizeof(float);
+    }
+    int64_t Tw = ceilDiv(Wo, Cfg.M);
+    return static_cast<size_t>(N) * (S.C + S.M) * Tw * sizeof(float);
+  }
+
+  std::unique_ptr<ConvInstance>
+  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
+    assert(supports(S) && "instantiating unsupported scenario");
+    if (Cfg.TwoD)
+      return std::make_unique<Wino2DInstance>(Cfg, S, Weights);
+    return std::make_unique<Wino1DInstance>(Cfg, S, Weights);
+  }
+
+private:
+  WinoConfig Cfg;
+};
+
+} // namespace
+
+void primsel::registerWinogradFamily(PrimitiveLibrary &Lib) {
+  const WinoConfig Configs[] = {
+      // 2D, CHW input, both vector factors, K = 3 and K = 5 tiles.
+      {2, 3, true, 4, Layout::CHW, Layout::CHW, "wino2d-m2r3-vf4-chw-chw"},
+      {2, 3, true, 8, Layout::CHW, Layout::CHW, "wino2d-m2r3-vf8-chw-chw"},
+      {4, 3, true, 4, Layout::CHW, Layout::CHW, "wino2d-m4r3-vf4-chw-chw"},
+      {4, 3, true, 8, Layout::CHW, Layout::CHW, "wino2d-m4r3-vf8-chw-chw"},
+      {2, 5, true, 4, Layout::CHW, Layout::CHW, "wino2d-m2r5-vf4-chw-chw"},
+      {2, 5, true, 8, Layout::CHW, Layout::CHW, "wino2d-m2r5-vf8-chw-chw"},
+      {3, 5, true, 4, Layout::CHW, Layout::CHW, "wino2d-m3r5-vf4-chw-chw"},
+      {3, 5, true, 8, Layout::CHW, Layout::CHW, "wino2d-m3r5-vf8-chw-chw"},
+      // 2D, HWC input (pays a gather in the pad copy).
+      {2, 3, true, 8, Layout::HWC, Layout::CHW, "wino2d-m2r3-vf8-hwc-chw"},
+      {4, 3, true, 8, Layout::HWC, Layout::CHW, "wino2d-m4r3-vf8-hwc-chw"},
+      {2, 5, true, 8, Layout::HWC, Layout::CHW, "wino2d-m2r5-vf8-hwc-chw"},
+      {3, 5, true, 8, Layout::HWC, Layout::CHW, "wino2d-m3r5-vf8-hwc-chw"},
+      // 2D with HWC output.
+      {2, 3, true, 8, Layout::CHW, Layout::HWC, "wino2d-m2r3-vf8-chw-hwc"},
+      {4, 3, true, 8, Layout::CHW, Layout::HWC, "wino2d-m4r3-vf8-chw-hwc"},
+      // 1D row-wise, CHW input.
+      {2, 3, false, 4, Layout::CHW, Layout::CHW, "wino1d-m2r3-vf4-chw-chw"},
+      {2, 3, false, 8, Layout::CHW, Layout::CHW, "wino1d-m2r3-vf8-chw-chw"},
+      {4, 3, false, 4, Layout::CHW, Layout::CHW, "wino1d-m4r3-vf4-chw-chw"},
+      {4, 3, false, 8, Layout::CHW, Layout::CHW, "wino1d-m4r3-vf8-chw-chw"},
+      {2, 5, false, 4, Layout::CHW, Layout::CHW, "wino1d-m2r5-vf4-chw-chw"},
+      {2, 5, false, 8, Layout::CHW, Layout::CHW, "wino1d-m2r5-vf8-chw-chw"},
+      {3, 5, false, 4, Layout::CHW, Layout::CHW, "wino1d-m3r5-vf4-chw-chw"},
+      {3, 5, false, 8, Layout::CHW, Layout::CHW, "wino1d-m3r5-vf8-chw-chw"},
+      // 1D, HWC input.
+      {2, 3, false, 8, Layout::HWC, Layout::CHW, "wino1d-m2r3-vf8-hwc-chw"},
+      {4, 3, false, 8, Layout::HWC, Layout::CHW, "wino1d-m4r3-vf8-hwc-chw"},
+      {2, 5, false, 8, Layout::HWC, Layout::CHW, "wino1d-m2r5-vf8-hwc-chw"},
+      {3, 5, false, 8, Layout::HWC, Layout::CHW, "wino1d-m3r5-vf8-hwc-chw"},
+      // 1D with HWC output.
+      {2, 3, false, 8, Layout::CHW, Layout::HWC, "wino1d-m2r3-vf8-chw-hwc"},
+      {4, 3, false, 8, Layout::CHW, Layout::HWC, "wino1d-m4r3-vf8-chw-hwc"},
+      // vf4 counterparts of the HWC-input variants.
+      {2, 3, true, 4, Layout::HWC, Layout::CHW, "wino2d-m2r3-vf4-hwc-chw"},
+      {4, 3, true, 4, Layout::HWC, Layout::CHW, "wino2d-m4r3-vf4-hwc-chw"},
+      {2, 3, false, 4, Layout::HWC, Layout::CHW, "wino1d-m2r3-vf4-hwc-chw"},
+      {4, 3, false, 4, Layout::HWC, Layout::CHW, "wino1d-m4r3-vf4-hwc-chw"},
+  };
+  for (const WinoConfig &Cfg : Configs)
+    Lib.add(std::make_unique<WinogradPrimitive>(Cfg));
+}

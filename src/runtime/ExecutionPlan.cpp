@@ -1,0 +1,95 @@
+//===- runtime/ExecutionPlan.cpp ------------------------------------------===//
+
+#include "runtime/ExecutionPlan.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace primsel;
+
+ExecutionPlan ExecutionPlan::compile(const NetworkGraph &Net,
+                                     const NetworkPlan &Plan,
+                                     const PrimitiveLibrary &Lib) {
+  (void)Lib;
+  ExecutionPlan P;
+  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
+    const NetworkGraph::Node &Node = Net.node(N);
+    // Conversion layers bisecting this node's incoming edges run first.
+    for (unsigned I = 0; I < Node.Inputs.size(); ++I) {
+      auto It = Plan.Chains.find({N, I});
+      if (It == Plan.Chains.end())
+        continue;
+      const std::vector<Layout> &Chain = It->second;
+      assert(Chain.size() >= 2 && "degenerate chain");
+      for (size_t Hop = 0; Hop + 1 < Chain.size(); ++Hop) {
+        ExecStep S;
+        S.K = ExecStep::Kind::Transform;
+        S.Node = N;
+        S.InputIndex = I;
+        S.From = Chain[Hop];
+        S.To = Chain[Hop + 1];
+        P.Steps.push_back(S);
+      }
+    }
+    ExecStep S;
+    S.Node = N;
+    switch (Node.L.Kind) {
+    case LayerKind::Input:
+      S.K = ExecStep::Kind::Input;
+      break;
+    case LayerKind::Conv:
+      S.K = ExecStep::Kind::Conv;
+      break;
+    default:
+      S.K = ExecStep::Kind::Dummy;
+      break;
+    }
+    P.Steps.push_back(S);
+  }
+  return P;
+}
+
+unsigned ExecutionPlan::numTransformSteps() const {
+  unsigned Count = 0;
+  for (const ExecStep &S : Steps)
+    if (S.K == ExecStep::Kind::Transform)
+      ++Count;
+  return Count;
+}
+
+unsigned ExecutionPlan::numConvSteps() const {
+  unsigned Count = 0;
+  for (const ExecStep &S : Steps)
+    if (S.K == ExecStep::Kind::Conv)
+      ++Count;
+  return Count;
+}
+
+std::string ExecutionPlan::dump(const NetworkGraph &Net,
+                                const NetworkPlan &Plan,
+                                const PrimitiveLibrary &Lib) const {
+  std::ostringstream OS;
+  for (const ExecStep &S : Steps) {
+    const NetworkGraph::Node &Node = Net.node(S.Node);
+    switch (S.K) {
+    case ExecStep::Kind::Input:
+      OS << "input   " << Node.L.Name << " [" << layoutName(Plan.OutLayout[S.Node])
+         << "]\n";
+      break;
+    case ExecStep::Kind::Conv:
+      OS << "conv    " << Node.L.Name << " <- "
+         << Lib.get(Plan.ConvPrim[S.Node]).name() << "\n";
+      break;
+    case ExecStep::Kind::Dummy:
+      OS << "layer   " << Node.L.Name << " ("
+         << layerKindName(Node.L.Kind) << ") ["
+         << layoutName(Plan.OutLayout[S.Node]) << "]\n";
+      break;
+    case ExecStep::Kind::Transform:
+      OS << "convert edge -> " << Node.L.Name << "#" << S.InputIndex << ": "
+         << layoutName(S.From) << " -> " << layoutName(S.To) << "\n";
+      break;
+    }
+  }
+  return OS.str();
+}

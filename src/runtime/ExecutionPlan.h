@@ -1,0 +1,70 @@
+//===- runtime/ExecutionPlan.h - Linearized network programs ----*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A linearized program for one network instantiation, in the spirit of the
+/// paper's "simple code generator which emitted calls to primitive
+/// operations in our library" (§5.2). Compiling a NetworkPlan produces the
+/// explicit sequence of conversion-layer and layer-primitive calls; the
+/// Executor interprets it, and dump() renders it for inspection (the
+/// Figure 4 style listings).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_RUNTIME_EXECUTIONPLAN_H
+#define PRIMSEL_RUNTIME_EXECUTIONPLAN_H
+
+#include "core/Plan.h"
+
+#include <string>
+#include <vector>
+
+namespace primsel {
+
+/// One call emitted by the plan compiler.
+struct ExecStep {
+  enum class Kind : uint8_t {
+    Input,     ///< bind the network input
+    Conv,      ///< run a convolution primitive
+    Dummy,     ///< run a non-conv layer in its assigned layout
+    Transform, ///< run one direct layout-transform routine on an edge
+  };
+
+  Kind K = Kind::Input;
+  /// The network node executed (Input/Conv/Dummy) or consumed-for
+  /// (Transform).
+  NetworkGraph::NodeId Node = 0;
+  /// Transform steps: which input edge of \p Node, and which hop.
+  unsigned InputIndex = 0;
+  Layout From = Layout::CHW;
+  Layout To = Layout::CHW;
+};
+
+/// The compiled program: steps in execution order.
+class ExecutionPlan {
+public:
+  /// Linearize \p Plan over \p Net. The plan must be legalized.
+  static ExecutionPlan compile(const NetworkGraph &Net,
+                               const NetworkPlan &Plan,
+                               const PrimitiveLibrary &Lib);
+
+  const std::vector<ExecStep> &steps() const { return Steps; }
+
+  unsigned numTransformSteps() const;
+  unsigned numConvSteps() const;
+
+  /// Human-readable listing ("conv1 <- wino2d-m4r3-vf8-chw-chw", "edge
+  /// pool1->conv2: CHW>HWC", ...), one step per line.
+  std::string dump(const NetworkGraph &Net, const NetworkPlan &Plan,
+                   const PrimitiveLibrary &Lib) const;
+
+private:
+  std::vector<ExecStep> Steps;
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_RUNTIME_EXECUTIONPLAN_H

@@ -1,0 +1,185 @@
+//===- runtime/Executor.cpp -----------------------------------------------===//
+
+#include "runtime/Executor.h"
+
+#include "runtime/LayerOps.h"
+
+#include "core/Legalizer.h"
+#include "gemm/Gemm.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+#include "tensor/Transform.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+using namespace primsel;
+
+Executor::Executor(const NetworkGraph &Net, const NetworkPlan &PlanIn,
+                   const PrimitiveLibrary &Lib, unsigned Threads,
+                   uint64_t WeightSeed)
+    : Net(Net), Plan(PlanIn), Lib(Lib),
+      Program(ExecutionPlan::compile(Net, PlanIn, Lib)) {
+  assert(isLegalized(Plan, Net) && "executor requires a legalized plan");
+  if (Threads > 1)
+    Pool = std::make_unique<ThreadPool>(Threads);
+
+  Instances.resize(Net.numNodes());
+  FcWeights.resize(Net.numNodes());
+  NodeOutputs.resize(Net.numNodes());
+
+  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
+    const NetworkGraph::Node &Node = Net.node(N);
+    if (Node.L.Kind == LayerKind::Conv) {
+      const ConvScenario &S = Node.Scenario;
+      Kernel4D Weights(S.M, S.C, S.K);
+      // Deterministic per-node weights so any two plans over the same
+      // network compute the same function.
+      Weights.fillRandom(WeightSeed + N);
+      Weights.applySparsity(S.SparsityPct, WeightSeed + N + 1);
+      Instances[N] = Lib.get(Plan.ConvPrim[N]).instantiate(S, Weights);
+    } else if (Node.L.Kind == LayerKind::FullyConnected) {
+      const TensorShape &In = Net.node(Node.Inputs[0]).OutShape;
+      size_t Flat = static_cast<size_t>(In.elements());
+      FcWeights[N].reset(static_cast<size_t>(Node.L.OutChannels) * Flat);
+      fillRandom(FcWeights[N].data(), FcWeights[N].size(), WeightSeed + N);
+      // Scale down so deep nets do not overflow float range.
+      float Scale = 1.0f / std::sqrt(static_cast<float>(Flat));
+      for (size_t I = 0; I < FcWeights[N].size(); ++I)
+        FcWeights[N][I] *= Scale;
+    }
+  }
+}
+
+Executor::~Executor() = default;
+
+const Tensor3D &Executor::outputOf(NetworkGraph::NodeId N) const {
+  return NodeOutputs[N];
+}
+
+const Tensor3D &Executor::networkOutput() const {
+  std::vector<NetworkGraph::NodeId> Outs = Net.outputs();
+  assert(!Outs.empty() && "network without outputs");
+  return NodeOutputs[Outs.front()];
+}
+
+/// The tensor feeding input \p Index of \p Consumer, after any conversion
+/// chain.
+const Tensor3D &Executor::inputTensor(NetworkGraph::NodeId Consumer,
+                                      unsigned Index) {
+  auto It = EdgeTensors.find({Consumer, Index});
+  if (It != EdgeTensors.end())
+    return It->second;
+  return NodeOutputs[Net.node(Consumer).Inputs[Index]];
+}
+
+void Executor::runDummy(const NetworkGraph::Node &Node,
+                        NetworkGraph::NodeId N) {
+  const Tensor3D &In = inputTensor(N, 0);
+  Layout L = Plan.OutLayout[N];
+  const TensorShape &Shape = Node.OutShape;
+  Tensor3D Out(Shape.C, Shape.H, Shape.W, L);
+
+  switch (Node.L.Kind) {
+  case LayerKind::ReLU:
+    reluOp(In, Out);
+    break;
+  case LayerKind::Dropout:
+    identityOp(In, Out);
+    break;
+  case LayerKind::Softmax:
+    softmaxOp(In, Out);
+    break;
+  case LayerKind::MaxPool:
+  case LayerKind::AvgPool:
+    poolOp(Node.L.Kind == LayerKind::MaxPool, Node.L.KernelSize,
+           Node.L.Stride, Node.L.Pad, In, Out);
+    break;
+  case LayerKind::LRN:
+    lrnOp(In, Out);
+    break;
+  case LayerKind::Concat: {
+    std::vector<const Tensor3D *> Parts;
+    for (unsigned I = 0; I < Node.Inputs.size(); ++I)
+      Parts.push_back(&inputTensor(N, I));
+    concatOp(Parts, Out);
+    break;
+  }
+  case LayerKind::FullyConnected:
+    fullyConnectedOp(FcWeights[N].data(), In, Out, Pool.get());
+    break;
+  case LayerKind::Input:
+  case LayerKind::Conv:
+    assert(false && "not a dummy layer");
+    break;
+  }
+  NodeOutputs[N] = std::move(Out);
+}
+
+RunResult Executor::run(const Tensor3D &Input) {
+  RunResult R;
+  EdgeTensors.clear();
+  Timer Total;
+
+  for (const ExecStep &Step : Program.steps()) {
+    const NetworkGraph::Node &Node = Net.node(Step.Node);
+    switch (Step.K) {
+    case ExecStep::Kind::Input: {
+      assert(Input.layout() == Plan.OutLayout[Step.Node] &&
+             "network input must arrive in the canonical layout");
+      assert(Input.channels() == Node.OutShape.C &&
+             Input.height() == Node.OutShape.H &&
+             Input.width() == Node.OutShape.W && "input shape mismatch");
+      Tensor3D Copy(Input.channels(), Input.height(), Input.width(),
+                    Input.layout());
+      std::memcpy(Copy.data(), Input.data(),
+                  static_cast<size_t>(Input.size()) * sizeof(float));
+      NodeOutputs[Step.Node] = std::move(Copy);
+      break;
+    }
+
+    case ExecStep::Kind::Transform: {
+      // First hop reads the producer's output; later hops read the edge's
+      // running tensor.
+      EdgeKey Key{Step.Node, Step.InputIndex};
+      const Tensor3D *Src;
+      auto It = EdgeTensors.find(Key);
+      if (It != EdgeTensors.end())
+        Src = &It->second;
+      else
+        Src = &NodeOutputs[Node.Inputs[Step.InputIndex]];
+      assert(Src->layout() == Step.From && "chain out of sync");
+      Timer T;
+      Tensor3D Dst = convertToLayout(*Src, Step.To);
+      R.TransformMillis += T.millis();
+      EdgeTensors[Key] = std::move(Dst);
+      break;
+    }
+
+    case ExecStep::Kind::Conv: {
+      const Tensor3D &In = inputTensor(Step.Node, 0);
+      const ConvScenario &S = Node.Scenario;
+      Tensor3D Out(S.M, S.outHeight(), S.outWidth(),
+                   Plan.OutLayout[Step.Node]);
+      RunContext Ctx{Pool.get()};
+      Timer T;
+      Instances[Step.Node]->run(In, Out, Ctx);
+      R.ConvMillis += T.millis();
+      NodeOutputs[Step.Node] = std::move(Out);
+      break;
+    }
+
+    case ExecStep::Kind::Dummy: {
+      Timer T;
+      runDummy(Node, Step.Node);
+      R.OtherMillis += T.millis();
+      break;
+    }
+    }
+  }
+  R.TotalMillis = Total.millis();
+  return R;
+}

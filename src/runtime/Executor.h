@@ -1,0 +1,85 @@
+//===- runtime/Executor.h - Whole-network execution -------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a legalized NetworkPlan end to end: convolutions through their
+/// selected primitives, legalization chains through the transform routines,
+/// and every "dummy" layer (pooling, activation, LRN, concat, FC, softmax)
+/// for real in its assigned layout. Weights are deterministic per layer so
+/// two Executors over the same network compute identical functions -- that
+/// is how whole-network correctness is verified (a PBQP-instantiated
+/// network must produce the sum2d network's output).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_RUNTIME_EXECUTOR_H
+#define PRIMSEL_RUNTIME_EXECUTOR_H
+
+#include "core/Plan.h"
+#include "runtime/ExecutionPlan.h"
+#include "support/AlignedBuffer.h"
+#include "support/ThreadPool.h"
+#include "tensor/Tensor.h"
+
+#include <memory>
+#include <vector>
+
+namespace primsel {
+
+/// Per-run timing breakdown.
+struct RunResult {
+  double TotalMillis = 0.0;
+  double ConvMillis = 0.0;
+  double TransformMillis = 0.0;
+  double OtherMillis = 0.0; ///< dummy layers
+};
+
+/// Interprets an ExecutionPlan. Construction performs all setup-time work
+/// (weight generation and primitive instantiation/packing); run() performs
+/// and times one forward pass.
+class Executor {
+public:
+  /// \param Threads 1 reproduces the paper's single-threaded rows; more
+  /// threads use a shared pool across all primitives.
+  Executor(const NetworkGraph &Net, const NetworkPlan &Plan,
+           const PrimitiveLibrary &Lib, unsigned Threads = 1,
+           uint64_t WeightSeed = 7);
+  ~Executor();
+
+  /// One forward pass. \p Input must be CHW with the input layer's shape.
+  RunResult run(const Tensor3D &Input);
+
+  /// Output tensor of node \p N from the most recent run().
+  const Tensor3D &outputOf(NetworkGraph::NodeId N) const;
+
+  /// Output tensor of the network's (first) output node.
+  const Tensor3D &networkOutput() const;
+
+  const ExecutionPlan &plan() const { return Program; }
+
+private:
+  void runDummy(const NetworkGraph::Node &Node, NetworkGraph::NodeId N);
+  const Tensor3D &inputTensor(NetworkGraph::NodeId Consumer, unsigned Index);
+
+  const NetworkGraph &Net;
+  NetworkPlan Plan;
+  const PrimitiveLibrary &Lib;
+  ExecutionPlan Program;
+  std::unique_ptr<ThreadPool> Pool;
+
+  /// Conv instances, indexed by node.
+  std::vector<std::unique_ptr<ConvInstance>> Instances;
+  /// Fully-connected weights, indexed by node.
+  std::vector<AlignedBuffer> FcWeights;
+  /// Per-run tensors, indexed by node.
+  std::vector<Tensor3D> NodeOutputs;
+  /// Converted edge tensors from the current run, keyed like Plan.Chains.
+  std::map<EdgeKey, Tensor3D> EdgeTensors;
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_RUNTIME_EXECUTOR_H

@@ -1,0 +1,120 @@
+//===- runtime/LayerOps.cpp -----------------------------------------------===//
+
+#include "runtime/LayerOps.h"
+
+#include "gemm/Gemm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+using namespace primsel;
+
+void primsel::reluOp(const Tensor3D &In, Tensor3D &Out) {
+  assert(In.layout() == Out.layout() && In.sameShape(Out) &&
+         "relu requires matching layout and shape");
+  const float *Src = In.data();
+  float *Dst = Out.data();
+  for (int64_t I = 0, E = Out.size(); I < E; ++I)
+    Dst[I] = Src[I] > 0.0f ? Src[I] : 0.0f;
+}
+
+void primsel::identityOp(const Tensor3D &In, Tensor3D &Out) {
+  assert(In.layout() == Out.layout() && In.sameShape(Out) &&
+         "identity requires matching layout and shape");
+  std::memcpy(Out.data(), In.data(),
+              static_cast<size_t>(Out.size()) * sizeof(float));
+}
+
+void primsel::softmaxOp(const Tensor3D &In, Tensor3D &Out) {
+  assert(In.layout() == Out.layout() && In.sameShape(Out) &&
+         "softmax requires matching layout and shape");
+  const float *Src = In.data();
+  float *Dst = Out.data();
+  int64_t E = Out.size();
+  float Max = Src[0];
+  for (int64_t I = 1; I < E; ++I)
+    Max = std::max(Max, Src[I]);
+  double Sum = 0.0;
+  for (int64_t I = 0; I < E; ++I) {
+    Dst[I] = std::exp(Src[I] - Max);
+    Sum += Dst[I];
+  }
+  float Inv = static_cast<float>(1.0 / Sum);
+  for (int64_t I = 0; I < E; ++I)
+    Dst[I] *= Inv;
+}
+
+void primsel::poolOp(bool IsMax, int64_t K, int64_t Stride, int64_t Pad,
+                     const Tensor3D &In, Tensor3D &Out) {
+  assert(In.channels() == Out.channels() && "pooling preserves channels");
+  for (int64_t Ch = 0; Ch < Out.channels(); ++Ch)
+    for (int64_t R = 0; R < Out.height(); ++R)
+      for (int64_t Col = 0; Col < Out.width(); ++Col) {
+        int64_t R0 = std::max<int64_t>(0, R * Stride - Pad);
+        int64_t R1 = std::min<int64_t>(In.height(), R * Stride - Pad + K);
+        int64_t C0 = std::max<int64_t>(0, Col * Stride - Pad);
+        int64_t C1 = std::min<int64_t>(In.width(), Col * Stride - Pad + K);
+        float V = IsMax ? -std::numeric_limits<float>::infinity() : 0.0f;
+        for (int64_t IR = R0; IR < R1; ++IR)
+          for (int64_t IC = C0; IC < C1; ++IC) {
+            float X = In.at(Ch, IR, IC);
+            V = IsMax ? std::max(V, X) : V + X;
+          }
+        if (!IsMax) {
+          int64_t Count = (R1 - R0) * (C1 - C0);
+          V /= static_cast<float>(std::max<int64_t>(1, Count));
+        }
+        Out.at(Ch, R, Col) = V;
+      }
+}
+
+void primsel::lrnOp(const Tensor3D &In, Tensor3D &Out) {
+  assert(In.sameShape(Out) && "LRN preserves shape");
+  constexpr int64_t Local = 5;
+  constexpr float Alpha = 1e-4f, Beta = 0.75f, KBias = 1.0f;
+  for (int64_t R = 0; R < Out.height(); ++R)
+    for (int64_t Col = 0; Col < Out.width(); ++Col)
+      for (int64_t Ch = 0; Ch < Out.channels(); ++Ch) {
+        int64_t C0 = std::max<int64_t>(0, Ch - Local / 2);
+        int64_t C1 = std::min<int64_t>(Out.channels(), Ch + Local / 2 + 1);
+        float SqSum = 0.0f;
+        for (int64_t CC = C0; CC < C1; ++CC) {
+          float X = In.at(CC, R, Col);
+          SqSum += X * X;
+        }
+        float Denom = std::pow(KBias + Alpha / Local * SqSum, Beta);
+        Out.at(Ch, R, Col) = In.at(Ch, R, Col) / Denom;
+      }
+}
+
+void primsel::concatOp(const std::vector<const Tensor3D *> &Parts,
+                       Tensor3D &Out) {
+  assert(!Parts.empty() && "concat needs at least one part");
+  int64_t ChannelBase = 0;
+  for (const Tensor3D *Part : Parts) {
+    assert(Part->height() == Out.height() && Part->width() == Out.width() &&
+           "concat parts must agree on spatial dims");
+    for (int64_t Ch = 0; Ch < Part->channels(); ++Ch)
+      for (int64_t R = 0; R < Part->height(); ++R)
+        for (int64_t Col = 0; Col < Part->width(); ++Col)
+          Out.at(ChannelBase + Ch, R, Col) = Part->at(Ch, R, Col);
+    ChannelBase += Part->channels();
+  }
+  assert(ChannelBase == Out.channels() && "concat channel count mismatch");
+}
+
+void primsel::fullyConnectedOp(const float *Weights, const Tensor3D &In,
+                               Tensor3D &Out, ThreadPool *Pool) {
+  assert(Out.height() == 1 && Out.width() == 1 && "FC output is a vector");
+  std::vector<float> Flat(static_cast<size_t>(In.size()));
+  size_t Idx = 0;
+  for (int64_t Ch = 0; Ch < In.channels(); ++Ch)
+    for (int64_t R = 0; R < In.height(); ++R)
+      for (int64_t Col = 0; Col < In.width(); ++Col)
+        Flat[Idx++] = In.at(Ch, R, Col);
+  sgemv(Out.channels(), static_cast<int64_t>(Flat.size()), Weights,
+        Flat.data(), Out.data(), /*Accumulate=*/false, Pool);
+}

@@ -1,0 +1,64 @@
+//===- runtime/LayerOps.h - Non-conv layer operators ------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-convolution ("dummy", §5.2) layer operators as standalone
+/// functions: activation, pooling, LRN, concat, fully-connected, softmax,
+/// and inference-time dropout. The Executor dispatches to these, and the
+/// code generator (codegen/CodeGen.h) emits direct calls to them, so
+/// generated programs and the interpreter compute identical functions.
+///
+/// All operators are layout-polymorphic: they access tensors by logical
+/// (c, h, w) coordinates (or flat loops for elementwise ops where the input
+/// and output share a layout), so any assigned layout works. \p Out must be
+/// pre-allocated with the layer's output shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_RUNTIME_LAYEROPS_H
+#define PRIMSEL_RUNTIME_LAYEROPS_H
+
+#include "tensor/Tensor.h"
+
+#include <vector>
+
+namespace primsel {
+
+class ThreadPool;
+
+/// Elementwise max(x, 0). In and Out must share a layout.
+void reluOp(const Tensor3D &In, Tensor3D &Out);
+
+/// Inference-time dropout: the identity. In and Out must share a layout.
+void identityOp(const Tensor3D &In, Tensor3D &Out);
+
+/// Global softmax over all elements (applied to 1x1 classifier outputs).
+/// In and Out must share a layout.
+void softmaxOp(const Tensor3D &In, Tensor3D &Out);
+
+/// Max (\p IsMax) or average pooling with a \p K x \p K window, stride
+/// \p Stride and symmetric padding \p Pad, using the Caffe convention
+/// (padded cells are excluded from the window; average divides by the
+/// participating count).
+void poolOp(bool IsMax, int64_t K, int64_t Stride, int64_t Pad,
+            const Tensor3D &In, Tensor3D &Out);
+
+/// Across-channel local response normalization with Caffe defaults
+/// (n = 5, alpha = 1e-4, beta = 0.75, k = 1).
+void lrnOp(const Tensor3D &In, Tensor3D &Out);
+
+/// Channel-wise concatenation of \p Parts, in order.
+void concatOp(const std::vector<const Tensor3D *> &Parts, Tensor3D &Out);
+
+/// Dense layer: Out = W * flatten(In), where \p Weights is row-major
+/// (OutUnits x In.size()) and the input is flattened in logical (C, H, W)
+/// order regardless of layout. Out must be OutUnits x 1 x 1.
+void fullyConnectedOp(const float *Weights, const Tensor3D &In, Tensor3D &Out,
+                      ThreadPool *Pool = nullptr);
+
+} // namespace primsel
+
+#endif // PRIMSEL_RUNTIME_LAYEROPS_H

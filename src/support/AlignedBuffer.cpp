@@ -1,0 +1,50 @@
+//===- support/AlignedBuffer.cpp ------------------------------------------===//
+
+#include "support/AlignedBuffer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <utility>
+
+using namespace primsel;
+
+static constexpr size_t Alignment = 64;
+
+static float *allocateAligned(size_t NumFloats) {
+  if (NumFloats == 0)
+    return nullptr;
+  // Round the byte size up to a multiple of the alignment as required by
+  // std::aligned_alloc.
+  size_t Bytes = NumFloats * sizeof(float);
+  Bytes = (Bytes + Alignment - 1) / Alignment * Alignment;
+  void *P = std::aligned_alloc(Alignment, Bytes);
+  assert(P && "aligned allocation failed");
+  return static_cast<float *>(P);
+}
+
+AlignedBuffer::AlignedBuffer(size_t NumFloats)
+    : Data(allocateAligned(NumFloats)), Size(NumFloats) {}
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer &&Other) noexcept
+    : Data(std::exchange(Other.Data, nullptr)),
+      Size(std::exchange(Other.Size, 0)) {}
+
+AlignedBuffer &AlignedBuffer::operator=(AlignedBuffer &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  std::free(Data);
+  Data = std::exchange(Other.Data, nullptr);
+  Size = std::exchange(Other.Size, 0);
+  return *this;
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(Data); }
+
+void AlignedBuffer::fill(float Value) { std::fill_n(Data, Size, Value); }
+
+void AlignedBuffer::reset(size_t NumFloats) {
+  std::free(Data);
+  Data = allocateAligned(NumFloats);
+  Size = NumFloats;
+}

@@ -1,0 +1,57 @@
+//===- support/AlignedBuffer.h - Aligned float storage ----------*- C++ -*-===//
+//
+// Part of primsel, a reproduction of "Optimal DNN Primitive Selection with
+// Partitioned Boolean Quadratic Programming" (Anderson & Gregg, CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-line aligned, movable float buffer used as backing storage for
+/// tensors and primitive workspaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_SUPPORT_ALIGNEDBUFFER_H
+#define PRIMSEL_SUPPORT_ALIGNEDBUFFER_H
+
+#include <cstddef>
+
+namespace primsel {
+
+/// An owning float array aligned to 64 bytes.
+///
+/// The buffer is movable but not copyable; copies of tensor data are always
+/// explicit in this codebase to keep memory traffic visible.
+class AlignedBuffer {
+public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t NumFloats);
+  AlignedBuffer(AlignedBuffer &&Other) noexcept;
+  AlignedBuffer &operator=(AlignedBuffer &&Other) noexcept;
+  AlignedBuffer(const AlignedBuffer &) = delete;
+  AlignedBuffer &operator=(const AlignedBuffer &) = delete;
+  ~AlignedBuffer();
+
+  float *data() { return Data; }
+  const float *data() const { return Data; }
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+
+  float &operator[](size_t I) { return Data[I]; }
+  float operator[](size_t I) const { return Data[I]; }
+
+  /// Set every element to \p Value.
+  void fill(float Value);
+
+  /// Drop the current contents and reallocate for \p NumFloats elements.
+  /// Contents after resize are unspecified.
+  void reset(size_t NumFloats);
+
+private:
+  float *Data = nullptr;
+  size_t Size = 0;
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_SUPPORT_ALIGNEDBUFFER_H

@@ -1,0 +1,45 @@
+//===- support/Stats.cpp --------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace primsel;
+
+double SampleStats::min() const {
+  assert(!Samples.empty() && "min() of empty sample set");
+  return *std::min_element(Samples.begin(), Samples.end());
+}
+
+double SampleStats::max() const {
+  assert(!Samples.empty() && "max() of empty sample set");
+  return *std::max_element(Samples.begin(), Samples.end());
+}
+
+double SampleStats::mean() const {
+  assert(!Samples.empty() && "mean() of empty sample set");
+  double Sum = std::accumulate(Samples.begin(), Samples.end(), 0.0);
+  return Sum / static_cast<double>(Samples.size());
+}
+
+double SampleStats::median() const {
+  assert(!Samples.empty() && "median() of empty sample set");
+  std::vector<double> Sorted = Samples;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t N = Sorted.size();
+  if (N % 2 == 1)
+    return Sorted[N / 2];
+  return 0.5 * (Sorted[N / 2 - 1] + Sorted[N / 2]);
+}
+
+double SampleStats::stddev() const {
+  assert(!Samples.empty() && "stddev() of empty sample set");
+  double M = mean();
+  double SqSum = 0.0;
+  for (double S : Samples)
+    SqSum += (S - M) * (S - M);
+  return std::sqrt(SqSum / static_cast<double>(Samples.size()));
+}

@@ -1,0 +1,47 @@
+//===- support/Stats.h - Sample statistics ----------------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics over timing samples. The profiler keeps the minimum of
+/// repeated runs as its cost estimate (least-noise estimator for a
+/// deterministic workload) and the benchmark harness reports means as the
+/// paper does (§5.2: "the mean execution time for one forward pass").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_SUPPORT_STATS_H
+#define PRIMSEL_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace primsel {
+
+/// Accumulates double-valued samples and answers summary queries.
+class SampleStats {
+public:
+  void add(double Sample) { Samples.push_back(Sample); }
+  size_t count() const { return Samples.size(); }
+  bool empty() const { return Samples.empty(); }
+
+  /// Smallest sample; asserts on empty.
+  double min() const;
+  /// Largest sample; asserts on empty.
+  double max() const;
+  /// Arithmetic mean; asserts on empty.
+  double mean() const;
+  /// Median (average of middle two for even counts); asserts on empty.
+  double median() const;
+  /// Population standard deviation; 0 for a single sample.
+  double stddev() const;
+
+private:
+  std::vector<double> Samples;
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_SUPPORT_STATS_H

@@ -1,0 +1,15 @@
+//===- support/Timer.cpp --------------------------------------------------===//
+//
+// Timer is header-only; this file anchors the translation unit so the module
+// always has an object file (keeps the library layout uniform).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+namespace primsel {
+namespace detail {
+// Anchor symbol; never called.
+double timerAnchor() { return Timer().seconds(); }
+} // namespace detail
+} // namespace primsel

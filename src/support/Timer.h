@@ -1,0 +1,42 @@
+//===- support/Timer.h - Monotonic wall-clock timing ------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal monotonic timer used by the layerwise profiler (paper §3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_SUPPORT_TIMER_H
+#define PRIMSEL_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace primsel {
+
+/// Stopwatch over std::chrono::steady_clock.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_SUPPORT_TIMER_H

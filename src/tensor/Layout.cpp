@@ -1,0 +1,67 @@
+//===- tensor/Layout.cpp --------------------------------------------------===//
+
+#include "tensor/Layout.h"
+
+#include <cassert>
+
+using namespace primsel;
+
+std::array<Dim, 3> primsel::layoutOrder(Layout L) {
+  switch (L) {
+  case Layout::CHW:
+    return {Dim::C, Dim::H, Dim::W};
+  case Layout::CWH:
+    return {Dim::C, Dim::W, Dim::H};
+  case Layout::HCW:
+    return {Dim::H, Dim::C, Dim::W};
+  case Layout::HWC:
+    return {Dim::H, Dim::W, Dim::C};
+  case Layout::WCH:
+    return {Dim::W, Dim::C, Dim::H};
+  case Layout::WHC:
+    return {Dim::W, Dim::H, Dim::C};
+  }
+  assert(false && "unknown layout");
+  return {Dim::C, Dim::H, Dim::W};
+}
+
+const char *primsel::layoutName(Layout L) {
+  switch (L) {
+  case Layout::CHW:
+    return "CHW";
+  case Layout::CWH:
+    return "CWH";
+  case Layout::HCW:
+    return "HCW";
+  case Layout::HWC:
+    return "HWC";
+  case Layout::WCH:
+    return "WCH";
+  case Layout::WHC:
+    return "WHC";
+  }
+  assert(false && "unknown layout");
+  return "?";
+}
+
+std::optional<Layout> primsel::parseLayout(const std::string &Name) {
+  for (Layout L : AllLayouts)
+    if (Name == layoutName(L))
+      return L;
+  return std::nullopt;
+}
+
+std::array<int64_t, 3> primsel::layoutStrides(Layout L, int64_t C, int64_t H,
+                                              int64_t W) {
+  std::array<int64_t, 3> Extent = {C, H, W};
+  std::array<Dim, 3> Order = layoutOrder(L);
+  std::array<int64_t, 3> Strides = {0, 0, 0};
+  int64_t Running = 1;
+  // Innermost dimension (last in the order) has stride 1.
+  for (int I = 2; I >= 0; --I) {
+    unsigned D = static_cast<unsigned>(Order[I]);
+    Strides[D] = Running;
+    Running *= Extent[D];
+  }
+  return Strides;
+}

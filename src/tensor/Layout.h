@@ -1,0 +1,65 @@
+//===- tensor/Layout.h - Activation data layouts ----------------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data layouts for 3D activation tensors. A layout is a permutation of the
+/// dimensions {C, H, W} (paper §3: "In the abstract, any layout (i.e.
+/// permutation of the order of these dimensions) of the tensor is valid").
+/// The paper's primitive families use CHW, HCW, and HWC (§5.3); the DT graph
+/// covers all six permutations so that chains of transformations are
+/// exercised.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_TENSOR_LAYOUT_H
+#define PRIMSEL_TENSOR_LAYOUT_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace primsel {
+
+/// The three logical dimensions of an activation tensor.
+enum class Dim : uint8_t { C = 0, H = 1, W = 2 };
+
+/// One of the six orderings of {C, H, W}, outermost dimension first.
+enum class Layout : uint8_t {
+  CHW = 0, ///< channel-major; Caffe's canonical layout
+  CWH,
+  HCW, ///< row-major over channel rows; used by 1D-style primitives
+  HWC, ///< interleaved channels; friendly to per-pixel vectorization
+  WCH,
+  WHC,
+};
+
+/// Number of distinct layouts.
+constexpr unsigned NumLayouts = 6;
+
+/// All layouts, for iteration.
+constexpr std::array<Layout, NumLayouts> AllLayouts = {
+    Layout::CHW, Layout::CWH, Layout::HCW,
+    Layout::HWC, Layout::WCH, Layout::WHC};
+
+/// The dimension order of \p L, outermost first.
+std::array<Dim, 3> layoutOrder(Layout L);
+
+/// Human-readable name, e.g. "CHW".
+const char *layoutName(Layout L);
+
+/// Parse "CHW"-style names; returns std::nullopt on anything else.
+std::optional<Layout> parseLayout(const std::string &Name);
+
+/// Strides (in elements) of the C, H and W dimensions for a tensor of shape
+/// \p C x \p H x \p W stored in layout \p L. Index of element (c,h,w) is
+/// c*Strides[0] + h*Strides[1] + w*Strides[2].
+std::array<int64_t, 3> layoutStrides(Layout L, int64_t C, int64_t H,
+                                     int64_t W);
+
+} // namespace primsel
+
+#endif // PRIMSEL_TENSOR_LAYOUT_H

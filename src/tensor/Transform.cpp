@@ -1,0 +1,67 @@
+//===- tensor/Transform.cpp -----------------------------------------------===//
+
+#include "tensor/Transform.h"
+
+#include <cassert>
+
+using namespace primsel;
+
+const std::vector<TransformRoutineInfo> &primsel::directTransformRoutines() {
+  // Curated routine set. CHW/HCW/HWC (the layouts the paper's primitive
+  // families use, §5.3) are densely connected; CWH/WCH/WHC are reachable only
+  // through chains, which exercises the transitive-closure machinery.
+  static const std::vector<TransformRoutineInfo> Routines = {
+      {Layout::CHW, Layout::HWC, "chw2hwc"},
+      {Layout::HWC, Layout::CHW, "hwc2chw"},
+      {Layout::CHW, Layout::HCW, "chw2hcw"},
+      {Layout::HCW, Layout::CHW, "hcw2chw"},
+      {Layout::HCW, Layout::HWC, "hcw2hwc"},
+      {Layout::HWC, Layout::HCW, "hwc2hcw"},
+      {Layout::CHW, Layout::CWH, "chw2cwh"},
+      {Layout::CWH, Layout::WCH, "cwh2wch"},
+      {Layout::WCH, Layout::WHC, "wch2whc"},
+      {Layout::WHC, Layout::HWC, "whc2hwc"},
+  };
+  return Routines;
+}
+
+bool primsel::hasDirectTransform(Layout From, Layout To) {
+  for (const TransformRoutineInfo &R : directTransformRoutines())
+    if (R.From == From && R.To == To)
+      return true;
+  return false;
+}
+
+void primsel::runTransform(const Tensor3D &Src, Tensor3D &Dst) {
+  assert(Src.sameShape(Dst) && "layout transform must preserve shape");
+  // Iterate in the destination's dimension order so writes are sequential;
+  // reads then stride through the source, which is the cache behaviour a
+  // hand-written transposition routine would have.
+  std::array<Dim, 3> Order = layoutOrder(Dst.layout());
+  std::array<int64_t, 3> Extent = {Src.channels(), Src.height(), Src.width()};
+  int64_t N0 = Extent[static_cast<unsigned>(Order[0])];
+  int64_t N1 = Extent[static_cast<unsigned>(Order[1])];
+  int64_t N2 = Extent[static_cast<unsigned>(Order[2])];
+
+  const float *SrcData = Src.data();
+  float *DstData = Dst.data();
+  // Source strides re-ordered to the destination's loop order.
+  std::array<int64_t, 3> SrcStride = {Src.stride(Order[0]),
+                                      Src.stride(Order[1]),
+                                      Src.stride(Order[2])};
+  int64_t DstIdx = 0;
+  for (int64_t I0 = 0; I0 < N0; ++I0) {
+    int64_t Base0 = I0 * SrcStride[0];
+    for (int64_t I1 = 0; I1 < N1; ++I1) {
+      int64_t Base1 = Base0 + I1 * SrcStride[1];
+      for (int64_t I2 = 0; I2 < N2; ++I2)
+        DstData[DstIdx++] = SrcData[Base1 + I2 * SrcStride[2]];
+    }
+  }
+}
+
+Tensor3D primsel::convertToLayout(const Tensor3D &Src, Layout To) {
+  Tensor3D Dst(Src.channels(), Src.height(), Src.width(), To);
+  runTransform(Src, Dst);
+  return Dst;
+}

@@ -1,0 +1,51 @@
+//===- tensor/Transform.h - Data layout transformation routines -*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's data layout transformation routines. Following the paper
+/// (§3.1), the set of *direct* routines between layout pairs is deliberately
+/// incomplete: converting between some pairs requires a chain of direct
+/// transformations, found via shortest paths on the DT graph (core/DTGraph).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_TENSOR_TRANSFORM_H
+#define PRIMSEL_TENSOR_TRANSFORM_H
+
+#include "tensor/Tensor.h"
+
+#include <string>
+#include <vector>
+
+namespace primsel {
+
+/// Description of one direct layout transformation routine shipped with the
+/// primitive library.
+struct TransformRoutineInfo {
+  Layout From;
+  Layout To;
+  std::string Name;
+};
+
+/// The direct transformation routines available. This set is intentionally
+/// not the full 30-pair matrix; several pairs are only reachable through
+/// chains (paper §3.1: "the number of supported data layouts may be large.
+/// There may not be a separate conversion primitive connecting every pair").
+const std::vector<TransformRoutineInfo> &directTransformRoutines();
+
+/// True if a direct routine From -> To exists in the library.
+bool hasDirectTransform(Layout From, Layout To);
+
+/// Copy \p Src into \p Dst, which must have the same logical shape but may
+/// use any layout. Loops are ordered for sequential writes into \p Dst.
+void runTransform(const Tensor3D &Src, Tensor3D &Dst);
+
+/// Convenience: allocate a tensor with layout \p To and copy \p Src into it.
+Tensor3D convertToLayout(const Tensor3D &Src, Layout To);
+
+} // namespace primsel
+
+#endif // PRIMSEL_TENSOR_TRANSFORM_H

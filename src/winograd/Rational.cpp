@@ -1,0 +1,55 @@
+//===- winograd/Rational.cpp ----------------------------------------------===//
+
+#include "winograd/Rational.h"
+
+#include <cassert>
+#include <numeric>
+
+using namespace primsel;
+
+Rational::Rational(int64_t Numerator, int64_t Denominator)
+    : Num(Numerator), Den(Denominator) {
+  assert(Den != 0 && "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (Den < 0) {
+    Num = -Num;
+    Den = -Den;
+  }
+  int64_t G = std::gcd(Num < 0 ? -Num : Num, Den);
+  if (G > 1) {
+    Num /= G;
+    Den /= G;
+  }
+  if (Num == 0)
+    Den = 1;
+}
+
+double Rational::toDouble() const {
+  return static_cast<double>(Num) / static_cast<double>(Den);
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}
+
+Rational Rational::operator+(const Rational &Other) const {
+  return Rational(Num * Other.Den + Other.Num * Den, Den * Other.Den);
+}
+
+Rational Rational::operator-(const Rational &Other) const {
+  return Rational(Num * Other.Den - Other.Num * Den, Den * Other.Den);
+}
+
+Rational Rational::operator*(const Rational &Other) const {
+  return Rational(Num * Other.Num, Den * Other.Den);
+}
+
+Rational Rational::operator/(const Rational &Other) const {
+  assert(!Other.isZero() && "division by zero rational");
+  return Rational(Num * Other.Den, Den * Other.Num);
+}

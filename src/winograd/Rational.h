@@ -1,0 +1,66 @@
+//===- winograd/Rational.h - Exact rational arithmetic ----------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small exact rational number type used to generate Winograd transform
+/// matrices. Working over rationals (instead of floats) makes the generated
+/// A^T, G, B^T matrices exact, so the only error in Winograd convolution is
+/// the usual float evaluation error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_WINOGRAD_RATIONAL_H
+#define PRIMSEL_WINOGRAD_RATIONAL_H
+
+#include <cstdint>
+#include <string>
+
+namespace primsel {
+
+/// An exact rational with int64 numerator/denominator, always normalized
+/// (gcd 1, positive denominator). The magnitudes involved in transform
+/// generation for tile sizes up to F(4,5) are tiny, so int64 never overflows
+/// in practice; operations assert on normalization failure.
+class Rational {
+public:
+  Rational() : Num(0), Den(1) {}
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+  Rational(int64_t Numerator, int64_t Denominator);
+
+  int64_t numerator() const { return Num; }
+  int64_t denominator() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  double toDouble() const;
+  float toFloat() const { return static_cast<float>(toDouble()); }
+  std::string str() const;
+
+  Rational operator+(const Rational &Other) const;
+  Rational operator-(const Rational &Other) const;
+  Rational operator*(const Rational &Other) const;
+  Rational operator/(const Rational &Other) const;
+  Rational operator-() const { return Rational(-Num, Den); }
+
+  Rational &operator+=(const Rational &Other) { return *this = *this + Other; }
+  Rational &operator-=(const Rational &Other) { return *this = *this - Other; }
+  Rational &operator*=(const Rational &Other) { return *this = *this * Other; }
+  Rational &operator/=(const Rational &Other) { return *this = *this / Other; }
+
+  bool operator==(const Rational &Other) const {
+    return Num == Other.Num && Den == Other.Den;
+  }
+  bool operator!=(const Rational &Other) const { return !(*this == Other); }
+
+private:
+  void normalize();
+
+  int64_t Num;
+  int64_t Den;
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_WINOGRAD_RATIONAL_H

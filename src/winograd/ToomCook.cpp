@@ -1,0 +1,126 @@
+//===- winograd/ToomCook.cpp ----------------------------------------------===//
+
+#include "winograd/ToomCook.h"
+
+#include <cassert>
+
+using namespace primsel;
+
+RationalMatrix RationalMatrix::transposed() const {
+  RationalMatrix T(NumCols, NumRows);
+  for (int64_t R = 0; R < NumRows; ++R)
+    for (int64_t C = 0; C < NumCols; ++C)
+      T.at(C, R) = at(R, C);
+  return T;
+}
+
+RationalMatrix RationalMatrix::inverted() const {
+  assert(NumRows == NumCols && "inverting a non-square matrix");
+  const int64_t N = NumRows;
+  // Augmented Gauss-Jordan over exact rationals.
+  RationalMatrix Work = *this;
+  RationalMatrix Inv(N, N);
+  for (int64_t I = 0; I < N; ++I)
+    Inv.at(I, I) = Rational(1);
+
+  for (int64_t Col = 0; Col < N; ++Col) {
+    // Find a pivot row.
+    int64_t Pivot = -1;
+    for (int64_t R = Col; R < N; ++R)
+      if (!Work.at(R, Col).isZero()) {
+        Pivot = R;
+        break;
+      }
+    assert(Pivot >= 0 && "singular matrix in Toom-Cook generation");
+    if (Pivot != Col)
+      for (int64_t C = 0; C < N; ++C) {
+        std::swap(Work.at(Pivot, C), Work.at(Col, C));
+        std::swap(Inv.at(Pivot, C), Inv.at(Col, C));
+      }
+    Rational P = Work.at(Col, Col);
+    for (int64_t C = 0; C < N; ++C) {
+      Work.at(Col, C) /= P;
+      Inv.at(Col, C) /= P;
+    }
+    for (int64_t R = 0; R < N; ++R) {
+      if (R == Col || Work.at(R, Col).isZero())
+        continue;
+      Rational Factor = Work.at(R, Col);
+      for (int64_t C = 0; C < N; ++C) {
+        Work.at(R, C) -= Factor * Work.at(Col, C);
+        Inv.at(R, C) -= Factor * Inv.at(Col, C);
+      }
+    }
+  }
+  return Inv;
+}
+
+std::vector<float> RationalMatrix::toFloats() const {
+  std::vector<float> Out(static_cast<size_t>(NumRows * NumCols));
+  for (int64_t R = 0; R < NumRows; ++R)
+    for (int64_t C = 0; C < NumCols; ++C)
+      Out[static_cast<size_t>(R * NumCols + C)] = at(R, C).toFloat();
+  return Out;
+}
+
+std::vector<Rational> primsel::toomCookPoints(int64_t NumFinite) {
+  // 0, then +-1, +-2, +-1/2, +-3, +-1/3, ... Small-magnitude points keep the
+  // transform matrices well conditioned in float.
+  std::vector<Rational> Points;
+  Points.push_back(Rational(0));
+  int64_t K = 1;
+  while (static_cast<int64_t>(Points.size()) < NumFinite) {
+    Points.push_back(Rational(K));
+    if (static_cast<int64_t>(Points.size()) < NumFinite)
+      Points.push_back(Rational(-K));
+    if (K > 1) {
+      if (static_cast<int64_t>(Points.size()) < NumFinite)
+        Points.push_back(Rational(1, K));
+      if (static_cast<int64_t>(Points.size()) < NumFinite)
+        Points.push_back(Rational(-1, K));
+    }
+    ++K;
+  }
+  Points.resize(static_cast<size_t>(NumFinite));
+  return Points;
+}
+
+/// Build the n x Cols evaluation matrix over the n-1 finite points plus the
+/// point at infinity: row j < n-1 is [1, a_j, a_j^2, ..., a_j^(Cols-1)]; the
+/// infinity row picks out the leading coefficient, [0, ..., 0, 1].
+static RationalMatrix evaluationMatrix(const std::vector<Rational> &Finite,
+                                       int64_t Cols) {
+  const int64_t N = static_cast<int64_t>(Finite.size()) + 1;
+  RationalMatrix V(N, Cols);
+  for (int64_t J = 0; J + 1 < N; ++J) {
+    Rational Power(1);
+    for (int64_t C = 0; C < Cols; ++C) {
+      V.at(J, C) = Power;
+      Power *= Finite[static_cast<size_t>(J)];
+    }
+  }
+  V.at(N - 1, Cols - 1) = Rational(1);
+  return V;
+}
+
+WinogradTransform primsel::generateWinograd(int64_t M, int64_t R) {
+  assert(M >= 1 && R >= 1 && "degenerate Winograd tile");
+  WinogradTransform T;
+  T.M = M;
+  T.R = R;
+  T.N = M + R - 1;
+
+  std::vector<Rational> Finite = toomCookPoints(T.N - 1);
+  RationalMatrix Vg = evaluationMatrix(Finite, R); // N x R
+  RationalMatrix Vd = evaluationMatrix(Finite, M); // N x M
+  RationalMatrix Vs = evaluationMatrix(Finite, T.N); // N x N
+
+  T.ExactG = Vg;
+  T.ExactAT = Vd.transposed();
+  T.ExactBT = Vs.transposed().inverted();
+
+  T.G = T.ExactG.toFloats();
+  T.AT = T.ExactAT.toFloats();
+  T.BT = T.ExactBT.toFloats();
+  return T;
+}

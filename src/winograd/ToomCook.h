@@ -1,0 +1,99 @@
+//===- winograd/ToomCook.h - Winograd transform generation ------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the Winograd minimal-filtering transform matrices A^T, G, B^T
+/// for F(m, r) via the Toom-Cook evaluation/interpolation construction and
+/// the transposition principle:
+///
+///   Linear convolution of g (len r) with e (len m) can be computed with
+///   n = m + r - 1 multiplies by evaluating both polynomials at n points
+///   (n-1 finite points plus infinity), multiplying pointwise, and
+///   interpolating:  s = Vs^-1 [ (Vg g) .* (Vd e) ].
+///
+///   Transposing the bilinear form yields the minimal FIR filtering
+///   algorithm F(m, r) computing m correlation outputs from n inputs:
+///     y = A^T [ (G g) .* (B^T d) ]
+///   with  G = Vg (n x r),  A^T = Vd^T (m x n),  B^T = (Vs^T)^-1 (n x n).
+///
+/// This matches the construction used by the paper's Winograd family (§4,
+/// "the Winograd algorithm for convolution with a theoretically optimal
+/// number of multiplications"); the paper instantiates K = 3 and K = 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_WINOGRAD_TOOMCOOK_H
+#define PRIMSEL_WINOGRAD_TOOMCOOK_H
+
+#include "winograd/Rational.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace primsel {
+
+/// Dense row-major matrix of exact rationals.
+class RationalMatrix {
+public:
+  RationalMatrix() = default;
+  RationalMatrix(int64_t Rows, int64_t Cols)
+      : NumRows(Rows), NumCols(Cols),
+        Data(static_cast<size_t>(Rows * Cols)) {}
+
+  int64_t rows() const { return NumRows; }
+  int64_t cols() const { return NumCols; }
+
+  Rational &at(int64_t R, int64_t C) {
+    return Data[static_cast<size_t>(R * NumCols + C)];
+  }
+  const Rational &at(int64_t R, int64_t C) const {
+    return Data[static_cast<size_t>(R * NumCols + C)];
+  }
+
+  RationalMatrix transposed() const;
+
+  /// Exact inverse via Gauss-Jordan elimination; asserts the matrix is
+  /// square and non-singular (always true for distinct evaluation points).
+  RationalMatrix inverted() const;
+
+  /// Convert to a flat row-major float matrix.
+  std::vector<float> toFloats() const;
+
+private:
+  int64_t NumRows = 0;
+  int64_t NumCols = 0;
+  std::vector<Rational> Data;
+};
+
+/// The transform matrices of one F(m, r) instance, as floats ready for use
+/// by the Winograd primitives, plus the exact forms for testing.
+struct WinogradTransform {
+  int64_t M; ///< outputs per tile
+  int64_t R; ///< filter taps
+  int64_t N; ///< input tile size, m + r - 1
+
+  /// A^T: M x N (row-major floats).
+  std::vector<float> AT;
+  /// G: N x R.
+  std::vector<float> G;
+  /// B^T: N x N.
+  std::vector<float> BT;
+
+  RationalMatrix ExactAT;
+  RationalMatrix ExactG;
+  RationalMatrix ExactBT;
+};
+
+/// The evaluation points used for an n-point construction: n-1 finite points
+/// drawn from {0, 1, -1, 2, -2, 1/2, -1/2, 3, -3, ...} plus infinity.
+std::vector<Rational> toomCookPoints(int64_t NumFinite);
+
+/// Generate F(\p M, \p R). Requires M >= 1 and R >= 1.
+WinogradTransform generateWinograd(int64_t M, int64_t R);
+
+} // namespace primsel
+
+#endif // PRIMSEL_WINOGRAD_TOOMCOOK_H

@@ -1,0 +1,137 @@
+//===- tests/fft_test.cpp - FFT substrate tests ---------------------------===//
+
+#include "fft/FFT.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace primsel;
+
+namespace {
+
+/// O(N^2) DFT reference.
+std::vector<std::complex<float>>
+referenceDFT(const std::vector<std::complex<float>> &In, bool Inverse) {
+  const size_t N = In.size();
+  std::vector<std::complex<float>> Out(N);
+  double Sign = Inverse ? 1.0 : -1.0;
+  for (size_t K = 0; K < N; ++K) {
+    std::complex<double> Sum(0, 0);
+    for (size_t J = 0; J < N; ++J) {
+      double Angle = Sign * 2.0 * M_PI * static_cast<double>(K * J) /
+                     static_cast<double>(N);
+      Sum += std::complex<double>(In[J]) *
+             std::complex<double>(std::cos(Angle), std::sin(Angle));
+    }
+    if (Inverse)
+      Sum /= static_cast<double>(N);
+    Out[K] = std::complex<float>(Sum);
+  }
+  return Out;
+}
+
+TEST(FFT, NextPow2) {
+  EXPECT_EQ(nextPow2(1), 1);
+  EXPECT_EQ(nextPow2(2), 2);
+  EXPECT_EQ(nextPow2(3), 4);
+  EXPECT_EQ(nextPow2(17), 32);
+  EXPECT_EQ(nextPow2(64), 64);
+}
+
+class FFTSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FFTSizes, MatchesDFT) {
+  const size_t N = static_cast<size_t>(GetParam());
+  std::vector<float> Raw(N);
+  fillRandom(Raw.data(), N, 3);
+  std::vector<std::complex<float>> Data(N);
+  for (size_t I = 0; I < N; ++I)
+    Data[I] = std::complex<float>(Raw[I], Raw[(I + 1) % N]);
+
+  std::vector<std::complex<float>> Want = referenceDFT(Data, false);
+  fftInPlace(Data, false);
+  for (size_t I = 0; I < N; ++I) {
+    ASSERT_NEAR(Data[I].real(), Want[I].real(), 1e-3f) << "bin " << I;
+    ASSERT_NEAR(Data[I].imag(), Want[I].imag(), 1e-3f) << "bin " << I;
+  }
+}
+
+TEST_P(FFTSizes, RoundTripIsIdentity) {
+  const size_t N = static_cast<size_t>(GetParam());
+  std::vector<float> Raw(N);
+  fillRandom(Raw.data(), N, 4);
+  std::vector<std::complex<float>> Data(N);
+  for (size_t I = 0; I < N; ++I)
+    Data[I] = std::complex<float>(Raw[I], 0.0f);
+  std::vector<std::complex<float>> Orig = Data;
+  fftInPlace(Data, false);
+  fftInPlace(Data, true);
+  for (size_t I = 0; I < N; ++I) {
+    ASSERT_NEAR(Data[I].real(), Orig[I].real(), 1e-4f);
+    ASSERT_NEAR(Data[I].imag(), Orig[I].imag(), 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, FFTSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256));
+
+struct CorrCase {
+  int64_t SignalLen;
+  int64_t Taps;
+};
+
+class FFTCorrelate : public ::testing::TestWithParam<CorrCase> {};
+
+TEST_P(FFTCorrelate, MatchesDirectCorrelation) {
+  const CorrCase C = GetParam();
+  std::vector<float> Signal(static_cast<size_t>(C.SignalLen));
+  std::vector<float> Taps(static_cast<size_t>(C.Taps));
+  fillRandom(Signal.data(), Signal.size(), 5);
+  fillRandom(Taps.data(), Taps.size(), 6);
+
+  const int64_t NumOut = C.SignalLen - C.Taps + 1;
+  std::vector<float> Want(static_cast<size_t>(NumOut), 0.0f);
+  for (int64_t I = 0; I < NumOut; ++I)
+    for (int64_t K = 0; K < C.Taps; ++K)
+      Want[static_cast<size_t>(I)] +=
+          Taps[static_cast<size_t>(K)] * Signal[static_cast<size_t>(I + K)];
+
+  int64_t F = nextPow2(C.SignalLen + C.Taps - 1);
+  auto Spec = prepareTapSpectrum(Taps.data(), C.Taps, F);
+  std::vector<float> Got(static_cast<size_t>(NumOut), 0.0f);
+  fftCorrelate1D(Signal.data(), C.SignalLen, Spec, C.Taps, Got.data(),
+                 /*Accumulate=*/false);
+
+  for (int64_t I = 0; I < NumOut; ++I)
+    ASSERT_NEAR(Got[static_cast<size_t>(I)], Want[static_cast<size_t>(I)],
+                2e-3f)
+        << "output " << I;
+}
+
+TEST_P(FFTCorrelate, AccumulateAdds) {
+  const CorrCase C = GetParam();
+  std::vector<float> Signal(static_cast<size_t>(C.SignalLen), 1.0f);
+  std::vector<float> Taps(static_cast<size_t>(C.Taps), 1.0f);
+  const int64_t NumOut = C.SignalLen - C.Taps + 1;
+  int64_t F = nextPow2(C.SignalLen + C.Taps - 1);
+  auto Spec = prepareTapSpectrum(Taps.data(), C.Taps, F);
+  std::vector<float> Out(static_cast<size_t>(NumOut), 100.0f);
+  fftCorrelate1D(Signal.data(), C.SignalLen, Spec, C.Taps, Out.data(), true);
+  for (float V : Out)
+    ASSERT_NEAR(V, 100.0f + static_cast<float>(C.Taps), 1e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FFTCorrelate,
+                         ::testing::Values(CorrCase{8, 3}, CorrCase{13, 3},
+                                           CorrCase{16, 5}, CorrCase{31, 11},
+                                           CorrCase{7, 7}, CorrCase{5, 1}),
+                         [](const auto &Info) {
+                           return "s" + std::to_string(Info.param.SignalLen) +
+                                  "_k" + std::to_string(Info.param.Taps);
+                         });
+
+} // namespace

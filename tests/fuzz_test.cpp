@@ -1,0 +1,143 @@
+//===- tests/fuzz_test.cpp - randomized whole-pipeline properties ---------===//
+//
+// Seed-swept property tests over randomNetwork() DAGs: arbitrary (but
+// valid) topologies are pushed through the full pipeline -- formulation,
+// solving, legalization, execution -- and the load-bearing invariants are
+// checked on every one:
+//
+//   1. the PBQP plan is legalized and maps only supporting primitives;
+//   2. the PBQP plan's modelled cost never exceeds any baseline strategy's
+//      (optimality, whenever the solver proves its solution);
+//   3. executing the PBQP plan computes the same function as executing the
+//      sum2d baseline plan (whole-network functional equivalence);
+//   4. the text format round-trips the generated topologies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Selector.h"
+#include "core/Strategies.h"
+#include "cost/AnalyticModel.h"
+#include "nn/Models.h"
+#include "nn/NetParser.h"
+#include "primitives/Registry.h"
+#include "runtime/Executor.h"
+#include "tensor/Transform.h"
+
+#include <gtest/gtest.h>
+
+using namespace primsel;
+
+namespace {
+
+const PrimitiveLibrary &library() {
+  static PrimitiveLibrary Lib = buildFullLibrary();
+  return Lib;
+}
+
+class RandomNetworkTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomNetworkTest, GeneratorProducesValidGraphs) {
+  NetworkGraph Net = randomNetwork(GetParam());
+  EXPECT_GT(Net.numNodes(), 3u);
+  EXPECT_FALSE(Net.outputs().empty());
+  // Topological discipline: every input of a node has a smaller id.
+  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N)
+    for (NetworkGraph::NodeId In : Net.node(N).Inputs)
+      EXPECT_LT(In, N);
+  // Conv scenarios are well-formed.
+  for (NetworkGraph::NodeId N : Net.convNodes()) {
+    const ConvScenario &S = Net.node(N).Scenario;
+    EXPECT_GE(S.outHeight(), 1);
+    EXPECT_GE(S.outWidth(), 1);
+    EXPECT_GE(S.SparsityPct, 0);
+    EXPECT_LE(S.SparsityPct, 100);
+  }
+}
+
+TEST_P(RandomNetworkTest, SelectionIsLegalizedAndSupported) {
+  NetworkGraph Net = randomNetwork(GetParam());
+  MachineProfile Prof = MachineProfile::haswell();
+  AnalyticCostProvider Costs(library(), Prof);
+  SelectionResult R = selectPBQP(Net, library(), Costs);
+  ASSERT_FALSE(R.Plan.empty());
+  EXPECT_TRUE(isLegalized(R.Plan, Net));
+  for (NetworkGraph::NodeId N : Net.convNodes()) {
+    const ConvPrimitive &P = library().get(R.Plan.ConvPrim[N]);
+    EXPECT_TRUE(P.supports(Net.node(N).Scenario)) << P.name();
+    EXPECT_EQ(P.inputLayout(), R.Plan.InLayout[N]) << P.name();
+    EXPECT_EQ(P.outputLayout(), R.Plan.OutLayout[N]) << P.name();
+  }
+}
+
+TEST_P(RandomNetworkTest, PBQPNeverLosesToBaselineStrategies) {
+  NetworkGraph Net = randomNetwork(GetParam());
+  MachineProfile Prof = MachineProfile::haswell();
+  AnalyticCostProvider Costs(library(), Prof);
+  SelectionResult R = selectPBQP(Net, library(), Costs);
+  ASSERT_FALSE(R.Plan.empty());
+  if (!R.Solver.ProvablyOptimal)
+    GTEST_SKIP() << "RN heuristic used; optimality not guaranteed";
+  for (Strategy S : {Strategy::Sum2D, Strategy::Greedy,
+                     Strategy::LocalOptimalCHW, Strategy::FamilyIm2}) {
+    NetworkPlan Base = planForStrategy(S, Net, library(), Costs);
+    if (Base.empty())
+      continue;
+    double BaseCost = modelPlanCost(Base, Net, library(), Costs);
+    EXPECT_LE(R.ModelledCostMs, BaseCost * (1.0 + 1e-9))
+        << strategyName(S) << " beat PBQP on seed " << GetParam();
+  }
+}
+
+TEST_P(RandomNetworkTest, OptimizedExecutionMatchesBaselineExecution) {
+  NetworkGraph Net = randomNetwork(GetParam(), /*InputSize=*/24,
+                                   /*Stages=*/2);
+  MachineProfile Prof = MachineProfile::haswell();
+  AnalyticCostProvider Costs(library(), Prof);
+
+  SelectionResult R = selectPBQP(Net, library(), Costs);
+  ASSERT_FALSE(R.Plan.empty());
+  NetworkPlan Baseline =
+      planForStrategy(Strategy::Sum2D, Net, library(), Costs);
+  ASSERT_FALSE(Baseline.empty());
+
+  const TensorShape &In = Net.node(0).OutShape;
+  Tensor3D Input(In.C, In.H, In.W, Layout::CHW);
+  Input.fillRandom(GetParam() * 31 + 7);
+
+  Executor Opt(Net, R.Plan, library());
+  Executor Base(Net, Baseline, library());
+  Opt.run(Input);
+  Base.run(Input);
+
+  // Compare every network output (random nets can have several).
+  for (NetworkGraph::NodeId Out : Net.outputs()) {
+    Tensor3D A = convertToLayout(Opt.outputOf(Out), Layout::CHW);
+    Tensor3D B = convertToLayout(Base.outputOf(Out), Layout::CHW);
+    ASSERT_TRUE(A.sameShape(B));
+    // Winograd/FFT selections accumulate transform error on top of deep
+    // accumulation; scale tolerance with depth.
+    EXPECT_LE(maxAbsDifference(A, B), 5e-2f)
+        << "output " << Net.node(Out).L.Name << " seed " << GetParam();
+  }
+}
+
+TEST_P(RandomNetworkTest, TextFormatRoundTripsRandomTopologies) {
+  NetworkGraph Net = randomNetwork(GetParam());
+  NetParseResult P = parseNetworkText(serializeNetwork(Net));
+  ASSERT_TRUE(P.ok()) << P.Error << " at line " << P.Line;
+  ASSERT_EQ(P.Net->numNodes(), Net.numNodes());
+  EXPECT_EQ(serializeNetwork(*P.Net), serializeNetwork(Net));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+TEST(RandomNetwork, DeterministicPerSeed) {
+  NetworkGraph A = randomNetwork(42);
+  NetworkGraph B = randomNetwork(42);
+  EXPECT_EQ(serializeNetwork(A), serializeNetwork(B));
+  NetworkGraph C = randomNetwork(43);
+  EXPECT_NE(serializeNetwork(A), serializeNetwork(C));
+}
+
+} // namespace

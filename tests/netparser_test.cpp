@@ -1,0 +1,214 @@
+//===- tests/netparser_test.cpp - network text format tests ---------------===//
+//
+// Round-trip and diagnostic tests for the prototxt-style network format
+// (nn/NetParser.h): every model-zoo network serializes and re-parses to a
+// structurally identical graph, hand-written descriptions build the right
+// scenarios, and malformed inputs produce precise line-numbered errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/NetParser.h"
+
+#include "nn/Models.h"
+
+#include <gtest/gtest.h>
+
+using namespace primsel;
+
+namespace {
+
+/// Structural equality of two graphs: same layers, parameters, edges,
+/// shapes and scenarios.
+void expectSameStructure(const NetworkGraph &A, const NetworkGraph &B) {
+  ASSERT_EQ(A.numNodes(), B.numNodes());
+  EXPECT_EQ(A.name(), B.name());
+  EXPECT_EQ(A.batch(), B.batch());
+  for (NetworkGraph::NodeId N = 0; N < A.numNodes(); ++N) {
+    const NetworkGraph::Node &NA = A.node(N);
+    const NetworkGraph::Node &NB = B.node(N);
+    EXPECT_EQ(NA.L.Kind, NB.L.Kind) << "node " << N;
+    EXPECT_EQ(NA.L.Name, NB.L.Name) << "node " << N;
+    EXPECT_EQ(NA.L.OutChannels, NB.L.OutChannels) << "node " << N;
+    EXPECT_EQ(NA.L.KernelSize, NB.L.KernelSize) << "node " << N;
+    EXPECT_EQ(NA.L.Stride, NB.L.Stride) << "node " << N;
+    EXPECT_EQ(NA.L.Pad, NB.L.Pad) << "node " << N;
+    EXPECT_EQ(NA.L.SparsityPct, NB.L.SparsityPct) << "node " << N;
+    EXPECT_EQ(NA.Inputs, NB.Inputs) << "node " << N;
+    EXPECT_TRUE(NA.OutShape == NB.OutShape) << "node " << N;
+    if (NA.L.Kind == LayerKind::Conv) {
+      EXPECT_TRUE(NA.Scenario == NB.Scenario) << "node " << N;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Round trips
+//===----------------------------------------------------------------------===//
+
+class ZooRoundTripTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ZooRoundTripTest, SerializeParseRoundTrips) {
+  std::string Name = GetParam();
+  NetworkGraph Net = Name == "alexnet"     ? alexNet(0.5)
+                     : Name == "vgg-b"     ? vggB(0.25)
+                     : Name == "vgg-c"     ? vggC(0.25)
+                     : Name == "vgg-d"     ? vggD(0.25)
+                     : Name == "vgg-e"     ? vggE(0.25)
+                     : Name == "googlenet" ? googLeNet(0.25)
+                     : Name == "tinychain" ? tinyChain(32)
+                                           : tinyDag(32);
+  std::string Text = serializeNetwork(Net);
+  NetParseResult R = parseNetworkText(Text);
+  ASSERT_TRUE(R.ok()) << R.Error << " at line " << R.Line;
+  expectSameStructure(Net, *R.Net);
+  // Serializing the re-parsed graph reproduces the text verbatim.
+  EXPECT_EQ(serializeNetwork(*R.Net), Text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooRoundTripTest,
+                         ::testing::Values("alexnet", "vgg-b", "vgg-c",
+                                           "vgg-d", "vgg-e", "googlenet",
+                                           "tinychain", "tinydag"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           std::string Name = I.param;
+                           for (char &C : Name)
+                             if (C == '-')
+                               C = '_';
+                           return Name;
+                         });
+
+TEST(NetParser, BatchDirectiveRoundTrips) {
+  NetworkGraph Net = tinyChain(32);
+  Net.setBatch(8);
+  NetParseResult R = parseNetworkText(serializeNetwork(Net));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Net->batch(), 8);
+  for (NetworkGraph::NodeId N : R.Net->convNodes())
+    EXPECT_EQ(R.Net->node(N).Scenario.Batch, 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Hand-written descriptions
+//===----------------------------------------------------------------------===//
+
+TEST(NetParser, BuildsScenariosFromText) {
+  NetParseResult R = parseNetworkText(R"(
+# A little branchy network.
+network branchy
+input data 3 32 32
+conv stem from=data out=16 k=3 stride=1 pad=1
+relu act from=stem
+conv left from=act out=8 k=1
+conv right from=act out=8 k=3 pad=1 sparsity=50
+concat join from=left,right
+maxpool pool from=join k=2 stride=2
+fc head from=pool out=10
+softmax prob from=head
+)");
+  ASSERT_TRUE(R.ok()) << R.Error << " at line " << R.Line;
+  const NetworkGraph &Net = *R.Net;
+  EXPECT_EQ(Net.name(), "branchy");
+  ASSERT_EQ(Net.numNodes(), 9u);
+
+  std::vector<NetworkGraph::NodeId> Convs = Net.convNodes();
+  ASSERT_EQ(Convs.size(), 3u);
+  const ConvScenario &Stem = Net.node(Convs[0]).Scenario;
+  EXPECT_EQ(Stem.C, 3);
+  EXPECT_EQ(Stem.H, 32);
+  EXPECT_EQ(Stem.K, 3);
+  EXPECT_EQ(Stem.M, 16);
+  EXPECT_EQ(Stem.Pad, 1);
+  const ConvScenario &Right = Net.node(Convs[2]).Scenario;
+  EXPECT_EQ(Right.SparsityPct, 50);
+
+  // Concat sums channels; pool halves the plane; shapes propagate.
+  EXPECT_TRUE(Net.node(6).OutShape == (TensorShape{16, 16, 16}));
+  EXPECT_TRUE(Net.node(7).OutShape == (TensorShape{10, 1, 1}));
+}
+
+TEST(NetParser, DefaultsStrideAndPad) {
+  NetParseResult R = parseNetworkText("network n\n"
+                                      "input in 4 8 8\n"
+                                      "conv c from=in out=4 k=3\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const ConvScenario &S = R.Net->node(1).Scenario;
+  EXPECT_EQ(S.Stride, 1);
+  EXPECT_EQ(S.Pad, 0);
+}
+
+TEST(NetParser, CommentsAndBlankLinesIgnored) {
+  NetParseResult R = parseNetworkText("\n# comment only\nnetwork n # trail\n"
+                                      "\ninput in 1 4 4   # dims\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Net->numNodes(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+struct BadCase {
+  const char *Label;
+  const char *Text;
+  const char *ErrorFragment;
+  unsigned Line;
+};
+
+class NetParserErrorTest : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(NetParserErrorTest, ReportsPreciseDiagnostics) {
+  const BadCase &Case = GetParam();
+  NetParseResult R = parseNetworkText(Case.Text);
+  ASSERT_FALSE(R.ok()) << Case.Label;
+  EXPECT_NE(R.Error.find(Case.ErrorFragment), std::string::npos)
+      << "got: " << R.Error;
+  EXPECT_EQ(R.Line, Case.Line) << "got error: " << R.Error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Errors, NetParserErrorTest,
+    ::testing::Values(
+        BadCase{"no_network", "input in 1 2 3\n", "first directive", 1},
+        BadCase{"dup_network", "network a\nnetwork b\n", "duplicate", 2},
+        BadCase{"unknown_kind", "network n\ninput in 1 4 4\nblur b from=in\n",
+                "unknown directive", 3},
+        BadCase{"forward_ref", "network n\ninput in 1 4 4\n"
+                               "relu r from=later\n",
+                "unknown input layer", 3},
+        BadCase{"dup_name", "network n\ninput in 1 4 4\nrelu r from=in\n"
+                            "relu r from=in\n",
+                "duplicate layer name", 4},
+        BadCase{"missing_out", "network n\ninput in 1 4 4\n"
+                               "conv c from=in k=3\n",
+                "missing required attribute 'out'", 3},
+        BadCase{"bad_int", "network n\ninput in 1 4 4\n"
+                           "conv c from=in out=four k=3\n",
+                "not an integer", 3},
+        BadCase{"bad_attr", "network n\ninput in 1 4 4\n"
+                            "conv c from=in out=4 k\n",
+                "malformed attribute", 3},
+        BadCase{"neg_dim", "network n\ninput in 0 4 4\n", "positive", 2},
+        BadCase{"bad_batch", "network n\nbatch zero\n", "batch", 2},
+        BadCase{"concat_arity", "network n\ninput in 1 4 4\n"
+                                "concat c from=in\n",
+                "at least two", 3},
+        BadCase{"sparsity_range", "network n\ninput in 1 8 8\n"
+                                  "conv c from=in out=2 k=3 sparsity=120\n",
+                "out of range", 3}),
+    [](const ::testing::TestParamInfo<BadCase> &I) {
+      return std::string(I.param.Label);
+    });
+
+TEST(NetParser, MissingFileIsAnError) {
+  NetParseResult R = parseNetworkFile("/nonexistent/net.txt");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("cannot open"), std::string::npos);
+}
+
+TEST(NetParser, EmptyTextIsAnError) {
+  NetParseResult R = parseNetworkText("");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("network"), std::string::npos);
+}
+
+} // namespace

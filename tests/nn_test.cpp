@@ -1,0 +1,178 @@
+//===- tests/nn_test.cpp - DNN graph IR and model zoo tests ---------------===//
+
+#include "nn/Graph.h"
+#include "nn/Layer.h"
+#include "nn/Models.h"
+
+#include <gtest/gtest.h>
+
+using namespace primsel;
+
+TEST(ConvScenario, OutputDims) {
+  ConvScenario S{3, 227, 227, 4, 11, 96, 0};
+  EXPECT_EQ(S.outHeight(), 55);
+  EXPECT_EQ(S.outWidth(), 55);
+  ConvScenario Padded{64, 56, 56, 1, 3, 128, 1};
+  EXPECT_EQ(Padded.outHeight(), 56);
+  EXPECT_EQ(Padded.outWidth(), 56);
+}
+
+TEST(ConvScenario, MacsFormula) {
+  // O(H x W x C x K^2 x M) on the output plane (§2.1).
+  ConvScenario S{2, 8, 8, 1, 3, 4, 1};
+  EXPECT_DOUBLE_EQ(S.macs(), 8.0 * 8 * 2 * 9 * 4);
+}
+
+TEST(ConvScenario, KeyAndHashStability) {
+  ConvScenario A{64, 56, 56, 1, 3, 128, 1};
+  ConvScenario B = A;
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.key(), "c64_h56_w56_s1_k3_m128_p1");
+  EXPECT_EQ(ConvScenarioHash{}(A), ConvScenarioHash{}(B));
+  B.M = 129;
+  EXPECT_FALSE(A == B);
+}
+
+TEST(NetworkGraph, ShapeInferenceChain) {
+  NetworkGraph G("t");
+  auto In = G.addInput("in", {3, 32, 32});
+  auto C1 = G.addLayer(Layer::conv("c1", 16, 3, 1, 1), {In});
+  EXPECT_EQ(G.node(C1).OutShape, (TensorShape{16, 32, 32}));
+  auto P1 = G.addLayer(Layer::maxPool("p1", 2, 2), {C1});
+  EXPECT_EQ(G.node(P1).OutShape, (TensorShape{16, 16, 16}));
+  auto Fc = G.addLayer(Layer::fullyConnected("fc", 10), {P1});
+  EXPECT_EQ(G.node(Fc).OutShape, (TensorShape{10, 1, 1}));
+}
+
+TEST(NetworkGraph, CeilModePooling) {
+  // Caffe ceil mode: 112 -> 56 with a 3x3 stride-2 pool.
+  NetworkGraph G("t");
+  auto In = G.addInput("in", {8, 112, 112});
+  auto P = G.addLayer(Layer::maxPool("p", 3, 2), {In});
+  EXPECT_EQ(G.node(P).OutShape.H, 56);
+}
+
+TEST(NetworkGraph, ConcatSumsChannels) {
+  NetworkGraph G("t");
+  auto In = G.addInput("in", {4, 10, 10});
+  auto A = G.addLayer(Layer::conv("a", 8, 1), {In});
+  auto B = G.addLayer(Layer::conv("b", 16, 3, 1, 1), {In});
+  auto C = G.addLayer(Layer::concat("c"), {A, B});
+  EXPECT_EQ(G.node(C).OutShape, (TensorShape{24, 10, 10}));
+  EXPECT_EQ(G.node(In).Consumers.size(), 2u);
+}
+
+TEST(NetworkGraph, ConvNodesAndOutputs) {
+  NetworkGraph G = tinyDag(16);
+  EXPECT_FALSE(G.convNodes().empty());
+  EXPECT_EQ(G.outputs().size(), 1u);
+  EXPECT_GT(G.totalConvMacs(), 0.0);
+}
+
+TEST(Models, AlexNetStructure) {
+  NetworkGraph G = alexNet();
+  EXPECT_EQ(G.convNodes().size(), 5u);
+  // conv1: K = 11, stride 4 on the 227 input (paper §4).
+  const auto &C1 = G.node(G.convNodes()[0]).Scenario;
+  EXPECT_EQ(C1.K, 11);
+  EXPECT_EQ(C1.Stride, 4);
+  EXPECT_EQ(C1.C, 3);
+  EXPECT_EQ(C1.M, 96);
+  EXPECT_EQ(C1.outHeight(), 55);
+  // conv2 is the 5x5 layer.
+  EXPECT_EQ(G.node(G.convNodes()[1]).Scenario.K, 5);
+  // Final classifier produces 1000 classes.
+  const auto &Out = G.node(G.outputs()[0]);
+  EXPECT_EQ(Out.OutShape.C, 1000);
+}
+
+TEST(Models, VggFamilyConvCounts) {
+  EXPECT_EQ(vggB().convNodes().size(), 10u);
+  EXPECT_EQ(vggC().convNodes().size(), 13u);
+  EXPECT_EQ(vggD().convNodes().size(), 13u);
+  EXPECT_EQ(vggE().convNodes().size(), 16u);
+}
+
+TEST(Models, VggCHas1x1Layers) {
+  NetworkGraph G = vggC();
+  unsigned OneByOne = 0;
+  for (auto N : G.convNodes())
+    if (G.node(N).Scenario.K == 1)
+      ++OneByOne;
+  EXPECT_EQ(OneByOne, 3u);
+  // VGG-D replaces them with 3x3.
+  NetworkGraph D = vggD();
+  for (auto N : D.convNodes())
+    EXPECT_EQ(D.node(N).Scenario.K, 3);
+}
+
+TEST(Models, GoogLeNetStructure) {
+  NetworkGraph G = googLeNet();
+  // 9 inception modules x 6 convs + 3 stem convs = 57.
+  EXPECT_EQ(G.convNodes().size(), 57u);
+  // Inception 3a output: 64 + 128 + 32 + 32 = 256 channels at 28x28.
+  bool Found3a = false;
+  for (const auto &N : G.nodes())
+    if (N.L.Name == "inception_3a_output") {
+      Found3a = true;
+      EXPECT_EQ(N.OutShape, (TensorShape{256, 28, 28}));
+    }
+  EXPECT_TRUE(Found3a);
+  // 3b: 128+192+96+64 = 480; 5b: 384+384+128+128 = 1024.
+  for (const auto &N : G.nodes()) {
+    if (N.L.Name == "inception_3b_output") {
+      EXPECT_EQ(N.OutShape.C, 480);
+    }
+    if (N.L.Name == "inception_5b_output") {
+      EXPECT_EQ(N.OutShape.C, 1024);
+    }
+  }
+  EXPECT_EQ(G.node(G.outputs()[0]).OutShape.C, 1000);
+}
+
+TEST(Models, ScaleShrinksSpatialDimsOnly) {
+  NetworkGraph Full = vggB(1.0);
+  NetworkGraph Small = vggB(0.25);
+  EXPECT_EQ(Full.convNodes().size(), Small.convNodes().size());
+  EXPECT_GT(Full.node(Full.convNodes()[0]).Scenario.H,
+            Small.node(Small.convNodes()[0]).Scenario.H);
+  EXPECT_EQ(Full.node(Full.convNodes()[0]).Scenario.M,
+            Small.node(Small.convNodes()[0]).Scenario.M);
+}
+
+TEST(Models, GoogLeNetSurvivesTinyScale) {
+  NetworkGraph G = googLeNet(0.15);
+  EXPECT_EQ(G.convNodes().size(), 57u);
+  for (auto N : G.convNodes()) {
+    EXPECT_GE(G.node(N).Scenario.outHeight(), 1);
+    EXPECT_GE(G.node(N).Scenario.outWidth(), 1);
+  }
+}
+
+TEST(Models, BuildModelByName) {
+  for (const std::string &Name : modelNames()) {
+    auto G = buildModel(Name, 0.25);
+    ASSERT_TRUE(G.has_value()) << Name;
+    EXPECT_EQ(G->name(), Name);
+  }
+  EXPECT_FALSE(buildModel("resnet-50").has_value());
+}
+
+TEST(Models, DummyKindClassification) {
+  EXPECT_FALSE(isDummyKind(LayerKind::Conv));
+  EXPECT_TRUE(isDummyKind(LayerKind::ReLU));
+  EXPECT_TRUE(isDummyKind(LayerKind::Concat));
+  EXPECT_TRUE(isDummyKind(LayerKind::FullyConnected));
+}
+
+TEST(Models, UniqueScenarioDeduplication) {
+  // VGG-E has 16 conv layers but far fewer distinct scenarios -- the
+  // profiler exploits this (§4).
+  NetworkGraph G = vggE();
+  std::vector<std::string> Keys;
+  for (auto N : G.convNodes())
+    Keys.push_back(G.node(N).Scenario.key());
+  std::sort(Keys.begin(), Keys.end());
+  Keys.erase(std::unique(Keys.begin(), Keys.end()), Keys.end());
+  EXPECT_LT(Keys.size(), G.convNodes().size());
+}

@@ -1,0 +1,203 @@
+//===- tests/runtime_test.cpp - execution plan + executor tests -----------===//
+
+#include "runtime/ExecutionPlan.h"
+#include "runtime/Executor.h"
+
+#include "core/Selector.h"
+#include "core/Strategies.h"
+#include "cost/AnalyticModel.h"
+#include "nn/Models.h"
+#include "tensor/Transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace primsel;
+
+namespace {
+
+const PrimitiveLibrary &lib() {
+  static PrimitiveLibrary L = buildFullLibrary();
+  return L;
+}
+
+AnalyticCostProvider makeProvider() {
+  return AnalyticCostProvider(lib(), MachineProfile::haswell(), 1);
+}
+
+Tensor3D makeInput(const NetworkGraph &Net, uint64_t Seed = 5) {
+  const TensorShape &Sh = Net.node(0).OutShape;
+  Tensor3D In(Sh.C, Sh.H, Sh.W, Layout::CHW);
+  In.fillRandom(Seed);
+  return In;
+}
+
+TEST(ExecutionPlan, CompilesAllNodes) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyChain(16);
+  NetworkPlan Plan = planForStrategy(Strategy::Sum2D, Net, lib(), Prov);
+  ExecutionPlan P = ExecutionPlan::compile(Net, Plan, lib());
+  EXPECT_EQ(P.numConvSteps(), Net.convNodes().size());
+  EXPECT_EQ(P.numTransformSteps(), 0u); // sum2d plan is all-CHW
+  // Every node appears exactly once as a non-transform step.
+  EXPECT_EQ(P.steps().size(), Net.numNodes());
+}
+
+TEST(ExecutionPlan, EmitsTransformStepsForChains) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyChain(16);
+  NetworkPlan Plan = planForStrategy(Strategy::MkldnnLike, Net, lib(), Prov);
+  ExecutionPlan P = ExecutionPlan::compile(Net, Plan, lib());
+  // The HWC-pinned strategy needs at least the CHW->HWC entry conversion.
+  EXPECT_GT(P.numTransformSteps(), 0u);
+  unsigned ChainHops = 0;
+  for (const auto &[Edge, Chain] : Plan.Chains)
+    ChainHops += static_cast<unsigned>(Chain.size() - 1);
+  EXPECT_EQ(P.numTransformSteps(), ChainHops);
+}
+
+TEST(ExecutionPlan, DumpMentionsPrimitiveNames) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyChain(16);
+  SelectionResult R = selectPBQP(Net, lib(), Prov);
+  std::string Listing =
+      R.Plan.Chains.empty()
+          ? ExecutionPlan::compile(Net, R.Plan, lib()).dump(Net, R.Plan,
+                                                            lib())
+          : ExecutionPlan::compile(Net, R.Plan, lib()).dump(Net, R.Plan,
+                                                            lib());
+  for (auto N : Net.convNodes())
+    EXPECT_NE(Listing.find(lib().get(R.Plan.ConvPrim[N]).name()),
+              std::string::npos);
+}
+
+TEST(Executor, Sum2DPlanProducesFiniteOutput) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyChain(16);
+  NetworkPlan Plan = planForStrategy(Strategy::Sum2D, Net, lib(), Prov);
+  Executor Exec(Net, Plan, lib());
+  RunResult R = Exec.run(makeInput(Net));
+  EXPECT_GT(R.TotalMillis, 0.0);
+  const Tensor3D &Out = Exec.networkOutput();
+  EXPECT_EQ(Out.channels(), 10);
+  float Sum = 0.0f;
+  for (int64_t I = 0; I < Out.size(); ++I) {
+    EXPECT_TRUE(std::isfinite(Out.data()[I]));
+    Sum += Out.data()[I];
+  }
+  EXPECT_NEAR(Sum, 1.0f, 1e-3f); // softmax output
+}
+
+/// Whole-network functional equivalence: any strategy's instantiation must
+/// compute the same function as the sum2d reference instantiation.
+class StrategyEquivalence : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(StrategyEquivalence, MatchesSum2DReferenceOnChain) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyChain(20);
+  Tensor3D In = makeInput(Net);
+
+  NetworkPlan RefPlan = planForStrategy(Strategy::Sum2D, Net, lib(), Prov);
+  Executor Ref(Net, RefPlan, lib());
+  Ref.run(In);
+
+  NetworkPlan Plan = planForStrategy(GetParam(), Net, lib(), Prov);
+  Executor Exec(Net, Plan, lib());
+  Exec.run(In);
+
+  EXPECT_LE(maxAbsDifference(Ref.networkOutput(), Exec.networkOutput()),
+            5e-3f)
+      << strategyName(GetParam());
+}
+
+TEST_P(StrategyEquivalence, MatchesSum2DReferenceOnDag) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyDag(18);
+  Tensor3D In = makeInput(Net, 9);
+
+  NetworkPlan RefPlan = planForStrategy(Strategy::Sum2D, Net, lib(), Prov);
+  Executor Ref(Net, RefPlan, lib());
+  Ref.run(In);
+
+  NetworkPlan Plan = planForStrategy(GetParam(), Net, lib(), Prov);
+  Executor Exec(Net, Plan, lib());
+  Exec.run(In);
+
+  EXPECT_LE(maxAbsDifference(Ref.networkOutput(), Exec.networkOutput()),
+            5e-3f)
+      << strategyName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategyEquivalence,
+    ::testing::Values(Strategy::FamilyDirect, Strategy::FamilyIm2,
+                      Strategy::FamilyKn2, Strategy::FamilyWinograd,
+                      Strategy::FamilyFFT, Strategy::LocalOptimalCHW,
+                      Strategy::Greedy, Strategy::PBQP, Strategy::CaffeLike,
+                      Strategy::MkldnnLike, Strategy::ArmclLike),
+    [](const auto &Info) {
+      std::string Name = strategyName(Info.param);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST(Executor, MultithreadedMatchesSingleThreaded) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyDag(18);
+  Tensor3D In = makeInput(Net, 3);
+  NetworkPlan Plan = planForStrategy(Strategy::Greedy, Net, lib(), Prov);
+
+  Executor Single(Net, Plan, lib(), 1);
+  Single.run(In);
+  Executor Multi(Net, Plan, lib(), 4);
+  Multi.run(In);
+  EXPECT_LE(
+      maxAbsDifference(Single.networkOutput(), Multi.networkOutput()),
+      1e-3f);
+}
+
+TEST(Executor, TimingBreakdownSumsSensibly) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyChain(24);
+  NetworkPlan Plan = planForStrategy(Strategy::PBQP, Net, lib(), Prov);
+  Executor Exec(Net, Plan, lib());
+  RunResult R = Exec.run(makeInput(Net));
+  EXPECT_GE(R.ConvMillis, 0.0);
+  EXPECT_GE(R.TransformMillis, 0.0);
+  EXPECT_GE(R.OtherMillis, 0.0);
+  EXPECT_LE(R.ConvMillis + R.TransformMillis + R.OtherMillis,
+            R.TotalMillis + 1.0);
+}
+
+TEST(Executor, RepeatedRunsAreConsistent) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyChain(16);
+  NetworkPlan Plan = planForStrategy(Strategy::Greedy, Net, lib(), Prov);
+  Executor Exec(Net, Plan, lib());
+  Tensor3D In = makeInput(Net);
+  Exec.run(In);
+  Tensor3D First(Exec.networkOutput().channels(),
+                 Exec.networkOutput().height(),
+                 Exec.networkOutput().width(),
+                 Exec.networkOutput().layout());
+  runTransform(Exec.networkOutput(), First);
+  Exec.run(In);
+  EXPECT_EQ(maxAbsDifference(First, Exec.networkOutput()), 0.0f);
+}
+
+TEST(Executor, DifferentWeightSeedsDiffer) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyChain(16);
+  NetworkPlan Plan = planForStrategy(Strategy::Sum2D, Net, lib(), Prov);
+  Tensor3D In = makeInput(Net);
+  Executor A(Net, Plan, lib(), 1, /*WeightSeed=*/1);
+  Executor B(Net, Plan, lib(), 1, /*WeightSeed=*/2);
+  A.run(In);
+  B.run(In);
+  EXPECT_GT(maxAbsDifference(A.networkOutput(), B.networkOutput()), 0.0f);
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+//===- tests/support_test.cpp - support module tests ----------------------===//
+
+#include "support/AlignedBuffer.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+using namespace primsel;
+
+TEST(AlignedBuffer, AllocatesAligned) {
+  AlignedBuffer B(100);
+  EXPECT_EQ(B.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(B.data()) % 64, 0u);
+}
+
+TEST(AlignedBuffer, FillAndIndex) {
+  AlignedBuffer B(10);
+  B.fill(3.5f);
+  for (size_t I = 0; I < B.size(); ++I)
+    EXPECT_EQ(B[I], 3.5f);
+  B[4] = -1.0f;
+  EXPECT_EQ(B[4], -1.0f);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer A(8);
+  A.fill(1.0f);
+  float *Ptr = A.data();
+  AlignedBuffer B(std::move(A));
+  EXPECT_EQ(B.data(), Ptr);
+  EXPECT_EQ(A.data(), nullptr);
+  EXPECT_EQ(A.size(), 0u);
+}
+
+TEST(AlignedBuffer, ResetReallocates) {
+  AlignedBuffer B(4);
+  B.reset(16);
+  EXPECT_EQ(B.size(), 16u);
+  B.fill(0.0f);
+  EXPECT_EQ(B[15], 0.0f);
+}
+
+TEST(AlignedBuffer, EmptyIsSafe) {
+  AlignedBuffer B;
+  EXPECT_TRUE(B.empty());
+  AlignedBuffer C(std::move(B));
+  EXPECT_TRUE(C.empty());
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(Rng, FloatRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    float V = R.nextFloat();
+    EXPECT_GE(V, 0.0f);
+    EXPECT_LT(V, 1.0f);
+  }
+}
+
+TEST(Rng, FillRandomIsSeedStable) {
+  std::vector<float> A(64), B(64);
+  fillRandom(A.data(), A.size(), 11);
+  fillRandom(B.data(), B.size(), 11);
+  EXPECT_EQ(A, B);
+}
+
+TEST(Stats, MinMaxMean) {
+  SampleStats S;
+  S.add(3.0);
+  S.add(1.0);
+  S.add(2.0);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 3.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  SampleStats S;
+  S.add(5.0);
+  S.add(1.0);
+  S.add(3.0);
+  EXPECT_DOUBLE_EQ(S.median(), 3.0);
+  S.add(7.0);
+  EXPECT_DOUBLE_EQ(S.median(), 4.0);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  SampleStats S;
+  S.add(2.0);
+  S.add(2.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+TEST(Timer, MeasuresNonNegative) {
+  Timer T;
+  volatile double Sink = 0;
+  for (int I = 0; I < 1000; ++I)
+    Sink = Sink + I;
+  EXPECT_GE(T.seconds(), 0.0);
+  EXPECT_GE(T.millis(), 0.0);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.numThreads(), 1u);
+  std::vector<int> Hits(10, 0);
+  Pool.parallelFor(0, 10, [&](int64_t I) { Hits[static_cast<size_t>(I)]++; });
+  for (int H : Hits)
+    EXPECT_EQ(H, 1);
+}
+
+TEST(ThreadPool, CoversEveryIndexOnce) {
+  ThreadPool Pool(4);
+  constexpr int64_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(0, N, [&](int64_t I) { Hits[static_cast<size_t>(I)]++; });
+  for (int64_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[static_cast<size_t>(I)].load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool Pool(4);
+  bool Ran = false;
+  Pool.parallelFor(5, 5, [&](int64_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool Pool(3);
+  for (int Round = 0; Round < 20; ++Round) {
+    std::atomic<int64_t> Sum{0};
+    Pool.parallelFor(0, 100, [&](int64_t I) { Sum += I; });
+    EXPECT_EQ(Sum.load(), 4950);
+  }
+}
+
+TEST(ThreadPool, LargeChunkyWork) {
+  ThreadPool Pool(2);
+  std::atomic<int64_t> Sum{0};
+  Pool.parallelFor(0, 7, [&](int64_t I) {
+    int64_t Local = 0;
+    for (int64_t J = 0; J < 10000; ++J)
+      Local += (I + 1);
+    Sum += Local;
+  });
+  EXPECT_EQ(Sum.load(), 10000 * (1 + 2 + 3 + 4 + 5 + 6 + 7));
+}

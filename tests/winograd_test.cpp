@@ -1,0 +1,172 @@
+//===- tests/winograd_test.cpp - Toom-Cook generator tests ----------------===//
+
+#include "winograd/Rational.h"
+#include "winograd/ToomCook.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace primsel;
+
+TEST(Rational, Normalization) {
+  Rational R(4, 8);
+  EXPECT_EQ(R.numerator(), 1);
+  EXPECT_EQ(R.denominator(), 2);
+  Rational Neg(3, -6);
+  EXPECT_EQ(Neg.numerator(), -1);
+  EXPECT_EQ(Neg.denominator(), 2);
+  Rational Zero(0, 7);
+  EXPECT_EQ(Zero.numerator(), 0);
+  EXPECT_EQ(Zero.denominator(), 1);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ(Half + Third, Rational(5, 6));
+  EXPECT_EQ(Half - Third, Rational(1, 6));
+  EXPECT_EQ(Half * Third, Rational(1, 6));
+  EXPECT_EQ(Half / Third, Rational(3, 2));
+  EXPECT_EQ(-Half, Rational(-1, 2));
+}
+
+TEST(Rational, ToDoubleAndStr) {
+  EXPECT_DOUBLE_EQ(Rational(3, 4).toDouble(), 0.75);
+  EXPECT_EQ(Rational(3, 4).str(), "3/4");
+  EXPECT_EQ(Rational(5).str(), "5");
+}
+
+TEST(RationalMatrix, InverseOfIdentityPlus) {
+  // Invert a small well-known matrix: [[1,2],[3,5]] -> [[-5,2],[3,-1]].
+  RationalMatrix M(2, 2);
+  M.at(0, 0) = Rational(1);
+  M.at(0, 1) = Rational(2);
+  M.at(1, 0) = Rational(3);
+  M.at(1, 1) = Rational(5);
+  RationalMatrix Inv = M.inverted();
+  EXPECT_EQ(Inv.at(0, 0), Rational(-5));
+  EXPECT_EQ(Inv.at(0, 1), Rational(2));
+  EXPECT_EQ(Inv.at(1, 0), Rational(3));
+  EXPECT_EQ(Inv.at(1, 1), Rational(-1));
+}
+
+TEST(RationalMatrix, InverseTimesSelfIsIdentity) {
+  // A Vandermonde-style matrix over the Toom-Cook points.
+  std::vector<Rational> Pts = toomCookPoints(4);
+  RationalMatrix V(4, 4);
+  for (int64_t I = 0; I < 4; ++I) {
+    Rational P(1);
+    for (int64_t J = 0; J < 4; ++J) {
+      V.at(I, J) = P;
+      P *= Pts[static_cast<size_t>(I)];
+    }
+  }
+  RationalMatrix Inv = V.inverted();
+  for (int64_t I = 0; I < 4; ++I)
+    for (int64_t J = 0; J < 4; ++J) {
+      Rational Sum(0);
+      for (int64_t K = 0; K < 4; ++K)
+        Sum += V.at(I, K) * Inv.at(K, J);
+      EXPECT_EQ(Sum, Rational(I == J ? 1 : 0)) << I << "," << J;
+    }
+}
+
+TEST(ToomCook, PointsAreDistinct) {
+  std::vector<Rational> Pts = toomCookPoints(9);
+  for (size_t I = 0; I < Pts.size(); ++I)
+    for (size_t J = I + 1; J < Pts.size(); ++J)
+      EXPECT_NE(Pts[I], Pts[J]) << I << " vs " << J;
+}
+
+TEST(ToomCook, ShapesAreMinimal) {
+  WinogradTransform T = generateWinograd(4, 3);
+  EXPECT_EQ(T.N, 6); // m + r - 1 multiplies: the minimal count
+  EXPECT_EQ(T.AT.size(), 4u * 6u);
+  EXPECT_EQ(T.G.size(), 6u * 3u);
+  EXPECT_EQ(T.BT.size(), 6u * 6u);
+}
+
+/// The core correctness property: F(m, r) computes exact FIR correlation.
+class WinogradFmr
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(WinogradFmr, ComputesCorrelationExactly) {
+  auto [M, R] = GetParam();
+  WinogradTransform T = generateWinograd(M, R);
+  const int64_t N = T.N;
+
+  std::vector<float> G(static_cast<size_t>(R));
+  std::vector<float> D(static_cast<size_t>(N));
+  fillRandom(G.data(), G.size(), 21);
+  fillRandom(D.data(), D.size(), 22);
+
+  // y = A^T [ (G g) .* (B^T d) ] in double for tight tolerance.
+  std::vector<double> Gg(static_cast<size_t>(N), 0.0);
+  std::vector<double> BTd(static_cast<size_t>(N), 0.0);
+  for (int64_t I = 0; I < N; ++I) {
+    for (int64_t A = 0; A < R; ++A)
+      Gg[static_cast<size_t>(I)] +=
+          static_cast<double>(T.G[I * R + A]) * G[static_cast<size_t>(A)];
+    for (int64_t A = 0; A < N; ++A)
+      BTd[static_cast<size_t>(I)] +=
+          static_cast<double>(T.BT[I * N + A]) * D[static_cast<size_t>(A)];
+  }
+  for (int64_t M_ = 0; M_ < M; ++M_) {
+    double Y = 0.0;
+    for (int64_t A = 0; A < N; ++A)
+      Y += static_cast<double>(T.AT[M_ * N + A]) *
+           (Gg[static_cast<size_t>(A)] * BTd[static_cast<size_t>(A)]);
+    double Want = 0.0;
+    for (int64_t K = 0; K < R; ++K)
+      Want += static_cast<double>(G[static_cast<size_t>(K)]) *
+              D[static_cast<size_t>(M_ + K)];
+    EXPECT_NEAR(Y, Want, 1e-4) << "output " << M_;
+  }
+}
+
+TEST_P(WinogradFmr, ExactMatricesSatisfyBilinearIdentity) {
+  // The exact rational form must reproduce correlation with *zero* error on
+  // integer inputs.
+  auto [M, R] = GetParam();
+  WinogradTransform T = generateWinograd(M, R);
+  const int64_t N = T.N;
+
+  std::vector<Rational> G, D;
+  for (int64_t I = 0; I < R; ++I)
+    G.push_back(Rational(2 * I - 1));
+  for (int64_t I = 0; I < N; ++I)
+    D.push_back(Rational(3 * I + 2, 1));
+
+  std::vector<Rational> Gg(static_cast<size_t>(N)), BTd(static_cast<size_t>(N));
+  for (int64_t I = 0; I < N; ++I) {
+    for (int64_t A = 0; A < R; ++A)
+      Gg[static_cast<size_t>(I)] +=
+          T.ExactG.at(I, A) * G[static_cast<size_t>(A)];
+    for (int64_t A = 0; A < N; ++A)
+      BTd[static_cast<size_t>(I)] +=
+          T.ExactBT.at(I, A) * D[static_cast<size_t>(A)];
+  }
+  for (int64_t M_ = 0; M_ < M; ++M_) {
+    Rational Y(0);
+    for (int64_t A = 0; A < N; ++A)
+      Y += T.ExactAT.at(M_, A) *
+           (Gg[static_cast<size_t>(A)] * BTd[static_cast<size_t>(A)]);
+    Rational Want(0);
+    for (int64_t K = 0; K < R; ++K)
+      Want += G[static_cast<size_t>(K)] * D[static_cast<size_t>(M_ + K)];
+    EXPECT_EQ(Y, Want) << "output " << M_;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tiles, WinogradFmr,
+    ::testing::Values(std::make_tuple(2, 3), std::make_tuple(4, 3),
+                      std::make_tuple(2, 5), std::make_tuple(3, 5),
+                      std::make_tuple(6, 3), std::make_tuple(1, 7),
+                      std::make_tuple(3, 1)),
+    [](const auto &Info) {
+      return "F" + std::to_string(std::get<0>(Info.param)) + "_" +
+             std::to_string(std::get<1>(Info.param));
+    });

@@ -1,0 +1,309 @@
+//===- tools/primsel_cli.cpp - primsel command-line driver ----------------===//
+//
+// One binary exposing the library's deployment workflow (paper §4: the
+// cost tables are "tiny compared to the weight data ... making it feasible
+// to produce these cost tables before deployment, and ship them with the
+// trained model"):
+//
+//   primsel-cli models
+//       List the built-in model-zoo networks.
+//   primsel-cli primitives [<model-or-file>] [--scale S]
+//       List the primitive library; with a network, annotate each conv
+//       layer with the routines that support it.
+//   primsel-cli optimize <model-or-file> [--scale S] [--threads N]
+//       [--measured] [--arm] [--costs PATH] [--strategy NAME]
+//       Solve the selection problem and print the plan, its modelled cost,
+//       and the baseline comparison. --measured profiles on this machine
+//       (persisting the cost table to --costs); the default is the
+//       analytic model (--arm switches it to the Cortex-A57 profile).
+//   primsel-cli codegen <model-or-file> [--scale S] [--out PATH]
+//       Emit the straight-line C++ program for the optimal plan (§5.2).
+//   primsel-cli dump-pbqp <model-or-file> [--scale S]
+//       Print the PBQP instance in the text format (pbqp/TextIO.h).
+//
+// <model-or-file> is a model-zoo name (see 'models') or a path to a
+// network description in the nn/NetParser.h text format.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGen.h"
+#include "core/Selector.h"
+#include "core/Strategies.h"
+#include "cost/AnalyticModel.h"
+#include "cost/Profiler.h"
+#include "nn/Models.h"
+#include "nn/NetParser.h"
+#include "pbqp/TextIO.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace primsel;
+
+namespace {
+
+struct CliOptions {
+  std::string Command;
+  std::string Target;
+  double Scale = 0.25;
+  unsigned Threads = 1;
+  bool Measured = false;
+  bool Arm = false;
+  std::string CostsPath;
+  std::string OutPath;
+  std::string StrategyName;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> [args]\n"
+      "  models\n"
+      "  primitives [<model-or-file>] [--scale S]\n"
+      "  optimize <model-or-file> [--scale S] [--threads N] [--measured]\n"
+      "           [--arm] [--costs PATH] [--strategy NAME]\n"
+      "  codegen <model-or-file> [--scale S] [--out PATH]\n"
+      "  dump-pbqp <model-or-file> [--scale S]\n",
+      Argv0);
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  if (Argc < 2)
+    return false;
+  Opts.Command = Argv[1];
+  int I = 2;
+  if (I < Argc && Argv[I][0] != '-')
+    Opts.Target = Argv[I++];
+  for (; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&](std::string &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = Argv[++I];
+      return true;
+    };
+    std::string Val;
+    if (Arg == "--scale" && Next(Val))
+      Opts.Scale = std::atof(Val.c_str());
+    else if (Arg == "--threads" && Next(Val))
+      Opts.Threads = static_cast<unsigned>(std::atoi(Val.c_str()));
+    else if (Arg == "--measured")
+      Opts.Measured = true;
+    else if (Arg == "--arm")
+      Opts.Arm = true;
+    else if (Arg == "--costs" && Next(Val))
+      Opts.CostsPath = Val;
+    else if (Arg == "--out" && Next(Val))
+      Opts.OutPath = Val;
+    else if (Arg == "--strategy" && Next(Val))
+      Opts.StrategyName = Val;
+    else {
+      std::fprintf(stderr, "error: unknown or incomplete option '%s'\n",
+                   Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Resolve a model-zoo name or a network-description path.
+std::optional<NetworkGraph> resolveNetwork(const std::string &Target,
+                                           double Scale) {
+  if (std::optional<NetworkGraph> Zoo = buildModel(Target, Scale))
+    return Zoo;
+  if (Target == "tinychain")
+    return tinyChain(static_cast<int64_t>(128 * Scale));
+  if (Target == "tinydag")
+    return tinyDag(static_cast<int64_t>(128 * Scale));
+  NetParseResult R = parseNetworkFile(Target);
+  if (!R.ok()) {
+    std::fprintf(stderr, "error: '%s' is not a model name, and parsing it "
+                 "as a file failed: %s (line %u)\n",
+                 Target.c_str(), R.Error.c_str(), R.Line);
+    return std::nullopt;
+  }
+  return std::move(R.Net);
+}
+
+int cmdModels() {
+  for (const std::string &Name : modelNames())
+    std::printf("%s\n", Name.c_str());
+  std::printf("tinychain\ntinydag\n");
+  return 0;
+}
+
+int cmdPrimitives(const CliOptions &Opts) {
+  PrimitiveLibrary Lib = buildFullLibrary();
+  if (Opts.Target.empty()) {
+    std::printf("%u primitives:\n", Lib.size());
+    for (PrimitiveId Id = 0; Id < Lib.size(); ++Id) {
+      const ConvPrimitive &P = Lib.get(Id);
+      std::printf("  %-36s %-9s %s -> %s\n", P.name().c_str(),
+                  convFamilyName(P.family()), layoutName(P.inputLayout()),
+                  layoutName(P.outputLayout()));
+    }
+    return 0;
+  }
+  std::optional<NetworkGraph> Net = resolveNetwork(Opts.Target, Opts.Scale);
+  if (!Net)
+    return 1;
+  for (NetworkGraph::NodeId N : Net->convNodes()) {
+    const ConvScenario &S = Net->node(N).Scenario;
+    std::vector<PrimitiveId> Ids = Lib.supporting(S);
+    std::printf("%-24s %-28s %zu candidate primitives\n",
+                Net->node(N).L.Name.c_str(), S.key().c_str(), Ids.size());
+  }
+  return 0;
+}
+
+int cmdOptimize(const CliOptions &Opts) {
+  std::optional<NetworkGraph> Net = resolveNetwork(Opts.Target, Opts.Scale);
+  if (!Net)
+    return 1;
+  PrimitiveLibrary Lib = buildFullLibrary();
+
+  std::unique_ptr<CostProvider> Owned;
+  MeasuredCostProvider *Measured = nullptr;
+  if (Opts.Measured) {
+    ProfilerOptions POpts;
+    POpts.Threads = Opts.Threads;
+    auto M = std::make_unique<MeasuredCostProvider>(Lib, POpts);
+    if (!Opts.CostsPath.empty() && M->database().load(Opts.CostsPath))
+      std::fprintf(stderr, "loaded cost table %s\n", Opts.CostsPath.c_str());
+    Measured = M.get();
+    Owned = std::move(M);
+  } else {
+    MachineProfile Profile =
+        Opts.Arm ? MachineProfile::cortexA57() : MachineProfile::haswell();
+    Owned = std::make_unique<AnalyticCostProvider>(Lib, Profile,
+                                                   Opts.Threads);
+  }
+
+  if (!Opts.StrategyName.empty() && Opts.StrategyName != "pbqp") {
+    std::optional<Strategy> S = parseStrategy(Opts.StrategyName);
+    if (!S) {
+      std::fprintf(stderr, "error: unknown strategy '%s'\n",
+                   Opts.StrategyName.c_str());
+      return 1;
+    }
+    NetworkPlan Plan = planForStrategy(*S, *Net, Lib, *Owned);
+    if (Plan.empty()) {
+      std::fprintf(stderr, "error: strategy produced no plan\n");
+      return 1;
+    }
+    std::printf("# strategy %s, modelled cost %.3f ms\n",
+                strategyName(*S), modelPlanCost(Plan, *Net, Lib, *Owned));
+    for (NetworkGraph::NodeId N : Net->convNodes())
+      std::printf("%-24s %s\n", Net->node(N).L.Name.c_str(),
+                  Lib.get(Plan.ConvPrim[N]).name().c_str());
+    return 0;
+  }
+
+  SelectionResult R = selectPBQP(*Net, Lib, *Owned);
+  if (R.Plan.empty()) {
+    std::fprintf(stderr, "error: selection failed\n");
+    return 1;
+  }
+  std::printf("# %s: %u PBQP nodes, %u edges, solve %.2f ms, optimal %s\n",
+              Net->name().c_str(), R.NumNodes, R.NumEdges, R.SolveMillis,
+              R.Solver.ProvablyOptimal ? "yes" : "no");
+  std::printf("# modelled cost %.3f ms (%s, %u thread%s)\n",
+              R.ModelledCostMs,
+              Opts.Measured ? "measured"
+              : Opts.Arm    ? "analytic cortex-a57"
+                            : "analytic haswell",
+              Opts.Threads, Opts.Threads == 1 ? "" : "s");
+  for (NetworkGraph::NodeId N : Net->convNodes())
+    std::printf("%-24s %s\n", Net->node(N).L.Name.c_str(),
+                Lib.get(R.Plan.ConvPrim[N]).name().c_str());
+  unsigned Hops = 0;
+  for (const auto &[Edge, Chain] : R.Plan.Chains)
+    Hops += static_cast<unsigned>(Chain.size()) - 1;
+  std::printf("# %zu legalized edges, %u transform steps\n",
+              R.Plan.Chains.size(), Hops);
+
+  if (Measured && !Opts.CostsPath.empty()) {
+    if (Measured->database().save(Opts.CostsPath))
+      std::fprintf(stderr, "saved cost table %s\n", Opts.CostsPath.c_str());
+    else
+      std::fprintf(stderr, "warning: could not save %s\n",
+                   Opts.CostsPath.c_str());
+  }
+  return 0;
+}
+
+int cmdCodegen(const CliOptions &Opts) {
+  std::optional<NetworkGraph> Net = resolveNetwork(Opts.Target, Opts.Scale);
+  if (!Net)
+    return 1;
+  PrimitiveLibrary Lib = buildFullLibrary();
+  MachineProfile Profile =
+      Opts.Arm ? MachineProfile::cortexA57() : MachineProfile::haswell();
+  AnalyticCostProvider Costs(Lib, Profile, Opts.Threads);
+  SelectionResult R = selectPBQP(*Net, Lib, Costs);
+  if (R.Plan.empty()) {
+    std::fprintf(stderr, "error: selection failed\n");
+    return 1;
+  }
+  std::string Source = emitPlanSource(*Net, R.Plan, Lib);
+  if (Opts.OutPath.empty()) {
+    std::fputs(Source.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream Out(Opts.OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Opts.OutPath.c_str());
+    return 1;
+  }
+  Out << Source;
+  std::fprintf(stderr, "wrote %s (%zu bytes)\n", Opts.OutPath.c_str(),
+               Source.size());
+  return 0;
+}
+
+int cmdDumpPbqp(const CliOptions &Opts) {
+  std::optional<NetworkGraph> Net = resolveNetwork(Opts.Target, Opts.Scale);
+  if (!Net)
+    return 1;
+  PrimitiveLibrary Lib = buildFullLibrary();
+  MachineProfile Profile =
+      Opts.Arm ? MachineProfile::cortexA57() : MachineProfile::haswell();
+  AnalyticCostProvider Costs(Lib, Profile, Opts.Threads);
+  DTTableCache Tables(Costs);
+  PBQPFormulation F = buildPBQP(*Net, Lib, Costs, Tables);
+  std::printf("# PBQP instance for %s (%u nodes, %u edges)\n",
+              Net->name().c_str(), F.G.numNodes(), F.G.numEdges());
+  std::fputs(pbqp::dumpGraph(F.G).c_str(), stdout);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CliOptions Opts;
+  if (!parseArgs(argc, argv, Opts))
+    return usage(argv[0]);
+
+  if (Opts.Command == "models")
+    return cmdModels();
+  if (Opts.Command == "primitives")
+    return cmdPrimitives(Opts);
+  if (Opts.Command.empty() || Opts.Target.empty())
+    return usage(argv[0]);
+  if (Opts.Command == "optimize")
+    return cmdOptimize(Opts);
+  if (Opts.Command == "codegen")
+    return cmdCodegen(Opts);
+  if (Opts.Command == "dump-pbqp")
+    return cmdDumpPbqp(Opts);
+  std::fprintf(stderr, "error: unknown command '%s'\n",
+               Opts.Command.c_str());
+  return usage(argv[0]);
+}
