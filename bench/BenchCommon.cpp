@@ -2,6 +2,7 @@
 
 #include "BenchCommon.h"
 
+#include "engine/Engine.h"
 #include "support/Stats.h"
 
 #include <cstdio>
@@ -71,21 +72,30 @@ NetworkResult primsel::bench::runNetworkComparison(
   R.Network = ModelName;
   NetworkGraph Net = *buildModel(ModelName, Config.Scale);
 
-  auto Evaluate = [&](Strategy S, CostProvider &Provider,
-                      unsigned NumThreads) {
-    NetworkPlan Plan = planForStrategy(S, Net, Lib, Provider);
+  // Every strategy (PBQP included) runs through the optimizer engine, so
+  // one network's cost queries are paid once across all bars. Providers
+  // here are frequently measuring ones, so the cache fills serially.
+  EngineOptions EOpts;
+  EOpts.ParallelPrepopulate = false;
+  Engine Eng(Lib, Costs, EOpts);
+  std::unique_ptr<Engine> BaselineEng;
+  if (BaselineCosts)
+    BaselineEng = std::make_unique<Engine>(Lib, *BaselineCosts, EOpts);
+
+  auto Evaluate = [&](Strategy S, Engine &E, unsigned NumThreads) {
+    NetworkPlan Plan = E.planFor(S, Net);
     if (Measured)
       return timeNetworkPlan(Net, Plan, Lib, NumThreads, Config);
-    return modelPlanCost(Plan, Net, Lib, Provider);
+    return E.planCost(Plan, Net);
   };
 
   R.Sum2DMillis =
-      Evaluate(Strategy::Sum2D, BaselineCosts ? *BaselineCosts : Costs,
+      Evaluate(Strategy::Sum2D, BaselineEng ? *BaselineEng : Eng,
                BaselineThreads ? BaselineThreads : Threads);
   for (Strategy S : Strategies) {
     BarResult Bar;
     Bar.S = S;
-    Bar.MeanMillis = Evaluate(S, Costs, Threads);
+    Bar.MeanMillis = Evaluate(S, Eng, Threads);
     Bar.SpeedupVsSum2D = R.Sum2DMillis / Bar.MeanMillis;
     R.Bars.push_back(Bar);
     std::printf("#   %-14s %-14s %10.3f ms  (%.2fx)\n", ModelName.c_str(),

@@ -15,6 +15,8 @@
 
 #include "BenchCommon.h"
 
+#include "engine/Engine.h"
+
 #include <cstdio>
 
 using namespace primsel;
@@ -56,14 +58,16 @@ int main() {
     MachineProfile Profile =
         Arm ? MachineProfile::cortexA57() : MachineProfile::haswell();
     AnalyticCostProvider Prov(Lib, Profile, 1);
+    // One engine per profile: the PBQP query warms the cost cache that the
+    // greedy and local-optimal baselines then read from.
+    Engine Eng(Lib, Prov);
     for (const std::string &Name : modelNames()) {
       NetworkGraph Net = *buildModel(Name, Config.Scale);
-      SelectionResult R = selectPBQP(Net, Lib, Prov);
-      double Greedy = modelPlanCost(
-          planForStrategy(Strategy::Greedy, Net, Lib, Prov), Net, Lib, Prov);
-      double Local = modelPlanCost(
-          planForStrategy(Strategy::LocalOptimalCHW, Net, Lib, Prov), Net,
-          Lib, Prov);
+      SelectionResult R = Eng.optimize(Net);
+      double Greedy =
+          Eng.planCost(Eng.planFor(Strategy::Greedy, Net), Net);
+      double Local =
+          Eng.planCost(Eng.planFor(Strategy::LocalOptimalCHW, Net), Net);
       std::printf("%-12s %-8s %10.2f %10.2f %10.2f %11.1f%%\n", Name.c_str(),
                   Arm ? "a57" : "haswell", R.ModelledCostMs, Greedy, Local,
                   100.0 * (Greedy - R.ModelledCostMs) / R.ModelledCostMs);
@@ -80,11 +84,13 @@ int main() {
       NetworkGraph Net = *buildModel(Name, Config.Scale);
       std::printf("%-12s", Name.c_str());
       for (double Factor : {0.0, 1.0, 4.0}) {
+        // The provider changes per factor, so each sweep point gets its
+        // own engine (a shared cache would mix the scales).
         ScaledTransformProvider Prov(Base, Factor);
-        SelectionResult R = selectPBQP(Net, Lib, Prov);
-        double Greedy = modelPlanCost(
-            planForStrategy(Strategy::Greedy, Net, Lib, Prov), Net, Lib,
-            Prov);
+        Engine Eng(Lib, Prov);
+        SelectionResult R = Eng.optimize(Net);
+        double Greedy =
+            Eng.planCost(Eng.planFor(Strategy::Greedy, Net), Net);
         std::printf(" %9.2f%%",
                     100.0 * (Greedy - R.ModelledCostMs) / R.ModelledCostMs);
       }
@@ -97,12 +103,13 @@ int main() {
               "rn-gap%");
   {
     AnalyticCostProvider Prov(Lib, MachineProfile::haswell(), 1);
+    Engine Eng(Lib, Prov);
+    EngineOptions NoCore;
+    NoCore.SolverOptions.Reduction.DisableCoreEnumeration = true;
     for (const std::string &Name : modelNames()) {
       NetworkGraph Net = *buildModel(Name, Config.Scale);
-      SelectionResult Exact = selectPBQP(Net, Lib, Prov);
-      pbqp::SolverOptions NoCore;
-      NoCore.DisableCoreEnumeration = true;
-      SelectionResult RN = selectPBQP(Net, Lib, Prov, NoCore);
+      SelectionResult Exact = Eng.optimize(Net);
+      SelectionResult RN = Eng.optimize(Net, NoCore);
       std::printf("%-12s %12.2f %12.2f %9.2f%%\n", Name.c_str(),
                   Exact.ModelledCostMs, RN.ModelledCostMs,
                   100.0 * (RN.ModelledCostMs - Exact.ModelledCostMs) /

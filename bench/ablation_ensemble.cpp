@@ -20,6 +20,8 @@
 
 #include "BenchCommon.h"
 
+#include "engine/Engine.h"
+
 #include <cstdio>
 #include <map>
 #include <string>
@@ -74,7 +76,10 @@ int main() {
       CachedMeasuredProvider Cached(Run.Lib, Config, /*Threads=*/1, "ens");
       MeasuredCostProvider &Prov = Cached.provider();
 
-      SelectionResult R = selectPBQP(Net, Run.Lib, Prov);
+      // Measured costs: keep the engine's cache but fill it serially.
+      EngineOptions Opts;
+      Opts.ParallelPrepopulate = false;
+      SelectionResult R = optimizeNetwork(Net, Run.Lib, Prov, Opts);
       double Measured =
           timeNetworkPlan(Net, R.Plan, Run.Lib, /*Threads=*/1, Config);
 

@@ -20,6 +20,7 @@
 #include "BenchCommon.h"
 
 #include "batch/Minibatch.h"
+#include "engine/Engine.h"
 
 #include <cstdio>
 #include <string>
@@ -84,7 +85,9 @@ int main() {
   NetworkGraph Net = *buildModel("alexnet", Config.Scale);
   Net.setBatch(4);
   BatchTransformScaledProvider Costs(Prov, Net.batch());
-  SelectionResult R = selectPBQP(Net, Lib, Costs);
+  EngineOptions EOpts;
+  EOpts.ParallelPrepopulate = false; // measured costs fill serially
+  SelectionResult R = optimizeNetwork(Net, Lib, Costs, EOpts);
 
   std::printf("%-12s %-40s %10s\n", "layer", "selected primitive",
               "schedule");

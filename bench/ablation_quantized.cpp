@@ -17,6 +17,8 @@
 
 #include "BenchCommon.h"
 
+#include "engine/Engine.h"
+
 #include <cstdio>
 
 using namespace primsel;
@@ -52,10 +54,14 @@ int main() {
         Arm ? MachineProfile::cortexA57() : MachineProfile::haswell();
     AnalyticCostProvider PaperCosts(Paper, Profile, 1);
     AnalyticCostProvider ExtCosts(Extended, Profile, 1);
+    // One engine per library: costs gathered for one network's query stay
+    // cached for the next.
+    Engine PaperEng(Paper, PaperCosts);
+    Engine ExtEng(Extended, ExtCosts);
     for (const std::string &Name : modelNames()) {
       NetworkGraph Net = *buildModel(Name, Config.Scale);
-      SelectionResult Base = selectPBQP(Net, Paper, PaperCosts);
-      SelectionResult Ext = selectPBQP(Net, Extended, ExtCosts);
+      SelectionResult Base = PaperEng.optimize(Net);
+      SelectionResult Ext = ExtEng.optimize(Net);
       double Gain = 100.0 * (Base.ModelledCostMs - Ext.ModelledCostMs) /
                     Base.ModelledCostMs;
       std::printf("%-12s %-8s %12.3f %12.3f %9.1f%% %5u/%zu\n", Name.c_str(),

@@ -12,6 +12,7 @@
 
 #include "BenchCommon.h"
 
+#include "engine/Engine.h"
 #include "runtime/ExecutionPlan.h"
 
 #include <cstdio>
@@ -45,23 +46,26 @@ int main() {
               Config.Scale);
 
   {
+    // The profiler must be called serially; the engine still memoizes.
     CachedMeasuredProvider Cached(Lib, Config, 1, "x86");
-    SelectionResult R = selectPBQP(Net, Lib, Cached.provider());
+    EngineOptions Opts;
+    Opts.ParallelPrepopulate = false;
+    SelectionResult R = optimizeNetwork(Net, Lib, Cached.provider(), Opts);
     printSelections("x86 host (measured costs)", Net, Lib, R);
   }
   {
     AnalyticCostProvider Prov(Lib, MachineProfile::cortexA57(), 1);
-    SelectionResult R = selectPBQP(Net, Lib, Prov);
+    SelectionResult R = optimizeNetwork(Net, Lib, Prov);
     printSelections("ARM Cortex-A57 (analytic model)", Net, Lib, R);
   }
   {
     // Multithreaded selections, as in the paper's Figure 4 caption
     // ("multithreaded execution"), via the analytic 4-core models.
     AnalyticCostProvider Intel(Lib, MachineProfile::haswell(), 4);
-    SelectionResult R = selectPBQP(Net, Lib, Intel);
+    SelectionResult R = optimizeNetwork(Net, Lib, Intel);
     printSelections("Intel Haswell 4-thread (analytic model)", Net, Lib, R);
     AnalyticCostProvider Arm(Lib, MachineProfile::cortexA57(), 4);
-    SelectionResult R2 = selectPBQP(Net, Lib, Arm);
+    SelectionResult R2 = optimizeNetwork(Net, Lib, Arm);
     printSelections("ARM Cortex-A57 4-thread (analytic model)", Net, Lib,
                     R2);
   }

@@ -2,16 +2,16 @@
 //
 // Reproduces the paper's Figure 4 workflow on AlexNet: profile (or model)
 // the costs, solve for the optimal instantiation on two very different
-// machine profiles, and print the chosen primitive per conv layer. Look
-// for the paper's qualitative result: the K=11 stride-4 conv1 goes to an
-// im2 routine on both targets, the 3x3/5x5 layers go to Winograd -- 2D
-// variants on the large-cache 8-wide Intel profile, lower-memory 1D
-// variants on the small-cache 4-wide ARM profile.
+// machine profiles through the optimizer engine, and print the chosen
+// primitive per conv layer. Look for the paper's qualitative result: the
+// K=11 stride-4 conv1 goes to an im2 routine on both targets, the 3x3/5x5
+// layers go to Winograd -- 2D variants on the large-cache 8-wide Intel
+// profile, lower-memory 1D variants on the small-cache 4-wide ARM profile.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Selector.h"
 #include "cost/AnalyticModel.h"
+#include "engine/Engine.h"
 #include "nn/Models.h"
 
 #include <cstdio>
@@ -20,7 +20,7 @@ using namespace primsel;
 
 static void showSelection(const char *Title, const NetworkGraph &Net,
                           const PrimitiveLibrary &Lib, CostProvider &Costs) {
-  SelectionResult R = selectPBQP(Net, Lib, Costs);
+  SelectionResult R = optimizeNetwork(Net, Lib, Costs);
   std::printf("%s  (solve %.2f ms, %s)\n", Title, R.SolveMillis,
               R.Solver.ProvablyOptimal ? "optimal" : "heuristic");
   for (auto N : Net.convNodes()) {

@@ -10,8 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Selector.h"
 #include "cost/AnalyticModel.h"
+#include "engine/Engine.h"
 #include "nn/Models.h"
 #include "runtime/Executor.h"
 #include "tensor/Transform.h"
@@ -33,16 +33,19 @@ int main() {
   PrimitiveLibrary Lib = buildFullLibrary();
   MachineProfile Profile = MachineProfile::haswell();
   AnalyticCostProvider Costs(Lib, Profile, /*Threads=*/1);
-  SelectionResult R = selectPBQP(Net, Lib, Costs);
+  Engine Eng(Lib, Costs);
+  SelectionResult R = Eng.optimize(Net);
 
   const TensorShape &In = Net.node(0).OutShape;
   Tensor3D Input(In.C, In.H, In.W, Layout::CHW);
   Input.fillRandom(2024);
 
   // Interpreter.
-  Executor Interp(Net, R.Plan, Lib, /*Threads=*/1, /*WeightSeed=*/7);
-  Interp.run(Input);
-  Tensor3D Expected = convertToLayout(Interp.networkOutput(), Layout::CHW);
+  std::unique_ptr<Executor> Interp =
+      Eng.instantiate(Net, R.Plan, /*Threads=*/1, /*WeightSeed=*/7);
+  Interp->run(Input);
+  Tensor3D Expected =
+      convertToLayout(Interp->networkOutput(), Layout::CHW);
 
   // Generated program, same library and weight seed.
   generated::Program Prog(Lib, /*WeightSeed=*/7);

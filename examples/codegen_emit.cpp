@@ -18,9 +18,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "codegen/CodeGen.h"
-#include "core/Selector.h"
 #include "cost/AnalyticModel.h"
+#include "engine/Engine.h"
 #include "nn/Models.h"
 
 #include <cstdio>
@@ -75,13 +74,14 @@ int main(int argc, char **argv) {
   MachineProfile Profile = MachineProfile::haswell();
   AnalyticCostProvider Costs(Lib, Profile, /*Threads=*/1);
 
-  SelectionResult R = selectPBQP(*Net, Lib, Costs);
+  Engine Eng(Lib, Costs);
+  SelectionResult R = Eng.optimize(*Net);
   if (R.Plan.empty()) {
     std::fprintf(stderr, "error: selection failed for '%s'\n", argv[1]);
     return 1;
   }
 
-  std::string Source = emitPlanSource(*Net, R.Plan, Lib);
+  std::string Source = Eng.emitSource(*Net, R.Plan);
   if (argc > 3) {
     std::ofstream Out(argv[3]);
     if (!Out) {

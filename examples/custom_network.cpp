@@ -11,8 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Selector.h"
 #include "cost/AnalyticModel.h"
+#include "engine/Engine.h"
 #include "nn/NetParser.h"
 #include "runtime/Executor.h"
 
@@ -58,7 +58,8 @@ int main(int argc, char **argv) {
   MachineProfile Profile = MachineProfile::haswell();
   AnalyticCostProvider Costs(Lib, Profile, /*Threads=*/1);
 
-  SelectionResult R = selectPBQP(Net, Lib, Costs);
+  Engine Eng(Lib, Costs);
+  SelectionResult R = Eng.optimize(Net);
   std::printf("PBQP: %u nodes, %u edges, solved in %.2f ms (optimal: %s)\n",
               R.NumNodes, R.NumEdges, R.SolveMillis,
               R.Solver.ProvablyOptimal ? "yes" : "no");
@@ -72,8 +73,8 @@ int main(int argc, char **argv) {
   const TensorShape &In = Net.node(0).OutShape;
   Tensor3D Input(In.C, In.H, In.W, Layout::CHW);
   Input.fillRandom(3);
-  Executor Exec(Net, R.Plan, Lib);
-  RunResult Run = Exec.run(Input);
+  std::unique_ptr<Executor> Exec = Eng.instantiate(Net, R.Plan);
+  RunResult Run = Exec->run(Input);
   std::printf("\nexecuted one forward pass: %.3f ms "
               "(conv %.3f, transforms %.3f, other %.3f)\n",
               Run.TotalMillis, Run.ConvMillis, Run.TransformMillis,

@@ -11,8 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Selector.h"
 #include "cost/AnalyticModel.h"
+#include "engine/Engine.h"
 #include "nn/Models.h"
 #include "primitives/Registry.h"
 
@@ -37,7 +37,7 @@ int main() {
   MachineProfile Profile = MachineProfile::haswell();
   AnalyticCostProvider Costs(Lib, Profile, /*Threads=*/1);
 
-  SelectionResult R = selectPBQP(Net, Lib, Costs);
+  SelectionResult R = optimizeNetwork(Net, Lib, Costs);
   std::printf("%s: %u PBQP nodes, %u edges, solved in %.2f ms "
               "(optimal: %s)\n",
               Net.name().c_str(), R.NumNodes, R.NumEdges, R.SolveMillis,

@@ -9,9 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Selector.h"
-#include "core/Strategies.h"
 #include "cost/AnalyticModel.h"
+#include "engine/Engine.h"
 #include "nn/Models.h"
 
 #include <cstdio>
@@ -24,7 +23,8 @@ int main() {
   NetworkGraph Net = googLeNet(/*Scale=*/0.5);
   AnalyticCostProvider Costs(Lib, MachineProfile::haswell(), 1);
 
-  SelectionResult R = selectPBQP(Net, Lib, Costs);
+  Engine Eng(Lib, Costs);
+  SelectionResult R = Eng.optimize(Net);
   std::printf("GoogLeNet: %u layers, %zu convs; PBQP solved in %.2f ms "
               "(%s), modelled cost %.2f ms\n\n",
               Net.numNodes(), Net.convNodes().size(), R.SolveMillis,
@@ -62,9 +62,10 @@ int main() {
               TotalTransforms, ModuleTransforms, Module.c_str());
 
   // Contrast with the canonical-layout strategy the paper discusses in §6.
-  NetworkPlan Canonical =
-      planForStrategy(Strategy::LocalOptimalCHW, Net, Lib, Costs);
-  double CanonicalCost = modelPlanCost(Canonical, Net, Lib, Costs);
+  // The engine's cost cache is already warm from the PBQP query, so this
+  // second plan re-uses every cost it needs.
+  NetworkPlan Canonical = Eng.planFor(Strategy::LocalOptimalCHW, Net);
+  double CanonicalCost = Eng.planCost(Canonical, Net);
   std::printf("canonical-CHW cost %.2f ms vs PBQP %.2f ms -> %.1f%% saved "
               "by cross-layer layout choice\n",
               CanonicalCost, R.ModelledCostMs,

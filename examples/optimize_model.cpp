@@ -17,10 +17,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Selector.h"
-#include "core/Strategies.h"
 #include "cost/AnalyticModel.h"
 #include "cost/Profiler.h"
+#include "engine/Engine.h"
 #include "nn/Models.h"
 #include "runtime/Executor.h"
 
@@ -158,9 +157,18 @@ int main(int Argc, char **Argv) {
               Net->name().c_str(), Opts.Scale, Net->numNodes(),
               Net->convNodes().size());
 
+  // One engine serves the whole session: the strategy plan, the optional
+  // execution, and the cost-cache reuse between them. The profiler cannot
+  // be called concurrently, so parallel pre-population stays off when
+  // measuring.
+  EngineOptions EOpts;
+  EOpts.Threads = Opts.Threads;
+  EOpts.ParallelPrepopulate = !Opts.Analytic.empty();
+  Engine Eng(Lib, *Costs, EOpts);
+
   NetworkPlan Plan;
   if (*Strat == Strategy::PBQP) {
-    SelectionResult R = selectPBQP(*Net, Lib, *Costs);
+    SelectionResult R = Eng.optimize(*Net);
     std::printf("PBQP: %u nodes, %u edges; solved in %.2f ms (%s); "
                 "modelled cost %.3f ms\n",
                 R.NumNodes, R.NumEdges, R.SolveMillis,
@@ -168,10 +176,9 @@ int main(int Argc, char **Argv) {
                 R.ModelledCostMs);
     Plan = std::move(R.Plan);
   } else {
-    Plan = planForStrategy(*Strat, *Net, Lib, *Costs);
+    Plan = Eng.planFor(*Strat, *Net);
     std::printf("strategy %s: modelled cost %.3f ms\n",
-                strategyName(*Strat),
-                modelPlanCost(Plan, *Net, Lib, *Costs));
+                strategyName(*Strat), Eng.planCost(Plan, *Net));
   }
 
   if (Opts.PrintPlan) {
@@ -180,12 +187,13 @@ int main(int Argc, char **Argv) {
   }
 
   if (Opts.Run) {
-    Executor Exec(*Net, Plan, Lib, Opts.Threads);
+    std::unique_ptr<Executor> Exec =
+        Eng.instantiate(*Net, Plan, Opts.Threads);
     const TensorShape &Sh = Net->node(0).OutShape;
     Tensor3D In(Sh.C, Sh.H, Sh.W, Layout::CHW);
     In.fillRandom(11);
-    Exec.run(In); // warm-up
-    RunResult R = Exec.run(In);
+    Exec->run(In); // warm-up
+    RunResult R = Exec->run(In);
     std::printf("\nforward pass: %.3f ms total (conv %.3f, transforms "
                 "%.3f, other %.3f)\n",
                 R.TotalMillis, R.ConvMillis, R.TransformMillis,

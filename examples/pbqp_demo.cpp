@@ -10,10 +10,10 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "pbqp/BruteForce.h"
-#include "pbqp/Solver.h"
+#include "pbqp/SolverBackend.h"
 
 #include <cstdio>
+#include <memory>
 
 using namespace primsel;
 using namespace primsel::pbqp;
@@ -35,6 +35,12 @@ int main() {
   Conv3[1] = 17;
   Conv3[2] = 22;
 
+  // Solvers come from the backend registry -- the same mechanism the
+  // engine uses; swap the names to try another strategy.
+  std::unique_ptr<SolverBackend> Reduction = createSolverBackend("reduction");
+  std::unique_ptr<SolverBackend> Oracle = createSolverBackend("brute");
+  BackendOptions Options;
+
   std::printf("Figure 2a: node costs only\n");
   Graph NodeOnly;
   NodeId N1 = NodeOnly.addNode(Conv1);
@@ -43,7 +49,7 @@ int main() {
   (void)N1;
   (void)N2;
   (void)N3;
-  Solution S1 = solve(NodeOnly);
+  Solution S1 = Reduction->solve(NodeOnly, Options);
   std::printf("  conv1=%s conv2=%s conv3=%s, total cost %.0f\n\n",
               altName(S1.Selection[0]), altName(S1.Selection[1]),
               altName(S1.Selection[2]), S1.TotalCost);
@@ -64,13 +70,13 @@ int main() {
   WithEdges.addEdge(M1, M2, M12);
   WithEdges.addEdge(M2, M3, M23);
 
-  Solution S2 = solve(WithEdges);
+  Solution S2 = Reduction->solve(WithEdges, Options);
   std::printf("  conv1=%s conv2=%s conv3=%s, total cost %.0f (%s)\n",
               altName(S2.Selection[0]), altName(S2.Selection[1]),
               altName(S2.Selection[2]), S2.TotalCost,
               S2.ProvablyOptimal ? "provably optimal" : "heuristic");
 
-  Solution BF = solveBruteForce(WithEdges);
+  Solution BF = Oracle->solve(WithEdges, Options);
   std::printf("  brute force agrees: %.0f\n\n", BF.TotalCost);
 
   std::printf("The per-layer favourite for conv1 was %s; with transform\n"

@@ -1,9 +1,9 @@
 //===- examples/quickstart.cpp - five-minute tour of the library ----------===//
 //
 // Builds a small convolutional network, profiles the primitive library on
-// it, solves the PBQP primitive-selection problem, prints the chosen
-// instantiation, executes it, and verifies the output against the textbook
-// sum2d instantiation.
+// it, solves the PBQP primitive-selection problem through the optimizer
+// engine, prints the chosen instantiation, executes it, and verifies the
+// output against the textbook sum2d instantiation.
 //
 // Build and run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -11,9 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Selector.h"
-#include "core/Strategies.h"
 #include "cost/Profiler.h"
+#include "engine/Engine.h"
 #include "nn/Models.h"
 #include "runtime/Executor.h"
 
@@ -36,8 +35,13 @@ int main() {
   Opts.Repeats = 2;
   MeasuredCostProvider Costs(Lib, Opts);
 
-  // 4. Optimal selection via PBQP.
-  SelectionResult R = selectPBQP(Net, Lib, Costs);
+  // 4. Optimal selection via the engine: cost layer -> PBQP -> solver ->
+  //    legalizer, one call. The profiler must be called serially, so the
+  //    engine caches lazily instead of pre-populating in parallel.
+  EngineOptions EOpts;
+  EOpts.ParallelPrepopulate = false;
+  Engine Eng(Lib, Costs, EOpts);
+  SelectionResult R = Eng.optimize(Net);
   std::printf("\nPBQP solved in %.2f ms (%s); modelled network cost %.3f "
               "ms\n\n",
               R.SolveMillis,
@@ -52,15 +56,15 @@ int main() {
   Tensor3D In(Sh.C, Sh.H, Sh.W, Layout::CHW);
   In.fillRandom(42);
 
-  Executor Optimized(Net, R.Plan, Lib);
-  RunResult Fast = Optimized.run(In);
+  std::unique_ptr<Executor> Optimized = Eng.instantiate(Net, R.Plan);
+  RunResult Fast = Optimized->run(In);
 
-  NetworkPlan Baseline = planForStrategy(Strategy::Sum2D, Net, Lib, Costs);
-  Executor Reference(Net, Baseline, Lib);
-  RunResult Slow = Reference.run(In);
+  NetworkPlan Baseline = Eng.planFor(Strategy::Sum2D, Net);
+  std::unique_ptr<Executor> Reference = Eng.instantiate(Net, Baseline);
+  RunResult Slow = Reference->run(In);
 
-  float Diff =
-      maxAbsDifference(Reference.networkOutput(), Optimized.networkOutput());
+  float Diff = maxAbsDifference(Reference->networkOutput(),
+                                Optimized->networkOutput());
   std::printf("sum2d baseline: %8.3f ms\n", Slow.TotalMillis);
   std::printf("PBQP optimal:   %8.3f ms  (%.2fx speedup)\n",
               Fast.TotalMillis, Slow.TotalMillis / Fast.TotalMillis);

@@ -8,28 +8,17 @@
 
 using namespace primsel;
 
-SelectionResult primsel::selectPBQP(const NetworkGraph &Net,
-                                    const PrimitiveLibrary &Lib,
-                                    CostProvider &Costs,
-                                    const pbqp::SolverOptions &Options) {
-  SelectionResult R;
-  DTTableCache Tables(Costs);
-
-  PBQPFormulation F = buildPBQP(Net, Lib, Costs, Tables);
-  R.NumNodes = F.G.numNodes();
-  R.NumEdges = F.G.numEdges();
-
-  Timer SolveTimer;
-  R.Solver = pbqp::solve(F.G, Options);
-  R.SolveMillis = SolveTimer.millis();
-
-  // Map the PBQP solution back onto the network.
-  NetworkPlan &Plan = R.Plan;
+NetworkPlan primsel::planFromSolution(const PBQPFormulation &F,
+                                      const std::vector<unsigned> &Selection,
+                                      const NetworkGraph &Net,
+                                      const PrimitiveLibrary &Lib,
+                                      DTTableCache &Tables) {
+  NetworkPlan Plan;
   Plan.ConvPrim.assign(Net.numNodes(), 0);
   Plan.OutLayout.assign(Net.numNodes(), Layout::CHW);
   Plan.InLayout.assign(Net.numNodes(), Layout::CHW);
   for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
-    unsigned Alt = R.Solver.Selection[N];
+    unsigned Alt = Selection[N];
     if (!F.ConvAlternatives[N].empty()) {
       PrimitiveId P = F.ConvAlternatives[N][Alt];
       Plan.ConvPrim[N] = P;
@@ -45,7 +34,27 @@ SelectionResult primsel::selectPBQP(const NetworkGraph &Net,
   bool Legal = legalize(Plan, Net, Tables);
   assert(Legal && "PBQP solution with finite cost must be legalizable");
   (void)Legal;
+  return Plan;
+}
 
-  R.ModelledCostMs = modelPlanCost(Plan, Net, Lib, Costs);
+SelectionResult primsel::selectPBQP(const NetworkGraph &Net,
+                                    const PrimitiveLibrary &Lib,
+                                    CostProvider &Costs,
+                                    const pbqp::SolverOptions &Options) {
+  SelectionResult R;
+  DTTableCache Tables(Costs);
+
+  Timer BuildTimer;
+  PBQPFormulation F = buildPBQP(Net, Lib, Costs, Tables);
+  R.BuildMillis = BuildTimer.millis();
+  R.NumNodes = F.G.numNodes();
+  R.NumEdges = F.G.numEdges();
+
+  Timer SolveTimer;
+  R.Solver = pbqp::solve(F.G, Options);
+  R.SolveMillis = SolveTimer.millis();
+
+  R.Plan = planFromSolution(F, R.Solver.Selection, Net, Lib, Tables);
+  R.ModelledCostMs = modelPlanCost(R.Plan, Net, Lib, Costs);
   return R;
 }

@@ -20,7 +20,10 @@
 #include "core/Legalizer.h"
 #include "core/PBQPBuilder.h"
 #include "core/Plan.h"
+#include "cost/CachingCostProvider.h"
 #include "pbqp/Solver.h"
+
+#include <string>
 
 namespace primsel {
 
@@ -31,14 +34,36 @@ struct SelectionResult {
   double ModelledCostMs = 0.0;
   /// Wall-clock time spent solving the PBQP query (§5.4 reports < 1 s).
   double SolveMillis = 0.0;
+  /// Wall-clock time spent gathering costs and building the PBQP query.
+  double BuildMillis = 0.0;
   /// Solver statistics, including provable optimality.
   pbqp::Solution Solver;
+  /// Name of the solver backend that produced Solver (engine runs; the
+  /// legacy selectPBQP path always uses the reduction solver).
+  std::string Backend = "reduction";
   /// PBQP instance sizes, for the overhead report.
   unsigned NumNodes = 0;
   unsigned NumEdges = 0;
+  /// Snapshot of the engine's cost-cache counters taken at the end of the
+  /// run. The counters are cumulative over the engine's lifetime, so for a
+  /// multi-query engine subtract the previous result's snapshot to get
+  /// per-run numbers. All zero when caching is disabled (and on the legacy
+  /// selectPBQP path).
+  CostCacheStats Cache;
 };
 
-/// Run the full pipeline on \p Net. The returned plan is legalized.
+/// Map a PBQP solution's per-node \p Selection back onto the network as a
+/// primitive/layout assignment and legalize it. Shared by selectPBQP and
+/// the engine layer.
+NetworkPlan planFromSolution(const PBQPFormulation &F,
+                             const std::vector<unsigned> &Selection,
+                             const NetworkGraph &Net,
+                             const PrimitiveLibrary &Lib,
+                             DTTableCache &Tables);
+
+/// Run the full pipeline on \p Net with the reduction solver. The returned
+/// plan is legalized. Engine (engine/Engine.h) is the richer entry point:
+/// it adds solver-backend selection and the memoizing cost layer.
 SelectionResult selectPBQP(const NetworkGraph &Net,
                            const PrimitiveLibrary &Lib, CostProvider &Costs,
                            const pbqp::SolverOptions &Options = {});

@@ -1,0 +1,112 @@
+//===- cost/CachingCostProvider.cpp ---------------------------------------===//
+
+#include "cost/CachingCostProvider.h"
+
+#include "tensor/Transform.h"
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+using namespace primsel;
+
+size_t CachingCostProvider::TransformKeyHash::operator()(
+    const TransformKey &K) const {
+  size_t H = static_cast<size_t>(K.From) * 6 + static_cast<size_t>(K.To);
+  H = H * 1000003u + static_cast<size_t>(K.Shape.C);
+  H = H * 1000003u + static_cast<size_t>(K.Shape.H);
+  H = H * 1000003u + static_cast<size_t>(K.Shape.W);
+  return H;
+}
+
+double CachingCostProvider::convCost(const ConvScenario &S, PrimitiveId Id) {
+  ConvKey Key{S, Id};
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.ConvQueries;
+    auto It = ConvCache.find(Key);
+    if (It != ConvCache.end())
+      return It->second;
+    ++Stats.ConvMisses;
+  }
+  double Millis = Inner.convCost(S, Id);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return ConvCache.emplace(Key, Millis).first->second;
+}
+
+double CachingCostProvider::transformCost(Layout From, Layout To,
+                                          const TensorShape &Shape) {
+  TransformKey Key{From, To, Shape};
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.TransformQueries;
+    auto It = TransformCache.find(Key);
+    if (It != TransformCache.end())
+      return It->second;
+    ++Stats.TransformMisses;
+  }
+  double Millis = Inner.transformCost(From, To, Shape);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return TransformCache.emplace(Key, Millis).first->second;
+}
+
+size_t CachingCostProvider::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return ConvCache.size() + TransformCache.size();
+}
+
+void CachingCostProvider::prepopulate(const NetworkGraph &Net,
+                                      const PrimitiveLibrary &Lib,
+                                      ThreadPool &Pool) {
+  // Gather the uncached work items: every supporting primitive of every
+  // distinct conv scenario, and every direct transform routine on every
+  // distinct tensor shape flowing along an edge.
+  std::vector<ConvKey> ConvWork;
+  std::vector<TransformKey> TransformWork;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    std::set<std::string> SeenScenarios;
+    for (NetworkGraph::NodeId N : Net.convNodes()) {
+      const ConvScenario &S = Net.node(N).Scenario;
+      if (!SeenScenarios.insert(S.key()).second)
+        continue;
+      for (PrimitiveId Id : Lib.supporting(S))
+        if (!ConvCache.count(ConvKey{S, Id}))
+          ConvWork.push_back(ConvKey{S, Id});
+    }
+    std::set<std::tuple<int64_t, int64_t, int64_t>> SeenShapes;
+    for (const NetworkGraph::Node &Node : Net.nodes()) {
+      const TensorShape &Sh = Node.OutShape;
+      if (!SeenShapes.insert({Sh.C, Sh.H, Sh.W}).second)
+        continue;
+      for (const TransformRoutineInfo &R : directTransformRoutines())
+        if (!TransformCache.count(TransformKey{R.From, R.To, Sh}))
+          TransformWork.push_back(TransformKey{R.From, R.To, Sh});
+    }
+  }
+
+  // Evaluate in parallel into dense result arrays (each index is touched by
+  // exactly one worker), then publish under the lock. Raw evaluations are
+  // counted as queries+misses so the stats stay an exact eval count.
+  std::vector<double> ConvMillis(ConvWork.size());
+  Pool.parallelFor(0, static_cast<int64_t>(ConvWork.size()), [&](int64_t I) {
+    ConvMillis[I] = Inner.convCost(ConvWork[I].S, ConvWork[I].Id);
+  });
+  std::vector<double> TransformMillis(TransformWork.size());
+  Pool.parallelFor(0, static_cast<int64_t>(TransformWork.size()),
+                   [&](int64_t I) {
+                     TransformMillis[I] = Inner.transformCost(
+                         TransformWork[I].From, TransformWork[I].To,
+                         TransformWork[I].Shape);
+                   });
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (size_t I = 0; I < ConvWork.size(); ++I)
+    ConvCache.emplace(ConvWork[I], ConvMillis[I]);
+  for (size_t I = 0; I < TransformWork.size(); ++I)
+    TransformCache.emplace(TransformWork[I], TransformMillis[I]);
+  Stats.ConvQueries += ConvWork.size();
+  Stats.ConvMisses += ConvWork.size();
+  Stats.TransformQueries += TransformWork.size();
+  Stats.TransformMisses += TransformWork.size();
+}

@@ -1,0 +1,107 @@
+//===- cost/CachingCostProvider.h - Memoizing cost decorator ----*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A memoizing decorator over any CostProvider. The PBQP builder asks for
+/// the same (scenario, primitive) and transform costs many times within one
+/// query -- and repeated/ensemble queries over the same network ask for
+/// them again from scratch -- while the underlying evaluation (analytic
+/// modelling, or worse, real profiling) is the dominant overhead of the
+/// whole flow (the paper's §5.4 overhead story). CachingCostProvider pays
+/// each raw evaluation once, keeps hit/miss counters so the saving is
+/// observable, and can pre-populate the table in parallel on a ThreadPool
+/// before the (serial) builder runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_COST_CACHINGCOSTPROVIDER_H
+#define PRIMSEL_COST_CACHINGCOSTPROVIDER_H
+
+#include "cost/CostProvider.h"
+#include "support/ThreadPool.h"
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace primsel {
+
+/// Query/miss counters of a CachingCostProvider. Misses equal the raw
+/// evaluations forwarded to the wrapped provider; hits are served from the
+/// memo table.
+struct CostCacheStats {
+  uint64_t ConvQueries = 0;
+  uint64_t ConvMisses = 0;
+  uint64_t TransformQueries = 0;
+  uint64_t TransformMisses = 0;
+
+  uint64_t queries() const { return ConvQueries + TransformQueries; }
+  uint64_t misses() const { return ConvMisses + TransformMisses; }
+  uint64_t hits() const { return queries() - misses(); }
+};
+
+/// Thread-safe memoizing CostProvider decorator.
+class CachingCostProvider : public CostProvider {
+public:
+  explicit CachingCostProvider(CostProvider &Inner) : Inner(Inner) {}
+
+  double convCost(const ConvScenario &S, PrimitiveId Id) override;
+  double transformCost(Layout From, Layout To,
+                       const TensorShape &Shape) override;
+
+  /// Evaluate, on \p Pool, every cost the PBQP builder will ask for over
+  /// \p Net -- each conv scenario against each supporting primitive of
+  /// \p Lib, and each direct transform routine on each distinct edge shape
+  /// -- skipping entries already cached. The wrapped provider must tolerate
+  /// concurrent calls when the pool is wider than one thread (the analytic
+  /// model does; the measuring profiler does not, and should prepopulate on
+  /// a 1-thread pool or rely on lazy fills).
+  void prepopulate(const NetworkGraph &Net, const PrimitiveLibrary &Lib,
+                   ThreadPool &Pool);
+
+  const CostCacheStats &stats() const { return Stats; }
+  void resetStats() { Stats = {}; }
+
+  /// Entries currently memoized (conv + transform).
+  size_t size() const;
+
+  CostProvider &inner() { return Inner; }
+
+private:
+  struct ConvKey {
+    ConvScenario S;
+    PrimitiveId Id;
+    bool operator==(const ConvKey &O) const {
+      return Id == O.Id && S == O.S;
+    }
+  };
+  struct ConvKeyHash {
+    size_t operator()(const ConvKey &K) const {
+      return ConvScenarioHash()(K.S) * 1000003u + K.Id;
+    }
+  };
+  struct TransformKey {
+    Layout From;
+    Layout To;
+    TensorShape Shape;
+    bool operator==(const TransformKey &O) const {
+      return From == O.From && To == O.To && Shape == O.Shape;
+    }
+  };
+  struct TransformKeyHash {
+    size_t operator()(const TransformKey &K) const;
+  };
+
+  CostProvider &Inner;
+  mutable std::mutex Mutex;
+  std::unordered_map<ConvKey, double, ConvKeyHash> ConvCache;
+  std::unordered_map<TransformKey, double, TransformKeyHash> TransformCache;
+  CostCacheStats Stats;
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_COST_CACHINGCOSTPROVIDER_H

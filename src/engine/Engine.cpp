@@ -1,0 +1,110 @@
+//===- engine/Engine.cpp --------------------------------------------------===//
+
+#include "engine/Engine.h"
+
+#include "runtime/Executor.h"
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace primsel;
+
+Engine::Engine(const PrimitiveLibrary &Lib, CostProvider &Costs,
+               EngineOptions Options)
+    : Lib(Lib), Raw(Costs), Opts(std::move(Options)) {
+  if (Opts.CacheCosts)
+    Cache = std::make_unique<CachingCostProvider>(Raw);
+  if (Opts.Threads > 1)
+    Pool = std::make_unique<ThreadPool>(Opts.Threads);
+  Backend = pbqp::createSolverBackend(Opts.Solver);
+  assert(Backend && "EngineOptions.Solver names no registered backend");
+}
+
+Engine::~Engine() = default;
+
+CostProvider &Engine::costs() { return Cache ? *Cache : Raw; }
+
+const CostCacheStats *Engine::cacheStats() const {
+  return Cache ? &Cache->stats() : nullptr;
+}
+
+SelectionResult Engine::run(const NetworkGraph &Net,
+                            pbqp::SolverBackend &SolverBackend,
+                            const EngineOptions &Options) {
+  SelectionResult R;
+  R.Backend = SolverBackend.name();
+
+  Timer BuildTimer;
+  if (Cache && Pool && Options.ParallelPrepopulate)
+    Cache->prepopulate(Net, Lib, *Pool);
+
+  CostProvider &Provider = costs();
+  DTTableCache Tables(Provider);
+  PBQPFormulation F = buildPBQP(Net, Lib, Provider, Tables);
+  R.BuildMillis = BuildTimer.millis();
+  R.NumNodes = F.G.numNodes();
+  R.NumEdges = F.G.numEdges();
+
+  Timer SolveTimer;
+  R.Solver = SolverBackend.solve(F.G, Options.SolverOptions);
+  R.SolveMillis = SolveTimer.millis();
+
+  R.Plan = planFromSolution(F, R.Solver.Selection, Net, Lib, Tables);
+  R.ModelledCostMs = modelPlanCost(R.Plan, Net, Lib, Provider);
+  if (Cache)
+    R.Cache = Cache->stats();
+  return R;
+}
+
+SelectionResult Engine::optimize(const NetworkGraph &Net) {
+  return run(Net, *Backend, Opts);
+}
+
+SelectionResult Engine::optimize(const NetworkGraph &Net,
+                                 const EngineOptions &Options) {
+  if (Options.Solver == Opts.Solver)
+    return run(Net, *Backend, Options);
+  std::unique_ptr<pbqp::SolverBackend> OneOff =
+      pbqp::createSolverBackend(Options.Solver);
+  assert(OneOff && "EngineOptions.Solver names no registered backend");
+  return run(Net, *OneOff, Options);
+}
+
+NetworkPlan Engine::planFor(Strategy S, const NetworkGraph &Net) {
+  if (S == Strategy::PBQP)
+    return optimize(Net).Plan;
+  return planForStrategy(S, Net, Lib, costs());
+}
+
+double Engine::planCost(const NetworkPlan &Plan, const NetworkGraph &Net) {
+  return modelPlanCost(Plan, Net, Lib, costs());
+}
+
+PBQPFormulation Engine::formulate(const NetworkGraph &Net) {
+  if (Cache && Pool && Opts.ParallelPrepopulate)
+    Cache->prepopulate(Net, Lib, *Pool);
+  CostProvider &Provider = costs();
+  DTTableCache Tables(Provider);
+  return buildPBQP(Net, Lib, Provider, Tables);
+}
+
+std::unique_ptr<Executor> Engine::instantiate(const NetworkGraph &Net,
+                                              const NetworkPlan &Plan,
+                                              unsigned Threads,
+                                              uint64_t WeightSeed) const {
+  return std::make_unique<Executor>(Net, Plan, Lib, Threads, WeightSeed);
+}
+
+std::string Engine::emitSource(const NetworkGraph &Net,
+                               const NetworkPlan &Plan,
+                               const CodeGenOptions &Options) const {
+  return emitPlanSource(Net, Plan, Lib, Options);
+}
+
+SelectionResult primsel::optimizeNetwork(const NetworkGraph &Net,
+                                         const PrimitiveLibrary &Lib,
+                                         CostProvider &Costs,
+                                         const EngineOptions &Options) {
+  Engine Eng(Lib, Costs, Options);
+  return Eng.optimize(Net);
+}

@@ -1,0 +1,142 @@
+//===- engine/Engine.h - The unified optimizer engine -----------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One reusable entry point for the paper's whole flow (§3/§5.2: extract
+/// the conv scenarios, gather the costs, build and solve the PBQP query,
+/// instantiate the network). Every driver -- the CLI, the examples and the
+/// figure benchmarks -- goes through Engine instead of hand-wiring
+/// PBQPBuilder + a solver + the Legalizer:
+///
+///   Engine Eng(Lib, Costs, Options);
+///   SelectionResult R = Eng.optimize(Net);
+///
+/// The engine composes three replaceable layers:
+///  - the memoizing cost layer (cost/CachingCostProvider.h), optionally
+///    pre-populated in parallel on a ThreadPool, shared across every query
+///    the engine serves (repeated/ensemble queries pay each raw cost once);
+///  - the PBQP formulation (core/PBQPBuilder.h);
+///  - a solver backend selected by name from the pbqp::SolverRegistry
+///    (pbqp/SolverBackend.h).
+///
+/// It also owns the handoffs after selection: baseline-strategy planning
+/// through the same cost layer, Executor instantiation, and C++ code
+/// generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_ENGINE_ENGINE_H
+#define PRIMSEL_ENGINE_ENGINE_H
+
+#include "codegen/CodeGen.h"
+#include "core/Selector.h"
+#include "core/Strategies.h"
+#include "pbqp/SolverBackend.h"
+
+#include <memory>
+#include <string>
+
+namespace primsel {
+
+class Executor;
+
+/// Configuration of an Engine.
+struct EngineOptions {
+  /// Solver backend name, resolved in pbqp::SolverRegistry ("reduction",
+  /// "bb", "brute", or anything registered later).
+  std::string Solver = "reduction";
+  /// Knobs forwarded to the selected backend.
+  pbqp::BackendOptions SolverOptions;
+  /// Worker threads for cost-table pre-population (1 = serial lazy fills).
+  unsigned Threads = 1;
+  /// Memoize cost queries across this engine's lifetime.
+  bool CacheCosts = true;
+  /// Pre-populate the cost cache in parallel before each query (effective
+  /// when CacheCosts and Threads > 1). Requires a cost provider that
+  /// tolerates concurrent calls: the analytic model does, the measuring
+  /// profiler does not -- disable this (or use Threads=1) when profiling.
+  bool ParallelPrepopulate = true;
+};
+
+/// The unified optimizer: owns the cost layer and solver backend, serves
+/// any number of optimize() queries.
+class Engine {
+public:
+  /// \p Costs must outlive the engine. Asserts that Options.Solver names a
+  /// registered backend (check pbqp::SolverRegistry::contains first for
+  /// user-supplied names).
+  Engine(const PrimitiveLibrary &Lib, CostProvider &Costs,
+         EngineOptions Options = {});
+  ~Engine();
+
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// Run the full selection pipeline on \p Net: (pre-populated) costs ->
+  /// PBQP query -> solver backend -> legalized plan.
+  SelectionResult optimize(const NetworkGraph &Net);
+
+  /// As optimize(Net), but with one-off options (e.g. a different backend
+  /// for a cross-check, or different solver knobs). Only Options.Solver,
+  /// Options.SolverOptions and Options.ParallelPrepopulate take effect
+  /// here: the cost layer and thread pool are construction-time properties
+  /// of the engine, so Options.CacheCosts and Options.Threads are ignored.
+  SelectionResult optimize(const NetworkGraph &Net,
+                           const EngineOptions &Options);
+
+  /// Legalized plan for a baseline strategy, through the engine's cost
+  /// layer. Strategy::PBQP forwards to optimize().
+  NetworkPlan planFor(Strategy S, const NetworkGraph &Net);
+
+  /// Modelled cost (ms) of a legalized plan under the engine's cost layer.
+  double planCost(const NetworkPlan &Plan, const NetworkGraph &Net);
+
+  /// The PBQP instance optimize() would solve, for diagnostics and dumps.
+  PBQPFormulation formulate(const NetworkGraph &Net);
+
+  /// Executor handoff: instantiate \p Plan for real execution.
+  std::unique_ptr<Executor> instantiate(const NetworkGraph &Net,
+                                        const NetworkPlan &Plan,
+                                        unsigned Threads = 1,
+                                        uint64_t WeightSeed = 7) const;
+
+  /// CodeGen handoff: render \p Plan as a compilable C++ translation unit.
+  std::string emitSource(const NetworkGraph &Net, const NetworkPlan &Plan,
+                         const CodeGenOptions &Options = {}) const;
+
+  /// The cost provider queries actually go through (the cache when
+  /// enabled, the raw provider otherwise).
+  CostProvider &costs();
+
+  /// Cache counters accumulated over this engine's lifetime; null when
+  /// caching is disabled.
+  const CostCacheStats *cacheStats() const;
+
+  const PrimitiveLibrary &library() const { return Lib; }
+  const EngineOptions &options() const { return Opts; }
+
+private:
+  SelectionResult run(const NetworkGraph &Net, pbqp::SolverBackend &Backend,
+                      const EngineOptions &Options);
+
+  const PrimitiveLibrary &Lib;
+  CostProvider &Raw;
+  EngineOptions Opts;
+  std::unique_ptr<CachingCostProvider> Cache; ///< when Opts.CacheCosts
+  std::unique_ptr<ThreadPool> Pool;           ///< when Opts.Threads > 1
+  std::unique_ptr<pbqp::SolverBackend> Backend;
+};
+
+/// One-shot convenience for drivers that run a single query: build an
+/// Engine, optimize \p Net, return the result.
+SelectionResult optimizeNetwork(const NetworkGraph &Net,
+                                const PrimitiveLibrary &Lib,
+                                CostProvider &Costs,
+                                const EngineOptions &Options = {});
+
+} // namespace primsel
+
+#endif // PRIMSEL_ENGINE_ENGINE_H

@@ -60,16 +60,14 @@ public:
     BestCost = G.solutionCost(Greedy);
   }
 
-  Solution run(BranchBoundStats *Stats) {
+  Solution run() {
     descend(0, 0.0);
     Solution Sol;
     Sol.Selection = Best;
     Sol.TotalCost = G.solutionCost(Best);
     Sol.ProvablyOptimal = !Aborted;
-    if (Stats) {
-      Stats->Visited = Visited;
-      Stats->Pruned = Pruned;
-    }
+    Sol.NumVisited = Visited;
+    Sol.NumPruned = Pruned;
     return Sol;
   }
 
@@ -176,15 +174,11 @@ private:
 } // namespace
 
 Solution pbqp::solveBranchBound(const Graph &G,
-                                const BranchBoundOptions &Options,
-                                BranchBoundStats *Stats) {
+                                const BranchBoundOptions &Options) {
   Solution Empty;
   Empty.ProvablyOptimal = true;
-  if (G.numNodes() == 0) {
-    if (Stats)
-      *Stats = {};
+  if (G.numNodes() == 0)
     return Empty;
-  }
   Searcher S(G, Options);
-  return S.run(Stats);
+  return S.run();
 }

@@ -36,18 +36,12 @@ struct BranchBoundOptions {
   uint64_t MaxVisits = 50'000'000;
 };
 
-/// Statistics alongside the solution.
-struct BranchBoundStats {
-  uint64_t Visited = 0; ///< search-tree nodes expanded
-  uint64_t Pruned = 0;  ///< subtrees cut by the bound
-};
-
-/// Solve \p G exactly by branch and bound. If \p Stats is non-null it is
-/// filled with search statistics. The returned solution is ProvablyOptimal
+/// Solve \p G exactly by branch and bound. Search statistics are reported
+/// in the solution's NumVisited (search-tree nodes expanded) and NumPruned
+/// (subtrees cut by the bound). The returned solution is ProvablyOptimal
 /// unless the visit budget was exhausted.
 Solution solveBranchBound(const Graph &G,
-                          const BranchBoundOptions &Options = {},
-                          BranchBoundStats *Stats = nullptr);
+                          const BranchBoundOptions &Options = {});
 
 } // namespace pbqp
 } // namespace primsel

@@ -14,16 +14,14 @@ Solution pbqp::solveBruteForce(const Graph &G, double MaxAssignments) {
   if (G.numNodes() == 0)
     return Sol;
 
-  double Space = 1.0;
-  for (NodeId N = 0; N < G.numNodes(); ++N)
-    Space *= G.nodeCosts(N).length();
-  assert(Space <= MaxAssignments &&
+  assert(G.assignmentSpace() <= MaxAssignments &&
          "brute-force assignment space exceeds the configured bound");
   (void)MaxAssignments;
 
   std::vector<unsigned> Current(G.numNodes(), 0);
   std::vector<unsigned> Best = Current;
   Cost BestCost = G.solutionCost(Current);
+  Sol.NumVisited = 1;
 
   while (true) {
     // Advance the odometer.
@@ -35,6 +33,7 @@ Solution pbqp::solveBruteForce(const Graph &G, double MaxAssignments) {
     }
     if (I == G.numNodes())
       break;
+    ++Sol.NumVisited;
     Cost C = G.solutionCost(Current);
     if (C < BestCost) {
       BestCost = C;

@@ -82,3 +82,9 @@ Cost Graph::solutionCost(const std::vector<unsigned> &Selection) const {
     Total += E.Costs.at(Selection[E.U], Selection[E.V]);
   return Total;
 }
+double Graph::assignmentSpace() const {
+  double Space = 1.0;
+  for (const CostVector &V : Nodes)
+    Space *= V.length();
+  return Space;
+}

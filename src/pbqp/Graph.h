@@ -124,6 +124,11 @@ public:
   /// Total cost of a full assignment (one alternative per node).
   Cost solutionCost(const std::vector<unsigned> &Selection) const;
 
+  /// Size of the full assignment space: the product of every node's
+  /// alternative count (1.0 for the empty graph). This is the quantity the
+  /// brute-force solver enumerates and bounds against.
+  double assignmentSpace() const;
+
 private:
   std::vector<CostVector> Nodes;
   std::vector<Edge> Edges;

@@ -51,6 +51,12 @@ struct Solution {
   /// Number of nodes solved by exhaustive enumeration of the irreducible
   /// core.
   unsigned NumCoreEnumerated = 0;
+
+  /// Search statistics, for the enumerating solvers (branch-and-bound fills
+  /// both; brute force fills NumVisited with the assignments enumerated).
+  /// Zero for the reduction solver.
+  uint64_t NumVisited = 0;
+  uint64_t NumPruned = 0;
 };
 
 /// Options controlling the solver.

@@ -1,0 +1,73 @@
+//===- pbqp/SolverBackend.cpp ---------------------------------------------===//
+
+#include "pbqp/SolverBackend.h"
+
+using namespace primsel;
+using namespace primsel::pbqp;
+
+SolverBackend::~SolverBackend() = default;
+
+namespace {
+
+class ReductionBackend : public SolverBackend {
+public:
+  const char *name() const override { return "reduction"; }
+  Solution solve(const Graph &G, const BackendOptions &Options) override {
+    return pbqp::solve(G, Options.Reduction);
+  }
+};
+
+class BranchBoundBackend : public SolverBackend {
+public:
+  const char *name() const override { return "bb"; }
+  Solution solve(const Graph &G, const BackendOptions &Options) override {
+    return solveBranchBound(G, Options.BranchBound);
+  }
+};
+
+class BruteForceBackend : public SolverBackend {
+public:
+  const char *name() const override { return "brute"; }
+  Solution solve(const Graph &G, const BackendOptions &Options) override {
+    return solveBruteForce(G, Options.MaxBruteForceAssignments);
+  }
+};
+
+} // namespace
+
+SolverRegistry::SolverRegistry() {
+  add("reduction", [] { return std::make_unique<ReductionBackend>(); });
+  add("bb", [] { return std::make_unique<BranchBoundBackend>(); });
+  add("brute", [] { return std::make_unique<BruteForceBackend>(); });
+}
+
+SolverRegistry &SolverRegistry::instance() {
+  static SolverRegistry Registry;
+  return Registry;
+}
+
+bool SolverRegistry::add(const std::string &Name, Factory F) {
+  return Factories.emplace(Name, std::move(F)).second;
+}
+
+std::unique_ptr<SolverBackend>
+SolverRegistry::create(const std::string &Name) const {
+  auto It = Factories.find(Name);
+  return It == Factories.end() ? nullptr : It->second();
+}
+
+bool SolverRegistry::contains(const std::string &Name) const {
+  return Factories.count(Name) != 0;
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> Names;
+  for (const auto &[Name, F] : Factories)
+    Names.push_back(Name);
+  return Names;
+}
+
+std::unique_ptr<SolverBackend>
+pbqp::createSolverBackend(const std::string &Name) {
+  return SolverRegistry::instance().create(Name);
+}

@@ -1,0 +1,96 @@
+//===- pbqp/SolverBackend.h - Pluggable PBQP solver backends ----*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One interface over the three PBQP solvers -- the reduction solver
+/// (pbqp/Solver.h), exact branch-and-bound (pbqp/BranchBound.h) and the
+/// exhaustive oracle (pbqp/BruteForce.h) -- so the engine layer can select
+/// a solving strategy by name and future backends (e.g. accelerated
+/// fixed-point or coordinate-descent solvers) can be dropped in without
+/// touching any driver. Backends are registered in a process-wide
+/// SolverRegistry keyed by a short name:
+///
+///   "reduction"  R0/RI/RII reductions + exact core enumeration / RN
+///   "bb"         exact branch-and-bound with an admissible bound
+///   "brute"      exhaustive enumeration (tiny instances, test oracle)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_PBQP_SOLVERBACKEND_H
+#define PRIMSEL_PBQP_SOLVERBACKEND_H
+
+#include "pbqp/BranchBound.h"
+#include "pbqp/BruteForce.h"
+#include "pbqp/Solver.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace primsel {
+namespace pbqp {
+
+/// The union of every backend's knobs; each backend reads its own slice and
+/// ignores the rest, so one options object can travel through the engine
+/// regardless of which backend is selected.
+struct BackendOptions {
+  /// Reduction-solver knobs (core enumeration bound, forced RN).
+  SolverOptions Reduction;
+  /// Branch-and-bound knobs (search budget).
+  BranchBoundOptions BranchBound;
+  /// Brute force refuses assignment spaces larger than this.
+  double MaxBruteForceAssignments = 1e8;
+};
+
+/// Strategy interface: one way of solving a PBQP instance.
+class SolverBackend {
+public:
+  virtual ~SolverBackend();
+
+  /// The registry name this backend was created under.
+  virtual const char *name() const = 0;
+
+  /// Solve \p G; the input graph is not modified. Every backend returns the
+  /// common Solution, with ProvablyOptimal and the statistics fields it can
+  /// fill.
+  virtual Solution solve(const Graph &G, const BackendOptions &Options) = 0;
+};
+
+/// Process-wide registry of solver backends, keyed by name.
+class SolverRegistry {
+public:
+  using Factory = std::function<std::unique_ptr<SolverBackend>()>;
+
+  /// The singleton, with the three built-in backends pre-registered.
+  static SolverRegistry &instance();
+
+  /// Register \p Name; returns false (and changes nothing) if the name is
+  /// already taken.
+  bool add(const std::string &Name, Factory F);
+
+  /// Instantiate the backend registered under \p Name; null for unknown
+  /// names.
+  std::unique_ptr<SolverBackend> create(const std::string &Name) const;
+
+  bool contains(const std::string &Name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+private:
+  SolverRegistry();
+  std::map<std::string, Factory> Factories;
+};
+
+/// Convenience wrapper over SolverRegistry::instance().create().
+std::unique_ptr<SolverBackend> createSolverBackend(const std::string &Name);
+
+} // namespace pbqp
+} // namespace primsel
+
+#endif // PRIMSEL_PBQP_SOLVERBACKEND_H

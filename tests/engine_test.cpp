@@ -1,0 +1,183 @@
+//===- tests/engine_test.cpp - the unified optimizer engine ---------------===//
+
+#include "engine/Engine.h"
+
+#include "cost/AnalyticModel.h"
+#include "nn/Models.h"
+#include "runtime/Executor.h"
+
+#include <gtest/gtest.h>
+
+using namespace primsel;
+
+namespace {
+
+const PrimitiveLibrary &lib() {
+  static PrimitiveLibrary L = buildFullLibrary();
+  return L;
+}
+
+AnalyticCostProvider makeProvider(unsigned Threads = 1) {
+  return AnalyticCostProvider(lib(), MachineProfile::haswell(), Threads);
+}
+
+TEST(Engine, MatchesLegacySelectPBQP) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyDag(32);
+
+  SelectionResult Legacy = selectPBQP(Net, lib(), Prov);
+  SelectionResult Engined = optimizeNetwork(Net, lib(), Prov);
+
+  EXPECT_EQ(Engined.Backend, "reduction");
+  EXPECT_EQ(Engined.NumNodes, Legacy.NumNodes);
+  EXPECT_EQ(Engined.NumEdges, Legacy.NumEdges);
+  EXPECT_DOUBLE_EQ(Engined.ModelledCostMs, Legacy.ModelledCostMs);
+  EXPECT_EQ(Engined.Plan.ConvPrim, Legacy.Plan.ConvPrim);
+  EXPECT_EQ(Engined.Plan.OutLayout, Legacy.Plan.OutLayout);
+  EXPECT_TRUE(isLegalized(Engined.Plan, Net));
+}
+
+TEST(Engine, AllBackendsSelectableByNameAndAgree) {
+  AnalyticCostProvider Prov = makeProvider();
+  // Brute force enumerates the full assignment space, so use a micro
+  // network: two convs and two dummies keep it around 10^4 assignments.
+  NetworkGraph Net("micro");
+  NetworkGraph::NodeId In = Net.addInput("data", TensorShape{3, 16, 16});
+  NetworkGraph::NodeId C1 =
+      Net.addLayer(Layer::conv("c1", 8, 3, /*Stride=*/1, /*Pad=*/1), {In});
+  NetworkGraph::NodeId R1 = Net.addLayer(Layer::relu("r1"), {C1});
+  Net.addLayer(Layer::conv("c2", 4, 1), {R1});
+
+  double Expected = -1.0;
+  for (const char *Name : {"brute", "reduction", "bb"}) {
+    EngineOptions Opts;
+    Opts.Solver = Name;
+    SelectionResult R = optimizeNetwork(Net, lib(), Prov, Opts);
+    EXPECT_EQ(R.Backend, Name);
+    EXPECT_TRUE(R.Solver.ProvablyOptimal) << Name;
+    EXPECT_TRUE(isLegalized(R.Plan, Net)) << Name;
+    if (Expected < 0)
+      Expected = R.Solver.TotalCost;
+    else
+      EXPECT_NEAR(R.Solver.TotalCost, Expected, 1e-9) << Name;
+  }
+}
+
+TEST(Engine, RepeatedQueriesReuseTheCostCache) {
+  AnalyticCostProvider Prov = makeProvider();
+  Engine Eng(lib(), Prov);
+  NetworkGraph Net = tinyDag(32);
+
+  SelectionResult First = Eng.optimize(Net);
+  EXPECT_GT(First.Cache.queries(), 0u);
+  EXPECT_GT(First.Cache.misses(), 0u);
+  // Within even a single query the builder re-asks costs, so strictly
+  // fewer raw evaluations than queries.
+  EXPECT_LT(First.Cache.misses(), First.Cache.queries());
+
+  SelectionResult Second = Eng.optimize(Net);
+  // The repeated query pays no new raw evaluations...
+  EXPECT_EQ(Second.Cache.misses(), First.Cache.misses());
+  EXPECT_GT(Second.Cache.queries(), First.Cache.queries());
+  // ...and reproduces the same result.
+  EXPECT_DOUBLE_EQ(Second.ModelledCostMs, First.ModelledCostMs);
+  EXPECT_EQ(Second.Plan.ConvPrim, First.Plan.ConvPrim);
+}
+
+TEST(Engine, ParallelPrepopulationMatchesSerial) {
+  AnalyticCostProvider SerialProv = makeProvider();
+  AnalyticCostProvider ParallelProv = makeProvider();
+  NetworkGraph Net = tinyDag(32);
+
+  EngineOptions Serial;
+  Serial.Threads = 1;
+  EngineOptions Parallel;
+  Parallel.Threads = 4;
+
+  SelectionResult A = optimizeNetwork(Net, lib(), SerialProv, Serial);
+  SelectionResult B = optimizeNetwork(Net, lib(), ParallelProv, Parallel);
+  EXPECT_DOUBLE_EQ(A.ModelledCostMs, B.ModelledCostMs);
+  EXPECT_EQ(A.Plan.ConvPrim, B.Plan.ConvPrim);
+  EXPECT_EQ(A.Solver.TotalCost, B.Solver.TotalCost);
+}
+
+TEST(Engine, CachingDisabledStillOptimizes) {
+  AnalyticCostProvider Prov = makeProvider();
+  EngineOptions Opts;
+  Opts.CacheCosts = false;
+  Engine Eng(lib(), Prov, Opts);
+  NetworkGraph Net = tinyChain(32);
+
+  SelectionResult R = Eng.optimize(Net);
+  EXPECT_EQ(Eng.cacheStats(), nullptr);
+  EXPECT_EQ(R.Cache.queries(), 0u);
+  EXPECT_FALSE(R.Plan.empty());
+  EXPECT_GT(R.ModelledCostMs, 0.0);
+}
+
+TEST(Engine, PlanForRoutesStrategiesThroughTheCache) {
+  AnalyticCostProvider Prov = makeProvider();
+  Engine Eng(lib(), Prov);
+  NetworkGraph Net = tinyDag(32);
+
+  NetworkPlan Pbqp = Eng.planFor(Strategy::PBQP, Net);
+  NetworkPlan Greedy = Eng.planFor(Strategy::Greedy, Net);
+  ASSERT_FALSE(Pbqp.empty());
+  ASSERT_FALSE(Greedy.empty());
+  EXPECT_TRUE(isLegalized(Greedy, Net));
+  // PBQP is optimal under the model, so it can only be at least as good.
+  EXPECT_LE(Eng.planCost(Pbqp, Net), Eng.planCost(Greedy, Net) + 1e-9);
+
+  // The strategy planning hit the same memo table the PBQP query filled.
+  ASSERT_NE(Eng.cacheStats(), nullptr);
+  EXPECT_GT(Eng.cacheStats()->hits(), 0u);
+}
+
+TEST(Engine, FormulateMatchesOptimizeSizes) {
+  AnalyticCostProvider Prov = makeProvider();
+  Engine Eng(lib(), Prov);
+  NetworkGraph Net = tinyDag(32);
+
+  PBQPFormulation F = Eng.formulate(Net);
+  SelectionResult R = Eng.optimize(Net);
+  EXPECT_EQ(F.G.numNodes(), R.NumNodes);
+  EXPECT_EQ(F.G.numEdges(), R.NumEdges);
+  EXPECT_EQ(F.G.numNodes(), Net.numNodes());
+}
+
+TEST(Engine, InstantiateAndEmitSourceHandoffs) {
+  AnalyticCostProvider Prov = makeProvider();
+  Engine Eng(lib(), Prov);
+  NetworkGraph Net = tinyChain(24);
+
+  SelectionResult R = Eng.optimize(Net);
+  std::unique_ptr<Executor> Exec = Eng.instantiate(Net, R.Plan);
+  const TensorShape &Sh = Net.node(0).OutShape;
+  Tensor3D In(Sh.C, Sh.H, Sh.W, Layout::CHW);
+  In.fillRandom(5);
+  RunResult Run = Exec->run(In);
+  EXPECT_GT(Run.TotalMillis, 0.0);
+
+  std::string Source = Eng.emitSource(Net, R.Plan);
+  EXPECT_NE(Source.find("class Program"), std::string::npos);
+  EXPECT_NE(Source.find("run"), std::string::npos);
+}
+
+TEST(Engine, OneOffOptionsDoNotDisturbTheEngine) {
+  AnalyticCostProvider Prov = makeProvider();
+  Engine Eng(lib(), Prov);
+  NetworkGraph Net = tinyChain(32);
+
+  SelectionResult Default = Eng.optimize(Net);
+  EngineOptions BB;
+  BB.Solver = "bb";
+  SelectionResult Exact = Eng.optimize(Net, BB);
+  EXPECT_EQ(Exact.Backend, "bb");
+  EXPECT_NEAR(Exact.Solver.TotalCost, Default.Solver.TotalCost, 1e-9);
+
+  // The engine still runs its configured backend afterwards.
+  SelectionResult Again = Eng.optimize(Net);
+  EXPECT_EQ(Again.Backend, "reduction");
+}
+
+} // namespace

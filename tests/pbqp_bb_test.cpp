@@ -145,13 +145,12 @@ TEST(BranchBound, VisitBudgetAbortsGracefully) {
   Graph G = randomGraph(R, 10, 0.8, 4);
   BranchBoundOptions Options;
   Options.MaxVisits = 3;
-  BranchBoundStats Stats;
-  Solution S = solveBranchBound(G, Options, &Stats);
+  Solution S = solveBranchBound(G, Options);
   EXPECT_FALSE(S.ProvablyOptimal);
   // The incumbent is still a complete, evaluable assignment.
   EXPECT_EQ(S.Selection.size(), G.numNodes());
   EXPECT_DOUBLE_EQ(G.solutionCost(S.Selection), S.TotalCost);
-  EXPECT_LE(Stats.Visited, 3u);
+  EXPECT_LE(S.NumVisited, 3u);
 }
 
 TEST(BranchBound, PrunesAggressivelyOnChains) {
@@ -171,14 +170,13 @@ TEST(BranchBound, PrunesAggressivelyOnChains) {
         M.at(A, B) = R.nextFloat(0.0f, 10.0f);
     G.addEdge(N, N + 1, std::move(M));
   }
-  BranchBoundStats Stats;
-  Solution BB = solveBranchBound(G, {}, &Stats);
+  Solution BB = solveBranchBound(G, {});
   ASSERT_TRUE(BB.ProvablyOptimal);
   // The reduction solver solves chains exactly (RI/RII only); cross-check.
   Solution Red = solve(G);
   ASSERT_TRUE(Red.ProvablyOptimal);
   EXPECT_NEAR(BB.TotalCost, Red.TotalCost, 1e-9);
-  EXPECT_LT(Stats.Visited, 1000000u);
+  EXPECT_LT(BB.NumVisited, 1000000u);
 }
 
 TEST(BranchBound, AgreesWithReductionSolverOnRealFormulation) {

@@ -3,19 +3,24 @@
 // One binary exposing the library's deployment workflow (paper §4: the
 // cost tables are "tiny compared to the weight data ... making it feasible
 // to produce these cost tables before deployment, and ship them with the
-// trained model"):
+// trained model"). Every command drives the unified optimizer engine
+// (engine/Engine.h); no selection pipeline is wired by hand here.
 //
 //   primsel-cli models
 //       List the built-in model-zoo networks.
+//   primsel-cli solvers
+//       List the registered PBQP solver backends.
 //   primsel-cli primitives [<model-or-file>] [--scale S]
 //       List the primitive library; with a network, annotate each conv
 //       layer with the routines that support it.
 //   primsel-cli optimize <model-or-file> [--scale S] [--threads N]
 //       [--measured] [--arm] [--costs PATH] [--strategy NAME]
+//       [--solver reduction|bb|brute]
 //       Solve the selection problem and print the plan, its modelled cost,
-//       and the baseline comparison. --measured profiles on this machine
-//       (persisting the cost table to --costs); the default is the
-//       analytic model (--arm switches it to the Cortex-A57 profile).
+//       the solver/cache statistics, and the baseline comparison.
+//       --measured profiles on this machine (persisting the cost table to
+//       --costs); the default is the analytic model (--arm switches it to
+//       the Cortex-A57 profile).
 //   primsel-cli codegen <model-or-file> [--scale S] [--out PATH]
 //       Emit the straight-line C++ program for the optimal plan (§5.2).
 //   primsel-cli dump-pbqp <model-or-file> [--scale S]
@@ -26,16 +31,15 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "codegen/CodeGen.h"
-#include "core/Selector.h"
-#include "core/Strategies.h"
 #include "cost/AnalyticModel.h"
 #include "cost/Profiler.h"
+#include "engine/Engine.h"
 #include "nn/Models.h"
 #include "nn/NetParser.h"
 #include "pbqp/TextIO.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -58,16 +62,32 @@ struct CliOptions {
   std::string CostsPath;
   std::string OutPath;
   std::string StrategyName;
+  std::string SolverName = "reduction";
 };
+
+/// Parse a strictly-numeric thread count in [1, 1024]; the value feeds
+/// ThreadPool construction, so garbage or huge values must be refused, not
+/// cast.
+bool parseThreads(const std::string &Val, unsigned &Out) {
+  if (Val.empty() || Val.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  long Threads = std::strtol(Val.c_str(), nullptr, 10);
+  if (Threads < 1 || Threads > 1024)
+    return false;
+  Out = static_cast<unsigned>(Threads);
+  return true;
+}
 
 int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s <command> [args]\n"
       "  models\n"
+      "  solvers\n"
       "  primitives [<model-or-file>] [--scale S]\n"
       "  optimize <model-or-file> [--scale S] [--threads N] [--measured]\n"
       "           [--arm] [--costs PATH] [--strategy NAME]\n"
+      "           [--solver reduction|bb|brute]\n"
       "  codegen <model-or-file> [--scale S] [--out PATH]\n"
       "  dump-pbqp <model-or-file> [--scale S]\n",
       Argv0);
@@ -82,8 +102,23 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   if (I < Argc && Argv[I][0] != '-')
     Opts.Target = Argv[I++];
   for (; I < Argc; ++I) {
+    // Accept both "--opt value" and "--opt=value" for every option.
     std::string Arg = Argv[I];
+    std::string Inline;
+    bool HasInline = false;
+    if (Arg.rfind("--", 0) == 0) {
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos) {
+        Inline = Arg.substr(Eq + 1);
+        Arg = Arg.substr(0, Eq);
+        HasInline = true;
+      }
+    }
     auto Next = [&](std::string &Out) {
+      if (HasInline) {
+        Out = Inline;
+        return true;
+      }
       if (I + 1 >= Argc)
         return false;
       Out = Argv[++I];
@@ -92,11 +127,18 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     std::string Val;
     if (Arg == "--scale" && Next(Val))
       Opts.Scale = std::atof(Val.c_str());
-    else if (Arg == "--threads" && Next(Val))
-      Opts.Threads = static_cast<unsigned>(std::atoi(Val.c_str()));
-    else if (Arg == "--measured")
+    else if (Arg == "--threads" && Next(Val)) {
+      if (!parseThreads(Val, Opts.Threads)) {
+        std::fprintf(stderr,
+                     "error: --threads expects an integer in [1, 1024], "
+                     "got '%s'\n",
+                     Val.c_str());
+        return false;
+      }
+    }
+    else if (Arg == "--measured" && !HasInline)
       Opts.Measured = true;
-    else if (Arg == "--arm")
+    else if (Arg == "--arm" && !HasInline)
       Opts.Arm = true;
     else if (Arg == "--costs" && Next(Val))
       Opts.CostsPath = Val;
@@ -104,13 +146,42 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.OutPath = Val;
     else if (Arg == "--strategy" && Next(Val))
       Opts.StrategyName = Val;
+    else if (Arg == "--solver" && Next(Val))
+      Opts.SolverName = Val;
     else {
       std::fprintf(stderr, "error: unknown or incomplete option '%s'\n",
-                   Arg.c_str());
+                   Argv[I]);
       return false;
     }
   }
   return true;
+}
+
+/// Shared --solver validation for every command that builds an Engine.
+bool checkSolver(const CliOptions &Opts) {
+  if (pbqp::SolverRegistry::instance().contains(Opts.SolverName))
+    return true;
+  std::fprintf(stderr,
+               "error: unknown solver backend '%s' (see 'solvers')\n",
+               Opts.SolverName.c_str());
+  return false;
+}
+
+/// Brute force aborts on oversized assignment spaces by contract; commands
+/// that solve refuse cleanly instead. The formulation built here stays in
+/// the engine's cost cache, so it is not wasted work.
+bool checkBruteSpace(Engine &Eng, const NetworkGraph &Net) {
+  if (Eng.options().Solver != "brute")
+    return true;
+  double Space = Eng.formulate(Net).G.assignmentSpace();
+  double Bound = Eng.options().SolverOptions.MaxBruteForceAssignments;
+  if (Space <= Bound)
+    return true;
+  std::fprintf(stderr,
+               "error: assignment space %.3g exceeds the brute-force "
+               "bound %.3g; use --solver reduction or bb\n",
+               Space, Bound);
+  return false;
 }
 
 /// Resolve a model-zoo name or a network-description path.
@@ -132,10 +203,47 @@ std::optional<NetworkGraph> resolveNetwork(const std::string &Target,
   return std::move(R.Net);
 }
 
+/// The engine configuration the CLI options describe.
+EngineOptions engineOptions(const CliOptions &Opts) {
+  EngineOptions EOpts;
+  EOpts.Solver = Opts.SolverName;
+  EOpts.Threads = Opts.Threads;
+  // The measuring profiler is not safe to call concurrently; with
+  // --measured the cache still memoizes but fills lazily.
+  EOpts.ParallelPrepopulate = !Opts.Measured;
+  return EOpts;
+}
+
+/// Build the cost provider the CLI options describe. \p Measured receives
+/// the profiling provider when --measured is active (for table save/load).
+std::unique_ptr<CostProvider> makeCosts(const CliOptions &Opts,
+                                        const PrimitiveLibrary &Lib,
+                                        MeasuredCostProvider **Measured) {
+  if (Opts.Measured) {
+    ProfilerOptions POpts;
+    POpts.Threads = Opts.Threads;
+    auto M = std::make_unique<MeasuredCostProvider>(Lib, POpts);
+    if (!Opts.CostsPath.empty() && M->database().load(Opts.CostsPath))
+      std::fprintf(stderr, "loaded cost table %s\n", Opts.CostsPath.c_str());
+    if (Measured)
+      *Measured = M.get();
+    return M;
+  }
+  MachineProfile Profile =
+      Opts.Arm ? MachineProfile::cortexA57() : MachineProfile::haswell();
+  return std::make_unique<AnalyticCostProvider>(Lib, Profile, Opts.Threads);
+}
+
 int cmdModels() {
   for (const std::string &Name : modelNames())
     std::printf("%s\n", Name.c_str());
   std::printf("tinychain\ntinydag\n");
+  return 0;
+}
+
+int cmdSolvers() {
+  for (const std::string &Name : pbqp::SolverRegistry::instance().names())
+    std::printf("%s\n", Name.c_str());
   return 0;
 }
 
@@ -167,24 +275,13 @@ int cmdOptimize(const CliOptions &Opts) {
   std::optional<NetworkGraph> Net = resolveNetwork(Opts.Target, Opts.Scale);
   if (!Net)
     return 1;
+  if (!checkSolver(Opts))
+    return 1;
   PrimitiveLibrary Lib = buildFullLibrary();
 
-  std::unique_ptr<CostProvider> Owned;
   MeasuredCostProvider *Measured = nullptr;
-  if (Opts.Measured) {
-    ProfilerOptions POpts;
-    POpts.Threads = Opts.Threads;
-    auto M = std::make_unique<MeasuredCostProvider>(Lib, POpts);
-    if (!Opts.CostsPath.empty() && M->database().load(Opts.CostsPath))
-      std::fprintf(stderr, "loaded cost table %s\n", Opts.CostsPath.c_str());
-    Measured = M.get();
-    Owned = std::move(M);
-  } else {
-    MachineProfile Profile =
-        Opts.Arm ? MachineProfile::cortexA57() : MachineProfile::haswell();
-    Owned = std::make_unique<AnalyticCostProvider>(Lib, Profile,
-                                                   Opts.Threads);
-  }
+  std::unique_ptr<CostProvider> Owned = makeCosts(Opts, Lib, &Measured);
+  Engine Eng(Lib, *Owned, engineOptions(Opts));
 
   if (!Opts.StrategyName.empty() && Opts.StrategyName != "pbqp") {
     std::optional<Strategy> S = parseStrategy(Opts.StrategyName);
@@ -193,27 +290,42 @@ int cmdOptimize(const CliOptions &Opts) {
                    Opts.StrategyName.c_str());
       return 1;
     }
-    NetworkPlan Plan = planForStrategy(*S, *Net, Lib, *Owned);
+    NetworkPlan Plan = Eng.planFor(*S, *Net);
     if (Plan.empty()) {
       std::fprintf(stderr, "error: strategy produced no plan\n");
       return 1;
     }
-    std::printf("# strategy %s, modelled cost %.3f ms\n",
-                strategyName(*S), modelPlanCost(Plan, *Net, Lib, *Owned));
+    std::printf("# strategy %s, modelled cost %.3f ms\n", strategyName(*S),
+                Eng.planCost(Plan, *Net));
     for (NetworkGraph::NodeId N : Net->convNodes())
       std::printf("%-24s %s\n", Net->node(N).L.Name.c_str(),
                   Lib.get(Plan.ConvPrim[N]).name().c_str());
     return 0;
   }
 
-  SelectionResult R = selectPBQP(*Net, Lib, *Owned);
+  if (!checkBruteSpace(Eng, *Net))
+    return 1;
+
+  SelectionResult R = Eng.optimize(*Net);
   if (R.Plan.empty()) {
     std::fprintf(stderr, "error: selection failed\n");
     return 1;
   }
-  std::printf("# %s: %u PBQP nodes, %u edges, solve %.2f ms, optimal %s\n",
-              Net->name().c_str(), R.NumNodes, R.NumEdges, R.SolveMillis,
-              R.Solver.ProvablyOptimal ? "yes" : "no");
+  std::printf("# %s: %u PBQP nodes, %u edges, build %.2f ms, solve %.2f "
+              "ms, optimal %s\n",
+              Net->name().c_str(), R.NumNodes, R.NumEdges, R.BuildMillis,
+              R.SolveMillis, R.Solver.ProvablyOptimal ? "yes" : "no");
+  std::printf("# solver %s: R0=%u RI=%u RII=%u RN=%u core=%u visited=%llu "
+              "pruned=%llu\n",
+              R.Backend.c_str(), R.Solver.NumR0, R.Solver.NumRI,
+              R.Solver.NumRII, R.Solver.NumRN, R.Solver.NumCoreEnumerated,
+              static_cast<unsigned long long>(R.Solver.NumVisited),
+              static_cast<unsigned long long>(R.Solver.NumPruned));
+  std::printf("# cost cache: %llu queries, %llu raw evaluations, %llu "
+              "hits\n",
+              static_cast<unsigned long long>(R.Cache.queries()),
+              static_cast<unsigned long long>(R.Cache.misses()),
+              static_cast<unsigned long long>(R.Cache.hits()));
   std::printf("# modelled cost %.3f ms (%s, %u thread%s)\n",
               R.ModelledCostMs,
               Opts.Measured ? "measured"
@@ -243,16 +355,19 @@ int cmdCodegen(const CliOptions &Opts) {
   std::optional<NetworkGraph> Net = resolveNetwork(Opts.Target, Opts.Scale);
   if (!Net)
     return 1;
+  if (!checkSolver(Opts))
+    return 1;
   PrimitiveLibrary Lib = buildFullLibrary();
-  MachineProfile Profile =
-      Opts.Arm ? MachineProfile::cortexA57() : MachineProfile::haswell();
-  AnalyticCostProvider Costs(Lib, Profile, Opts.Threads);
-  SelectionResult R = selectPBQP(*Net, Lib, Costs);
+  std::unique_ptr<CostProvider> Owned = makeCosts(Opts, Lib, nullptr);
+  Engine Eng(Lib, *Owned, engineOptions(Opts));
+  if (!checkBruteSpace(Eng, *Net))
+    return 1;
+  SelectionResult R = Eng.optimize(*Net);
   if (R.Plan.empty()) {
     std::fprintf(stderr, "error: selection failed\n");
     return 1;
   }
-  std::string Source = emitPlanSource(*Net, R.Plan, Lib);
+  std::string Source = Eng.emitSource(*Net, R.Plan);
   if (Opts.OutPath.empty()) {
     std::fputs(Source.c_str(), stdout);
     return 0;
@@ -272,12 +387,12 @@ int cmdDumpPbqp(const CliOptions &Opts) {
   std::optional<NetworkGraph> Net = resolveNetwork(Opts.Target, Opts.Scale);
   if (!Net)
     return 1;
+  if (!checkSolver(Opts))
+    return 1;
   PrimitiveLibrary Lib = buildFullLibrary();
-  MachineProfile Profile =
-      Opts.Arm ? MachineProfile::cortexA57() : MachineProfile::haswell();
-  AnalyticCostProvider Costs(Lib, Profile, Opts.Threads);
-  DTTableCache Tables(Costs);
-  PBQPFormulation F = buildPBQP(*Net, Lib, Costs, Tables);
+  std::unique_ptr<CostProvider> Owned = makeCosts(Opts, Lib, nullptr);
+  Engine Eng(Lib, *Owned, engineOptions(Opts));
+  PBQPFormulation F = Eng.formulate(*Net);
   std::printf("# PBQP instance for %s (%u nodes, %u edges)\n",
               Net->name().c_str(), F.G.numNodes(), F.G.numEdges());
   std::fputs(pbqp::dumpGraph(F.G).c_str(), stdout);
@@ -293,6 +408,8 @@ int main(int argc, char **argv) {
 
   if (Opts.Command == "models")
     return cmdModels();
+  if (Opts.Command == "solvers")
+    return cmdSolvers();
   if (Opts.Command == "primitives")
     return cmdPrimitives(Opts);
   if (Opts.Command.empty() || Opts.Target.empty())
