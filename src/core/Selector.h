@@ -50,6 +50,10 @@ struct SelectionResult {
   /// per-run numbers. All zero when caching is disabled (and on the legacy
   /// selectPBQP path).
   CostCacheStats Cache;
+  /// True when the engine served this result from its plan cache
+  /// (engine/PlanCache.h) instead of solving; SolveMillis is then 0 and
+  /// BuildMillis is the cache lookup time.
+  bool PlanCacheHit = false;
 };
 
 /// Map a PBQP solution's per-node \p Selection back onto the network as a

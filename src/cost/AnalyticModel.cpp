@@ -259,3 +259,7 @@ double AnalyticCostProvider::transformCost(Layout From, Layout To,
                                            const TensorShape &Shape) {
   return analyticTransformCost(From, To, Shape, Profile, Threads);
 }
+
+std::string AnalyticCostProvider::identity() const {
+  return "analytic:" + Profile.Name + ":t" + std::to_string(Threads);
+}

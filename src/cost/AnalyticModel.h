@@ -36,6 +36,9 @@ public:
   double convCost(const ConvScenario &S, PrimitiveId Id) override;
   double transformCost(Layout From, Layout To,
                        const TensorShape &Shape) override;
+  /// "analytic:<profile>:t<threads>" -- costs are a pure function of the
+  /// machine profile and the modelled thread count.
+  std::string identity() const override;
 
 private:
   const PrimitiveLibrary &Lib;

@@ -51,6 +51,8 @@ public:
   double convCost(const ConvScenario &S, PrimitiveId Id) override;
   double transformCost(Layout From, Layout To,
                        const TensorShape &Shape) override;
+  /// Memoization does not change the costs: forward the inner identity.
+  std::string identity() const override { return Inner.identity(); }
 
   /// Evaluate, on \p Pool, every cost the PBQP builder will ask for over
   /// \p Net -- each conv scenario against each supporting primitive of

@@ -37,6 +37,14 @@ public:
   /// directTransformRoutines().
   virtual double transformCost(Layout From, Layout To,
                                const TensorShape &Shape) = 0;
+
+  /// Stable text identity of the cost source -- the machine-profile
+  /// component of the engine's plan-cache key (engine/PlanCache.h). Two
+  /// providers that would return different costs for the same query must
+  /// report different identities, or cached plans optimized for one will be
+  /// served for the other. The default covers ad-hoc test providers;
+  /// production providers override it.
+  virtual std::string identity() const { return "custom"; }
 };
 
 } // namespace primsel

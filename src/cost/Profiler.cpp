@@ -97,3 +97,7 @@ double MeasuredCostProvider::transformCost(Layout From, Layout To,
   Cache.setTransformCost(From, To, Shape, Millis);
   return Millis;
 }
+
+std::string MeasuredCostProvider::identity() const {
+  return "measured:t" + std::to_string(Options.Threads);
+}

@@ -48,6 +48,9 @@ public:
   double convCost(const ConvScenario &S, PrimitiveId Id) override;
   double transformCost(Layout From, Layout To,
                        const TensorShape &Shape) override;
+  /// "measured:t<threads>" -- measured costs are host-specific, so plan
+  /// caches built from them must not be shipped across machines.
+  std::string identity() const override;
 
   /// Measure one primitive on one scenario (no cache involvement).
   double measureConv(const ConvScenario &S, PrimitiveId Id);

@@ -18,6 +18,8 @@ Engine::Engine(const PrimitiveLibrary &Lib, CostProvider &Costs,
     Pool = std::make_unique<ThreadPool>(Opts.Threads);
   Backend = pbqp::createSolverBackend(Opts.Solver);
   assert(Backend && "EngineOptions.Solver names no registered backend");
+  if (Opts.CachePlans || !Opts.PlanCacheDir.empty())
+    Plans = std::make_unique<PlanCache>(Opts.PlanCacheDir);
 }
 
 Engine::~Engine() = default;
@@ -28,9 +30,35 @@ const CostCacheStats *Engine::cacheStats() const {
   return Cache ? &Cache->stats() : nullptr;
 }
 
+PlanKey Engine::planKey(const NetworkGraph &Net) const {
+  PlanKey K;
+  K.NetworkFingerprint = fingerprintNetwork(Net, Lib);
+  K.CostIdentity = Raw.identity();
+  K.SolverFingerprint = fingerprintSolver(Opts.Solver, Opts.SolverOptions);
+  return K;
+}
+
 SelectionResult Engine::run(const NetworkGraph &Net,
                             pbqp::SolverBackend &SolverBackend,
                             const EngineOptions &Options) {
+  PlanKey Key;
+  if (Plans) {
+    Key.NetworkFingerprint = fingerprintNetwork(Net, Lib);
+    Key.CostIdentity = Raw.identity();
+    Key.SolverFingerprint =
+        fingerprintSolver(SolverBackend.name(), Options.SolverOptions);
+    Timer LookupTimer;
+    if (std::optional<SelectionResult> Hit = Plans->lookup(Key, Net, Lib)) {
+      // The plan is the artifact worth caching; the solve never happened,
+      // so report lookup time, not the original run's timings.
+      Hit->PlanCacheHit = true;
+      Hit->BuildMillis = LookupTimer.millis();
+      Hit->SolveMillis = 0.0;
+      Hit->Cache = Cache ? Cache->stats() : CostCacheStats{};
+      return *Hit;
+    }
+  }
+
   SelectionResult R;
   R.Backend = SolverBackend.name();
 
@@ -53,6 +81,8 @@ SelectionResult Engine::run(const NetworkGraph &Net,
   R.ModelledCostMs = modelPlanCost(R.Plan, Net, Lib, Provider);
   if (Cache)
     R.Cache = Cache->stats();
+  if (Plans)
+    Plans->store(Key, R, Net, Lib);
   return R;
 }
 
@@ -93,6 +123,12 @@ std::unique_ptr<Executor> Engine::instantiate(const NetworkGraph &Net,
                                               unsigned Threads,
                                               uint64_t WeightSeed) const {
   return std::make_unique<Executor>(Net, Plan, Lib, Threads, WeightSeed);
+}
+
+std::unique_ptr<Executor>
+Engine::instantiate(const NetworkGraph &Net, const NetworkPlan &Plan,
+                    const ExecutorOptions &Options) const {
+  return std::make_unique<Executor>(Net, Plan, Lib, Options);
 }
 
 std::string Engine::emitSource(const NetworkGraph &Net,

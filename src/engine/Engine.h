@@ -34,6 +34,7 @@
 #include "codegen/CodeGen.h"
 #include "core/Selector.h"
 #include "core/Strategies.h"
+#include "engine/PlanCache.h"
 #include "pbqp/SolverBackend.h"
 
 #include <memory>
@@ -42,6 +43,7 @@
 namespace primsel {
 
 class Executor;
+struct ExecutorOptions;
 
 /// Configuration of an Engine.
 struct EngineOptions {
@@ -59,6 +61,16 @@ struct EngineOptions {
   /// tolerates concurrent calls: the analytic model does, the measuring
   /// profiler does not -- disable this (or use Threads=1) when profiling.
   bool ParallelPrepopulate = true;
+  /// Memoize whole SelectionResults in a PlanCache (engine/PlanCache.h)
+  /// keyed by (network fingerprint, cost identity, solver fingerprint), so
+  /// repeated optimize() calls over the same problem skip the solve.
+  /// Implied by a non-empty PlanCacheDir.
+  bool CachePlans = false;
+  /// Directory for the persistent plan cache; plans solved here are
+  /// written as text files, and a fresh engine pointed at the same
+  /// directory serves them without solving. Empty = in-memory only (when
+  /// CachePlans is set).
+  std::string PlanCacheDir;
 };
 
 /// The unified optimizer: owns the cost layer and solver backend, serves
@@ -103,6 +115,12 @@ public:
                                         unsigned Threads = 1,
                                         uint64_t WeightSeed = 7) const;
 
+  /// Executor handoff with the full serving configuration (memory-planned
+  /// arena, parallel branches; see runtime/Executor.h).
+  std::unique_ptr<Executor> instantiate(const NetworkGraph &Net,
+                                        const NetworkPlan &Plan,
+                                        const ExecutorOptions &Options) const;
+
   /// CodeGen handoff: render \p Plan as a compilable C++ translation unit.
   std::string emitSource(const NetworkGraph &Net, const NetworkPlan &Plan,
                          const CodeGenOptions &Options = {}) const;
@@ -114,6 +132,16 @@ public:
   /// Cache counters accumulated over this engine's lifetime; null when
   /// caching is disabled.
   const CostCacheStats *cacheStats() const;
+
+  /// The plan cache; null unless CachePlans or PlanCacheDir configured it.
+  PlanCache *planCache() { return Plans.get(); }
+  const PlanCacheStats *planCacheStats() const {
+    return Plans ? &Plans->stats() : nullptr;
+  }
+
+  /// The cache key optimize() uses for \p Net with this engine's solver
+  /// configuration (exposed so tools can inspect/evict entries).
+  PlanKey planKey(const NetworkGraph &Net) const;
 
   const PrimitiveLibrary &library() const { return Lib; }
   const EngineOptions &options() const { return Opts; }
@@ -128,6 +156,7 @@ private:
   std::unique_ptr<CachingCostProvider> Cache; ///< when Opts.CacheCosts
   std::unique_ptr<ThreadPool> Pool;           ///< when Opts.Threads > 1
   std::unique_ptr<pbqp::SolverBackend> Backend;
+  std::unique_ptr<PlanCache> Plans; ///< when Opts.CachePlans/PlanCacheDir
 };
 
 /// One-shot convenience for drivers that run a single query: build an

@@ -1,0 +1,299 @@
+//===- engine/PlanCache.cpp -----------------------------------------------===//
+
+#include "engine/PlanCache.h"
+
+#include "core/Legalizer.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+using namespace primsel;
+
+namespace {
+
+/// FNV-1a, the same stable non-cryptographic hash family the scenario
+/// hasher uses; collisions are harmless (the full key is verified inside
+/// every cache file).
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string hex64(uint64_t H) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+} // namespace
+
+std::string PlanKey::combined() const {
+  return NetworkFingerprint + "|" + CostIdentity + "|" + SolverFingerprint;
+}
+
+std::string PlanKey::fileName() const {
+  return "plan-" + hex64(fnv1a(combined())) + ".txt";
+}
+
+std::string primsel::fingerprintNetwork(const NetworkGraph &Net,
+                                        const PrimitiveLibrary &Lib) {
+  // Structure only: kinds, parameters, edges and scenarios. Node and
+  // network names are presentation, not selection inputs.
+  std::ostringstream OS;
+  OS << "b" << Net.batch() << ";";
+  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
+    const NetworkGraph::Node &Node = Net.node(N);
+    // OutShape matters even off conv nodes: it sizes the edge tensors
+    // whose transform costs the formulation prices, so conv-free networks
+    // differing only in input extent must not share a key.
+    OS << layerKindName(Node.L.Kind) << "," << Node.L.OutChannels << ","
+       << Node.L.KernelSize << "," << Node.L.Stride << "," << Node.L.Pad
+       << "," << Node.L.SparsityPct << ",s" << Node.OutShape.C << "x"
+       << Node.OutShape.H << "x" << Node.OutShape.W << ",[";
+    for (NetworkGraph::NodeId In : Node.Inputs)
+      OS << In << " ";
+    OS << "]";
+    if (Node.L.Kind == LayerKind::Conv)
+      OS << Node.Scenario.key();
+    OS << ";";
+  }
+  // The selection space is also a function of the primitive library.
+  std::ostringstream LS;
+  for (PrimitiveId Id = 0; Id < Lib.size(); ++Id)
+    LS << Lib.get(Id).name() << ";";
+  return "net-" + hex64(fnv1a(OS.str())) + "-lib-" + hex64(fnv1a(LS.str()));
+}
+
+std::string primsel::fingerprintSolver(const std::string &Backend,
+                                       const pbqp::BackendOptions &Options) {
+  std::ostringstream OS;
+  OS << Backend << ":core" << Options.Reduction.MaxCoreEnumeration
+     << (Options.Reduction.DisableCoreEnumeration ? ":nocore" : "")
+     << ":visits" << Options.BranchBound.MaxVisits << ":brute"
+     << Options.MaxBruteForceAssignments;
+  return OS.str();
+}
+
+PlanCache::PlanCache(std::string Directory) : Dir(std::move(Directory)) {}
+
+std::string PlanCache::serialize(const PlanKey &Key, const SelectionResult &R,
+                                 const NetworkGraph &Net,
+                                 const PrimitiveLibrary &Lib) {
+  std::ostringstream OS;
+  // max_digits10 so the modelled cost round-trips bit-exactly.
+  OS.precision(17);
+  OS << "primsel-plan v1\n";
+  OS << "key " << Key.combined() << "\n";
+  OS << "backend " << R.Backend << "\n";
+  OS << "optimal " << (R.Solver.ProvablyOptimal ? 1 : 0) << "\n";
+  OS << "modelledcost " << R.ModelledCostMs << "\n";
+  OS << "pbqpsize " << R.NumNodes << " " << R.NumEdges << "\n";
+  OS << "numnodes " << Net.numNodes() << "\n";
+  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N)
+    OS << "layout " << N << " " << layoutName(R.Plan.InLayout[N]) << " "
+       << layoutName(R.Plan.OutLayout[N]) << "\n";
+  // Primitives by name, CostDatabase-style, so entries survive library
+  // reorderings.
+  for (NetworkGraph::NodeId N : Net.convNodes())
+    OS << "conv " << N << " " << Lib.get(R.Plan.ConvPrim[N]).name() << "\n";
+  for (const auto &[Edge, Chain] : R.Plan.Chains) {
+    OS << "chain " << Edge.first << " " << Edge.second << " "
+       << Chain.size();
+    for (Layout L : Chain)
+      OS << " " << layoutName(L);
+    OS << "\n";
+  }
+  OS << "end\n";
+  return OS.str();
+}
+
+std::optional<SelectionResult>
+PlanCache::deserialize(const std::string &Text, const PlanKey &Key,
+                       const NetworkGraph &Net, const PrimitiveLibrary &Lib) {
+  std::istringstream In(Text);
+  std::string Line;
+  if (!std::getline(In, Line) || Line != "primsel-plan v1")
+    return std::nullopt;
+  if (!std::getline(In, Line) || Line != "key " + Key.combined())
+    return std::nullopt;
+
+  SelectionResult R;
+  R.Plan.ConvPrim.assign(Net.numNodes(), std::numeric_limits<uint32_t>::max());
+  R.Plan.OutLayout.assign(Net.numNodes(), Layout::CHW);
+  R.Plan.InLayout.assign(Net.numNodes(), Layout::CHW);
+  std::vector<bool> LayoutSeen(Net.numNodes(), false);
+  bool SawEnd = false, SawCount = false;
+
+  while (std::getline(In, Line)) {
+    std::istringstream LS(Line);
+    std::string Kind;
+    if (!(LS >> Kind))
+      return std::nullopt; // blank line = tampering/truncation
+    if (Kind == "end") {
+      SawEnd = true;
+      break;
+    } else if (Kind == "backend") {
+      if (!(LS >> R.Backend))
+        return std::nullopt;
+    } else if (Kind == "optimal") {
+      int Opt;
+      if (!(LS >> Opt))
+        return std::nullopt;
+      R.Solver.ProvablyOptimal = Opt != 0;
+    } else if (Kind == "modelledcost") {
+      if (!(LS >> R.ModelledCostMs))
+        return std::nullopt;
+    } else if (Kind == "pbqpsize") {
+      if (!(LS >> R.NumNodes >> R.NumEdges))
+        return std::nullopt;
+    } else if (Kind == "numnodes") {
+      unsigned Count;
+      if (!(LS >> Count) || Count != Net.numNodes())
+        return std::nullopt;
+      SawCount = true;
+    } else if (Kind == "layout") {
+      NetworkGraph::NodeId N;
+      std::string InName, OutName;
+      if (!(LS >> N >> InName >> OutName) || N >= Net.numNodes())
+        return std::nullopt;
+      std::optional<Layout> InL = parseLayout(InName);
+      std::optional<Layout> OutL = parseLayout(OutName);
+      if (!InL || !OutL)
+        return std::nullopt;
+      R.Plan.InLayout[N] = *InL;
+      R.Plan.OutLayout[N] = *OutL;
+      LayoutSeen[N] = true;
+    } else if (Kind == "conv") {
+      NetworkGraph::NodeId N;
+      std::string PrimName;
+      if (!(LS >> N >> PrimName) || N >= Net.numNodes() ||
+          Net.node(N).L.Kind != LayerKind::Conv)
+        return std::nullopt;
+      std::optional<PrimitiveId> Id = Lib.findByName(PrimName);
+      if (!Id)
+        return std::nullopt; // plan references a primitive we do not have
+      R.Plan.ConvPrim[N] = *Id;
+    } else if (Kind == "chain") {
+      NetworkGraph::NodeId N;
+      unsigned Index;
+      size_t Len;
+      if (!(LS >> N >> Index >> Len) || N >= Net.numNodes() ||
+          Index >= Net.node(N).Inputs.size() || Len < 2 || Len > 64)
+        return std::nullopt;
+      std::vector<Layout> Chain;
+      for (size_t I = 0; I < Len; ++I) {
+        std::string Name;
+        if (!(LS >> Name))
+          return std::nullopt;
+        std::optional<Layout> L = parseLayout(Name);
+        if (!L)
+          return std::nullopt;
+        Chain.push_back(*L);
+      }
+      R.Plan.Chains[{N, Index}] = std::move(Chain);
+    } else {
+      return std::nullopt; // unknown record: not a plan file we wrote
+    }
+  }
+  if (!SawEnd || !SawCount)
+    return std::nullopt;
+  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
+    if (!LayoutSeen[N])
+      return std::nullopt;
+    switch (Net.node(N).L.Kind) {
+    case LayerKind::Conv: {
+      if (R.Plan.ConvPrim[N] == std::numeric_limits<uint32_t>::max())
+        return std::nullopt;
+      // The layouts of a conv node are not free: they are the selected
+      // primitive's, and the executor relies on that. A file whose layouts
+      // drifted from the named primitive (e.g. the primitive's layouts
+      // changed across versions under a stable name) is corrupt.
+      const ConvPrimitive &P = Lib.get(R.Plan.ConvPrim[N]);
+      if (R.Plan.InLayout[N] != P.inputLayout() ||
+          R.Plan.OutLayout[N] != P.outputLayout())
+        return std::nullopt;
+      break;
+    }
+    case LayerKind::Input:
+      // Inputs produce the canonical layout (asserted by the executor).
+      if (R.Plan.OutLayout[N] != Layout::CHW)
+        return std::nullopt;
+      R.Plan.ConvPrim[N] = 0;
+      break;
+    default:
+      // Dummy layers operate in their assigned layout: in == out.
+      if (R.Plan.InLayout[N] != R.Plan.OutLayout[N])
+        return std::nullopt;
+      // ConvPrim is undefined off conv nodes; normalize the sentinel so a
+      // deserialized plan never carries an out-of-range id.
+      R.Plan.ConvPrim[N] = 0;
+      break;
+    }
+  }
+  // Final structural check: a plan that parses but does not satisfy the
+  // legalization invariant would trip the executor's assert later.
+  if (!isLegalized(R.Plan, Net))
+    return std::nullopt;
+  return R;
+}
+
+std::optional<SelectionResult> PlanCache::lookup(const PlanKey &Key,
+                                                 const NetworkGraph &Net,
+                                                 const PrimitiveLibrary &Lib) {
+  ++Stats.Lookups;
+  auto It = Memory.find(Key.combined());
+  if (It != Memory.end()) {
+    ++Stats.MemoryHits;
+    return It->second;
+  }
+  if (!Dir.empty()) {
+    std::ifstream In(Dir + "/" + Key.fileName());
+    if (In) {
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      if (std::optional<SelectionResult> R =
+              deserialize(Buf.str(), Key, Net, Lib)) {
+        ++Stats.DiskHits;
+        Memory.emplace(Key.combined(), *R);
+        return R;
+      }
+      ++Stats.CorruptFiles;
+    }
+  }
+  ++Stats.Misses;
+  return std::nullopt;
+}
+
+void PlanCache::store(const PlanKey &Key, const SelectionResult &R,
+                      const NetworkGraph &Net, const PrimitiveLibrary &Lib) {
+  ++Stats.Stores;
+  Memory[Key.combined()] = R;
+  if (Dir.empty())
+    return;
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  std::string Path = Dir + "/" + Key.fileName();
+  // Write-then-rename so a concurrent reader never sees a half-written
+  // plan (it would be rejected as corrupt, but why make it).
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp);
+    if (!Out || !(Out << serialize(Key, R, Net, Lib))) {
+      ++Stats.StoreFailures;
+      return;
+    }
+  }
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC) {
+    ++Stats.StoreFailures;
+    std::filesystem::remove(Tmp, EC);
+  }
+}

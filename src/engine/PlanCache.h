@@ -1,0 +1,126 @@
+//===- engine/PlanCache.h - Persistent selection-plan cache -----*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer's answer to "why solve the same PBQP query twice?".
+/// The paper already argues the cost tables are cheap enough to ship with
+/// the model (§4); the *plan* derived from them is smaller still -- one
+/// primitive name per conv layer plus the legalization chains -- so a
+/// served model should pay the cost gathering and the solve exactly once
+/// per (network, machine, solver) triple, ever.
+///
+/// PlanCache memoizes SelectionResults under a key composed of
+///  - the network fingerprint: a structural hash of the layer graph
+///    (kinds, parameters, edges, scenarios) plus the primitive library's
+///    name set -- deliberately independent of network/layer *names* so two
+///    identically-shaped networks share a plan;
+///  - the cost identity (CostProvider::identity() -- the machine profile);
+///  - the solver fingerprint (backend name plus its option knobs).
+///
+/// Entries live in memory and, when a cache directory is configured, as
+/// one small line-oriented text file each (the CostDatabase on-disk style:
+/// human-readable, keyed by primitive *names* so files survive library
+/// reorderings). A fresh process pointed at the directory skips the PBQP
+/// solve entirely. Any malformed, truncated or mismatched file is counted
+/// and treated as a miss -- the engine then falls back to a fresh solve
+/// and overwrites the bad entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_ENGINE_PLANCACHE_H
+#define PRIMSEL_ENGINE_PLANCACHE_H
+
+#include "core/Selector.h"
+#include "pbqp/SolverBackend.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace primsel {
+
+/// Counters of a PlanCache's lifetime activity.
+struct PlanCacheStats {
+  uint64_t Lookups = 0;
+  uint64_t MemoryHits = 0;
+  uint64_t DiskHits = 0;      ///< loaded from a cache file
+  uint64_t Misses = 0;        ///< no entry anywhere
+  uint64_t CorruptFiles = 0;  ///< file present but rejected
+  uint64_t Stores = 0;
+  uint64_t StoreFailures = 0; ///< disk write failed (entry still in memory)
+
+  uint64_t hits() const { return MemoryHits + DiskHits; }
+};
+
+/// The composite lookup key. All three components are stable text.
+struct PlanKey {
+  std::string NetworkFingerprint;
+  std::string CostIdentity;
+  std::string SolverFingerprint;
+
+  /// The canonical one-line form stored in cache files and used as the
+  /// in-memory map key.
+  std::string combined() const;
+  /// "plan-<16 hex digits>.txt", a hash of combined().
+  std::string fileName() const;
+};
+
+/// Structural fingerprint of \p Net as optimized over \p Lib: layer kinds,
+/// parameters, conv scenarios, edges, batch size, and the library's
+/// primitive-name set. Node and network names do not participate.
+std::string fingerprintNetwork(const NetworkGraph &Net,
+                               const PrimitiveLibrary &Lib);
+
+/// Fingerprint of a solver configuration: backend name + every knob that
+/// can change the returned plan.
+std::string fingerprintSolver(const std::string &Backend,
+                              const pbqp::BackendOptions &Options);
+
+/// Memoizes legalized selection plans, optionally persisted to a
+/// directory of text files.
+class PlanCache {
+public:
+  /// \p Directory empty = in-memory only. The directory is created on the
+  /// first store if it does not exist.
+  explicit PlanCache(std::string Directory = "");
+
+  /// The cached result for \p Key, checking memory first, then the cache
+  /// directory. \p Net and \p Lib are needed to validate and resolve the
+  /// on-disk form (primitive names -> ids); a file that fails validation
+  /// is counted in CorruptFiles and reported as a miss.
+  std::optional<SelectionResult> lookup(const PlanKey &Key,
+                                        const NetworkGraph &Net,
+                                        const PrimitiveLibrary &Lib);
+
+  /// Memoize \p R under \p Key and, when a directory is configured, write
+  /// the cache file (failures are counted, not fatal).
+  void store(const PlanKey &Key, const SelectionResult &R,
+             const NetworkGraph &Net, const PrimitiveLibrary &Lib);
+
+  const PlanCacheStats &stats() const { return Stats; }
+  size_t memoryEntries() const { return Memory.size(); }
+  const std::string &directory() const { return Dir; }
+
+  /// Serialize \p R for \p Net to the cache text format (exposed for
+  /// tests and external tooling).
+  static std::string serialize(const PlanKey &Key, const SelectionResult &R,
+                               const NetworkGraph &Net,
+                               const PrimitiveLibrary &Lib);
+  /// Inverse of serialize(); std::nullopt on any validation failure.
+  static std::optional<SelectionResult>
+  deserialize(const std::string &Text, const PlanKey &Key,
+              const NetworkGraph &Net, const PrimitiveLibrary &Lib);
+
+private:
+  std::string Dir;
+  std::map<std::string, SelectionResult> Memory;
+  PlanCacheStats Stats;
+};
+
+} // namespace primsel
+
+#endif // PRIMSEL_ENGINE_PLANCACHE_H

@@ -15,21 +15,35 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <mutex>
 
 using namespace primsel;
 
 Executor::Executor(const NetworkGraph &Net, const NetworkPlan &PlanIn,
                    const PrimitiveLibrary &Lib, unsigned Threads,
                    uint64_t WeightSeed)
+    : Executor(Net, PlanIn, Lib, [&] {
+        ExecutorOptions O;
+        O.Threads = Threads;
+        O.WeightSeed = WeightSeed;
+        return O;
+      }()) {}
+
+Executor::Executor(const NetworkGraph &Net, const NetworkPlan &PlanIn,
+                   const PrimitiveLibrary &Lib,
+                   const ExecutorOptions &Options)
     : Net(Net), Plan(PlanIn), Lib(Lib),
-      Program(ExecutionPlan::compile(Net, PlanIn, Lib)) {
+      Program(ExecutionPlan::compile(Net, PlanIn, Lib)), Opts(Options),
+      MPlan(planMemory(Net, PlanIn, Program)) {
   assert(isLegalized(Plan, Net) && "executor requires a legalized plan");
-  if (Threads > 1)
-    Pool = std::make_unique<ThreadPool>(Threads);
+  if (Opts.Threads > 1)
+    Pool = std::make_unique<ThreadPool>(Opts.Threads);
+  if (Opts.UseArena)
+    Arena.reset(MPlan.ArenaFloats);
 
   Instances.resize(Net.numNodes());
   FcWeights.resize(Net.numNodes());
-  NodeOutputs.resize(Net.numNodes());
+  Values.resize(MPlan.Values.size());
 
   for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
     const NetworkGraph::Node &Node = Net.node(N);
@@ -38,14 +52,15 @@ Executor::Executor(const NetworkGraph &Net, const NetworkPlan &PlanIn,
       Kernel4D Weights(S.M, S.C, S.K);
       // Deterministic per-node weights so any two plans over the same
       // network compute the same function.
-      Weights.fillRandom(WeightSeed + N);
-      Weights.applySparsity(S.SparsityPct, WeightSeed + N + 1);
+      Weights.fillRandom(Opts.WeightSeed + N);
+      Weights.applySparsity(S.SparsityPct, Opts.WeightSeed + N + 1);
       Instances[N] = Lib.get(Plan.ConvPrim[N]).instantiate(S, Weights);
     } else if (Node.L.Kind == LayerKind::FullyConnected) {
       const TensorShape &In = Net.node(Node.Inputs[0]).OutShape;
       size_t Flat = static_cast<size_t>(In.elements());
       FcWeights[N].reset(static_cast<size_t>(Node.L.OutChannels) * Flat);
-      fillRandom(FcWeights[N].data(), FcWeights[N].size(), WeightSeed + N);
+      fillRandom(FcWeights[N].data(), FcWeights[N].size(),
+                 Opts.WeightSeed + N);
       // Scale down so deep nets do not overflow float range.
       float Scale = 1.0f / std::sqrt(static_cast<float>(Flat));
       for (size_t I = 0; I < FcWeights[N].size(); ++I)
@@ -57,31 +72,45 @@ Executor::Executor(const NetworkGraph &Net, const NetworkPlan &PlanIn,
 Executor::~Executor() = default;
 
 const Tensor3D &Executor::outputOf(NetworkGraph::NodeId N) const {
-  return NodeOutputs[N];
+  assert((!Opts.UseArena ||
+          !MPlan.Values[MPlan.NodeValue[N]].inArena()) &&
+         "arena mode recycles non-output intermediates; outputOf is only "
+         "valid for network outputs");
+  return Values[MPlan.NodeValue[N]];
 }
 
 const Tensor3D &Executor::networkOutput() const {
   std::vector<NetworkGraph::NodeId> Outs = Net.outputs();
   assert(!Outs.empty() && "network without outputs");
-  return NodeOutputs[Outs.front()];
+  return outputOf(Outs.front());
+}
+
+size_t Executor::peakIntermediateBytes() const {
+  return Opts.UseArena ? arenaBytes() + MPlan.persistentBytes()
+                       : MPlan.BaselineBytes;
+}
+
+/// The tensor for value \p V: a view into the arena slot when the value is
+/// packed, a fresh owned allocation otherwise.
+Tensor3D Executor::makeValueTensor(ValueId V) {
+  const ValueInfo &VI = MPlan.Values[V];
+  if (Opts.UseArena && VI.inArena())
+    return Tensor3D(VI.Shape.C, VI.Shape.H, VI.Shape.W, VI.L,
+                    Arena.data() + VI.ArenaOffset);
+  return Tensor3D(VI.Shape.C, VI.Shape.H, VI.Shape.W, VI.L);
 }
 
 /// The tensor feeding input \p Index of \p Consumer, after any conversion
 /// chain.
 const Tensor3D &Executor::inputTensor(NetworkGraph::NodeId Consumer,
                                       unsigned Index) {
-  auto It = EdgeTensors.find({Consumer, Index});
-  if (It != EdgeTensors.end())
-    return It->second;
-  return NodeOutputs[Net.node(Consumer).Inputs[Index]];
+  return Values[MPlan.inputValue(Net, Consumer, Index)];
 }
 
 void Executor::runDummy(const NetworkGraph::Node &Node,
-                        NetworkGraph::NodeId N) {
+                        NetworkGraph::NodeId N, Tensor3D &Out,
+                        ThreadPool *PrimPool) {
   const Tensor3D &In = inputTensor(N, 0);
-  Layout L = Plan.OutLayout[N];
-  const TensorShape &Shape = Node.OutShape;
-  Tensor3D Out(Shape.C, Shape.H, Shape.W, L);
 
   switch (Node.L.Kind) {
   case LayerKind::ReLU:
@@ -109,75 +138,92 @@ void Executor::runDummy(const NetworkGraph::Node &Node,
     break;
   }
   case LayerKind::FullyConnected:
-    fullyConnectedOp(FcWeights[N].data(), In, Out, Pool.get());
+    fullyConnectedOp(FcWeights[N].data(), In, Out, PrimPool);
     break;
   case LayerKind::Input:
   case LayerKind::Conv:
     assert(false && "not a dummy layer");
     break;
   }
-  NodeOutputs[N] = std::move(Out);
+}
+
+void Executor::executeStep(unsigned StepIndex, const Tensor3D &Input,
+                           RunResult &R, ThreadPool *PrimPool) {
+  const ExecStep &Step = Program.steps()[StepIndex];
+  const NetworkGraph::Node &Node = Net.node(Step.Node);
+  switch (Step.K) {
+  case ExecStep::Kind::Input: {
+    assert(Input.layout() == Plan.OutLayout[Step.Node] &&
+           "network input must arrive in the canonical layout");
+    assert(Input.channels() == Node.OutShape.C &&
+           Input.height() == Node.OutShape.H &&
+           Input.width() == Node.OutShape.W && "input shape mismatch");
+    Tensor3D Copy = makeValueTensor(MPlan.Produced[StepIndex]);
+    std::memcpy(Copy.data(), Input.data(),
+                static_cast<size_t>(Input.size()) * sizeof(float));
+    Values[MPlan.Produced[StepIndex]] = std::move(Copy);
+    break;
+  }
+
+  case ExecStep::Kind::Transform: {
+    const Tensor3D &Src = Values[MPlan.TransformSrc[StepIndex]];
+    assert(Src.layout() == Step.From && "chain out of sync");
+    Tensor3D Dst = makeValueTensor(MPlan.Produced[StepIndex]);
+    Timer T;
+    runTransform(Src, Dst);
+    R.TransformMillis += T.millis();
+    Values[MPlan.Produced[StepIndex]] = std::move(Dst);
+    break;
+  }
+
+  case ExecStep::Kind::Conv: {
+    const Tensor3D &In = inputTensor(Step.Node, 0);
+    Tensor3D Out = makeValueTensor(MPlan.Produced[StepIndex]);
+    RunContext Ctx{PrimPool};
+    Timer T;
+    Instances[Step.Node]->run(In, Out, Ctx);
+    R.ConvMillis += T.millis();
+    Values[MPlan.Produced[StepIndex]] = std::move(Out);
+    break;
+  }
+
+  case ExecStep::Kind::Dummy: {
+    Tensor3D Out = makeValueTensor(MPlan.Produced[StepIndex]);
+    Timer T;
+    runDummy(Node, Step.Node, Out, PrimPool);
+    R.OtherMillis += T.millis();
+    Values[MPlan.Produced[StepIndex]] = std::move(Out);
+    break;
+  }
+  }
 }
 
 RunResult Executor::run(const Tensor3D &Input) {
   RunResult R;
-  EdgeTensors.clear();
   Timer Total;
 
-  for (const ExecStep &Step : Program.steps()) {
-    const NetworkGraph::Node &Node = Net.node(Step.Node);
-    switch (Step.K) {
-    case ExecStep::Kind::Input: {
-      assert(Input.layout() == Plan.OutLayout[Step.Node] &&
-             "network input must arrive in the canonical layout");
-      assert(Input.channels() == Node.OutShape.C &&
-             Input.height() == Node.OutShape.H &&
-             Input.width() == Node.OutShape.W && "input shape mismatch");
-      Tensor3D Copy(Input.channels(), Input.height(), Input.width(),
-                    Input.layout());
-      std::memcpy(Copy.data(), Input.data(),
-                  static_cast<size_t>(Input.size()) * sizeof(float));
-      NodeOutputs[Step.Node] = std::move(Copy);
-      break;
-    }
-
-    case ExecStep::Kind::Transform: {
-      // First hop reads the producer's output; later hops read the edge's
-      // running tensor.
-      EdgeKey Key{Step.Node, Step.InputIndex};
-      const Tensor3D *Src;
-      auto It = EdgeTensors.find(Key);
-      if (It != EdgeTensors.end())
-        Src = &It->second;
-      else
-        Src = &NodeOutputs[Node.Inputs[Step.InputIndex]];
-      assert(Src->layout() == Step.From && "chain out of sync");
-      Timer T;
-      Tensor3D Dst = convertToLayout(*Src, Step.To);
-      R.TransformMillis += T.millis();
-      EdgeTensors[Key] = std::move(Dst);
-      break;
-    }
-
-    case ExecStep::Kind::Conv: {
-      const Tensor3D &In = inputTensor(Step.Node, 0);
-      const ConvScenario &S = Node.Scenario;
-      Tensor3D Out(S.M, S.outHeight(), S.outWidth(),
-                   Plan.OutLayout[Step.Node]);
-      RunContext Ctx{Pool.get()};
-      Timer T;
-      Instances[Step.Node]->run(In, Out, Ctx);
-      R.ConvMillis += T.millis();
-      NodeOutputs[Step.Node] = std::move(Out);
-      break;
-    }
-
-    case ExecStep::Kind::Dummy: {
-      Timer T;
-      runDummy(Node, Step.Node);
-      R.OtherMillis += T.millis();
-      break;
-    }
+  // Levels in order; a level's steps only read values defined in earlier
+  // levels, so within a level any order -- including concurrent -- is
+  // valid, and the arena packing (level-granular lifetimes) stays sound.
+  bool Parallel = Opts.ParallelBranches && Pool && Pool->numThreads() > 1;
+  ThreadPool *PrimPool = Parallel ? nullptr : Pool.get();
+  if (!Parallel) {
+    for (const std::vector<unsigned> &Level : MPlan.Levels)
+      for (unsigned StepIndex : Level)
+        executeStep(StepIndex, Input, R, PrimPool);
+  } else {
+    std::mutex Merge;
+    for (const std::vector<unsigned> &Level : MPlan.Levels) {
+      Pool->parallelFor(0, static_cast<int64_t>(Level.size()),
+                        [&](int64_t I) {
+                          RunResult Local;
+                          executeStep(Level[static_cast<size_t>(I)], Input,
+                                      Local, nullptr);
+                          std::lock_guard<std::mutex> Lock(Merge);
+                          R.ConvMillis += Local.ConvMillis;
+                          R.TransformMillis += Local.TransformMillis;
+                          R.OtherMillis += Local.OtherMillis;
+                        });
     }
   }
   R.TotalMillis = Total.millis();

@@ -13,6 +13,17 @@
 /// is how whole-network correctness is verified (a PBQP-instantiated
 /// network must produce the sum2d network's output).
 ///
+/// The executor always runs the MemoryPlanner's level schedule (levels in
+/// order; steps within a level are independent). Two serving-oriented
+/// options build on that:
+///  - UseArena: intermediates live in one packed, reused arena instead of
+///    per-layer allocations (see runtime/MemoryPlanner.h);
+///  - ParallelBranches: steps within a level run concurrently on the
+///    thread pool (GoogLeNet's inception towers), with primitives then
+///    running single-threaded to keep the pool single-purpose.
+/// Both options leave the computed outputs bit-identical to the plain
+/// configuration.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PRIMSEL_RUNTIME_EXECUTOR_H
@@ -20,6 +31,7 @@
 
 #include "core/Plan.h"
 #include "runtime/ExecutionPlan.h"
+#include "runtime/MemoryPlanner.h"
 #include "support/AlignedBuffer.h"
 #include "support/ThreadPool.h"
 #include "tensor/Tensor.h"
@@ -37,9 +49,28 @@ struct RunResult {
   double OtherMillis = 0.0; ///< dummy layers
 };
 
+/// Configuration of an Executor.
+struct ExecutorOptions {
+  /// Pool width. 1 reproduces the paper's single-threaded rows. With
+  /// ParallelBranches off, the pool parallelizes within each primitive;
+  /// with it on, the pool runs independent steps of a level concurrently
+  /// and primitives execute single-threaded.
+  unsigned Threads = 1;
+  /// Seed for the deterministic per-layer weights.
+  uint64_t WeightSeed = 7;
+  /// Back intermediate tensors with the memory-planned arena instead of
+  /// per-layer allocations. Network outputs stay individually allocated
+  /// (they must survive the run); outputOf() on non-output nodes is not
+  /// available in this mode because their bytes are recycled.
+  bool UseArena = false;
+  /// Run independent steps of each dependence level concurrently.
+  /// Effective when Threads > 1.
+  bool ParallelBranches = false;
+};
+
 /// Interprets an ExecutionPlan. Construction performs all setup-time work
-/// (weight generation and primitive instantiation/packing); run() performs
-/// and times one forward pass.
+/// (weight generation, primitive instantiation/packing, memory planning and
+/// arena allocation); run() performs and times one forward pass.
 class Executor {
 public:
   /// \param Threads 1 reproduces the paper's single-threaded rows; more
@@ -47,37 +78,56 @@ public:
   Executor(const NetworkGraph &Net, const NetworkPlan &Plan,
            const PrimitiveLibrary &Lib, unsigned Threads = 1,
            uint64_t WeightSeed = 7);
+  Executor(const NetworkGraph &Net, const NetworkPlan &Plan,
+           const PrimitiveLibrary &Lib, const ExecutorOptions &Options);
   ~Executor();
 
   /// One forward pass. \p Input must be CHW with the input layer's shape.
   RunResult run(const Tensor3D &Input);
 
-  /// Output tensor of node \p N from the most recent run().
+  /// Output tensor of node \p N from the most recent run(). In arena mode,
+  /// only valid for network outputs (asserted): other nodes' bytes are
+  /// recycled during the pass.
   const Tensor3D &outputOf(NetworkGraph::NodeId N) const;
 
   /// Output tensor of the network's (first) output node.
   const Tensor3D &networkOutput() const;
 
   const ExecutionPlan &plan() const { return Program; }
+  const MemoryPlan &memoryPlan() const { return MPlan; }
+  const ExecutorOptions &options() const { return Opts; }
+
+  /// Bytes of the arena backing intermediates (0 when UseArena is off).
+  size_t arenaBytes() const { return Arena.size() * sizeof(float); }
+  /// Peak intermediate footprint of this configuration: the arena extent
+  /// plus persistent outputs in arena mode, every value's allocation
+  /// otherwise.
+  size_t peakIntermediateBytes() const;
 
 private:
-  void runDummy(const NetworkGraph::Node &Node, NetworkGraph::NodeId N);
+  void executeStep(unsigned StepIndex, const Tensor3D &Input, RunResult &R,
+                   ThreadPool *PrimPool);
+  void runDummy(const NetworkGraph::Node &Node, NetworkGraph::NodeId N,
+                Tensor3D &Out, ThreadPool *PrimPool);
+  Tensor3D makeValueTensor(ValueId V);
   const Tensor3D &inputTensor(NetworkGraph::NodeId Consumer, unsigned Index);
 
   const NetworkGraph &Net;
   NetworkPlan Plan;
   const PrimitiveLibrary &Lib;
   ExecutionPlan Program;
+  ExecutorOptions Opts;
+  MemoryPlan MPlan;
   std::unique_ptr<ThreadPool> Pool;
 
   /// Conv instances, indexed by node.
   std::vector<std::unique_ptr<ConvInstance>> Instances;
   /// Fully-connected weights, indexed by node.
   std::vector<AlignedBuffer> FcWeights;
-  /// Per-run tensors, indexed by node.
-  std::vector<Tensor3D> NodeOutputs;
-  /// Converted edge tensors from the current run, keyed like Plan.Chains.
-  std::map<EdgeKey, Tensor3D> EdgeTensors;
+  /// Backing storage for arena-packed values (UseArena only).
+  AlignedBuffer Arena;
+  /// Per-run tensors, indexed by ValueId (node outputs and chain hops).
+  std::vector<Tensor3D> Values;
 };
 
 } // namespace primsel

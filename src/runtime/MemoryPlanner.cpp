@@ -1,0 +1,235 @@
+//===- runtime/MemoryPlanner.cpp ------------------------------------------===//
+
+#include "runtime/MemoryPlanner.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace primsel;
+
+namespace {
+
+/// Slot granularity: 16 floats = 64 bytes, the AlignedBuffer alignment, so
+/// every arena slot starts on a cache line.
+constexpr size_t SlotAlignFloats = 16;
+
+size_t alignFloats(size_t Floats) {
+  return (Floats + SlotAlignFloats - 1) / SlotAlignFloats * SlotAlignFloats;
+}
+
+/// Best-fit free-list over one growing arena of floats.
+class ArenaAllocator {
+public:
+  size_t allocate(size_t Floats) {
+    // Best fit: the smallest hole that accommodates the request, so big
+    // holes survive for big later tensors.
+    size_t Best = Holes.size();
+    for (size_t I = 0; I < Holes.size(); ++I)
+      if (Holes[I].Size >= Floats &&
+          (Best == Holes.size() || Holes[I].Size < Holes[Best].Size))
+        Best = I;
+    if (Best != Holes.size()) {
+      size_t Offset = Holes[Best].Offset;
+      Holes[Best].Offset += Floats;
+      Holes[Best].Size -= Floats;
+      if (Holes[Best].Size == 0)
+        Holes.erase(Holes.begin() + static_cast<ptrdiff_t>(Best));
+      return Offset;
+    }
+    size_t Offset = End;
+    End += Floats;
+    return Offset;
+  }
+
+  void free(size_t Offset, size_t Floats) {
+    // Keep holes sorted by offset and coalesce with both neighbours.
+    Hole H{Offset, Floats};
+    auto It = std::lower_bound(
+        Holes.begin(), Holes.end(), H,
+        [](const Hole &A, const Hole &B) { return A.Offset < B.Offset; });
+    It = Holes.insert(It, H);
+    if (It + 1 != Holes.end() && It->Offset + It->Size == (It + 1)->Offset) {
+      It->Size += (It + 1)->Size;
+      Holes.erase(It + 1);
+    }
+    if (It != Holes.begin() && (It - 1)->Offset + (It - 1)->Size == It->Offset) {
+      (It - 1)->Size += It->Size;
+      Holes.erase(It);
+    }
+  }
+
+  size_t extent() const { return End; }
+
+private:
+  struct Hole {
+    size_t Offset;
+    size_t Size;
+  };
+  std::vector<Hole> Holes;
+  size_t End = 0;
+};
+
+} // namespace
+
+size_t MemoryPlan::persistentBytes() const {
+  size_t Bytes = 0;
+  for (const ValueInfo &V : Values)
+    if (!V.inArena())
+      Bytes += alignFloats(V.Floats) * sizeof(float);
+  return Bytes;
+}
+
+ValueId MemoryPlan::inputValue(const NetworkGraph &Net,
+                               NetworkGraph::NodeId Consumer,
+                               unsigned Index) const {
+  auto It = EdgeValue.find({Consumer, Index});
+  if (It != EdgeValue.end())
+    return It->second;
+  return NodeValue[Net.node(Consumer).Inputs[Index]];
+}
+
+MemoryPlan primsel::planMemory(const NetworkGraph &Net,
+                               const NetworkPlan &Plan,
+                               const ExecutionPlan &Program) {
+  const std::vector<ExecStep> &Steps = Program.steps();
+  MemoryPlan MP;
+  MP.Produced.resize(Steps.size());
+  MP.TransformSrc.assign(Steps.size(), 0);
+  MP.StepLevel.assign(Steps.size(), 0);
+  MP.NodeValue.assign(Net.numNodes(), 0);
+
+  // Pass 1: assign one value per step, resolve each step's read set, and
+  // compute dependence levels (longest path over value definitions).
+  std::vector<unsigned> DefStep; // value -> defining step
+  auto defineValue = [&](unsigned Step, const TensorShape &Shape, Layout L) {
+    ValueInfo V;
+    V.Shape = Shape;
+    V.L = L;
+    V.Floats = static_cast<size_t>(Shape.elements());
+    MP.Values.push_back(V);
+    DefStep.push_back(Step);
+    ValueId Id = static_cast<ValueId>(MP.Values.size() - 1);
+    MP.Produced[Step] = Id;
+    return Id;
+  };
+
+  // Running last value per legalized edge while its hop steps stream by.
+  std::map<EdgeKey, ValueId> RunningEdge;
+  for (unsigned S = 0; S < Steps.size(); ++S) {
+    const ExecStep &Step = Steps[S];
+    const NetworkGraph::Node &Node = Net.node(Step.Node);
+    std::vector<ValueId> Reads;
+    switch (Step.K) {
+    case ExecStep::Kind::Input: {
+      MP.NodeValue[Step.Node] =
+          defineValue(S, Node.OutShape, Plan.OutLayout[Step.Node]);
+      break;
+    }
+    case ExecStep::Kind::Transform: {
+      EdgeKey Key{Step.Node, Step.InputIndex};
+      auto It = RunningEdge.find(Key);
+      ValueId Src = It != RunningEdge.end()
+                        ? It->second
+                        : MP.NodeValue[Node.Inputs[Step.InputIndex]];
+      MP.TransformSrc[S] = Src;
+      Reads.push_back(Src);
+      const TensorShape &Shape =
+          Net.node(Node.Inputs[Step.InputIndex]).OutShape;
+      ValueId Dst = defineValue(S, Shape, Step.To);
+      RunningEdge[Key] = Dst;
+      MP.EdgeValue[Key] = Dst; // last hop wins
+      break;
+    }
+    case ExecStep::Kind::Conv:
+    case ExecStep::Kind::Dummy: {
+      for (unsigned I = 0; I < Node.Inputs.size(); ++I) {
+        auto It = MP.EdgeValue.find({Step.Node, I});
+        Reads.push_back(It != MP.EdgeValue.end()
+                            ? It->second
+                            : MP.NodeValue[Node.Inputs[I]]);
+      }
+      MP.NodeValue[Step.Node] =
+          defineValue(S, Node.OutShape, Plan.OutLayout[Step.Node]);
+      break;
+    }
+    }
+
+    unsigned Level = 0;
+    for (ValueId V : Reads)
+      Level = std::max(Level, MP.StepLevel[DefStep[V]] + 1);
+    MP.StepLevel[S] = Level;
+    MP.Values[MP.Produced[S]].DefLevel = Level;
+    for (ValueId V : Reads)
+      MP.Values[V].LastUseLevel = std::max(MP.Values[V].LastUseLevel, Level);
+  }
+
+  // Values the caller reads after the run (network outputs) must never be
+  // recycled; give them owned allocations outside the arena.
+  for (NetworkGraph::NodeId N : Net.outputs())
+    MP.Values[MP.NodeValue[N]].LastUseLevel =
+        std::numeric_limits<unsigned>::max();
+
+  // Group steps by level for the executor's schedule.
+  unsigned NumLevels = 0;
+  for (unsigned S = 0; S < Steps.size(); ++S)
+    NumLevels = std::max(NumLevels, MP.StepLevel[S] + 1);
+  MP.Levels.resize(NumLevels);
+  for (unsigned S = 0; S < Steps.size(); ++S)
+    MP.Levels[MP.StepLevel[S]].push_back(S);
+
+  // Pass 2: pack. Walk levels in order; a value whose last use is before
+  // the current level releases its slot before this level's definitions
+  // claim theirs, so lifetimes that overlap (including a consumer and its
+  // inputs, whose last use is >= the consumer's level) never share bytes.
+  std::vector<ValueId> ByDef(MP.Values.size());
+  for (ValueId V = 0; V < MP.Values.size(); ++V)
+    ByDef[V] = V;
+  std::stable_sort(ByDef.begin(), ByDef.end(), [&](ValueId A, ValueId B) {
+    return MP.Values[A].DefLevel < MP.Values[B].DefLevel;
+  });
+  std::vector<ValueId> ByLastUse;
+  for (ValueId V = 0; V < MP.Values.size(); ++V)
+    if (MP.Values[V].LastUseLevel != std::numeric_limits<unsigned>::max())
+      ByLastUse.push_back(V);
+  std::stable_sort(ByLastUse.begin(), ByLastUse.end(),
+                   [&](ValueId A, ValueId B) {
+                     return MP.Values[A].LastUseLevel <
+                            MP.Values[B].LastUseLevel;
+                   });
+
+  ArenaAllocator Arena;
+  size_t LiveBytes = 0;
+  size_t NextDef = 0, NextFree = 0;
+  for (unsigned Level = 0; Level < NumLevels; ++Level) {
+    while (NextFree < ByLastUse.size() &&
+           MP.Values[ByLastUse[NextFree]].LastUseLevel < Level) {
+      ValueInfo &V = MP.Values[ByLastUse[NextFree++]];
+      size_t Slot = alignFloats(V.Floats);
+      Arena.free(V.ArenaOffset, Slot);
+      LiveBytes -= Slot * sizeof(float);
+    }
+    // Biggest-first within the level improves best-fit hole reuse.
+    size_t LevelEnd = NextDef;
+    while (LevelEnd < ByDef.size() &&
+           MP.Values[ByDef[LevelEnd]].DefLevel == Level)
+      ++LevelEnd;
+    std::stable_sort(ByDef.begin() + static_cast<ptrdiff_t>(NextDef),
+                     ByDef.begin() + static_cast<ptrdiff_t>(LevelEnd),
+                     [&](ValueId A, ValueId B) {
+                       return MP.Values[A].Floats > MP.Values[B].Floats;
+                     });
+    for (; NextDef < LevelEnd; ++NextDef) {
+      ValueInfo &V = MP.Values[ByDef[NextDef]];
+      size_t Slot = alignFloats(V.Floats);
+      MP.BaselineBytes += Slot * sizeof(float);
+      if (V.LastUseLevel == std::numeric_limits<unsigned>::max())
+        continue; // persistent: owned allocation, not arena
+      V.ArenaOffset = Arena.allocate(Slot);
+      ++MP.NumArenaValues;
+      LiveBytes += Slot * sizeof(float);
+      MP.PeakLiveBytes = std::max(MP.PeakLiveBytes, LiveBytes);
+    }
+  }
+  MP.ArenaFloats = Arena.extent();
+  return MP;
+}

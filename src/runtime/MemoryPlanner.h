@@ -1,0 +1,120 @@
+//===- runtime/MemoryPlanner.h - Tensor lifetimes and arena packing -*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving-side memory planner. The plain Executor allocates a fresh
+/// tensor for every layer output and every legalization hop and keeps all
+/// of them alive for the whole forward pass, so its peak intermediate
+/// footprint is the *sum* of every tensor in the network. For repeated
+/// inference that is wasted capacity: once a tensor's last consumer has
+/// run, its bytes can back a later tensor.
+///
+/// MemoryPlanner analyzes an ExecutionPlan ahead of time: it identifies
+/// every value a run produces (one per step), schedules the steps into
+/// dependence levels (steps within a level are mutually independent, which
+/// is also what the parallel executor path runs concurrently), computes
+/// each value's [definition level, last-use level] lifetime, and packs
+/// non-persistent values into one reusable arena with a best-fit free-list
+/// so values with disjoint lifetimes share bytes. Network outputs are kept
+/// out of the arena so they remain readable after the run.
+///
+/// Lifetimes are computed at level granularity, which makes the packing
+/// sound for *any* execution order that respects levels -- both the
+/// sequential interpreter (levels in order, steps within a level in plan
+/// order) and the parallel-branch path (steps within a level concurrent).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_RUNTIME_MEMORYPLANNER_H
+#define PRIMSEL_RUNTIME_MEMORYPLANNER_H
+
+#include "core/Plan.h"
+#include "runtime/ExecutionPlan.h"
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace primsel {
+
+/// Dense id of one tensor value produced during a forward pass (a node
+/// output or one hop of a legalization chain).
+using ValueId = uint32_t;
+
+/// One value's placement decision.
+struct ValueInfo {
+  /// Logical shape and layout of the tensor.
+  TensorShape Shape;
+  Layout L = Layout::CHW;
+  /// Elements (Shape.elements()), kept for convenience.
+  size_t Floats = 0;
+  /// Level of the step that defines this value.
+  unsigned DefLevel = 0;
+  /// Last level at which any step reads this value; UINT_MAX for values
+  /// that must survive the run (network outputs).
+  unsigned LastUseLevel = 0;
+  /// Offset (in floats) of this value's slot in the arena, or NotInArena
+  /// for values that get their own owned allocation.
+  size_t ArenaOffset = NotInArena;
+
+  static constexpr size_t NotInArena = std::numeric_limits<size_t>::max();
+
+  bool inArena() const { return ArenaOffset != NotInArena; }
+  size_t bytes() const { return Floats * sizeof(float); }
+};
+
+/// The planner's output: the level schedule, the step/value maps the
+/// executor needs, and the packed arena layout.
+struct MemoryPlan {
+  std::vector<ValueInfo> Values;
+
+  /// Per execution step: the value it defines.
+  std::vector<ValueId> Produced;
+  /// Per execution step: for Transform steps, the value it reads
+  /// (otherwise unused). Conv/Dummy steps read via InputValue.
+  std::vector<ValueId> TransformSrc;
+  /// Per execution step: its dependence level.
+  std::vector<unsigned> StepLevel;
+  /// Step indices grouped by level; steps within one level are mutually
+  /// independent.
+  std::vector<std::vector<unsigned>> Levels;
+
+  /// Per network node: the value holding its final output.
+  std::vector<ValueId> NodeValue;
+  /// For every edge carrying a legalization chain: the value the consumer
+  /// actually reads (the last hop). Edges without chains read the
+  /// producer's NodeValue directly.
+  std::map<EdgeKey, ValueId> EdgeValue;
+
+  /// Total arena extent, in floats (what the executor allocates once).
+  size_t ArenaFloats = 0;
+  /// High-water mark of simultaneously-live arena bytes across levels.
+  size_t PeakLiveBytes = 0;
+  /// What per-layer allocation pays: the sum of every value's bytes, all
+  /// of which the plain executor keeps alive for the whole pass.
+  size_t BaselineBytes = 0;
+  unsigned NumArenaValues = 0;
+
+  /// Arena extent in bytes (peak intermediate footprint of arena mode).
+  size_t arenaBytes() const { return ArenaFloats * sizeof(float); }
+  /// Bytes of values kept outside the arena (network outputs).
+  size_t persistentBytes() const;
+
+  /// The value feeding input \p Index of \p Consumer (last chain hop when
+  /// the edge is legalized, the producer's output otherwise).
+  ValueId inputValue(const NetworkGraph &Net, NetworkGraph::NodeId Consumer,
+                     unsigned Index) const;
+};
+
+/// Compute the level schedule, value lifetimes and arena packing for
+/// \p Program. Pure analysis: no memory is allocated here.
+MemoryPlan planMemory(const NetworkGraph &Net, const NetworkPlan &Plan,
+                      const ExecutionPlan &Program);
+
+} // namespace primsel
+
+#endif // PRIMSEL_RUNTIME_MEMORYPLANNER_H

@@ -26,25 +26,38 @@ static float *allocateAligned(size_t NumFloats) {
 AlignedBuffer::AlignedBuffer(size_t NumFloats)
     : Data(allocateAligned(NumFloats)), Size(NumFloats) {}
 
+AlignedBuffer::AlignedBuffer(float *External, size_t NumFloats)
+    : Data(External), Size(NumFloats), Owned(false) {
+  assert((External || NumFloats == 0) && "borrowing null storage");
+}
+
 AlignedBuffer::AlignedBuffer(AlignedBuffer &&Other) noexcept
     : Data(std::exchange(Other.Data, nullptr)),
-      Size(std::exchange(Other.Size, 0)) {}
+      Size(std::exchange(Other.Size, 0)),
+      Owned(std::exchange(Other.Owned, true)) {}
 
 AlignedBuffer &AlignedBuffer::operator=(AlignedBuffer &&Other) noexcept {
   if (this == &Other)
     return *this;
-  std::free(Data);
+  if (Owned)
+    std::free(Data);
   Data = std::exchange(Other.Data, nullptr);
   Size = std::exchange(Other.Size, 0);
+  Owned = std::exchange(Other.Owned, true);
   return *this;
 }
 
-AlignedBuffer::~AlignedBuffer() { std::free(Data); }
+AlignedBuffer::~AlignedBuffer() {
+  if (Owned)
+    std::free(Data);
+}
 
 void AlignedBuffer::fill(float Value) { std::fill_n(Data, Size, Value); }
 
 void AlignedBuffer::reset(size_t NumFloats) {
-  std::free(Data);
+  if (Owned)
+    std::free(Data);
   Data = allocateAligned(NumFloats);
   Size = NumFloats;
+  Owned = true;
 }

@@ -21,11 +21,17 @@ namespace primsel {
 /// An owning float array aligned to 64 bytes.
 ///
 /// The buffer is movable but not copyable; copies of tensor data are always
-/// explicit in this codebase to keep memory traffic visible.
+/// explicit in this codebase to keep memory traffic visible. A buffer can
+/// alternatively *borrow* externally-owned storage (the memory-planned
+/// executor arena, runtime/MemoryPlanner.h): a borrowed buffer behaves
+/// identically but never frees, and the borrowed storage must outlive it.
 class AlignedBuffer {
 public:
   AlignedBuffer() = default;
   explicit AlignedBuffer(size_t NumFloats);
+  /// Borrow \p NumFloats elements of external storage at \p External. The
+  /// caller retains ownership and must keep the storage alive.
+  AlignedBuffer(float *External, size_t NumFloats);
   AlignedBuffer(AlignedBuffer &&Other) noexcept;
   AlignedBuffer &operator=(AlignedBuffer &&Other) noexcept;
   AlignedBuffer(const AlignedBuffer &) = delete;
@@ -36,6 +42,8 @@ public:
   const float *data() const { return Data; }
   size_t size() const { return Size; }
   bool empty() const { return Size == 0; }
+  /// False when this buffer borrows external storage.
+  bool owned() const { return Owned; }
 
   float &operator[](size_t I) { return Data[I]; }
   float operator[](size_t I) const { return Data[I]; }
@@ -43,13 +51,15 @@ public:
   /// Set every element to \p Value.
   void fill(float Value);
 
-  /// Drop the current contents and reallocate for \p NumFloats elements.
+  /// Drop the current contents (releasing borrowed storage back to its
+  /// owner without freeing it) and reallocate \p NumFloats owned elements.
   /// Contents after resize are unspecified.
   void reset(size_t NumFloats);
 
 private:
   float *Data = nullptr;
   size_t Size = 0;
+  bool Owned = true;
 };
 
 } // namespace primsel

@@ -14,6 +14,12 @@ Tensor3D::Tensor3D(int64_t C, int64_t H, int64_t W, Layout L)
   assert(C > 0 && H > 0 && W > 0 && "tensor dimensions must be positive");
 }
 
+Tensor3D::Tensor3D(int64_t C, int64_t H, int64_t W, Layout L, float *External)
+    : C(C), H(H), W(W), Lay(L), Strides(layoutStrides(L, C, H, W)),
+      Buf(External, static_cast<size_t>(C * H * W)) {
+  assert(C > 0 && H > 0 && W > 0 && "tensor dimensions must be positive");
+}
+
 void Tensor3D::fillRandom(uint64_t Seed) {
   primsel::fillRandom(Buf.data(), Buf.size(), Seed);
 }

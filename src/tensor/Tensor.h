@@ -30,6 +30,10 @@ class Tensor3D {
 public:
   Tensor3D() = default;
   Tensor3D(int64_t C, int64_t H, int64_t W, Layout L);
+  /// A tensor viewing \p External storage of at least C*H*W floats (e.g. a
+  /// slot of the memory-planned executor arena). The storage is borrowed,
+  /// not owned, and must outlive the tensor.
+  Tensor3D(int64_t C, int64_t H, int64_t W, Layout L, float *External);
 
   int64_t channels() const { return C; }
   int64_t height() const { return H; }

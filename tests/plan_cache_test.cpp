@@ -1,0 +1,328 @@
+//===- tests/plan_cache_test.cpp - persistent plan cache tests ------------===//
+
+#include "engine/PlanCache.h"
+
+#include "cost/AnalyticModel.h"
+#include "engine/Engine.h"
+#include "nn/Models.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+using namespace primsel;
+
+namespace {
+
+const PrimitiveLibrary &lib() {
+  static PrimitiveLibrary L = buildFullLibrary();
+  return L;
+}
+
+AnalyticCostProvider makeProvider() {
+  return AnalyticCostProvider(lib(), MachineProfile::haswell(), 1);
+}
+
+/// A fresh temporary directory, removed when the fixture dies.
+class TempDir {
+public:
+  explicit TempDir(const std::string &Tag) {
+    Path = (std::filesystem::temp_directory_path() /
+            ("primsel-" + Tag + "-" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "-" + std::to_string(reinterpret_cast<uintptr_t>(this))))
+               .string();
+    std::filesystem::remove_all(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+  const std::string &path() const { return Path; }
+
+private:
+  std::string Path;
+};
+
+bool samePlanOnConvNodes(const NetworkPlan &A, const NetworkPlan &B,
+                         const NetworkGraph &Net) {
+  if (A.OutLayout != B.OutLayout || A.InLayout != B.InLayout ||
+      A.Chains != B.Chains)
+    return false;
+  for (NetworkGraph::NodeId N : Net.convNodes())
+    if (A.ConvPrim[N] != B.ConvPrim[N])
+      return false;
+  return true;
+}
+
+TEST(Fingerprint, StableAcrossIdenticalNetworks) {
+  NetworkGraph A = tinyChain(16);
+  NetworkGraph B = tinyChain(16);
+  EXPECT_EQ(fingerprintNetwork(A, lib()), fingerprintNetwork(B, lib()));
+
+  NetworkGraph G1 = googLeNet(0.25);
+  NetworkGraph G2 = googLeNet(0.25);
+  EXPECT_EQ(fingerprintNetwork(G1, lib()), fingerprintNetwork(G2, lib()));
+}
+
+TEST(Fingerprint, DiscriminatesStructure) {
+  NetworkGraph A = tinyChain(16);
+  NetworkGraph B = tinyChain(20); // different input extent -> scenarios
+  NetworkGraph C = tinyDag(16);   // different topology
+  EXPECT_NE(fingerprintNetwork(A, lib()), fingerprintNetwork(B, lib()));
+  EXPECT_NE(fingerprintNetwork(A, lib()), fingerprintNetwork(C, lib()));
+}
+
+TEST(Fingerprint, IndependentOfNetworkName) {
+  // Two structurally-identical graphs built under different names share a
+  // fingerprint: names are presentation, not selection inputs.
+  NetworkGraph A("first");
+  NetworkGraph B("second");
+  for (NetworkGraph *G : {&A, &B}) {
+    auto In = G->addInput("in", {3, 16, 16});
+    auto C1 = G->addLayer(Layer::conv("c", 8, 3, 1, 1), {In});
+    G->addLayer(Layer::relu("r"), {C1});
+  }
+  EXPECT_EQ(fingerprintNetwork(A, lib()), fingerprintNetwork(B, lib()));
+}
+
+TEST(Fingerprint, ConvFreeNetworksDifferingInShapeDiffer) {
+  // No conv nodes means no scenario keys; the fingerprint must still see
+  // the tensor shapes (they price the transform edges).
+  auto build = [](int64_t Extent) {
+    NetworkGraph G("convfree");
+    auto In = G.addInput("in", {3, Extent, Extent});
+    auto P = G.addLayer(Layer::maxPool("p", 2, 2), {In});
+    G.addLayer(Layer::relu("r"), {P});
+    return G;
+  };
+  NetworkGraph A = build(16);
+  NetworkGraph B = build(24);
+  EXPECT_NE(fingerprintNetwork(A, lib()), fingerprintNetwork(B, lib()));
+}
+
+TEST(Fingerprint, SolverKnobsParticipate) {
+  pbqp::BackendOptions Base;
+  pbqp::BackendOptions NoCore;
+  NoCore.Reduction.DisableCoreEnumeration = true;
+  EXPECT_NE(fingerprintSolver("reduction", Base),
+            fingerprintSolver("reduction", NoCore));
+  EXPECT_NE(fingerprintSolver("reduction", Base),
+            fingerprintSolver("bb", Base));
+}
+
+TEST(PlanCache, InMemoryHitMissAccounting) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyChain(16);
+  EngineOptions Opts;
+  Opts.CachePlans = true;
+  Engine Eng(lib(), Prov, Opts);
+
+  SelectionResult First = Eng.optimize(Net);
+  EXPECT_FALSE(First.PlanCacheHit);
+  SelectionResult Second = Eng.optimize(Net);
+  EXPECT_TRUE(Second.PlanCacheHit);
+  EXPECT_EQ(Second.SolveMillis, 0.0);
+  EXPECT_TRUE(samePlanOnConvNodes(First.Plan, Second.Plan, Net));
+  EXPECT_EQ(Second.ModelledCostMs, First.ModelledCostMs);
+
+  const PlanCacheStats *S = Eng.planCacheStats();
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Lookups, 2u);
+  EXPECT_EQ(S->Misses, 1u);
+  EXPECT_EQ(S->MemoryHits, 1u);
+  EXPECT_EQ(S->DiskHits, 0u);
+  EXPECT_EQ(S->Stores, 1u);
+}
+
+TEST(PlanCache, DistinctNetworksDoNotCollide) {
+  AnalyticCostProvider Prov = makeProvider();
+  EngineOptions Opts;
+  Opts.CachePlans = true;
+  Engine Eng(lib(), Prov, Opts);
+  NetworkGraph Chain = tinyChain(16);
+  NetworkGraph Dag = tinyDag(16);
+  EXPECT_FALSE(Eng.optimize(Chain).PlanCacheHit);
+  EXPECT_FALSE(Eng.optimize(Dag).PlanCacheHit);
+  EXPECT_TRUE(Eng.optimize(Chain).PlanCacheHit);
+  EXPECT_TRUE(Eng.optimize(Dag).PlanCacheHit);
+}
+
+TEST(PlanCache, PersistsAcrossEngines) {
+  TempDir Dir("plan-cache-persist");
+  NetworkGraph Net = tinyDag(18);
+  EngineOptions Opts;
+  Opts.PlanCacheDir = Dir.path();
+
+  SelectionResult Cold;
+  {
+    AnalyticCostProvider Prov = makeProvider();
+    Engine Eng(lib(), Prov, Opts);
+    Cold = Eng.optimize(Net);
+    EXPECT_FALSE(Cold.PlanCacheHit);
+    EXPECT_EQ(Eng.planCacheStats()->Stores, 1u);
+    EXPECT_EQ(Eng.planCacheStats()->StoreFailures, 0u);
+  }
+  // A second engine -- standing in for a fresh process -- must serve the
+  // plan from disk without solving.
+  AnalyticCostProvider Prov = makeProvider();
+  Engine Eng(lib(), Prov, Opts);
+  SelectionResult Warm = Eng.optimize(Net);
+  EXPECT_TRUE(Warm.PlanCacheHit);
+  EXPECT_TRUE(samePlanOnConvNodes(Cold.Plan, Warm.Plan, Net));
+  EXPECT_EQ(Warm.ModelledCostMs, Cold.ModelledCostMs);
+  EXPECT_EQ(Warm.Backend, Cold.Backend);
+  EXPECT_EQ(Warm.Solver.ProvablyOptimal, Cold.Solver.ProvablyOptimal);
+  EXPECT_EQ(Eng.planCacheStats()->DiskHits, 1u);
+}
+
+TEST(PlanCache, KeyDiscriminatesCostIdentityAndSolver) {
+  TempDir Dir("plan-cache-keys");
+  NetworkGraph Net = tinyChain(16);
+  EngineOptions Opts;
+  Opts.PlanCacheDir = Dir.path();
+  {
+    AnalyticCostProvider Prov = makeProvider();
+    Engine Eng(lib(), Prov, Opts);
+    EXPECT_FALSE(Eng.optimize(Net).PlanCacheHit);
+  }
+  {
+    // Same network, different machine profile: must miss.
+    AnalyticCostProvider Arm(lib(), MachineProfile::cortexA57(), 1);
+    Engine Eng(lib(), Arm, Opts);
+    EXPECT_FALSE(Eng.optimize(Net).PlanCacheHit);
+  }
+  {
+    // Same network and profile, different solver backend: must miss.
+    AnalyticCostProvider Prov = makeProvider();
+    EngineOptions BB = Opts;
+    BB.Solver = "bb";
+    Engine Eng(lib(), Prov, BB);
+    EXPECT_FALSE(Eng.optimize(Net).PlanCacheHit);
+  }
+}
+
+TEST(PlanCache, CorruptFileFallsBackToFreshSolve) {
+  TempDir Dir("plan-cache-corrupt");
+  NetworkGraph Net = tinyChain(16);
+  EngineOptions Opts;
+  Opts.PlanCacheDir = Dir.path();
+
+  SelectionResult Cold;
+  std::string File;
+  {
+    AnalyticCostProvider Prov = makeProvider();
+    Engine Eng(lib(), Prov, Opts);
+    Cold = Eng.optimize(Net);
+    File = Dir.path() + "/" + Eng.planKey(Net).fileName();
+  }
+  ASSERT_TRUE(std::filesystem::exists(File));
+  {
+    std::ofstream Out(File, std::ios::trunc);
+    Out << "primsel-plan v1\nthis is not a plan\n";
+  }
+  AnalyticCostProvider Prov = makeProvider();
+  Engine Eng(lib(), Prov, Opts);
+  SelectionResult R = Eng.optimize(Net);
+  EXPECT_FALSE(R.PlanCacheHit); // rejected, solved fresh
+  EXPECT_TRUE(samePlanOnConvNodes(Cold.Plan, R.Plan, Net));
+  EXPECT_EQ(Eng.planCacheStats()->CorruptFiles, 1u);
+  EXPECT_EQ(Eng.planCacheStats()->Misses, 1u);
+  // The fresh solve overwrote the bad entry; the next engine hits again.
+  AnalyticCostProvider Prov2 = makeProvider();
+  Engine Eng2(lib(), Prov2, Opts);
+  EXPECT_TRUE(Eng2.optimize(Net).PlanCacheHit);
+}
+
+TEST(PlanCache, TruncatedFileRejected) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyChain(16);
+  EngineOptions Opts;
+  Opts.CachePlans = true;
+  Engine Eng(lib(), Prov, Opts);
+  SelectionResult R = Eng.optimize(Net);
+  PlanKey Key = Eng.planKey(Net);
+
+  std::string Text = PlanCache::serialize(Key, R, Net, lib());
+  ASSERT_TRUE(PlanCache::deserialize(Text, Key, Net, lib()).has_value());
+  // Dropping the trailing "end" marker (a torn write) must reject.
+  std::string Torn = Text.substr(0, Text.size() - 4);
+  EXPECT_FALSE(PlanCache::deserialize(Torn, Key, Net, lib()).has_value());
+  // A wrong key (hash collision / copied file) must reject.
+  PlanKey Other = Key;
+  Other.CostIdentity = "analytic:somewhere-else:t1";
+  EXPECT_FALSE(PlanCache::deserialize(Text, Other, Net, lib()).has_value());
+  // An unresolvable primitive name must reject.
+  std::string Renamed = Text;
+  size_t Pos = Renamed.find("\nconv ");
+  ASSERT_NE(Pos, std::string::npos);
+  size_t NameStart = Renamed.find_last_of(' ', Renamed.find('\n', Pos + 1));
+  Renamed.replace(NameStart + 1, 4, "zzzz");
+  EXPECT_FALSE(PlanCache::deserialize(Renamed, Key, Net, lib()).has_value());
+}
+
+TEST(PlanCache, LayoutsInconsistentWithPlanRejected) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyChain(16);
+  EngineOptions Opts;
+  Opts.CachePlans = true;
+  Engine Eng(lib(), Prov, Opts);
+  SelectionResult R = Eng.optimize(Net);
+  PlanKey Key = Eng.planKey(Net);
+  std::string Text = PlanCache::serialize(Key, R, Net, lib());
+
+  // A file that parses and is chain-consistent but whose layouts do not
+  // belong to the named primitives (here: every layout rewritten to WHC)
+  // would trip executor asserts if served; it must be treated as corrupt.
+  std::string Rewritten = Text;
+  for (const char *Name : {" CHW", " CWH", " HCW", " HWC", " WCH"}) {
+    size_t P = 0;
+    while ((P = Rewritten.find(Name, P)) != std::string::npos)
+      Rewritten.replace(P, 4, " WHC");
+  }
+  EXPECT_FALSE(
+      PlanCache::deserialize(Rewritten, Key, Net, lib()).has_value());
+
+  // Swapping one conv's primitive for another with *different* layouts
+  // (without touching the layout lines) must also reject.
+  std::vector<NetworkGraph::NodeId> Convs = Net.convNodes();
+  ASSERT_FALSE(Convs.empty());
+  NetworkGraph::NodeId N = Convs.front();
+  const ConvPrimitive &Chosen = lib().get(R.Plan.ConvPrim[N]);
+  std::optional<PrimitiveId> Other;
+  for (PrimitiveId Id : lib().supporting(Net.node(N).Scenario))
+    if (lib().get(Id).inputLayout() != Chosen.inputLayout() ||
+        lib().get(Id).outputLayout() != Chosen.outputLayout()) {
+      Other = Id;
+      break;
+    }
+  ASSERT_TRUE(Other.has_value());
+  std::string Marker = "conv " + std::to_string(N) + " " + Chosen.name();
+  size_t At = Text.find(Marker);
+  ASSERT_NE(At, std::string::npos);
+  std::string Swapped =
+      Text.substr(0, At) + "conv " + std::to_string(N) + " " +
+      lib().get(*Other).name() + Text.substr(At + Marker.size());
+  EXPECT_FALSE(PlanCache::deserialize(Swapped, Key, Net, lib()).has_value());
+}
+
+TEST(PlanCache, OneOffSolverOptionsKeyedSeparately) {
+  // optimize(Net, Options) with a different backend must not be served the
+  // default backend's cached plan.
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyChain(16);
+  EngineOptions Opts;
+  Opts.CachePlans = true;
+  Engine Eng(lib(), Prov, Opts);
+  EXPECT_FALSE(Eng.optimize(Net).PlanCacheHit);
+  EngineOptions BB = Opts;
+  BB.Solver = "bb";
+  SelectionResult R = Eng.optimize(Net, BB);
+  EXPECT_FALSE(R.PlanCacheHit);
+  EXPECT_EQ(R.Backend, "bb");
+  // And the one-off result is itself memoized under its own key.
+  EXPECT_TRUE(Eng.optimize(Net, BB).PlanCacheHit);
+}
+
+} // namespace

@@ -188,6 +188,131 @@ TEST(Executor, RepeatedRunsAreConsistent) {
   EXPECT_EQ(maxAbsDifference(First, Exec.networkOutput()), 0.0f);
 }
 
+/// Shared harness for the arena/parallel equivalence tests: run the same
+/// plan through the plain executor and the given serving configuration and
+/// require bit-identical outputs plus a strictly smaller peak footprint
+/// for the arena.
+void expectServingConfigMatches(const NetworkGraph &Net,
+                                const ExecutorOptions &Config) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkPlan Plan = planForStrategy(Strategy::Greedy, Net, lib(), Prov);
+  Tensor3D In = makeInput(Net, 21);
+
+  Executor Ref(Net, Plan, lib());
+  Ref.run(In);
+  Executor Exec(Net, Plan, lib(), Config);
+  Exec.run(In);
+
+  EXPECT_EQ(maxAbsDifference(Ref.networkOutput(), Exec.networkOutput()),
+            0.0f);
+  if (Config.UseArena) {
+    EXPECT_GT(Exec.memoryPlan().NumArenaValues, 0u);
+    EXPECT_LT(Exec.peakIntermediateBytes(), Ref.peakIntermediateBytes());
+  }
+}
+
+TEST(MemoryPlanner, ArenaMatchesFreshAllocationOnAlexNet) {
+  ExecutorOptions Config;
+  Config.UseArena = true;
+  expectServingConfigMatches(alexNet(0.18), Config);
+}
+
+TEST(MemoryPlanner, ArenaMatchesFreshAllocationOnGoogLeNet) {
+  ExecutorOptions Config;
+  Config.UseArena = true;
+  expectServingConfigMatches(googLeNet(0.18), Config);
+}
+
+TEST(MemoryPlanner, ParallelBranchesMatchOnGoogLeNet) {
+  ExecutorOptions Config;
+  Config.UseArena = true;
+  Config.Threads = 4;
+  Config.ParallelBranches = true;
+  expectServingConfigMatches(googLeNet(0.18), Config);
+}
+
+TEST(MemoryPlanner, ParallelBranchesMatchOnDag) {
+  ExecutorOptions Config;
+  Config.Threads = 4;
+  Config.ParallelBranches = true;
+  expectServingConfigMatches(tinyDag(18), Config);
+}
+
+TEST(MemoryPlanner, LifetimesNeverOverlapInArena) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyDag(18);
+  NetworkPlan Plan = planForStrategy(Strategy::MkldnnLike, Net, lib(), Prov);
+  ExecutionPlan Program = ExecutionPlan::compile(Net, Plan, lib());
+  MemoryPlan MP = planMemory(Net, Plan, Program);
+
+  // Values with overlapping [def, last-use] level ranges must occupy
+  // disjoint arena extents.
+  for (size_t A = 0; A < MP.Values.size(); ++A) {
+    for (size_t B = A + 1; B < MP.Values.size(); ++B) {
+      const ValueInfo &VA = MP.Values[A];
+      const ValueInfo &VB = MP.Values[B];
+      if (!VA.inArena() || !VB.inArena())
+        continue;
+      if (VA.DefLevel > VB.LastUseLevel || VB.DefLevel > VA.LastUseLevel)
+        continue; // disjoint lifetimes may share bytes
+      bool Disjoint = VA.ArenaOffset + VA.Floats <= VB.ArenaOffset ||
+                      VB.ArenaOffset + VB.Floats <= VA.ArenaOffset;
+      EXPECT_TRUE(Disjoint) << "values " << A << " and " << B
+                            << " alias while both live";
+    }
+  }
+  // Network outputs stay out of the arena so they survive the run.
+  for (NetworkGraph::NodeId N : Net.outputs())
+    EXPECT_FALSE(MP.Values[MP.NodeValue[N]].inArena());
+  // And the arena never grows past what per-layer allocation pays.
+  EXPECT_LT(MP.arenaBytes() + MP.persistentBytes(), MP.BaselineBytes);
+}
+
+TEST(MemoryPlanner, LevelScheduleRespectsDependencies) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyDag(18);
+  NetworkPlan Plan = planForStrategy(Strategy::Greedy, Net, lib(), Prov);
+  ExecutionPlan Program = ExecutionPlan::compile(Net, Plan, lib());
+  MemoryPlan MP = planMemory(Net, Plan, Program);
+
+  ASSERT_EQ(MP.Produced.size(), Program.steps().size());
+  unsigned Counted = 0;
+  for (unsigned L = 0; L < MP.Levels.size(); ++L) {
+    EXPECT_FALSE(MP.Levels[L].empty());
+    for (unsigned S : MP.Levels[L]) {
+      EXPECT_EQ(MP.StepLevel[S], L);
+      ++Counted;
+    }
+  }
+  EXPECT_EQ(Counted, Program.steps().size());
+  // Every non-input step reads only values defined at strictly lower
+  // levels.
+  for (unsigned S = 0; S < Program.steps().size(); ++S) {
+    const ExecStep &Step = Program.steps()[S];
+    if (Step.K == ExecStep::Kind::Transform)
+      EXPECT_LT(MP.Values[MP.TransformSrc[S]].DefLevel, MP.StepLevel[S]);
+    if (Step.K == ExecStep::Kind::Conv || Step.K == ExecStep::Kind::Dummy)
+      for (unsigned I = 0; I < Net.node(Step.Node).Inputs.size(); ++I)
+        EXPECT_LT(MP.Values[MP.inputValue(Net, Step.Node, I)].DefLevel,
+                  MP.StepLevel[S]);
+  }
+}
+
+TEST(Executor, RepeatedArenaRunsAreConsistent) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyChain(16);
+  NetworkPlan Plan = planForStrategy(Strategy::MkldnnLike, Net, lib(), Prov);
+  ExecutorOptions Config;
+  Config.UseArena = true;
+  Executor Exec(Net, Plan, lib(), Config);
+  Tensor3D In = makeInput(Net);
+  Exec.run(In);
+  Tensor3D First = convertToLayout(Exec.networkOutput(),
+                                   Exec.networkOutput().layout());
+  Exec.run(In);
+  EXPECT_EQ(maxAbsDifference(First, Exec.networkOutput()), 0.0f);
+}
+
 TEST(Executor, DifferentWeightSeedsDiffer) {
   AnalyticCostProvider Prov = makeProvider();
   NetworkGraph Net = tinyChain(16);

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks, run by the CI docs job.
+
+1. Every relative markdown link in tracked *.md files must resolve to an
+   existing file or directory (anchors and external URLs are skipped).
+2. DESIGN.md's module-layer table must mention every directory under
+   src/, so the architecture reference cannot silently rot as modules
+   are added.
+
+Exits nonzero with one line per problem.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) -- excluding images is not needed (same resolution rule),
+# but nested brackets in link text are out of scope for this checker.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_DIRS = {".git", "build", ".claude"}
+
+
+def md_files():
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = [d for d in dirs if d not in SKIP_DIRS]
+        for name in files:
+            if name.endswith(".md"):
+                yield os.path.join(root, name)
+
+
+def check_links():
+    problems = []
+    for path in md_files():
+        rel = os.path.relpath(path, REPO)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                line = text.count("\n", 0, match.start()) + 1
+                problems.append(
+                    f"{rel}:{line}: broken relative link '{match.group(1)}'")
+    return problems
+
+
+def check_design_module_table():
+    problems = []
+    design = os.path.join(REPO, "DESIGN.md")
+    with open(design, encoding="utf-8") as f:
+        text = f.read()
+    # The table rows name modules as `dir/` in backticks; the whole file
+    # would be too forgiving (prose mentions), so restrict to the section
+    # between "## Module layers" and the next "## ".
+    section_match = re.search(r"## Module layers\n(.*?)\n## ", text, re.S)
+    if not section_match:
+        return ["DESIGN.md: no '## Module layers' section found"]
+    section = section_match.group(1)
+    src = os.path.join(REPO, "src")
+    for entry in sorted(os.listdir(src)):
+        if not os.path.isdir(os.path.join(src, entry)):
+            continue
+        if f"`{entry}/`" not in section:
+            problems.append(
+                f"DESIGN.md: module table does not mention 'src/{entry}/'")
+    return problems
+
+
+def main():
+    problems = check_links() + check_design_module_table()
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)")
+        return 1
+    print("docs OK: links resolve, DESIGN.md module table covers src/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

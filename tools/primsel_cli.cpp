@@ -25,9 +25,19 @@
 //       Emit the straight-line C++ program for the optimal plan (§5.2).
 //   primsel-cli dump-pbqp <model-or-file> [--scale S]
 //       Print the PBQP instance in the text format (pbqp/TextIO.h).
+//   primsel-cli warm <model-or-file> --plan-cache DIR [...]
+//       Solve once and persist the plan, so later serve/optimize runs
+//       pointed at DIR skip the PBQP solve.
+//   primsel-cli serve <model-or-file> [--requests N] [--parallel]
+//       [--no-arena] [--plan-cache DIR] [...]
+//       Acquire a plan (cache hit or fresh solve), instantiate the
+//       memory-planned executor, run N requests, report latency,
+//       throughput, and arena/cache statistics.
 //
 // <model-or-file> is a model-zoo name (see 'models') or a path to a
 // network description in the nn/NetParser.h text format.
+//
+// The full command/flag reference is docs/cli.md.
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +47,10 @@
 #include "nn/Models.h"
 #include "nn/NetParser.h"
 #include "pbqp/TextIO.h"
+#include "runtime/Executor.h"
+#include "support/Timer.h"
+
+#include <algorithm>
 
 #include <cstdio>
 #include <cstdlib>
@@ -63,6 +77,10 @@ struct CliOptions {
   std::string OutPath;
   std::string StrategyName;
   std::string SolverName = "reduction";
+  std::string PlanCacheDir;
+  unsigned Requests = 8;
+  bool Parallel = false;
+  bool NoArena = false;
 };
 
 /// Parse a strictly-numeric thread count in [1, 1024]; the value feeds
@@ -81,15 +99,20 @@ bool parseThreads(const std::string &Val, unsigned &Out) {
 int usage(const char *Argv0) {
   std::fprintf(
       stderr,
-      "usage: %s <command> [args]\n"
+      "usage: %s <command> [args]    (full reference: docs/cli.md)\n"
       "  models\n"
       "  solvers\n"
       "  primitives [<model-or-file>] [--scale S]\n"
       "  optimize <model-or-file> [--scale S] [--threads N] [--measured]\n"
       "           [--arm] [--costs PATH] [--strategy NAME]\n"
-      "           [--solver reduction|bb|brute]\n"
+      "           [--solver reduction|bb|brute] [--plan-cache DIR]\n"
       "  codegen <model-or-file> [--scale S] [--out PATH]\n"
-      "  dump-pbqp <model-or-file> [--scale S]\n",
+      "  dump-pbqp <model-or-file> [--scale S]\n"
+      "  warm <model-or-file> --plan-cache DIR [--scale S] [--threads N]\n"
+      "           [--measured] [--arm] [--costs PATH] [--solver NAME]\n"
+      "  serve <model-or-file> [--requests N] [--threads N] [--parallel]\n"
+      "           [--no-arena] [--plan-cache DIR] [--scale S] [--arm]\n"
+      "           [--solver NAME]\n",
       Argv0);
   return 2;
 }
@@ -148,6 +171,24 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.StrategyName = Val;
     else if (Arg == "--solver" && Next(Val))
       Opts.SolverName = Val;
+    else if (Arg == "--plan-cache" && Next(Val))
+      Opts.PlanCacheDir = Val;
+    else if (Arg == "--requests" && Next(Val)) {
+      // Same strictness as --threads: this sizes a serving loop.
+      unsigned Requests = 0;
+      if (!parseThreads(Val, Requests)) {
+        std::fprintf(stderr,
+                     "error: --requests expects an integer in [1, 1024], "
+                     "got '%s'\n",
+                     Val.c_str());
+        return false;
+      }
+      Opts.Requests = Requests;
+    }
+    else if (Arg == "--parallel" && !HasInline)
+      Opts.Parallel = true;
+    else if (Arg == "--no-arena" && !HasInline)
+      Opts.NoArena = true;
     else {
       std::fprintf(stderr, "error: unknown or incomplete option '%s'\n",
                    Argv[I]);
@@ -211,17 +252,40 @@ EngineOptions engineOptions(const CliOptions &Opts) {
   // The measuring profiler is not safe to call concurrently; with
   // --measured the cache still memoizes but fills lazily.
   EOpts.ParallelPrepopulate = !Opts.Measured;
+  EOpts.PlanCacheDir = Opts.PlanCacheDir;
   return EOpts;
+}
+
+/// One-line plan-cache report shared by optimize/warm/serve.
+void printPlanCacheStats(const Engine &Eng) {
+  const PlanCacheStats *S = Eng.planCacheStats();
+  if (!S)
+    return;
+  std::printf("# plan cache: %llu lookups, %llu memory hits, %llu disk "
+              "hits, %llu misses, %llu corrupt, %llu stores (%llu failed)\n",
+              static_cast<unsigned long long>(S->Lookups),
+              static_cast<unsigned long long>(S->MemoryHits),
+              static_cast<unsigned long long>(S->DiskHits),
+              static_cast<unsigned long long>(S->Misses),
+              static_cast<unsigned long long>(S->CorruptFiles),
+              static_cast<unsigned long long>(S->Stores),
+              static_cast<unsigned long long>(S->StoreFailures));
 }
 
 /// Build the cost provider the CLI options describe. \p Measured receives
 /// the profiling provider when --measured is active (for table save/load).
+/// \p ModelThreads is the thread count the *costs* are modelled/measured
+/// for -- it participates in the provider's identity and therefore in the
+/// plan-cache key. optimize/codegen pass --threads; warm/serve pin it to 1
+/// (the paper's per-primitive configuration) so that serving-side thread
+/// counts never change the cache key and warm-then-serve always hits.
 std::unique_ptr<CostProvider> makeCosts(const CliOptions &Opts,
                                         const PrimitiveLibrary &Lib,
-                                        MeasuredCostProvider **Measured) {
+                                        MeasuredCostProvider **Measured,
+                                        unsigned ModelThreads) {
   if (Opts.Measured) {
     ProfilerOptions POpts;
-    POpts.Threads = Opts.Threads;
+    POpts.Threads = ModelThreads;
     auto M = std::make_unique<MeasuredCostProvider>(Lib, POpts);
     if (!Opts.CostsPath.empty() && M->database().load(Opts.CostsPath))
       std::fprintf(stderr, "loaded cost table %s\n", Opts.CostsPath.c_str());
@@ -231,7 +295,7 @@ std::unique_ptr<CostProvider> makeCosts(const CliOptions &Opts,
   }
   MachineProfile Profile =
       Opts.Arm ? MachineProfile::cortexA57() : MachineProfile::haswell();
-  return std::make_unique<AnalyticCostProvider>(Lib, Profile, Opts.Threads);
+  return std::make_unique<AnalyticCostProvider>(Lib, Profile, ModelThreads);
 }
 
 int cmdModels() {
@@ -280,7 +344,7 @@ int cmdOptimize(const CliOptions &Opts) {
   PrimitiveLibrary Lib = buildFullLibrary();
 
   MeasuredCostProvider *Measured = nullptr;
-  std::unique_ptr<CostProvider> Owned = makeCosts(Opts, Lib, &Measured);
+  std::unique_ptr<CostProvider> Owned = makeCosts(Opts, Lib, &Measured, Opts.Threads);
   Engine Eng(Lib, *Owned, engineOptions(Opts));
 
   if (!Opts.StrategyName.empty() && Opts.StrategyName != "pbqp") {
@@ -312,9 +376,11 @@ int cmdOptimize(const CliOptions &Opts) {
     return 1;
   }
   std::printf("# %s: %u PBQP nodes, %u edges, build %.2f ms, solve %.2f "
-              "ms, optimal %s\n",
+              "ms, optimal %s%s\n",
               Net->name().c_str(), R.NumNodes, R.NumEdges, R.BuildMillis,
-              R.SolveMillis, R.Solver.ProvablyOptimal ? "yes" : "no");
+              R.SolveMillis, R.Solver.ProvablyOptimal ? "yes" : "no",
+              R.PlanCacheHit ? " (plan-cache hit)" : "");
+  printPlanCacheStats(Eng);
   std::printf("# solver %s: R0=%u RI=%u RII=%u RN=%u core=%u visited=%llu "
               "pruned=%llu\n",
               R.Backend.c_str(), R.Solver.NumR0, R.Solver.NumRI,
@@ -358,7 +424,7 @@ int cmdCodegen(const CliOptions &Opts) {
   if (!checkSolver(Opts))
     return 1;
   PrimitiveLibrary Lib = buildFullLibrary();
-  std::unique_ptr<CostProvider> Owned = makeCosts(Opts, Lib, nullptr);
+  std::unique_ptr<CostProvider> Owned = makeCosts(Opts, Lib, nullptr, Opts.Threads);
   Engine Eng(Lib, *Owned, engineOptions(Opts));
   if (!checkBruteSpace(Eng, *Net))
     return 1;
@@ -383,6 +449,124 @@ int cmdCodegen(const CliOptions &Opts) {
   return 0;
 }
 
+int cmdWarm(const CliOptions &Opts) {
+  if (Opts.PlanCacheDir.empty()) {
+    std::fprintf(stderr, "error: 'warm' requires --plan-cache DIR (the "
+                         "point is a plan that outlives this process)\n");
+    return 1;
+  }
+  std::optional<NetworkGraph> Net = resolveNetwork(Opts.Target, Opts.Scale);
+  if (!Net)
+    return 1;
+  if (!checkSolver(Opts))
+    return 1;
+  PrimitiveLibrary Lib = buildFullLibrary();
+  MeasuredCostProvider *Measured = nullptr;
+  std::unique_ptr<CostProvider> Owned = makeCosts(Opts, Lib, &Measured, 1);
+  Engine Eng(Lib, *Owned, engineOptions(Opts));
+  if (!checkBruteSpace(Eng, *Net))
+    return 1;
+
+  Timer T;
+  SelectionResult R = Eng.optimize(*Net);
+  double Millis = T.millis();
+  if (R.Plan.empty()) {
+    std::fprintf(stderr, "error: selection failed\n");
+    return 1;
+  }
+  PlanKey Key = Eng.planKey(*Net);
+  const PlanCacheStats *Stats = Eng.planCacheStats();
+  if (Stats && Stats->StoreFailures > 0) {
+    // A warm that persisted nothing is the failure this command exists to
+    // prevent; do not let it read as success.
+    std::fprintf(stderr,
+                 "error: could not write plan file %s/%s (unwritable "
+                 "directory?)\n",
+                 Opts.PlanCacheDir.c_str(), Key.fileName().c_str());
+    return 1;
+  }
+  std::printf("# %s %s in %.2f ms (build %.2f ms, solve %.2f ms)\n",
+              Net->name().c_str(),
+              R.PlanCacheHit ? "already warm: plan-cache hit"
+                             : "warmed: solved and cached",
+              Millis, R.BuildMillis, R.SolveMillis);
+  std::printf("# key %s\n", Key.combined().c_str());
+  std::printf("# file %s/%s\n", Opts.PlanCacheDir.c_str(),
+              Key.fileName().c_str());
+  printPlanCacheStats(Eng);
+  if (Measured && !Opts.CostsPath.empty() &&
+      Measured->database().save(Opts.CostsPath))
+    std::fprintf(stderr, "saved cost table %s\n", Opts.CostsPath.c_str());
+  return 0;
+}
+
+int cmdServe(const CliOptions &Opts) {
+  std::optional<NetworkGraph> Net = resolveNetwork(Opts.Target, Opts.Scale);
+  if (!Net)
+    return 1;
+  if (!checkSolver(Opts))
+    return 1;
+  PrimitiveLibrary Lib = buildFullLibrary();
+  std::unique_ptr<CostProvider> Owned = makeCosts(Opts, Lib, nullptr, 1);
+  EngineOptions EOpts = engineOptions(Opts);
+  EOpts.CachePlans = true; // always memoize within the serving process
+  Engine Eng(Lib, *Owned, EOpts);
+  if (!checkBruteSpace(Eng, *Net))
+    return 1;
+
+  // Plan acquisition: a warm cache (from a previous 'warm' run or an
+  // earlier request in this process) skips the whole solve.
+  Timer PlanTimer;
+  SelectionResult R = Eng.optimize(*Net);
+  double PlanMillis = PlanTimer.millis();
+  if (R.Plan.empty()) {
+    std::fprintf(stderr, "error: selection failed\n");
+    return 1;
+  }
+  std::printf("# %s: plan %s in %.2f ms, modelled cost %.3f ms\n",
+              Net->name().c_str(),
+              R.PlanCacheHit ? "served from cache" : "solved cold",
+              PlanMillis, R.ModelledCostMs);
+  printPlanCacheStats(Eng);
+
+  ExecutorOptions XOpts;
+  XOpts.Threads = Opts.Threads;
+  XOpts.UseArena = !Opts.NoArena;
+  XOpts.ParallelBranches = Opts.Parallel;
+  std::unique_ptr<Executor> Exec = Eng.instantiate(*Net, R.Plan, XOpts);
+
+  const MemoryPlan &MP = Exec->memoryPlan();
+  std::printf("# executor: %zu values, %zu levels, %s, %s\n",
+              MP.Values.size(), MP.Levels.size(),
+              XOpts.UseArena ? "arena" : "per-layer allocation",
+              XOpts.ParallelBranches && Opts.Threads > 1
+                  ? "parallel branches"
+                  : "sequential");
+  std::printf("# memory: arena %.2f MiB + persistent %.2f MiB vs %.2f MiB "
+              "per-layer baseline (%u packed values)\n",
+              static_cast<double>(Exec->arenaBytes()) / (1024.0 * 1024.0),
+              static_cast<double>(MP.persistentBytes()) / (1024.0 * 1024.0),
+              static_cast<double>(MP.BaselineBytes) / (1024.0 * 1024.0),
+              MP.NumArenaValues);
+
+  const TensorShape &Sh = Net->node(0).OutShape;
+  Tensor3D Input(Sh.C, Sh.H, Sh.W, Layout::CHW);
+  Input.fillRandom(11);
+  double TotalMillis = 0.0, BestMillis = 0.0;
+  for (unsigned I = 0; I < Opts.Requests; ++I) {
+    RunResult Run = Exec->run(Input);
+    TotalMillis += Run.TotalMillis;
+    BestMillis = I == 0 ? Run.TotalMillis
+                        : std::min(BestMillis, Run.TotalMillis);
+  }
+  double Mean = TotalMillis / Opts.Requests;
+  std::printf("# served %u requests: mean %.3f ms, best %.3f ms, %.1f "
+              "inferences/sec\n",
+              Opts.Requests, Mean, BestMillis,
+              Mean > 0.0 ? 1000.0 / Mean : 0.0);
+  return 0;
+}
+
 int cmdDumpPbqp(const CliOptions &Opts) {
   std::optional<NetworkGraph> Net = resolveNetwork(Opts.Target, Opts.Scale);
   if (!Net)
@@ -390,13 +574,24 @@ int cmdDumpPbqp(const CliOptions &Opts) {
   if (!checkSolver(Opts))
     return 1;
   PrimitiveLibrary Lib = buildFullLibrary();
-  std::unique_ptr<CostProvider> Owned = makeCosts(Opts, Lib, nullptr);
+  std::unique_ptr<CostProvider> Owned = makeCosts(Opts, Lib, nullptr, Opts.Threads);
   Engine Eng(Lib, *Owned, engineOptions(Opts));
   PBQPFormulation F = Eng.formulate(*Net);
   std::printf("# PBQP instance for %s (%u nodes, %u edges)\n",
               Net->name().c_str(), F.G.numNodes(), F.G.numEdges());
   std::fputs(pbqp::dumpGraph(F.G).c_str(), stdout);
   return 0;
+}
+
+/// True if \p Command is one of the commands that needs a <model-or-file>.
+bool requiresTarget(const std::string &Command) {
+  return Command == "optimize" || Command == "codegen" ||
+         Command == "dump-pbqp" || Command == "warm" || Command == "serve";
+}
+
+bool isKnownCommand(const std::string &Command) {
+  return Command == "models" || Command == "solvers" ||
+         Command == "primitives" || requiresTarget(Command);
 }
 
 } // namespace
@@ -406,21 +601,32 @@ int main(int argc, char **argv) {
   if (!parseArgs(argc, argv, Opts))
     return usage(argv[0]);
 
+  // Reject unknown commands loudly (stderr + nonzero) before looking at
+  // any other argument, so a typo never reads as success.
+  if (!isKnownCommand(Opts.Command)) {
+    std::fprintf(stderr, "error: unknown command '%s'\n",
+                 Opts.Command.c_str());
+    return usage(argv[0]);
+  }
+  if (requiresTarget(Opts.Command) && Opts.Target.empty()) {
+    std::fprintf(stderr, "error: command '%s' requires a <model-or-file>\n",
+                 Opts.Command.c_str());
+    return usage(argv[0]);
+  }
+
   if (Opts.Command == "models")
     return cmdModels();
   if (Opts.Command == "solvers")
     return cmdSolvers();
   if (Opts.Command == "primitives")
     return cmdPrimitives(Opts);
-  if (Opts.Command.empty() || Opts.Target.empty())
-    return usage(argv[0]);
   if (Opts.Command == "optimize")
     return cmdOptimize(Opts);
   if (Opts.Command == "codegen")
     return cmdCodegen(Opts);
   if (Opts.Command == "dump-pbqp")
     return cmdDumpPbqp(Opts);
-  std::fprintf(stderr, "error: unknown command '%s'\n",
-               Opts.Command.c_str());
-  return usage(argv[0]);
+  if (Opts.Command == "warm")
+    return cmdWarm(Opts);
+  return cmdServe(Opts);
 }
