@@ -1,0 +1,129 @@
+//===- bench/residual_models.cpp - Residual/depthwise acceptance bench ----===//
+//
+// The modern-workload story in one binary: what does PBQP selection buy on
+// ResNet-18 (residual skip connections, multi-consumer dataflow) and
+// MobileNet (depthwise-separable stacks, the depthwise primitive family),
+// the two structural features absent from the paper's 2012-2015 nets.
+//
+// For each model the bench solves the PBQP instance on the reduction and
+// branch-and-bound backends, executes the optimized plan and the reference
+// (sum2d / dw-ref) instantiation, and prints modelled vs measured speedups.
+// Three claims are checked and the process exits nonzero if any fails:
+//   1. both backends return provably-optimal plans of equal modelled cost;
+//   2. the optimized plan's outputs match the reference instantiation
+//      within the accumulated-error bound (5e-2, the fuzz-suite bound);
+//   3. arena + parallel-branch serving reproduces the plain executor
+//      bit-for-bit on both models.
+//
+// Environment knobs are the shared bench ones (PRIMSEL_SCALE,
+// PRIMSEL_ITERS).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "engine/Engine.h"
+#include "support/Timer.h"
+#include "tensor/Transform.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace primsel;
+using namespace primsel::bench;
+
+int main() {
+  BenchConfig Config = BenchConfig::fromEnvironment();
+  PrimitiveLibrary Lib = buildFullLibrary();
+
+  bool AllOk = true;
+  for (const char *Model : {"resnet18", "mobilenet"}) {
+    std::optional<NetworkGraph> Net = buildModel(Model, Config.Scale);
+    if (!Net) {
+      std::fprintf(stderr, "FAIL: unknown model %s\n", Model);
+      return 1;
+    }
+    std::printf("# %s at scale %.2f: %zu primitive-selected layers, %.0f "
+                "MMACs\n",
+                Model, Config.Scale, Net->convNodes().size(),
+                Net->totalConvMacs() / 1e6);
+
+    // --- Claim 1: both tractable backends agree on the optimum. ----------
+    AnalyticCostProvider Prov(Lib, MachineProfile::haswell(), 1);
+    SelectionResult Plans[2];
+    const char *Backends[2] = {"reduction", "bb"};
+    for (int I = 0; I < 2; ++I) {
+      EngineOptions EOpts;
+      EOpts.Solver = Backends[I];
+      Engine Eng(Lib, Prov, EOpts);
+      Plans[I] = Eng.optimize(*Net);
+      std::printf("  %-9s solve %.2f ms, modelled %.3f ms, optimal %s\n",
+                  Backends[I], Plans[I].SolveMillis, Plans[I].ModelledCostMs,
+                  Plans[I].Solver.ProvablyOptimal ? "yes" : "no");
+    }
+    bool SolversOk =
+        Plans[0].Solver.ProvablyOptimal && Plans[1].Solver.ProvablyOptimal &&
+        std::abs(Plans[0].ModelledCostMs - Plans[1].ModelledCostMs) <=
+            1e-9 * (1.0 + Plans[0].ModelledCostMs);
+    std::printf("%s %s: backends agree on a provably optimal plan\n",
+                SolversOk ? "PASS" : "FAIL", Model);
+    AllOk &= SolversOk;
+
+    // --- Claim 2: optimized execution matches the reference. -------------
+    NetworkPlan Reference =
+        planForStrategy(Strategy::Sum2D, *Net, Lib, Prov);
+    const TensorShape &Sh = Net->node(0).OutShape;
+    Tensor3D Input(Sh.C, Sh.H, Sh.W, Layout::CHW);
+    Input.fillRandom(19);
+
+    Executor Ref(*Net, Reference, Lib);
+    Executor Opt(*Net, Plans[0].Plan, Lib);
+    auto timeRuns = [&](Executor &E) {
+      E.run(Input);
+      Timer T;
+      for (unsigned I = 0; I < Config.Iters; ++I)
+        E.run(Input);
+      return T.millis() / Config.Iters;
+    };
+    double RefMs = timeRuns(Ref);
+    double OptMs = timeRuns(Opt);
+    Tensor3D RefOut = convertToLayout(Ref.networkOutput(), Layout::CHW);
+    Tensor3D OptOut = convertToLayout(Opt.networkOutput(), Layout::CHW);
+    float Diff = maxAbsDifference(RefOut, OptOut);
+    std::printf("  reference %.2f ms, optimized %.2f ms (%.1fx), output "
+                "difference %g\n",
+                RefMs, OptMs, RefMs / std::max(1e-9, OptMs),
+                static_cast<double>(Diff));
+    bool EqOk = Diff <= 5e-2f;
+    std::printf("%s %s: optimized outputs match the reference\n",
+                EqOk ? "PASS" : "FAIL", Model);
+    AllOk &= EqOk;
+
+    // --- Claim 3: serving configurations are bit-identical. --------------
+    ExecutorOptions Packed;
+    Packed.UseArena = true;
+    ExecutorOptions Branches;
+    Branches.UseArena = true;
+    Branches.Threads = 4;
+    Branches.ParallelBranches = true;
+    Executor Arena(*Net, Plans[0].Plan, Lib, Packed);
+    Executor Par(*Net, Plans[0].Plan, Lib, Branches);
+    Arena.run(Input);
+    Par.run(Input);
+    float ArenaDiff = maxAbsDifference(Opt.networkOutput(),
+                                       Arena.networkOutput());
+    float ParDiff = maxAbsDifference(Opt.networkOutput(),
+                                     Par.networkOutput());
+    std::printf("  arena %.2f MiB vs %.2f MiB per-layer baseline\n",
+                Arena.peakIntermediateBytes() / (1024.0 * 1024.0),
+                Opt.peakIntermediateBytes() / (1024.0 * 1024.0));
+    bool ServingOk = ArenaDiff == 0.0f && ParDiff == 0.0f &&
+                     Arena.peakIntermediateBytes() <
+                         Opt.peakIntermediateBytes();
+    std::printf("%s %s: serving configurations bit-identical, arena "
+                "smaller\n",
+                ServingOk ? "PASS" : "FAIL", Model);
+    AllOk &= ServingOk;
+  }
+  return AllOk ? 0 : 1;
+}

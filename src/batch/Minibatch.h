@@ -63,6 +63,7 @@ public:
   Layout inputLayout() const override { return Base.inputLayout(); }
   Layout outputLayout() const override { return Base.outputLayout(); }
   const char *libraryTag() const override { return Base.libraryTag(); }
+  bool isDepthwise() const override { return Base.isDepthwise(); }
 
   bool supports(const ConvScenario &S) const override {
     return S.Batch >= 2 && Base.supports(S.singleImage());

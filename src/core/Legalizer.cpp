@@ -36,7 +36,7 @@ double primsel::modelPlanCost(const NetworkPlan &Plan,
   double Total = 0.0;
   for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
     const NetworkGraph::Node &Node = Net.node(N);
-    if (Node.L.Kind == LayerKind::Conv)
+    if (!isDummyKind(Node.L.Kind))
       Total += Costs.convCost(Node.Scenario, Plan.ConvPrim[N]);
   }
   for (const auto &[Edge, Chain] : Plan.Chains) {

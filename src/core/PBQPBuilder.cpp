@@ -34,13 +34,16 @@ PBQPFormulation primsel::buildPBQP(const NetworkGraph &Net,
   F.ConvAlternatives.resize(Net.numNodes());
   F.LayoutAlternatives.resize(Net.numNodes());
 
-  // Nodes: cost vectors over alternatives.
+  // Nodes: cost vectors over alternatives. Both costed kinds (Conv and
+  // DepthwiseConv) draw their alternatives from the library; the supporting
+  // set is already partitioned by the scenario's depthwise flag.
   for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
     const NetworkGraph::Node &Node = Net.node(N);
-    if (Node.L.Kind == LayerKind::Conv) {
+    if (!isDummyKind(Node.L.Kind)) {
       std::vector<PrimitiveId> Alts = Lib.supporting(Node.Scenario);
       assert(!Alts.empty() &&
-             "no primitive supports a conv scenario (sum2d should)");
+             "no primitive supports a conv scenario (the reference "
+             "routines should)");
       pbqp::CostVector V(static_cast<unsigned>(Alts.size()));
       for (unsigned I = 0; I < Alts.size(); ++I)
         V[I] = Costs.convCost(Node.Scenario, Alts[I]);
@@ -64,7 +67,12 @@ PBQPFormulation primsel::buildPBQP(const NetworkGraph &Net,
   }
 
   // Edges: DT shortest-chain cost between the producer's output layout and
-  // the consumer's input layout on the producer's output shape.
+  // the consumer's input layout on the producer's output shape. Residual
+  // diamonds need no special casing: a value consumed by both a block body
+  // and a skip Add contributes one PBQP edge per consumer, so the solver
+  // prices keeping the producer's layout consistent for both against
+  // transforming each edge separately (pbqp::Graph merges parallel edges by
+  // summing matrices, covering Add(x, x) degenerate diamonds too).
   auto NumAlts = [&](NetworkGraph::NodeId N) {
     return F.ConvAlternatives[N].empty()
                ? static_cast<unsigned>(F.LayoutAlternatives[N].size())

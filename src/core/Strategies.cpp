@@ -71,7 +71,7 @@ void assignDummyLayouts(NetworkPlan &Plan, const NetworkGraph &Net,
                         std::optional<Layout> Fixed) {
   for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
     const NetworkGraph::Node &Node = Net.node(N);
-    if (Node.L.Kind == LayerKind::Conv) {
+    if (!isDummyKind(Node.L.Kind)) {
       const ConvPrimitive &P = Lib.get(Plan.ConvPrim[N]);
       Plan.InLayout[N] = P.inputLayout();
       Plan.OutLayout[N] = P.outputLayout();
@@ -144,9 +144,36 @@ NetworkPlan primsel::planForStrategy(Strategy S, const NetworkGraph &Net,
 
   for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
     const NetworkGraph::Node &Node = Net.node(N);
-    if (Node.L.Kind != LayerKind::Conv)
+    if (isDummyKind(Node.L.Kind))
       continue;
     const ConvScenario &Sc = Node.Scenario;
+
+    if (Node.L.Kind == LayerKind::DepthwiseConv) {
+      // The strategies below encode per-family and per-framework policies
+      // for standard convolutions; depthwise nodes have their own family.
+      // Baseline strategies pin the reference routine; canonical-layout
+      // strategies pick the cheapest routine operating in their layout
+      // (dw-ref guarantees a CHW/CHW candidate, dw-pix an HWC/HWC one);
+      // everything else takes the cheapest supporting routine.
+      if (S == Strategy::Sum2D) {
+        Plan.ConvPrim[N] = namedPrimitive(Lib, "dw-ref-chw-chw");
+        continue;
+      }
+      std::vector<PrimitiveId> Candidates = Lib.supporting(Sc);
+      if (FixedDummyLayout) {
+        std::vector<PrimitiveId> InLayout;
+        for (PrimitiveId Id : Candidates)
+          if (Lib.get(Id).inputLayout() == *FixedDummyLayout &&
+              Lib.get(Id).outputLayout() == *FixedDummyLayout)
+            InLayout.push_back(Id);
+        if (!InLayout.empty())
+          Candidates = std::move(InLayout);
+      }
+      std::optional<PrimitiveId> Best = cheapest(Candidates, Sc, Costs);
+      assert(Best && "no depthwise routine supports a depthwise scenario");
+      Plan.ConvPrim[N] = *Best;
+      continue;
+    }
     PrimitiveId Chosen = Sum2D;
 
     switch (S) {

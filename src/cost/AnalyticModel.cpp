@@ -63,7 +63,8 @@ ModelTerms modelPrimitive(const ConvPrimitive &P, const ConvScenario &S,
   ModelTerms T;
   const double InBytes = static_cast<double>(S.C) * S.H * S.W * 4;
   const double OutBytes = static_cast<double>(S.M) * Ho * Wo * 4;
-  const double WeightBytes = static_cast<double>(S.M) * S.C * S.K * S.K * 4;
+  const double WeightBytes =
+      static_cast<double>(S.M) * S.kernelChannels() * S.K * S.K * 4;
   const double WsBytes = static_cast<double>(P.workspaceBytes(S));
   T.TrafficBytes = InBytes + OutBytes + WeightBytes + 2.0 * WsBytes;
 
@@ -176,6 +177,27 @@ ModelTerms modelPrimitive(const ConvPrimitive &P, const ConvScenario &S,
     break;
   }
 
+  case ConvFamily::Depthwise: {
+    // K^2-tap reductions per output element: very low arithmetic intensity,
+    // so these routines live near the bandwidth roof (macs() already
+    // reflects the single-channel filters). Efficiency mirrors the direct
+    // family's spread: the reference loop is scalar, the CHW row kernel
+    // streams rows, the HWC pixel kernel vectorizes across channels, and
+    // the im2-style patch walk pays its gather.
+    T.Flops = 2.0 * Macs;
+    double Eff = 0.10;
+    if (nameHas(Name, "dw-ref"))
+      Eff = 0.030 * ScalarAdjust;
+    else if (nameHas(Name, "dw-rows"))
+      Eff = 0.12;
+    else if (nameHas(Name, "dw-pix"))
+      Eff = 0.15 * vecUtil(S.C, VW);
+    else if (nameHas(Name, "dw-im2"))
+      Eff = 0.08;
+    T.Efficiency = std::max(Eff, 0.02);
+    break;
+  }
+
   case ConvFamily::Quantized: {
     // 16-bit arithmetic doubles the useful SIMD lanes, which matters most
     // on narrow-vector machines: on NEON-class cores (VW = 4) the int16
@@ -192,8 +214,11 @@ ModelTerms modelPrimitive(const ConvPrimitive &P, const ConvScenario &S,
   }
   }
 
-  // Layout-crossing variants pay the conversion's traffic.
-  if (P.inputLayout() != Layout::CHW && P.family() != ConvFamily::Direct)
+  // Layout-crossing variants pay the conversion's traffic. Direct and
+  // depthwise loops read any layout through strides, so only their output
+  // conversions count.
+  if (P.inputLayout() != Layout::CHW && P.family() != ConvFamily::Direct &&
+      P.family() != ConvFamily::Depthwise)
     T.TrafficBytes += InBytes;
   if (P.inputLayout() != P.outputLayout())
     T.TrafficBytes += OutBytes;

@@ -23,7 +23,7 @@ double MeasuredCostProvider::measureConv(const ConvScenario &S,
   const ConvPrimitive &P = Lib.get(Id);
   assert(P.supports(S) && "measuring an unsupported scenario");
 
-  Kernel4D Weights(S.M, S.C, S.K);
+  Kernel4D Weights(S.M, S.kernelChannels(), S.K);
   Weights.fillRandom(Options.Seed + 1);
   // Profile on weights with the scenario's sparsity ratio so routines that
   // exploit sparsity are measured on representative kernels (§8).

@@ -61,7 +61,10 @@ std::string primsel::fingerprintNetwork(const NetworkGraph &Net,
     for (NetworkGraph::NodeId In : Node.Inputs)
       OS << In << " ";
     OS << "]";
-    if (Node.L.Kind == LayerKind::Conv)
+    // Both costed kinds contribute their scenario; the key carries a
+    // depthwise marker, and the edge list above already separates a
+    // residual net from its skip-free linearization.
+    if (!isDummyKind(Node.L.Kind))
       OS << Node.Scenario.key();
     OS << ";";
   }
@@ -175,7 +178,7 @@ PlanCache::deserialize(const std::string &Text, const PlanKey &Key,
       NetworkGraph::NodeId N;
       std::string PrimName;
       if (!(LS >> N >> PrimName) || N >= Net.numNodes() ||
-          Net.node(N).L.Kind != LayerKind::Conv)
+          isDummyKind(Net.node(N).L.Kind))
         return std::nullopt;
       std::optional<PrimitiveId> Id = Lib.findByName(PrimName);
       if (!Id)
@@ -209,7 +212,8 @@ PlanCache::deserialize(const std::string &Text, const PlanKey &Key,
     if (!LayoutSeen[N])
       return std::nullopt;
     switch (Net.node(N).L.Kind) {
-    case LayerKind::Conv: {
+    case LayerKind::Conv:
+    case LayerKind::DepthwiseConv: {
       if (R.Plan.ConvPrim[N] == std::numeric_limits<uint32_t>::max())
         return std::nullopt;
       // The layouts of a conv node are not free: they are the selected
@@ -219,6 +223,12 @@ PlanCache::deserialize(const std::string &Text, const PlanKey &Key,
       const ConvPrimitive &P = Lib.get(R.Plan.ConvPrim[N]);
       if (R.Plan.InLayout[N] != P.inputLayout() ||
           R.Plan.OutLayout[N] != P.outputLayout())
+        return std::nullopt;
+      // A plan naming a routine of the wrong kind (standard conv for a
+      // depthwise node or vice versa) or one that cannot implement the
+      // scenario would trip the executor's instantiate contract.
+      if (P.isDepthwise() != Net.node(N).Scenario.Depthwise ||
+          !P.supports(Net.node(N).Scenario))
         return std::nullopt;
       break;
     }

@@ -33,10 +33,13 @@ TensorShape NetworkGraph::inferShape(const Layer &L,
   case LayerKind::Input:
     assert(false && "inputs use addInput");
     return {};
-  case LayerKind::Conv: {
+  case LayerKind::Conv:
+  case LayerKind::DepthwiseConv: {
     const TensorShape &In = Nodes[Inputs[0]].OutShape;
-    ConvScenario S{In.C,   In.H,          In.W,         L.Stride,
-                   L.KernelSize, L.OutChannels, L.Pad, L.SparsityPct};
+    // Depthwise convs preserve the channel count (multiplier 1).
+    int64_t M = L.Kind == LayerKind::DepthwiseConv ? In.C : L.OutChannels;
+    ConvScenario S{In.C,         In.H, In.W,  L.Stride,
+                   L.KernelSize, M,    L.Pad, L.SparsityPct};
     assert(S.outHeight() > 0 && S.outWidth() > 0 &&
            "convolution produces empty output");
     return {S.M, S.outHeight(), S.outWidth()};
@@ -47,6 +50,8 @@ TensorShape NetworkGraph::inferShape(const Layer &L,
     return {In.C, pooledExtent(In.H, L.KernelSize, L.Stride, L.Pad),
             pooledExtent(In.W, L.KernelSize, L.Stride, L.Pad)};
   }
+  case LayerKind::GlobalAvgPool:
+    return {Nodes[Inputs[0]].OutShape.C, 1, 1};
   case LayerKind::FullyConnected:
     return {L.OutChannels, 1, 1};
   case LayerKind::Concat: {
@@ -57,6 +62,13 @@ TensorShape NetworkGraph::inferShape(const Layer &L,
              "concat inputs must agree on spatial dims");
       Out.C += In.C;
     }
+    return Out;
+  }
+  case LayerKind::Add: {
+    const TensorShape &Out = Nodes[Inputs[0]].OutShape;
+    for (size_t I = 1; I < Inputs.size(); ++I)
+      assert(Nodes[Inputs[I]].OutShape == Out &&
+             "add inputs must agree on shape");
     return Out;
   }
   case LayerKind::ReLU:
@@ -72,8 +84,11 @@ TensorShape NetworkGraph::inferShape(const Layer &L,
 NetworkGraph::NodeId NetworkGraph::addLayer(Layer L,
                                             const std::vector<NodeId> &Inputs) {
   assert(!Inputs.empty() && "non-input layers need at least one input");
-  assert((L.Kind == LayerKind::Concat || Inputs.size() == 1) &&
-         "only concat takes multiple inputs");
+  assert((L.Kind == LayerKind::Concat || L.Kind == LayerKind::Add ||
+          Inputs.size() == 1) &&
+         "only concat and add take multiple inputs");
+  assert((L.Kind != LayerKind::Add || Inputs.size() >= 2) &&
+         "add needs at least two inputs");
   for (NodeId In : Inputs)
     assert(In < Nodes.size() && "input node does not exist (topology order)");
 
@@ -81,11 +96,19 @@ NetworkGraph::NodeId NetworkGraph::addLayer(Layer L,
   N.L = std::move(L);
   N.Inputs = Inputs;
   N.OutShape = inferShape(N.L, Inputs);
-  if (N.L.Kind == LayerKind::Conv) {
+  if (!isDummyKind(N.L.Kind)) {
     const TensorShape &In = Nodes[Inputs[0]].OutShape;
-    N.Scenario =
-        ConvScenario{In.C,           In.H,            In.W,    N.L.Stride,
-                     N.L.KernelSize, N.L.OutChannels, N.L.Pad, N.L.SparsityPct};
+    bool Depthwise = N.L.Kind == LayerKind::DepthwiseConv;
+    N.Scenario = ConvScenario{In.C,
+                              In.H,
+                              In.W,
+                              N.L.Stride,
+                              N.L.KernelSize,
+                              Depthwise ? In.C : N.L.OutChannels,
+                              N.L.Pad,
+                              N.L.SparsityPct,
+                              /*Batch=*/1,
+                              Depthwise};
   }
   N.Scenario.Batch = Batch;
   NodeId Id = static_cast<NodeId>(Nodes.size());
@@ -101,14 +124,14 @@ void NetworkGraph::setBatch(int64_t NewBatch) {
   // Batch does not affect per-image shapes, so retroactive application to
   // already-added conv nodes is safe.
   for (Node &N : Nodes)
-    if (N.L.Kind == LayerKind::Conv)
+    if (!isDummyKind(N.L.Kind))
       N.Scenario.Batch = NewBatch;
 }
 
 std::vector<NetworkGraph::NodeId> NetworkGraph::convNodes() const {
   std::vector<NodeId> Out;
   for (NodeId N = 0; N < Nodes.size(); ++N)
-    if (Nodes[N].L.Kind == LayerKind::Conv)
+    if (!isDummyKind(Nodes[N].L.Kind))
       Out.push_back(N);
   return Out;
 }
@@ -124,7 +147,7 @@ std::vector<NetworkGraph::NodeId> NetworkGraph::outputs() const {
 double NetworkGraph::totalConvMacs() const {
   double Total = 0.0;
   for (const Node &N : Nodes)
-    if (N.L.Kind == LayerKind::Conv)
+    if (!isDummyKind(N.L.Kind))
       Total += N.Scenario.macs();
   return Total;
 }

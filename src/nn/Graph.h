@@ -48,7 +48,8 @@ public:
     std::vector<NodeId> Inputs;
     std::vector<NodeId> Consumers; ///< reverse edges, maintained by addLayer
     TensorShape OutShape;
-    /// Valid only for Conv nodes: the scenario of this layer.
+    /// Valid only for the costed kinds (Conv, DepthwiseConv): the scenario
+    /// of this layer.
     ConvScenario Scenario;
   };
 
@@ -60,14 +61,16 @@ public:
   NodeId addInput(const std::string &Name, TensorShape Shape);
 
   /// Append \p L consuming the outputs of \p Inputs; infers the output
-  /// shape. Concat accepts multiple inputs; every other kind exactly one.
+  /// shape. Concat and Add accept multiple inputs (Add requires identical
+  /// shapes); every other kind exactly one.
   NodeId addLayer(Layer L, const std::vector<NodeId> &Inputs);
 
   unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
   const Node &node(NodeId N) const { return Nodes[N]; }
   const std::vector<Node> &nodes() const { return Nodes; }
 
-  /// Ids of all Conv nodes, in topological order.
+  /// Ids of all primitive-selected nodes (Conv and DepthwiseConv), in
+  /// topological order.
   std::vector<NodeId> convNodes() const;
 
   /// Nodes with no consumers (network outputs).

@@ -19,6 +19,11 @@ std::string ConvScenario::key() const {
   // extension).
   if (Batch != 1)
     OS << "_b" << Batch;
+  // Depthwise scenarios must never share a cost-table or plan-cache entry
+  // with a standard conv of the same dimensions: the computed function (and
+  // the supporting primitive set) differs.
+  if (Depthwise)
+    OS << "_dw";
   return OS.str();
 }
 
@@ -38,6 +43,7 @@ size_t ConvScenarioHash::operator()(const ConvScenario &S) const {
   Mix(S.Pad);
   Mix(S.SparsityPct);
   Mix(S.Batch);
+  Mix(S.Depthwise ? 1 : 0);
   return Hash;
 }
 
@@ -47,18 +53,24 @@ const char *primsel::layerKindName(LayerKind K) {
     return "input";
   case LayerKind::Conv:
     return "conv";
+  case LayerKind::DepthwiseConv:
+    return "dwconv";
   case LayerKind::ReLU:
     return "relu";
   case LayerKind::MaxPool:
     return "maxpool";
   case LayerKind::AvgPool:
     return "avgpool";
+  case LayerKind::GlobalAvgPool:
+    return "globalavgpool";
   case LayerKind::LRN:
     return "lrn";
   case LayerKind::FullyConnected:
     return "fc";
   case LayerKind::Concat:
     return "concat";
+  case LayerKind::Add:
+    return "add";
   case LayerKind::Softmax:
     return "softmax";
   case LayerKind::Dropout:

@@ -47,17 +47,29 @@ struct ConvScenario {
   /// approach to select either parallel GEMM or minibatch parallelism on a
   /// per-layer basis." See batch/Minibatch.h.
   int64_t Batch = 1;
+  /// True for depthwise convolutions (MobileNet-class networks): M == C and
+  /// output channel m reads only input channel m, so each filter has a
+  /// single input channel. Depthwise scenarios form their own primitive
+  /// family -- a standard conv routine computes a different function, so
+  /// PrimitiveLibrary::supporting never mixes the two.
+  bool Depthwise = false;
 
   int64_t outHeight() const { return (H + 2 * Pad - K) / Stride + 1; }
   int64_t outWidth() const { return (W + 2 * Pad - K) / Stride + 1; }
   int64_t paddedHeight() const { return H + 2 * Pad; }
   int64_t paddedWidth() const { return W + 2 * Pad; }
 
+  /// Channels of one kernel filter: C for standard convs, 1 for depthwise
+  /// (Kernel4D weights are M x kernelChannels() x K x K).
+  int64_t kernelChannels() const { return Depthwise ? 1 : C; }
+
   /// Multiply-accumulate count, O(H x W x C x K^2 x M) (paper §2.1), with
   /// stride reducing the output plane and the batch scaling total work.
+  /// Depthwise filters read a single input channel, so their reduction
+  /// shrinks by a factor of C.
   double macs() const {
-    return static_cast<double>(outHeight()) * outWidth() * C * K * K * M *
-           Batch;
+    return static_cast<double>(outHeight()) * outWidth() * kernelChannels() *
+           K * K * M * Batch;
   }
 
   /// The same scenario at minibatch size 1 (the per-image subproblem the
@@ -71,7 +83,8 @@ struct ConvScenario {
   bool operator==(const ConvScenario &O) const {
     return C == O.C && H == O.H && W == O.W && Stride == O.Stride &&
            K == O.K && M == O.M && Pad == O.Pad &&
-           SparsityPct == O.SparsityPct && Batch == O.Batch;
+           SparsityPct == O.SparsityPct && Batch == O.Batch &&
+           Depthwise == O.Depthwise;
   }
 
   /// Fraction of non-zero kernel weights, in [0, 1].
@@ -93,12 +106,15 @@ struct ConvScenarioHash {
 enum class LayerKind : uint8_t {
   Input,          ///< network input placeholder
   Conv,           ///< multi-channel multi-kernel convolution (§2.1)
+  DepthwiseConv,  ///< per-channel convolution (MobileNet separable stacks)
   ReLU,           ///< rectified linear activation
   MaxPool,        ///< max pooling (ceil-mode output dims, Caffe convention)
   AvgPool,        ///< average pooling
+  GlobalAvgPool,  ///< spatial mean per channel, output C x 1 x 1
   LRN,            ///< local response normalization (AlexNet/GoogLeNet)
   FullyConnected, ///< dense layer; consumes the flattened input
   Concat,         ///< channel-wise concatenation (GoogLeNet inception)
+  Add,            ///< elementwise sum (ResNet residual skip connections)
   Softmax,        ///< final classifier normalization
   Dropout,        ///< identity at inference time
 };
@@ -106,8 +122,12 @@ enum class LayerKind : uint8_t {
 const char *layerKindName(LayerKind K);
 
 /// True for layer kinds that are modelled as zero-cost wildcard-layout
-/// "dummy" nodes in the PBQP formulation (every kind except Conv; §5.2).
-inline bool isDummyKind(LayerKind K) { return K != LayerKind::Conv; }
+/// "dummy" nodes in the PBQP formulation (§5.2). Conv and DepthwiseConv are
+/// the costed kinds whose alternatives are primitives; everything else
+/// accepts any layout at zero cost.
+inline bool isDummyKind(LayerKind K) {
+  return K != LayerKind::Conv && K != LayerKind::DepthwiseConv;
+}
 
 /// A single layer: kind, name, and the parameters relevant to its kind.
 struct Layer {
@@ -138,6 +158,19 @@ struct Layer {
     L.Stride = Stride;
     L.Pad = Pad;
     L.SparsityPct = SparsityPct;
+    return L;
+  }
+  /// Depthwise convolution: one K x K filter per input channel, output
+  /// channel count equals the input's (channel multiplier 1). OutChannels
+  /// is inferred from the input when the layer joins a graph.
+  static Layer depthwiseConv(std::string Name, int64_t KernelSize,
+                             int64_t Stride = 1, int64_t Pad = 0) {
+    Layer L;
+    L.Kind = LayerKind::DepthwiseConv;
+    L.Name = std::move(Name);
+    L.KernelSize = KernelSize;
+    L.Stride = Stride;
+    L.Pad = Pad;
     return L;
   }
   static Layer relu(std::string Name) {
@@ -182,6 +215,21 @@ struct Layer {
   static Layer concat(std::string Name) {
     Layer L;
     L.Kind = LayerKind::Concat;
+    L.Name = std::move(Name);
+    return L;
+  }
+  /// Elementwise sum of two or more same-shape inputs (residual skip
+  /// connections).
+  static Layer add(std::string Name) {
+    Layer L;
+    L.Kind = LayerKind::Add;
+    L.Name = std::move(Name);
+    return L;
+  }
+  /// Global average pooling: the spatial mean of each channel (C x 1 x 1).
+  static Layer globalAvgPool(std::string Name) {
+    Layer L;
+    L.Kind = LayerKind::GlobalAvgPool;
     L.Name = std::move(Name);
     return L;
   }

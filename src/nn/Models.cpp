@@ -213,6 +213,88 @@ NetworkGraph primsel::googLeNet(double Scale) {
   return G;
 }
 
+/// One ResNet basic block: two 3x3 convs with a shortcut summed in before
+/// the final activation. The first conv carries the stage's stride; when
+/// the block changes resolution or width the shortcut is projected through
+/// a 1x1 conv with the same stride, otherwise it is the identity -- the
+/// canonical multi-consumer diamond (the input feeds both the block body
+/// and the skip edge).
+static NodeId basicBlock(NetworkGraph &G, NodeId In, const std::string &Name,
+                         int64_t Channels, int64_t Stride) {
+  NodeId C1 = G.addLayer(
+      Layer::conv(Name + "_conv1", Channels, 3, Stride, 1), {In});
+  NodeId R1 = G.addLayer(Layer::relu(Name + "_relu1"), {C1});
+  NodeId C2 =
+      G.addLayer(Layer::conv(Name + "_conv2", Channels, 3, 1, 1), {R1});
+  NodeId Skip = In;
+  if (Stride != 1 || G.node(In).OutShape.C != Channels)
+    Skip = G.addLayer(
+        Layer::conv(Name + "_proj", Channels, 1, Stride, 0), {In});
+  NodeId Sum = G.addLayer(Layer::add(Name + "_add"), {C2, Skip});
+  return G.addLayer(Layer::relu(Name + "_relu2"), {Sum});
+}
+
+NetworkGraph primsel::resNet18(double Scale) {
+  NetworkGraph G("resnet18");
+  int64_t In = scaled(224, Scale);
+  NodeId N = G.addInput("data", {3, In, In});
+  N = G.addLayer(Layer::conv("conv1", 64, 7, 2, 3), {N});
+  N = G.addLayer(Layer::relu("conv1_relu"), {N});
+  N = G.addLayer(Layer::maxPool("pool1", 3, 2, 1), {N});
+
+  const int64_t StageChannels[] = {64, 128, 256, 512};
+  for (int Stage = 0; Stage < 4; ++Stage) {
+    int64_t Channels = StageChannels[Stage];
+    // Stage 1 keeps the stem's resolution; stages 2-4 halve it in their
+    // first block (which therefore projects its shortcut).
+    int64_t Stride = Stage == 0 ? 1 : 2;
+    std::string Prefix = "layer" + std::to_string(Stage + 1);
+    N = basicBlock(G, N, Prefix + "_block1", Channels, Stride);
+    N = basicBlock(G, N, Prefix + "_block2", Channels, 1);
+  }
+
+  N = G.addLayer(Layer::globalAvgPool("pool5"), {N});
+  N = G.addLayer(Layer::fullyConnected("fc", 1000), {N});
+  G.addLayer(Layer::softmax("prob"), {N});
+  return G;
+}
+
+/// One MobileNet depthwise-separable block: 3x3 depthwise (carrying the
+/// stride) then a 1x1 pointwise conv, ReLU after each.
+static NodeId separableBlock(NetworkGraph &G, NodeId In,
+                             const std::string &Name, int64_t OutChannels,
+                             int64_t Stride) {
+  NodeId Dw =
+      G.addLayer(Layer::depthwiseConv(Name + "_dw", 3, Stride, 1), {In});
+  NodeId R1 = G.addLayer(Layer::relu(Name + "_dw_relu"), {Dw});
+  NodeId Pw =
+      G.addLayer(Layer::conv(Name + "_pw", OutChannels, 1, 1, 0), {R1});
+  return G.addLayer(Layer::relu(Name + "_pw_relu"), {Pw});
+}
+
+NetworkGraph primsel::mobileNet(double Scale) {
+  NetworkGraph G("mobilenet");
+  int64_t In = scaled(224, Scale);
+  NodeId N = G.addInput("data", {3, In, In});
+  N = G.addLayer(Layer::conv("conv1", 32, 3, 2, 1), {N});
+  N = G.addLayer(Layer::relu("conv1_relu"), {N});
+
+  // MobileNet v1 channel/stride schedule, 13 separable blocks.
+  const std::pair<int64_t, int64_t> Blocks[] = {
+      {64, 1},  {128, 2}, {128, 1}, {256, 2},  {256, 1},
+      {512, 2}, {512, 1}, {512, 1}, {512, 1},  {512, 1},
+      {512, 1}, {1024, 2}, {1024, 1}};
+  int Index = 1;
+  for (const auto &[Channels, Stride] : Blocks)
+    N = separableBlock(G, N, "sep" + std::to_string(Index++), Channels,
+                       Stride);
+
+  N = G.addLayer(Layer::globalAvgPool("pool6"), {N});
+  N = G.addLayer(Layer::fullyConnected("fc", 1000), {N});
+  G.addLayer(Layer::softmax("prob"), {N});
+  return G;
+}
+
 NetworkGraph primsel::tinyChain(int64_t InputSize) {
   NetworkGraph G("tiny-chain");
   ChainBuilder B(G, G.addInput("data", {3, InputSize, InputSize}));
@@ -250,11 +332,16 @@ std::optional<NetworkGraph> primsel::buildModel(const std::string &Name,
     return vggE(Scale);
   if (Name == "googlenet")
     return googLeNet(Scale);
+  if (Name == "resnet18")
+    return resNet18(Scale);
+  if (Name == "mobilenet")
+    return mobileNet(Scale);
   return std::nullopt;
 }
 
 std::vector<std::string> primsel::modelNames() {
-  return {"alexnet", "vgg-b", "vgg-c", "vgg-d", "vgg-e", "googlenet"};
+  return {"alexnet", "vgg-b",    "vgg-c",    "vgg-d",
+          "vgg-e",   "googlenet", "resnet18", "mobilenet"};
 }
 
 NetworkGraph primsel::randomNetwork(uint64_t Seed, int64_t InputSize,
@@ -341,6 +428,81 @@ NetworkGraph primsel::randomNetwork(uint64_t Seed, int64_t InputSize,
   NodeId Head = G.addLayer(
       Layer::fullyConnected(Name("fc"), 4 + static_cast<int64_t>(R.nextBelow(12))),
       {PickFrontier()});
+  G.addLayer(Layer::softmax(Name("softmax")), {Head});
+  return G;
+}
+
+NetworkGraph primsel::randomResidualNetwork(uint64_t Seed, int64_t InputSize,
+                                            unsigned Stages) {
+  assert(InputSize >= 8 && "input too small for a random residual network");
+  Rng R(Seed);
+  NetworkGraph G("residual-" + std::to_string(Seed));
+
+  int64_t Channels = 3 + static_cast<int64_t>(R.nextBelow(6));
+  NodeId Current = G.addInput("data", {Channels, InputSize, InputSize});
+
+  unsigned Serial = 0;
+  auto Name = [&Serial](const char *Kind) {
+    return std::string(Kind) + "_" + std::to_string(Serial++);
+  };
+
+  // Each block is spatial-preserving so its skip is always shape-legal;
+  // the input feeds both the body and the skip edge (multi-consumer
+  // diamonds throughout). Stride-2 pooling separates stages.
+  for (unsigned Stage = 0; Stage < Stages; ++Stage) {
+    unsigned Blocks = 1 + static_cast<unsigned>(R.nextBelow(3));
+    for (unsigned Block = 0; Block < Blocks; ++Block) {
+      NodeId In = Current;
+      int64_t InCh = G.node(In).OutShape.C;
+      NodeId Body;
+      int64_t BodyCh;
+      switch (R.nextBelow(3)) {
+      case 0: { // conv pair, optionally widened
+        BodyCh = 2 + static_cast<int64_t>(R.nextBelow(14));
+        NodeId C1 = G.addLayer(
+            Layer::conv(Name("conv"), BodyCh, 3, 1, 1), {In});
+        NodeId R1 = G.addLayer(Layer::relu(Name("relu")), {C1});
+        Body = G.addLayer(Layer::conv(Name("conv"), BodyCh, 3, 1, 1), {R1});
+        break;
+      }
+      case 1: { // depthwise-separable body
+        int64_t K = R.nextBelow(2) == 0 ? 3 : 5;
+        NodeId Dw = G.addLayer(
+            Layer::depthwiseConv(Name("dw"), K, 1, K / 2), {In});
+        NodeId R1 = G.addLayer(Layer::relu(Name("relu")), {Dw});
+        BodyCh = 2 + static_cast<int64_t>(R.nextBelow(14));
+        Body = G.addLayer(Layer::conv(Name("pw"), BodyCh, 1, 1, 0), {R1});
+        break;
+      }
+      default: { // plain depthwise body (channel-preserving)
+        BodyCh = InCh;
+        Body = G.addLayer(
+            Layer::depthwiseConv(Name("dw"), 3, 1, 1), {In});
+        break;
+      }
+      }
+      NodeId Skip = In;
+      if (BodyCh != InCh)
+        Skip = G.addLayer(
+            Layer::conv(Name("proj"), BodyCh, 1, 1, 0), {In});
+      NodeId Sum = G.addLayer(Layer::add(Name("add")), {Body, Skip});
+      Current = R.nextBelow(2) == 0
+                    ? G.addLayer(Layer::relu(Name("relu")), {Sum})
+                    : Sum;
+    }
+    if (G.node(Current).OutShape.H >= 8) {
+      bool Max = R.nextBelow(2) == 0;
+      Layer Pool = Max ? Layer::maxPool(Name("maxpool"), 2, 2)
+                       : Layer::avgPool(Name("avgpool"), 2, 2);
+      Current = G.addLayer(std::move(Pool), {Current});
+    }
+  }
+
+  Current = G.addLayer(Layer::globalAvgPool(Name("gap")), {Current});
+  NodeId Head = G.addLayer(
+      Layer::fullyConnected(Name("fc"),
+                            4 + static_cast<int64_t>(R.nextBelow(12))),
+      {Current});
   G.addLayer(Layer::softmax(Name("softmax")), {Head});
   return G;
 }

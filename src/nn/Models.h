@@ -42,6 +42,19 @@ NetworkGraph vggE(double Scale = 1.0);
 /// shows one), 57 conv layers total, without the auxiliary classifiers.
 NetworkGraph googLeNet(double Scale = 1.0);
 
+/// ResNet-18 (He et al.): the residual workload. A 7x7/2 stem, four stages
+/// of two basic blocks (3x3 conv pairs with identity shortcuts; the first
+/// block of stages 2-4 downsamples and projects its shortcut through a
+/// 1x1/2 conv), global average pooling and the classifier. 20 conv layers,
+/// 8 residual Add nodes.
+NetworkGraph resNet18(double Scale = 1.0);
+
+/// MobileNet v1 (Howard et al.): the depthwise-separable workload. A 3x3/2
+/// stem followed by 13 depthwise-separable blocks (3x3 depthwise + 1x1
+/// pointwise, ReLU after each), global average pooling and the classifier.
+/// 13 DepthwiseConv and 14 Conv layers.
+NetworkGraph mobileNet(double Scale = 1.0);
+
 /// A small linear conv chain for tests and the quickstart example.
 NetworkGraph tinyChain(int64_t InputSize = 32);
 
@@ -55,8 +68,17 @@ NetworkGraph tinyDag(int64_t InputSize = 32);
 NetworkGraph randomNetwork(uint64_t Seed, int64_t InputSize = 32,
                            unsigned Stages = 3);
 
+/// A pseudo-random, always-valid residual/depthwise DAG for fuzz and
+/// property tests: stages of spatial-preserving residual blocks (conv or
+/// depthwise-conv bodies, identity or projected skips, diamond dataflow)
+/// separated by stride-2 pooling, ending in global average pooling and a
+/// classifier. Deterministic per \p Seed.
+NetworkGraph randomResidualNetwork(uint64_t Seed, int64_t InputSize = 32,
+                                   unsigned Stages = 3);
+
 /// Look up a model builder by name ("alexnet", "vgg-b", "vgg-c", "vgg-d",
-/// "vgg-e", "googlenet"); returns std::nullopt for unknown names.
+/// "vgg-e", "googlenet", "resnet18", "mobilenet"); returns std::nullopt for
+/// unknown names.
 std::optional<NetworkGraph> buildModel(const std::string &Name,
                                        double Scale = 1.0);
 

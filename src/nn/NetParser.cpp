@@ -175,19 +175,37 @@ private:
     std::vector<NetworkGraph::NodeId> Inputs;
     if (!resolveInputs(Attrs, Inputs))
       return false;
+    if (Kind != "concat" && Kind != "add" && Inputs.size() != 1)
+      return fail("'" + Kind + "' takes exactly one input");
 
-    if (Kind == "conv") {
+    if (Kind == "conv" || Kind == "dwconv") {
       int64_t M = 0, K = 0, Stride = 1, Pad = 0, Sparsity = 0;
-      if (!intAttr(Attrs, "out", M, true) || !intAttr(Attrs, "k", K, true) ||
+      bool Depthwise = Kind == "dwconv";
+      if (!Depthwise && !intAttr(Attrs, "out", M, true))
+        return false;
+      if (!intAttr(Attrs, "k", K, true) ||
           !intAttr(Attrs, "stride", Stride, false, 1) ||
           !intAttr(Attrs, "pad", Pad, false, 0) ||
           !intAttr(Attrs, "sparsity", Sparsity, false, 0))
         return false;
-      if (M < 1 || K < 1 || Stride < 1 || Pad < 0 || Sparsity < 0 ||
-          Sparsity > 100)
-        return fail("conv parameters out of range");
-      return addNamed(Name, Layer::conv(Name, M, K, Stride, Pad, Sparsity),
-                      Inputs);
+      if (Depthwise && Attrs.count("out"))
+        return fail("dwconv output channels are the input's; drop 'out='");
+      if (Depthwise && Attrs.count("sparsity"))
+        return fail("dwconv does not support 'sparsity=' (the sparse "
+                    "family is dense-conv only)");
+      if ((!Depthwise && M < 1) || K < 1 || Stride < 1 || Pad < 0 ||
+          Sparsity < 0 || Sparsity > 100)
+        return fail(Kind + " parameters out of range");
+      // Valid output requires H + 2P >= K (integer division truncates
+      // toward zero, so the out-extent formula itself cannot be tested
+      // against < 1 here).
+      const TensorShape &In = Net->node(Inputs[0]).OutShape;
+      if (In.H + 2 * Pad < K || In.W + 2 * Pad < K)
+        return fail(Kind + " '" + Name + "' produces an empty output (k=" +
+                    std::to_string(K) + " exceeds the padded input)");
+      Layer L = Depthwise ? Layer::depthwiseConv(Name, K, Stride, Pad)
+                          : Layer::conv(Name, M, K, Stride, Pad, Sparsity);
+      return addNamed(Name, std::move(L), Inputs);
     }
     if (Kind == "maxpool" || Kind == "avgpool") {
       int64_t K = 0, Stride = 1, Pad = 0;
@@ -195,6 +213,12 @@ private:
           !intAttr(Attrs, "stride", Stride, true) ||
           !intAttr(Attrs, "pad", Pad, false, 0))
         return false;
+      if (K < 1 || Stride < 1 || Pad < 0)
+        return fail("pooling parameters out of range");
+      const TensorShape &In = Net->node(Inputs[0]).OutShape;
+      if (In.H + 2 * Pad < K || In.W + 2 * Pad < K)
+        return fail("pooling window of '" + Name +
+                    "' exceeds the padded input");
       Layer L = Kind == "maxpool" ? Layer::maxPool(Name, K, Stride, Pad)
                                   : Layer::avgPool(Name, K, Stride, Pad);
       return addNamed(Name, std::move(L), Inputs);
@@ -215,10 +239,30 @@ private:
       return addNamed(Name, Layer::softmax(Name), Inputs);
     if (Kind == "dropout")
       return addNamed(Name, Layer::dropout(Name), Inputs);
+    if (Kind == "globalavgpool")
+      return addNamed(Name, Layer::globalAvgPool(Name), Inputs);
     if (Kind == "concat") {
       if (Inputs.size() < 2)
         return fail("concat needs at least two inputs");
+      const TensorShape &First = Net->node(Inputs[0]).OutShape;
+      for (size_t I = 1; I < Inputs.size(); ++I) {
+        const TensorShape &Sh = Net->node(Inputs[I]).OutShape;
+        if (Sh.H != First.H || Sh.W != First.W)
+          return fail("concat '" + Name +
+                      "' inputs disagree on spatial dimensions");
+      }
       return addNamed(Name, Layer::concat(Name), Inputs);
+    }
+    if (Kind == "add") {
+      if (Inputs.size() < 2)
+        return fail("add needs at least two inputs (a residual sum)");
+      const TensorShape &First = Net->node(Inputs[0]).OutShape;
+      for (size_t I = 1; I < Inputs.size(); ++I)
+        if (!(Net->node(Inputs[I]).OutShape == First))
+          return fail("add '" + Name + "' inputs disagree on shape ('" +
+                      Net->node(Inputs[I]).L.Name + "' vs '" +
+                      Net->node(Inputs[0]).L.Name + "')");
+      return addNamed(Name, Layer::add(Name), Inputs);
     }
     return fail("unknown directive '" + Kind + "'");
   }
@@ -235,18 +279,24 @@ const char *directiveFor(LayerKind K) {
     return "input";
   case LayerKind::Conv:
     return "conv";
+  case LayerKind::DepthwiseConv:
+    return "dwconv";
   case LayerKind::ReLU:
     return "relu";
   case LayerKind::MaxPool:
     return "maxpool";
   case LayerKind::AvgPool:
     return "avgpool";
+  case LayerKind::GlobalAvgPool:
+    return "globalavgpool";
   case LayerKind::LRN:
     return "lrn";
   case LayerKind::FullyConnected:
     return "fc";
   case LayerKind::Concat:
     return "concat";
+  case LayerKind::Add:
+    return "add";
   case LayerKind::Softmax:
     return "softmax";
   case LayerKind::Dropout:
@@ -297,6 +347,10 @@ std::string primsel::serializeNetwork(const NetworkGraph &Net) {
          << " stride=" << L.Stride << " pad=" << L.Pad;
       if (L.SparsityPct > 0)
         OS << " sparsity=" << L.SparsityPct;
+      break;
+    case LayerKind::DepthwiseConv:
+      OS << " k=" << L.KernelSize << " stride=" << L.Stride
+         << " pad=" << L.Pad;
       break;
     case LayerKind::MaxPool:
     case LayerKind::AvgPool:

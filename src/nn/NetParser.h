@@ -19,13 +19,18 @@
 ///   input <name> <C> <H> <W>
 ///   conv <name> from=<input> out=<M> k=<K> [stride=<S>] [pad=<P>]
 ///        [sparsity=<pct>]
-///   relu|lrn|softmax|dropout <name> from=<input>
+///   dwconv <name> from=<input> k=<K> [stride=<S>] [pad=<P>]
+///   relu|lrn|softmax|dropout|globalavgpool <name> from=<input>
 ///   maxpool|avgpool <name> from=<input> k=<K> stride=<S> [pad=<P>]
 ///   fc <name> from=<input> out=<units>
 ///   concat <name> from=<a>,<b>,...
+///   add <name> from=<a>,<b>,...       # residual sum; shapes must match
 ///
 /// Layers must appear after every layer they consume (topological order,
-/// matching NetworkGraph's construction discipline).
+/// matching NetworkGraph's construction discipline). Malformed inputs --
+/// unknown skip targets, shape-mismatched add/concat operands, layers whose
+/// output would be empty -- are rejected with a diagnostic, never asserted
+/// on: the parser is the one layer that consumes untrusted text.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -14,6 +14,8 @@ const char *ConvPrimitive::libraryTag() const { return "primsel"; }
 
 bool ConvPrimitive::supportsBatch(int64_t Batch) const { return Batch == 1; }
 
+bool ConvPrimitive::isDepthwise() const { return false; }
+
 void ConvInstance::runBatch(const std::vector<Tensor3D> &In,
                             std::vector<Tensor3D> &Out,
                             const RunContext &Ctx) {
@@ -40,6 +42,8 @@ const char *primsel::convFamilyName(ConvFamily F) {
     return "sparse";
   case ConvFamily::Quantized:
     return "q16";
+  case ConvFamily::Depthwise:
+    return "depthwise";
   }
   assert(false && "unknown convolution family");
   return "?";

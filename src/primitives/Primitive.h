@@ -47,9 +47,12 @@ enum class ConvFamily : uint8_t {
              ///< "16-bit fixed point data" whose outputs cannot feed f32
              ///< routines without conversion; ours quantize and dequantize
              ///< at the boundary so tensors stay f32 between layers)
+  Depthwise, ///< per-channel routines for depthwise scenarios (MobileNet
+             ///< separable stacks); a distinct family because a depthwise
+             ///< conv computes a different function than any standard conv
 };
 
-constexpr unsigned NumConvFamilies = 8;
+constexpr unsigned NumConvFamilies = 9;
 
 const char *convFamilyName(ConvFamily F);
 
@@ -95,6 +98,12 @@ public:
 
   /// True if this routine can implement \p S at all (legality, not speed).
   virtual bool supports(const ConvScenario &S) const = 0;
+
+  /// True for routines computing the depthwise (per-channel) convolution.
+  /// PrimitiveLibrary::supporting pairs routines and scenarios by this flag
+  /// in addition to supports(), so standard-conv routines never have to
+  /// inspect Scenario.Depthwise themselves.
+  virtual bool isDepthwise() const;
 
   /// The library this routine ships in. The paper's §8 ensemble extension
   /// mixes "convolution routines from different libraries, if at least one

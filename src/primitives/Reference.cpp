@@ -38,6 +38,38 @@ void primsel::referenceConv(const ConvScenario &S, const Tensor3D &In,
       }
 }
 
+void primsel::referenceDepthwiseConv(const ConvScenario &S, const Tensor3D &In,
+                                     const Kernel4D &Weights, Tensor3D &Out) {
+  assert(S.Depthwise && S.M == S.C && "scenario is not depthwise");
+  assert(In.channels() == S.C && In.height() == S.H && In.width() == S.W &&
+         "input shape does not match the scenario");
+  assert(Weights.numFilters() == S.M && Weights.channels() == 1 &&
+         Weights.kernelSize() == S.K && "weights do not match the scenario");
+  assert(Out.channels() == S.M && Out.height() == S.outHeight() &&
+         Out.width() == S.outWidth() &&
+         "output shape does not match the scenario");
+
+  const int64_t Ho = S.outHeight();
+  const int64_t Wo = S.outWidth();
+  for (int64_t Ch = 0; Ch < S.C; ++Ch)
+    for (int64_t Row = 0; Row < Ho; ++Row)
+      for (int64_t Col = 0; Col < Wo; ++Col) {
+        float Acc = 0.0f;
+        for (int64_t Kr = 0; Kr < S.K; ++Kr) {
+          int64_t InRow = Row * S.Stride + Kr - S.Pad;
+          if (InRow < 0 || InRow >= S.H)
+            continue;
+          for (int64_t Kc = 0; Kc < S.K; ++Kc) {
+            int64_t InCol = Col * S.Stride + Kc - S.Pad;
+            if (InCol < 0 || InCol >= S.W)
+              continue;
+            Acc += In.at(Ch, InRow, InCol) * Weights.at(Ch, 0, Kr, Kc);
+          }
+        }
+        Out.at(Ch, Row, Col) = Acc;
+      }
+}
+
 Tensor3D primsel::makePaddedInput(const Tensor3D &In, int64_t Pad, Layout L) {
   Tensor3D Padded(In.channels(), In.height() + 2 * Pad, In.width() + 2 * Pad,
                   L);

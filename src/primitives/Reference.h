@@ -27,6 +27,15 @@ namespace primsel {
 void referenceConv(const ConvScenario &S, const Tensor3D &In,
                    const Kernel4D &Weights, Tensor3D &Out);
 
+/// Reference depthwise convolution (channel multiplier 1):
+///   Out[c][ho][wo] = sum_{kh,kw}
+///       In[c][ho*S + kh - P][wo*S + kw - P] * W[c][0][kh][kw]
+/// \p S must have S.Depthwise set (M == C); weights are C x 1 x K x K. The
+/// correctness oracle for the depthwise primitive family and the
+/// differential harness.
+void referenceDepthwiseConv(const ConvScenario &S, const Tensor3D &In,
+                            const Kernel4D &Weights, Tensor3D &Out);
+
 /// Copy \p In into a zero-padded tensor of shape C x (H+2P) x (W+2P) in
 /// layout \p L. Used by primitives that cannot fold padding into their
 /// indexing (Winograd, FFT, kn2 temporaries).

@@ -17,8 +17,12 @@ PrimitiveId PrimitiveLibrary::add(std::unique_ptr<ConvPrimitive> P) {
 std::vector<PrimitiveId>
 PrimitiveLibrary::supporting(const ConvScenario &S) const {
   std::vector<PrimitiveId> Out;
+  // The depthwise flag pairs routines with scenarios centrally: a standard
+  // conv routine on a depthwise scenario (or vice versa) would compute a
+  // different function, so it is never a legal alternative.
   for (PrimitiveId Id = 0; Id < Primitives.size(); ++Id)
-    if (Primitives[Id]->supportsBatch(S.Batch) && Primitives[Id]->supports(S))
+    if (Primitives[Id]->isDepthwise() == S.Depthwise &&
+        Primitives[Id]->supportsBatch(S.Batch) && Primitives[Id]->supports(S))
       Out.push_back(Id);
   return Out;
 }
@@ -28,6 +32,7 @@ std::vector<PrimitiveId> PrimitiveLibrary::supporting(const ConvScenario &S,
   std::vector<PrimitiveId> Out;
   for (PrimitiveId Id = 0; Id < Primitives.size(); ++Id)
     if (Primitives[Id]->family() == F &&
+        Primitives[Id]->isDepthwise() == S.Depthwise &&
         Primitives[Id]->supportsBatch(S.Batch) && Primitives[Id]->supports(S))
       Out.push_back(Id);
   return Out;
@@ -77,6 +82,7 @@ PrimitiveLibrary primsel::buildFullLibrary() {
   registerWinogradFamily(Lib);
   registerFFTFamily(Lib);
   registerSparseFamily(Lib);
+  registerDepthwiseFamily(Lib);
   return Lib;
 }
 

@@ -70,6 +70,9 @@ void registerKn2Family(PrimitiveLibrary &Lib);
 void registerWinogradFamily(PrimitiveLibrary &Lib);
 void registerFFTFamily(PrimitiveLibrary &Lib);
 void registerSparseFamily(PrimitiveLibrary &Lib);
+/// Per-channel routines for depthwise scenarios (Depthwise.cpp). Only these
+/// support ConvScenario.Depthwise, and they support nothing else.
+void registerDepthwiseFamily(PrimitiveLibrary &Lib);
 /// The second-vendor "hwcnn" library (§8 ensembles; see HwcLibrary.cpp).
 void registerHwcLibrary(PrimitiveLibrary &Lib);
 /// 16-bit fixed-point routines (§3 data-type motivation; Quantized.cpp).

@@ -38,6 +38,7 @@ ExecutionPlan ExecutionPlan::compile(const NetworkGraph &Net,
       S.K = ExecStep::Kind::Input;
       break;
     case LayerKind::Conv:
+    case LayerKind::DepthwiseConv:
       S.K = ExecStep::Kind::Conv;
       break;
     default:

@@ -47,9 +47,10 @@ Executor::Executor(const NetworkGraph &Net, const NetworkPlan &PlanIn,
 
   for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
     const NetworkGraph::Node &Node = Net.node(N);
-    if (Node.L.Kind == LayerKind::Conv) {
+    if (!isDummyKind(Node.L.Kind)) {
       const ConvScenario &S = Node.Scenario;
-      Kernel4D Weights(S.M, S.C, S.K);
+      // Depthwise filters carry a single input channel.
+      Kernel4D Weights(S.M, S.kernelChannels(), S.K);
       // Deterministic per-node weights so any two plans over the same
       // network compute the same function.
       Weights.fillRandom(Opts.WeightSeed + N);
@@ -130,18 +131,26 @@ void Executor::runDummy(const NetworkGraph::Node &Node,
   case LayerKind::LRN:
     lrnOp(In, Out);
     break;
-  case LayerKind::Concat: {
+  case LayerKind::Concat:
+  case LayerKind::Add: {
     std::vector<const Tensor3D *> Parts;
     for (unsigned I = 0; I < Node.Inputs.size(); ++I)
       Parts.push_back(&inputTensor(N, I));
-    concatOp(Parts, Out);
+    if (Node.L.Kind == LayerKind::Concat)
+      concatOp(Parts, Out);
+    else
+      addOp(Parts, Out);
     break;
   }
+  case LayerKind::GlobalAvgPool:
+    globalAvgPoolOp(In, Out);
+    break;
   case LayerKind::FullyConnected:
     fullyConnectedOp(FcWeights[N].data(), In, Out, PrimPool);
     break;
   case LayerKind::Input:
   case LayerKind::Conv:
+  case LayerKind::DepthwiseConv:
     assert(false && "not a dummy layer");
     break;
   }

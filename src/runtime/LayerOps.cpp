@@ -106,6 +106,37 @@ void primsel::concatOp(const std::vector<const Tensor3D *> &Parts,
   assert(ChannelBase == Out.channels() && "concat channel count mismatch");
 }
 
+void primsel::addOp(const std::vector<const Tensor3D *> &Parts,
+                    Tensor3D &Out) {
+  assert(Parts.size() >= 2 && "add needs at least two parts");
+  for (const Tensor3D *Part : Parts)
+    assert(Part->layout() == Out.layout() && Part->sameShape(Out) &&
+           "add requires matching layout and shape");
+  // Same shape + same layout means same strides, so flat loops are exact.
+  const float *First = Parts[0]->data();
+  float *Dst = Out.data();
+  const int64_t E = Out.size();
+  std::memcpy(Dst, First, static_cast<size_t>(E) * sizeof(float));
+  for (size_t P = 1; P < Parts.size(); ++P) {
+    const float *Src = Parts[P]->data();
+    for (int64_t I = 0; I < E; ++I)
+      Dst[I] += Src[I];
+  }
+}
+
+void primsel::globalAvgPoolOp(const Tensor3D &In, Tensor3D &Out) {
+  assert(Out.channels() == In.channels() && Out.height() == 1 &&
+         Out.width() == 1 && "global average pool output is C x 1 x 1");
+  const double Inv = 1.0 / static_cast<double>(In.height() * In.width());
+  for (int64_t Ch = 0; Ch < In.channels(); ++Ch) {
+    double Sum = 0.0;
+    for (int64_t R = 0; R < In.height(); ++R)
+      for (int64_t Col = 0; Col < In.width(); ++Col)
+        Sum += In.at(Ch, R, Col);
+    Out.at(Ch, 0, 0) = static_cast<float>(Sum * Inv);
+  }
+}
+
 void primsel::fullyConnectedOp(const float *Weights, const Tensor3D &In,
                                Tensor3D &Out, ThreadPool *Pool) {
   assert(Out.height() == 1 && Out.width() == 1 && "FC output is a vector");

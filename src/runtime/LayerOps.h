@@ -53,6 +53,14 @@ void lrnOp(const Tensor3D &In, Tensor3D &Out);
 /// Channel-wise concatenation of \p Parts, in order.
 void concatOp(const std::vector<const Tensor3D *> &Parts, Tensor3D &Out);
 
+/// Elementwise sum of \p Parts (residual skip connections). All parts and
+/// \p Out must share one shape and one layout.
+void addOp(const std::vector<const Tensor3D *> &Parts, Tensor3D &Out);
+
+/// Global average pooling: the spatial mean of each channel. \p Out must be
+/// C x 1 x 1.
+void globalAvgPoolOp(const Tensor3D &In, Tensor3D &Out);
+
 /// Dense layer: Out = W * flatten(In), where \p Weights is row-major
 /// (OutUnits x In.size()) and the input is flattened in logical (C, H, W)
 /// order regardless of layout. Out must be OutUnits x 1 x 1.

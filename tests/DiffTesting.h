@@ -1,0 +1,201 @@
+//===- tests/DiffTesting.h - Reusable differential-testing harness --------===//
+//
+// Part of primsel. See DESIGN.md.
+//
+// The differential harness every scenario PR reuses: new workloads are
+// proved correct by running each registered primitive and each plan/serving
+// configuration against the Reference routines on randomized shapes and
+// asserting bit-identical or ULP-bounded outputs.
+//
+// Two levels of comparison:
+//
+//  - Primitive level: expectPrimitiveMatchesReference() runs one routine on
+//    a randomized scenario and compares against referenceConv /
+//    referenceDepthwiseConv (the oracles), with a per-family ULP-style
+//    tolerance scaled by the reduction length.
+//
+//  - Plan level: runPlanOutputs() executes a legalized plan under a chosen
+//    serving configuration (arena on/off, parallel branches on/off) and
+//    returns every network output in CHW. planConfigs() enumerates the
+//    arena x parallel x solver-backend grid; expectOutputsBitIdentical()
+//    pins the executor's promise that serving options never change a
+//    plan's bits, and expectOutputsClose() bounds a plan against the
+//    reference instantiation (referencePlan(): every costed node on its
+//    reference routine).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_TESTS_DIFFTESTING_H
+#define PRIMSEL_TESTS_DIFFTESTING_H
+
+#include "core/Strategies.h"
+#include "primitives/Reference.h"
+#include "primitives/Registry.h"
+#include "runtime/Executor.h"
+#include "support/Random.h"
+#include "tensor/Transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace primsel {
+namespace difftest {
+
+/// Absolute tolerance for one primitive family on one scenario: a few ULP
+/// of the largest partial sum, scaled with the reduction length (and with
+/// the extra transform error of the Winograd/FFT/Quantized algorithms, as
+/// in the primitives sweep).
+inline float familyTolerance(const ConvScenario &S, ConvFamily F) {
+  float Base =
+      2e-5f * std::sqrt(static_cast<float>(S.kernelChannels() * S.K * S.K));
+  switch (F) {
+  case ConvFamily::Winograd:
+    return 400.0f * Base;
+  case ConvFamily::FFT:
+    return 100.0f * Base;
+  case ConvFamily::Quantized:
+    return 1e-4f * static_cast<float>(S.kernelChannels() * S.K * S.K);
+  default:
+    return 10.0f * Base;
+  }
+}
+
+/// Whole-network tolerance: deep accumulation plus per-layer algorithmic
+/// error (Winograd/FFT selections) compound, as in the fuzz suite.
+inline float networkTolerance() { return 5e-2f; }
+
+/// A randomized dense convolution scenario small enough for exhaustive
+/// per-primitive sweeps.
+inline ConvScenario randomDenseScenario(Rng &R) {
+  ConvScenario S;
+  S.C = 1 + static_cast<int64_t>(R.nextBelow(12));
+  S.H = 6 + static_cast<int64_t>(R.nextBelow(14));
+  S.W = 6 + static_cast<int64_t>(R.nextBelow(14));
+  S.K = std::vector<int64_t>{1, 3, 3, 5}[R.nextBelow(4)];
+  S.Stride = 1 + static_cast<int64_t>(R.nextBelow(2));
+  S.Pad = static_cast<int64_t>(R.nextBelow(S.K == 1 ? 1 : 2));
+  S.M = 1 + static_cast<int64_t>(R.nextBelow(12));
+  // The draw ranges guarantee validity (H, W >= 6 and K <= 5).
+  assert(S.outHeight() >= 1 && S.outWidth() >= 1 && "invalid scenario draw");
+  return S;
+}
+
+/// A randomized depthwise scenario (M == C, single-channel filters).
+inline ConvScenario randomDepthwiseScenario(Rng &R) {
+  ConvScenario S = randomDenseScenario(R);
+  S.Depthwise = true;
+  S.M = S.C;
+  return S;
+}
+
+/// Run \p P on \p S with deterministic inputs/weights and compare against
+/// the reference oracle for the scenario's kind.
+inline void expectPrimitiveMatchesReference(const ConvPrimitive &P,
+                                            const ConvScenario &S,
+                                            uint64_t Seed) {
+  Tensor3D InCHW(S.C, S.H, S.W, Layout::CHW);
+  InCHW.fillRandom(Seed);
+  Kernel4D W(S.M, S.kernelChannels(), S.K);
+  W.fillRandom(Seed + 1);
+  W.applySparsity(S.SparsityPct, Seed + 2);
+
+  Tensor3D Expected(S.M, S.outHeight(), S.outWidth(), Layout::CHW);
+  if (S.Depthwise)
+    referenceDepthwiseConv(S, InCHW, W, Expected);
+  else
+    referenceConv(S, InCHW, W, Expected);
+
+  Tensor3D In = convertToLayout(InCHW, P.inputLayout());
+  Tensor3D Out(S.M, S.outHeight(), S.outWidth(), P.outputLayout());
+  std::unique_ptr<ConvInstance> Inst = P.instantiate(S, W);
+  RunContext Ctx{nullptr};
+  Inst->run(In, Out, Ctx);
+
+  EXPECT_LE(maxAbsDifference(Expected, Out), familyTolerance(S, P.family()))
+      << P.name() << " diverges from the reference on " << S.key();
+}
+
+/// One point of the serving-configuration grid.
+struct PlanConfig {
+  std::string Solver;
+  bool UseArena = false;
+  bool ParallelBranches = false;
+
+  std::string describe() const {
+    return Solver + (UseArena ? "+arena" : "-arena") +
+           (ParallelBranches ? "+parallel" : "-parallel");
+  }
+};
+
+/// The full arena x parallel grid for every solver backend named.
+inline std::vector<PlanConfig>
+planConfigs(const std::vector<std::string> &Solvers) {
+  std::vector<PlanConfig> Out;
+  for (const std::string &Solver : Solvers)
+    for (bool Arena : {false, true})
+      for (bool Parallel : {false, true})
+        Out.push_back(PlanConfig{Solver, Arena, Parallel});
+  return Out;
+}
+
+/// The reference instantiation: every costed node runs its reference
+/// routine (sum2d / dw-ref) in the canonical layout.
+inline NetworkPlan referencePlan(const NetworkGraph &Net,
+                                 const PrimitiveLibrary &Lib,
+                                 CostProvider &Costs) {
+  return planForStrategy(Strategy::Sum2D, Net, Lib, Costs);
+}
+
+/// Execute \p Plan under \p Config and return every network output in CHW,
+/// in Net.outputs() order.
+inline std::vector<Tensor3D>
+runPlanOutputs(const NetworkGraph &Net, const NetworkPlan &Plan,
+               const PrimitiveLibrary &Lib, const PlanConfig &Config,
+               const Tensor3D &Input, uint64_t WeightSeed = 7) {
+  ExecutorOptions Opts;
+  Opts.UseArena = Config.UseArena;
+  Opts.ParallelBranches = Config.ParallelBranches;
+  Opts.Threads = Config.ParallelBranches ? 2 : 1;
+  Opts.WeightSeed = WeightSeed;
+  Executor Exec(Net, Plan, Lib, Opts);
+  Exec.run(Input);
+  std::vector<Tensor3D> Outs;
+  for (NetworkGraph::NodeId N : Net.outputs())
+    Outs.push_back(convertToLayout(Exec.outputOf(N), Layout::CHW));
+  return Outs;
+}
+
+/// Serving options must never change a plan's bits (the executor's
+/// contract for arena and parallel-branch modes).
+inline void expectOutputsBitIdentical(const std::vector<Tensor3D> &A,
+                                      const std::vector<Tensor3D> &B,
+                                      const std::string &What) {
+  ASSERT_EQ(A.size(), B.size()) << What;
+  for (size_t I = 0; I < A.size(); ++I) {
+    ASSERT_TRUE(A[I].sameShape(B[I])) << What << " output " << I;
+    EXPECT_EQ(maxAbsDifference(A[I], B[I]), 0.0f)
+        << What << " output " << I << " is not bit-identical";
+  }
+}
+
+/// Two instantiations of the same network function (different primitive
+/// selections) must agree within the accumulated-error bound.
+inline void expectOutputsClose(const std::vector<Tensor3D> &A,
+                               const std::vector<Tensor3D> &B,
+                               const std::string &What,
+                               float Tol = networkTolerance()) {
+  ASSERT_EQ(A.size(), B.size()) << What;
+  for (size_t I = 0; I < A.size(); ++I) {
+    ASSERT_TRUE(A[I].sameShape(B[I])) << What << " output " << I;
+    EXPECT_LE(maxAbsDifference(A[I], B[I]), Tol)
+        << What << " output " << I << " diverges from the reference";
+  }
+}
+
+} // namespace difftest
+} // namespace primsel
+
+#endif // PRIMSEL_TESTS_DIFFTESTING_H

@@ -1,0 +1,220 @@
+//===- tests/difftest_test.cpp - Differential testing of new workloads ----===//
+//
+// The differential harness (tests/DiffTesting.h) applied to the residual /
+// depthwise workloads:
+//
+//   1. every primitive in the extended library, on randomized dense and
+//      depthwise scenarios, reproduces the reference oracle;
+//   2. resnet18 and mobilenet, optimized by each tractable solver backend,
+//      execute output-equivalent to the reference instantiation under the
+//      full arena x parallel serving grid, with the serving options
+//      bit-identical among themselves;
+//   3. a small residual net whose assignment space the brute-force backend
+//      can enumerate proves all three backends agree (provably optimal,
+//      equal modelled cost, reference-equivalent execution). The full
+//      models are out of brute force's contract by construction: their
+//      assignment space exceeds MaxBruteForceAssignments, which the engine
+//      refuses cleanly rather than solving (see checkBruteSpace in the
+//      CLI), so exhaustive cross-checking lives on this reduced instance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "DiffTesting.h"
+
+#include "cost/AnalyticModel.h"
+#include "engine/Engine.h"
+#include "nn/Models.h"
+
+#include <gtest/gtest.h>
+
+using namespace primsel;
+using namespace primsel::difftest;
+
+namespace {
+
+const PrimitiveLibrary &library() {
+  static PrimitiveLibrary Lib = buildExtendedLibrary();
+  return Lib;
+}
+
+//===----------------------------------------------------------------------===//
+// 1. Primitive-level differential sweep on randomized shapes.
+//===----------------------------------------------------------------------===//
+
+class PrimitiveDiff : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrimitiveDiff, EveryPrimitiveMatchesOracleOnRandomScenarios) {
+  Rng R(GetParam());
+  const ConvScenario Scenarios[] = {randomDenseScenario(R),
+                                    randomDepthwiseScenario(R)};
+  unsigned Covered = 0;
+  for (const ConvScenario &S : Scenarios)
+    for (PrimitiveId Id = 0; Id < library().size(); ++Id) {
+      const ConvPrimitive &P = library().get(Id);
+      if (P.isDepthwise() != S.Depthwise || !P.supportsBatch(S.Batch) ||
+          !P.supports(S))
+        continue;
+      expectPrimitiveMatchesReference(P, S, GetParam() * 977 + Id);
+      ++Covered;
+    }
+  // Both scenario kinds must have found a non-trivial candidate set.
+  EXPECT_GT(Covered, 10u);
+}
+
+TEST_P(PrimitiveDiff, DepthwiseScenariosDrawOnlyDepthwisePrimitives) {
+  Rng R(GetParam() + 131);
+  ConvScenario Dw = randomDepthwiseScenario(R);
+  std::vector<PrimitiveId> Ids = library().supporting(Dw);
+  ASSERT_GE(Ids.size(), 2u) << "depthwise selection needs a real choice";
+  for (PrimitiveId Id : Ids) {
+    EXPECT_TRUE(library().get(Id).isDepthwise()) << library().get(Id).name();
+    EXPECT_EQ(library().get(Id).family(), ConvFamily::Depthwise);
+  }
+  // And the dense twin of the same shape draws none of them.
+  ConvScenario Dense = Dw;
+  Dense.Depthwise = false;
+  for (PrimitiveId Id : library().supporting(Dense))
+    EXPECT_FALSE(library().get(Id).isDepthwise()) << library().get(Id).name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrimitiveDiff,
+                         ::testing::Range<uint64_t>(1, 7));
+
+//===----------------------------------------------------------------------===//
+// 2. Whole-model differential grid: resnet18 / mobilenet, per backend, all
+//    serving configurations.
+//===----------------------------------------------------------------------===//
+
+struct ModelCase {
+  const char *Model;
+  const char *Solver;
+};
+
+class ModelDiff : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(ModelDiff, AllServingConfigsMatchReference) {
+  const ModelCase &Case = GetParam();
+  std::optional<NetworkGraph> Net = buildModel(Case.Model, /*Scale=*/0.1);
+  ASSERT_TRUE(Net.has_value());
+
+  AnalyticCostProvider Costs(library(), MachineProfile::haswell());
+  EngineOptions EOpts;
+  EOpts.Solver = Case.Solver;
+  Engine Eng(library(), Costs, EOpts);
+  SelectionResult R = Eng.optimize(*Net);
+  ASSERT_FALSE(R.Plan.empty());
+  ASSERT_TRUE(isLegalized(R.Plan, *Net));
+  for (NetworkGraph::NodeId N : Net->convNodes()) {
+    const ConvPrimitive &P = library().get(R.Plan.ConvPrim[N]);
+    EXPECT_TRUE(P.supports(Net->node(N).Scenario)) << P.name();
+    EXPECT_EQ(P.isDepthwise(),
+              Net->node(N).L.Kind == LayerKind::DepthwiseConv)
+        << P.name();
+  }
+
+  const TensorShape &Sh = Net->node(0).OutShape;
+  Tensor3D Input(Sh.C, Sh.H, Sh.W, Layout::CHW);
+  Input.fillRandom(23);
+
+  NetworkPlan Reference = referencePlan(*Net, library(), Costs);
+  PlanConfig Plain{Case.Solver, /*UseArena=*/false,
+                   /*ParallelBranches=*/false};
+  std::vector<Tensor3D> Expected =
+      runPlanOutputs(*Net, Reference, library(), Plain, Input);
+  std::vector<Tensor3D> Baseline =
+      runPlanOutputs(*Net, R.Plan, library(), Plain, Input);
+  expectOutputsClose(Baseline, Expected,
+                     std::string(Case.Model) + "/" + Plain.describe());
+
+  for (const PlanConfig &Config : planConfigs({Case.Solver})) {
+    std::vector<Tensor3D> Outs =
+        runPlanOutputs(*Net, R.Plan, library(), Config, Input);
+    expectOutputsBitIdentical(
+        Outs, Baseline, std::string(Case.Model) + "/" + Config.describe());
+  }
+}
+
+std::string modelCaseName(const ::testing::TestParamInfo<ModelCase> &Info) {
+  std::string Name =
+      std::string(Info.param.Model) + "_" + Info.param.Solver;
+  for (char &C : Name)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(ResidualModels, ModelDiff,
+                         ::testing::Values(ModelCase{"resnet18", "reduction"},
+                                           ModelCase{"resnet18", "bb"},
+                                           ModelCase{"mobilenet", "reduction"},
+                                           ModelCase{"mobilenet", "bb"}),
+                         modelCaseName);
+
+//===----------------------------------------------------------------------===//
+// 3. All three backends, brute force included, on a reduced instance.
+//===----------------------------------------------------------------------===//
+
+/// A residual+depthwise net small enough (with a reduced library) for
+/// exhaustive enumeration: one depthwise block with an identity skip, one
+/// projected conv skip, global pooling and a classifier.
+NetworkGraph tinyResidual() {
+  NetworkGraph G("tiny-residual");
+  NetworkGraph::NodeId In = G.addInput("data", {4, 12, 12});
+  NetworkGraph::NodeId Dw =
+      G.addLayer(Layer::depthwiseConv("dw", 3, 1, 1), {In});
+  NetworkGraph::NodeId Sum1 = G.addLayer(Layer::add("add1"), {Dw, In});
+  NetworkGraph::NodeId Conv =
+      G.addLayer(Layer::conv("conv", 4, 3, 1, 1), {Sum1});
+  NetworkGraph::NodeId Sum2 = G.addLayer(Layer::add("add2"), {Conv, Sum1});
+  NetworkGraph::NodeId Gap = G.addLayer(Layer::globalAvgPool("gap"), {Sum2});
+  NetworkGraph::NodeId Fc = G.addLayer(Layer::fullyConnected("fc", 5), {Gap});
+  G.addLayer(Layer::softmax("prob"), {Fc});
+  return G;
+}
+
+TEST(BackendDiff, AllThreeBackendsAgreeOnResidualDepthwiseNet) {
+  // sum2d + the depthwise family keeps the assignment space within the
+  // brute-force bound while exercising both costed kinds.
+  PrimitiveLibrary Lib;
+  registerSum2D(Lib);
+  registerDepthwiseFamily(Lib);
+  NetworkGraph Net = tinyResidual();
+  AnalyticCostProvider Costs(Lib, MachineProfile::haswell());
+
+  const TensorShape &Sh = Net.node(0).OutShape;
+  Tensor3D Input(Sh.C, Sh.H, Sh.W, Layout::CHW);
+  Input.fillRandom(31);
+  NetworkPlan Reference = referencePlan(Net, Lib, Costs);
+  PlanConfig Plain{"reduction", false, false};
+  std::vector<Tensor3D> Expected =
+      runPlanOutputs(Net, Reference, Lib, Plain, Input);
+
+  double FirstCost = 0.0;
+  for (const char *Solver : {"reduction", "bb", "brute"}) {
+    EngineOptions EOpts;
+    EOpts.Solver = Solver;
+    Engine Eng(Lib, Costs, EOpts);
+    ASSERT_LE(Eng.formulate(Net).G.assignmentSpace(),
+              EOpts.SolverOptions.MaxBruteForceAssignments)
+        << "reduced instance must stay brute-force enumerable";
+    SelectionResult R = Eng.optimize(Net);
+    ASSERT_FALSE(R.Plan.empty()) << Solver;
+    ASSERT_TRUE(isLegalized(R.Plan, Net)) << Solver;
+    EXPECT_TRUE(R.Solver.ProvablyOptimal) << Solver;
+    if (Solver == std::string("reduction"))
+      FirstCost = R.ModelledCostMs;
+    else
+      EXPECT_NEAR(R.ModelledCostMs, FirstCost, 1e-9 + 1e-9 * FirstCost)
+          << Solver << " found a different optimum";
+
+    std::vector<Tensor3D> Baseline =
+        runPlanOutputs(Net, R.Plan, Lib, Plain, Input);
+    expectOutputsClose(Baseline, Expected, Solver);
+    for (const PlanConfig &Config : planConfigs({Solver}))
+      expectOutputsBitIdentical(
+          runPlanOutputs(Net, R.Plan, Lib, Config, Input), Baseline,
+          Config.describe());
+  }
+}
+
+} // namespace

@@ -140,4 +140,123 @@ TEST(RandomNetwork, DeterministicPerSeed) {
   EXPECT_NE(serializeNetwork(A), serializeNetwork(C));
 }
 
+//===----------------------------------------------------------------------===//
+// Residual/depthwise topologies: the same pipeline invariants over
+// randomResidualNetwork() DAGs (multi-consumer diamonds, depthwise
+// scenarios, Add/GlobalAvgPool nodes on every path).
+//===----------------------------------------------------------------------===//
+
+class ResidualNetworkTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ResidualNetworkTest, GeneratorProducesResidualGraphs) {
+  NetworkGraph Net = randomResidualNetwork(GetParam());
+  EXPECT_FALSE(Net.outputs().empty());
+  unsigned Adds = 0, MultiConsumer = 0, DepthwiseNodes = 0;
+  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
+    const NetworkGraph::Node &Node = Net.node(N);
+    for (NetworkGraph::NodeId In : Node.Inputs)
+      EXPECT_LT(In, N);
+    if (Node.L.Kind == LayerKind::Add) {
+      ++Adds;
+      ASSERT_GE(Node.Inputs.size(), 2u);
+      for (NetworkGraph::NodeId In : Node.Inputs)
+        EXPECT_TRUE(Net.node(In).OutShape == Node.OutShape);
+    }
+    if (Node.L.Kind == LayerKind::DepthwiseConv) {
+      ++DepthwiseNodes;
+      EXPECT_TRUE(Node.Scenario.Depthwise);
+      EXPECT_EQ(Node.Scenario.M, Node.Scenario.C);
+    }
+    if (Node.Consumers.size() >= 2)
+      ++MultiConsumer;
+  }
+  // Every generated graph is genuinely residual: at least one skip sum and
+  // one multi-consumer value.
+  EXPECT_GE(Adds, 1u);
+  EXPECT_GE(MultiConsumer, 1u);
+  (void)DepthwiseNodes; // present on most seeds; not guaranteed per seed
+}
+
+TEST_P(ResidualNetworkTest, SelectionIsLegalizedAndSupported) {
+  NetworkGraph Net = randomResidualNetwork(GetParam());
+  AnalyticCostProvider Costs(library(), MachineProfile::haswell());
+  SelectionResult R = selectPBQP(Net, library(), Costs);
+  ASSERT_FALSE(R.Plan.empty());
+  EXPECT_TRUE(isLegalized(R.Plan, Net));
+  for (NetworkGraph::NodeId N : Net.convNodes()) {
+    const ConvPrimitive &P = library().get(R.Plan.ConvPrim[N]);
+    EXPECT_TRUE(P.supports(Net.node(N).Scenario)) << P.name();
+    EXPECT_EQ(P.isDepthwise(),
+              Net.node(N).L.Kind == LayerKind::DepthwiseConv)
+        << P.name();
+    EXPECT_EQ(P.inputLayout(), R.Plan.InLayout[N]) << P.name();
+    EXPECT_EQ(P.outputLayout(), R.Plan.OutLayout[N]) << P.name();
+  }
+}
+
+TEST_P(ResidualNetworkTest, PBQPNeverLosesToBaselineStrategies) {
+  NetworkGraph Net = randomResidualNetwork(GetParam());
+  AnalyticCostProvider Costs(library(), MachineProfile::haswell());
+  SelectionResult R = selectPBQP(Net, library(), Costs);
+  ASSERT_FALSE(R.Plan.empty());
+  if (!R.Solver.ProvablyOptimal)
+    GTEST_SKIP() << "RN heuristic used; optimality not guaranteed";
+  for (Strategy S : {Strategy::Sum2D, Strategy::Greedy,
+                     Strategy::LocalOptimalCHW, Strategy::FamilyIm2}) {
+    NetworkPlan Base = planForStrategy(S, Net, library(), Costs);
+    if (Base.empty())
+      continue;
+    double BaseCost = modelPlanCost(Base, Net, library(), Costs);
+    EXPECT_LE(R.ModelledCostMs, BaseCost * (1.0 + 1e-9))
+        << strategyName(S) << " beat PBQP on seed " << GetParam();
+  }
+}
+
+TEST_P(ResidualNetworkTest, OptimizedExecutionMatchesBaselineExecution) {
+  NetworkGraph Net = randomResidualNetwork(GetParam(), /*InputSize=*/16,
+                                           /*Stages=*/2);
+  AnalyticCostProvider Costs(library(), MachineProfile::haswell());
+
+  SelectionResult R = selectPBQP(Net, library(), Costs);
+  ASSERT_FALSE(R.Plan.empty());
+  NetworkPlan Baseline =
+      planForStrategy(Strategy::Sum2D, Net, library(), Costs);
+  ASSERT_FALSE(Baseline.empty());
+
+  const TensorShape &In = Net.node(0).OutShape;
+  Tensor3D Input(In.C, In.H, In.W, Layout::CHW);
+  Input.fillRandom(GetParam() * 37 + 5);
+
+  Executor Opt(Net, R.Plan, library());
+  Executor Base(Net, Baseline, library());
+  Opt.run(Input);
+  Base.run(Input);
+
+  for (NetworkGraph::NodeId Out : Net.outputs()) {
+    Tensor3D A = convertToLayout(Opt.outputOf(Out), Layout::CHW);
+    Tensor3D B = convertToLayout(Base.outputOf(Out), Layout::CHW);
+    ASSERT_TRUE(A.sameShape(B));
+    EXPECT_LE(maxAbsDifference(A, B), 5e-2f)
+        << "output " << Net.node(Out).L.Name << " seed " << GetParam();
+  }
+}
+
+TEST_P(ResidualNetworkTest, TextFormatRoundTripsResidualTopologies) {
+  NetworkGraph Net = randomResidualNetwork(GetParam());
+  NetParseResult P = parseNetworkText(serializeNetwork(Net));
+  ASSERT_TRUE(P.ok()) << P.Error << " at line " << P.Line;
+  ASSERT_EQ(P.Net->numNodes(), Net.numNodes());
+  EXPECT_EQ(serializeNetwork(*P.Net), serializeNetwork(Net));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResidualNetworkTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+TEST(RandomResidualNetwork, DeterministicPerSeed) {
+  EXPECT_EQ(serializeNetwork(randomResidualNetwork(42)),
+            serializeNetwork(randomResidualNetwork(42)));
+  EXPECT_NE(serializeNetwork(randomResidualNetwork(42)),
+            serializeNetwork(randomResidualNetwork(43)));
+}
+
 } // namespace

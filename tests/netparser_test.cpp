@@ -126,6 +126,58 @@ softmax prob from=head
   EXPECT_TRUE(Net.node(7).OutShape == (TensorShape{10, 1, 1}));
 }
 
+TEST(NetParser, BuildsResidualAndDepthwiseNetsFromText) {
+  // A MobileNet/ResNet-style description: depthwise-separable body, an
+  // identity skip summed back in, global average pooling.
+  NetParseResult R = parseNetworkText(R"(
+network residual
+input data 8 16 16
+dwconv dw from=data k=3 stride=1 pad=1
+relu dw_act from=dw
+conv pw from=dw_act out=8 k=1
+add sum from=pw,data
+relu sum_act from=sum
+conv proj from=sum_act out=12 k=1
+add sum2 from=proj,proj   # degenerate self-sum is legal (2x)
+globalavgpool gap from=sum2
+fc head from=gap out=10
+softmax prob from=head
+)");
+  ASSERT_TRUE(R.ok()) << R.Error << " at line " << R.Line;
+  const NetworkGraph &Net = *R.Net;
+
+  std::vector<NetworkGraph::NodeId> Convs = Net.convNodes();
+  ASSERT_EQ(Convs.size(), 3u);
+  const NetworkGraph::Node &Dw = Net.node(Convs[0]);
+  EXPECT_EQ(Dw.L.Kind, LayerKind::DepthwiseConv);
+  EXPECT_TRUE(Dw.Scenario.Depthwise);
+  EXPECT_EQ(Dw.Scenario.M, 8);
+  EXPECT_EQ(Dw.Scenario.kernelChannels(), 1);
+
+  // add preserves shape; globalavgpool collapses the plane.
+  EXPECT_TRUE(Net.node(4).OutShape == (TensorShape{8, 16, 16}));
+  EXPECT_TRUE(Net.node(8).OutShape == (TensorShape{12, 1, 1}));
+  // The skip input is a real second consumer of 'data'.
+  EXPECT_EQ(Net.node(0).Consumers.size(), 2u);
+
+  // Round-trip: the new directives serialize and re-parse identically.
+  NetParseResult Again = parseNetworkText(serializeNetwork(Net));
+  ASSERT_TRUE(Again.ok()) << Again.Error;
+  EXPECT_EQ(serializeNetwork(*Again.Net), serializeNetwork(Net));
+}
+
+TEST(NetParser, ResidualCorpusRoundTrips) {
+  // Model-zoo residual/depthwise graphs survive the text format.
+  for (const char *Model : {"resnet18", "mobilenet"}) {
+    std::optional<NetworkGraph> Net = buildModel(Model, 0.1);
+    ASSERT_TRUE(Net.has_value());
+    NetParseResult R = parseNetworkText(serializeNetwork(*Net));
+    ASSERT_TRUE(R.ok()) << Model << ": " << R.Error << " line " << R.Line;
+    ASSERT_EQ(R.Net->numNodes(), Net->numNodes()) << Model;
+    EXPECT_EQ(serializeNetwork(*R.Net), serializeNetwork(*Net)) << Model;
+  }
+}
+
 TEST(NetParser, DefaultsStrideAndPad) {
   NetParseResult R = parseNetworkText("network n\n"
                                       "input in 4 8 8\n"
@@ -194,7 +246,64 @@ INSTANTIATE_TEST_SUITE_P(
                 "at least two", 3},
         BadCase{"sparsity_range", "network n\ninput in 1 8 8\n"
                                   "conv c from=in out=2 k=3 sparsity=120\n",
-                "out of range", 3}),
+                "out of range", 3},
+        // Residual / depthwise corpus: malformed skip targets and
+        // shape-illegal graphs must be rejected with a diagnostic, never
+        // crash in graph construction.
+        BadCase{"skip_unknown_target",
+                "network n\ninput in 4 8 8\n"
+                "conv c from=in out=4 k=3 pad=1\n"
+                "add s from=c,ghost\n",
+                "unknown input layer", 4},
+        BadCase{"skip_forward_ref",
+                "network n\ninput in 4 8 8\n"
+                "add s from=in,later\nrelu later from=in\n",
+                "unknown input layer", 3},
+        BadCase{"add_single_input",
+                "network n\ninput in 4 8 8\nadd s from=in\n",
+                "at least two", 3},
+        BadCase{"add_channel_mismatch",
+                "network n\ninput in 4 8 8\n"
+                "conv widen from=in out=8 k=1\n"
+                "add s from=widen,in\n",
+                "disagree on shape", 4},
+        BadCase{"add_spatial_mismatch",
+                "network n\ninput in 4 8 8\n"
+                "maxpool half from=in k=2 stride=2\n"
+                "conv keep from=half out=4 k=1\n"
+                "add s from=keep,in\n",
+                "disagree on shape", 5},
+        BadCase{"concat_spatial_mismatch",
+                "network n\ninput in 4 8 8\n"
+                "maxpool half from=in k=2 stride=2\n"
+                "concat c from=half,in\n",
+                "disagree on spatial", 4},
+        BadCase{"dwconv_with_out",
+                "network n\ninput in 4 8 8\n"
+                "dwconv d from=in out=8 k=3\n",
+                "drop 'out='", 3},
+        BadCase{"dwconv_with_sparsity",
+                "network n\ninput in 4 8 8\n"
+                "dwconv d from=in k=3 sparsity=50\n",
+                "does not support 'sparsity='", 3},
+        BadCase{"dwconv_missing_k",
+                "network n\ninput in 4 8 8\ndwconv d from=in\n",
+                "missing required attribute 'k'", 3},
+        BadCase{"dwconv_empty_output",
+                "network n\ninput in 4 8 8\ndwconv d from=in k=11\n",
+                "empty output", 3},
+        BadCase{"conv_empty_output",
+                "network n\ninput in 4 8 8\n"
+                "conv c from=in out=2 k=9 stride=2\n",
+                "empty output", 3},
+        BadCase{"pool_window_too_big",
+                "network n\ninput in 4 8 8\n"
+                "maxpool p from=in k=12 stride=2\n",
+                "exceeds the padded input", 3},
+        BadCase{"conv_two_inputs",
+                "network n\ninput in 4 8 8\n"
+                "conv c from=in,in out=2 k=3\n",
+                "exactly one input", 3}),
     [](const ::testing::TestParamInfo<BadCase> &I) {
       return std::string(I.param.Label);
     });

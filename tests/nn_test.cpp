@@ -160,9 +160,87 @@ TEST(Models, BuildModelByName) {
 
 TEST(Models, DummyKindClassification) {
   EXPECT_FALSE(isDummyKind(LayerKind::Conv));
+  // DepthwiseConv is a costed, primitive-selected kind, not a dummy --
+  // the original `K != Conv` predicate would misclassify it.
+  EXPECT_FALSE(isDummyKind(LayerKind::DepthwiseConv));
   EXPECT_TRUE(isDummyKind(LayerKind::ReLU));
   EXPECT_TRUE(isDummyKind(LayerKind::Concat));
+  EXPECT_TRUE(isDummyKind(LayerKind::Add));
+  EXPECT_TRUE(isDummyKind(LayerKind::GlobalAvgPool));
   EXPECT_TRUE(isDummyKind(LayerKind::FullyConnected));
+}
+
+TEST(Models, ResNet18Structure) {
+  NetworkGraph G = resNet18();
+  // 1 stem + 4 stages x 2 blocks x 2 convs + 3 projection shortcuts = 20.
+  EXPECT_EQ(G.convNodes().size(), 20u);
+  unsigned Adds = 0, Projections = 0, Identity = 0;
+  for (const auto &N : G.nodes()) {
+    if (N.L.Kind == LayerKind::Add) {
+      ++Adds;
+      ASSERT_EQ(N.Inputs.size(), 2u);
+      // Both residual operands agree on shape by construction.
+      EXPECT_EQ(G.node(N.Inputs[0]).OutShape, G.node(N.Inputs[1]).OutShape);
+      // The skip operand is either the block input (identity) or a 1x1
+      // projection conv.
+      const NetworkGraph::Node &Skip = G.node(N.Inputs[1]);
+      if (Skip.L.Kind == LayerKind::Conv && Skip.L.KernelSize == 1)
+        ++Projections;
+      else
+        ++Identity;
+    }
+  }
+  EXPECT_EQ(Adds, 8u);
+  EXPECT_EQ(Projections, 3u); // first block of stages 2-4 downsamples
+  EXPECT_EQ(Identity, 5u);
+  // Stage widths double: 64, 128, 256, 512; classifier emits 1000.
+  EXPECT_EQ(G.node(G.outputs()[0]).OutShape.C, 1000);
+  // The block input is a genuine multi-consumer value (body + skip).
+  unsigned MultiConsumer = 0;
+  for (const auto &N : G.nodes())
+    if (N.Consumers.size() >= 2)
+      ++MultiConsumer;
+  EXPECT_GE(MultiConsumer, 8u);
+}
+
+TEST(Models, MobileNetStructure) {
+  NetworkGraph G = mobileNet();
+  unsigned Depthwise = 0, Pointwise = 0, Standard = 0;
+  for (auto N : G.convNodes()) {
+    const NetworkGraph::Node &Node = G.node(N);
+    if (Node.L.Kind == LayerKind::DepthwiseConv) {
+      ++Depthwise;
+      EXPECT_TRUE(Node.Scenario.Depthwise);
+      EXPECT_EQ(Node.Scenario.M, Node.Scenario.C);
+      EXPECT_EQ(Node.Scenario.kernelChannels(), 1);
+      EXPECT_EQ(Node.Scenario.K, 3);
+    } else if (Node.Scenario.K == 1) {
+      ++Pointwise;
+    } else {
+      ++Standard;
+    }
+  }
+  EXPECT_EQ(Depthwise, 13u);
+  EXPECT_EQ(Pointwise, 13u);
+  EXPECT_EQ(Standard, 1u); // the 3x3 stem
+  // Depthwise macs shrink by the channel factor relative to a dense conv
+  // of the same dimensions.
+  for (auto N : G.convNodes()) {
+    const ConvScenario &S = G.node(N).Scenario;
+    if (!S.Depthwise)
+      continue;
+    ConvScenario Dense = S;
+    Dense.Depthwise = false;
+    EXPECT_DOUBLE_EQ(S.macs() * static_cast<double>(S.C), Dense.macs());
+  }
+  // GlobalAvgPool collapses the plane ahead of the classifier.
+  bool FoundGap = false;
+  for (const auto &N : G.nodes())
+    if (N.L.Kind == LayerKind::GlobalAvgPool) {
+      FoundGap = true;
+      EXPECT_EQ(N.OutShape, (TensorShape{1024, 1, 1}));
+    }
+  EXPECT_TRUE(FoundGap);
 }
 
 TEST(Models, UniqueScenarioDeduplication) {

@@ -10,6 +10,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 using namespace primsel;
 
@@ -305,6 +306,119 @@ TEST(PlanCache, LayoutsInconsistentWithPlanRejected) {
       Text.substr(0, At) + "conv " + std::to_string(N) + " " +
       lib().get(*Other).name() + Text.substr(At + Marker.size());
   EXPECT_FALSE(PlanCache::deserialize(Swapped, Key, Net, lib()).has_value());
+}
+
+TEST(Fingerprint, ResidualNetDiffersFromSkipFreeLinearization) {
+  // The same layer sequence with and without the skip edge computes
+  // different functions; the key must not collide. The linearization
+  // replaces the two-input Add by a dropout (identity) on the body, so
+  // per-node kinds/parameters stay as close as the format allows and only
+  // the edge structure (and the Add kind) separates the two.
+  auto build = [](bool WithSkip) {
+    NetworkGraph G(WithSkip ? "residual" : "linear");
+    auto In = G.addInput("data", {4, 16, 16});
+    auto C1 = G.addLayer(Layer::conv("c1", 4, 3, 1, 1), {In});
+    auto R1 = G.addLayer(Layer::relu("r1"), {C1});
+    auto C2 = G.addLayer(Layer::conv("c2", 4, 3, 1, 1), {R1});
+    auto Tail = WithSkip ? G.addLayer(Layer::add("mix"), {C2, In})
+                         : G.addLayer(Layer::dropout("mix"), {C2});
+    G.addLayer(Layer::globalAvgPool("gap"), {Tail});
+    return G;
+  };
+  NetworkGraph Residual = build(true);
+  NetworkGraph Linear = build(false);
+  EXPECT_NE(fingerprintNetwork(Residual, lib()),
+            fingerprintNetwork(Linear, lib()));
+
+  // Depthwise vs standard conv of identical dimensions must also differ:
+  // with M == C both produce the same shapes, only the kind/scenario flag
+  // separates the keys.
+  auto buildConv = [](bool Depthwise) {
+    NetworkGraph G("kind");
+    auto In = G.addInput("data", {4, 16, 16});
+    if (Depthwise)
+      G.addLayer(Layer::depthwiseConv("c", 3, 1, 1), {In});
+    else
+      G.addLayer(Layer::conv("c", 4, 3, 1, 1), {In});
+    return G;
+  };
+  EXPECT_NE(fingerprintNetwork(buildConv(true), lib()),
+            fingerprintNetwork(buildConv(false), lib()));
+}
+
+TEST(PlanCache, ResidualModelsRoundTripAndHit) {
+  TempDir Dir("plan-cache-residual");
+  EngineOptions Opts;
+  Opts.PlanCacheDir = Dir.path();
+  for (const char *Model : {"resnet18", "mobilenet"}) {
+    std::optional<NetworkGraph> Net = buildModel(Model, 0.1);
+    ASSERT_TRUE(Net.has_value());
+    SelectionResult Cold;
+    {
+      AnalyticCostProvider Prov = makeProvider();
+      Engine Eng(lib(), Prov, Opts);
+      Cold = Eng.optimize(*Net);
+      EXPECT_FALSE(Cold.PlanCacheHit) << Model;
+    }
+    // A fresh engine over the same directory serves the plan from disk,
+    // depthwise selections and residual chains intact.
+    AnalyticCostProvider Prov = makeProvider();
+    Engine Eng(lib(), Prov, Opts);
+    SelectionResult Warm = Eng.optimize(*Net);
+    EXPECT_TRUE(Warm.PlanCacheHit) << Model;
+    EXPECT_TRUE(samePlanOnConvNodes(Cold.Plan, Warm.Plan, *Net)) << Model;
+    EXPECT_EQ(Eng.planCacheStats()->CorruptFiles, 0u) << Model;
+  }
+}
+
+TEST(PlanCache, CorruptResidualPlanFallsBackToFreshSolve) {
+  TempDir Dir("plan-cache-residual-corrupt");
+  std::optional<NetworkGraph> Net = buildModel("mobilenet", 0.1);
+  ASSERT_TRUE(Net.has_value());
+  EngineOptions Opts;
+  Opts.PlanCacheDir = Dir.path();
+
+  SelectionResult Cold;
+  std::string File;
+  {
+    AnalyticCostProvider Prov = makeProvider();
+    Engine Eng(lib(), Prov, Opts);
+    Cold = Eng.optimize(*Net);
+    File = Dir.path() + "/" + Eng.planKey(*Net).fileName();
+  }
+  ASSERT_TRUE(std::filesystem::exists(File));
+  // Swap a depthwise node's routine for a standard-conv routine of the
+  // same CHW/CHW layouts: the file still parses and is layout-consistent,
+  // but instantiating it would compute the wrong function -- the kind
+  // check must reject it as corrupt.
+  std::string Text;
+  {
+    std::ifstream InFile(File);
+    std::ostringstream Buf;
+    Buf << InFile.rdbuf();
+    Text = Buf.str();
+  }
+  size_t Pos = Text.find("dw-ref-chw-chw");
+  if (Pos == std::string::npos) {
+    // The optimizer picked non-reference depthwise routines everywhere;
+    // rewrite the first depthwise selection (every dw- name) instead.
+    Pos = Text.find(" dw-");
+    ASSERT_NE(Pos, std::string::npos);
+    size_t End = Text.find('\n', Pos);
+    Text.replace(Pos + 1, End - Pos - 1, "sum2d");
+  } else {
+    Text.replace(Pos, std::string("dw-ref-chw-chw").size(), "sum2d");
+  }
+  {
+    std::ofstream Out(File, std::ios::trunc);
+    Out << Text;
+  }
+  AnalyticCostProvider Prov = makeProvider();
+  Engine Eng(lib(), Prov, Opts);
+  SelectionResult R = Eng.optimize(*Net);
+  EXPECT_FALSE(R.PlanCacheHit);
+  EXPECT_EQ(Eng.planCacheStats()->CorruptFiles, 1u);
+  EXPECT_TRUE(samePlanOnConvNodes(Cold.Plan, R.Plan, *Net));
 }
 
 TEST(PlanCache, OneOffSolverOptionsKeyedSeparately) {
