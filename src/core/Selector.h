@@ -22,8 +22,11 @@
 #include "core/Plan.h"
 #include "cost/CachingCostProvider.h"
 #include "pbqp/Solver.h"
+#include "transforms/Pass.h"
 
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace primsel {
 
@@ -54,6 +57,23 @@ struct SelectionResult {
   /// (engine/PlanCache.h) instead of solving; SolveMillis is then 0 and
   /// BuildMillis is the cache lookup time.
   bool PlanCacheHit = false;
+  /// The pass-rewritten graph this result's Plan indexes, when the engine
+  /// ran a transform pipeline (EngineOptions.Passes); null at O0, where
+  /// the plan indexes the caller's graph. Executors and code generation
+  /// must be handed executionGraph() -- and, since Executor borrows the
+  /// graph by reference, this result (or a copy of the shared_ptr) must
+  /// outlive them.
+  std::shared_ptr<const NetworkGraph> Rewritten;
+  /// Per-pass rewrite statistics (empty at O0 and on plan-cache hits that
+  /// skipped nothing -- the pipeline reruns on every optimize call, cache
+  /// hit or not, so hits carry the stats of that rerun).
+  std::vector<transforms::PassStats> Passes;
+
+  /// The graph this result's node indexes refer to: the rewritten graph
+  /// when the transform pipeline ran, \p Original otherwise.
+  const NetworkGraph &executionGraph(const NetworkGraph &Original) const {
+    return Rewritten ? *Rewritten : Original;
+  }
 };
 
 /// Map a PBQP solution's per-node \p Selection back onto the network as a

@@ -38,7 +38,11 @@ double MeasuredCostProvider::measureConv(const ConvScenario &S,
     Out.emplace_back(S.M, S.outHeight(), S.outWidth(), P.outputLayout());
   }
 
-  std::unique_ptr<ConvInstance> Inst = P.instantiate(S, Weights);
+  // Epilogue scenarios measure the fused application too (the wrapper is
+  // a no-op for epilogue-free scenarios); the bias values themselves do
+  // not affect timing, so a fixed profiling seed is fine.
+  std::unique_ptr<ConvInstance> Inst =
+      instantiateWithEpilogue(P, S, Weights, Options.Seed + 4);
   RunContext Ctx{Pool.get()};
   auto RunOnce = [&] {
     if (S.Batch == 1)

@@ -32,43 +32,75 @@ const CostCacheStats *Engine::cacheStats() const {
 
 PlanKey Engine::planKey(const NetworkGraph &Net) const {
   PlanKey K;
-  K.NetworkFingerprint = fingerprintNetwork(Net, Lib);
+  if (Opts.Passes.empty()) {
+    K.NetworkFingerprint = fingerprintNetwork(Net, Lib);
+  } else {
+    NetworkGraph Rewritten =
+        transforms::PassPipeline::fromNames(Opts.Passes).run(Net);
+    K.NetworkFingerprint = fingerprintNetwork(Rewritten, Lib);
+  }
   K.CostIdentity = Raw.identity();
   K.SolverFingerprint = fingerprintSolver(Opts.Solver, Opts.SolverOptions);
+  K.PassFingerprint = transforms::fingerprintPasses(Opts.Passes);
   return K;
 }
 
 SelectionResult Engine::run(const NetworkGraph &Net,
                             pbqp::SolverBackend &SolverBackend,
                             const EngineOptions &Options) {
+  // The pass pipeline runs first: every later stage -- fingerprints,
+  // cache lookups, cost gathering, the solve, legalization -- operates on
+  // the rewritten graph. Rewriting is deterministic and cheap (pure graph
+  // surgery), so rerunning it on plan-cache hits is fine; the cached plan
+  // indexes the identical rewritten structure.
+  std::shared_ptr<const NetworkGraph> Rewritten;
+  std::vector<transforms::PassStats> PassStats;
+  const NetworkGraph *Target = &Net;
+  if (!Options.Passes.empty()) {
+    transforms::PassPipeline Pipeline =
+        transforms::PassPipeline::fromNames(Options.Passes);
+    Rewritten =
+        std::make_shared<NetworkGraph>(Pipeline.run(Net, &PassStats));
+    Target = Rewritten.get();
+  }
+
   PlanKey Key;
   if (Plans) {
-    Key.NetworkFingerprint = fingerprintNetwork(Net, Lib);
+    Key.NetworkFingerprint = fingerprintNetwork(*Target, Lib);
     Key.CostIdentity = Raw.identity();
     Key.SolverFingerprint =
         fingerprintSolver(SolverBackend.name(), Options.SolverOptions);
+    Key.PassFingerprint = transforms::fingerprintPasses(Options.Passes);
     Timer LookupTimer;
-    if (std::optional<SelectionResult> Hit = Plans->lookup(Key, Net, Lib)) {
+    if (std::optional<SelectionResult> Hit =
+            Plans->lookup(Key, *Target, Lib)) {
       // The plan is the artifact worth caching; the solve never happened,
       // so report lookup time, not the original run's timings.
       Hit->PlanCacheHit = true;
       Hit->BuildMillis = LookupTimer.millis();
       Hit->SolveMillis = 0.0;
       Hit->Cache = Cache ? Cache->stats() : CostCacheStats{};
+      // Hand the caller *this* run's rewritten graph: a memory hit may
+      // carry the graph of a structurally-equal network solved earlier,
+      // and a disk hit carries none.
+      Hit->Rewritten = Rewritten;
+      Hit->Passes = PassStats;
       return *Hit;
     }
   }
 
   SelectionResult R;
   R.Backend = SolverBackend.name();
+  R.Rewritten = Rewritten;
+  R.Passes = std::move(PassStats);
 
   Timer BuildTimer;
   if (Cache && Pool && Options.ParallelPrepopulate)
-    Cache->prepopulate(Net, Lib, *Pool);
+    Cache->prepopulate(*Target, Lib, *Pool);
 
   CostProvider &Provider = costs();
   DTTableCache Tables(Provider);
-  PBQPFormulation F = buildPBQP(Net, Lib, Provider, Tables);
+  PBQPFormulation F = buildPBQP(*Target, Lib, Provider, Tables);
   R.BuildMillis = BuildTimer.millis();
   R.NumNodes = F.G.numNodes();
   R.NumEdges = F.G.numEdges();
@@ -77,12 +109,12 @@ SelectionResult Engine::run(const NetworkGraph &Net,
   R.Solver = SolverBackend.solve(F.G, Options.SolverOptions);
   R.SolveMillis = SolveTimer.millis();
 
-  R.Plan = planFromSolution(F, R.Solver.Selection, Net, Lib, Tables);
-  R.ModelledCostMs = modelPlanCost(R.Plan, Net, Lib, Provider);
+  R.Plan = planFromSolution(F, R.Solver.Selection, *Target, Lib, Tables);
+  R.ModelledCostMs = modelPlanCost(R.Plan, *Target, Lib, Provider);
   if (Cache)
     R.Cache = Cache->stats();
   if (Plans)
-    Plans->store(Key, R, Net, Lib);
+    Plans->store(Key, R, *Target, Lib);
   return R;
 }
 
@@ -101,8 +133,14 @@ SelectionResult Engine::optimize(const NetworkGraph &Net,
 }
 
 NetworkPlan Engine::planFor(Strategy S, const NetworkGraph &Net) {
-  if (S == Strategy::PBQP)
-    return optimize(Net).Plan;
+  if (S == Strategy::PBQP) {
+    // planFor's contract is a plan over \p Net as given; run the selection
+    // without the pass pipeline (the caller has no way to receive a
+    // rewritten graph through a bare NetworkPlan).
+    EngineOptions NoPasses = Opts;
+    NoPasses.Passes.clear();
+    return run(Net, *Backend, NoPasses).Plan;
+  }
   return planForStrategy(S, Net, Lib, costs());
 }
 
@@ -111,11 +149,20 @@ double Engine::planCost(const NetworkPlan &Plan, const NetworkGraph &Net) {
 }
 
 PBQPFormulation Engine::formulate(const NetworkGraph &Net) {
+  // Formulate what optimize() would actually solve: the pass-rewritten
+  // graph when a pipeline is configured (so e.g. brute-force feasibility
+  // checks see the real assignment space).
+  const NetworkGraph *Target = &Net;
+  NetworkGraph Rewritten("");
+  if (!Opts.Passes.empty()) {
+    Rewritten = transforms::PassPipeline::fromNames(Opts.Passes).run(Net);
+    Target = &Rewritten;
+  }
   if (Cache && Pool && Opts.ParallelPrepopulate)
-    Cache->prepopulate(Net, Lib, *Pool);
+    Cache->prepopulate(*Target, Lib, *Pool);
   CostProvider &Provider = costs();
   DTTableCache Tables(Provider);
-  return buildPBQP(Net, Lib, Provider, Tables);
+  return buildPBQP(*Target, Lib, Provider, Tables);
 }
 
 std::unique_ptr<Executor> Engine::instantiate(const NetworkGraph &Net,
@@ -129,6 +176,13 @@ std::unique_ptr<Executor>
 Engine::instantiate(const NetworkGraph &Net, const NetworkPlan &Plan,
                     const ExecutorOptions &Options) const {
   return std::make_unique<Executor>(Net, Plan, Lib, Options);
+}
+
+std::unique_ptr<Executor>
+Engine::instantiate(const NetworkGraph &Net, const SelectionResult &R,
+                    const ExecutorOptions &Options) const {
+  return std::make_unique<Executor>(R.executionGraph(Net), R.Plan, Lib,
+                                    Options);
 }
 
 std::string Engine::emitSource(const NetworkGraph &Net,

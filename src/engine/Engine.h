@@ -18,6 +18,11 @@
 ///  - the memoizing cost layer (cost/CachingCostProvider.h), optionally
 ///    pre-populated in parallel on a ThreadPool, shared across every query
 ///    the engine serves (repeated/ensemble queries pay each raw cost once);
+///  - the graph-transform pass pipeline (transforms/Pass.h), run before
+///    formulation when EngineOptions.Passes names passes (O1): epilogue
+///    fusion and identity elimination shrink the problem graph, and the
+///    returned SelectionResult carries the rewritten graph its plan
+///    indexes;
 ///  - the PBQP formulation (core/PBQPBuilder.h);
 ///  - a solver backend selected by name from the pbqp::SolverRegistry
 ///    (pbqp/SolverBackend.h).
@@ -71,6 +76,18 @@ struct EngineOptions {
   /// directory serves them without solving. Empty = in-memory only (when
   /// CachePlans is set).
   std::string PlanCacheDir;
+  /// Graph-transform passes (transforms/Pass.h) applied to the network
+  /// before formulation. Empty = O0: the graph is optimized exactly as
+  /// given, the historical behaviour. For O1 use
+  /// transforms::PassPipeline::defaultPassNames(). When non-empty,
+  /// optimize() solves over the rewritten graph and the returned
+  /// SelectionResult carries it (SelectionResult::Rewritten /
+  /// executionGraph()); the pipeline fingerprint joins the plan-cache key
+  /// so O0 and O1 plans never mix. Names must be registered
+  /// (transforms::isKnownPass) -- asserted, so CLI-style callers validate
+  /// first. Takes effect per optimize() call, including the one-off
+  /// optimize(Net, Options) overload.
+  std::vector<std::string> Passes;
 };
 
 /// The unified optimizer: owns the cost layer and solver backend, serves
@@ -93,14 +110,18 @@ public:
 
   /// As optimize(Net), but with one-off options (e.g. a different backend
   /// for a cross-check, or different solver knobs). Only Options.Solver,
-  /// Options.SolverOptions and Options.ParallelPrepopulate take effect
-  /// here: the cost layer and thread pool are construction-time properties
-  /// of the engine, so Options.CacheCosts and Options.Threads are ignored.
+  /// Options.SolverOptions, Options.Passes and Options.ParallelPrepopulate
+  /// take effect here: the cost layer and thread pool are
+  /// construction-time properties of the engine, so Options.CacheCosts and
+  /// Options.Threads are ignored.
   SelectionResult optimize(const NetworkGraph &Net,
                            const EngineOptions &Options);
 
   /// Legalized plan for a baseline strategy, through the engine's cost
-  /// layer. Strategy::PBQP forwards to optimize().
+  /// layer. The returned plan always indexes \p Net as given -- so
+  /// Strategy::PBQP runs the selection *without* the pass pipeline
+  /// (callers of planFor have no way to receive a rewritten graph; use
+  /// optimize() to benefit from EngineOptions.Passes).
   NetworkPlan planFor(Strategy S, const NetworkGraph &Net);
 
   /// Modelled cost (ms) of a legalized plan under the engine's cost layer.
@@ -121,6 +142,20 @@ public:
                                         const NetworkPlan &Plan,
                                         const ExecutorOptions &Options) const;
 
+  /// Executor handoff for a full SelectionResult: instantiates R.Plan over
+  /// R.executionGraph(Net), so pass-rewritten plans run on the graph they
+  /// index. \p R must outlive the executor (it owns the rewritten graph
+  /// the executor borrows) -- binding a temporary is deleted below so
+  /// `instantiate(Net, Eng.optimize(Net), ...)` cannot compile into a
+  /// dangling reference.
+  std::unique_ptr<Executor> instantiate(const NetworkGraph &Net,
+                                        const SelectionResult &R,
+                                        const ExecutorOptions &Options) const;
+  std::unique_ptr<Executor> instantiate(const NetworkGraph &Net,
+                                        SelectionResult &&R,
+                                        const ExecutorOptions &Options) const =
+      delete;
+
   /// CodeGen handoff: render \p Plan as a compilable C++ translation unit.
   std::string emitSource(const NetworkGraph &Net, const NetworkPlan &Plan,
                          const CodeGenOptions &Options = {}) const;
@@ -140,7 +175,9 @@ public:
   }
 
   /// The cache key optimize() uses for \p Net with this engine's solver
-  /// configuration (exposed so tools can inspect/evict entries).
+  /// configuration (exposed so tools can inspect/evict entries). Runs the
+  /// engine's pass pipeline to fingerprint the rewritten network, exactly
+  /// as optimize() would.
   PlanKey planKey(const NetworkGraph &Net) const;
 
   const PrimitiveLibrary &library() const { return Lib; }

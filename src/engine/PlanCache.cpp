@@ -36,7 +36,8 @@ std::string hex64(uint64_t H) {
 } // namespace
 
 std::string PlanKey::combined() const {
-  return NetworkFingerprint + "|" + CostIdentity + "|" + SolverFingerprint;
+  return NetworkFingerprint + "|" + CostIdentity + "|" + SolverFingerprint +
+         "|" + PassFingerprint;
 }
 
 std::string PlanKey::fileName() const {
@@ -57,7 +58,14 @@ std::string primsel::fingerprintNetwork(const NetworkGraph &Net,
     OS << layerKindName(Node.L.Kind) << "," << Node.L.OutChannels << ","
        << Node.L.KernelSize << "," << Node.L.Stride << "," << Node.L.Pad
        << "," << Node.L.SparsityPct << ",s" << Node.OutShape.C << "x"
-       << Node.OutShape.H << "x" << Node.OutShape.W << ",[";
+       << Node.OutShape.H << "x" << Node.OutShape.W << ",";
+    // Fused epilogues change the function a node computes (the costed
+    // kinds also carry them in the scenario key below; dummy absorbers
+    // like Add+ReLU only here). Epilogue-free nodes keep the historical
+    // record format.
+    if (Node.L.Epi != EpilogueKind::None)
+      OS << "e" << epilogueName(Node.L.Epi) << ",";
+    OS << "[";
     for (NetworkGraph::NodeId In : Node.Inputs)
       OS << In << " ";
     OS << "]";
@@ -285,7 +293,12 @@ std::optional<SelectionResult> PlanCache::lookup(const PlanKey &Key,
 void PlanCache::store(const PlanKey &Key, const SelectionResult &R,
                       const NetworkGraph &Net, const PrimitiveLibrary &Lib) {
   ++Stats.Stores;
-  Memory[Key.combined()] = R;
+  SelectionResult &Slot = Memory[Key.combined()] = R;
+  // The plan is the artifact worth caching; the engine refreshes the
+  // rewritten graph and pass statistics on every hit, so retaining a
+  // whole NetworkGraph copy per entry would be dead weight.
+  Slot.Rewritten.reset();
+  Slot.Passes.clear();
   if (Dir.empty())
     return;
   std::error_code EC;

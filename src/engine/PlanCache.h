@@ -56,11 +56,18 @@ struct PlanCacheStats {
   uint64_t hits() const { return MemoryHits + DiskHits; }
 };
 
-/// The composite lookup key. All three components are stable text.
+/// The composite lookup key. All four components are stable text.
 struct PlanKey {
   std::string NetworkFingerprint;
   std::string CostIdentity;
   std::string SolverFingerprint;
+  /// transforms::fingerprintPasses of the engine's pass pipeline ("none"
+  /// at O0). The network fingerprint is taken over the *rewritten* graph,
+  /// which usually already separates O0 from O1 -- but a pipeline that
+  /// found nothing to rewrite leaves the graph identical, so the pipeline
+  /// identity participates explicitly: plans solved under different
+  /// pipelines never mix.
+  std::string PassFingerprint = "none";
 
   /// The canonical one-line form stored in cache files and used as the
   /// in-memory map key.

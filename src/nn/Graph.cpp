@@ -12,6 +12,7 @@ NetworkGraph::NodeId NetworkGraph::addInput(const std::string &Name,
   Node N;
   N.L = Layer::input(Name);
   N.OutShape = Shape;
+  N.SeedId = N.BiasSeedId = static_cast<NodeId>(Nodes.size());
   Nodes.push_back(std::move(N));
   return static_cast<NodeId>(Nodes.size() - 1);
 }
@@ -71,6 +72,7 @@ TensorShape NetworkGraph::inferShape(const Layer &L,
              "add inputs must agree on shape");
     return Out;
   }
+  case LayerKind::Bias:
   case LayerKind::ReLU:
   case LayerKind::LRN:
   case LayerKind::Softmax:
@@ -108,14 +110,48 @@ NetworkGraph::NodeId NetworkGraph::addLayer(Layer L,
                               N.L.Pad,
                               N.L.SparsityPct,
                               /*Batch=*/1,
-                              Depthwise};
+                              Depthwise,
+                              N.L.Epi};
   }
   N.Scenario.Batch = Batch;
   NodeId Id = static_cast<NodeId>(Nodes.size());
+  N.SeedId = N.BiasSeedId = Id;
   for (NodeId In : Inputs)
     Nodes[In].Consumers.push_back(Id);
   Nodes.push_back(std::move(N));
   return Id;
+}
+
+void NetworkGraph::setNodeSeeds(NodeId N, uint32_t SeedId,
+                                uint32_t BiasSeedId) {
+  assert(N < Nodes.size() && "no such node");
+  Nodes[N].SeedId = SeedId;
+  Nodes[N].BiasSeedId = BiasSeedId;
+}
+
+void NetworkGraph::setNodeEpilogue(NodeId N, EpilogueKind E,
+                                   uint32_t BiasSeedId) {
+  assert(N < Nodes.size() && "no such node");
+  Node &Node = Nodes[N];
+  switch (Node.L.Kind) {
+  case LayerKind::Conv:
+  case LayerKind::DepthwiseConv:
+    break; // costed kinds take any epilogue
+  case LayerKind::Add:
+  case LayerKind::MaxPool:
+  case LayerKind::AvgPool:
+  case LayerKind::GlobalAvgPool:
+    assert(!epilogueHasBias(E) &&
+           "bias epilogues fold into costed nodes only");
+    break;
+  default:
+    assert(false && "layer kind cannot absorb an epilogue");
+  }
+  Node.L.Epi = E;
+  if (!isDummyKind(Node.L.Kind))
+    Node.Scenario.Epi = E;
+  if (epilogueHasBias(E))
+    Node.BiasSeedId = BiasSeedId;
 }
 
 void NetworkGraph::setBatch(int64_t NewBatch) {

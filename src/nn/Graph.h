@@ -51,6 +51,17 @@ public:
     /// Valid only for the costed kinds (Conv, DepthwiseConv): the scenario
     /// of this layer.
     ConvScenario Scenario;
+    /// Seed offset for this node's deterministic weights (conv kernels, FC
+    /// matrices, bias vectors). Defaults to the node's own id; the
+    /// transform passes (transforms/Pass.h) carry the source node's value
+    /// into rewritten graphs so an O1 graph computes bit-identically to
+    /// its O0 original.
+    uint32_t SeedId = 0;
+    /// Seed offset of the bias-vector stream this node applies: its own
+    /// SeedId for standalone Bias layers, the absorbed Bias layer's SeedId
+    /// after epilogue fusion. Meaningful only when the node carries a bias
+    /// (L.Kind == Bias, or an epilogue with epilogueHasBias()).
+    uint32_t BiasSeedId = 0;
   };
 
   explicit NetworkGraph(std::string Name) : NetName(std::move(Name)) {}
@@ -78,6 +89,18 @@ public:
 
   /// Total conv multiply-accumulate work of the whole network.
   double totalConvMacs() const;
+
+  /// Transform-pass support: preserve the source graph's deterministic
+  /// weight streams on a rewritten node. Never needed when building a
+  /// network by hand (addLayer defaults both to the node's own id).
+  void setNodeSeeds(NodeId N, uint32_t SeedId, uint32_t BiasSeedId);
+
+  /// Transform-pass support: attach a fused epilogue to node \p N,
+  /// updating the layer and (for costed kinds) the scenario. Bias
+  /// epilogues are only legal on the costed kinds; dummy absorbers (Add,
+  /// the pooling kinds) take ReLU only. \p BiasSeedId names the absorbed
+  /// Bias layer's weight stream (ignored unless the epilogue has a bias).
+  void setNodeEpilogue(NodeId N, EpilogueKind E, uint32_t BiasSeedId);
 
   /// Set the inference minibatch size (§8 extension; default 1, the
   /// paper's latency-sensitive configuration). Applies to every conv

@@ -24,6 +24,11 @@ std::string ConvScenario::key() const {
   // the supporting primitive set) differs.
   if (Depthwise)
     OS << "_dw";
+  // Fused-epilogue scenarios likewise compute a different function than
+  // the bare conv; epilogue-free scenarios keep the historical key so
+  // shipped cost tables stay valid.
+  if (Epi != EpilogueKind::None)
+    OS << "_e" << epilogueName(Epi);
   return OS.str();
 }
 
@@ -44,7 +49,23 @@ size_t ConvScenarioHash::operator()(const ConvScenario &S) const {
   Mix(S.SparsityPct);
   Mix(S.Batch);
   Mix(S.Depthwise ? 1 : 0);
+  Mix(static_cast<int64_t>(S.Epi));
   return Hash;
+}
+
+const char *primsel::epilogueName(EpilogueKind E) {
+  switch (E) {
+  case EpilogueKind::None:
+    return "none";
+  case EpilogueKind::ReLU:
+    return "relu";
+  case EpilogueKind::Bias:
+    return "bias";
+  case EpilogueKind::BiasReLU:
+    return "biasrelu";
+  }
+  assert(false && "unknown epilogue kind");
+  return "?";
 }
 
 const char *primsel::layerKindName(LayerKind K) {
@@ -55,6 +76,8 @@ const char *primsel::layerKindName(LayerKind K) {
     return "conv";
   case LayerKind::DepthwiseConv:
     return "dwconv";
+  case LayerKind::Bias:
+    return "bias";
   case LayerKind::ReLU:
     return "relu";
   case LayerKind::MaxPool:

@@ -22,6 +22,29 @@
 
 namespace primsel {
 
+/// A fused epilogue: elementwise work a producing layer applies to its
+/// output before any consumer sees it. The transform passes
+/// (transforms/Pass.h) absorb standalone Bias/ReLU layers into the
+/// producer that feeds them, so the intermediate tensor the standalone
+/// layer would have materialized is never stored. Bias comes before ReLU
+/// (the only composition the fusion passes form), so BiasReLU means
+/// relu(x + b[c]).
+enum class EpilogueKind : uint8_t {
+  None,
+  ReLU,     ///< x = max(x, 0)
+  Bias,     ///< x += b[c], one learned offset per output channel
+  BiasReLU, ///< x = max(x + b[c], 0)
+};
+
+const char *epilogueName(EpilogueKind E);
+
+inline bool epilogueHasRelu(EpilogueKind E) {
+  return E == EpilogueKind::ReLU || E == EpilogueKind::BiasReLU;
+}
+inline bool epilogueHasBias(EpilogueKind E) {
+  return E == EpilogueKind::Bias || E == EpilogueKind::BiasReLU;
+}
+
 /// The paper's convolutional scenario 6-tuple {C, H, W, delta, K, M} (§3),
 /// extended with padding so the public AlexNet/VGG/GoogLeNet models can be
 /// expressed (see the deviation note in DESIGN.md). Minibatch size is fixed
@@ -53,6 +76,13 @@ struct ConvScenario {
   /// family -- a standard conv routine computes a different function, so
   /// PrimitiveLibrary::supporting never mixes the two.
   bool Depthwise = false;
+  /// Fused epilogue the selected primitive must apply to its output
+  /// (transforms/Pass.h absorbs Bias/ReLU layers into the conv that feeds
+  /// them). Participates in key()/hash/== so fused and unfused scenarios
+  /// never alias in cost tables or plan-cache keys; primitives themselves
+  /// ignore it -- the shared applier (primitives/Primitive.h) runs the
+  /// epilogue over the routine's output.
+  EpilogueKind Epi = EpilogueKind::None;
 
   int64_t outHeight() const { return (H + 2 * Pad - K) / Stride + 1; }
   int64_t outWidth() const { return (W + 2 * Pad - K) / Stride + 1; }
@@ -84,7 +114,16 @@ struct ConvScenario {
     return C == O.C && H == O.H && W == O.W && Stride == O.Stride &&
            K == O.K && M == O.M && Pad == O.Pad &&
            SparsityPct == O.SparsityPct && Batch == O.Batch &&
-           Depthwise == O.Depthwise;
+           Depthwise == O.Depthwise && Epi == O.Epi;
+  }
+
+  /// The same scenario with no fused epilogue (the cost model's base
+  /// point: the epilogue surcharge is primitive-independent, so the
+  /// underlying routine is priced on the bare scenario).
+  ConvScenario withoutEpilogue() const {
+    ConvScenario S = *this;
+    S.Epi = EpilogueKind::None;
+    return S;
   }
 
   /// Fraction of non-zero kernel weights, in [0, 1].
@@ -107,6 +146,7 @@ enum class LayerKind : uint8_t {
   Input,          ///< network input placeholder
   Conv,           ///< multi-channel multi-kernel convolution (§2.1)
   DepthwiseConv,  ///< per-channel convolution (MobileNet separable stacks)
+  Bias,           ///< per-channel learned offset (folds into the producer)
   ReLU,           ///< rectified linear activation
   MaxPool,        ///< max pooling (ceil-mode output dims, Caffe convention)
   AvgPool,        ///< average pooling
@@ -140,6 +180,10 @@ struct Layer {
   int64_t Stride = 1;
   int64_t Pad = 0;
   int64_t SparsityPct = 0; ///< conv kernel sparsity ratio (§8 extension)
+  /// Fused epilogue this layer applies to its output (set by the transform
+  /// passes; never by the model builders). Mirrored into the conv scenario
+  /// for costed kinds so the cost/plan-cache keys stay distinct.
+  EpilogueKind Epi = EpilogueKind::None;
 
   static Layer input(std::string Name) {
     Layer L;
@@ -176,6 +220,15 @@ struct Layer {
   static Layer relu(std::string Name) {
     Layer L;
     L.Kind = LayerKind::ReLU;
+    L.Name = std::move(Name);
+    return L;
+  }
+  /// Per-channel learned offset: out(c, h, w) = in(c, h, w) + b[c]. A
+  /// standalone dummy layer until the fusion passes fold it into the conv
+  /// that produces its input.
+  static Layer bias(std::string Name) {
+    Layer L;
+    L.Kind = LayerKind::Bias;
     L.Name = std::move(Name);
     return L;
   }

@@ -233,6 +233,8 @@ private:
     }
     if (Kind == "relu")
       return addNamed(Name, Layer::relu(Name), Inputs);
+    if (Kind == "bias")
+      return addNamed(Name, Layer::bias(Name), Inputs);
     if (Kind == "lrn")
       return addNamed(Name, Layer::lrn(Name), Inputs);
     if (Kind == "softmax")
@@ -281,6 +283,8 @@ const char *directiveFor(LayerKind K) {
     return "conv";
   case LayerKind::DepthwiseConv:
     return "dwconv";
+  case LayerKind::Bias:
+    return "bias";
   case LayerKind::ReLU:
     return "relu";
   case LayerKind::MaxPool:

@@ -124,9 +124,37 @@ public:
   virtual size_t workspaceBytes(const ConvScenario &S) const = 0;
 
   /// Bind to a scenario + weights. Must only be called when supports(S).
+  /// Routines ignore S.Epi -- epilogues are applied by the shared applier
+  /// (instantiateWithEpilogue wraps the returned instance).
   virtual std::unique_ptr<ConvInstance>
   instantiate(const ConvScenario &S, const Kernel4D &Weights) const = 0;
 };
+
+/// The one shared epilogue applier every primitive family goes through:
+/// apply \p E to \p T in place (bias add per logical channel, then ReLU).
+/// Layout-polymorphic and iteration-order independent, so a fused epilogue
+/// is bit-identical to the standalone Bias/ReLU layers it replaces.
+/// \p Bias must have T.channels() entries when epilogueHasBias(E), and may
+/// be null otherwise.
+void applyEpilogue(EpilogueKind E, const float *Bias, Tensor3D &T);
+
+/// Deterministic per-channel bias stream: the bias vector a node with
+/// BiasSeedId = seed-offset applies. Shared by the executor, the profiler
+/// and generated code so every instantiation of a network computes the
+/// same function. Values are scaled to +/-0.1 so deep stacks of fused
+/// biases do not drown the conv outputs.
+void fillEpilogueBias(float *Bias, int64_t Channels, uint64_t Seed);
+
+/// Bind \p P to \p S like P.instantiate(S, Weights), then -- when the
+/// scenario carries a fused epilogue -- wrap the instance so applyEpilogue
+/// runs over every output (run and runBatch alike). \p BiasSeed feeds
+/// fillEpilogueBias for epilogues with a bias and is ignored otherwise.
+/// This is the single instantiation point for epilogue scenarios: the
+/// executor, the profiler and generated programs all call it, so all
+/// primitive families gain epilogue support without per-family code.
+std::unique_ptr<ConvInstance>
+instantiateWithEpilogue(const ConvPrimitive &P, const ConvScenario &S,
+                        const Kernel4D &Weights, uint64_t BiasSeed);
 
 } // namespace primsel
 

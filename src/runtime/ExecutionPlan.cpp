@@ -7,6 +7,16 @@
 
 using namespace primsel;
 
+/// "+bias+relu"-style marker for fused-epilogue steps in listings.
+static std::string epilogueSuffix(EpilogueKind E) {
+  std::string S;
+  if (epilogueHasBias(E))
+    S += "+bias";
+  if (epilogueHasRelu(E))
+    S += "+relu";
+  return S;
+}
+
 ExecutionPlan ExecutionPlan::compile(const NetworkGraph &Net,
                                      const NetworkPlan &Plan,
                                      const PrimitiveLibrary &Lib) {
@@ -78,12 +88,12 @@ std::string ExecutionPlan::dump(const NetworkGraph &Net,
          << "]\n";
       break;
     case ExecStep::Kind::Conv:
-      OS << "conv    " << Node.L.Name << " <- "
+      OS << "conv    " << Node.L.Name << epilogueSuffix(Node.L.Epi) << " <- "
          << Lib.get(Plan.ConvPrim[S.Node]).name() << "\n";
       break;
     case ExecStep::Kind::Dummy:
       OS << "layer   " << Node.L.Name << " ("
-         << layerKindName(Node.L.Kind) << ") ["
+         << layerKindName(Node.L.Kind) << epilogueSuffix(Node.L.Epi) << ") ["
          << layoutName(Plan.OutLayout[S.Node]) << "]\n";
       break;
     case ExecStep::Kind::Transform:

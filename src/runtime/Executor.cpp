@@ -52,20 +52,32 @@ Executor::Executor(const NetworkGraph &Net, const NetworkPlan &PlanIn,
       // Depthwise filters carry a single input channel.
       Kernel4D Weights(S.M, S.kernelChannels(), S.K);
       // Deterministic per-node weights so any two plans over the same
-      // network compute the same function.
-      Weights.fillRandom(Opts.WeightSeed + N);
-      Weights.applySparsity(S.SparsityPct, Opts.WeightSeed + N + 1);
-      Instances[N] = Lib.get(Plan.ConvPrim[N]).instantiate(S, Weights);
+      // network compute the same function. Seeded by SeedId (= the node id
+      // on hand-built graphs) so a pass-rewritten graph draws each layer's
+      // weights from the same stream as its O0 original.
+      Weights.fillRandom(Opts.WeightSeed + Node.SeedId);
+      Weights.applySparsity(S.SparsityPct, Opts.WeightSeed + Node.SeedId + 1);
+      // The shared wrapper applies any fused epilogue over the routine's
+      // output; a no-op for epilogue-free scenarios.
+      Instances[N] = instantiateWithEpilogue(
+          Lib.get(Plan.ConvPrim[N]), S, Weights,
+          Opts.WeightSeed + Node.BiasSeedId);
     } else if (Node.L.Kind == LayerKind::FullyConnected) {
       const TensorShape &In = Net.node(Node.Inputs[0]).OutShape;
       size_t Flat = static_cast<size_t>(In.elements());
       FcWeights[N].reset(static_cast<size_t>(Node.L.OutChannels) * Flat);
       fillRandom(FcWeights[N].data(), FcWeights[N].size(),
-                 Opts.WeightSeed + N);
+                 Opts.WeightSeed + Node.SeedId);
       // Scale down so deep nets do not overflow float range.
       float Scale = 1.0f / std::sqrt(static_cast<float>(Flat));
       for (size_t I = 0; I < FcWeights[N].size(); ++I)
         FcWeights[N][I] *= Scale;
+    } else if (Node.L.Kind == LayerKind::Bias) {
+      // Standalone bias layer: the same deterministic stream the fused
+      // epilogue would draw (BiasSeedId == SeedId until a pass fuses it).
+      FcWeights[N].reset(static_cast<size_t>(Node.OutShape.C));
+      fillEpilogueBias(FcWeights[N].data(), Node.OutShape.C,
+                       Opts.WeightSeed + Node.BiasSeedId);
     }
   }
 }
@@ -117,6 +129,9 @@ void Executor::runDummy(const NetworkGraph::Node &Node,
   case LayerKind::ReLU:
     reluOp(In, Out);
     break;
+  case LayerKind::Bias:
+    biasOp(FcWeights[N].data(), In, Out);
+    break;
   case LayerKind::Dropout:
     identityOp(In, Out);
     break;
@@ -154,6 +169,11 @@ void Executor::runDummy(const NetworkGraph::Node &Node,
     assert(false && "not a dummy layer");
     break;
   }
+
+  // Fused activation on dummy absorbers (Add+ReLU, Pool+ReLU), applied in
+  // place by the same shared applier the conv wrapper uses.
+  if (Node.L.Epi != EpilogueKind::None)
+    applyEpilogue(Node.L.Epi, nullptr, Out);
 }
 
 void Executor::executeStep(unsigned StepIndex, const Tensor3D &Input,

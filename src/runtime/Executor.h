@@ -122,7 +122,8 @@ private:
 
   /// Conv instances, indexed by node.
   std::vector<std::unique_ptr<ConvInstance>> Instances;
-  /// Fully-connected weights, indexed by node.
+  /// Fully-connected weight matrices and standalone bias vectors, indexed
+  /// by node.
   std::vector<AlignedBuffer> FcWeights;
   /// Backing storage for arena-packed values (UseArena only).
   AlignedBuffer Arena;

@@ -21,6 +21,15 @@ void primsel::reluOp(const Tensor3D &In, Tensor3D &Out) {
     Dst[I] = Src[I] > 0.0f ? Src[I] : 0.0f;
 }
 
+void primsel::biasOp(const float *Bias, const Tensor3D &In, Tensor3D &Out) {
+  assert(In.layout() == Out.layout() && In.sameShape(Out) &&
+         "bias requires matching layout and shape");
+  for (int64_t C = 0; C < Out.channels(); ++C)
+    for (int64_t H = 0; H < Out.height(); ++H)
+      for (int64_t W = 0; W < Out.width(); ++W)
+        Out.at(C, H, W) = In.at(C, H, W) + Bias[C];
+}
+
 void primsel::identityOp(const Tensor3D &In, Tensor3D &Out) {
   assert(In.layout() == Out.layout() && In.sameShape(Out) &&
          "identity requires matching layout and shape");

@@ -32,6 +32,13 @@ class ThreadPool;
 /// Elementwise max(x, 0). In and Out must share a layout.
 void reluOp(const Tensor3D &In, Tensor3D &Out);
 
+/// Per-channel offset: Out(c, h, w) = In(c, h, w) + Bias[c], where
+/// \p Bias has In.channels() entries. In and Out must share a layout.
+/// Computes the same values as the ReLU-free half of the fused epilogue
+/// applier (primitives/Primitive.h), which is what makes epilogue fusion
+/// bit-exact.
+void biasOp(const float *Bias, const Tensor3D &In, Tensor3D &Out);
+
 /// Inference-time dropout: the identity. In and Out must share a layout.
 void identityOp(const Tensor3D &In, Tensor3D &Out);
 

@@ -1,0 +1,131 @@
+//===- transforms/Pass.h - Graph-transform pass pipeline --------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graph rewriting ahead of primitive selection. The PBQP formulation
+/// prices layout conversions between primitives, but the raw graphs carry
+/// every activation/bias as a standalone dummy layer, so each
+/// Conv -> ReLU boundary materializes a full intermediate tensor the
+/// selector can never optimize away. The passes here rewrite the graph
+/// before formulation:
+///
+///  - dce                 identity/dead-layer elimination (inference-time
+///                        Dropout, single-input Concat, ReLU-of-ReLU,
+///                        unconsumed non-output layers);
+///  - fuse-conv-epilogue  Conv/DepthwiseConv + [Bias] + [ReLU] chains
+///                        become one conv node with a fused epilogue
+///                        (ConvScenario.Epi), applied by the shared
+///                        applier in primitives/Primitive.h;
+///  - fuse-add-relu       residual Add + ReLU joins fold the activation
+///                        into the Add node;
+///  - fuse-pool-relu      MaxPool/AvgPool/GlobalAvgPool + ReLU folds the
+///                        activation into the pooling node.
+///
+/// Every rewrite is exact: fused graphs compute bit-identical outputs to
+/// their originals (weight streams are preserved via Node::SeedId, and
+/// every fused operation is elementwise and iteration-order independent).
+/// A PassPipeline runs passes in order, verifies the graph invariants
+/// after each one, and reports per-pass statistics. Its fingerprint() is
+/// folded into the plan-cache key so plans from different pipelines never
+/// mix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_TRANSFORMS_PASS_H
+#define PRIMSEL_TRANSFORMS_PASS_H
+
+#include "nn/Graph.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace primsel {
+namespace transforms {
+
+/// What one pass did to one graph.
+struct PassStats {
+  std::string Name;
+  /// Pattern applications: layers removed or fused away.
+  unsigned Rewrites = 0;
+  unsigned NodesBefore = 0;
+  unsigned NodesAfter = 0;
+  double Millis = 0.0;
+};
+
+/// One graph-to-graph rewrite. Passes are stateless and deterministic:
+/// the same input graph always produces the same output graph (the plan
+/// cache and the bit-identity guarantees rely on this).
+class Pass {
+public:
+  virtual ~Pass();
+
+  /// Stable name, also the CLI `--passes` spelling.
+  virtual std::string name() const = 0;
+
+  /// Rewrite \p Net. \p Rewrites receives the number of layers removed or
+  /// fused away (0 means the returned graph is structurally identical).
+  virtual NetworkGraph run(const NetworkGraph &Net,
+                           unsigned &Rewrites) const = 0;
+};
+
+/// Structural invariants every (rewritten or hand-built) graph must hold:
+/// topological input order, consistent consumer lists, shape agreement,
+/// scenarios matching their layers, legal epilogue placement, and unique
+/// weight-stream SeedIds. Returns an empty string when the graph is
+/// well-formed, else a one-line description of the first violation.
+std::string verifyGraph(const NetworkGraph &Net);
+
+/// Factory for the passes above; std::nullopt-style null for unknown
+/// names.
+std::unique_ptr<Pass> createPass(const std::string &Name);
+
+/// True if \p Name names a registered pass.
+bool isKnownPass(const std::string &Name);
+
+/// Every registered pass name, in the default pipeline's order.
+std::vector<std::string> knownPassNames();
+
+/// An ordered pass list with post-pass verification and statistics.
+class PassPipeline {
+public:
+  /// The O1 pipeline: dce, fuse-conv-epilogue, fuse-add-relu,
+  /// fuse-pool-relu.
+  static std::vector<std::string> defaultPassNames();
+
+  /// Build a pipeline from pass names. Asserts every name is known --
+  /// user-supplied lists must be validated with isKnownPass first.
+  static PassPipeline fromNames(const std::vector<std::string> &Names);
+
+  /// An empty pipeline (O0): run() returns the input unchanged.
+  PassPipeline() = default;
+
+  /// Run every pass in order. Asserts the graph verifies after each pass
+  /// (exact rewrites cannot legally produce a malformed graph). Per-pass
+  /// statistics land in \p Stats when non-null.
+  NetworkGraph run(const NetworkGraph &Net,
+                   std::vector<PassStats> *Stats = nullptr) const;
+
+  /// Stable identity of this pipeline for cache keys: "none" for the
+  /// empty pipeline, else "passes:" + the comma-joined pass names.
+  std::string fingerprint() const;
+
+  bool empty() const { return Names.empty(); }
+  const std::vector<std::string> &passNames() const { return Names; }
+
+private:
+  std::vector<std::string> Names;
+  std::vector<std::unique_ptr<Pass>> Passes;
+};
+
+/// The fingerprint fromNames(Names) would report, without building the
+/// pipeline (the engine keys its plan cache with this).
+std::string fingerprintPasses(const std::vector<std::string> &Names);
+
+} // namespace transforms
+} // namespace primsel
+
+#endif // PRIMSEL_TRANSFORMS_PASS_H

@@ -1,0 +1,279 @@
+//===- transforms/Passes.cpp - The concrete graph-transform passes --------===//
+//
+// Each pass is an analysis over the input graph followed by one shared
+// reconstruction step. Analyses mark nodes for removal (RedirectTo: the
+// removed node's consumers read an earlier surviving node instead) and
+// surviving nodes for epilogue attachment; applyRewrite() rebuilds the
+// graph in the original topological order, preserving each node's
+// deterministic weight streams (Node::SeedId / BiasSeedId) so a rewritten
+// graph computes bit-identically to its source.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Pass.h"
+
+#include <cassert>
+
+using namespace primsel;
+using namespace primsel::transforms;
+
+namespace {
+
+using NodeId = NetworkGraph::NodeId;
+constexpr NodeId Invalid = static_cast<NodeId>(-1);
+
+/// A batch of removals/fusions over one graph, produced by a pass's
+/// analysis and consumed by applyRewrite.
+struct RewritePlan {
+  /// Per node: Invalid to keep, else the earlier node whose (rewritten)
+  /// output the removed node's consumers should read.
+  std::vector<NodeId> RedirectTo;
+  /// Per kept node: the epilogue to attach (None = leave as is).
+  std::vector<EpilogueKind> Epi;
+  /// Per kept node: the old node donating the fused bias-weight stream
+  /// (Invalid = keep the node's own).
+  std::vector<NodeId> BiasFrom;
+
+  explicit RewritePlan(unsigned NumNodes)
+      : RedirectTo(NumNodes, Invalid), Epi(NumNodes, EpilogueKind::None),
+        BiasFrom(NumNodes, Invalid) {}
+
+  unsigned rewrites() const {
+    unsigned N = 0;
+    for (NodeId T : RedirectTo)
+      N += T != Invalid;
+    return N;
+  }
+};
+
+/// Rebuild \p G with \p P applied. Kept nodes are re-added in the original
+/// order (so relative topological order, and therefore determinism, is
+/// preserved); removed nodes map to their redirect target's new id.
+NetworkGraph applyRewrite(const NetworkGraph &G, const RewritePlan &P) {
+  NetworkGraph Out(G.name());
+  std::vector<NodeId> Map(G.numNodes(), Invalid);
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const NetworkGraph::Node &Node = G.node(N);
+    if (P.RedirectTo[N] != Invalid) {
+      // Chase redirect chains (e.g. stacked dropouts) on old ids; targets
+      // are always earlier nodes, so their Map entries exist.
+      NodeId T = P.RedirectTo[N];
+      while (P.RedirectTo[T] != Invalid)
+        T = P.RedirectTo[T];
+      assert(T < N && "redirect target must precede the removed node");
+      Map[N] = Map[T];
+      continue;
+    }
+    Layer L = Node.L;
+    if (P.Epi[N] != EpilogueKind::None) {
+      assert(L.Epi == EpilogueKind::None && "double epilogue fusion");
+      L.Epi = P.Epi[N];
+    }
+    NodeId NewId;
+    if (L.Kind == LayerKind::Input) {
+      NewId = Out.addInput(L.Name, Node.OutShape);
+    } else {
+      std::vector<NodeId> Ins;
+      Ins.reserve(Node.Inputs.size());
+      for (NodeId In : Node.Inputs)
+        Ins.push_back(Map[In]);
+      NewId = Out.addLayer(std::move(L), Ins);
+    }
+    uint32_t BiasSeed = P.BiasFrom[N] != Invalid
+                            ? G.node(P.BiasFrom[N]).BiasSeedId
+                            : Node.BiasSeedId;
+    Out.setNodeSeeds(NewId, Node.SeedId, BiasSeed);
+    Map[N] = NewId;
+  }
+  Out.setBatch(G.batch());
+  return Out;
+}
+
+/// True if removing identity-like node \p N (redirecting its consumers to
+/// its single input) preserves the set of network-output values. Non-sinks
+/// are always safe: their consumers re-read the identical value. A sink
+/// (an output) is safe only when the node surviving the collapse becomes a
+/// sink itself -- every hop of the already-marked identity chain below N,
+/// and the surviving producer, may have no consumer besides that chain,
+/// or removal would silently drop an output.
+bool removalKeepsOutputs(const NetworkGraph &G, const RewritePlan &P,
+                         NodeId N) {
+  if (!G.node(N).Consumers.empty())
+    return true;
+  NodeId T = G.node(N).Inputs[0];
+  while (true) {
+    if (G.node(T).Consumers.size() != 1)
+      return false;
+    if (P.RedirectTo[T] == Invalid)
+      return true; // T survives and becomes the sink
+    T = G.node(T).Inputs[0]; // T is a marked identity: hop through it
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// dce: identity/dead-layer elimination.
+//===----------------------------------------------------------------------===//
+
+/// Removes layers whose output is definitionally their input: Dropout
+/// (identity at inference), single-input Concat, and ReLU over an input
+/// that is already rectified (a ReLU layer, or a producer with a fused
+/// ReLU epilogue). Sinks whose producer feeds other consumers are kept --
+/// in this IR every sink is a network output, so removing one would drop
+/// an output (which is also why truly dead layers cannot occur in a
+/// well-formed graph: an unconsumed layer *is* an output).
+class DcePass : public Pass {
+public:
+  std::string name() const override { return "dce"; }
+
+  NetworkGraph run(const NetworkGraph &Net, unsigned &Rewrites) const override {
+    RewritePlan P(Net.numNodes());
+    // The node a value actually comes from once this pass's removals so
+    // far are applied; inputs precede their consumers, so their marks are
+    // final by the time a consumer is inspected. Classifying against the
+    // resolved producer (not the raw input) makes one run a fixpoint:
+    // e.g. relu -> dropout -> relu eliminates both in a single sweep.
+    auto Resolve = [&](NodeId N) {
+      while (P.RedirectTo[N] != Invalid)
+        N = P.RedirectTo[N];
+      return N;
+    };
+    for (NodeId N = 0; N < Net.numNodes(); ++N) {
+      const NetworkGraph::Node &Node = Net.node(N);
+      bool Identity = false;
+      switch (Node.L.Kind) {
+      case LayerKind::Dropout:
+        Identity = true;
+        break;
+      case LayerKind::Concat:
+        Identity = Node.Inputs.size() == 1;
+        break;
+      case LayerKind::ReLU: {
+        const NetworkGraph::Node &In = Net.node(Resolve(Node.Inputs[0]));
+        Identity = In.L.Kind == LayerKind::ReLU || epilogueHasRelu(In.L.Epi);
+        break;
+      }
+      default:
+        break;
+      }
+      if (Identity && Node.L.Epi == EpilogueKind::None &&
+          removalKeepsOutputs(Net, P, N))
+        P.RedirectTo[N] = Node.Inputs[0];
+    }
+    Rewrites = P.rewrites();
+    return applyRewrite(Net, P);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// fuse-conv-epilogue: Conv/DepthwiseConv + [Bias] + [ReLU].
+//===----------------------------------------------------------------------===//
+
+/// Folds a conv's sole-consumer Bias and/or ReLU successors into the conv
+/// itself as a fused epilogue. The conv must have exactly one consumer
+/// (other consumers need the pre-epilogue value); the absorbed layers'
+/// own consumers then read the conv directly. The absorbed Bias layer's
+/// weight stream travels along (BiasFrom) so the fused conv adds the very
+/// same offsets.
+class FuseConvEpiloguePass : public Pass {
+public:
+  std::string name() const override { return "fuse-conv-epilogue"; }
+
+  NetworkGraph run(const NetworkGraph &Net, unsigned &Rewrites) const override {
+    RewritePlan P(Net.numNodes());
+    for (NodeId N = 0; N < Net.numNodes(); ++N) {
+      const NetworkGraph::Node &Conv = Net.node(N);
+      if (isDummyKind(Conv.L.Kind) || Conv.L.Epi != EpilogueKind::None ||
+          Conv.Consumers.size() != 1)
+        continue;
+      NodeId First = Conv.Consumers[0];
+      if (P.RedirectTo[First] != Invalid)
+        continue;
+      const NetworkGraph::Node &Next = Net.node(First);
+      if (Next.L.Kind == LayerKind::Bias) {
+        P.RedirectTo[First] = N;
+        P.Epi[N] = EpilogueKind::Bias;
+        P.BiasFrom[N] = First;
+        if (Next.Consumers.size() == 1) {
+          NodeId Second = Next.Consumers[0];
+          if (Net.node(Second).L.Kind == LayerKind::ReLU &&
+              P.RedirectTo[Second] == Invalid) {
+            P.RedirectTo[Second] = N;
+            P.Epi[N] = EpilogueKind::BiasReLU;
+          }
+        }
+      } else if (Next.L.Kind == LayerKind::ReLU) {
+        P.RedirectTo[First] = N;
+        P.Epi[N] = EpilogueKind::ReLU;
+      }
+    }
+    Rewrites = P.rewrites();
+    return applyRewrite(Net, P);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// fuse-add-relu / fuse-pool-relu: ReLU into dummy producers.
+//===----------------------------------------------------------------------===//
+
+/// Folds a sole-consumer ReLU into a producer of one of \p Kinds (residual
+/// Add joins, the pooling kinds). The producer applies the activation in
+/// place via the shared applier, so the ReLU's tensor is never stored.
+class FuseReluIntoKindsPass : public Pass {
+public:
+  FuseReluIntoKindsPass(std::string Name, std::vector<LayerKind> Kinds)
+      : Name(std::move(Name)), Kinds(std::move(Kinds)) {}
+
+  std::string name() const override { return Name; }
+
+  NetworkGraph run(const NetworkGraph &Net, unsigned &Rewrites) const override {
+    RewritePlan P(Net.numNodes());
+    for (NodeId N = 0; N < Net.numNodes(); ++N) {
+      const NetworkGraph::Node &Prod = Net.node(N);
+      bool Matches = false;
+      for (LayerKind K : Kinds)
+        Matches |= Prod.L.Kind == K;
+      if (!Matches || Prod.L.Epi != EpilogueKind::None ||
+          Prod.Consumers.size() != 1)
+        continue;
+      NodeId R = Prod.Consumers[0];
+      if (Net.node(R).L.Kind != LayerKind::ReLU || P.RedirectTo[R] != Invalid)
+        continue;
+      P.RedirectTo[R] = N;
+      P.Epi[N] = EpilogueKind::ReLU;
+    }
+    Rewrites = P.rewrites();
+    return applyRewrite(Net, P);
+  }
+
+private:
+  std::string Name;
+  std::vector<LayerKind> Kinds;
+};
+
+} // namespace
+
+Pass::~Pass() = default;
+
+std::unique_ptr<Pass> transforms::createPass(const std::string &Name) {
+  if (Name == "dce")
+    return std::make_unique<DcePass>();
+  if (Name == "fuse-conv-epilogue")
+    return std::make_unique<FuseConvEpiloguePass>();
+  if (Name == "fuse-add-relu")
+    return std::make_unique<FuseReluIntoKindsPass>(
+        "fuse-add-relu", std::vector<LayerKind>{LayerKind::Add});
+  if (Name == "fuse-pool-relu")
+    return std::make_unique<FuseReluIntoKindsPass>(
+        "fuse-pool-relu",
+        std::vector<LayerKind>{LayerKind::MaxPool, LayerKind::AvgPool,
+                               LayerKind::GlobalAvgPool});
+  return nullptr;
+}
+
+bool transforms::isKnownPass(const std::string &Name) {
+  return createPass(Name) != nullptr;
+}
+
+std::vector<std::string> transforms::knownPassNames() {
+  return {"dce", "fuse-conv-epilogue", "fuse-add-relu", "fuse-pool-relu"};
+}

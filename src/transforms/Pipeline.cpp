@@ -1,0 +1,204 @@
+//===- transforms/Pipeline.cpp - Pass pipeline + graph verification -------===//
+
+#include "transforms/Pass.h"
+
+#include "support/Timer.h"
+
+#include <cassert>
+#include <set>
+#include <sstream>
+
+using namespace primsel;
+using namespace primsel::transforms;
+
+namespace {
+
+/// Ceil-mode pooling extent, mirrored from the graph's shape inference so
+/// the verifier does not depend on the code it checks.
+int64_t pooledExtent(int64_t In, int64_t K, int64_t Stride, int64_t Pad) {
+  int64_t Out = (In + 2 * Pad - K + Stride - 1) / Stride + 1;
+  if (Pad > 0 && (Out - 1) * Stride >= In + Pad)
+    --Out;
+  return Out;
+}
+
+std::string nodeRef(const NetworkGraph &Net, NetworkGraph::NodeId N) {
+  return "node " + std::to_string(N) + " ('" + Net.node(N).L.Name + "')";
+}
+
+} // namespace
+
+std::string transforms::verifyGraph(const NetworkGraph &Net) {
+  using NodeId = NetworkGraph::NodeId;
+  if (Net.numNodes() == 0)
+    return "graph has no nodes";
+
+  // Recompute reverse edges to check the stored consumer lists.
+  std::vector<std::vector<NodeId>> Consumers(Net.numNodes());
+  std::set<uint32_t> Seeds;
+  bool SawInput = false;
+
+  for (NodeId N = 0; N < Net.numNodes(); ++N) {
+    const NetworkGraph::Node &Node = Net.node(N);
+    const Layer &L = Node.L;
+
+    // Topological discipline and arity.
+    for (NodeId In : Node.Inputs) {
+      if (In >= N)
+        return nodeRef(Net, N) + " reads a non-earlier node";
+      Consumers[In].push_back(N);
+    }
+    if (L.Kind == LayerKind::Input) {
+      SawInput = true;
+      if (!Node.Inputs.empty())
+        return nodeRef(Net, N) + " is an input with incoming edges";
+    } else if (L.Kind == LayerKind::Add) {
+      if (Node.Inputs.size() < 2)
+        return nodeRef(Net, N) + " is an add with fewer than two inputs";
+    } else if (L.Kind == LayerKind::Concat) {
+      if (Node.Inputs.empty())
+        return nodeRef(Net, N) + " is a concat with no inputs";
+    } else if (Node.Inputs.size() != 1) {
+      return nodeRef(Net, N) + " must have exactly one input";
+    }
+
+    // Unique deterministic weight streams.
+    if (!Seeds.insert(Node.SeedId).second)
+      return nodeRef(Net, N) + " duplicates SeedId " +
+             std::to_string(Node.SeedId);
+
+    // Epilogue placement.
+    if (L.Epi != EpilogueKind::None) {
+      bool Costed = !isDummyKind(L.Kind);
+      bool ReluAbsorber =
+          L.Kind == LayerKind::Add || L.Kind == LayerKind::MaxPool ||
+          L.Kind == LayerKind::AvgPool || L.Kind == LayerKind::GlobalAvgPool;
+      if (!Costed && !ReluAbsorber)
+        return nodeRef(Net, N) + " carries an epilogue its kind cannot apply";
+      if (!Costed && epilogueHasBias(L.Epi))
+        return nodeRef(Net, N) + " carries a bias epilogue off a conv node";
+    }
+
+    // Shape consistency per kind.
+    TensorShape Expect;
+    switch (L.Kind) {
+    case LayerKind::Input:
+      Expect = Node.OutShape;
+      break;
+    case LayerKind::Conv:
+    case LayerKind::DepthwiseConv: {
+      const ConvScenario &S = Node.Scenario;
+      const TensorShape &In = Net.node(Node.Inputs[0]).OutShape;
+      bool Depthwise = L.Kind == LayerKind::DepthwiseConv;
+      if (S.C != In.C || S.H != In.H || S.W != In.W ||
+          S.K != L.KernelSize || S.Stride != L.Stride || S.Pad != L.Pad ||
+          S.SparsityPct != L.SparsityPct ||
+          S.M != (Depthwise ? In.C : L.OutChannels) ||
+          S.Depthwise != Depthwise || S.Batch != Net.batch() ||
+          S.Epi != L.Epi)
+        return nodeRef(Net, N) + " has a scenario out of sync with its layer";
+      if (S.outHeight() < 1 || S.outWidth() < 1)
+        return nodeRef(Net, N) + " produces an empty output";
+      Expect = {S.M, S.outHeight(), S.outWidth()};
+      break;
+    }
+    case LayerKind::MaxPool:
+    case LayerKind::AvgPool: {
+      const TensorShape &In = Net.node(Node.Inputs[0]).OutShape;
+      Expect = {In.C, pooledExtent(In.H, L.KernelSize, L.Stride, L.Pad),
+                pooledExtent(In.W, L.KernelSize, L.Stride, L.Pad)};
+      break;
+    }
+    case LayerKind::GlobalAvgPool:
+      Expect = {Net.node(Node.Inputs[0]).OutShape.C, 1, 1};
+      break;
+    case LayerKind::FullyConnected:
+      Expect = {L.OutChannels, 1, 1};
+      break;
+    case LayerKind::Concat: {
+      Expect = Net.node(Node.Inputs[0]).OutShape;
+      for (size_t I = 1; I < Node.Inputs.size(); ++I) {
+        const TensorShape &In = Net.node(Node.Inputs[I]).OutShape;
+        if (In.H != Expect.H || In.W != Expect.W)
+          return nodeRef(Net, N) + " concatenates mismatched spatial dims";
+        Expect.C += In.C;
+      }
+      break;
+    }
+    case LayerKind::Add: {
+      Expect = Net.node(Node.Inputs[0]).OutShape;
+      for (NodeId In : Node.Inputs)
+        if (!(Net.node(In).OutShape == Expect))
+          return nodeRef(Net, N) + " sums mismatched shapes";
+      break;
+    }
+    case LayerKind::Bias:
+    case LayerKind::ReLU:
+    case LayerKind::LRN:
+    case LayerKind::Softmax:
+    case LayerKind::Dropout:
+      Expect = Net.node(Node.Inputs[0]).OutShape;
+      break;
+    }
+    if (!(Node.OutShape == Expect))
+      return nodeRef(Net, N) + " has an inconsistent output shape";
+  }
+
+  if (!SawInput)
+    return "graph has no input node";
+  for (NodeId N = 0; N < Net.numNodes(); ++N)
+    if (Net.node(N).Consumers != Consumers[N])
+      return nodeRef(Net, N) + " has a stale consumer list";
+  return "";
+}
+
+std::vector<std::string> PassPipeline::defaultPassNames() {
+  return knownPassNames();
+}
+
+PassPipeline PassPipeline::fromNames(const std::vector<std::string> &Names) {
+  PassPipeline P;
+  P.Names = Names;
+  for (const std::string &Name : Names) {
+    P.Passes.push_back(createPass(Name));
+    assert(P.Passes.back() && "unknown pass name (validate with isKnownPass)");
+  }
+  return P;
+}
+
+NetworkGraph PassPipeline::run(const NetworkGraph &Net,
+                               std::vector<PassStats> *Stats) const {
+  NetworkGraph G = Net;
+  for (const std::unique_ptr<Pass> &P : Passes) {
+    PassStats S;
+    S.Name = P->name();
+    S.NodesBefore = G.numNodes();
+    Timer T;
+    G = P->run(G, S.Rewrites);
+    S.Millis = T.millis();
+    S.NodesAfter = G.numNodes();
+    // Exact rewrites cannot legally malform the graph; a failure here is a
+    // pass bug, not an input problem, so it is fatal in every build.
+    std::string Err = verifyGraph(G);
+    assert(Err.empty() && "pass produced a malformed graph");
+    (void)Err;
+    if (Stats)
+      Stats->push_back(std::move(S));
+  }
+  return G;
+}
+
+std::string PassPipeline::fingerprint() const {
+  return fingerprintPasses(Names);
+}
+
+std::string transforms::fingerprintPasses(
+    const std::vector<std::string> &Names) {
+  if (Names.empty())
+    return "none";
+  std::ostringstream OS;
+  OS << "passes:";
+  for (size_t I = 0; I < Names.size(); ++I)
+    OS << (I ? "," : "") << Names[I];
+  return OS.str();
+}

@@ -24,6 +24,7 @@
 #include "cost/AnalyticModel.h"
 #include "engine/Engine.h"
 #include "nn/Models.h"
+#include "transforms/Pass.h"
 
 #include <gtest/gtest.h>
 
@@ -148,6 +149,80 @@ INSTANTIATE_TEST_SUITE_P(ResidualModels, ModelDiff,
                                            ModelCase{"resnet18", "bb"},
                                            ModelCase{"mobilenet", "reduction"},
                                            ModelCase{"mobilenet", "bb"}),
+                         modelCaseName);
+
+//===----------------------------------------------------------------------===//
+// 2b. The O0 x O1 axis: the graph-transform pipeline must not change a
+//     single output bit. O1 rewrites the graph (epilogue fusion, identity
+//     elimination) before selection; because the analytic model prices a
+//     fused scenario as the bare routine plus a primitive-independent
+//     surcharge, O0 and O1 select the same routine per conv, and the
+//     fused epilogues are exact -- so outputs match bit-for-bit across
+//     the whole serving grid on all three models.
+//===----------------------------------------------------------------------===//
+
+class PipelineDiff : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(PipelineDiff, O1OutputsBitIdenticalToO0AcrossServingGrid) {
+  std::optional<NetworkGraph> Net = buildModel(GetParam().Model, /*Scale=*/0.1);
+  ASSERT_TRUE(Net.has_value());
+  AnalyticCostProvider Costs(library(), MachineProfile::haswell());
+
+  const TensorShape &Sh = Net->node(0).OutShape;
+  Tensor3D Input(Sh.C, Sh.H, Sh.W, Layout::CHW);
+  Input.fillRandom(23);
+
+  // Solvers may legitimately break equal-cost ties differently, so O0 and
+  // O1 are compared under the same solver, like the rest of the grid.
+  {
+    const char *Solver = GetParam().Solver;
+    EngineOptions O0;
+    O0.Solver = Solver;
+    Engine EngO0(library(), Costs, O0);
+    SelectionResult R0 = EngO0.optimize(*Net);
+    ASSERT_FALSE(R0.Plan.empty());
+    ASSERT_EQ(R0.Rewritten, nullptr);
+
+    EngineOptions O1 = O0;
+    O1.Passes = transforms::PassPipeline::defaultPassNames();
+    Engine EngO1(library(), Costs, O1);
+    SelectionResult R1 = EngO1.optimize(*Net);
+    ASSERT_FALSE(R1.Plan.empty());
+    ASSERT_NE(R1.Rewritten, nullptr);
+    // The pipeline genuinely shrinks all three models.
+    EXPECT_LT(R1.Rewritten->numNodes(), Net->numNodes());
+    ASSERT_TRUE(isLegalized(R1.Plan, *R1.Rewritten));
+
+    PlanConfig Plain{Solver, false, false};
+    std::vector<Tensor3D> BaselineO0 =
+        runPlanOutputs(*Net, R0.Plan, library(), Plain, Input);
+    std::vector<Tensor3D> BaselineO1 =
+        runPlanOutputs(*R1.Rewritten, R1.Plan, library(), Plain, Input);
+    expectOutputsBitIdentical(BaselineO1, BaselineO0,
+                              std::string(GetParam().Model) + "/" + Solver +
+                                  "/O1-vs-O0");
+
+    // And every serving configuration of the O1 plan reproduces the O0
+    // bits: the full arena x parallel grid rides the new axis.
+    for (const PlanConfig &Config : planConfigs({Solver})) {
+      std::vector<Tensor3D> Outs =
+          runPlanOutputs(*R1.Rewritten, R1.Plan, library(), Config, Input);
+      expectOutputsBitIdentical(Outs, BaselineO0,
+                                std::string(GetParam().Model) + "/O1/" +
+                                    Config.describe());
+    }
+  }
+}
+
+// bb joins on the models the rest of the grid runs it on; googlenet's
+// instance is reduction-only (branch-and-bound over 57 conv layers is out
+// of the CI budget at O0, exactly as in ModelDiff above).
+INSTANTIATE_TEST_SUITE_P(Models, PipelineDiff,
+                         ::testing::Values(ModelCase{"resnet18", "reduction"},
+                                           ModelCase{"resnet18", "bb"},
+                                           ModelCase{"mobilenet", "reduction"},
+                                           ModelCase{"mobilenet", "bb"},
+                                           ModelCase{"googlenet", "reduction"}),
                          modelCaseName);
 
 //===----------------------------------------------------------------------===//

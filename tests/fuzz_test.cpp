@@ -17,11 +17,13 @@
 #include "core/Selector.h"
 #include "core/Strategies.h"
 #include "cost/AnalyticModel.h"
+#include "engine/Engine.h"
 #include "nn/Models.h"
 #include "nn/NetParser.h"
 #include "primitives/Registry.h"
 #include "runtime/Executor.h"
 #include "tensor/Transform.h"
+#include "transforms/Pass.h"
 
 #include <gtest/gtest.h>
 
@@ -238,6 +240,66 @@ TEST_P(ResidualNetworkTest, OptimizedExecutionMatchesBaselineExecution) {
     ASSERT_TRUE(A.sameShape(B));
     EXPECT_LE(maxAbsDifference(A, B), 5e-2f)
         << "output " << Net.node(Out).L.Name << " seed " << GetParam();
+  }
+}
+
+TEST_P(ResidualNetworkTest, PassPipelinePreservesReferenceEquivalence) {
+  // The full transform pipeline on residual/depthwise DAGs: the rewritten
+  // graph must verify, must never grow, must be a fixpoint, and the
+  // O1-optimized execution must (a) bit-match the O0-optimized execution
+  // and (b) stay reference-equivalent to the sum2d instantiation of the
+  // *original* graph.
+  NetworkGraph Net = randomResidualNetwork(GetParam(), /*InputSize=*/16,
+                                           /*Stages=*/2);
+  transforms::PassPipeline Pipeline = transforms::PassPipeline::fromNames(
+      transforms::PassPipeline::defaultPassNames());
+  std::vector<transforms::PassStats> Stats;
+  NetworkGraph Fused = Pipeline.run(Net, &Stats);
+  EXPECT_EQ(transforms::verifyGraph(Fused), "") << "seed " << GetParam();
+  EXPECT_LE(Fused.numNodes(), Net.numNodes());
+  EXPECT_EQ(Pipeline.run(Fused).numNodes(), Fused.numNodes())
+      << "pipeline must be a fixpoint on its own output";
+
+  AnalyticCostProvider Costs(library(), MachineProfile::haswell());
+  Engine EngO0(library(), Costs, {});
+  SelectionResult R0 = EngO0.optimize(Net);
+  ASSERT_FALSE(R0.Plan.empty());
+  EngineOptions O1Opts;
+  O1Opts.Passes = transforms::PassPipeline::defaultPassNames();
+  Engine EngO1(library(), Costs, O1Opts);
+  SelectionResult R1 = EngO1.optimize(Net);
+  ASSERT_FALSE(R1.Plan.empty());
+  ASSERT_NE(R1.Rewritten, nullptr);
+  ASSERT_EQ(R1.Rewritten->numNodes(), Fused.numNodes());
+
+  NetworkPlan Reference =
+      planForStrategy(Strategy::Sum2D, Net, library(), Costs);
+  ASSERT_FALSE(Reference.empty());
+
+  const TensorShape &In = Net.node(0).OutShape;
+  Tensor3D Input(In.C, In.H, In.W, Layout::CHW);
+  Input.fillRandom(GetParam() * 41 + 3);
+
+  Executor O0(Net, R0.Plan, library());
+  Executor O1(*R1.Rewritten, R1.Plan, library());
+  Executor Ref(Net, Reference, library());
+  O0.run(Input);
+  O1.run(Input);
+  Ref.run(Input);
+
+  std::vector<NetworkGraph::NodeId> OutsO0 = Net.outputs();
+  std::vector<NetworkGraph::NodeId> OutsO1 = R1.Rewritten->outputs();
+  ASSERT_EQ(OutsO0.size(), OutsO1.size()) << "seed " << GetParam();
+  for (size_t I = 0; I < OutsO0.size(); ++I) {
+    Tensor3D A = convertToLayout(O0.outputOf(OutsO0[I]), Layout::CHW);
+    Tensor3D B = convertToLayout(O1.outputOf(OutsO1[I]), Layout::CHW);
+    Tensor3D R = convertToLayout(Ref.outputOf(OutsO0[I]), Layout::CHW);
+    ASSERT_TRUE(A.sameShape(B));
+    EXPECT_EQ(maxAbsDifference(A, B), 0.0f)
+        << "O1 diverged from O0 on output " << I << " seed " << GetParam();
+    EXPECT_LE(maxAbsDifference(B, R), 5e-2f)
+        << "O1 diverged from the reference on output " << I << " seed "
+        << GetParam();
   }
 }
 

@@ -188,6 +188,29 @@ TEST(NetParser, DefaultsStrideAndPad) {
   EXPECT_EQ(S.Pad, 0);
 }
 
+TEST(NetParser, BiasDirectiveBuildsAndRoundTrips) {
+  NetParseResult R = parseNetworkText("network n\n"
+                                      "input in 4 8 8\n"
+                                      "conv c from=in out=4 k=3 pad=1\n"
+                                      "bias b from=c\n"
+                                      "relu r from=b\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Net->node(2).L.Kind, LayerKind::Bias);
+  EXPECT_TRUE(R.Net->node(2).OutShape == R.Net->node(1).OutShape);
+  NetParseResult Again = parseNetworkText(serializeNetwork(*R.Net));
+  ASSERT_TRUE(Again.ok()) << Again.Error;
+  EXPECT_EQ(serializeNetwork(*Again.Net), serializeNetwork(*R.Net));
+}
+
+TEST(NetParser, BiasRejectsMultipleInputs) {
+  NetParseResult R = parseNetworkText("network n\n"
+                                      "input in 4 8 8\n"
+                                      "conv c from=in out=4 k=3 pad=1\n"
+                                      "bias b from=c,in\n");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("exactly one input"), std::string::npos) << R.Error;
+}
+
 TEST(NetParser, CommentsAndBlankLinesIgnored) {
   NetParseResult R = parseNetworkText("\n# comment only\nnetwork n # trail\n"
                                       "\ninput in 1 4 4   # dims\n");

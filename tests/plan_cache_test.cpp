@@ -421,6 +421,75 @@ TEST(PlanCache, CorruptResidualPlanFallsBackToFreshSolve) {
   EXPECT_TRUE(samePlanOnConvNodes(Cold.Plan, R.Plan, *Net));
 }
 
+TEST(PlanCache, PassPipelineKeysDisjoint) {
+  // A cache warmed at O0 must *miss* (not corrupt, not mis-serve) at O1
+  // and vice versa: the pass-pipeline fingerprint joins the key, and the
+  // O1 fingerprint is taken over the rewritten network.
+  TempDir Dir("plan-cache-passes");
+  std::optional<NetworkGraph> Net = buildModel("resnet18", 0.1);
+  ASSERT_TRUE(Net.has_value());
+  EngineOptions O0;
+  O0.PlanCacheDir = Dir.path();
+  EngineOptions O1 = O0;
+  O1.Passes = transforms::PassPipeline::defaultPassNames();
+
+  {
+    AnalyticCostProvider Prov = makeProvider();
+    Engine Eng(lib(), Prov, O0);
+    EXPECT_FALSE(Eng.optimize(*Net).PlanCacheHit); // warm at O0
+    EXPECT_NE(Eng.planKey(*Net).combined(),
+              Engine(lib(), Prov, O1).planKey(*Net).combined());
+  }
+  {
+    // O1 over the O0-warmed directory: a clean miss, then a fresh solve
+    // whose store does not disturb the O0 entry.
+    AnalyticCostProvider Prov = makeProvider();
+    Engine Eng(lib(), Prov, O1);
+    SelectionResult R = Eng.optimize(*Net);
+    EXPECT_FALSE(R.PlanCacheHit);
+    EXPECT_EQ(Eng.planCacheStats()->CorruptFiles, 0u);
+    EXPECT_EQ(Eng.planCacheStats()->Misses, 1u);
+    ASSERT_NE(R.Rewritten, nullptr);
+  }
+  // Both pipelines now hit their own entries from disk.
+  {
+    AnalyticCostProvider Prov = makeProvider();
+    Engine Eng(lib(), Prov, O0);
+    SelectionResult R = Eng.optimize(*Net);
+    EXPECT_TRUE(R.PlanCacheHit);
+    EXPECT_EQ(R.Rewritten, nullptr);
+  }
+  {
+    AnalyticCostProvider Prov = makeProvider();
+    Engine Eng(lib(), Prov, O1);
+    SelectionResult R = Eng.optimize(*Net);
+    EXPECT_TRUE(R.PlanCacheHit);
+    // A disk-served O1 plan still carries this run's rewritten graph so
+    // the caller can instantiate it.
+    ASSERT_NE(R.Rewritten, nullptr);
+    EXPECT_TRUE(isLegalized(R.Plan, *R.Rewritten));
+  }
+}
+
+TEST(PlanCache, PassFingerprintSeparatesEvenUnchangedGraphs) {
+  // A pipeline that finds nothing to rewrite leaves the graph (and so the
+  // network fingerprint) identical; the explicit pipeline component must
+  // still keep the keys apart.
+  NetworkGraph Net = tinyChain(16); // conv chain with no fusable patterns?
+  AnalyticCostProvider Prov = makeProvider();
+  EngineOptions O0;
+  O0.CachePlans = true;
+  EngineOptions OnlyDce = O0;
+  OnlyDce.Passes = {"dce"};
+  Engine EngO0(lib(), Prov, O0);
+  Engine EngDce(lib(), Prov, OnlyDce);
+  PlanKey A = EngO0.planKey(Net);
+  PlanKey B = EngDce.planKey(Net);
+  EXPECT_NE(A.combined(), B.combined());
+  EXPECT_EQ(A.PassFingerprint, "none");
+  EXPECT_EQ(B.PassFingerprint, "passes:dce");
+}
+
 TEST(PlanCache, OneOffSolverOptionsKeyedSeparately) {
   // optimize(Net, Options) with a different backend must not be served the
   // default backend's cached plan.

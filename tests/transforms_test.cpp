@@ -1,0 +1,411 @@
+//===- tests/transforms_test.cpp - Graph-transform pass pipeline tests ----===//
+//
+// Unit coverage for src/transforms/: each concrete pass's pattern (and its
+// refusal cases), the shared rewriter's seed/epilogue bookkeeping, graph
+// verification, the pass registry and pipeline fingerprints, the shared
+// epilogue applier's bit-exactness against the standalone layers, and
+// end-to-end O0-vs-O1 bit-identity on hand-built networks including the
+// parser's new `bias` directive.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Pass.h"
+
+#include "cost/AnalyticModel.h"
+#include "engine/Engine.h"
+#include "nn/Models.h"
+#include "nn/NetParser.h"
+#include "primitives/Registry.h"
+#include "runtime/Executor.h"
+#include "tensor/Transform.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace primsel;
+using namespace primsel::transforms;
+
+namespace {
+
+const PrimitiveLibrary &lib() {
+  static PrimitiveLibrary L = buildFullLibrary();
+  return L;
+}
+
+/// conv -> bias -> relu -> pool -> relu -> add(skip) -> relu -> dropout.
+/// Exercises every default pass at least once.
+NetworkGraph fusableNet() {
+  NetworkGraph G("fusable");
+  auto In = G.addInput("data", {4, 16, 16});
+  auto C1 = G.addLayer(Layer::conv("c1", 8, 3, 1, 1), {In});
+  auto B1 = G.addLayer(Layer::bias("b1"), {C1});
+  auto R1 = G.addLayer(Layer::relu("r1"), {B1});
+  auto C2 = G.addLayer(Layer::conv("c2", 8, 3, 1, 1), {R1});
+  auto A = G.addLayer(Layer::add("sum"), {C2, R1});
+  auto R2 = G.addLayer(Layer::relu("r2"), {A});
+  auto P = G.addLayer(Layer::maxPool("pool", 2, 2), {R2});
+  auto R3 = G.addLayer(Layer::relu("r3"), {P});
+  auto D = G.addLayer(Layer::dropout("drop"), {R3});
+  G.addLayer(Layer::globalAvgPool("gap"), {D});
+  return G;
+}
+
+/// Run both executors and compare every output bit-for-bit (CHW).
+void expectBitIdenticalExecution(const NetworkGraph &A,
+                                 const NetworkPlan &PlanA,
+                                 const NetworkGraph &B,
+                                 const NetworkPlan &PlanB,
+                                 const std::string &What) {
+  const TensorShape &Sh = A.node(0).OutShape;
+  Tensor3D Input(Sh.C, Sh.H, Sh.W, Layout::CHW);
+  Input.fillRandom(19);
+  Executor ExecA(A, PlanA, lib());
+  Executor ExecB(B, PlanB, lib());
+  ExecA.run(Input);
+  ExecB.run(Input);
+  std::vector<NetworkGraph::NodeId> OutsA = A.outputs();
+  std::vector<NetworkGraph::NodeId> OutsB = B.outputs();
+  ASSERT_EQ(OutsA.size(), OutsB.size()) << What;
+  for (size_t I = 0; I < OutsA.size(); ++I) {
+    Tensor3D X = convertToLayout(ExecA.outputOf(OutsA[I]), Layout::CHW);
+    Tensor3D Y = convertToLayout(ExecB.outputOf(OutsB[I]), Layout::CHW);
+    ASSERT_TRUE(X.sameShape(Y)) << What << " output " << I;
+    EXPECT_EQ(maxAbsDifference(X, Y), 0.0f)
+        << What << " output " << I << " is not bit-identical";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Individual passes.
+//===----------------------------------------------------------------------===//
+
+TEST(FuseConvEpilogue, AbsorbsBiasAndReluChains) {
+  NetworkGraph G = fusableNet();
+  unsigned Rewrites = 0;
+  NetworkGraph Out = createPass("fuse-conv-epilogue")->run(G, Rewrites);
+  // c1+bias+relu fused (2 layers gone); c2 feeds the Add directly and must
+  // stay bare (its consumer is not Bias/ReLU).
+  EXPECT_EQ(Rewrites, 2u);
+  EXPECT_EQ(Out.numNodes(), G.numNodes() - 2);
+  EXPECT_EQ(verifyGraph(Out), "");
+
+  bool SawFused = false, SawBare = false;
+  for (NetworkGraph::NodeId N : Out.convNodes()) {
+    const NetworkGraph::Node &Node = Out.node(N);
+    if (Node.L.Name == "c1") {
+      SawFused = true;
+      EXPECT_EQ(Node.L.Epi, EpilogueKind::BiasReLU);
+      EXPECT_EQ(Node.Scenario.Epi, EpilogueKind::BiasReLU);
+      // The fused conv draws the absorbed bias layer's weight stream
+      // (node b1 was id 2 in the original graph) and keeps its own
+      // kernel stream (id 1).
+      EXPECT_EQ(Node.SeedId, 1u);
+      EXPECT_EQ(Node.BiasSeedId, 2u);
+    }
+    if (Node.L.Name == "c2") {
+      SawBare = true;
+      EXPECT_EQ(Node.L.Epi, EpilogueKind::None);
+    }
+  }
+  EXPECT_TRUE(SawFused);
+  EXPECT_TRUE(SawBare);
+}
+
+TEST(FuseConvEpilogue, RefusesMultiConsumerConvs) {
+  // conv feeds both a relu and a skip Add: the pre-activation value is
+  // live elsewhere, so nothing may fuse.
+  NetworkGraph G("multiconsumer");
+  auto In = G.addInput("data", {4, 8, 8});
+  auto C = G.addLayer(Layer::conv("c", 4, 3, 1, 1), {In});
+  auto R = G.addLayer(Layer::relu("r"), {C});
+  G.addLayer(Layer::add("sum"), {R, C});
+  unsigned Rewrites = 0;
+  NetworkGraph Out = createPass("fuse-conv-epilogue")->run(G, Rewrites);
+  EXPECT_EQ(Rewrites, 0u);
+  EXPECT_EQ(Out.numNodes(), G.numNodes());
+}
+
+TEST(FuseAddRelu, FusesResidualJoins) {
+  NetworkGraph G = fusableNet();
+  unsigned Rewrites = 0;
+  NetworkGraph Out = createPass("fuse-add-relu")->run(G, Rewrites);
+  EXPECT_EQ(Rewrites, 1u);
+  EXPECT_EQ(verifyGraph(Out), "");
+  bool Saw = false;
+  for (const NetworkGraph::Node &N : Out.nodes())
+    if (N.L.Kind == LayerKind::Add) {
+      Saw = true;
+      EXPECT_EQ(N.L.Epi, EpilogueKind::ReLU);
+    }
+  EXPECT_TRUE(Saw);
+}
+
+TEST(FusePoolRelu, FoldsActivationIntoPooling) {
+  NetworkGraph G = fusableNet();
+  unsigned Rewrites = 0;
+  NetworkGraph Out = createPass("fuse-pool-relu")->run(G, Rewrites);
+  EXPECT_EQ(Rewrites, 1u);
+  for (const NetworkGraph::Node &N : Out.nodes())
+    if (N.L.Kind == LayerKind::MaxPool)
+      EXPECT_EQ(N.L.Epi, EpilogueKind::ReLU);
+}
+
+TEST(Dce, RemovesInferenceIdentities) {
+  NetworkGraph G("identities");
+  auto In = G.addInput("data", {2, 8, 8});
+  auto R1 = G.addLayer(Layer::relu("r1"), {In});
+  auto R2 = G.addLayer(Layer::relu("r2"), {R1}); // relu(relu(x)) = relu(x)
+  auto D = G.addLayer(Layer::dropout("drop"), {R2});
+  G.addLayer(Layer::globalAvgPool("gap"), {D});
+  unsigned Rewrites = 0;
+  NetworkGraph Out = createPass("dce")->run(G, Rewrites);
+  EXPECT_EQ(Rewrites, 2u);
+  EXPECT_EQ(Out.numNodes(), 3u);
+  EXPECT_EQ(verifyGraph(Out), "");
+}
+
+TEST(Dce, ResolvesThroughRemovedIdentitiesInOneSweep) {
+  // relu -> dropout -> relu: the dropout's removal exposes the second
+  // ReLU's rectified ancestor; classification resolves through marks made
+  // earlier in the same sweep, so one run is a fixpoint.
+  NetworkGraph G("chain");
+  auto In = G.addInput("data", {2, 8, 8});
+  auto R1 = G.addLayer(Layer::relu("r1"), {In});
+  auto D = G.addLayer(Layer::dropout("drop"), {R1});
+  auto R2 = G.addLayer(Layer::relu("r2"), {D});
+  G.addLayer(Layer::globalAvgPool("gap"), {R2});
+  unsigned Rewrites = 0;
+  NetworkGraph Out = createPass("dce")->run(G, Rewrites);
+  EXPECT_EQ(Rewrites, 2u) << "dropout and the redundant relu, one sweep";
+  EXPECT_EQ(Out.numNodes(), 3u);
+  EXPECT_EQ(verifyGraph(Out), "");
+
+  // The same chain ending in a sink: the whole identity tail collapses
+  // onto r1, which becomes the (value-identical) output.
+  NetworkGraph H("chainsink");
+  auto HIn = H.addInput("data", {2, 8, 8});
+  auto HR1 = H.addLayer(Layer::relu("r1"), {HIn});
+  auto HD = H.addLayer(Layer::dropout("drop"), {HR1});
+  H.addLayer(Layer::relu("r2"), {HD});
+  NetworkGraph HOut = createPass("dce")->run(H, Rewrites);
+  EXPECT_EQ(Rewrites, 2u);
+  ASSERT_EQ(HOut.outputs().size(), 1u);
+  EXPECT_EQ(HOut.node(HOut.outputs()[0]).L.Name, "r1");
+}
+
+TEST(Dce, KeepsIdentitySinksWhoseProducerFeedsOthers) {
+  // dropout is a network output and its producer has another consumer:
+  // removing it would silently drop an output.
+  NetworkGraph G("sinks");
+  auto In = G.addInput("data", {2, 8, 8});
+  auto R = G.addLayer(Layer::relu("r"), {In});
+  G.addLayer(Layer::dropout("drop"), {R}); // identity sink
+  G.addLayer(Layer::globalAvgPool("gap"), {R});
+  ASSERT_EQ(G.outputs().size(), 2u);
+  unsigned Rewrites = 0;
+  NetworkGraph Out = createPass("dce")->run(G, Rewrites);
+  EXPECT_EQ(Rewrites, 0u);
+  EXPECT_EQ(Out.outputs().size(), 2u);
+
+  // But an identity sink whose producer feeds only it folds away: the
+  // producer becomes the output, carrying the identical value.
+  NetworkGraph H("soleconsumer");
+  auto HIn = H.addInput("data", {2, 8, 8});
+  auto HR = H.addLayer(Layer::relu("r"), {HIn});
+  H.addLayer(Layer::dropout("drop"), {HR});
+  NetworkGraph HOut = createPass("dce")->run(H, Rewrites);
+  EXPECT_EQ(Rewrites, 1u);
+  EXPECT_EQ(HOut.outputs().size(), 1u);
+  EXPECT_EQ(HOut.node(HOut.outputs()[0]).L.Kind, LayerKind::ReLU);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline, registry, verification, fingerprints.
+//===----------------------------------------------------------------------===//
+
+TEST(PassRegistry, KnowsTheDefaultPipeline) {
+  for (const std::string &Name : PassPipeline::defaultPassNames()) {
+    EXPECT_TRUE(isKnownPass(Name)) << Name;
+    auto P = createPass(Name);
+    ASSERT_NE(P, nullptr) << Name;
+    EXPECT_EQ(P->name(), Name);
+  }
+  EXPECT_FALSE(isKnownPass("no-such-pass"));
+  EXPECT_EQ(createPass("no-such-pass"), nullptr);
+}
+
+TEST(PassPipelineTest, DefaultPipelineShrinksModelsAndIsIdempotent) {
+  for (const char *Model : {"resnet18", "mobilenet", "googlenet"}) {
+    std::optional<NetworkGraph> Net = buildModel(Model, 0.1);
+    ASSERT_TRUE(Net.has_value());
+    PassPipeline P = PassPipeline::fromNames(PassPipeline::defaultPassNames());
+    std::vector<PassStats> Stats;
+    NetworkGraph Out = P.run(*Net, &Stats);
+    EXPECT_LT(Out.numNodes(), Net->numNodes()) << Model;
+    EXPECT_EQ(verifyGraph(Out), "") << Model;
+    ASSERT_EQ(Stats.size(), PassPipeline::defaultPassNames().size());
+    unsigned Total = 0;
+    for (const PassStats &S : Stats) {
+      EXPECT_EQ(S.NodesBefore - S.NodesAfter, S.Rewrites) << S.Name;
+      Total += S.Rewrites;
+    }
+    EXPECT_EQ(Total, Net->numNodes() - Out.numNodes()) << Model;
+    // A second run finds nothing left to rewrite.
+    NetworkGraph Again = P.run(Out);
+    EXPECT_EQ(Again.numNodes(), Out.numNodes()) << Model;
+  }
+}
+
+TEST(PassPipelineTest, FingerprintsSeparatePipelines) {
+  EXPECT_EQ(fingerprintPasses({}), "none");
+  EXPECT_EQ(PassPipeline().fingerprint(), "none");
+  std::string Default =
+      fingerprintPasses(PassPipeline::defaultPassNames());
+  EXPECT_NE(Default, "none");
+  EXPECT_NE(Default, fingerprintPasses({"dce"}));
+  EXPECT_NE(fingerprintPasses({"dce", "fuse-add-relu"}),
+            fingerprintPasses({"fuse-add-relu", "dce"}));
+  EXPECT_EQ(PassPipeline::fromNames(PassPipeline::defaultPassNames())
+                .fingerprint(),
+            Default);
+}
+
+TEST(VerifyGraph, AcceptsModelZooAndEpilogueMutations) {
+  for (const char *Model : {"alexnet", "googlenet", "resnet18", "mobilenet"}) {
+    std::optional<NetworkGraph> Net = buildModel(Model, 0.25);
+    ASSERT_TRUE(Net.has_value());
+    EXPECT_EQ(verifyGraph(*Net), "") << Model;
+  }
+  // The epilogue mutator keeps layer and scenario in sync, so the graph
+  // still verifies after fusion-style mutation.
+  NetworkGraph G("fused");
+  auto In = G.addInput("data", {2, 8, 8});
+  auto C = G.addLayer(Layer::conv("c", 4, 3, 1, 1), {In});
+  G.setNodeEpilogue(C, EpilogueKind::ReLU, 0);
+  EXPECT_EQ(verifyGraph(G), "");
+}
+
+TEST(VerifyGraph, FlagsIllegalGraphs) {
+  // Duplicate SeedIds break weight-stream uniqueness.
+  NetworkGraph H("dupseed");
+  auto HIn = H.addInput("data", {2, 8, 8});
+  auto HC = H.addLayer(Layer::conv("c", 4, 3, 1, 1), {HIn});
+  H.setNodeSeeds(HC, 0, 0);
+  EXPECT_NE(verifyGraph(H), "");
+
+  // An epilogue on a kind that cannot apply one (Layer.Epi is a plain
+  // field, so a buggy pass could plant it where setNodeEpilogue would
+  // have asserted).
+  NetworkGraph E("badepi");
+  auto EIn = E.addInput("data", {2, 8, 8});
+  Layer Soft = Layer::softmax("s");
+  Soft.Epi = EpilogueKind::ReLU;
+  E.addLayer(std::move(Soft), {EIn});
+  EXPECT_NE(verifyGraph(E), "");
+
+  // A bias epilogue off a costed node (dummy absorbers take ReLU only).
+  NetworkGraph B("badbias");
+  auto BIn = B.addInput("data", {2, 8, 8});
+  Layer Sum = Layer::add("sum");
+  Sum.Epi = EpilogueKind::BiasReLU;
+  B.addLayer(std::move(Sum), {BIn, BIn});
+  EXPECT_NE(verifyGraph(B), "");
+}
+
+TEST(ScenarioKeys, EpilogueVariantsNeverAlias) {
+  ConvScenario S{8, 16, 16, 1, 3, 16, 1};
+  std::set<std::string> Keys;
+  std::set<size_t> Hashes;
+  for (EpilogueKind E : {EpilogueKind::None, EpilogueKind::ReLU,
+                         EpilogueKind::Bias, EpilogueKind::BiasReLU}) {
+    ConvScenario V = S;
+    V.Epi = E;
+    EXPECT_TRUE(Keys.insert(V.key()).second) << V.key();
+    Hashes.insert(ConvScenarioHash()(V));
+    EXPECT_EQ(V == S, E == EpilogueKind::None);
+  }
+  EXPECT_EQ(Hashes.size(), 4u);
+  // The epilogue-free key keeps the historical form (shipped cost tables
+  // stay valid).
+  EXPECT_EQ(S.key(), "c8_h16_w16_s1_k3_m16_p1");
+}
+
+//===----------------------------------------------------------------------===//
+// Bit-exactness of the fused epilogues.
+//===----------------------------------------------------------------------===//
+
+TEST(EpilogueExactness, O1ExecutionIsBitIdenticalToO0) {
+  NetworkGraph Net = fusableNet();
+  AnalyticCostProvider Costs(lib(), MachineProfile::haswell());
+
+  EngineOptions O0;
+  Engine EngO0(lib(), Costs, O0);
+  SelectionResult R0 = EngO0.optimize(Net);
+  ASSERT_FALSE(R0.Plan.empty());
+  EXPECT_EQ(R0.Rewritten, nullptr);
+
+  EngineOptions O1;
+  O1.Passes = PassPipeline::defaultPassNames();
+  Engine EngO1(lib(), Costs, O1);
+  SelectionResult R1 = EngO1.optimize(Net);
+  ASSERT_FALSE(R1.Plan.empty());
+  ASSERT_NE(R1.Rewritten, nullptr);
+  EXPECT_LT(R1.Rewritten->numNodes(), Net.numNodes());
+
+  expectBitIdenticalExecution(Net, R0.Plan, *R1.Rewritten, R1.Plan,
+                              "fusable net O0 vs O1");
+}
+
+TEST(EpilogueExactness, ParsedBiasNetworkMatchesAtO1) {
+  // The parser's `bias` directive, end to end: conv+bias+relu chains fold
+  // and the fused network computes the same bits.
+  const char *Text = "network biasnet\n"
+                     "input data 3 12 12\n"
+                     "conv c1 from=data out=6 k=3 pad=1\n"
+                     "bias b1 from=c1\n"
+                     "relu r1 from=b1\n"
+                     "dwconv d1 from=r1 k=3 pad=1\n"
+                     "bias b2 from=d1\n"
+                     "globalavgpool gap from=b2\n"
+                     "fc out from=gap out=4\n";
+  NetParseResult P = parseNetworkText(Text);
+  ASSERT_TRUE(P.ok()) << P.Error;
+  // Round-trips through the serializer too.
+  NetParseResult Q = parseNetworkText(serializeNetwork(*P.Net));
+  ASSERT_TRUE(Q.ok()) << Q.Error;
+  EXPECT_EQ(serializeNetwork(*Q.Net), serializeNetwork(*P.Net));
+
+  AnalyticCostProvider Costs(lib(), MachineProfile::haswell());
+  Engine EngO0(lib(), Costs, {});
+  SelectionResult R0 = EngO0.optimize(*P.Net);
+  EngineOptions O1;
+  O1.Passes = PassPipeline::defaultPassNames();
+  Engine EngO1(lib(), Costs, O1);
+  SelectionResult R1 = EngO1.optimize(*P.Net);
+  ASSERT_NE(R1.Rewritten, nullptr);
+  // c1+b1+r1 fuse to one node; d1+b2 fuse (bias, no relu).
+  EXPECT_EQ(R1.Rewritten->numNodes(), P.Net->numNodes() - 3);
+  expectBitIdenticalExecution(*P.Net, R0.Plan, *R1.Rewritten, R1.Plan,
+                              "parsed bias net O0 vs O1");
+}
+
+TEST(EpilogueExactness, GeneratedCodeCarriesEpilogues) {
+  NetworkGraph Net = fusableNet();
+  AnalyticCostProvider Costs(lib(), MachineProfile::haswell());
+  EngineOptions O1;
+  O1.Passes = PassPipeline::defaultPassNames();
+  Engine Eng(lib(), Costs, O1);
+  SelectionResult R = Eng.optimize(Net);
+  ASSERT_NE(R.Rewritten, nullptr);
+  std::string Source = Eng.emitSource(R.executionGraph(Net), R.Plan);
+  // The fused conv instantiates through the shared wrapper with its
+  // epilogue in the scenario literal; the fused Add applies the activation
+  // via the shared applier.
+  EXPECT_NE(Source.find("instantiateWithEpilogue"), std::string::npos);
+  EXPECT_NE(Source.find("EpilogueKind::BiasReLU"), std::string::npos);
+  EXPECT_NE(Source.find("applyEpilogue(primsel::EpilogueKind::ReLU"),
+            std::string::npos);
+}
+
+} // namespace

@@ -49,6 +49,7 @@
 #include "pbqp/TextIO.h"
 #include "runtime/Executor.h"
 #include "support/Timer.h"
+#include "transforms/Pass.h"
 
 #include <algorithm>
 
@@ -81,7 +82,32 @@ struct CliOptions {
   unsigned Requests = 8;
   bool Parallel = false;
   bool NoArena = false;
+  /// Graph-transform passes (-O0 = none, -O1 = the default pipeline,
+  /// --passes = an explicit list). Names are validated in main() so
+  /// unknown passes exit 2 with usage.
+  std::vector<std::string> Passes;
+  /// True when --passes was supplied, so an empty list can be rejected
+  /// instead of silently degrading to -O0.
+  bool SawPassList = false;
 };
+
+/// Split "a,b,c" into pass names.
+std::vector<std::string> splitPassList(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
 
 /// Parse a strictly-numeric thread count in [1, 1024]; the value feeds
 /// ThreadPool construction, so garbage or huge values must be refused, not
@@ -106,13 +132,17 @@ int usage(const char *Argv0) {
       "  optimize <model-or-file> [--scale S] [--threads N] [--measured]\n"
       "           [--arm] [--costs PATH] [--strategy NAME]\n"
       "           [--solver reduction|bb|brute] [--plan-cache DIR]\n"
-      "  codegen <model-or-file> [--scale S] [--out PATH]\n"
-      "  dump-pbqp <model-or-file> [--scale S]\n"
+      "           [-O0|-O1] [--passes LIST]\n"
+      "  codegen <model-or-file> [--scale S] [--out PATH] [-O0|-O1]\n"
+      "  dump-pbqp <model-or-file> [--scale S] [-O0|-O1]\n"
       "  warm <model-or-file> --plan-cache DIR [--scale S] [--threads N]\n"
       "           [--measured] [--arm] [--costs PATH] [--solver NAME]\n"
+      "           [-O0|-O1] [--passes LIST]\n"
       "  serve <model-or-file> [--requests N] [--threads N] [--parallel]\n"
       "           [--no-arena] [--plan-cache DIR] [--scale S] [--arm]\n"
-      "           [--solver NAME]\n",
+      "           [--solver NAME] [-O0|-O1] [--passes LIST]\n"
+      "-O0 runs no graph-transform passes (default); -O1 runs the default\n"
+      "pipeline; --passes LIST runs a comma-separated list (see docs/cli.md).\n",
       Argv0);
   return 2;
 }
@@ -189,6 +219,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Parallel = true;
     else if (Arg == "--no-arena" && !HasInline)
       Opts.NoArena = true;
+    else if (Arg == "-O0" && !HasInline)
+      Opts.Passes.clear();
+    else if (Arg == "-O1" && !HasInline)
+      Opts.Passes = transforms::PassPipeline::defaultPassNames();
+    else if (Arg == "--passes" && Next(Val)) {
+      Opts.Passes = splitPassList(Val);
+      Opts.SawPassList = true;
+    }
     else {
       std::fprintf(stderr, "error: unknown or incomplete option '%s'\n",
                    Argv[I]);
@@ -253,7 +291,19 @@ EngineOptions engineOptions(const CliOptions &Opts) {
   // --measured the cache still memoizes but fills lazily.
   EOpts.ParallelPrepopulate = !Opts.Measured;
   EOpts.PlanCacheDir = Opts.PlanCacheDir;
+  EOpts.Passes = Opts.Passes;
   return EOpts;
+}
+
+/// One-line pass-pipeline report for optimize/warm/serve.
+void printPassStats(const SelectionResult &R) {
+  if (R.Passes.empty())
+    return;
+  std::printf("# passes:");
+  for (const transforms::PassStats &S : R.Passes)
+    std::printf(" %s=%u", S.Name.c_str(), S.Rewrites);
+  std::printf(" (%u -> %u nodes)\n", R.Passes.front().NodesBefore,
+              R.Passes.back().NodesAfter);
 }
 
 /// One-line plan-cache report shared by optimize/warm/serve.
@@ -380,6 +430,7 @@ int cmdOptimize(const CliOptions &Opts) {
               Net->name().c_str(), R.NumNodes, R.NumEdges, R.BuildMillis,
               R.SolveMillis, R.Solver.ProvablyOptimal ? "yes" : "no",
               R.PlanCacheHit ? " (plan-cache hit)" : "");
+  printPassStats(R);
   printPlanCacheStats(Eng);
   std::printf("# solver %s: R0=%u RI=%u RII=%u RN=%u core=%u visited=%llu "
               "pruned=%llu\n",
@@ -398,8 +449,10 @@ int cmdOptimize(const CliOptions &Opts) {
               : Opts.Arm    ? "analytic cortex-a57"
                             : "analytic haswell",
               Opts.Threads, Opts.Threads == 1 ? "" : "s");
-  for (NetworkGraph::NodeId N : Net->convNodes())
-    std::printf("%-24s %s\n", Net->node(N).L.Name.c_str(),
+  // The plan indexes the pass-rewritten graph when a pipeline ran.
+  const NetworkGraph &ExecNet = R.executionGraph(*Net);
+  for (NetworkGraph::NodeId N : ExecNet.convNodes())
+    std::printf("%-24s %s\n", ExecNet.node(N).L.Name.c_str(),
                 Lib.get(R.Plan.ConvPrim[N]).name().c_str());
   unsigned Hops = 0;
   for (const auto &[Edge, Chain] : R.Plan.Chains)
@@ -433,7 +486,7 @@ int cmdCodegen(const CliOptions &Opts) {
     std::fprintf(stderr, "error: selection failed\n");
     return 1;
   }
-  std::string Source = Eng.emitSource(*Net, R.Plan);
+  std::string Source = Eng.emitSource(R.executionGraph(*Net), R.Plan);
   if (Opts.OutPath.empty()) {
     std::fputs(Source.c_str(), stdout);
     return 0;
@@ -490,6 +543,7 @@ int cmdWarm(const CliOptions &Opts) {
               R.PlanCacheHit ? "already warm: plan-cache hit"
                              : "warmed: solved and cached",
               Millis, R.BuildMillis, R.SolveMillis);
+  printPassStats(R);
   std::printf("# key %s\n", Key.combined().c_str());
   std::printf("# file %s/%s\n", Opts.PlanCacheDir.c_str(),
               Key.fileName().c_str());
@@ -527,13 +581,15 @@ int cmdServe(const CliOptions &Opts) {
               Net->name().c_str(),
               R.PlanCacheHit ? "served from cache" : "solved cold",
               PlanMillis, R.ModelledCostMs);
+  printPassStats(R);
   printPlanCacheStats(Eng);
 
   ExecutorOptions XOpts;
   XOpts.Threads = Opts.Threads;
   XOpts.UseArena = !Opts.NoArena;
   XOpts.ParallelBranches = Opts.Parallel;
-  std::unique_ptr<Executor> Exec = Eng.instantiate(*Net, R.Plan, XOpts);
+  // R owns the pass-rewritten graph the executor runs (R outlives Exec).
+  std::unique_ptr<Executor> Exec = Eng.instantiate(*Net, R, XOpts);
 
   const MemoryPlan &MP = Exec->memoryPlan();
   std::printf("# executor: %zu values, %zu levels, %s, %s\n",
@@ -613,6 +669,24 @@ int main(int argc, char **argv) {
                  Opts.Command.c_str());
     return usage(argv[0]);
   }
+
+  // Pass names feed PassPipeline::fromNames, which asserts; unknown names
+  // must exit 2 with usage instead, and an explicitly supplied empty list
+  // must not silently degrade to -O0.
+  if (Opts.SawPassList && Opts.Passes.empty()) {
+    std::fprintf(stderr, "error: --passes expects a non-empty "
+                         "comma-separated pass list (or use -O0/-O1)\n");
+    return usage(argv[0]);
+  }
+  for (const std::string &Name : Opts.Passes)
+    if (!transforms::isKnownPass(Name)) {
+      std::string Known;
+      for (const std::string &K : transforms::knownPassNames())
+        Known += (Known.empty() ? "" : ", ") + K;
+      std::fprintf(stderr, "error: unknown pass '%s' (known passes: %s)\n",
+                   Name.c_str(), Known.c_str());
+      return usage(argv[0]);
+    }
 
   if (Opts.Command == "models")
     return cmdModels();
