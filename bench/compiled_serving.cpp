@@ -1,0 +1,207 @@
+//===- bench/compiled_serving.cpp - Compile-once serving acceptance -------===//
+//
+// The compile/run split in one binary: how much steady-state latency does
+// a CompiledNet save over an executor that pays instantiation -- weight
+// generation, packing, Winograd/FFT kernel transforms -- on the request
+// path, on the workloads whose optimal plans actually select transform-
+// heavy primitives (ResNet-18, MobileNet, GoogLeNet)?
+//
+// Per model, selection runs in serving mode (amortized per-inference
+// costs), then two serving configurations are timed:
+//   cold     -- per-request-instantiating: each request constructs the
+//               Executor (compile + run) and performs one forward pass;
+//   compiled -- CompiledNet built once, requests served from one
+//               ExecutionContext (steady state).
+//
+// Three claims are checked and the process exits nonzero if any fails:
+//   1. every model's serving-mode plan selects at least one primitive
+//      with a real weight-side transform (Winograd/FFT/im2-style), i.e.
+//      the amortization lever exists on every evaluated workload;
+//   2. compiled steady-state per-request latency is strictly below the
+//      per-request-instantiating executor's on every such model;
+//   3. compiled-path outputs are bit-identical to the cold executor's.
+//
+// Results are also emitted as machine-readable BENCH_serving.json (path
+// overridable via PRIMSEL_BENCH_JSON) so CI can track the serving perf
+// trajectory. Environment knobs are the shared bench ones (PRIMSEL_SCALE,
+// PRIMSEL_ITERS).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "engine/CompiledNet.h"
+#include "engine/Engine.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace primsel;
+using namespace primsel::bench;
+
+namespace {
+
+struct ModelRow {
+  std::string Name;
+  double ColdMs = 0.0;      ///< per-request: instantiate + run
+  double CompiledMs = 0.0;  ///< steady state on one context
+  double PrepareMs = 0.0;   ///< one-time compile work
+  double PreparedMiB = 0.0; ///< packed-weight footprint
+  unsigned TransformPrims = 0;
+  bool BitIdentical = false;
+
+  double speedup() const {
+    return CompiledMs > 0.0 ? ColdMs / CompiledMs : 0.0;
+  }
+};
+
+/// True for families whose instantiation performs a real weight-side
+/// transform the compiled path hoists.
+bool isTransformFamily(ConvFamily F) {
+  switch (F) {
+  case ConvFamily::Winograd:
+  case ConvFamily::FFT:
+  case ConvFamily::Im2:
+  case ConvFamily::Kn2:
+  case ConvFamily::Sparse:
+  case ConvFamily::Quantized:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+int main() {
+  BenchConfig Config = BenchConfig::fromEnvironment();
+  PrimitiveLibrary Lib = buildFullLibrary();
+
+  const std::pair<const char *, NetworkGraph (*)(double)> Models[] = {
+      {"resnet18", resNet18},
+      {"mobilenet", mobileNet},
+      {"googlenet", googLeNet},
+  };
+
+  std::printf("# compiled serving bench: scale %.2f, %u steady-state "
+              "iterations per model\n",
+              Config.Scale, Config.Iters);
+
+  std::vector<ModelRow> Rows;
+  bool AllHaveLever = true, AllFaster = true, AllIdentical = true;
+
+  for (const auto &[Name, Build] : Models) {
+    NetworkGraph Net = Build(Config.Scale);
+    AnalyticCostProvider Prov(Lib, MachineProfile::haswell(), 1);
+    EngineOptions EOpts;
+    EOpts.AmortizeWeightTransforms = true;
+    Engine Eng(Lib, Prov, EOpts);
+    SelectionResult R = Eng.optimize(Net);
+    if (R.Plan.empty()) {
+      std::fprintf(stderr, "FAIL: selection failed on %s\n", Name);
+      return 1;
+    }
+
+    ModelRow Row;
+    Row.Name = Name;
+    const NetworkGraph &ExecNet = R.executionGraph(Net);
+    for (NetworkGraph::NodeId N : ExecNet.convNodes())
+      Row.TransformPrims +=
+          isTransformFamily(Lib.get(R.Plan.ConvPrim[N]).family());
+
+    const TensorShape &Sh = ExecNet.node(0).OutShape;
+    Tensor3D Input(Sh.C, Sh.H, Sh.W, Layout::CHW);
+    Input.fillRandom(19);
+
+    // Cold path: every request pays instantiation (weight generation,
+    // packing, kernel transforms) before its forward pass.
+    Timer ColdTimer;
+    Tensor3D ColdOut;
+    for (unsigned I = 0; I < Config.Iters; ++I) {
+      Executor Exec(ExecNet, R.Plan, Lib);
+      Exec.run(Input);
+      if (I + 1 == Config.Iters) {
+        const Tensor3D &O = Exec.networkOutput();
+        ColdOut = Tensor3D(O.channels(), O.height(), O.width(), O.layout());
+        std::memcpy(ColdOut.data(), O.data(),
+                    static_cast<size_t>(O.size()) * sizeof(float));
+      }
+    }
+    Row.ColdMs = ColdTimer.millis() / Config.Iters;
+
+    // Compiled path: prepare once, then steady state.
+    std::shared_ptr<const CompiledNet> CN = Eng.compile(Net, R);
+    if (!CN) {
+      std::fprintf(stderr, "FAIL: compile failed on %s\n", Name);
+      return 1;
+    }
+    Row.PrepareMs = CN->prepareMillis();
+    Row.PreparedMiB =
+        static_cast<double>(CN->preparedBytes()) / (1024.0 * 1024.0);
+    ExecutionContextOptions CtxOpts;
+    CtxOpts.UseArena = true;
+    std::unique_ptr<ExecutionContext> Ctx = CN->newContext(CtxOpts);
+    Ctx->run(Input); // warm-up (first touch of the arena pages)
+    Timer SteadyTimer;
+    for (unsigned I = 0; I < Config.Iters; ++I)
+      Ctx->run(Input);
+    Row.CompiledMs = SteadyTimer.millis() / Config.Iters;
+    Row.BitIdentical =
+        maxAbsDifference(Ctx->networkOutput(), ColdOut) == 0.0f;
+
+    AllHaveLever &= Row.TransformPrims > 0;
+    AllFaster &= Row.CompiledMs < Row.ColdMs;
+    AllIdentical &= Row.BitIdentical;
+
+    std::printf("%-10s cold %8.2f ms/req, compiled %8.2f ms/req "
+                "(%.2fx), prepare %7.2f ms hoisted, %u transform prims, "
+                "%.1f MiB prepared, outputs %s\n",
+                Name, Row.ColdMs, Row.CompiledMs, Row.speedup(),
+                Row.PrepareMs, Row.TransformPrims, Row.PreparedMiB,
+                Row.BitIdentical ? "identical" : "DIFFER");
+    Rows.push_back(Row);
+  }
+
+  // Machine-readable trajectory record.
+  const char *JsonEnv = std::getenv("PRIMSEL_BENCH_JSON");
+  std::string JsonPath = JsonEnv ? JsonEnv : "BENCH_serving.json";
+  if (std::FILE *F = std::fopen(JsonPath.c_str(), "w")) {
+    std::fprintf(F, "{\n  \"bench\": \"compiled_serving\",\n"
+                    "  \"scale\": %.3f,\n  \"iters\": %u,\n  \"models\": [\n",
+                 Config.Scale, Config.Iters);
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const ModelRow &Row = Rows[I];
+      std::fprintf(
+          F,
+          "    {\"model\": \"%s\", \"cold_ms_per_request\": %.4f, "
+          "\"compiled_steady_ms_per_request\": %.4f, \"speedup\": %.3f, "
+          "\"prepare_ms\": %.4f, \"prepared_mib\": %.3f, "
+          "\"transform_primitives\": %u, "
+          "\"compiled_inferences_per_sec\": %.2f, \"bit_identical\": %s}%s\n",
+          Row.Name.c_str(), Row.ColdMs, Row.CompiledMs, Row.speedup(),
+          Row.PrepareMs, Row.PreparedMiB, Row.TransformPrims,
+          Row.CompiledMs > 0.0 ? 1000.0 / Row.CompiledMs : 0.0,
+          Row.BitIdentical ? "true" : "false",
+          I + 1 < Rows.size() ? "," : "");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+    std::printf("# wrote %s\n", JsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", JsonPath.c_str());
+  }
+
+  std::printf("%s every model's serving plan selects transform-bearing "
+              "primitives\n",
+              AllHaveLever ? "PASS" : "FAIL");
+  std::printf("%s compiled steady state strictly faster than per-request "
+              "instantiation on every model\n",
+              AllFaster ? "PASS" : "FAIL");
+  std::printf("%s compiled outputs bit-identical to the cold executor\n",
+              AllIdentical ? "PASS" : "FAIL");
+  return AllHaveLever && AllFaster && AllIdentical ? 0 : 1;
+}

@@ -45,18 +45,18 @@ private:
 
 /// Image-parallel schedule: the pool distributes whole images; each image
 /// runs single-threaded ("minibatch parallelism"). Base instances keep
-/// per-run scratch state, so each concurrent image needs its own instance.
+/// per-run scratch state, so each concurrent image needs its own instance
+/// -- but all slots bind the one shared PreparedKernel, so the weight
+/// packing is no longer duplicated per image.
 class ImageParallelInstance : public ConvInstance {
 public:
   ImageParallelInstance(const ConvPrimitive &BasePrim, const ConvScenario &S,
-                        const Kernel4D &Weights) {
+                        std::shared_ptr<const PreparedKernel> Prepared) {
     // One instance per image slot; slot count is bounded by the batch.
-    // Weight packing is duplicated, which is the honest memory cost of
-    // running images concurrently with stateful primitives.
     Instances.reserve(static_cast<size_t>(S.Batch));
     ConvScenario PerImage = S.singleImage();
     for (int64_t I = 0; I < S.Batch; ++I)
-      Instances.push_back(BasePrim.instantiate(PerImage, Weights));
+      Instances.push_back(BasePrim.bind(PerImage, Prepared));
   }
 
   void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override {
@@ -101,14 +101,22 @@ size_t MinibatchPrimitive::workspaceBytes(const ConvScenario &S) const {
   return PerImage;
 }
 
+std::shared_ptr<const PreparedKernel>
+MinibatchPrimitive::prepare(const ConvScenario &S,
+                            const Kernel4D &Weights) const {
+  assert(supports(S) && "preparing an unsupported scenario");
+  return Base.prepare(S.singleImage(), Weights);
+}
+
 std::unique_ptr<ConvInstance>
-MinibatchPrimitive::instantiate(const ConvScenario &S,
-                                const Kernel4D &Weights) const {
-  assert(supports(S) && "instantiating an unsupported scenario");
+MinibatchPrimitive::bind(const ConvScenario &S,
+                         std::shared_ptr<const PreparedKernel> Prepared) const {
+  assert(supports(S) && "binding an unsupported scenario");
   if (Policy == BatchPolicy::LayerParallel)
     return std::make_unique<LayerParallelInstance>(
-        Base.instantiate(S.singleImage(), Weights));
-  return std::make_unique<ImageParallelInstance>(Base, S, Weights);
+        Base.bind(S.singleImage(), std::move(Prepared)));
+  return std::make_unique<ImageParallelInstance>(Base, S,
+                                                 std::move(Prepared));
 }
 
 unsigned primsel::addMinibatchVariants(PrimitiveLibrary &Lib) {

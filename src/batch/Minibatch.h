@@ -75,8 +75,16 @@ public:
 
   size_t workspaceBytes(const ConvScenario &S) const override;
 
+  /// The wrapper's weight-side artifact is the base routine's, prepared on
+  /// the per-image subproblem -- image-parallel schedules used to duplicate
+  /// the weight packing per image slot; with the prepare/bind split every
+  /// slot binds the one shared PreparedKernel.
+  std::shared_ptr<const PreparedKernel>
+  prepare(const ConvScenario &S, const Kernel4D &Weights) const override;
+
   std::unique_ptr<ConvInstance>
-  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override;
+  bind(const ConvScenario &S,
+       std::shared_ptr<const PreparedKernel> Prepared) const override;
 
   const ConvPrimitive &base() const { return Base; }
   BatchPolicy policy() const { return Policy; }
@@ -110,6 +118,21 @@ public:
   double transformCost(Layout From, Layout To,
                        const TensorShape &Shape) override {
     return static_cast<double>(Batch) * Inner.transformCost(From, To, Shape);
+  }
+  CostBreakdown convCostBreakdown(const ConvScenario &S,
+                                  PrimitiveId Id) override {
+    return Inner.convCostBreakdown(S, Id);
+  }
+  double convServingCost(const ConvScenario &S, PrimitiveId Id) override {
+    return Inner.convServingCost(S, Id);
+  }
+  CostBreakdown transformCostBreakdown(Layout From, Layout To,
+                                       const TensorShape &Shape) override {
+    CostBreakdown B = Inner.transformCostBreakdown(From, To, Shape);
+    // Every image flowing along the edge converts afresh; only the per-run
+    // half scales.
+    B.PerRunMs *= static_cast<double>(Batch);
+    return B;
   }
 
 private:

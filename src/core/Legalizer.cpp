@@ -49,6 +49,34 @@ double primsel::modelPlanCost(const NetworkPlan &Plan,
   return Total;
 }
 
+CostBreakdown primsel::modelPlanCostBreakdown(const NetworkPlan &Plan,
+                                              const NetworkGraph &Net,
+                                              const PrimitiveLibrary &Lib,
+                                              CostProvider &Costs) {
+  (void)Lib;
+  CostBreakdown Total;
+  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
+    const NetworkGraph::Node &Node = Net.node(N);
+    if (isDummyKind(Node.L.Kind))
+      continue;
+    CostBreakdown B = Costs.convCostBreakdown(Node.Scenario, Plan.ConvPrim[N]);
+    Total.PerRunMs += B.PerRunMs;
+    Total.AmortizedMs += B.AmortizedMs;
+  }
+  for (const auto &[Edge, Chain] : Plan.Chains) {
+    assert(Chain.size() >= 2 && "degenerate legalization chain");
+    NetworkGraph::NodeId Producer = Net.node(Edge.first).Inputs[Edge.second];
+    const TensorShape &Shape = Net.node(Producer).OutShape;
+    for (size_t I = 0; I + 1 < Chain.size(); ++I) {
+      CostBreakdown B =
+          Costs.transformCostBreakdown(Chain[I], Chain[I + 1], Shape);
+      Total.PerRunMs += B.PerRunMs;
+      Total.AmortizedMs += B.AmortizedMs;
+    }
+  }
+  return Total;
+}
+
 bool primsel::isLegalized(const NetworkPlan &Plan, const NetworkGraph &Net) {
   for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
     const NetworkGraph::Node &Node = Net.node(N);

@@ -35,6 +35,15 @@ bool legalize(NetworkPlan &Plan, const NetworkGraph &Net,
 double modelPlanCost(const NetworkPlan &Plan, const NetworkGraph &Net,
                      const PrimitiveLibrary &Lib, CostProvider &Costs);
 
+/// modelPlanCost split into its serving halves: PerRunMs is the plan's
+/// steady-state per-inference cost (conv per-run components plus every
+/// legalization chain -- activations convert afresh each request), and
+/// AmortizedMs is the one-time weight-side work a CompiledNet hoists.
+CostBreakdown modelPlanCostBreakdown(const NetworkPlan &Plan,
+                                     const NetworkGraph &Net,
+                                     const PrimitiveLibrary &Lib,
+                                     CostProvider &Costs);
+
 /// Check the structural invariant of a legalized plan: along every edge the
 /// producer's layout, via the chain if present, ends at the consumer's
 /// required layout. Used by tests and asserted by the executor.

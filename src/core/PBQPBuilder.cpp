@@ -28,8 +28,8 @@ Layout altOutLayout(const PBQPFormulation &F, const PrimitiveLibrary &Lib,
 
 PBQPFormulation primsel::buildPBQP(const NetworkGraph &Net,
                                    const PrimitiveLibrary &Lib,
-                                   CostProvider &Costs,
-                                   DTTableCache &Tables) {
+                                   CostProvider &Costs, DTTableCache &Tables,
+                                   bool AmortizeWeightTransforms) {
   PBQPFormulation F;
   F.ConvAlternatives.resize(Net.numNodes());
   F.LayoutAlternatives.resize(Net.numNodes());
@@ -46,7 +46,9 @@ PBQPFormulation primsel::buildPBQP(const NetworkGraph &Net,
              "routines should)");
       pbqp::CostVector V(static_cast<unsigned>(Alts.size()));
       for (unsigned I = 0; I < Alts.size(); ++I)
-        V[I] = Costs.convCost(Node.Scenario, Alts[I]);
+        V[I] = AmortizeWeightTransforms
+                   ? Costs.convServingCost(Node.Scenario, Alts[I])
+                   : Costs.convCost(Node.Scenario, Alts[I]);
       F.ConvAlternatives[N] = std::move(Alts);
       pbqp::NodeId Id = F.G.addNode(std::move(V));
       (void)Id;

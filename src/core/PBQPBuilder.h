@@ -42,9 +42,15 @@ struct PBQPFormulation {
 };
 
 /// Build the PBQP instance for \p Net over \p Lib with costs from
-/// \p Tables' provider.
+/// \p Tables' provider. With \p AmortizeWeightTransforms (serving mode,
+/// EngineOptions.AmortizeWeightTransforms), conv node costs are the
+/// per-inference component of the provider's breakdown -- the weight-side
+/// prepare work is compile-time in a compile-once/serve-many deployment,
+/// so it must not influence the steady-state selection. Edge costs are
+/// activation-side and identical in both modes.
 PBQPFormulation buildPBQP(const NetworkGraph &Net, const PrimitiveLibrary &Lib,
-                          CostProvider &Costs, DTTableCache &Tables);
+                          CostProvider &Costs, DTTableCache &Tables,
+                          bool AmortizeWeightTransforms = false);
 
 } // namespace primsel
 

@@ -35,6 +35,14 @@ struct SelectionResult {
   NetworkPlan Plan;
   /// Modelled total cost of the legalized plan, in ms.
   double ModelledCostMs = 0.0;
+  /// Serving split of the plan's modelled cost, filled by engine runs with
+  /// EngineOptions.AmortizeWeightTransforms: ModelledPerRunMs is the
+  /// steady-state per-inference cost the solver actually minimized, and
+  /// ModelledPrepareMs the one-time weight-side work Engine::compile
+  /// hoists. Both zero when amortization is off (ModelledCostMs is then
+  /// the only metric, as historically).
+  double ModelledPerRunMs = 0.0;
+  double ModelledPrepareMs = 0.0;
   /// Wall-clock time spent solving the PBQP query (§5.4 reports < 1 s).
   double SolveMillis = 0.0;
   /// Wall-clock time spent gathering costs and building the PBQP query.

@@ -33,9 +33,19 @@ public:
   AnalyticCostProvider(const PrimitiveLibrary &Lib,
                        const MachineProfile &Profile, unsigned Threads = 1);
 
+  /// The one-shot total: analyticConvCost (the run phase) *plus*
+  /// analyticConvPrepareCost (the weight-side phase) -- exactly what a
+  /// per-request-instantiating executor pays per request, pack/transform
+  /// then run.
   double convCost(const ConvScenario &S, PrimitiveId Id) override;
   double transformCost(Layout From, Layout To,
                        const TensorShape &Shape) override;
+  /// The exact two-phase split of convCost(): PerRunMs is the run-phase
+  /// model alone (the steady-state cost a CompiledNet context pays),
+  /// AmortizedMs the prepare-phase model; their sum is convCost(S, Id)
+  /// bit-exactly, so nothing is double-credited in either mode.
+  CostBreakdown convCostBreakdown(const ConvScenario &S,
+                                  PrimitiveId Id) override;
   /// "analytic:<profile>:t<threads>" -- costs are a pure function of the
   /// machine profile and the modelled thread count.
   std::string identity() const override;
@@ -46,14 +56,25 @@ private:
   unsigned Threads;
 };
 
-/// Modelled milliseconds for one primitive on one scenario; exposed for
-/// tests and the Table 1 bench.
+/// Modelled milliseconds of the *run phase* for one primitive on one
+/// scenario (weight-side prepare work excluded -- see
+/// analyticConvPrepareCost; AnalyticCostProvider::convCost reports the
+/// sum). Exposed for tests and the Table 1 bench.
 double analyticConvCost(const ConvPrimitive &P, const ConvScenario &S,
                         const MachineProfile &Profile, unsigned Threads);
 
 /// Modelled milliseconds for one direct layout-transform routine.
 double analyticTransformCost(Layout From, Layout To, const TensorShape &Shape,
                              const MachineProfile &Profile, unsigned Threads);
+
+/// Modelled milliseconds of the weight-side prepare() work for one
+/// primitive on one scenario: kernel-matrix flattening (im2/kn2), the
+/// Winograd U = G g G^T transform, FFT tap spectra, CSR compression and
+/// quantization tables. Zero for the direct-loop families, which consume
+/// weights in (close to) their storage order. Single-threaded: prepare is
+/// compile-time work, not part of the serving hot path.
+double analyticConvPrepareCost(const ConvPrimitive &P, const ConvScenario &S,
+                               const MachineProfile &Profile);
 
 } // namespace primsel
 

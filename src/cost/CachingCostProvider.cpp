@@ -50,6 +50,52 @@ double CachingCostProvider::transformCost(Layout From, Layout To,
   return TransformCache.emplace(Key, Millis).first->second;
 }
 
+CostBreakdown CachingCostProvider::convCostBreakdown(const ConvScenario &S,
+                                                     PrimitiveId Id) {
+  ConvKey Key{S, Id};
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = BreakdownCache.find(Key);
+    if (It != BreakdownCache.end())
+      return It->second;
+  }
+  CostBreakdown B = Inner.convCostBreakdown(S, Id);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return BreakdownCache.emplace(Key, B).first->second;
+}
+
+CostBreakdown
+CachingCostProvider::transformCostBreakdown(Layout From, Layout To,
+                                            const TensorShape &Shape) {
+  TransformKey Key{From, To, Shape};
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = TransformBreakdownCache.find(Key);
+    if (It != TransformBreakdownCache.end())
+      return It->second;
+  }
+  CostBreakdown B = Inner.transformCostBreakdown(From, To, Shape);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return TransformBreakdownCache.emplace(Key, B).first->second;
+}
+
+double CachingCostProvider::convServingCost(const ConvScenario &S,
+                                            PrimitiveId Id) {
+  ConvKey Key{S, Id};
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto BIt = BreakdownCache.find(Key);
+    if (BIt != BreakdownCache.end())
+      return BIt->second.PerRunMs;
+    auto It = ServingCache.find(Key);
+    if (It != ServingCache.end())
+      return It->second;
+  }
+  double Millis = Inner.convServingCost(S, Id);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return ServingCache.emplace(Key, Millis).first->second;
+}
+
 size_t CachingCostProvider::size() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return ConvCache.size() + TransformCache.size();

@@ -51,6 +51,19 @@ public:
   double convCost(const ConvScenario &S, PrimitiveId Id) override;
   double transformCost(Layout From, Layout To,
                        const TensorShape &Shape) override;
+  /// Memoized like convCost, in its own table (a breakdown query against a
+  /// measuring provider triggers a prepare() measurement, so serving-mode
+  /// selection must not pay it twice). Breakdown queries do not perturb the
+  /// legacy hit/miss counters -- those remain an exact count of the scalar
+  /// evaluations the historical stats reports describe.
+  CostBreakdown convCostBreakdown(const ConvScenario &S,
+                                  PrimitiveId Id) override;
+  CostBreakdown transformCostBreakdown(Layout From, Layout To,
+                                       const TensorShape &Shape) override;
+  /// Memoized forward of the inner provider's serving cost (served from
+  /// the breakdown memo when one exists, so the two tables never
+  /// disagree).
+  double convServingCost(const ConvScenario &S, PrimitiveId Id) override;
   /// Memoization does not change the costs: forward the inner identity.
   std::string identity() const override { return Inner.identity(); }
 
@@ -101,6 +114,10 @@ private:
   mutable std::mutex Mutex;
   std::unordered_map<ConvKey, double, ConvKeyHash> ConvCache;
   std::unordered_map<TransformKey, double, TransformKeyHash> TransformCache;
+  std::unordered_map<ConvKey, CostBreakdown, ConvKeyHash> BreakdownCache;
+  std::unordered_map<TransformKey, CostBreakdown, TransformKeyHash>
+      TransformBreakdownCache;
+  std::unordered_map<ConvKey, double, ConvKeyHash> ServingCache;
   CostCacheStats Stats;
 };
 

@@ -3,8 +3,11 @@
 #include "cost/CostDatabase.h"
 
 #include <cassert>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include <unistd.h>
 
 using namespace primsel;
 
@@ -55,16 +58,52 @@ void CostDatabase::setTransformCost(Layout From, Layout To,
   TransformCosts[transformKey(From, To, Shape)] = Millis;
 }
 
+bool CostDatabase::hasPrepareCost(const ConvScenario &S,
+                                  const std::string &PrimName) const {
+  return PrepareCosts.count(convKey(S, PrimName)) != 0;
+}
+
+double CostDatabase::prepareCost(const ConvScenario &S,
+                                 const std::string &PrimName) const {
+  auto It = PrepareCosts.find(convKey(S, PrimName));
+  assert(It != PrepareCosts.end() && "prepare cost not in database");
+  return It->second;
+}
+
+void CostDatabase::setPrepareCost(const ConvScenario &S,
+                                  const std::string &PrimName,
+                                  double Millis) {
+  PrepareCosts[convKey(S, PrimName)] = Millis;
+}
+
 bool CostDatabase::save(const std::string &Path) const {
-  std::ofstream Out(Path);
-  if (!Out)
+  // Write-to-temp then rename, so a serve racing this save (or a crash
+  // mid-write) never observes a torn table. The temp name carries the pid:
+  // two concurrent savers each rename their own complete file, and the
+  // last full write wins.
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream Out(Tmp);
+    if (!Out)
+      return false;
+    Out.precision(9);
+    for (const auto &[Key, Millis] : ConvCosts)
+      Out << "conv " << Key << " " << Millis << "\n";
+    for (const auto &[Key, Millis] : TransformCosts)
+      Out << "dt " << Key << " " << Millis << "\n";
+    for (const auto &[Key, Millis] : PrepareCosts)
+      Out << "prep " << Key << " " << Millis << "\n";
+    if (!Out) {
+      Out.close();
+      std::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
     return false;
-  Out.precision(9);
-  for (const auto &[Key, Millis] : ConvCosts)
-    Out << "conv " << Key << " " << Millis << "\n";
-  for (const auto &[Key, Millis] : TransformCosts)
-    Out << "dt " << Key << " " << Millis << "\n";
-  return static_cast<bool>(Out);
+  }
+  return true;
 }
 
 bool CostDatabase::load(const std::string &Path) {
@@ -84,6 +123,8 @@ bool CostDatabase::load(const std::string &Path) {
       ConvCosts[Key] = Millis;
     else if (Kind == "dt")
       TransformCosts[Key] = Millis;
+    else if (Kind == "prep")
+      PrepareCosts[Key] = Millis;
     // Unknown kinds are skipped for forward compatibility.
   }
   return true;

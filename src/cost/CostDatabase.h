@@ -39,8 +39,20 @@ public:
   void setTransformCost(Layout From, Layout To, const TensorShape &Shape,
                         double Millis);
 
+  /// Amortizable weight-side (prepare) cost of (S, primitive name): the
+  /// time ConvPrimitive::prepare takes. Stored separately from the run
+  /// cost so serving-mode selection can drop it from the per-inference
+  /// tables ("prep" records on disk).
+  bool hasPrepareCost(const ConvScenario &S,
+                      const std::string &PrimName) const;
+  double prepareCost(const ConvScenario &S,
+                     const std::string &PrimName) const;
+  void setPrepareCost(const ConvScenario &S, const std::string &PrimName,
+                      double Millis);
+
   size_t numConvEntries() const { return ConvCosts.size(); }
   size_t numTransformEntries() const { return TransformCosts.size(); }
+  size_t numPrepareEntries() const { return PrepareCosts.size(); }
 
   /// Write every entry to \p Path; returns false on I/O failure.
   bool save(const std::string &Path) const;
@@ -55,6 +67,7 @@ private:
 
   std::unordered_map<std::string, double> ConvCosts;
   std::unordered_map<std::string, double> TransformCosts;
+  std::unordered_map<std::string, double> PrepareCosts;
 };
 
 } // namespace primsel

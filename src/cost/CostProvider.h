@@ -21,6 +21,19 @@
 
 namespace primsel {
 
+/// A cost split into its serving-relevant halves (paper §4: cost tables --
+/// and the kernel transforms themselves -- can be produced once before
+/// deployment and shipped with the trained model). PerRunMs is the
+/// steady-state per-inference cost; AmortizedMs is the weight-side work
+/// (layout packing, Winograd/FFT kernel transforms, quantization tables)
+/// a compile-once/serve-many deployment pays exactly once per model.
+struct CostBreakdown {
+  double PerRunMs = 0.0;
+  double AmortizedMs = 0.0;
+
+  double totalMs() const { return PerRunMs + AmortizedMs; }
+};
+
 /// Supplies the two cost kinds the PBQP formulation needs (paper §3.2):
 /// instance costs for (scenario, primitive) pairs, and data layout
 /// transformation costs for the tensors flowing along graph edges.
@@ -37,6 +50,39 @@ public:
   /// directTransformRoutines().
   virtual double transformCost(Layout From, Layout To,
                                const TensorShape &Shape) = 0;
+
+  /// The instance cost split into per-inference and amortizable weight-side
+  /// components. The default declares everything per-inference (correct for
+  /// providers with no notion of prepare-time work); providers that can
+  /// attribute weight-transform work override it. Invariants every override
+  /// must keep: both components are non-negative, and PerRunMs never
+  /// exceeds convCost(S, Id) -- serving-mode selection relies on amortized
+  /// per-inference costs being no dearer than the one-shot totals.
+  virtual CostBreakdown convCostBreakdown(const ConvScenario &S,
+                                          PrimitiveId Id) {
+    return {convCost(S, Id), 0.0};
+  }
+
+  /// Transform-cost counterpart of convCostBreakdown. Edge transforms act
+  /// on activations, which every inference must convert afresh, so the
+  /// default -- all per-run, nothing amortizable -- is final in spirit;
+  /// the hook exists so providers stay uniform if a weight-side transform
+  /// edge ever appears.
+  virtual CostBreakdown transformCostBreakdown(Layout From, Layout To,
+                                               const TensorShape &Shape) {
+    return {transformCost(From, To, Shape), 0.0};
+  }
+
+  /// The per-inference instance cost serving-mode selection feeds into the
+  /// PBQP node vectors: exactly convCostBreakdown().PerRunMs, but a
+  /// separate entry point because the formulation queries it for *every*
+  /// candidate of every node -- providers whose per-run component already
+  /// equals the legacy scalar (the measuring profiler, whose convCost has
+  /// always timed run() with instantiation outside the timer) override it
+  /// to skip the prepare-side work the full breakdown would trigger.
+  virtual double convServingCost(const ConvScenario &S, PrimitiveId Id) {
+    return convCostBreakdown(S, Id).PerRunMs;
+  }
 
   /// Stable text identity of the cost source -- the machine-profile
   /// component of the engine's plan-cache key (engine/PlanCache.h). Two

@@ -84,6 +84,41 @@ double MeasuredCostProvider::measureTransform(Layout From, Layout To,
   return BestMillis;
 }
 
+double MeasuredCostProvider::measurePrepare(const ConvScenario &S,
+                                            PrimitiveId Id) {
+  const ConvPrimitive &P = Lib.get(Id);
+  assert(P.supports(S) && "measuring an unsupported scenario");
+
+  Kernel4D Weights(S.M, S.kernelChannels(), S.K);
+  Weights.fillRandom(Options.Seed + 1);
+  Weights.applySparsity(S.SparsityPct, Options.Seed + 2);
+
+  double BestMillis = 0.0;
+  for (unsigned I = 0; I < std::max(1u, Options.Repeats); ++I) {
+    Timer T;
+    std::shared_ptr<const PreparedKernel> PK = P.prepare(S, Weights);
+    double Millis = T.millis();
+    (void)PK;
+    if (I == 0 || Millis < BestMillis)
+      BestMillis = Millis;
+  }
+  return BestMillis;
+}
+
+CostBreakdown MeasuredCostProvider::convCostBreakdown(const ConvScenario &S,
+                                                      PrimitiveId Id) {
+  CostBreakdown B;
+  B.PerRunMs = convCost(S, Id);
+  const std::string &Name = Lib.get(Id).name();
+  if (Cache.hasPrepareCost(S, Name)) {
+    B.AmortizedMs = Cache.prepareCost(S, Name);
+    return B;
+  }
+  B.AmortizedMs = measurePrepare(S, Id);
+  Cache.setPrepareCost(S, Name, B.AmortizedMs);
+  return B;
+}
+
 double MeasuredCostProvider::convCost(const ConvScenario &S, PrimitiveId Id) {
   const std::string &Name = Lib.get(Id).name();
   if (Cache.hasConvCost(S, Name))

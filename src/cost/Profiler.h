@@ -48,6 +48,21 @@ public:
   double convCost(const ConvScenario &S, PrimitiveId Id) override;
   double transformCost(Layout From, Layout To,
                        const TensorShape &Shape) override;
+  /// PerRunMs is the memoized run measurement -- exactly convCost(), which
+  /// has always timed run() with instantiation outside the timer -- and
+  /// AmortizedMs is the separately measured prepare() time, memoized as a
+  /// "prep" record. (Unlike the analytic model, whose one-shot totals
+  /// contain the transform work, totalMs() here exceeds convCost: the
+  /// profiler measures the two phases directly.)
+  CostBreakdown convCostBreakdown(const ConvScenario &S,
+                                  PrimitiveId Id) override;
+  /// The measured per-run component is the legacy convCost() itself, so
+  /// serving-mode selection queries must not pay a prepare() measurement
+  /// per candidate -- only convCostBreakdown (asked per *selected*
+  /// primitive for the serving report) measures prepare.
+  double convServingCost(const ConvScenario &S, PrimitiveId Id) override {
+    return convCost(S, Id);
+  }
   /// "measured:t<threads>" -- measured costs are host-specific, so plan
   /// caches built from them must not be shipped across machines.
   std::string identity() const override;
@@ -56,6 +71,9 @@ public:
   double measureConv(const ConvScenario &S, PrimitiveId Id);
   /// Measure one direct transform routine on one shape (no cache).
   double measureTransform(Layout From, Layout To, const TensorShape &Shape);
+  /// Measure one primitive's weight-side prepare() on one scenario (no
+  /// cache involvement). Single-threaded: prepare is compile-time work.
+  double measurePrepare(const ConvScenario &S, PrimitiveId Id);
 
   /// The cache; expose it so tools can save/load it across processes.
   CostDatabase &database() { return Cache; }

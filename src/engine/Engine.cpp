@@ -30,6 +30,22 @@ const CostCacheStats *Engine::cacheStats() const {
   return Cache ? &Cache->stats() : nullptr;
 }
 
+namespace {
+
+/// The plan-cache cost-identity component: the provider identity, tagged
+/// with the amortization mode -- serving-mode plans are solved over
+/// different node costs, so they must never be served for (or overwrite)
+/// totals-based plans of the same network.
+std::string costIdentityFor(const CostProvider &Raw,
+                            bool AmortizeWeightTransforms) {
+  std::string Id = Raw.identity();
+  if (AmortizeWeightTransforms)
+    Id += "+amortized";
+  return Id;
+}
+
+} // namespace
+
 PlanKey Engine::planKey(const NetworkGraph &Net) const {
   PlanKey K;
   if (Opts.Passes.empty()) {
@@ -39,7 +55,7 @@ PlanKey Engine::planKey(const NetworkGraph &Net) const {
         transforms::PassPipeline::fromNames(Opts.Passes).run(Net);
     K.NetworkFingerprint = fingerprintNetwork(Rewritten, Lib);
   }
-  K.CostIdentity = Raw.identity();
+  K.CostIdentity = costIdentityFor(Raw, Opts.AmortizeWeightTransforms);
   K.SolverFingerprint = fingerprintSolver(Opts.Solver, Opts.SolverOptions);
   K.PassFingerprint = transforms::fingerprintPasses(Opts.Passes);
   return K;
@@ -67,7 +83,8 @@ SelectionResult Engine::run(const NetworkGraph &Net,
   PlanKey Key;
   if (Plans) {
     Key.NetworkFingerprint = fingerprintNetwork(*Target, Lib);
-    Key.CostIdentity = Raw.identity();
+    Key.CostIdentity =
+        costIdentityFor(Raw, Options.AmortizeWeightTransforms);
     Key.SolverFingerprint =
         fingerprintSolver(SolverBackend.name(), Options.SolverOptions);
     Key.PassFingerprint = transforms::fingerprintPasses(Options.Passes);
@@ -100,7 +117,8 @@ SelectionResult Engine::run(const NetworkGraph &Net,
 
   CostProvider &Provider = costs();
   DTTableCache Tables(Provider);
-  PBQPFormulation F = buildPBQP(*Target, Lib, Provider, Tables);
+  PBQPFormulation F = buildPBQP(*Target, Lib, Provider, Tables,
+                                Options.AmortizeWeightTransforms);
   R.BuildMillis = BuildTimer.millis();
   R.NumNodes = F.G.numNodes();
   R.NumEdges = F.G.numEdges();
@@ -111,6 +129,11 @@ SelectionResult Engine::run(const NetworkGraph &Net,
 
   R.Plan = planFromSolution(F, R.Solver.Selection, *Target, Lib, Tables);
   R.ModelledCostMs = modelPlanCost(R.Plan, *Target, Lib, Provider);
+  if (Options.AmortizeWeightTransforms) {
+    CostBreakdown PB = modelPlanCostBreakdown(R.Plan, *Target, Lib, Provider);
+    R.ModelledPerRunMs = PB.PerRunMs;
+    R.ModelledPrepareMs = PB.AmortizedMs;
+  }
   if (Cache)
     R.Cache = Cache->stats();
   if (Plans)
@@ -162,7 +185,24 @@ PBQPFormulation Engine::formulate(const NetworkGraph &Net) {
     Cache->prepopulate(*Target, Lib, *Pool);
   CostProvider &Provider = costs();
   DTTableCache Tables(Provider);
-  return buildPBQP(*Target, Lib, Provider, Tables);
+  return buildPBQP(*Target, Lib, Provider, Tables,
+                   Opts.AmortizeWeightTransforms);
+}
+
+std::shared_ptr<const CompiledNet>
+Engine::compile(const NetworkGraph &Net, const CompileOptions &Options) {
+  SelectionResult R = optimize(Net);
+  if (R.Plan.empty())
+    return nullptr;
+  return compile(Net, R, Options);
+}
+
+std::shared_ptr<const CompiledNet>
+Engine::compile(const NetworkGraph &Net, const SelectionResult &R,
+                const CompileOptions &Options) const {
+  if (R.Plan.empty())
+    return nullptr;
+  return CompiledNet::build(R.executionGraph(Net), R.Plan, Lib, Options);
 }
 
 std::unique_ptr<Executor> Engine::instantiate(const NetworkGraph &Net,

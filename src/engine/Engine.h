@@ -39,6 +39,7 @@
 #include "codegen/CodeGen.h"
 #include "core/Selector.h"
 #include "core/Strategies.h"
+#include "engine/CompiledNet.h"
 #include "engine/PlanCache.h"
 #include "pbqp/SolverBackend.h"
 
@@ -76,6 +77,17 @@ struct EngineOptions {
   /// directory serves them without solving. Empty = in-memory only (when
   /// CachePlans is set).
   std::string PlanCacheDir;
+  /// Serving mode (paper §4: weight transforms ship with the model). When
+  /// set, the PBQP node costs are the *per-inference* component of each
+  /// instance cost -- the amortizable weight-side work (Winograd/FFT
+  /// kernel transforms, GEMM weight packing, quantization tables) is
+  /// excluded, because Engine::compile pays it once per artifact, not per
+  /// request. Amortized weight transforms make Winograd/FFT/im2-style
+  /// selections strictly cheaper relative to the direct families, so
+  /// serving-mode plans can differ from (and never cost more per
+  /// inference than) the default totals-based plans. The mode joins the
+  /// plan-cache key, so amortized and total-cost plans never mix.
+  bool AmortizeWeightTransforms = false;
   /// Graph-transform passes (transforms/Pass.h) applied to the network
   /// before formulation. Empty = O0: the graph is optimized exactly as
   /// given, the historical behaviour. For O1 use
@@ -108,12 +120,28 @@ public:
   /// PBQP query -> solver backend -> legalized plan.
   SelectionResult optimize(const NetworkGraph &Net);
 
+  /// Compile-once entry point: optimize \p Net with this engine's options
+  /// (serving deployments set AmortizeWeightTransforms), then build the
+  /// immutable CompiledNet artifact over the execution graph -- weights
+  /// generated, kernels prepared/transformed, memory planned. The artifact
+  /// is self-contained (it owns its graph copy); serve it from any number
+  /// of ExecutionContexts. The library must outlive the artifact.
+  std::shared_ptr<const CompiledNet>
+  compile(const NetworkGraph &Net, const CompileOptions &Options = {});
+
+  /// As compile(Net), reusing an already-solved \p R (avoids re-running
+  /// optimize when the caller needs both the SelectionResult and the
+  /// artifact).
+  std::shared_ptr<const CompiledNet>
+  compile(const NetworkGraph &Net, const SelectionResult &R,
+          const CompileOptions &Options = {}) const;
+
   /// As optimize(Net), but with one-off options (e.g. a different backend
   /// for a cross-check, or different solver knobs). Only Options.Solver,
-  /// Options.SolverOptions, Options.Passes and Options.ParallelPrepopulate
-  /// take effect here: the cost layer and thread pool are
-  /// construction-time properties of the engine, so Options.CacheCosts and
-  /// Options.Threads are ignored.
+  /// Options.SolverOptions, Options.Passes, Options.ParallelPrepopulate
+  /// and Options.AmortizeWeightTransforms take effect here: the cost layer
+  /// and thread pool are construction-time properties of the engine, so
+  /// Options.CacheCosts and Options.Threads are ignored.
   SelectionResult optimize(const NetworkGraph &Net,
                            const EngineOptions &Options);
 

@@ -10,6 +10,8 @@
 #include <limits>
 #include <sstream>
 
+#include <unistd.h>
+
 using namespace primsel;
 
 namespace {
@@ -106,6 +108,10 @@ std::string PlanCache::serialize(const PlanKey &Key, const SelectionResult &R,
   OS << "backend " << R.Backend << "\n";
   OS << "optimal " << (R.Solver.ProvablyOptimal ? 1 : 0) << "\n";
   OS << "modelledcost " << R.ModelledCostMs << "\n";
+  // Serving split (amortized-mode runs); zeros round-trip harmlessly for
+  // totals-based plans.
+  OS << "servingcost " << R.ModelledPerRunMs << " " << R.ModelledPrepareMs
+     << "\n";
   OS << "pbqpsize " << R.NumNodes << " " << R.NumEdges << "\n";
   OS << "numnodes " << Net.numNodes() << "\n";
   for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N)
@@ -161,6 +167,9 @@ PlanCache::deserialize(const std::string &Text, const PlanKey &Key,
       R.Solver.ProvablyOptimal = Opt != 0;
     } else if (Kind == "modelledcost") {
       if (!(LS >> R.ModelledCostMs))
+        return std::nullopt;
+    } else if (Kind == "servingcost") {
+      if (!(LS >> R.ModelledPerRunMs >> R.ModelledPrepareMs))
         return std::nullopt;
     } else if (Kind == "pbqpsize") {
       if (!(LS >> R.NumNodes >> R.NumEdges))
@@ -305,8 +314,12 @@ void PlanCache::store(const PlanKey &Key, const SelectionResult &R,
   std::filesystem::create_directories(Dir, EC);
   std::string Path = Dir + "/" + Key.fileName();
   // Write-then-rename so a concurrent reader never sees a half-written
-  // plan (it would be rejected as corrupt, but why make it).
-  std::string Tmp = Path + ".tmp";
+  // plan, and a crash mid-write never leaves a torn file under the real
+  // name. The temp name carries the pid so a 'warm' racing a 'serve'
+  // (two writers of the same key) each rename their own complete file --
+  // with a shared temp name the writes could interleave and the rename
+  // could publish a torn mix of both.
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
   {
     std::ofstream Out(Tmp);
     if (!Out || !(Out << serialize(Key, R, Net, Lib))) {

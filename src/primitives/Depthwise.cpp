@@ -45,15 +45,15 @@ struct DwConfig {
   const char *Name;
 };
 
-class DepthwiseInstance : public ConvInstance {
-public:
-  DepthwiseInstance(const DwConfig &Cfg, const ConvScenario &S,
-                    const Kernel4D &Weights)
-      : Cfg(Cfg), S(S),
-        PackedW(Cfg.Schedule == DwSchedule::Reference
+/// Weight-side artifact: the per-channel filters packed for the schedule
+/// (or the raw Kernel4D copy the reference oracle consumes).
+struct DwPrepared : PreparedKernel {
+  DwPrepared(const DwConfig &Cfg, const ConvScenario &S,
+             const Kernel4D &Weights)
+      : PackedW(Cfg.Schedule == DwSchedule::Reference
                     ? 0
                     : static_cast<size_t>(Weights.size())) {
-    assert(S.Depthwise && S.M == S.C && "instance requires a depthwise scenario");
+    assert(S.Depthwise && S.M == S.C && "requires a depthwise scenario");
     if (Cfg.Schedule == DwSchedule::Reference) {
       // The reference schedule runs the oracle directly on Kernel4D
       // weights; no packed copy.
@@ -74,6 +74,21 @@ public:
     }
   }
 
+  size_t bytes() const override {
+    return PackedW.size() * sizeof(float) +
+           static_cast<size_t>(RefWeights.size()) * sizeof(float);
+  }
+
+  AlignedBuffer PackedW;
+  Kernel4D RefWeights; ///< Reference schedule only
+};
+
+class DepthwiseInstance : public ConvInstance {
+public:
+  DepthwiseInstance(const DwConfig &Cfg, const ConvScenario &S,
+                    std::shared_ptr<const DwPrepared> PK)
+      : Cfg(Cfg), S(S), PK(std::move(PK)) {}
+
   void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override;
 
 private:
@@ -84,8 +99,7 @@ private:
 
   DwConfig Cfg;
   ConvScenario S;
-  AlignedBuffer PackedW;
-  Kernel4D RefWeights; ///< Reference schedule only
+  std::shared_ptr<const DwPrepared> PK;
 };
 
 /// Channel-sliced schedules (ChwRows, Im2Patch) on a padded input.
@@ -106,7 +120,7 @@ void DepthwiseInstance::runChannels(const Tensor3D &In, Tensor3D &Out,
     // may be any layout: writes go through its strides.
     assert(SW == 1 && "ChwRows requires a W-contiguous (CHW) input");
     for (int64_t Ch = ChBegin; Ch < ChEnd; ++Ch) {
-      const float *W = PackedW.data() + Ch * S.K * S.K;
+      const float *W = PK->PackedW.data() + Ch * S.K * S.K;
       for (int64_t R = 0; R < Ho; ++R) {
         float *ORow = OutData + Ch * OC + R * OH;
         for (int64_t Col = 0; Col < Wo; ++Col)
@@ -141,7 +155,7 @@ void DepthwiseInstance::runChannels(const Tensor3D &In, Tensor3D &Out,
     assert(S.K * S.K <= 121 && "kernel too large for the im2 tap buffer");
     const int64_t KK = S.K * S.K;
     for (int64_t Ch = ChBegin; Ch < ChEnd; ++Ch) {
-      const float *W = PackedW.data() + Ch * KK;
+      const float *W = PK->PackedW.data() + Ch * KK;
       for (int64_t R = 0; R < Ho; ++R)
         for (int64_t Col = 0; Col < Wo; ++Col) {
           for (int64_t Kr = 0; Kr < S.K; ++Kr) {
@@ -187,7 +201,7 @@ void DepthwiseInstance::runPixelRows(const Tensor3D &In, Tensor3D &Out,
             Data + (R * S.Stride + Kr) * SH + Col * S.Stride * SW;
         for (int64_t Kc = 0; Kc < S.K; ++Kc) {
           const float *IPix = IRow + Kc * SW; // HWC: channels contiguous
-          const float *WPix = PackedW.data() + (Kr * S.K + Kc) * C;
+          const float *WPix = PK->PackedW.data() + (Kr * S.K + Kc) * C;
           for (int64_t Ch = 0; Ch < C; ++Ch)
             OPix[Ch * OC] += IPix[Ch] * WPix[Ch];
         }
@@ -198,7 +212,7 @@ void DepthwiseInstance::runPixelRows(const Tensor3D &In, Tensor3D &Out,
 void DepthwiseInstance::run(const Tensor3D &In, Tensor3D &Out,
                             const RunContext &Ctx) {
   if (Cfg.Schedule == DwSchedule::Reference) {
-    referenceDepthwiseConv(S, In, RefWeights, Out);
+    referenceDepthwiseConv(S, In, PK->RefWeights, Out);
     return;
   }
 
@@ -260,10 +274,21 @@ public:
            sizeof(float);
   }
 
+  std::shared_ptr<const PreparedKernel>
+  prepare(const ConvScenario &S, const Kernel4D &Weights) const override {
+    assert(supports(S) && "preparing unsupported scenario");
+    return std::make_shared<DwPrepared>(Cfg, S, Weights);
+  }
+
   std::unique_ptr<ConvInstance>
-  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
-    assert(supports(S) && "instantiating unsupported scenario");
-    return std::make_unique<DepthwiseInstance>(Cfg, S, Weights);
+  bind(const ConvScenario &S,
+       std::shared_ptr<const PreparedKernel> Prepared) const override {
+    assert(supports(S) && "binding unsupported scenario");
+    assert(dynamic_cast<const DwPrepared *>(Prepared.get()) &&
+           "bind() requires a kernel from this primitive's prepare()");
+    return std::make_unique<DepthwiseInstance>(
+        Cfg, S,
+        std::static_pointer_cast<const DwPrepared>(std::move(Prepared)));
   }
 
 private:

@@ -72,11 +72,12 @@ struct MutPlaneView {
   }
 };
 
-class DirectInstance : public ConvInstance {
-public:
-  DirectInstance(const DirectConfig &Cfg, const ConvScenario &S,
+/// Weight-side artifact: the kernel re-packed into the loop order's
+/// streaming-friendly element order (or the raw MCKK copy).
+struct DirectPrepared : PreparedKernel {
+  DirectPrepared(const DirectConfig &Cfg, const ConvScenario &S,
                  const Kernel4D &Weights)
-      : Cfg(Cfg), S(S), PackedW(static_cast<size_t>(Weights.size())) {
+      : PackedW(static_cast<size_t>(Weights.size())) {
     // CHW/HCW variants read weights in MCKK order, which is how Kernel4D
     // stores them. HWC variants want the channel innermost: pack to
     // M x K x K x C so per-pixel dot products stream both operands.
@@ -104,6 +105,17 @@ public:
     }
   }
 
+  size_t bytes() const override { return PackedW.size() * sizeof(float); }
+
+  AlignedBuffer PackedW;
+};
+
+class DirectInstance : public ConvInstance {
+public:
+  DirectInstance(const DirectConfig &Cfg, const ConvScenario &S,
+                 std::shared_ptr<const DirectPrepared> PK)
+      : Cfg(Cfg), S(S), PK(std::move(PK)) {}
+
   void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override;
 
 private:
@@ -114,7 +126,7 @@ private:
 
   DirectConfig Cfg;
   ConvScenario S;
-  AlignedBuffer PackedW;
+  std::shared_ptr<const DirectPrepared> PK;
 };
 
 /// sum2d: the unoptimized textbook loop with inline bounds checks; the
@@ -150,7 +162,7 @@ static void runSum2D(const ConvScenario &S, const float *W,
 void DirectInstance::runFilters(const Tensor3D &In, Tensor3D &Out,
                                 int64_t FBegin, int64_t FEnd) const {
   const int64_t Ho = S.outHeight(), Wo = S.outWidth();
-  const float *W = PackedW.data();
+  const float *W = PK->PackedW.data();
 
   switch (Cfg.Order) {
   case DirectOrder::Sum2D:
@@ -252,7 +264,7 @@ void DirectInstance::runFilters(const Tensor3D &In, Tensor3D &Out,
 void DirectInstance::runRows(const Tensor3D &In, Tensor3D &Out,
                              int64_t RowBegin, int64_t RowEnd) const {
   const int64_t Wo = S.outWidth();
-  const float *W = PackedW.data();
+  const float *W = PK->PackedW.data();
   PlaneView IV(In);
   MutPlaneView OV(Out);
 
@@ -487,10 +499,21 @@ public:
            sizeof(float);
   }
 
+  std::shared_ptr<const PreparedKernel>
+  prepare(const ConvScenario &S, const Kernel4D &Weights) const override {
+    assert(supports(S) && "preparing unsupported scenario");
+    return std::make_shared<DirectPrepared>(Cfg, S, Weights);
+  }
+
   std::unique_ptr<ConvInstance>
-  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
-    assert(supports(S) && "instantiating unsupported scenario");
-    return std::make_unique<DirectInstance>(Cfg, S, Weights);
+  bind(const ConvScenario &S,
+       std::shared_ptr<const PreparedKernel> Prepared) const override {
+    assert(supports(S) && "binding unsupported scenario");
+    assert(dynamic_cast<const DirectPrepared *>(Prepared.get()) &&
+           "bind() requires a kernel from this primitive's prepare()");
+    return std::make_unique<DirectInstance>(
+        Cfg, S,
+        std::static_pointer_cast<const DirectPrepared>(std::move(Prepared)));
   }
 
 private:

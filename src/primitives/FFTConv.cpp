@@ -66,13 +66,13 @@ size_t kernelCacheBytes(const ConvScenario &S) {
          sizeof(std::complex<float>);
 }
 
-class FFTConvInstance : public ConvInstance {
-public:
-  FFTConvInstance(const FFTConfig &Cfg, const ConvScenario &S,
-                  const Kernel4D &Weights)
-      : Cfg(Cfg), S(S), FFTSize(fftSizeFor(S)) {
-    // Keep the raw kernel rows for the streaming variant; the cached
-    // variant transforms everything once here.
+/// Weight-side artifact: the raw kernel tap rows (streaming variant reads
+/// them per run) and, for the "kc" variant, every kernel-row spectrum
+/// transformed once.
+struct FFTPrepared : PreparedKernel {
+  FFTPrepared(const FFTConfig &Cfg, const ConvScenario &S,
+              const Kernel4D &Weights) {
+    const int64_t FFTSize = fftSizeFor(S);
     TapRows.assign(static_cast<size_t>(S.M * S.C * S.K * S.K), 0.0f);
     std::memcpy(TapRows.data(), Weights.data(),
                 TapRows.size() * sizeof(float));
@@ -82,22 +82,43 @@ public:
         for (int64_t Ch = 0; Ch < S.C; ++Ch)
           for (int64_t Kr = 0; Kr < S.K; ++Kr)
             KSpec[(F * S.C + Ch) * S.K + Kr] = prepareTapSpectrum(
-                tapRow(F, Ch, Kr), S.K, FFTSize);
+                tapRow(S, F, Ch, Kr), S.K, FFTSize);
     }
   }
+
+  const float *tapRow(const ConvScenario &S, int64_t F, int64_t Ch,
+                      int64_t Kr) const {
+    return TapRows.data() + ((F * S.C + Ch) * S.K + Kr) * S.K;
+  }
+
+  size_t bytes() const override {
+    size_t B = TapRows.size() * sizeof(float);
+    for (const CVec &V : KSpec)
+      B += V.size() * sizeof(std::complex<float>);
+    return B;
+  }
+
+  std::vector<float> TapRows;
+  std::vector<CVec> KSpec; ///< cached variant only: [m][c][kr] spectra
+};
+
+class FFTConvInstance : public ConvInstance {
+public:
+  FFTConvInstance(const FFTConfig &Cfg, const ConvScenario &S,
+                  std::shared_ptr<const FFTPrepared> PK)
+      : Cfg(Cfg), S(S), FFTSize(fftSizeFor(S)), PK(std::move(PK)) {}
 
   void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override;
 
 private:
   const float *tapRow(int64_t F, int64_t Ch, int64_t Kr) const {
-    return TapRows.data() + ((F * S.C + Ch) * S.K + Kr) * S.K;
+    return PK->tapRow(S, F, Ch, Kr);
   }
 
   FFTConfig Cfg;
   ConvScenario S;
   int64_t FFTSize;
-  std::vector<float> TapRows;
-  std::vector<CVec> KSpec; ///< cached variant only: [m][c][kr] spectra
+  std::shared_ptr<const FFTPrepared> PK;
 };
 
 void FFTConvInstance::run(const Tensor3D &In, Tensor3D &Out,
@@ -154,7 +175,7 @@ void FFTConvInstance::run(const Tensor3D &In, Tensor3D &Out,
     auto Accumulate = [&](int64_t FIdx) {
       for (int64_t Kr = 0; Kr < S.K; ++Kr) {
         const CVec &KRow = Cfg.CachedKernels
-                               ? KSpec[(FIdx * S.C + Ch) * S.K + Kr]
+                               ? PK->KSpec[(FIdx * S.C + Ch) * S.K + Kr]
                                : ChannelKSpec[FIdx * S.K + Kr];
         for (int64_t R = 0; R < Ho; ++R) {
           const CVec &XRow = XSpec[R + Kr];
@@ -223,10 +244,20 @@ public:
     return spectraBytes(S);
   }
 
+  std::shared_ptr<const PreparedKernel>
+  prepare(const ConvScenario &S, const Kernel4D &Weights) const override {
+    assert(supports(S) && "preparing unsupported scenario");
+    return std::make_shared<FFTPrepared>(Cfg, S, Weights);
+  }
+
   std::unique_ptr<ConvInstance>
-  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
-    assert(supports(S) && "instantiating unsupported scenario");
-    return std::make_unique<FFTConvInstance>(Cfg, S, Weights);
+  bind(const ConvScenario &S,
+       std::shared_ptr<const PreparedKernel> Prepared) const override {
+    assert(supports(S) && "binding unsupported scenario");
+    assert(dynamic_cast<const FFTPrepared *>(Prepared.get()) &&
+           "bind() requires a kernel from this primitive's prepare()");
+    return std::make_unique<FFTConvInstance>(
+        Cfg, S, std::static_pointer_cast<const FFTPrepared>(std::move(Prepared)));
   }
 
 private:

@@ -65,6 +65,17 @@ bool hwcSupportsCommon(const ConvScenario &S) {
          S.outHeight() >= 1 && S.outWidth() >= 1;
 }
 
+/// Weight-side artifact shared by every hwcnn routine: the (K*K*C) x M
+/// kernel matrix (or its transpose for the TransposedB GEMM kernel).
+struct HwcPrepared : PreparedKernel {
+  HwcPrepared(const ConvScenario &S, const Kernel4D &Weights, bool Transposed)
+      : PackedW(packWeightsKKCxM(S, Weights, Transposed)) {}
+
+  size_t bytes() const override { return PackedW.size() * sizeof(float); }
+
+  AlignedBuffer PackedW;
+};
+
 //===----------------------------------------------------------------------===//
 // hwcnn-im2row: patch matrix + GEMM, HWC -> HWC
 //===----------------------------------------------------------------------===//
@@ -72,10 +83,8 @@ bool hwcSupportsCommon(const ConvScenario &S) {
 class HwcIm2RowInstance : public ConvInstance {
 public:
   HwcIm2RowInstance(GemmVariant Variant, const ConvScenario &S,
-                    const Kernel4D &Weights)
-      : Variant(Variant), S(S),
-        PackedW(packWeightsKKCxM(S, Weights,
-                                 Variant == GemmVariant::TransposedB)),
+                    std::shared_ptr<const HwcPrepared> PK)
+      : Variant(Variant), S(S), PK(std::move(PK)),
         Patches(static_cast<size_t>(S.outHeight() * S.outWidth() * S.K *
                                     S.K * S.C)) {}
 
@@ -113,15 +122,16 @@ public:
         FillRow(P);
 
     // (Ho*Wo x KKC) * (KKC x M) writes the HWC output tensor directly.
-    sgemm(Variant, Ho * Wo, S.M, PatchLen, Patches.data(), PackedW.data(),
-          Out.data(), S.M, /*Accumulate=*/false, Ctx.Pool);
+    sgemm(Variant, Ho * Wo, S.M, PatchLen, Patches.data(),
+          PK->PackedW.data(), Out.data(), S.M, /*Accumulate=*/false,
+          Ctx.Pool);
   }
 
 private:
   GemmVariant Variant;
   ConvScenario S;
-  AlignedBuffer PackedW;
-  AlignedBuffer Patches;
+  std::shared_ptr<const HwcPrepared> PK;
+  AlignedBuffer Patches; ///< per-instance run scratch
 };
 
 class HwcIm2RowPrimitive : public ConvPrimitive {
@@ -151,9 +161,20 @@ public:
     return (Patch + Pad) * sizeof(float);
   }
 
+  std::shared_ptr<const PreparedKernel>
+  prepare(const ConvScenario &S, const Kernel4D &Weights) const override {
+    return std::make_shared<HwcPrepared>(S, Weights,
+                                         Variant == GemmVariant::TransposedB);
+  }
+
   std::unique_ptr<ConvInstance>
-  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
-    return std::make_unique<HwcIm2RowInstance>(Variant, S, Weights);
+  bind(const ConvScenario &S,
+       std::shared_ptr<const PreparedKernel> Prepared) const override {
+    assert(dynamic_cast<const HwcPrepared *>(Prepared.get()) &&
+           "bind() requires a kernel from this primitive's prepare()");
+    return std::make_unique<HwcIm2RowInstance>(
+        Variant, S,
+        std::static_pointer_cast<const HwcPrepared>(std::move(Prepared)));
   }
 
 private:
@@ -167,10 +188,8 @@ private:
 class HwcPointwiseInstance : public ConvInstance {
 public:
   HwcPointwiseInstance(GemmVariant Variant, const ConvScenario &S,
-                       const Kernel4D &Weights)
-      : Variant(Variant), S(S),
-        PackedW(packWeightsKKCxM(S, Weights,
-                                 Variant == GemmVariant::TransposedB)) {}
+                       std::shared_ptr<const HwcPrepared> PK)
+      : Variant(Variant), S(S), PK(std::move(PK)) {}
 
   void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override {
     assert(In.layout() == Layout::HWC && Out.layout() == Layout::HWC &&
@@ -191,14 +210,14 @@ public:
       A = Gathered.data();
     }
     // (Ho*Wo x C) * (C x M); the result is the HWC output verbatim.
-    sgemm(Variant, Ho * Wo, S.M, S.C, A, PackedW.data(), Out.data(), S.M,
-          /*Accumulate=*/false, Ctx.Pool);
+    sgemm(Variant, Ho * Wo, S.M, S.C, A, PK->PackedW.data(), Out.data(),
+          S.M, /*Accumulate=*/false, Ctx.Pool);
   }
 
 private:
   GemmVariant Variant;
   ConvScenario S;
-  AlignedBuffer PackedW;
+  std::shared_ptr<const HwcPrepared> PK;
 };
 
 class HwcPointwisePrimitive : public ConvPrimitive {
@@ -226,9 +245,20 @@ public:
                          : 0;
   }
 
+  std::shared_ptr<const PreparedKernel>
+  prepare(const ConvScenario &S, const Kernel4D &Weights) const override {
+    return std::make_shared<HwcPrepared>(S, Weights,
+                                         Variant == GemmVariant::TransposedB);
+  }
+
   std::unique_ptr<ConvInstance>
-  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
-    return std::make_unique<HwcPointwiseInstance>(Variant, S, Weights);
+  bind(const ConvScenario &S,
+       std::shared_ptr<const PreparedKernel> Prepared) const override {
+    assert(dynamic_cast<const HwcPrepared *>(Prepared.get()) &&
+           "bind() requires a kernel from this primitive's prepare()");
+    return std::make_unique<HwcPointwiseInstance>(
+        Variant, S,
+        std::static_pointer_cast<const HwcPrepared>(std::move(Prepared)));
   }
 
 private:
@@ -241,8 +271,9 @@ private:
 
 class HwcDirectInstance : public ConvInstance {
 public:
-  HwcDirectInstance(const ConvScenario &S, const Kernel4D &Weights)
-      : S(S), PackedW(packWeightsKKCxM(S, Weights, /*Transposed=*/false)) {}
+  HwcDirectInstance(const ConvScenario &S,
+                    std::shared_ptr<const HwcPrepared> PK)
+      : S(S), PK(std::move(PK)) {}
 
   void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override {
     assert(In.layout() == Layout::HWC && Out.layout() == Layout::HWC &&
@@ -267,7 +298,7 @@ public:
         for (int64_t Kr = 0; Kr < S.K; ++Kr) {
           const float *InSeg =
               Base + (TopRow + Kr) * RowStride + LeftCol * ColStride;
-          const float *WSeg = PackedW.data() + Kr * S.K * S.C * S.M;
+          const float *WSeg = PK->PackedW.data() + Kr * S.K * S.C * S.M;
           // The inner pair streams S.K*S.C input floats against the
           // matching weight rows, writing all M outputs of this pixel.
           for (int64_t I = 0; I < S.K * S.C; ++I) {
@@ -288,7 +319,7 @@ public:
 
 private:
   ConvScenario S;
-  AlignedBuffer PackedW;
+  std::shared_ptr<const HwcPrepared> PK;
 };
 
 class HwcDirectPrimitive : public ConvPrimitive {
@@ -310,9 +341,18 @@ public:
                      : 0;
   }
 
+  std::shared_ptr<const PreparedKernel>
+  prepare(const ConvScenario &S, const Kernel4D &Weights) const override {
+    return std::make_shared<HwcPrepared>(S, Weights, /*Transposed=*/false);
+  }
+
   std::unique_ptr<ConvInstance>
-  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
-    return std::make_unique<HwcDirectInstance>(S, Weights);
+  bind(const ConvScenario &S,
+       std::shared_ptr<const PreparedKernel> Prepared) const override {
+    assert(dynamic_cast<const HwcPrepared *>(Prepared.get()) &&
+           "bind() requires a kernel from this primitive's prepare()");
+    return std::make_unique<HwcDirectInstance>(
+        S, std::static_pointer_cast<const HwcPrepared>(std::move(Prepared)));
   }
 };
 

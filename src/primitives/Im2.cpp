@@ -36,14 +36,12 @@ struct Im2Config {
   const char *Name;
 };
 
-class Im2Instance : public ConvInstance {
-public:
-  Im2Instance(const Im2Config &Cfg, const ConvScenario &S,
+/// Weight-side artifact: the kernel matrix flattened for the GEMM operand
+/// order the configured variant consumes.
+struct Im2Prepared : PreparedKernel {
+  Im2Prepared(const Im2Config &Cfg, const ConvScenario &S,
               const Kernel4D &Weights)
-      : Cfg(Cfg), S(S),
-        PackedW(static_cast<size_t>(Weights.size())),
-        Patches(static_cast<size_t>(S.C * S.K * S.K * S.outHeight() *
-                                    S.outWidth())) {
+      : PackedW(static_cast<size_t>(Weights.size())) {
     if (!Cfg.RowMajorPatches) {
       // im2col: A = kernel matrix [M][C*K*K]; MCKK storage is already flat.
       std::memcpy(PackedW.data(), Weights.data(),
@@ -67,6 +65,19 @@ public:
           }
   }
 
+  size_t bytes() const override { return PackedW.size() * sizeof(float); }
+
+  AlignedBuffer PackedW;
+};
+
+class Im2Instance : public ConvInstance {
+public:
+  Im2Instance(const Im2Config &Cfg, const ConvScenario &S,
+              std::shared_ptr<const Im2Prepared> PK)
+      : Cfg(Cfg), S(S), PK(std::move(PK)),
+        Patches(static_cast<size_t>(S.C * S.K * S.K * S.outHeight() *
+                                    S.outWidth())) {}
+
   void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override;
 
 private:
@@ -75,8 +86,8 @@ private:
 
   Im2Config Cfg;
   ConvScenario S;
-  AlignedBuffer PackedW;
-  AlignedBuffer Patches;
+  std::shared_ptr<const Im2Prepared> PK;
+  AlignedBuffer Patches; ///< per-instance run scratch
 };
 
 /// im2col patch matrix: P[(c*K+kr)*K+kc][ho*Wo+wo], zero-filled where the
@@ -171,14 +182,16 @@ void Im2Instance::run(const Tensor3D &In, Tensor3D &Out,
   if (!Cfg.RowMajorPatches) {
     // Out[M][Ho*Wo] = Wmat[M][PatchLen] x P[PatchLen][Ho*Wo].
     buildColPatches(In, Pool);
-    sgemm(Cfg.Gemm, S.M, Ho * Wo, PatchLen, PackedW.data(), Patches.data(),
-          Target->data(), Ho * Wo, /*Accumulate=*/false, Pool);
+    sgemm(Cfg.Gemm, S.M, Ho * Wo, PatchLen, PK->PackedW.data(),
+          Patches.data(), Target->data(), Ho * Wo, /*Accumulate=*/false,
+          Pool);
   } else {
     // Out[Ho*Wo][M] = R[Ho*Wo][PatchLen] x Wmat[PatchLen][M] (or x B^T for
     // the transposed-kernel variant).
     buildRowPatches(In, Pool);
-    sgemm(Cfg.Gemm, Ho * Wo, S.M, PatchLen, Patches.data(), PackedW.data(),
-          Target->data(), S.M, /*Accumulate=*/false, Pool);
+    sgemm(Cfg.Gemm, Ho * Wo, S.M, PatchLen, Patches.data(),
+          PK->PackedW.data(), Target->data(), S.M, /*Accumulate=*/false,
+          Pool);
   }
 
   if (Target != &Out)
@@ -205,10 +218,20 @@ public:
            S.outWidth() * sizeof(float);
   }
 
+  std::shared_ptr<const PreparedKernel>
+  prepare(const ConvScenario &S, const Kernel4D &Weights) const override {
+    assert(supports(S) && "preparing unsupported scenario");
+    return std::make_shared<Im2Prepared>(Cfg, S, Weights);
+  }
+
   std::unique_ptr<ConvInstance>
-  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
-    assert(supports(S) && "instantiating unsupported scenario");
-    return std::make_unique<Im2Instance>(Cfg, S, Weights);
+  bind(const ConvScenario &S,
+       std::shared_ptr<const PreparedKernel> Prepared) const override {
+    assert(supports(S) && "binding unsupported scenario");
+    assert(dynamic_cast<const Im2Prepared *>(Prepared.get()) &&
+           "bind() requires a kernel from this primitive's prepare()");
+    return std::make_unique<Im2Instance>(
+        Cfg, S, std::static_pointer_cast<const Im2Prepared>(std::move(Prepared)));
   }
 
 private:

@@ -38,14 +38,12 @@ struct Kn2Config {
   const char *Name;
 };
 
-class Kn2Instance : public ConvInstance {
-public:
-  Kn2Instance(const Kn2Config &Cfg, const ConvScenario &S,
+/// Weight-side artifact: the per-kernel-position weight slices in the
+/// operand order the configured GEMM variant consumes.
+struct Kn2Prepared : PreparedKernel {
+  Kn2Prepared(const Kn2Config &Cfg, const ConvScenario &S,
               const Kernel4D &Weights)
-      : Cfg(Cfg), S(S),
-        PackedW(static_cast<size_t>(Weights.size())),
-        Temp(static_cast<size_t>((Cfg.Accumulating ? 1 : S.K * S.K) * S.M *
-                                 S.H * S.W)) {
+      : PackedW(static_cast<size_t>(Weights.size())) {
     // Per-position kernel slices. kn2row wants [pos][M][C]; kn2col with a
     // plain GEMM wants [pos][C][M]; kn2col with TransposedB reuses [M][C].
     const int64_t K = S.K, C = S.C, M = S.M;
@@ -64,6 +62,19 @@ public:
           }
   }
 
+  size_t bytes() const override { return PackedW.size() * sizeof(float); }
+
+  AlignedBuffer PackedW;
+};
+
+class Kn2Instance : public ConvInstance {
+public:
+  Kn2Instance(const Kn2Config &Cfg, const ConvScenario &S,
+              std::shared_ptr<const Kn2Prepared> PK)
+      : Cfg(Cfg), S(S), PK(std::move(PK)),
+        Temp(static_cast<size_t>((Cfg.Accumulating ? 1 : S.K * S.K) * S.M *
+                                 S.H * S.W)) {}
+
   void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override;
 
 private:
@@ -72,8 +83,8 @@ private:
 
   Kn2Config Cfg;
   ConvScenario S;
-  AlignedBuffer PackedW;
-  AlignedBuffer Temp;
+  std::shared_ptr<const Kn2Prepared> PK;
+  AlignedBuffer Temp; ///< per-instance run scratch
 };
 
 void Kn2Instance::run(const Tensor3D &In, Tensor3D &Out,
@@ -94,7 +105,7 @@ void Kn2Instance::run(const Tensor3D &In, Tensor3D &Out,
   float *OutData = Target->data();
 
   auto PositionGemm = [&](int64_t Pos, float *TempPos) {
-    const float *WPos = PackedW.data() + Pos * S.M * S.C;
+    const float *WPos = PK->PackedW.data() + Pos * S.M * S.C;
     if (!Cfg.ColVariant) {
       // Temp[M][HW] = Wslice[M][C] x In[C][HW]. With TransposedB the input
       // is consumed directly in its HWC form as B^T = [HW][C].
@@ -116,8 +127,8 @@ void Kn2Instance::run(const Tensor3D &In, Tensor3D &Out,
     // One big GEMM covering every kernel position, then sum shifted slices.
     // kn2row: [K*K*M][HW] = Wall[K*K*M][C] x In[C][HW]; kn2col analogous.
     if (!Cfg.ColVariant)
-      sgemm(Cfg.Gemm, S.K * S.K * S.M, HW, S.C, PackedW.data(), In.data(),
-            Temp.data(), HW, /*Accumulate=*/false, Pool);
+      sgemm(Cfg.Gemm, S.K * S.K * S.M, HW, S.C, PK->PackedW.data(),
+            In.data(), Temp.data(), HW, /*Accumulate=*/false, Pool);
     else
       for (int64_t Pos = 0; Pos < S.K * S.K; ++Pos)
         PositionGemm(Pos, Temp.data() + Pos * HW * S.M);
@@ -182,10 +193,20 @@ public:
     return static_cast<size_t>(Slices) * S.M * S.H * S.W * sizeof(float);
   }
 
+  std::shared_ptr<const PreparedKernel>
+  prepare(const ConvScenario &S, const Kernel4D &Weights) const override {
+    assert(supports(S) && "preparing unsupported scenario");
+    return std::make_shared<Kn2Prepared>(Cfg, S, Weights);
+  }
+
   std::unique_ptr<ConvInstance>
-  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
-    assert(supports(S) && "instantiating unsupported scenario");
-    return std::make_unique<Kn2Instance>(Cfg, S, Weights);
+  bind(const ConvScenario &S,
+       std::shared_ptr<const PreparedKernel> Prepared) const override {
+    assert(supports(S) && "binding unsupported scenario");
+    assert(dynamic_cast<const Kn2Prepared *>(Prepared.get()) &&
+           "bind() requires a kernel from this primitive's prepare()");
+    return std::make_unique<Kn2Instance>(
+        Cfg, S, std::static_pointer_cast<const Kn2Prepared>(std::move(Prepared)));
   }
 
 private:

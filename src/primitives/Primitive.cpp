@@ -12,6 +12,13 @@ using namespace primsel;
 // Out-of-line virtual anchors.
 ConvInstance::~ConvInstance() = default;
 ConvPrimitive::~ConvPrimitive() = default;
+PreparedKernel::~PreparedKernel() = default;
+
+std::unique_ptr<ConvInstance>
+ConvPrimitive::instantiate(const ConvScenario &S,
+                           const Kernel4D &Weights) const {
+  return bind(S, prepare(S, Weights));
+}
 
 const char *ConvPrimitive::libraryTag() const { return "primsel"; }
 
@@ -80,10 +87,17 @@ private:
 
 } // namespace
 
+std::shared_ptr<const PreparedKernel>
+primsel::prepareWithEpilogue(const ConvPrimitive &P, const ConvScenario &S,
+                             const Kernel4D &Weights) {
+  return P.prepare(S, Weights);
+}
+
 std::unique_ptr<ConvInstance>
-primsel::instantiateWithEpilogue(const ConvPrimitive &P, const ConvScenario &S,
-                                 const Kernel4D &Weights, uint64_t BiasSeed) {
-  std::unique_ptr<ConvInstance> Inner = P.instantiate(S, Weights);
+primsel::bindWithEpilogue(const ConvPrimitive &P, const ConvScenario &S,
+                          std::shared_ptr<const PreparedKernel> Prepared,
+                          uint64_t BiasSeed) {
+  std::unique_ptr<ConvInstance> Inner = P.bind(S, std::move(Prepared));
   if (S.Epi == EpilogueKind::None)
     return Inner;
   std::vector<float> Bias;
@@ -93,6 +107,12 @@ primsel::instantiateWithEpilogue(const ConvPrimitive &P, const ConvScenario &S,
   }
   return std::make_unique<EpilogueInstance>(std::move(Inner), S.Epi,
                                             std::move(Bias));
+}
+
+std::unique_ptr<ConvInstance>
+primsel::instantiateWithEpilogue(const ConvPrimitive &P, const ConvScenario &S,
+                                 const Kernel4D &Weights, uint64_t BiasSeed) {
+  return bindWithEpilogue(P, S, prepareWithEpilogue(P, S, Weights), BiasSeed);
 }
 
 const char *primsel::convFamilyName(ConvFamily F) {

@@ -10,11 +10,21 @@
 /// output layout, plus a predicate describing which convolutional scenarios
 /// it supports (e.g. Winograd requires stride 1 and K in {3,5}).
 ///
-/// Primitives are *descriptors*; instantiate() binds one to a scenario and a
-/// set of weights, performing any weight re-packing or transformation once
-/// (im2 kernel matrix flattening, Winograd U = G g G^T, FFT tap spectra).
-/// Weight packing is setup-time work outside the runtime cost model, as in
-/// deployment (weights ship pre-packed with the model).
+/// Primitives are *descriptors*; binding one to concrete weights is split
+/// into two phases so serving can pay the weight-side work exactly once:
+///
+///  - prepare(S, Weights) performs every weight re-packing or transformation
+///    (im2 kernel matrix flattening, Winograd U = G g G^T, FFT tap spectra,
+///    quantization tables, CSR compression) and returns an immutable
+///    PreparedKernel -- the artifact a CompiledNet ships with the model;
+///  - bind(S, Prepared) produces a lightweight ConvInstance referencing the
+///    shared PreparedKernel. Binding does no weight work, so any number of
+///    concurrent serving contexts can bind their own instances (instances
+///    may hold per-run scratch and are not reentrant; PreparedKernels are
+///    read-only and safe to share across threads).
+///
+/// instantiate(S, Weights) remains as the one-shot convenience:
+/// bind(S, prepare(S, Weights)).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -61,6 +71,19 @@ struct RunContext {
   /// Worker pool; nullptr or a 1-thread pool means single-threaded
   /// execution (the paper's (S) configuration).
   ThreadPool *Pool = nullptr;
+};
+
+/// The weight-side artifact of binding one primitive to one scenario:
+/// packed/transformed weights computed once by ConvPrimitive::prepare and
+/// shared, read-only, by every ConvInstance bound from it. Each family
+/// defines its own concrete subclass; callers treat it as opaque.
+class PreparedKernel {
+public:
+  virtual ~PreparedKernel();
+
+  /// Approximate bytes this artifact holds (packed weights, transformed
+  /// spectra, quantization tables); feeds compile-time reports.
+  virtual size_t bytes() const = 0;
 };
 
 /// A primitive bound to a concrete scenario with packed weights; ready to
@@ -123,11 +146,25 @@ public:
   /// Feeds the analytic cost model's cache-pressure term.
   virtual size_t workspaceBytes(const ConvScenario &S) const = 0;
 
-  /// Bind to a scenario + weights. Must only be called when supports(S).
-  /// Routines ignore S.Epi -- epilogues are applied by the shared applier
-  /// (instantiateWithEpilogue wraps the returned instance).
+  /// Phase 1: perform all weight-side work (layout packing, kernel
+  /// transforms, quantization tables) for \p S once. Must only be called
+  /// when supports(S). The result is immutable and thread-shareable.
+  virtual std::shared_ptr<const PreparedKernel>
+  prepare(const ConvScenario &S, const Kernel4D &Weights) const = 0;
+
+  /// Phase 2: bind a runnable instance to a kernel previously returned by
+  /// this primitive's prepare() for the same scenario (asserted). Cheap --
+  /// no weight work -- so per-request/per-thread contexts bind freely.
   virtual std::unique_ptr<ConvInstance>
-  instantiate(const ConvScenario &S, const Kernel4D &Weights) const = 0;
+  bind(const ConvScenario &S,
+       std::shared_ptr<const PreparedKernel> Prepared) const = 0;
+
+  /// One-shot convenience: bind(S, prepare(S, Weights)). Must only be
+  /// called when supports(S). Routines ignore S.Epi -- epilogues are
+  /// applied by the shared applier (instantiateWithEpilogue wraps the
+  /// returned instance).
+  std::unique_ptr<ConvInstance> instantiate(const ConvScenario &S,
+                                            const Kernel4D &Weights) const;
 };
 
 /// The one shared epilogue applier every primitive family goes through:
@@ -155,6 +192,22 @@ void fillEpilogueBias(float *Bias, int64_t Channels, uint64_t Seed);
 std::unique_ptr<ConvInstance>
 instantiateWithEpilogue(const ConvPrimitive &P, const ConvScenario &S,
                         const Kernel4D &Weights, uint64_t BiasSeed);
+
+/// The compile-time half of instantiateWithEpilogue: P.prepare(S, Weights).
+/// (The epilogue itself has no weight-side state beyond the bias stream,
+/// which bindWithEpilogue regenerates from \p BiasSeed at bind time.)
+std::shared_ptr<const PreparedKernel>
+prepareWithEpilogue(const ConvPrimitive &P, const ConvScenario &S,
+                    const Kernel4D &Weights);
+
+/// The run-time half: bind \p Prepared like P.bind(S, Prepared), then --
+/// when the scenario carries a fused epilogue -- wrap the instance so
+/// applyEpilogue runs over every output, exactly as instantiateWithEpilogue
+/// does. Bit-identical to the one-shot path by construction.
+std::unique_ptr<ConvInstance>
+bindWithEpilogue(const ConvPrimitive &P, const ConvScenario &S,
+                 std::shared_ptr<const PreparedKernel> Prepared,
+                 uint64_t BiasSeed);
 
 } // namespace primsel
 

@@ -63,7 +63,8 @@ float quantizeTensor(const Tensor3D &In, std::vector<int16_t> &Out) {
 }
 
 /// Weights quantized once at pack time, MCKK order, single tensor scale.
-struct QuantizedWeights {
+/// Doubles as the family's weight-side PreparedKernel artifact.
+struct QuantizedWeights : PreparedKernel {
   std::vector<int16_t> Values;
   float Scale = 1.0f;
 
@@ -76,6 +77,8 @@ struct QuantizedWeights {
     for (int64_t I = 0; I < W.size(); ++I)
       Values[static_cast<size_t>(I)] = quantizeValue(W.data()[I], Scale);
   }
+
+  size_t bytes() const override { return Values.size() * sizeof(int16_t); }
 };
 
 bool q16Supports(const ConvScenario &S) {
@@ -89,18 +92,19 @@ bool q16Supports(const ConvScenario &S) {
 
 class Q16DirectInstance : public ConvInstance {
 public:
-  Q16DirectInstance(const ConvScenario &S, const Kernel4D &W)
-      : S(S), Weights(S, W) {}
+  Q16DirectInstance(const ConvScenario &S,
+                    std::shared_ptr<const QuantizedWeights> W)
+      : S(S), Weights(std::move(W)) {}
 
   void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override {
     assert(In.layout() == Layout::CHW && Out.layout() == Layout::CHW &&
            "q16-direct operates on CHW tensors");
     float InScale = quantizeTensor(In, QIn);
-    float OutScale = InScale * Weights.Scale;
+    float OutScale = InScale * Weights->Scale;
     int64_t Ho = S.outHeight(), Wo = S.outWidth();
     int64_t Hp = S.H, Wp = S.W;
     const int16_t *X = QIn.data();
-    const int16_t *Wq = Weights.Values.data();
+    const int16_t *Wq = Weights->Values.data();
     float *Y = Out.data();
 
     auto RunFilter = [&](int64_t F) {
@@ -135,8 +139,8 @@ public:
 
 private:
   ConvScenario S;
-  QuantizedWeights Weights;
-  std::vector<int16_t> QIn;
+  std::shared_ptr<const QuantizedWeights> Weights;
+  std::vector<int16_t> QIn; ///< per-instance run scratch
 };
 
 class Q16DirectPrimitive : public ConvPrimitive {
@@ -151,9 +155,19 @@ public:
   size_t workspaceBytes(const ConvScenario &S) const override {
     return static_cast<size_t>(S.C * S.H * S.W) * sizeof(int16_t);
   }
+  std::shared_ptr<const PreparedKernel>
+  prepare(const ConvScenario &S, const Kernel4D &W) const override {
+    assert(supports(S) && "preparing unsupported scenario");
+    return std::make_shared<QuantizedWeights>(S, W);
+  }
   std::unique_ptr<ConvInstance>
-  instantiate(const ConvScenario &S, const Kernel4D &W) const override {
-    return std::make_unique<Q16DirectInstance>(S, W);
+  bind(const ConvScenario &S,
+       std::shared_ptr<const PreparedKernel> Prepared) const override {
+    assert(dynamic_cast<const QuantizedWeights *>(Prepared.get()) &&
+           "bind() requires a kernel from this primitive's prepare()");
+    return std::make_unique<Q16DirectInstance>(
+        S, std::static_pointer_cast<const QuantizedWeights>(
+               std::move(Prepared)));
   }
 };
 
@@ -161,11 +175,10 @@ public:
 // q16-im2row: integer patch matrix + integer GEMM over HWC
 //===----------------------------------------------------------------------===//
 
-class Q16Im2RowInstance : public ConvInstance {
-public:
-  Q16Im2RowInstance(const ConvScenario &S, const Kernel4D &W) : S(S) {
-    // Weights flattened to (K*K*C) x M with the patch-row index order, as
-    // in the float im2row over HWC.
+/// q16-im2row weight-side artifact: weights flattened to (K*K*C) x M with
+/// the patch-row index order, as in the float im2row over HWC.
+struct Q16Im2RowPrepared : PreparedKernel {
+  Q16Im2RowPrepared(const ConvScenario &S, const Kernel4D &W) {
     float MaxAbs = 0.0f;
     for (int64_t I = 0; I < W.size(); ++I)
       MaxAbs = std::max(MaxAbs, std::fabs(W.data()[I]));
@@ -180,11 +193,23 @@ public:
                 quantizeValue(W.at(F, C, Kr, Kc), WScale);
   }
 
+  size_t bytes() const override { return Wq.size() * sizeof(int16_t); }
+
+  std::vector<int16_t> Wq;
+  float WScale = 1.0f;
+};
+
+class Q16Im2RowInstance : public ConvInstance {
+public:
+  Q16Im2RowInstance(const ConvScenario &S,
+                    std::shared_ptr<const Q16Im2RowPrepared> PK)
+      : S(S), PK(std::move(PK)) {}
+
   void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override {
     assert(In.layout() == Layout::HWC && Out.layout() == Layout::HWC &&
            "q16-im2row operates on HWC tensors");
     float InScale = quantizeTensor(In, QIn);
-    float OutScale = InScale * WScale;
+    float OutScale = InScale * PK->WScale;
 
     // Integer patch matrix from the quantized (unpadded) input; padding is
     // handled by zero rows, which quantize to exactly zero.
@@ -217,7 +242,8 @@ public:
       for (int64_t F = 0; F < S.M; ++F) {
         int64_t Acc = 0;
         for (int64_t I = 0; I < PatchLen; ++I)
-          Acc += static_cast<int64_t>(A[I]) * Wq[static_cast<size_t>(I * S.M + F)];
+          Acc += static_cast<int64_t>(A[I]) *
+                 PK->Wq[static_cast<size_t>(I * S.M + F)];
         Y[P * S.M + F] = static_cast<float>(Acc) * OutScale;
       }
     };
@@ -230,10 +256,9 @@ public:
 
 private:
   ConvScenario S;
-  std::vector<int16_t> Wq;
-  float WScale = 1.0f;
-  std::vector<int16_t> QIn;
-  std::vector<int16_t> Patches;
+  std::shared_ptr<const Q16Im2RowPrepared> PK;
+  std::vector<int16_t> QIn;     ///< per-instance run scratch
+  std::vector<int16_t> Patches; ///< per-instance run scratch
 };
 
 class Q16Im2RowPrimitive : public ConvPrimitive {
@@ -251,9 +276,19 @@ public:
     size_t Input = static_cast<size_t>(S.C * S.H * S.W);
     return (Patch + Input) * sizeof(int16_t);
   }
+  std::shared_ptr<const PreparedKernel>
+  prepare(const ConvScenario &S, const Kernel4D &W) const override {
+    assert(supports(S) && "preparing unsupported scenario");
+    return std::make_shared<Q16Im2RowPrepared>(S, W);
+  }
   std::unique_ptr<ConvInstance>
-  instantiate(const ConvScenario &S, const Kernel4D &W) const override {
-    return std::make_unique<Q16Im2RowInstance>(S, W);
+  bind(const ConvScenario &S,
+       std::shared_ptr<const PreparedKernel> Prepared) const override {
+    assert(dynamic_cast<const Q16Im2RowPrepared *>(Prepared.get()) &&
+           "bind() requires a kernel from this primitive's prepare()");
+    return std::make_unique<Q16Im2RowInstance>(
+        S, std::static_pointer_cast<const Q16Im2RowPrepared>(
+               std::move(Prepared)));
   }
 };
 

@@ -50,11 +50,9 @@ struct CompressedKernel {
   std::vector<int64_t> RowBegin; ///< per-filter offsets, M + 1 entries
 };
 
-class SparseInstance : public ConvInstance {
-public:
-  SparseInstance(const SparseConfig &Cfg, const ConvScenario &S,
-                 const Kernel4D &Weights)
-      : Cfg(Cfg), S(S) {
+/// Weight-side artifact: the CSR-compressed kernel.
+struct SparsePrepared : PreparedKernel {
+  SparsePrepared(const ConvScenario &S, const Kernel4D &Weights) {
     // Compress: im2col wants flat position (c*K + kr)*K + kc to index the
     // patch matrix rows; direct wants the same tuple decomposed again, so
     // one flat encoding serves both.
@@ -72,6 +70,22 @@ public:
           }
       CK.RowBegin.push_back(static_cast<int64_t>(CK.Values.size()));
     }
+  }
+
+  size_t bytes() const override {
+    return CK.ColIndex.size() * sizeof(int32_t) +
+           CK.Values.size() * sizeof(float) +
+           CK.RowBegin.size() * sizeof(int64_t);
+  }
+
+  CompressedKernel CK;
+};
+
+class SparseInstance : public ConvInstance {
+public:
+  SparseInstance(const SparseConfig &Cfg, const ConvScenario &S,
+                 std::shared_ptr<const SparsePrepared> PK)
+      : Cfg(Cfg), S(S), PK(std::move(PK)) {
     if (Cfg.Im2Variant)
       Patches.reset(static_cast<size_t>(S.C * S.K * S.K * S.outHeight() *
                                         S.outWidth()));
@@ -82,12 +96,13 @@ public:
 private:
   SparseConfig Cfg;
   ConvScenario S;
-  CompressedKernel CK;
-  AlignedBuffer Patches;
+  std::shared_ptr<const SparsePrepared> PK;
+  AlignedBuffer Patches; ///< per-instance run scratch (im2 variant)
 };
 
 void SparseInstance::run(const Tensor3D &In, Tensor3D &Out,
                          const RunContext &Ctx) {
+  const CompressedKernel &CK = PK->CK;
   const int64_t Ho = S.outHeight(), Wo = S.outWidth();
   ThreadPool *Pool = Ctx.Pool;
 
@@ -218,10 +233,21 @@ public:
            S.outWidth() * sizeof(float);
   }
 
+  std::shared_ptr<const PreparedKernel>
+  prepare(const ConvScenario &S, const Kernel4D &Weights) const override {
+    assert(supports(S) && "preparing unsupported scenario");
+    return std::make_shared<SparsePrepared>(S, Weights);
+  }
+
   std::unique_ptr<ConvInstance>
-  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
-    assert(supports(S) && "instantiating unsupported scenario");
-    return std::make_unique<SparseInstance>(Cfg, S, Weights);
+  bind(const ConvScenario &S,
+       std::shared_ptr<const PreparedKernel> Prepared) const override {
+    assert(supports(S) && "binding unsupported scenario");
+    assert(dynamic_cast<const SparsePrepared *>(Prepared.get()) &&
+           "bind() requires a kernel from this primitive's prepare()");
+    return std::make_unique<SparseInstance>(
+        Cfg, S,
+        std::static_pointer_cast<const SparsePrepared>(std::move(Prepared)));
   }
 
 private:

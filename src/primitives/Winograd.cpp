@@ -97,47 +97,76 @@ Tensor3D makeWinogradInput(const Tensor3D &In, int64_t Pad, int64_t Hp,
   return P;
 }
 
+/// Weight-side artifact shared by both Winograd schedules: the Toom-Cook
+/// transform matrices and the transformed kernel U (U = G g G^T per
+/// frequency for 2D tiles, per kernel row for the 1D schedule).
+struct WinoPrepared : PreparedKernel {
+  WinoPrepared(const WinoConfig &Cfg, const ConvScenario &S,
+               const Kernel4D &Weights)
+      : T(generateWinograd(Cfg.M, Cfg.R)) {
+    const int64_t N = T.N, R = Cfg.R;
+    if (Cfg.TwoD) {
+      U.reset(static_cast<size_t>(N * N * S.M * S.C));
+      // U[freq][f][c] = (G g G^T)[i][j] for freq = i*N + j.
+      std::vector<float> Tmp(static_cast<size_t>(N * R));
+      for (int64_t F = 0; F < S.M; ++F)
+        for (int64_t Ch = 0; Ch < S.C; ++Ch) {
+          // Tmp = G (N x R) * g (R x R).
+          for (int64_t I = 0; I < N; ++I)
+            for (int64_t B = 0; B < R; ++B) {
+              float Acc = 0.0f;
+              for (int64_t A = 0; A < R; ++A)
+                Acc += T.G[I * R + A] * Weights.at(F, Ch, A, B);
+              Tmp[I * R + B] = Acc;
+            }
+          // u[i][j] = sum_b Tmp[i][b] * G[j][b].
+          for (int64_t I = 0; I < N; ++I)
+            for (int64_t J = 0; J < N; ++J) {
+              float Acc = 0.0f;
+              for (int64_t B = 0; B < R; ++B)
+                Acc += Tmp[I * R + B] * T.G[J * R + B];
+              U[((I * N + J) * S.M + F) * S.C + Ch] = Acc;
+            }
+        }
+    } else {
+      // U1[kr][freq][f][c] = (G g_row)[freq].
+      U.reset(static_cast<size_t>(R * N * S.M * S.C));
+      for (int64_t Kr = 0; Kr < R; ++Kr)
+        for (int64_t F = 0; F < S.M; ++F)
+          for (int64_t Ch = 0; Ch < S.C; ++Ch)
+            for (int64_t I = 0; I < N; ++I) {
+              float Acc = 0.0f;
+              for (int64_t A = 0; A < R; ++A)
+                Acc += T.G[I * R + A] * Weights.at(F, Ch, Kr, A);
+              U[((Kr * N + I) * S.M + F) * S.C + Ch] = Acc;
+            }
+    }
+  }
+
+  size_t bytes() const override { return U.size() * sizeof(float); }
+
+  WinogradTransform T;
+  AlignedBuffer U;
+};
+
 class Wino2DInstance : public ConvInstance {
 public:
   Wino2DInstance(const WinoConfig &Cfg, const ConvScenario &S,
-                 const Kernel4D &Weights)
-      : Cfg(Cfg), S(S), T(generateWinograd(Cfg.M, Cfg.R)) {
-    const int64_t N = T.N, R = Cfg.R;
-    U.reset(static_cast<size_t>(N * N * S.M * S.C));
-    // U[freq][f][c] = (G g G^T)[i][j] for freq = i*N + j.
-    std::vector<float> Tmp(static_cast<size_t>(N * R));
-    for (int64_t F = 0; F < S.M; ++F)
-      for (int64_t Ch = 0; Ch < S.C; ++Ch) {
-        // Tmp = G (N x R) * g (R x R).
-        for (int64_t I = 0; I < N; ++I)
-          for (int64_t B = 0; B < R; ++B) {
-            float Acc = 0.0f;
-            for (int64_t A = 0; A < R; ++A)
-              Acc += T.G[I * R + A] * Weights.at(F, Ch, A, B);
-            Tmp[I * R + B] = Acc;
-          }
-        // u[i][j] = sum_b Tmp[i][b] * G[j][b].
-        for (int64_t I = 0; I < N; ++I)
-          for (int64_t J = 0; J < N; ++J) {
-            float Acc = 0.0f;
-            for (int64_t B = 0; B < R; ++B)
-              Acc += Tmp[I * R + B] * T.G[J * R + B];
-            U[((I * N + J) * S.M + F) * S.C + Ch] = Acc;
-          }
-      }
-  }
+                 std::shared_ptr<const WinoPrepared> PK)
+      : Cfg(Cfg), S(S), PK(std::move(PK)) {}
 
   void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override;
 
 private:
   WinoConfig Cfg;
   ConvScenario S;
-  WinogradTransform T;
-  AlignedBuffer U;
+  std::shared_ptr<const WinoPrepared> PK;
 };
 
 void Wino2DInstance::run(const Tensor3D &In, Tensor3D &Out,
                          const RunContext &Ctx) {
+  const WinogradTransform &T = PK->T;
+  const AlignedBuffer &U = PK->U;
   const int64_t N = T.N, M2 = Cfg.M;
   const int64_t Ho = S.outHeight(), Wo = S.outWidth();
   const int64_t Th = ceilDiv(Ho, M2), Tw = ceilDiv(Wo, M2);
@@ -257,21 +286,8 @@ void Wino2DInstance::run(const Tensor3D &In, Tensor3D &Out,
 class Wino1DInstance : public ConvInstance {
 public:
   Wino1DInstance(const WinoConfig &Cfg, const ConvScenario &S,
-                 const Kernel4D &Weights)
-      : Cfg(Cfg), S(S), T(generateWinograd(Cfg.M, Cfg.R)) {
-    const int64_t N = T.N, R = Cfg.R;
-    // U1[kr][freq][f][c] = (G g_row)[freq].
-    U.reset(static_cast<size_t>(R * N * S.M * S.C));
-    for (int64_t Kr = 0; Kr < R; ++Kr)
-      for (int64_t F = 0; F < S.M; ++F)
-        for (int64_t Ch = 0; Ch < S.C; ++Ch)
-          for (int64_t I = 0; I < N; ++I) {
-            float Acc = 0.0f;
-            for (int64_t A = 0; A < R; ++A)
-              Acc += T.G[I * R + A] * Weights.at(F, Ch, Kr, A);
-            U[((Kr * N + I) * S.M + F) * S.C + Ch] = Acc;
-          }
-  }
+                 std::shared_ptr<const WinoPrepared> PK)
+      : Cfg(Cfg), S(S), PK(std::move(PK)) {}
 
   void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override;
 
@@ -281,13 +297,14 @@ private:
 
   WinoConfig Cfg;
   ConvScenario S;
-  WinogradTransform T;
-  AlignedBuffer U;
+  std::shared_ptr<const WinoPrepared> PK;
 };
 
 void Wino1DInstance::runRowRange(const float *PD, int64_t Hp, int64_t Wp,
                                  float *OD, int64_t RowBegin,
                                  int64_t RowEnd) const {
+  const WinogradTransform &T = PK->T;
+  const AlignedBuffer &U = PK->U;
   const int64_t N = T.N, M1 = Cfg.M, R = Cfg.R;
   const int64_t Ho = S.outHeight(), Wo = S.outWidth();
   const int64_t Tw = ceilDiv(Wo, M1);
@@ -403,12 +420,22 @@ public:
     return static_cast<size_t>(N) * (S.C + S.M) * Tw * sizeof(float);
   }
 
+  std::shared_ptr<const PreparedKernel>
+  prepare(const ConvScenario &S, const Kernel4D &Weights) const override {
+    assert(supports(S) && "preparing unsupported scenario");
+    return std::make_shared<WinoPrepared>(Cfg, S, Weights);
+  }
+
   std::unique_ptr<ConvInstance>
-  instantiate(const ConvScenario &S, const Kernel4D &Weights) const override {
-    assert(supports(S) && "instantiating unsupported scenario");
+  bind(const ConvScenario &S,
+       std::shared_ptr<const PreparedKernel> Prepared) const override {
+    assert(supports(S) && "binding unsupported scenario");
+    assert(dynamic_cast<const WinoPrepared *>(Prepared.get()) &&
+           "bind() requires a kernel from this primitive's prepare()");
+    auto PK = std::static_pointer_cast<const WinoPrepared>(std::move(Prepared));
     if (Cfg.TwoD)
-      return std::make_unique<Wino2DInstance>(Cfg, S, Weights);
-    return std::make_unique<Wino1DInstance>(Cfg, S, Weights);
+      return std::make_unique<Wino2DInstance>(Cfg, S, std::move(PK));
+    return std::make_unique<Wino1DInstance>(Cfg, S, std::move(PK));
   }
 
 private:

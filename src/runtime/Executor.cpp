@@ -1,23 +1,29 @@
 //===- runtime/Executor.cpp -----------------------------------------------===//
+//
+// The Executor facade: one CompiledNet (the compile phase) plus one
+// ExecutionContext (the run phase). All execution machinery lives in
+// engine/CompiledNet.cpp, so the one-shot path and the many-context
+// serving path are the same code.
+//
+//===----------------------------------------------------------------------===//
 
 #include "runtime/Executor.h"
 
-#include "runtime/LayerOps.h"
-
-#include "core/Legalizer.h"
-#include "gemm/Gemm.h"
-#include "support/Random.h"
-#include "support/Timer.h"
-#include "tensor/Transform.h"
-
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-#include <cstring>
-#include <limits>
-#include <mutex>
+#include "engine/CompiledNet.h"
 
 using namespace primsel;
+
+namespace {
+
+ExecutionContextOptions contextOptions(const ExecutorOptions &O) {
+  ExecutionContextOptions C;
+  C.Threads = O.Threads;
+  C.UseArena = O.UseArena;
+  C.ParallelBranches = O.ParallelBranches;
+  return C;
+}
+
+} // namespace
 
 Executor::Executor(const NetworkGraph &Net, const NetworkPlan &PlanIn,
                    const PrimitiveLibrary &Lib, unsigned Threads,
@@ -32,229 +38,42 @@ Executor::Executor(const NetworkGraph &Net, const NetworkPlan &PlanIn,
 Executor::Executor(const NetworkGraph &Net, const NetworkPlan &PlanIn,
                    const PrimitiveLibrary &Lib,
                    const ExecutorOptions &Options)
-    : Net(Net), Plan(PlanIn), Lib(Lib),
-      Program(ExecutionPlan::compile(Net, PlanIn, Lib)), Opts(Options),
-      MPlan(planMemory(Net, PlanIn, Program)) {
-  assert(isLegalized(Plan, Net) && "executor requires a legalized plan");
-  if (Opts.Threads > 1)
-    Pool = std::make_unique<ThreadPool>(Opts.Threads);
-  if (Opts.UseArena)
-    Arena.reset(MPlan.ArenaFloats);
+    : Opts(Options) {
+  CompileOptions COpts;
+  COpts.WeightSeed = Opts.WeightSeed;
+  Compiled = CompiledNet::build(Net, PlanIn, Lib, COpts);
+  Ctx = Compiled->newContext(contextOptions(Opts));
+}
 
-  Instances.resize(Net.numNodes());
-  FcWeights.resize(Net.numNodes());
-  Values.resize(MPlan.Values.size());
-
-  for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
-    const NetworkGraph::Node &Node = Net.node(N);
-    if (!isDummyKind(Node.L.Kind)) {
-      const ConvScenario &S = Node.Scenario;
-      // Depthwise filters carry a single input channel.
-      Kernel4D Weights(S.M, S.kernelChannels(), S.K);
-      // Deterministic per-node weights so any two plans over the same
-      // network compute the same function. Seeded by SeedId (= the node id
-      // on hand-built graphs) so a pass-rewritten graph draws each layer's
-      // weights from the same stream as its O0 original.
-      Weights.fillRandom(Opts.WeightSeed + Node.SeedId);
-      Weights.applySparsity(S.SparsityPct, Opts.WeightSeed + Node.SeedId + 1);
-      // The shared wrapper applies any fused epilogue over the routine's
-      // output; a no-op for epilogue-free scenarios.
-      Instances[N] = instantiateWithEpilogue(
-          Lib.get(Plan.ConvPrim[N]), S, Weights,
-          Opts.WeightSeed + Node.BiasSeedId);
-    } else if (Node.L.Kind == LayerKind::FullyConnected) {
-      const TensorShape &In = Net.node(Node.Inputs[0]).OutShape;
-      size_t Flat = static_cast<size_t>(In.elements());
-      FcWeights[N].reset(static_cast<size_t>(Node.L.OutChannels) * Flat);
-      fillRandom(FcWeights[N].data(), FcWeights[N].size(),
-                 Opts.WeightSeed + Node.SeedId);
-      // Scale down so deep nets do not overflow float range.
-      float Scale = 1.0f / std::sqrt(static_cast<float>(Flat));
-      for (size_t I = 0; I < FcWeights[N].size(); ++I)
-        FcWeights[N][I] *= Scale;
-    } else if (Node.L.Kind == LayerKind::Bias) {
-      // Standalone bias layer: the same deterministic stream the fused
-      // epilogue would draw (BiasSeedId == SeedId until a pass fuses it).
-      FcWeights[N].reset(static_cast<size_t>(Node.OutShape.C));
-      fillEpilogueBias(FcWeights[N].data(), Node.OutShape.C,
-                       Opts.WeightSeed + Node.BiasSeedId);
-    }
-  }
+Executor::Executor(std::shared_ptr<const CompiledNet> CompiledIn,
+                   const ExecutorOptions &Options)
+    : Opts(Options), Compiled(std::move(CompiledIn)) {
+  Opts.WeightSeed = Compiled->options().WeightSeed;
+  Ctx = Compiled->newContext(contextOptions(Opts));
 }
 
 Executor::~Executor() = default;
 
+RunResult Executor::run(const Tensor3D &Input) { return Ctx->run(Input); }
+
 const Tensor3D &Executor::outputOf(NetworkGraph::NodeId N) const {
-  assert((!Opts.UseArena ||
-          !MPlan.Values[MPlan.NodeValue[N]].inArena()) &&
-         "arena mode recycles non-output intermediates; outputOf is only "
-         "valid for network outputs");
-  return Values[MPlan.NodeValue[N]];
+  return Ctx->outputOf(N);
 }
 
 const Tensor3D &Executor::networkOutput() const {
-  std::vector<NetworkGraph::NodeId> Outs = Net.outputs();
-  assert(!Outs.empty() && "network without outputs");
-  return outputOf(Outs.front());
+  return Ctx->networkOutput();
 }
+
+const ExecutionPlan &Executor::plan() const { return Compiled->program(); }
+
+const MemoryPlan &Executor::memoryPlan() const {
+  return Compiled->memoryPlan();
+}
+
+size_t Executor::arenaBytes() const { return Ctx->arenaBytes(); }
 
 size_t Executor::peakIntermediateBytes() const {
+  const MemoryPlan &MPlan = Compiled->memoryPlan();
   return Opts.UseArena ? arenaBytes() + MPlan.persistentBytes()
                        : MPlan.BaselineBytes;
-}
-
-/// The tensor for value \p V: a view into the arena slot when the value is
-/// packed, a fresh owned allocation otherwise.
-Tensor3D Executor::makeValueTensor(ValueId V) {
-  const ValueInfo &VI = MPlan.Values[V];
-  if (Opts.UseArena && VI.inArena())
-    return Tensor3D(VI.Shape.C, VI.Shape.H, VI.Shape.W, VI.L,
-                    Arena.data() + VI.ArenaOffset);
-  return Tensor3D(VI.Shape.C, VI.Shape.H, VI.Shape.W, VI.L);
-}
-
-/// The tensor feeding input \p Index of \p Consumer, after any conversion
-/// chain.
-const Tensor3D &Executor::inputTensor(NetworkGraph::NodeId Consumer,
-                                      unsigned Index) {
-  return Values[MPlan.inputValue(Net, Consumer, Index)];
-}
-
-void Executor::runDummy(const NetworkGraph::Node &Node,
-                        NetworkGraph::NodeId N, Tensor3D &Out,
-                        ThreadPool *PrimPool) {
-  const Tensor3D &In = inputTensor(N, 0);
-
-  switch (Node.L.Kind) {
-  case LayerKind::ReLU:
-    reluOp(In, Out);
-    break;
-  case LayerKind::Bias:
-    biasOp(FcWeights[N].data(), In, Out);
-    break;
-  case LayerKind::Dropout:
-    identityOp(In, Out);
-    break;
-  case LayerKind::Softmax:
-    softmaxOp(In, Out);
-    break;
-  case LayerKind::MaxPool:
-  case LayerKind::AvgPool:
-    poolOp(Node.L.Kind == LayerKind::MaxPool, Node.L.KernelSize,
-           Node.L.Stride, Node.L.Pad, In, Out);
-    break;
-  case LayerKind::LRN:
-    lrnOp(In, Out);
-    break;
-  case LayerKind::Concat:
-  case LayerKind::Add: {
-    std::vector<const Tensor3D *> Parts;
-    for (unsigned I = 0; I < Node.Inputs.size(); ++I)
-      Parts.push_back(&inputTensor(N, I));
-    if (Node.L.Kind == LayerKind::Concat)
-      concatOp(Parts, Out);
-    else
-      addOp(Parts, Out);
-    break;
-  }
-  case LayerKind::GlobalAvgPool:
-    globalAvgPoolOp(In, Out);
-    break;
-  case LayerKind::FullyConnected:
-    fullyConnectedOp(FcWeights[N].data(), In, Out, PrimPool);
-    break;
-  case LayerKind::Input:
-  case LayerKind::Conv:
-  case LayerKind::DepthwiseConv:
-    assert(false && "not a dummy layer");
-    break;
-  }
-
-  // Fused activation on dummy absorbers (Add+ReLU, Pool+ReLU), applied in
-  // place by the same shared applier the conv wrapper uses.
-  if (Node.L.Epi != EpilogueKind::None)
-    applyEpilogue(Node.L.Epi, nullptr, Out);
-}
-
-void Executor::executeStep(unsigned StepIndex, const Tensor3D &Input,
-                           RunResult &R, ThreadPool *PrimPool) {
-  const ExecStep &Step = Program.steps()[StepIndex];
-  const NetworkGraph::Node &Node = Net.node(Step.Node);
-  switch (Step.K) {
-  case ExecStep::Kind::Input: {
-    assert(Input.layout() == Plan.OutLayout[Step.Node] &&
-           "network input must arrive in the canonical layout");
-    assert(Input.channels() == Node.OutShape.C &&
-           Input.height() == Node.OutShape.H &&
-           Input.width() == Node.OutShape.W && "input shape mismatch");
-    Tensor3D Copy = makeValueTensor(MPlan.Produced[StepIndex]);
-    std::memcpy(Copy.data(), Input.data(),
-                static_cast<size_t>(Input.size()) * sizeof(float));
-    Values[MPlan.Produced[StepIndex]] = std::move(Copy);
-    break;
-  }
-
-  case ExecStep::Kind::Transform: {
-    const Tensor3D &Src = Values[MPlan.TransformSrc[StepIndex]];
-    assert(Src.layout() == Step.From && "chain out of sync");
-    Tensor3D Dst = makeValueTensor(MPlan.Produced[StepIndex]);
-    Timer T;
-    runTransform(Src, Dst);
-    R.TransformMillis += T.millis();
-    Values[MPlan.Produced[StepIndex]] = std::move(Dst);
-    break;
-  }
-
-  case ExecStep::Kind::Conv: {
-    const Tensor3D &In = inputTensor(Step.Node, 0);
-    Tensor3D Out = makeValueTensor(MPlan.Produced[StepIndex]);
-    RunContext Ctx{PrimPool};
-    Timer T;
-    Instances[Step.Node]->run(In, Out, Ctx);
-    R.ConvMillis += T.millis();
-    Values[MPlan.Produced[StepIndex]] = std::move(Out);
-    break;
-  }
-
-  case ExecStep::Kind::Dummy: {
-    Tensor3D Out = makeValueTensor(MPlan.Produced[StepIndex]);
-    Timer T;
-    runDummy(Node, Step.Node, Out, PrimPool);
-    R.OtherMillis += T.millis();
-    Values[MPlan.Produced[StepIndex]] = std::move(Out);
-    break;
-  }
-  }
-}
-
-RunResult Executor::run(const Tensor3D &Input) {
-  RunResult R;
-  Timer Total;
-
-  // Levels in order; a level's steps only read values defined in earlier
-  // levels, so within a level any order -- including concurrent -- is
-  // valid, and the arena packing (level-granular lifetimes) stays sound.
-  bool Parallel = Opts.ParallelBranches && Pool && Pool->numThreads() > 1;
-  ThreadPool *PrimPool = Parallel ? nullptr : Pool.get();
-  if (!Parallel) {
-    for (const std::vector<unsigned> &Level : MPlan.Levels)
-      for (unsigned StepIndex : Level)
-        executeStep(StepIndex, Input, R, PrimPool);
-  } else {
-    std::mutex Merge;
-    for (const std::vector<unsigned> &Level : MPlan.Levels) {
-      Pool->parallelFor(0, static_cast<int64_t>(Level.size()),
-                        [&](int64_t I) {
-                          RunResult Local;
-                          executeStep(Level[static_cast<size_t>(I)], Input,
-                                      Local, nullptr);
-                          std::lock_guard<std::mutex> Lock(Merge);
-                          R.ConvMillis += Local.ConvMillis;
-                          R.TransformMillis += Local.TransformMillis;
-                          R.OtherMillis += Local.OtherMillis;
-                        });
-    }
-  }
-  R.TotalMillis = Total.millis();
-  return R;
 }

@@ -13,6 +13,13 @@
 /// is how whole-network correctness is verified (a PBQP-instantiated
 /// network must produce the sum2d network's output).
 ///
+/// Since the compile/run split the Executor is a facade over the serving
+/// stack's two-phase machinery (engine/CompiledNet.h): construction builds
+/// a private CompiledNet (weight generation, prepare-time kernel packing,
+/// memory planning) plus one ExecutionContext, and run() delegates to the
+/// context -- so the one-shot Executor and a many-context serving setup
+/// share a single execution path and are bit-identical by construction.
+///
 /// The executor always runs the MemoryPlanner's level schedule (levels in
 /// order; steps within a level are independent). Two serving-oriented
 /// options build on that:
@@ -41,6 +48,9 @@
 
 namespace primsel {
 
+class CompiledNet;
+class ExecutionContext;
+
 /// Per-run timing breakdown.
 struct RunResult {
   double TotalMillis = 0.0;
@@ -68,9 +78,11 @@ struct ExecutorOptions {
   bool ParallelBranches = false;
 };
 
-/// Interprets an ExecutionPlan. Construction performs all setup-time work
-/// (weight generation, primitive instantiation/packing, memory planning and
-/// arena allocation); run() performs and times one forward pass.
+/// One-shot facade over the compile/run split: construction compiles a
+/// private CompiledNet (weight generation, primitive prepare/packing,
+/// memory planning) and opens one ExecutionContext (arena allocation,
+/// instance binding); run() performs and times one forward pass on that
+/// context.
 class Executor {
 public:
   /// \param Threads 1 reproduces the paper's single-threaded rows; more
@@ -80,6 +92,11 @@ public:
            uint64_t WeightSeed = 7);
   Executor(const NetworkGraph &Net, const NetworkPlan &Plan,
            const PrimitiveLibrary &Lib, const ExecutorOptions &Options);
+  /// Open a one-shot view over an already-compiled artifact (no weight
+  /// work happens here; Options.WeightSeed is ignored -- the artifact's
+  /// baked-in seed governs).
+  Executor(std::shared_ptr<const CompiledNet> Compiled,
+           const ExecutorOptions &Options);
   ~Executor();
 
   /// One forward pass. \p Input must be CHW with the input layer's shape.
@@ -93,42 +110,27 @@ public:
   /// Output tensor of the network's (first) output node.
   const Tensor3D &networkOutput() const;
 
-  const ExecutionPlan &plan() const { return Program; }
-  const MemoryPlan &memoryPlan() const { return MPlan; }
+  const ExecutionPlan &plan() const;
+  const MemoryPlan &memoryPlan() const;
   const ExecutorOptions &options() const { return Opts; }
 
+  /// The underlying immutable artifact; share it to serve the same
+  /// instantiation from additional contexts/threads.
+  const std::shared_ptr<const CompiledNet> &compiled() const {
+    return Compiled;
+  }
+
   /// Bytes of the arena backing intermediates (0 when UseArena is off).
-  size_t arenaBytes() const { return Arena.size() * sizeof(float); }
+  size_t arenaBytes() const;
   /// Peak intermediate footprint of this configuration: the arena extent
   /// plus persistent outputs in arena mode, every value's allocation
   /// otherwise.
   size_t peakIntermediateBytes() const;
 
 private:
-  void executeStep(unsigned StepIndex, const Tensor3D &Input, RunResult &R,
-                   ThreadPool *PrimPool);
-  void runDummy(const NetworkGraph::Node &Node, NetworkGraph::NodeId N,
-                Tensor3D &Out, ThreadPool *PrimPool);
-  Tensor3D makeValueTensor(ValueId V);
-  const Tensor3D &inputTensor(NetworkGraph::NodeId Consumer, unsigned Index);
-
-  const NetworkGraph &Net;
-  NetworkPlan Plan;
-  const PrimitiveLibrary &Lib;
-  ExecutionPlan Program;
   ExecutorOptions Opts;
-  MemoryPlan MPlan;
-  std::unique_ptr<ThreadPool> Pool;
-
-  /// Conv instances, indexed by node.
-  std::vector<std::unique_ptr<ConvInstance>> Instances;
-  /// Fully-connected weight matrices and standalone bias vectors, indexed
-  /// by node.
-  std::vector<AlignedBuffer> FcWeights;
-  /// Backing storage for arena-packed values (UseArena only).
-  AlignedBuffer Arena;
-  /// Per-run tensors, indexed by ValueId (node outputs and chain hops).
-  std::vector<Tensor3D> Values;
+  std::shared_ptr<const CompiledNet> Compiled;
+  std::unique_ptr<ExecutionContext> Ctx;
 };
 
 } // namespace primsel

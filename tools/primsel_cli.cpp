@@ -28,11 +28,23 @@
 //   primsel-cli warm <model-or-file> --plan-cache DIR [...]
 //       Solve once and persist the plan, so later serve/optimize runs
 //       pointed at DIR skip the PBQP solve.
-//   primsel-cli serve <model-or-file> [--requests N] [--parallel]
-//       [--no-arena] [--plan-cache DIR] [...]
-//       Acquire a plan (cache hit or fresh solve), instantiate the
-//       memory-planned executor, run N requests, report latency,
-//       throughput, and arena/cache statistics.
+//   primsel-cli compile <model-or-file> [--plan-cache DIR] [...]
+//       Compile-once entry point: optimize in serving mode (weight
+//       transforms amortized out of the per-inference costs), build the
+//       CompiledNet artifact -- weights generated, kernels packed and
+//       transformed -- and report the prepare-time work requests no
+//       longer pay.
+//   primsel-cli serve <model-or-file> [--compiled] [--requests N]
+//       [--threads N] [--parallel] [--no-arena] [--plan-cache DIR] [...]
+//       Acquire a plan (cache hit or fresh solve), run N requests, report
+//       mean/p50/p95/p99 latency, throughput, and arena/cache statistics.
+//       With --compiled, the network is compiled once and served from
+//       per-thread ExecutionContexts (--threads concurrent workers over
+//       one CompiledNet); without it, every request still pays the
+//       executor's per-process instantiation once at startup.
+//
+// --amortize switches optimize/warm/serve to the serving-mode cost split
+// (per-inference PBQP costs); 'compile' and 'serve --compiled' imply it.
 //
 // <model-or-file> is a model-zoo name (see 'models') or a path to a
 // network description in the nn/NetParser.h text format.
@@ -61,6 +73,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace primsel;
@@ -82,6 +95,11 @@ struct CliOptions {
   unsigned Requests = 8;
   bool Parallel = false;
   bool NoArena = false;
+  /// serve: compile once and serve from per-thread ExecutionContexts.
+  bool Compiled = false;
+  /// Serving-mode cost split (EngineOptions.AmortizeWeightTransforms);
+  /// implied by 'compile' and 'serve --compiled'.
+  bool Amortize = false;
   /// Graph-transform passes (-O0 = none, -O1 = the default pipeline,
   /// --passes = an explicit list). Names are validated in main() so
   /// unknown passes exit 2 with usage.
@@ -109,18 +127,27 @@ std::vector<std::string> splitPassList(const std::string &S) {
   return Out;
 }
 
-/// Parse a strictly-numeric thread count in [1, 1024]; the value feeds
-/// ThreadPool construction, so garbage or huge values must be refused, not
-/// cast.
-bool parseThreads(const std::string &Val, unsigned &Out) {
+/// Parse a strictly-numeric count in [1, Max]; garbage or out-of-range
+/// values must be refused, not cast.
+bool parseCount(const std::string &Val, unsigned &Out, unsigned long Max) {
   if (Val.empty() || Val.find_first_not_of("0123456789") != std::string::npos)
     return false;
-  long Threads = std::strtol(Val.c_str(), nullptr, 10);
-  if (Threads < 1 || Threads > 1024)
+  // strtoul saturates on overflow, which the range check below rejects.
+  unsigned long Count = std::strtoul(Val.c_str(), nullptr, 10);
+  if (Count < 1 || Count > Max)
     return false;
-  Out = static_cast<unsigned>(Threads);
+  Out = static_cast<unsigned>(Count);
   return true;
 }
+
+/// Thread counts feed ThreadPool construction: cap at 1024.
+bool parseThreads(const std::string &Val, unsigned &Out) {
+  return parseCount(Val, Out, 1024);
+}
+
+/// Serving request counts size a latency vector (8 bytes per request), so
+/// the cap is generosity, not safety: 100M requests ~ 800 MiB of samples.
+constexpr unsigned long MaxRequests = 100000000;
 
 int usage(const char *Argv0) {
   std::fprintf(
@@ -137,12 +164,17 @@ int usage(const char *Argv0) {
       "  dump-pbqp <model-or-file> [--scale S] [-O0|-O1]\n"
       "  warm <model-or-file> --plan-cache DIR [--scale S] [--threads N]\n"
       "           [--measured] [--arm] [--costs PATH] [--solver NAME]\n"
-      "           [-O0|-O1] [--passes LIST]\n"
-      "  serve <model-or-file> [--requests N] [--threads N] [--parallel]\n"
-      "           [--no-arena] [--plan-cache DIR] [--scale S] [--arm]\n"
+      "           [-O0|-O1] [--passes LIST] [--amortize]\n"
+      "  compile <model-or-file> [--plan-cache DIR] [--scale S] [--arm]\n"
       "           [--solver NAME] [-O0|-O1] [--passes LIST]\n"
+      "  serve <model-or-file> [--compiled] [--requests N] [--threads N]\n"
+      "           [--parallel] [--no-arena] [--plan-cache DIR] [--scale S]\n"
+      "           [--arm] [--solver NAME] [-O0|-O1] [--passes LIST]\n"
+      "           [--amortize]\n"
       "-O0 runs no graph-transform passes (default); -O1 runs the default\n"
-      "pipeline; --passes LIST runs a comma-separated list (see docs/cli.md).\n",
+      "pipeline; --passes LIST runs a comma-separated list (see docs/cli.md).\n"
+      "--amortize prices selection on per-inference costs (weight\n"
+      "transforms amortized); 'compile' and 'serve --compiled' imply it.\n",
       Argv0);
   return 2;
 }
@@ -204,13 +236,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     else if (Arg == "--plan-cache" && Next(Val))
       Opts.PlanCacheDir = Val;
     else if (Arg == "--requests" && Next(Val)) {
-      // Same strictness as --threads: this sizes a serving loop.
+      // Same strictness as --threads, but steady-state serving runs are
+      // the point of the compiled path, so the cap is far higher.
       unsigned Requests = 0;
-      if (!parseThreads(Val, Requests)) {
+      if (!parseCount(Val, Requests, MaxRequests)) {
         std::fprintf(stderr,
-                     "error: --requests expects an integer in [1, 1024], "
+                     "error: --requests expects an integer in [1, %lu], "
                      "got '%s'\n",
-                     Val.c_str());
+                     MaxRequests, Val.c_str());
         return false;
       }
       Opts.Requests = Requests;
@@ -219,6 +252,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Parallel = true;
     else if (Arg == "--no-arena" && !HasInline)
       Opts.NoArena = true;
+    else if (Arg == "--compiled" && !HasInline)
+      Opts.Compiled = true;
+    else if (Arg == "--amortize" && !HasInline)
+      Opts.Amortize = true;
     else if (Arg == "-O0" && !HasInline)
       Opts.Passes.clear();
     else if (Arg == "-O1" && !HasInline)
@@ -282,6 +319,15 @@ std::optional<NetworkGraph> resolveNetwork(const std::string &Target,
   return std::move(R.Net);
 }
 
+/// True when the command runs selection on serving-mode (amortized)
+/// per-inference costs: the explicit flag, the compile command, and the
+/// compiled serving path (which exists to hoist the weight transforms, so
+/// pricing them per-request would be self-defeating).
+bool amortizeActive(const CliOptions &Opts) {
+  return Opts.Amortize || Opts.Command == "compile" ||
+         (Opts.Command == "serve" && Opts.Compiled);
+}
+
 /// The engine configuration the CLI options describe.
 EngineOptions engineOptions(const CliOptions &Opts) {
   EngineOptions EOpts;
@@ -292,7 +338,45 @@ EngineOptions engineOptions(const CliOptions &Opts) {
   EOpts.ParallelPrepopulate = !Opts.Measured;
   EOpts.PlanCacheDir = Opts.PlanCacheDir;
   EOpts.Passes = Opts.Passes;
+  EOpts.AmortizeWeightTransforms = amortizeActive(Opts);
   return EOpts;
+}
+
+/// One-line serving-cost report for amortized-mode runs.
+void printServingCost(const SelectionResult &R) {
+  if (R.ModelledPerRunMs == 0.0 && R.ModelledPrepareMs == 0.0)
+    return;
+  std::printf("# serving cost: %.3f ms/inference steady state + %.3f ms "
+              "one-time weight prepare\n",
+              R.ModelledPerRunMs, R.ModelledPrepareMs);
+}
+
+/// Latency percentile over a sample vector (sorted in place).
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Index = static_cast<size_t>(P * (Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Index, Sorted.size() - 1)];
+}
+
+/// The shared per-request latency summary of both serving paths.
+void printLatencySummary(std::vector<double> &LatenciesMs, double WallMillis,
+                         unsigned Workers) {
+  std::sort(LatenciesMs.begin(), LatenciesMs.end());
+  double Total = 0.0;
+  for (double L : LatenciesMs)
+    Total += L;
+  size_t N = LatenciesMs.size();
+  double Mean = N ? Total / N : 0.0;
+  std::printf("# served %zu requests on %u worker%s in %.1f ms: %.1f "
+              "inferences/sec\n",
+              N, Workers, Workers == 1 ? "" : "s", WallMillis,
+              WallMillis > 0.0 ? 1000.0 * N / WallMillis : 0.0);
+  std::printf("# latency: mean %.3f ms, p50 %.3f ms, p95 %.3f ms, p99 "
+              "%.3f ms, best %.3f ms, worst %.3f ms\n",
+              Mean, percentile(LatenciesMs, 0.50),
+              percentile(LatenciesMs, 0.95), percentile(LatenciesMs, 0.99),
+              N ? LatenciesMs.front() : 0.0, N ? LatenciesMs.back() : 0.0);
 }
 
 /// One-line pass-pipeline report for optimize/warm/serve.
@@ -431,6 +515,7 @@ int cmdOptimize(const CliOptions &Opts) {
               R.SolveMillis, R.Solver.ProvablyOptimal ? "yes" : "no",
               R.PlanCacheHit ? " (plan-cache hit)" : "");
   printPassStats(R);
+  printServingCost(R);
   printPlanCacheStats(Eng);
   std::printf("# solver %s: R0=%u RI=%u RII=%u RN=%u core=%u visited=%llu "
               "pruned=%llu\n",
@@ -544,6 +629,7 @@ int cmdWarm(const CliOptions &Opts) {
                              : "warmed: solved and cached",
               Millis, R.BuildMillis, R.SolveMillis);
   printPassStats(R);
+  printServingCost(R);
   std::printf("# key %s\n", Key.combined().c_str());
   std::printf("# file %s/%s\n", Opts.PlanCacheDir.c_str(),
               Key.fileName().c_str());
@@ -551,6 +637,120 @@ int cmdWarm(const CliOptions &Opts) {
   if (Measured && !Opts.CostsPath.empty() &&
       Measured->database().save(Opts.CostsPath))
     std::fprintf(stderr, "saved cost table %s\n", Opts.CostsPath.c_str());
+  return 0;
+}
+
+int cmdCompile(const CliOptions &Opts) {
+  std::optional<NetworkGraph> Net = resolveNetwork(Opts.Target, Opts.Scale);
+  if (!Net)
+    return 1;
+  if (!checkSolver(Opts))
+    return 1;
+  PrimitiveLibrary Lib = buildFullLibrary();
+  std::unique_ptr<CostProvider> Owned = makeCosts(Opts, Lib, nullptr, 1);
+  Engine Eng(Lib, *Owned, engineOptions(Opts));
+  if (!checkBruteSpace(Eng, *Net))
+    return 1;
+
+  Timer PlanTimer;
+  SelectionResult R = Eng.optimize(*Net);
+  double PlanMillis = PlanTimer.millis();
+  if (R.Plan.empty()) {
+    std::fprintf(stderr, "error: selection failed\n");
+    return 1;
+  }
+  Timer CompileTimer;
+  std::shared_ptr<const CompiledNet> CN = Eng.compile(*Net, R);
+  double CompileMillis = CompileTimer.millis();
+  if (!CN) {
+    std::fprintf(stderr, "error: compilation failed\n");
+    return 1;
+  }
+
+  std::printf("# %s: plan %s in %.2f ms (amortized per-inference costs)\n",
+              Net->name().c_str(),
+              R.PlanCacheHit ? "served from cache" : "solved cold",
+              PlanMillis);
+  printPassStats(R);
+  printServingCost(R);
+  printPlanCacheStats(Eng);
+  const MemoryPlan &MP = CN->memoryPlan();
+  std::printf("# compiled: %u prepared kernels (%.2f MiB packed weights) "
+              "in %.2f ms (prepare %.2f ms) -- one-time work hoisted out "
+              "of the request path\n",
+              CN->numPreparedKernels(),
+              static_cast<double>(CN->preparedBytes()) / (1024.0 * 1024.0),
+              CompileMillis, CN->prepareMillis());
+  std::printf("# artifact: %u steps, %zu values, %zu levels, arena "
+              "template %.2f MiB\n",
+              static_cast<unsigned>(CN->program().steps().size()),
+              MP.Values.size(), MP.Levels.size(),
+              static_cast<double>(MP.arenaBytes()) / (1024.0 * 1024.0));
+  const NetworkGraph &ExecNet = CN->graph();
+  for (NetworkGraph::NodeId N : ExecNet.convNodes())
+    std::printf("%-24s %s\n", ExecNet.node(N).L.Name.c_str(),
+                Lib.get(CN->plan().ConvPrim[N]).name().c_str());
+  return 0;
+}
+
+/// serve --compiled: one CompiledNet, --threads concurrent worker threads,
+/// each serving requests from its own ExecutionContext.
+int serveCompiled(const CliOptions &Opts, Engine &Eng,
+                  const NetworkGraph &Net, const SelectionResult &R) {
+  Timer CompileTimer;
+  std::shared_ptr<const CompiledNet> CN = Eng.compile(Net, R);
+  double CompileMillis = CompileTimer.millis();
+  if (!CN) {
+    std::fprintf(stderr, "error: compilation failed\n");
+    return 1;
+  }
+  std::printf("# compiled once in %.2f ms (prepare %.2f ms, %u kernels, "
+              "%.2f MiB packed weights)\n",
+              CompileMillis, CN->prepareMillis(), CN->numPreparedKernels(),
+              static_cast<double>(CN->preparedBytes()) / (1024.0 * 1024.0));
+
+  ExecutionContextOptions CtxOpts;
+  CtxOpts.UseArena = !Opts.NoArena;
+  // --parallel gives each worker's context a 2-wide pool for concurrent
+  // branches; the worker threads themselves provide the request-level
+  // concurrency.
+  CtxOpts.Threads = Opts.Parallel ? 2 : 1;
+  CtxOpts.ParallelBranches = Opts.Parallel;
+
+  unsigned Workers = std::max(1u, Opts.Threads);
+  const TensorShape &Sh = CN->graph().node(0).OutShape;
+  Tensor3D Input(Sh.C, Sh.H, Sh.W, Layout::CHW);
+  Input.fillRandom(11);
+
+  std::printf("# serving: %u worker threads x own ExecutionContext (%s%s), "
+              "one shared CompiledNet\n",
+              Workers, CtxOpts.UseArena ? "arena" : "per-layer allocation",
+              CtxOpts.ParallelBranches ? ", parallel branches" : "");
+
+  std::vector<std::vector<double>> PerWorker(Workers);
+  Timer Wall;
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned W = 0; W < Workers; ++W) {
+      unsigned Share = Opts.Requests / Workers +
+                       (W < Opts.Requests % Workers ? 1 : 0);
+      Threads.emplace_back([&, W, Share] {
+        std::unique_ptr<ExecutionContext> Ctx = CN->newContext(CtxOpts);
+        PerWorker[W].reserve(Share);
+        for (unsigned I = 0; I < Share; ++I)
+          PerWorker[W].push_back(Ctx->run(Input).TotalMillis);
+      });
+    }
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  double WallMillis = Wall.millis();
+
+  std::vector<double> Latencies;
+  Latencies.reserve(Opts.Requests);
+  for (std::vector<double> &W : PerWorker)
+    Latencies.insert(Latencies.end(), W.begin(), W.end());
+  printLatencySummary(Latencies, WallMillis, Workers);
   return 0;
 }
 
@@ -568,8 +768,8 @@ int cmdServe(const CliOptions &Opts) {
   if (!checkBruteSpace(Eng, *Net))
     return 1;
 
-  // Plan acquisition: a warm cache (from a previous 'warm' run or an
-  // earlier request in this process) skips the whole solve.
+  // Plan acquisition: a warm cache (from a previous 'warm'/'compile' run
+  // or an earlier request in this process) skips the whole solve.
   Timer PlanTimer;
   SelectionResult R = Eng.optimize(*Net);
   double PlanMillis = PlanTimer.millis();
@@ -582,7 +782,11 @@ int cmdServe(const CliOptions &Opts) {
               R.PlanCacheHit ? "served from cache" : "solved cold",
               PlanMillis, R.ModelledCostMs);
   printPassStats(R);
+  printServingCost(R);
   printPlanCacheStats(Eng);
+
+  if (Opts.Compiled)
+    return serveCompiled(Opts, Eng, *Net, R);
 
   ExecutorOptions XOpts;
   XOpts.Threads = Opts.Threads;
@@ -608,18 +812,12 @@ int cmdServe(const CliOptions &Opts) {
   const TensorShape &Sh = Net->node(0).OutShape;
   Tensor3D Input(Sh.C, Sh.H, Sh.W, Layout::CHW);
   Input.fillRandom(11);
-  double TotalMillis = 0.0, BestMillis = 0.0;
-  for (unsigned I = 0; I < Opts.Requests; ++I) {
-    RunResult Run = Exec->run(Input);
-    TotalMillis += Run.TotalMillis;
-    BestMillis = I == 0 ? Run.TotalMillis
-                        : std::min(BestMillis, Run.TotalMillis);
-  }
-  double Mean = TotalMillis / Opts.Requests;
-  std::printf("# served %u requests: mean %.3f ms, best %.3f ms, %.1f "
-              "inferences/sec\n",
-              Opts.Requests, Mean, BestMillis,
-              Mean > 0.0 ? 1000.0 / Mean : 0.0);
+  std::vector<double> Latencies;
+  Latencies.reserve(Opts.Requests);
+  Timer Wall;
+  for (unsigned I = 0; I < Opts.Requests; ++I)
+    Latencies.push_back(Exec->run(Input).TotalMillis);
+  printLatencySummary(Latencies, Wall.millis(), 1);
   return 0;
 }
 
@@ -642,7 +840,8 @@ int cmdDumpPbqp(const CliOptions &Opts) {
 /// True if \p Command is one of the commands that needs a <model-or-file>.
 bool requiresTarget(const std::string &Command) {
   return Command == "optimize" || Command == "codegen" ||
-         Command == "dump-pbqp" || Command == "warm" || Command == "serve";
+         Command == "dump-pbqp" || Command == "warm" ||
+         Command == "compile" || Command == "serve";
 }
 
 bool isKnownCommand(const std::string &Command) {
@@ -702,5 +901,7 @@ int main(int argc, char **argv) {
     return cmdDumpPbqp(Opts);
   if (Opts.Command == "warm")
     return cmdWarm(Opts);
+  if (Opts.Command == "compile")
+    return cmdCompile(Opts);
   return cmdServe(Opts);
 }
