@@ -36,8 +36,14 @@ double primsel::modelPlanCost(const NetworkPlan &Plan,
   double Total = 0.0;
   for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
     const NetworkGraph::Node &Node = Net.node(N);
+    // A plan without a thread axis carries no per-node worker decision:
+    // the provider's own configured thread count applies (legacy calls),
+    // not an explicit count of 1.
     if (!isDummyKind(Node.L.Kind))
-      Total += Costs.convCost(Node.Scenario, Plan.ConvPrim[N]);
+      Total += Plan.ConvThreads.empty()
+                   ? Costs.convCost(Node.Scenario, Plan.ConvPrim[N])
+                   : Costs.convCostAt(Node.Scenario, Plan.ConvPrim[N],
+                                      Plan.convThreads(N));
   }
   for (const auto &[Edge, Chain] : Plan.Chains) {
     assert(Chain.size() >= 2 && "degenerate legalization chain");
@@ -59,7 +65,11 @@ CostBreakdown primsel::modelPlanCostBreakdown(const NetworkPlan &Plan,
     const NetworkGraph::Node &Node = Net.node(N);
     if (isDummyKind(Node.L.Kind))
       continue;
-    CostBreakdown B = Costs.convCostBreakdown(Node.Scenario, Plan.ConvPrim[N]);
+    CostBreakdown B =
+        Plan.ConvThreads.empty()
+            ? Costs.convCostBreakdown(Node.Scenario, Plan.ConvPrim[N])
+            : Costs.convCostBreakdownAt(Node.Scenario, Plan.ConvPrim[N],
+                                        Plan.convThreads(N));
     Total.PerRunMs += B.PerRunMs;
     Total.AmortizedMs += B.AmortizedMs;
   }

@@ -2,6 +2,7 @@
 
 #include "core/PBQPBuilder.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace primsel;
@@ -29,10 +30,25 @@ Layout altOutLayout(const PBQPFormulation &F, const PrimitiveLibrary &Lib,
 PBQPFormulation primsel::buildPBQP(const NetworkGraph &Net,
                                    const PrimitiveLibrary &Lib,
                                    CostProvider &Costs, DTTableCache &Tables,
-                                   bool AmortizeWeightTransforms) {
+                                   bool AmortizeWeightTransforms,
+                                   const std::vector<unsigned> &ThreadCandidates) {
   PBQPFormulation F;
   F.ConvAlternatives.resize(Net.numNodes());
+  F.ConvAltThreads.resize(Net.numNodes());
   F.LayoutAlternatives.resize(Net.numNodes());
+
+  // The thread axis of the alternative space; {1} keeps the historical
+  // single-threaded formulation bit-for-bit (convCostAt(S, Id, 1) defaults
+  // to convCost(S, Id) in every provider).
+  std::vector<unsigned> ThreadAxis = ThreadCandidates;
+  if (ThreadAxis.empty())
+    ThreadAxis.push_back(1);
+  for (unsigned &T : ThreadAxis)
+    T = std::max(T, 1u);
+  // The default axis asks the provider through the legacy entry points:
+  // an explicit count of 1 is not the same query as "no thread decision"
+  // for providers configured to model a fixed multi-threaded machine.
+  bool DefaultAxis = ThreadAxis.size() == 1 && ThreadAxis[0] == 1;
 
   // Nodes: cost vectors over alternatives. Both costed kinds (Conv and
   // DepthwiseConv) draw their alternatives from the library; the supporting
@@ -40,16 +56,35 @@ PBQPFormulation primsel::buildPBQP(const NetworkGraph &Net,
   for (NetworkGraph::NodeId N = 0; N < Net.numNodes(); ++N) {
     const NetworkGraph::Node &Node = Net.node(N);
     if (!isDummyKind(Node.L.Kind)) {
-      std::vector<PrimitiveId> Alts = Lib.supporting(Node.Scenario);
-      assert(!Alts.empty() &&
+      std::vector<PrimitiveId> Prims = Lib.supporting(Node.Scenario);
+      assert(!Prims.empty() &&
              "no primitive supports a conv scenario (the reference "
              "routines should)");
-      pbqp::CostVector V(static_cast<unsigned>(Alts.size()));
-      for (unsigned I = 0; I < Alts.size(); ++I)
-        V[I] = AmortizeWeightTransforms
-                   ? Costs.convServingCost(Node.Scenario, Alts[I])
-                   : Costs.convCost(Node.Scenario, Alts[I]);
+      // (primitive, threads) cross product, thread-major: the layout-side
+      // helpers below index ConvAlternatives[N][Alt] directly, so the
+      // repeated primitive entries keep them correct with no thread logic.
+      std::vector<PrimitiveId> Alts;
+      std::vector<unsigned> AltThreads;
+      Alts.reserve(Prims.size() * ThreadAxis.size());
+      AltThreads.reserve(Prims.size() * ThreadAxis.size());
+      pbqp::CostVector V(
+          static_cast<unsigned>(Prims.size() * ThreadAxis.size()));
+      unsigned I = 0;
+      for (unsigned T : ThreadAxis)
+        for (PrimitiveId Id : Prims) {
+          if (DefaultAxis)
+            V[I++] = AmortizeWeightTransforms
+                         ? Costs.convServingCost(Node.Scenario, Id)
+                         : Costs.convCost(Node.Scenario, Id);
+          else
+            V[I++] = AmortizeWeightTransforms
+                         ? Costs.convServingCostAt(Node.Scenario, Id, T)
+                         : Costs.convCostAt(Node.Scenario, Id, T);
+          Alts.push_back(Id);
+          AltThreads.push_back(T);
+        }
       F.ConvAlternatives[N] = std::move(Alts);
+      F.ConvAltThreads[N] = std::move(AltThreads);
       pbqp::NodeId Id = F.G.addNode(std::move(V));
       (void)Id;
       assert(Id == N && "PBQP ids must mirror network ids");

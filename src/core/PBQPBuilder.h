@@ -34,8 +34,15 @@ namespace primsel {
 struct PBQPFormulation {
   pbqp::Graph G;
   /// Per network node (same index as PBQP node): the primitive behind each
-  /// alternative, for Conv nodes.
+  /// alternative, for Conv nodes. With thread candidates, a conv node's
+  /// alternatives are (primitive, threads) pairs: the primitive list is
+  /// repeated once per candidate, with ConvAltThreads carrying the thread
+  /// half of the pair at the same index.
   std::vector<std::vector<PrimitiveId>> ConvAlternatives;
+  /// Per network node: the intra-op worker count behind each alternative,
+  /// parallel to ConvAlternatives (all-ones when the thread dimension is
+  /// off).
+  std::vector<std::vector<unsigned>> ConvAltThreads;
   /// Per network node: the layout behind each alternative, for non-Conv
   /// nodes.
   std::vector<std::vector<Layout>> LayoutAlternatives;
@@ -48,9 +55,18 @@ struct PBQPFormulation {
 /// prepare work is compile-time in a compile-once/serve-many deployment,
 /// so it must not influence the steady-state selection. Edge costs are
 /// activation-side and identical in both modes.
+///
+/// \p ThreadCandidates enables the thread-count dimension: each conv node's
+/// alternatives become the cross product of supporting primitives and the
+/// candidate worker counts, costed via the provider's convCostAt family.
+/// Empty (the default) means {1} -- the historical single-threaded
+/// formulation, bit-for-bit. A primitive's layouts do not depend on its
+/// worker count, so edge cost matrices replicate naturally across the
+/// thread axis and the PBQP structure is otherwise unchanged.
 PBQPFormulation buildPBQP(const NetworkGraph &Net, const PrimitiveLibrary &Lib,
                           CostProvider &Costs, DTTableCache &Tables,
-                          bool AmortizeWeightTransforms = false);
+                          bool AmortizeWeightTransforms = false,
+                          const std::vector<unsigned> &ThreadCandidates = {});
 
 } // namespace primsel
 

@@ -19,6 +19,7 @@
 #include "primitives/Registry.h"
 #include "tensor/Layout.h"
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -43,6 +44,18 @@ struct NetworkPlan {
   /// length >= 2) that the legalizer selected. Edges absent from the map
   /// need no transformation.
   std::map<EdgeKey, std::vector<Layout>> Chains;
+  /// Per node: the intra-op worker count chosen for Conv nodes when the
+  /// solver's thread-count dimension is enabled. Empty means every node
+  /// runs single-threaded (the historical behaviour); use convThreads()
+  /// rather than indexing directly.
+  std::vector<unsigned> ConvThreads;
+
+  /// The intra-op worker cap for node \p N: 1 unless the solver assigned a
+  /// wider alternative. Capping workers never changes results (the packed
+  /// GEMM is bitwise thread-count-invariant), only speed.
+  unsigned convThreads(size_t N) const {
+    return N < ConvThreads.size() ? std::max(1u, ConvThreads[N]) : 1u;
+  }
 
   bool empty() const { return OutLayout.empty(); }
 };

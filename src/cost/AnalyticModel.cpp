@@ -47,6 +47,13 @@ struct ModelTerms {
   double Flops = 0.0;      ///< useful floating point work
   double Efficiency = 0.1; ///< fraction of vector peak achieved
   double TrafficBytes = 0; ///< streaming memory traffic per run
+  /// Amdahl serial fraction of the run phase: the share of work the
+  /// routine's threading cannot partition (single-threaded shift-add
+  /// accumulation in kn2, per-frequency merge steps in FFT, ...). This is
+  /// the parallel-efficiency term behind the solver's thread dimension: it
+  /// separates primitives that scale near-linearly (packed GEMMs) from
+  /// those that plateau, so (primitive, threads) pairs rank realistically.
+  double SerialFraction = 0.05;
 };
 
 ModelTerms modelPrimitive(const ConvPrimitive &P, const ConvScenario &S,
@@ -72,6 +79,7 @@ ModelTerms modelPrimitive(const ConvPrimitive &P, const ConvScenario &S,
   case ConvFamily::Sum2D:
     T.Flops = 2.0 * Macs;
     T.Efficiency = 0.030 * ScalarAdjust;
+    T.SerialFraction = 0.02; // filter-parallel loop, no merge phase
     break;
 
   case ConvFamily::Direct: {
@@ -94,6 +102,7 @@ ModelTerms modelPrimitive(const ConvPrimitive &P, const ConvScenario &S,
     else if (nameHas(Name, "direct-rows"))
       Eff = 0.09;
     T.Efficiency = std::max(Eff, 0.02);
+    T.SerialFraction = 0.02; // slab-parallel loops, no merge phase
     break;
   }
 
@@ -105,6 +114,7 @@ ModelTerms modelPrimitive(const ConvPrimitive &P, const ConvScenario &S,
     // The K dimension of the GEMM is C*K*K; short reductions hurt.
     GemmEff *= std::sqrt(vecUtil(S.C * S.K * S.K, 4 * VW));
     T.Efficiency = std::max(GemmEff, 0.02);
+    T.SerialFraction = 0.03; // patch build and macro-kernel both partition
     break;
   }
 
@@ -118,6 +128,7 @@ ModelTerms modelPrimitive(const ConvPrimitive &P, const ConvScenario &S,
     T.Efficiency = std::max(GemmEff, 0.02);
     T.TrafficBytes +=
         static_cast<double>(S.K) * S.K * S.M * S.H * S.W * 4 * 2;
+    T.SerialFraction = 0.25; // the shift-add accumulation runs serial
     break;
   }
 
@@ -146,6 +157,7 @@ ModelTerms modelPrimitive(const ConvPrimitive &P, const ConvScenario &S,
         T.Flops / (PwFlops / PwEff + TrFlops / TrEff);
     // Winograd streams the transformed weights too.
     T.TrafficBytes += static_cast<double>(S.M) * S.C * N * (TwoD ? N : Tr) * 4;
+    T.SerialFraction = 0.06; // three fork/join stages between phases
     break;
   }
 
@@ -166,6 +178,7 @@ ModelTerms modelPrimitive(const ConvPrimitive &P, const ConvScenario &S,
     T.Efficiency = 0.10;
     if (nameHas(Name, "-kc-"))
       T.TrafficBytes += static_cast<double>(S.M) * S.C * S.K * F * 8;
+    T.SerialFraction = 0.15; // spectral accumulate partially serial
     break;
   }
 
@@ -174,6 +187,7 @@ ModelTerms modelPrimitive(const ConvPrimitive &P, const ConvScenario &S,
     // costs efficiency relative to a dense GEMM.
     T.Flops = 2.0 * Macs * std::max(0.02, S.density());
     T.Efficiency = nameHas(Name, "im2col") ? 0.22 : 0.16;
+    T.SerialFraction = 0.10; // irregular rows partition unevenly
     break;
   }
 
@@ -195,6 +209,7 @@ ModelTerms modelPrimitive(const ConvPrimitive &P, const ConvScenario &S,
     else if (nameHas(Name, "dw-im2"))
       Eff = 0.08;
     T.Efficiency = std::max(Eff, 0.02);
+    T.SerialFraction = 0.04; // channel-parallel taps
     break;
   }
 
@@ -210,6 +225,7 @@ ModelTerms modelPrimitive(const ConvPrimitive &P, const ConvScenario &S,
     // Quantization reads and rewrites the input; dequantization streams
     // the output once more.
     T.TrafficBytes += InBytes + OutBytes;
+    T.SerialFraction = 0.12; // quantize/dequantize passes stay serial
     break;
   }
   }
@@ -240,8 +256,11 @@ double primsel::analyticConvCost(const ConvPrimitive &P,
   ModelTerms T = modelPrimitive(P, Base, Prof);
   unsigned Teff = std::max(1u, std::min(Threads, Prof.Cores));
 
+  // Amdahl: only the parallel share of the compute divides by the worker
+  // count; the serial share is paid in full at any thread count.
+  double ComputeSec1 = T.Flops / (T.Efficiency * Prof.PeakGFlopsPerCore * 1e9);
   double ComputeSec =
-      T.Flops / (T.Efficiency * Prof.PeakGFlopsPerCore * 1e9 * Teff);
+      ComputeSec1 * (T.SerialFraction + (1.0 - T.SerialFraction) / Teff);
   // Bandwidth is shared; parallelism helps it only a little.
   double MemSec =
       T.TrafficBytes / (Prof.MemBandwidthGBs * 1e9 *
@@ -397,6 +416,25 @@ CostBreakdown AnalyticCostProvider::convCostBreakdown(const ConvScenario &S,
                                                       PrimitiveId Id) {
   // The exact two-phase split of convCost(): the run-phase model is the
   // per-inference component, the prepare model the amortizable one.
+  return {analyticConvCost(Lib.get(Id), S, Profile, Threads),
+          analyticConvPrepareCost(Lib.get(Id), S, Profile)};
+}
+
+double AnalyticCostProvider::convCostAt(const ConvScenario &S,
+                                        PrimitiveId Id, unsigned Threads) {
+  return analyticConvCost(Lib.get(Id), S, Profile, Threads) +
+         analyticConvPrepareCost(Lib.get(Id), S, Profile);
+}
+
+double AnalyticCostProvider::convServingCostAt(const ConvScenario &S,
+                                               PrimitiveId Id,
+                                               unsigned Threads) {
+  return analyticConvCost(Lib.get(Id), S, Profile, Threads);
+}
+
+CostBreakdown AnalyticCostProvider::convCostBreakdownAt(const ConvScenario &S,
+                                                        PrimitiveId Id,
+                                                        unsigned Threads) {
   return {analyticConvCost(Lib.get(Id), S, Profile, Threads),
           analyticConvPrepareCost(Lib.get(Id), S, Profile)};
 }

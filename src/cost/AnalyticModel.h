@@ -46,6 +46,18 @@ public:
   /// bit-exactly, so nothing is double-credited in either mode.
   CostBreakdown convCostBreakdown(const ConvScenario &S,
                                   PrimitiveId Id) override;
+  /// Thread-count dimension: the same model evaluated at an explicit worker
+  /// count instead of the provider's configured one. This is what lets the
+  /// solver weigh (primitive, threads) pairs against each other -- a
+  /// bandwidth-bound primitive gains little from more workers while a
+  /// compute-bound GEMM scales, and the Amdahl terms in analyticConvCost
+  /// encode exactly that.
+  double convCostAt(const ConvScenario &S, PrimitiveId Id,
+                    unsigned Threads) override;
+  double convServingCostAt(const ConvScenario &S, PrimitiveId Id,
+                           unsigned Threads) override;
+  CostBreakdown convCostBreakdownAt(const ConvScenario &S, PrimitiveId Id,
+                                    unsigned Threads) override;
   /// "analytic:<profile>:t<threads>" -- costs are a pure function of the
   /// machine profile and the modelled thread count.
   std::string identity() const override;

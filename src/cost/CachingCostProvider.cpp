@@ -96,6 +96,61 @@ double CachingCostProvider::convServingCost(const ConvScenario &S,
   return ServingCache.emplace(Key, Millis).first->second;
 }
 
+double CachingCostProvider::convCostAt(const ConvScenario &S, PrimitiveId Id,
+                                       unsigned Threads) {
+  if (Threads <= 1)
+    return convCost(S, Id);
+  ConvThreadKey Key{S, Id, Threads};
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.ConvQueries;
+    auto It = ConvAtCache.find(Key);
+    if (It != ConvAtCache.end())
+      return It->second;
+    ++Stats.ConvMisses;
+  }
+  double Millis = Inner.convCostAt(S, Id, Threads);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return ConvAtCache.emplace(Key, Millis).first->second;
+}
+
+double CachingCostProvider::convServingCostAt(const ConvScenario &S,
+                                              PrimitiveId Id,
+                                              unsigned Threads) {
+  if (Threads <= 1)
+    return convServingCost(S, Id);
+  ConvThreadKey Key{S, Id, Threads};
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto BIt = BreakdownAtCache.find(Key);
+    if (BIt != BreakdownAtCache.end())
+      return BIt->second.PerRunMs;
+    auto It = ServingAtCache.find(Key);
+    if (It != ServingAtCache.end())
+      return It->second;
+  }
+  double Millis = Inner.convServingCostAt(S, Id, Threads);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return ServingAtCache.emplace(Key, Millis).first->second;
+}
+
+CostBreakdown CachingCostProvider::convCostBreakdownAt(const ConvScenario &S,
+                                                       PrimitiveId Id,
+                                                       unsigned Threads) {
+  if (Threads <= 1)
+    return convCostBreakdown(S, Id);
+  ConvThreadKey Key{S, Id, Threads};
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = BreakdownAtCache.find(Key);
+    if (It != BreakdownAtCache.end())
+      return It->second;
+  }
+  CostBreakdown B = Inner.convCostBreakdownAt(S, Id, Threads);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return BreakdownAtCache.emplace(Key, B).first->second;
+}
+
 size_t CachingCostProvider::size() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return ConvCache.size() + TransformCache.size();

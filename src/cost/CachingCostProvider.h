@@ -64,6 +64,16 @@ public:
   /// the breakdown memo when one exists, so the two tables never
   /// disagree).
   double convServingCost(const ConvScenario &S, PrimitiveId Id) override;
+  /// Thread-keyed memoization of the thread-count cost dimension. Threads
+  /// <= 1 routes to the legacy single-thread entry points so the two memo
+  /// tables coincide (a (S, Id, 1) query and a (S, Id) query must never
+  /// evaluate the inner provider twice, and must never disagree).
+  double convCostAt(const ConvScenario &S, PrimitiveId Id,
+                    unsigned Threads) override;
+  double convServingCostAt(const ConvScenario &S, PrimitiveId Id,
+                           unsigned Threads) override;
+  CostBreakdown convCostBreakdownAt(const ConvScenario &S, PrimitiveId Id,
+                                    unsigned Threads) override;
   /// Memoization does not change the costs: forward the inner identity.
   std::string identity() const override { return Inner.identity(); }
 
@@ -98,6 +108,20 @@ private:
       return ConvScenarioHash()(K.S) * 1000003u + K.Id;
     }
   };
+  struct ConvThreadKey {
+    ConvScenario S;
+    PrimitiveId Id;
+    unsigned Threads;
+    bool operator==(const ConvThreadKey &O) const {
+      return Id == O.Id && Threads == O.Threads && S == O.S;
+    }
+  };
+  struct ConvThreadKeyHash {
+    size_t operator()(const ConvThreadKey &K) const {
+      return (ConvScenarioHash()(K.S) * 1000003u + K.Id) * 1000003u +
+             K.Threads;
+    }
+  };
   struct TransformKey {
     Layout From;
     Layout To;
@@ -118,6 +142,12 @@ private:
   std::unordered_map<TransformKey, CostBreakdown, TransformKeyHash>
       TransformBreakdownCache;
   std::unordered_map<ConvKey, double, ConvKeyHash> ServingCache;
+  /// Thread-count-dimension memo tables; hold only Threads > 1 entries
+  /// (Threads <= 1 lives in the legacy tables above).
+  std::unordered_map<ConvThreadKey, double, ConvThreadKeyHash> ConvAtCache;
+  std::unordered_map<ConvThreadKey, double, ConvThreadKeyHash> ServingAtCache;
+  std::unordered_map<ConvThreadKey, CostBreakdown, ConvThreadKeyHash>
+      BreakdownAtCache;
   CostCacheStats Stats;
 };
 

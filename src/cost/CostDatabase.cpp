@@ -16,6 +16,15 @@ std::string CostDatabase::convKey(const ConvScenario &S,
   return S.key() + "|" + PrimName;
 }
 
+std::string CostDatabase::convKeyAt(const ConvScenario &S,
+                                    const std::string &PrimName,
+                                    unsigned Threads) {
+  std::string Key = convKey(S, PrimName);
+  if (Threads > 1)
+    Key += "|t" + std::to_string(Threads);
+  return Key;
+}
+
 std::string CostDatabase::transformKey(Layout From, Layout To,
                                        const TensorShape &Shape) {
   std::ostringstream OS;
@@ -39,6 +48,26 @@ double CostDatabase::convCost(const ConvScenario &S,
 void CostDatabase::setConvCost(const ConvScenario &S,
                                const std::string &PrimName, double Millis) {
   ConvCosts[convKey(S, PrimName)] = Millis;
+}
+
+bool CostDatabase::hasConvCostAt(const ConvScenario &S,
+                                 const std::string &PrimName,
+                                 unsigned Threads) const {
+  return ConvCosts.count(convKeyAt(S, PrimName, Threads)) != 0;
+}
+
+double CostDatabase::convCostAt(const ConvScenario &S,
+                                const std::string &PrimName,
+                                unsigned Threads) const {
+  auto It = ConvCosts.find(convKeyAt(S, PrimName, Threads));
+  assert(It != ConvCosts.end() && "thread-keyed conv cost not in database");
+  return It->second;
+}
+
+void CostDatabase::setConvCostAt(const ConvScenario &S,
+                                 const std::string &PrimName, unsigned Threads,
+                                 double Millis) {
+  ConvCosts[convKeyAt(S, PrimName, Threads)] = Millis;
 }
 
 bool CostDatabase::hasTransformCost(Layout From, Layout To,

@@ -33,6 +33,18 @@ public:
   void setConvCost(const ConvScenario &S, const std::string &PrimName,
                    double Millis);
 
+  /// Thread-keyed conv records for the solver's thread-count dimension.
+  /// Threads == 1 aliases the legacy un-suffixed record, so databases
+  /// written before the dimension existed keep working; Threads > 1 adds a
+  /// "|tN" key suffix (old readers skip the unknown keys harmlessly --
+  /// load() merges by opaque key).
+  bool hasConvCostAt(const ConvScenario &S, const std::string &PrimName,
+                     unsigned Threads) const;
+  double convCostAt(const ConvScenario &S, const std::string &PrimName,
+                    unsigned Threads) const;
+  void setConvCostAt(const ConvScenario &S, const std::string &PrimName,
+                     unsigned Threads, double Millis);
+
   bool hasTransformCost(Layout From, Layout To,
                         const TensorShape &Shape) const;
   double transformCost(Layout From, Layout To, const TensorShape &Shape) const;
@@ -62,6 +74,8 @@ public:
 private:
   static std::string convKey(const ConvScenario &S,
                              const std::string &PrimName);
+  static std::string convKeyAt(const ConvScenario &S,
+                               const std::string &PrimName, unsigned Threads);
   static std::string transformKey(Layout From, Layout To,
                                   const TensorShape &Shape);
 

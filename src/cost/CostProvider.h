@@ -84,6 +84,37 @@ public:
     return convCostBreakdown(S, Id).PerRunMs;
   }
 
+  /// Thread-count-aware instance cost: the time of implementing \p S with
+  /// primitive \p Id when its intra-op loops may use up to \p Threads
+  /// workers. This is the query behind the solver's thread-count dimension
+  /// (a conv node's PBQP alternatives are (primitive, threads) pairs). The
+  /// default ignores Threads, which is correct for providers that model a
+  /// fixed configuration; the analytic model and the measuring profiler
+  /// override it. Distinctly named (not an overload of convCost) so
+  /// overriding one signature never hides the other.
+  virtual double convCostAt(const ConvScenario &S, PrimitiveId Id,
+                            unsigned Threads) {
+    (void)Threads;
+    return convCost(S, Id);
+  }
+
+  /// Thread-count-aware counterpart of convServingCost.
+  virtual double convServingCostAt(const ConvScenario &S, PrimitiveId Id,
+                                   unsigned Threads) {
+    (void)Threads;
+    return convServingCost(S, Id);
+  }
+
+  /// Thread-count-aware counterpart of convCostBreakdown. Weight-side
+  /// prepare work is single-threaded by design, so only the per-run
+  /// component may vary with Threads.
+  virtual CostBreakdown convCostBreakdownAt(const ConvScenario &S,
+                                            PrimitiveId Id,
+                                            unsigned Threads) {
+    (void)Threads;
+    return convCostBreakdown(S, Id);
+  }
+
   /// Stable text identity of the cost source -- the machine-profile
   /// component of the engine's plan-cache key (engine/PlanCache.h). Two
   /// providers that would return different costs for the same query must

@@ -2,6 +2,15 @@
 
 #include "cost/MachineProfile.h"
 
+#include "gemm/MicroKernel.h"
+
+#include <algorithm>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 using namespace primsel;
 
 MachineProfile MachineProfile::haswell() {
@@ -25,5 +34,36 @@ MachineProfile MachineProfile::cortexA57() {
   P.PeakGFlopsPerCore = 15.2;
   P.MemBandwidthGBs = 12.0;
   P.LastLevelCacheBytes = 2u << 20; // 2 MB shared L2, no L3
+  return P;
+}
+
+MachineProfile MachineProfile::detect() {
+  MachineProfile P;
+  gemm::SimdTier Tier = gemm::activeMicroKernel().Tier;
+  P.Name = std::string("native-") + gemm::simdTierName(Tier);
+  P.Cores = std::max(1u, std::thread::hardware_concurrency());
+  switch (Tier) {
+  case gemm::SimdTier::Scalar:
+    P.VectorWidth = 1;
+    break;
+  case gemm::SimdTier::AVX2:
+    P.VectorWidth = 8;
+    break;
+  case gemm::SimdTier::AVX512:
+    P.VectorWidth = 16;
+    break;
+  }
+  // Haswell-like 3.2 GHz x lanes x 2 (FMA); the model cares about ratios
+  // between primitives and thread counts, not absolute calibration.
+  P.PeakGFlopsPerCore = 6.4 * P.VectorWidth;
+  P.MemBandwidthGBs = 21.0;
+  P.LastLevelCacheBytes = 6u << 20;
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+  long L3 = sysconf(_SC_LEVEL3_CACHE_SIZE);
+  if (L3 <= 0)
+    L3 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (L3 > 0)
+    P.LastLevelCacheBytes = static_cast<size_t>(L3);
+#endif
   return P;
 }

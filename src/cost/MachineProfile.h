@@ -41,6 +41,16 @@ struct MachineProfile {
   /// ARM Cortex-A57 as in the NVIDIA Tegra X1 (4 cores, NEON, 2 MB L2) --
   /// the paper's embedded target (§5.1).
   static MachineProfile cortexA57();
+
+  /// The machine we are actually running on: core count from
+  /// hardware_concurrency(), vector width from the cpuid-backed SIMD-tier
+  /// dispatch (gemm/MicroKernel.h, including the PRIMSEL_SIMD override),
+  /// LLC size from sysconf where available. Peak flops are derived from
+  /// the detected width at Haswell-like clocks; bandwidth stays a
+  /// desktop-class estimate -- neither is measurable portably, and the
+  /// model only needs consistent relative magnitudes. The named presets
+  /// above remain as overrides for the paper-reproduction benches.
+  static MachineProfile detect();
 };
 
 } // namespace primsel

@@ -18,8 +18,19 @@ MeasuredCostProvider::MeasuredCostProvider(const PrimitiveLibrary &Lib,
     Pool = std::make_unique<ThreadPool>(Options.Threads);
 }
 
+ThreadPool *MeasuredCostProvider::poolFor(unsigned Threads) {
+  if (Threads == 0 || Threads == Options.Threads)
+    return Pool.get();
+  if (Threads <= 1)
+    return nullptr;
+  auto It = PoolsAt.find(Threads);
+  if (It == PoolsAt.end())
+    It = PoolsAt.emplace(Threads, std::make_unique<ThreadPool>(Threads)).first;
+  return It->second.get();
+}
+
 double MeasuredCostProvider::measureConv(const ConvScenario &S,
-                                         PrimitiveId Id) {
+                                         PrimitiveId Id, unsigned Threads) {
   const ConvPrimitive &P = Lib.get(Id);
   assert(P.supports(S) && "measuring an unsupported scenario");
 
@@ -43,7 +54,7 @@ double MeasuredCostProvider::measureConv(const ConvScenario &S,
   // not affect timing, so a fixed profiling seed is fine.
   std::unique_ptr<ConvInstance> Inst =
       instantiateWithEpilogue(P, S, Weights, Options.Seed + 4);
-  RunContext Ctx{Pool.get()};
+  RunContext Ctx{poolFor(Threads)};
   auto RunOnce = [&] {
     if (S.Batch == 1)
       Inst->run(In.front(), Out.front(), Ctx);
@@ -126,6 +137,29 @@ double MeasuredCostProvider::convCost(const ConvScenario &S, PrimitiveId Id) {
   double Millis = measureConv(S, Id);
   Cache.setConvCost(S, Name, Millis);
   return Millis;
+}
+
+double MeasuredCostProvider::convCostAt(const ConvScenario &S, PrimitiveId Id,
+                                        unsigned Threads) {
+  if (Threads == Options.Threads)
+    return convCost(S, Id);
+  const std::string &Name = Lib.get(Id).name();
+  if (Cache.hasConvCostAt(S, Name, Threads))
+    return Cache.convCostAt(S, Name, Threads);
+  double Millis = measureConv(S, Id, Threads);
+  Cache.setConvCostAt(S, Name, Threads, Millis);
+  return Millis;
+}
+
+CostBreakdown
+MeasuredCostProvider::convCostBreakdownAt(const ConvScenario &S,
+                                          PrimitiveId Id, unsigned Threads) {
+  CostBreakdown B;
+  B.PerRunMs = convCostAt(S, Id, Threads);
+  // prepare() is single-threaded compile-time work, so the amortized
+  // component is shared across thread counts.
+  B.AmortizedMs = convCostBreakdown(S, Id).AmortizedMs;
+  return B;
 }
 
 double MeasuredCostProvider::transformCost(Layout From, Layout To,

@@ -22,6 +22,7 @@
 #include "cost/CostProvider.h"
 #include "support/ThreadPool.h"
 
+#include <map>
 #include <memory>
 
 namespace primsel {
@@ -63,12 +64,27 @@ public:
   double convServingCost(const ConvScenario &S, PrimitiveId Id) override {
     return convCost(S, Id);
   }
+  /// Thread-count dimension: measure the same (scenario, primitive) under a
+  /// pool of \p Threads workers, memoized as a thread-keyed CostDatabase
+  /// record ("|tN" key suffix; N == 1 aliases the legacy record). Pools are
+  /// created per distinct thread count and reused across measurements.
+  double convCostAt(const ConvScenario &S, PrimitiveId Id,
+                    unsigned Threads) override;
+  double convServingCostAt(const ConvScenario &S, PrimitiveId Id,
+                           unsigned Threads) override {
+    return convCostAt(S, Id, Threads);
+  }
+  CostBreakdown convCostBreakdownAt(const ConvScenario &S, PrimitiveId Id,
+                                    unsigned Threads) override;
   /// "measured:t<threads>" -- measured costs are host-specific, so plan
   /// caches built from them must not be shipped across machines.
   std::string identity() const override;
 
   /// Measure one primitive on one scenario (no cache involvement).
-  double measureConv(const ConvScenario &S, PrimitiveId Id);
+  /// \p Threads == 0 measures at the configured Options.Threads; any other
+  /// value measures under a pool of that many workers.
+  double measureConv(const ConvScenario &S, PrimitiveId Id,
+                     unsigned Threads = 0);
   /// Measure one direct transform routine on one shape (no cache).
   double measureTransform(Layout From, Layout To, const TensorShape &Shape);
   /// Measure one primitive's weight-side prepare() on one scenario (no
@@ -82,10 +98,16 @@ public:
   unsigned threads() const { return Options.Threads; }
 
 private:
+  /// The measurement pool for \p Threads workers (nullptr for 1), created
+  /// on first use and cached.
+  ThreadPool *poolFor(unsigned Threads);
+
   const PrimitiveLibrary &Lib;
   ProfilerOptions Options;
   CostDatabase Cache;
   std::unique_ptr<ThreadPool> Pool;
+  /// Extra pools for explicit thread-count queries, keyed by worker count.
+  std::map<unsigned, std::unique_ptr<ThreadPool>> PoolsAt;
 };
 
 } // namespace primsel

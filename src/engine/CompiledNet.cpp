@@ -254,6 +254,12 @@ void ExecutionContext::executeStep(unsigned StepIndex, const Tensor3D &Input,
     const Tensor3D &In = inputTensor(Step.Node, 0);
     Tensor3D Out = makeValueTensor(C.MPlan.Produced[StepIndex]);
     RunContext Ctx{PrimPool};
+    // The plan's per-node worker count (the solver's thread-count
+    // dimension) caps this node's intra-op parallelism; capping never
+    // changes results, only speed. Plans without a thread axis leave the
+    // historical behaviour untouched: the context's whole pool is usable.
+    if (!C.SelPlan.ConvThreads.empty())
+      Ctx.MaxThreads = static_cast<int>(C.SelPlan.convThreads(Step.Node));
     Timer T;
     Instances[Step.Node]->run(In, Out, Ctx);
     R.ConvMillis += T.millis();

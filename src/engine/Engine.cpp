@@ -5,6 +5,7 @@
 #include "runtime/Executor.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace primsel;
@@ -32,15 +33,37 @@ const CostCacheStats *Engine::cacheStats() const {
 
 namespace {
 
+/// The effective thread-candidate axis: clamped to >= 1, sorted and
+/// deduplicated (the formulation and the cache identity must not depend on
+/// the order the caller listed candidates in), empty normalized to {1}.
+std::vector<unsigned> normalizedThreadCandidates(std::vector<unsigned> C) {
+  for (unsigned &T : C)
+    T = std::max(T, 1u);
+  std::sort(C.begin(), C.end());
+  C.erase(std::unique(C.begin(), C.end()), C.end());
+  if (C.empty())
+    C.push_back(1);
+  return C;
+}
+
 /// The plan-cache cost-identity component: the provider identity, tagged
 /// with the amortization mode -- serving-mode plans are solved over
 /// different node costs, so they must never be served for (or overwrite)
-/// totals-based plans of the same network.
+/// totals-based plans of the same network -- and with the thread-candidate
+/// axis when it is wider than the historical {1} (thread-aware plans are
+/// solved over different node costs too).
 std::string costIdentityFor(const CostProvider &Raw,
-                            bool AmortizeWeightTransforms) {
+                            bool AmortizeWeightTransforms,
+                            const std::vector<unsigned> &ThreadCandidates) {
   std::string Id = Raw.identity();
   if (AmortizeWeightTransforms)
     Id += "+amortized";
+  std::vector<unsigned> Axis = normalizedThreadCandidates(ThreadCandidates);
+  if (Axis.size() != 1 || Axis[0] != 1) {
+    Id += ":et";
+    for (size_t I = 0; I < Axis.size(); ++I)
+      Id += (I ? "," : "") + std::to_string(Axis[I]);
+  }
   return Id;
 }
 
@@ -55,7 +78,8 @@ PlanKey Engine::planKey(const NetworkGraph &Net) const {
         transforms::PassPipeline::fromNames(Opts.Passes).run(Net);
     K.NetworkFingerprint = fingerprintNetwork(Rewritten, Lib);
   }
-  K.CostIdentity = costIdentityFor(Raw, Opts.AmortizeWeightTransforms);
+  K.CostIdentity = costIdentityFor(Raw, Opts.AmortizeWeightTransforms,
+                                   Opts.ExecThreadCandidates);
   K.SolverFingerprint = fingerprintSolver(Opts.Solver, Opts.SolverOptions);
   K.PassFingerprint = transforms::fingerprintPasses(Opts.Passes);
   return K;
@@ -83,8 +107,8 @@ SelectionResult Engine::run(const NetworkGraph &Net,
   PlanKey Key;
   if (Plans) {
     Key.NetworkFingerprint = fingerprintNetwork(*Target, Lib);
-    Key.CostIdentity =
-        costIdentityFor(Raw, Options.AmortizeWeightTransforms);
+    Key.CostIdentity = costIdentityFor(Raw, Options.AmortizeWeightTransforms,
+                                       Options.ExecThreadCandidates);
     Key.SolverFingerprint =
         fingerprintSolver(SolverBackend.name(), Options.SolverOptions);
     Key.PassFingerprint = transforms::fingerprintPasses(Options.Passes);
@@ -117,8 +141,10 @@ SelectionResult Engine::run(const NetworkGraph &Net,
 
   CostProvider &Provider = costs();
   DTTableCache Tables(Provider);
-  PBQPFormulation F = buildPBQP(*Target, Lib, Provider, Tables,
-                                Options.AmortizeWeightTransforms);
+  PBQPFormulation F =
+      buildPBQP(*Target, Lib, Provider, Tables,
+                Options.AmortizeWeightTransforms,
+                normalizedThreadCandidates(Options.ExecThreadCandidates));
   R.BuildMillis = BuildTimer.millis();
   R.NumNodes = F.G.numNodes();
   R.NumEdges = F.G.numEdges();
@@ -186,7 +212,8 @@ PBQPFormulation Engine::formulate(const NetworkGraph &Net) {
   CostProvider &Provider = costs();
   DTTableCache Tables(Provider);
   return buildPBQP(*Target, Lib, Provider, Tables,
-                   Opts.AmortizeWeightTransforms);
+                   Opts.AmortizeWeightTransforms,
+                   normalizedThreadCandidates(Opts.ExecThreadCandidates));
 }
 
 std::shared_ptr<const CompiledNet>

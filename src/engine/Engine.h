@@ -88,6 +88,17 @@ struct EngineOptions {
   /// inference than) the default totals-based plans. The mode joins the
   /// plan-cache key, so amortized and total-cost plans never mix.
   bool AmortizeWeightTransforms = false;
+  /// Candidate intra-op worker counts for the solver's thread-count
+  /// dimension. Empty (the default) means {1}: the historical
+  /// single-threaded formulation, bit-for-bit. With e.g. {1, 2, 4} each
+  /// conv node's PBQP alternatives become (primitive, threads) pairs costed
+  /// via the provider's convCostAt family, the winning counts land in
+  /// NetworkPlan::ConvThreads, and CompiledNet/Executor cap each node's
+  /// intra-op workers accordingly at run time. The candidate set joins the
+  /// plan-cache cost identity, so single- and multi-threaded plans never
+  /// mix. Worker capping never changes results (the packed GEMM is bitwise
+  /// thread-count-invariant), only speed.
+  std::vector<unsigned> ExecThreadCandidates;
   /// Graph-transform passes (transforms/Pass.h) applied to the network
   /// before formulation. Empty = O0: the graph is optimized exactly as
   /// given, the historical behaviour. For O1 use

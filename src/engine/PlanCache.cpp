@@ -118,9 +118,15 @@ std::string PlanCache::serialize(const PlanKey &Key, const SelectionResult &R,
     OS << "layout " << N << " " << layoutName(R.Plan.InLayout[N]) << " "
        << layoutName(R.Plan.OutLayout[N]) << "\n";
   // Primitives by name, CostDatabase-style, so entries survive library
-  // reorderings.
-  for (NetworkGraph::NodeId N : Net.convNodes())
-    OS << "conv " << N << " " << Lib.get(R.Plan.ConvPrim[N]).name() << "\n";
+  // reorderings. The worker-count token only appears for multi-threaded
+  // nodes, so plans from single-threaded formulations keep the historical
+  // record format byte-for-byte.
+  for (NetworkGraph::NodeId N : Net.convNodes()) {
+    OS << "conv " << N << " " << Lib.get(R.Plan.ConvPrim[N]).name();
+    if (R.Plan.convThreads(N) > 1)
+      OS << " t" << R.Plan.convThreads(N);
+    OS << "\n";
+  }
   for (const auto &[Edge, Chain] : R.Plan.Chains) {
     OS << "chain " << Edge.first << " " << Edge.second << " "
        << Chain.size();
@@ -201,6 +207,22 @@ PlanCache::deserialize(const std::string &Text, const PlanKey &Key,
       if (!Id)
         return std::nullopt; // plan references a primitive we do not have
       R.Plan.ConvPrim[N] = *Id;
+      // Optional worker-count token "t<K>", K >= 2 (K == 1 is implicit and
+      // never written). Anything else trailing the record is corruption.
+      std::string Tok;
+      if (LS >> Tok) {
+        if (Tok.size() < 2 || Tok[0] != 't')
+          return std::nullopt;
+        unsigned T = 0;
+        std::istringstream TS(Tok.substr(1));
+        if (!(TS >> T) || TS.peek() != EOF || T < 2)
+          return std::nullopt;
+        if (R.Plan.ConvThreads.empty())
+          R.Plan.ConvThreads.assign(Net.numNodes(), 1);
+        R.Plan.ConvThreads[N] = T;
+        if (LS >> Tok)
+          return std::nullopt;
+      }
     } else if (Kind == "chain") {
       NetworkGraph::NodeId N;
       unsigned Index;

@@ -1,7 +1,27 @@
 //===- gemm/Gemm.cpp ------------------------------------------------------===//
+//
+// The Blocked and TransposedB variants run through a BLIS-style packed
+// macro-kernel: K is blocked by KC, both operands are packed into
+// register-tile panels (zero-padded at the edges), and an MR x NR
+// micro-kernel (runtime-dispatched: scalar / AVX2 / AVX-512, see
+// MicroKernel.h) computes each C tile from the panels. Work is split across
+// the pool with a deterministic getRange partition of the larger tile
+// dimension; the pack buffers are thread-local and reused across calls, so
+// the serving hot path allocates nothing after warm-up.
+//
+// Bit-identity contract: element C[i][j] accumulates its K products in
+// ascending-k order -- fixed KC blocking, register accumulation within a
+// block, one add into C per block -- independent of tile position, edge
+// handling, worker count, or partition dimension. sgemm therefore returns
+// bitwise-identical results for any Pool/MaxThreads. The Naive variant keeps
+// the textbook loops (it is priced as the slow baseline primitive).
+//
+//===----------------------------------------------------------------------===//
 
 #include "gemm/Gemm.h"
 
+#include "gemm/MicroKernel.h"
+#include "support/AlignedBuffer.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -9,6 +29,7 @@
 #include <cstring>
 
 using namespace primsel;
+using namespace primsel::gemm;
 
 const char *primsel::gemmVariantName(GemmVariant V) {
   switch (V) {
@@ -36,31 +57,197 @@ void gemmRowNaive(int64_t I, int64_t N, int64_t K, const float *A,
   }
 }
 
-/// i-k-j ordering: stream through a row of B for each A element. This keeps
-/// the inner loop unit-stride in both B and C and lets the compiler
-/// vectorize it.
-void gemmRowBlocked(int64_t I, int64_t N, int64_t K, const float *A,
-                    const float *B, float *CRow) {
-  const float *ARow = A + I * K;
-  for (int64_t P = 0; P < K; ++P) {
-    float AV = ARow[P];
-    const float *BRow = B + P * N;
-    for (int64_t J = 0; J < N; ++J)
-      CRow[J] += AV * BRow[J];
+//===----------------------------------------------------------------------===//
+// Packed macro-kernel path
+//===----------------------------------------------------------------------===//
+
+/// K-dimension cache block. Fixed (never shrunk to fit a machine) because it
+/// is part of the numerical contract: partial sums round to float at KC
+/// boundaries.
+constexpr int64_t KC = 256;
+
+/// Per-thread pack scratch, grown on demand and reused across sgemm calls.
+struct PackScratch {
+  AlignedBuffer A;
+  AlignedBuffer B;
+};
+
+PackScratch &packScratch() {
+  thread_local PackScratch S;
+  return S;
+}
+
+void ensureCapacity(AlignedBuffer &Buf, size_t NumFloats) {
+  if (Buf.size() < NumFloats)
+    Buf.reset(NumFloats);
+}
+
+/// Pack the MR x Kc A tile at row I0, k offset Pc: Panel[p * MR + i] =
+/// A[I0 + i][Pc + p], zero beyond row M.
+void packATile(const float *A, int64_t M, int64_t K, int64_t I0, int MR,
+               int64_t Pc, int64_t Kc, float *Panel) {
+  int Mr = static_cast<int>(std::min<int64_t>(MR, M - I0));
+  for (int64_t P = 0; P < Kc; ++P) {
+    const float *Col = A + Pc + P;
+    float *Out = Panel + P * MR;
+    for (int I = 0; I < Mr; ++I)
+      Out[I] = Col[(I0 + I) * K];
+    for (int I = Mr; I < MR; ++I)
+      Out[I] = 0.0f;
   }
 }
 
-/// B is stored transposed (N x K): both operands are read row-wise, so the
-/// dot product is two sequential streams. Good when N is small or K large.
-void gemmRowTransposedB(int64_t I, int64_t N, int64_t K, const float *A,
-                        const float *Bt, float *CRow) {
-  const float *ARow = A + I * K;
-  for (int64_t J = 0; J < N; ++J) {
-    const float *BRow = Bt + J * K;
-    float Sum = 0.0f;
-    for (int64_t P = 0; P < K; ++P)
-      Sum += ARow[P] * BRow[P];
-    CRow[J] += Sum;
+/// Pack the Kc x NR B tile at column J0 from row-major K x N storage.
+void packBTile(const float *B, int64_t N, int64_t J0, int NR, int64_t Pc,
+               int64_t Kc, float *Panel) {
+  int Nr = static_cast<int>(std::min<int64_t>(NR, N - J0));
+  for (int64_t P = 0; P < Kc; ++P) {
+    const float *Row = B + (Pc + P) * N + J0;
+    float *Out = Panel + P * NR;
+    for (int J = 0; J < Nr; ++J)
+      Out[J] = Row[J];
+    for (int J = Nr; J < NR; ++J)
+      Out[J] = 0.0f;
+  }
+}
+
+/// Same tile from transposed storage (Bt is N x K row-major).
+void packBtTile(const float *Bt, int64_t K, int64_t N, int64_t J0, int NR,
+                int64_t Pc, int64_t Kc, float *Panel) {
+  int Nr = static_cast<int>(std::min<int64_t>(NR, N - J0));
+  for (int J = 0; J < Nr; ++J) {
+    const float *Col = Bt + (J0 + J) * K + Pc;
+    for (int64_t P = 0; P < Kc; ++P)
+      Panel[P * NR + J] = Col[P];
+  }
+  for (int J = Nr; J < NR; ++J)
+    for (int64_t P = 0; P < Kc; ++P)
+      Panel[P * NR + J] = 0.0f;
+}
+
+/// Run the micro-kernel on one tile, routing edge tiles through a stack
+/// temp so the kernel always sees a full MR x NR footprint. The copy-out
+/// performs the same single add (or assign) into C that an interior tile's
+/// kernel store does, so edge handling never changes bits.
+void runTile(const MicroKernel &MK, int64_t Kc, const float *APanel,
+             const float *BPanel, float *C, int64_t LdC, int64_t M, int64_t N,
+             int64_t I0, int64_t J0, bool AccumBlock) {
+  const int MR = MK.MR, NR = MK.NR;
+  float *CTile = C + I0 * LdC + J0;
+  if (I0 + MR <= M && J0 + NR <= N) {
+    MK.Fn(Kc, APanel, BPanel, CTile, LdC, AccumBlock);
+    return;
+  }
+  float Tmp[8 * 32]; // covers the largest tier geometry
+  MK.Fn(Kc, APanel, BPanel, Tmp, NR, /*Accumulate=*/false);
+  int Mr = static_cast<int>(std::min<int64_t>(MR, M - I0));
+  int Nr = static_cast<int>(std::min<int64_t>(NR, N - J0));
+  for (int I = 0; I < Mr; ++I) {
+    float *Row = CTile + I * LdC;
+    const float *Src = Tmp + I * NR;
+    if (AccumBlock)
+      for (int J = 0; J < Nr; ++J)
+        Row[J] += Src[J];
+    else
+      for (int J = 0; J < Nr; ++J)
+        Row[J] = Src[J];
+  }
+}
+
+void packedGemm(bool BTransposed, int64_t M, int64_t N, int64_t K,
+                const float *A, const float *B, float *C, int64_t LdC,
+                bool Accumulate, ThreadPool *Pool, int MaxThreads) {
+  const MicroKernel &MK = activeMicroKernel();
+  const int MR = MK.MR, NR = MK.NR;
+  const int64_t MTiles = (M + MR - 1) / MR;
+  const int64_t NTiles = (N + NR - 1) / NR;
+  // Partition the dimension with more register tiles; conv GEMMs typically
+  // have a short M (output channels) and a long N (output pixels). The
+  // choice only redistributes work -- it never changes any element's math.
+  const bool SplitN = NTiles >= MTiles;
+  // A-block height per compute sweep, in tiles: keeps the packed A slice
+  // resident in L2 while B panels stream past it.
+  const int64_t MCTiles = std::max<int64_t>(1, 192 / MR);
+
+  int64_t W = 1;
+  if (Pool && Pool->numThreads() > 1) {
+    W = std::min<int64_t>(Pool->numThreads(), SplitN ? NTiles : MTiles);
+    if (MaxThreads > 0)
+      W = std::min<int64_t>(W, MaxThreads);
+  }
+
+  const int64_t KcMax = std::min(K, KC);
+  PackScratch &S = packScratch();
+  ensureCapacity(S.A, static_cast<size_t>(MTiles * MR * KcMax));
+  ensureCapacity(S.B, static_cast<size_t>(NTiles * NR * KcMax));
+  float *APack = S.A.data();
+  float *BPack = S.B.data();
+
+  for (int64_t Pc = 0; Pc < K; Pc += KC) {
+    const int64_t Kc = std::min(KC, K - Pc);
+    const bool AccumBlock = Accumulate || Pc > 0;
+
+    auto PackARange = [&](int64_t TB, int64_t TE) {
+      for (int64_t It = TB; It < TE; ++It)
+        packATile(A, M, K, It * MR, MR, Pc, Kc, APack + It * KcMax * MR);
+    };
+    auto PackBRange = [&](int64_t TB, int64_t TE) {
+      for (int64_t Jt = TB; Jt < TE; ++Jt) {
+        float *Panel = BPack + Jt * KcMax * NR;
+        if (BTransposed)
+          packBtTile(B, K, N, Jt * NR, NR, Pc, Kc, Panel);
+        else
+          packBTile(B, N, Jt * NR, NR, Pc, Kc, Panel);
+      }
+    };
+
+    // Sweep the C tiles for a j-tile range crossed with an i-tile range,
+    // blocking the i sweep so one packed A slice is reused across the
+    // whole j range before moving on.
+    auto Compute = [&](int64_t IB, int64_t IE, int64_t JB, int64_t JE) {
+      for (int64_t It0 = IB; It0 < IE; It0 += MCTiles) {
+        int64_t It1 = std::min(It0 + MCTiles, IE);
+        for (int64_t Jt = JB; Jt < JE; ++Jt)
+          for (int64_t It = It0; It < It1; ++It)
+            runTile(MK, Kc, APack + It * KcMax * MR, BPack + Jt * KcMax * NR,
+                    C, LdC, M, N, It * MR, Jt * NR, AccumBlock);
+      }
+    };
+
+    if (W == 1) {
+      PackARange(0, MTiles);
+      PackBRange(0, NTiles);
+      Compute(0, MTiles, 0, NTiles);
+      continue;
+    }
+
+    if (SplitN) {
+      // Shared operand A is packed cooperatively first; each worker then
+      // packs and consumes its own j-tile slice.
+      Pool->parallelFor(0, W, [&](int64_t Slot) {
+        int64_t TB, TE;
+        getRange(MTiles, W, Slot, TB, TE);
+        PackARange(TB, TE);
+      });
+      Pool->parallelFor(0, W, [&](int64_t Slot) {
+        int64_t JB, JE;
+        getRange(NTiles, W, Slot, JB, JE);
+        PackBRange(JB, JE);
+        Compute(0, MTiles, JB, JE);
+      });
+    } else {
+      Pool->parallelFor(0, W, [&](int64_t Slot) {
+        int64_t TB, TE;
+        getRange(NTiles, W, Slot, TB, TE);
+        PackBRange(TB, TE);
+      });
+      Pool->parallelFor(0, W, [&](int64_t Slot) {
+        int64_t IB, IE;
+        getRange(MTiles, W, Slot, IB, IE);
+        PackARange(IB, IE);
+        Compute(IB, IE, 0, NTiles);
+      });
+    }
   }
 }
 
@@ -68,29 +255,32 @@ void gemmRowTransposedB(int64_t I, int64_t N, int64_t K, const float *A,
 
 void primsel::sgemm(GemmVariant Variant, int64_t M, int64_t N, int64_t K,
                     const float *A, const float *B, float *C, int64_t LdC,
-                    bool Accumulate, ThreadPool *Pool) {
+                    bool Accumulate, ThreadPool *Pool, int MaxThreads) {
   assert(M >= 0 && N >= 0 && K >= 0 && "negative GEMM dimensions");
   assert(LdC >= N && "C row stride shorter than row");
+  if (M == 0 || N == 0)
+    return;
+  if (K == 0) {
+    if (!Accumulate)
+      for (int64_t I = 0; I < M; ++I)
+        std::memset(C + I * LdC, 0, static_cast<size_t>(N) * sizeof(float));
+    return;
+  }
+
+  if (Variant != GemmVariant::Naive) {
+    packedGemm(Variant == GemmVariant::TransposedB, M, N, K, A, B, C, LdC,
+               Accumulate, Pool, MaxThreads);
+    return;
+  }
 
   auto RunRow = [&](int64_t I) {
     float *CRow = C + I * LdC;
     if (!Accumulate)
       std::memset(CRow, 0, static_cast<size_t>(N) * sizeof(float));
-    switch (Variant) {
-    case GemmVariant::Naive:
-      gemmRowNaive(I, N, K, A, B, CRow);
-      break;
-    case GemmVariant::Blocked:
-      gemmRowBlocked(I, N, K, A, B, CRow);
-      break;
-    case GemmVariant::TransposedB:
-      gemmRowTransposedB(I, N, K, A, B, CRow);
-      break;
-    }
+    gemmRowNaive(I, N, K, A, B, CRow);
   };
-
   if (Pool && Pool->numThreads() > 1) {
-    Pool->parallelFor(0, M, RunRow);
+    Pool->parallelFor(0, M, RunRow, MaxThreads);
     return;
   }
   for (int64_t I = 0; I < M; ++I)

@@ -38,10 +38,14 @@ const char *gemmVariantName(GemmVariant V);
 /// All matrices are dense row-major. \p LdC is the row stride of C (allows
 /// writing into a sub-view); A and B are contiguous. For
 /// GemmVariant::TransposedB, \p B must hold B^T, i.e. an N x K row-major
-/// matrix. If \p Pool is non-null the M dimension is parallelized.
+/// matrix. Blocked and TransposedB run through the packed macro-kernel
+/// (gemm/MicroKernel.h); Naive keeps the textbook loops. If \p Pool is
+/// non-null the register-tile grid is partitioned across it, using at most
+/// \p MaxThreads workers when MaxThreads > 0 (0 = whole pool). Results are
+/// bitwise identical for every Pool/MaxThreads combination.
 void sgemm(GemmVariant Variant, int64_t M, int64_t N, int64_t K,
            const float *A, const float *B, float *C, int64_t LdC,
-           bool Accumulate, ThreadPool *Pool = nullptr);
+           bool Accumulate, ThreadPool *Pool = nullptr, int MaxThreads = 0);
 
 /// y = A(MxK) * x + (Accumulate ? y : 0); row-major A. Used by
 /// fully-connected layers.

@@ -1,0 +1,207 @@
+//===- gemm/MicroKernel.cpp - Register-blocked GEMM micro-kernels ---------===//
+
+#include "gemm/MicroKernel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define PRIMSEL_X86 1
+#include <immintrin.h>
+#else
+#define PRIMSEL_X86 0
+#endif
+
+using namespace primsel;
+using namespace primsel::gemm;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Scalar tier: 4x4. Sixteen accumulators fit the baseline SSE register file
+// and the plain loops autovectorize lane-independently, so the ascending-k
+// per-element order survives whatever the compiler does.
+//===----------------------------------------------------------------------===//
+
+constexpr int ScalarMR = 4;
+constexpr int ScalarNR = 4;
+
+void kernelScalar(int64_t K, const float *APanel, const float *BPanel,
+                  float *C, int64_t LdC, bool Accumulate) {
+  float Acc[ScalarMR][ScalarNR] = {};
+  for (int64_t P = 0; P < K; ++P) {
+    const float *Ap = APanel + P * ScalarMR;
+    const float *Bp = BPanel + P * ScalarNR;
+    for (int I = 0; I < ScalarMR; ++I) {
+      float Av = Ap[I];
+      for (int J = 0; J < ScalarNR; ++J)
+        Acc[I][J] += Av * Bp[J];
+    }
+  }
+  for (int I = 0; I < ScalarMR; ++I) {
+    float *Row = C + I * LdC;
+    if (Accumulate)
+      for (int J = 0; J < ScalarNR; ++J)
+        Row[J] += Acc[I][J];
+    else
+      for (int J = 0; J < ScalarNR; ++J)
+        Row[J] = Acc[I][J];
+  }
+}
+
+#if PRIMSEL_X86 && defined(__GNUC__)
+
+//===----------------------------------------------------------------------===//
+// AVX2 tier: 6x16. Twelve YMM accumulators + two B vectors + one broadcast
+// stay inside the sixteen-register file.
+//===----------------------------------------------------------------------===//
+
+constexpr int Avx2MR = 6;
+constexpr int Avx2NR = 16;
+
+__attribute__((target("avx2,fma"))) void
+kernelAvx2(int64_t K, const float *APanel, const float *BPanel, float *C,
+           int64_t LdC, bool Accumulate) {
+  __m256 Acc[Avx2MR][2];
+  for (int I = 0; I < Avx2MR; ++I) {
+    Acc[I][0] = _mm256_setzero_ps();
+    Acc[I][1] = _mm256_setzero_ps();
+  }
+  for (int64_t P = 0; P < K; ++P) {
+    __m256 B0 = _mm256_loadu_ps(BPanel + P * Avx2NR);
+    __m256 B1 = _mm256_loadu_ps(BPanel + P * Avx2NR + 8);
+    const float *Ap = APanel + P * Avx2MR;
+    for (int I = 0; I < Avx2MR; ++I) {
+      __m256 Av = _mm256_broadcast_ss(Ap + I);
+      Acc[I][0] = _mm256_fmadd_ps(Av, B0, Acc[I][0]);
+      Acc[I][1] = _mm256_fmadd_ps(Av, B1, Acc[I][1]);
+    }
+  }
+  for (int I = 0; I < Avx2MR; ++I) {
+    float *Row = C + I * LdC;
+    if (Accumulate) {
+      _mm256_storeu_ps(Row, _mm256_add_ps(_mm256_loadu_ps(Row), Acc[I][0]));
+      _mm256_storeu_ps(Row + 8,
+                       _mm256_add_ps(_mm256_loadu_ps(Row + 8), Acc[I][1]));
+    } else {
+      _mm256_storeu_ps(Row, Acc[I][0]);
+      _mm256_storeu_ps(Row + 8, Acc[I][1]);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// AVX-512 tier: 8x32. Sixteen ZMM accumulators + two B vectors + one
+// broadcast out of thirty-two registers.
+//===----------------------------------------------------------------------===//
+
+constexpr int Avx512MR = 8;
+constexpr int Avx512NR = 32;
+
+__attribute__((target("avx512f"))) void
+kernelAvx512(int64_t K, const float *APanel, const float *BPanel, float *C,
+             int64_t LdC, bool Accumulate) {
+  __m512 Acc[Avx512MR][2];
+  for (int I = 0; I < Avx512MR; ++I) {
+    Acc[I][0] = _mm512_setzero_ps();
+    Acc[I][1] = _mm512_setzero_ps();
+  }
+  for (int64_t P = 0; P < K; ++P) {
+    __m512 B0 = _mm512_loadu_ps(BPanel + P * Avx512NR);
+    __m512 B1 = _mm512_loadu_ps(BPanel + P * Avx512NR + 16);
+    const float *Ap = APanel + P * Avx512MR;
+    for (int I = 0; I < Avx512MR; ++I) {
+      __m512 Av = _mm512_set1_ps(Ap[I]);
+      Acc[I][0] = _mm512_fmadd_ps(Av, B0, Acc[I][0]);
+      Acc[I][1] = _mm512_fmadd_ps(Av, B1, Acc[I][1]);
+    }
+  }
+  for (int I = 0; I < Avx512MR; ++I) {
+    float *Row = C + I * LdC;
+    if (Accumulate) {
+      _mm512_storeu_ps(Row, _mm512_add_ps(_mm512_loadu_ps(Row), Acc[I][0]));
+      _mm512_storeu_ps(Row + 16,
+                       _mm512_add_ps(_mm512_loadu_ps(Row + 16), Acc[I][1]));
+    } else {
+      _mm512_storeu_ps(Row, Acc[I][0]);
+      _mm512_storeu_ps(Row + 16, Acc[I][1]);
+    }
+  }
+}
+
+#endif // PRIMSEL_X86 && __GNUC__
+
+const MicroKernel KernelTable[] = {
+    {SimdTier::Scalar, ScalarMR, ScalarNR, kernelScalar},
+#if PRIMSEL_X86 && defined(__GNUC__)
+    {SimdTier::AVX2, Avx2MR, Avx2NR, kernelAvx2},
+    {SimdTier::AVX512, Avx512MR, Avx512NR, kernelAvx512},
+#endif
+};
+
+constexpr size_t NumKernels = sizeof(KernelTable) / sizeof(KernelTable[0]);
+
+/// Best tier the PRIMSEL_SIMD env var allows; AVX512 (== no cap) when unset
+/// or unrecognized.
+SimdTier envTierCap() {
+  const char *Env = std::getenv("PRIMSEL_SIMD");
+  if (!Env)
+    return SimdTier::AVX512;
+  std::string V(Env);
+  if (V == "scalar")
+    return SimdTier::Scalar;
+  if (V == "avx2")
+    return SimdTier::AVX2;
+  return SimdTier::AVX512; // "avx512", "native", anything else
+}
+
+std::atomic<SimdTier> &activeTier() {
+  static std::atomic<SimdTier> Tier{
+      std::min(detectSimdTier(), envTierCap())};
+  return Tier;
+}
+
+} // namespace
+
+const char *primsel::gemm::simdTierName(SimdTier Tier) {
+  switch (Tier) {
+  case SimdTier::Scalar:
+    return "scalar";
+  case SimdTier::AVX2:
+    return "avx2";
+  case SimdTier::AVX512:
+    return "avx512";
+  }
+  return "scalar";
+}
+
+SimdTier primsel::gemm::detectSimdTier() {
+#if PRIMSEL_X86 && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx512f"))
+    return SimdTier::AVX512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return SimdTier::AVX2;
+#endif
+  return SimdTier::Scalar;
+}
+
+const MicroKernel &primsel::gemm::microKernelFor(SimdTier Tier) {
+  SimdTier Best = std::min(Tier, detectSimdTier());
+  for (size_t I = NumKernels; I-- > 0;)
+    if (KernelTable[I].Tier <= Best)
+      return KernelTable[I];
+  return KernelTable[0];
+}
+
+const MicroKernel &primsel::gemm::activeMicroKernel() {
+  return microKernelFor(activeTier().load(std::memory_order_relaxed));
+}
+
+SimdTier primsel::gemm::setSimdTierOverride(SimdTier Tier) {
+  SimdTier Effective = microKernelFor(Tier).Tier;
+  activeTier().store(Effective, std::memory_order_relaxed);
+  return Effective;
+}

@@ -1,0 +1,86 @@
+//===- gemm/MicroKernel.h - Register-blocked GEMM micro-kernels -*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The BLIS-style micro-kernel layer under sgemm: an MR x NR register-blocked
+/// inner kernel consuming packed A/B panels, with runtime dispatch between a
+/// portable scalar tier and AVX2 / AVX-512 FMA tiers.
+///
+/// Panel formats (the HMLP/BLIS convention):
+///   A panel: MR columns k-major, APanel[k * MR + i] = A[i0 + i][pc + k]
+///   B panel: NR columns k-major, BPanel[k * NR + j] = B[pc + k][j0 + j]
+/// Edge tiles are packed zero-padded to the full MR x NR footprint, so the
+/// kernel never needs a remainder path; callers copy out the valid region.
+///
+/// Numerical contract: for a fixed tier, element C[i][j] accumulates its K
+/// products in ascending-k order regardless of which tile, worker, or panel
+/// slot produced it -- padding lanes contribute exact zeros -- so results are
+/// bitwise invariant under thread count and partitioning. Tiers themselves
+/// may differ in the last ULP (the FMA tiers round once per multiply-add,
+/// the scalar tier twice), which is why the tier is fixed per process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_GEMM_MICROKERNEL_H
+#define PRIMSEL_GEMM_MICROKERNEL_H
+
+#include <cstdint>
+
+namespace primsel {
+namespace gemm {
+
+/// The SIMD dispatch tiers, lowest capability first.
+enum class SimdTier : uint8_t { Scalar, AVX2, AVX512 };
+
+const char *simdTierName(SimdTier Tier);
+
+/// Compute a full MR x NR tile from packed panels:
+///   C[i * LdC + j] (+)= sum_k APanel[k * MR + i] * BPanel[k * NR + j]
+/// Assign when !Accumulate, add when Accumulate. C must have room for the
+/// full tile (edge tiles go through a caller-side temp).
+using MicroKernelFn = void (*)(int64_t K, const float *APanel,
+                               const float *BPanel, float *C, int64_t LdC,
+                               bool Accumulate);
+
+/// One dispatch tier's kernel and its register-block geometry.
+struct MicroKernel {
+  SimdTier Tier = SimdTier::Scalar;
+  int MR = 4;
+  int NR = 4;
+  MicroKernelFn Fn = nullptr;
+};
+
+/// The kernel for an explicit tier. Asking for a tier the hardware cannot
+/// run falls back to the best supported one at or below it.
+const MicroKernel &microKernelFor(SimdTier Tier);
+
+/// CPUID-based detection of the best tier this machine supports.
+SimdTier detectSimdTier();
+
+/// The process-wide active kernel: detectSimdTier() capped by the
+/// PRIMSEL_SIMD environment override ("scalar", "avx2", "avx512", "native"),
+/// resolved once and cached.
+const MicroKernel &activeMicroKernel();
+
+/// Force the active tier programmatically (CLI --simd flag); capped at what
+/// the hardware supports. Returns the tier actually in effect.
+SimdTier setSimdTierOverride(SimdTier Tier);
+
+/// Deterministic contiguous range split: the half-open slice of
+/// [0, Total) owned by \p Slot of \p Slots. Remainder spreads over the
+/// leading slots, so slice bounds depend only on (Total, Slots, Slot).
+inline void getRange(int64_t Total, int64_t Slots, int64_t Slot,
+                     int64_t &Begin, int64_t &End) {
+  int64_t Base = Total / Slots;
+  int64_t Rem = Total % Slots;
+  Begin = Slot * Base + (Slot < Rem ? Slot : Rem);
+  End = Begin + Base + (Slot < Rem ? 1 : 0);
+}
+
+} // namespace gemm
+} // namespace primsel
+
+#endif // PRIMSEL_GEMM_MICROKERNEL_H

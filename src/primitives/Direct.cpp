@@ -127,6 +127,8 @@ private:
   DirectConfig Cfg;
   ConvScenario S;
   std::shared_ptr<const DirectPrepared> PK;
+  Tensor3D PaddedScratch; ///< reused padded-input copy across runs
+  Tensor3D NativeScratch; ///< reused output staging when layouts differ
 };
 
 /// sum2d: the unoptimized textbook loop with inline bounds checks; the
@@ -425,21 +427,20 @@ void DirectInstance::run(const Tensor3D &In, Tensor3D &Out,
   // sum2d folds padding into its bounds checks; every other variant runs on
   // a padded copy so the hot loops stay branch-free.
   const Tensor3D *Input = &In;
-  Tensor3D Padded;
   if (S.Pad > 0 && Cfg.Order != DirectOrder::Sum2D) {
-    Padded = makePaddedInput(In, S.Pad, Cfg.In);
-    Input = &Padded;
+    makePaddedInputInto(In, S.Pad, Cfg.In, PaddedScratch);
+    Input = &PaddedScratch;
   }
 
   // Cross-layout variants compute in the loop order's native layout and
   // convert on the way out; the conversion is part of this primitive's
   // measured cost.
   Layout Native = nativeOutputLayout(Cfg.Order);
-  Tensor3D NativeOut;
   Tensor3D *Target = &Out;
   if (Cfg.Out != Native) {
-    NativeOut = Tensor3D(S.M, S.outHeight(), S.outWidth(), Native);
-    Target = &NativeOut;
+    if (!NativeScratch.sameShape(Out) || NativeScratch.layout() != Native)
+      NativeScratch = Tensor3D(S.M, S.outHeight(), S.outWidth(), Native);
+    Target = &NativeScratch;
   }
 
   bool FilterParallel = Cfg.Order == DirectOrder::Sum2D ||
@@ -460,7 +461,10 @@ void DirectInstance::run(const Tensor3D &In, Tensor3D &Out,
   } else {
     // Chunk manually so each worker runs one contiguous slab (the loop
     // structure of the variant is preserved within a slab).
-    int64_t NumChunks = std::min<int64_t>(Pool->numThreads(), Extent);
+    int64_t MaxW = Ctx.MaxThreads > 0 ? Ctx.MaxThreads
+                                       : static_cast<int64_t>(Pool->numThreads());
+    int64_t NumChunks = std::min<int64_t>(
+        std::min<int64_t>(Pool->numThreads(), MaxW), Extent);
     int64_t ChunkSize = (Extent + NumChunks - 1) / NumChunks;
     Pool->parallelFor(0, NumChunks, [&](int64_t Chunk) {
       int64_t Begin = Chunk * ChunkSize;

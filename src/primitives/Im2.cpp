@@ -81,18 +81,20 @@ public:
   void run(const Tensor3D &In, Tensor3D &Out, const RunContext &Ctx) override;
 
 private:
-  void buildColPatches(const Tensor3D &In, ThreadPool *Pool);
-  void buildRowPatches(const Tensor3D &In, ThreadPool *Pool);
+  void buildColPatches(const Tensor3D &In, ThreadPool *Pool, int MaxThreads);
+  void buildRowPatches(const Tensor3D &In, ThreadPool *Pool, int MaxThreads);
 
   Im2Config Cfg;
   ConvScenario S;
   std::shared_ptr<const Im2Prepared> PK;
-  AlignedBuffer Patches; ///< per-instance run scratch
+  AlignedBuffer Patches;  ///< per-instance run scratch
+  Tensor3D NativeScratch; ///< reused output staging when layouts differ
 };
 
 /// im2col patch matrix: P[(c*K+kr)*K+kc][ho*Wo+wo], zero-filled where the
 /// receptive field leaves the input.
-void Im2Instance::buildColPatches(const Tensor3D &In, ThreadPool *Pool) {
+void Im2Instance::buildColPatches(const Tensor3D &In, ThreadPool *Pool,
+                                  int MaxThreads) {
   const int64_t Ho = S.outHeight(), Wo = S.outWidth();
   const int64_t PixelCount = Ho * Wo;
   const int64_t SC = In.stride(Dim::C), SH = In.stride(Dim::H),
@@ -120,14 +122,15 @@ void Im2Instance::buildColPatches(const Tensor3D &In, ThreadPool *Pool) {
       }
   };
   if (Pool && Pool->numThreads() > 1)
-    Pool->parallelFor(0, S.C, FillChannel);
+    Pool->parallelFor(0, S.C, FillChannel, MaxThreads);
   else
     for (int64_t Ch = 0; Ch < S.C; ++Ch)
       FillChannel(Ch);
 }
 
 /// im2row patch matrix: R[ho*Wo+wo][(kr*K+kc)*C+c].
-void Im2Instance::buildRowPatches(const Tensor3D &In, ThreadPool *Pool) {
+void Im2Instance::buildRowPatches(const Tensor3D &In, ThreadPool *Pool,
+                                  int MaxThreads) {
   const int64_t Ho = S.outHeight(), Wo = S.outWidth();
   const int64_t PatchLen = S.K * S.K * S.C;
   const int64_t SC = In.stride(Dim::C), SH = In.stride(Dim::H),
@@ -159,7 +162,7 @@ void Im2Instance::buildRowPatches(const Tensor3D &In, ThreadPool *Pool) {
     }
   };
   if (Pool && Pool->numThreads() > 1)
-    Pool->parallelFor(0, Ho, FillRow);
+    Pool->parallelFor(0, Ho, FillRow, MaxThreads);
   else
     for (int64_t R = 0; R < Ho; ++R)
       FillRow(R);
@@ -172,26 +175,26 @@ void Im2Instance::run(const Tensor3D &In, Tensor3D &Out,
   ThreadPool *Pool = Ctx.Pool;
 
   Layout Native = Cfg.RowMajorPatches ? Layout::HWC : Layout::CHW;
-  Tensor3D NativeOut;
   Tensor3D *Target = &Out;
   if (Out.layout() != Native) {
-    NativeOut = Tensor3D(S.M, Ho, Wo, Native);
-    Target = &NativeOut;
+    if (!NativeScratch.sameShape(Out) || NativeScratch.layout() != Native)
+      NativeScratch = Tensor3D(S.M, Ho, Wo, Native);
+    Target = &NativeScratch;
   }
 
   if (!Cfg.RowMajorPatches) {
     // Out[M][Ho*Wo] = Wmat[M][PatchLen] x P[PatchLen][Ho*Wo].
-    buildColPatches(In, Pool);
+    buildColPatches(In, Pool, Ctx.MaxThreads);
     sgemm(Cfg.Gemm, S.M, Ho * Wo, PatchLen, PK->PackedW.data(),
           Patches.data(), Target->data(), Ho * Wo, /*Accumulate=*/false,
-          Pool);
+          Pool, Ctx.MaxThreads);
   } else {
     // Out[Ho*Wo][M] = R[Ho*Wo][PatchLen] x Wmat[PatchLen][M] (or x B^T for
     // the transposed-kernel variant).
-    buildRowPatches(In, Pool);
+    buildRowPatches(In, Pool, Ctx.MaxThreads);
     sgemm(Cfg.Gemm, Ho * Wo, S.M, PatchLen, Patches.data(),
           PK->PackedW.data(), Target->data(), S.M, /*Accumulate=*/false,
-          Pool);
+          Pool, Ctx.MaxThreads);
   }
 
   if (Target != &Out)

@@ -84,7 +84,8 @@ private:
   Kn2Config Cfg;
   ConvScenario S;
   std::shared_ptr<const Kn2Prepared> PK;
-  AlignedBuffer Temp; ///< per-instance run scratch
+  AlignedBuffer Temp;     ///< per-instance run scratch
+  Tensor3D NativeScratch; ///< reused output staging when layouts differ
 };
 
 void Kn2Instance::run(const Tensor3D &In, Tensor3D &Out,
@@ -95,11 +96,11 @@ void Kn2Instance::run(const Tensor3D &In, Tensor3D &Out,
   ThreadPool *Pool = Ctx.Pool;
 
   Layout Native = Cfg.ColVariant ? Layout::HWC : Layout::CHW;
-  Tensor3D NativeOut;
   Tensor3D *Target = &Out;
   if (Out.layout() != Native) {
-    NativeOut = Tensor3D(S.M, Ho, Wo, Native);
-    Target = &NativeOut;
+    if (!NativeScratch.sameShape(Out) || NativeScratch.layout() != Native)
+      NativeScratch = Tensor3D(S.M, Ho, Wo, Native);
+    Target = &NativeScratch;
   }
   Target->zero();
   float *OutData = Target->data();
@@ -110,11 +111,11 @@ void Kn2Instance::run(const Tensor3D &In, Tensor3D &Out,
       // Temp[M][HW] = Wslice[M][C] x In[C][HW]. With TransposedB the input
       // is consumed directly in its HWC form as B^T = [HW][C].
       sgemm(Cfg.Gemm, S.M, HW, S.C, WPos, In.data(), TempPos, HW,
-            /*Accumulate=*/false, Pool);
+            /*Accumulate=*/false, Pool, Ctx.MaxThreads);
     } else {
       // Temp[HW][M] = In_hwc[HW][C] x Wslice[C][M] (or x B^T = [M][C]).
       sgemm(Cfg.Gemm, HW, S.M, S.C, In.data(), WPos, TempPos, S.M,
-            /*Accumulate=*/false, Pool);
+            /*Accumulate=*/false, Pool, Ctx.MaxThreads);
     }
   };
 
@@ -128,7 +129,8 @@ void Kn2Instance::run(const Tensor3D &In, Tensor3D &Out,
     // kn2row: [K*K*M][HW] = Wall[K*K*M][C] x In[C][HW]; kn2col analogous.
     if (!Cfg.ColVariant)
       sgemm(Cfg.Gemm, S.K * S.K * S.M, HW, S.C, PK->PackedW.data(),
-            In.data(), Temp.data(), HW, /*Accumulate=*/false, Pool);
+            In.data(), Temp.data(), HW, /*Accumulate=*/false, Pool,
+            Ctx.MaxThreads);
     else
       for (int64_t Pos = 0; Pos < S.K * S.K; ++Pos)
         PositionGemm(Pos, Temp.data() + Pos * HW * S.M);

@@ -71,6 +71,12 @@ struct RunContext {
   /// Worker pool; nullptr or a 1-thread pool means single-threaded
   /// execution (the paper's (S) configuration).
   ThreadPool *Pool = nullptr;
+  /// Upper bound on the workers this run may draw from Pool; 0 = no cap.
+  /// Set from the plan's per-node thread alternative so a node priced at T
+  /// threads executes with at most T even inside a larger serving pool.
+  /// Capping never changes results: primitives partition work so each
+  /// output element's math is independent of the worker count.
+  int MaxThreads = 0;
 };
 
 /// The weight-side artifact of binding one primitive to one scenario:

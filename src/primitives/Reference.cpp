@@ -71,13 +71,22 @@ void primsel::referenceDepthwiseConv(const ConvScenario &S, const Tensor3D &In,
 }
 
 Tensor3D primsel::makePaddedInput(const Tensor3D &In, int64_t Pad, Layout L) {
-  Tensor3D Padded(In.channels(), In.height() + 2 * Pad, In.width() + 2 * Pad,
-                  L);
+  Tensor3D Padded;
+  makePaddedInputInto(In, Pad, L, Padded);
+  return Padded;
+}
+
+void primsel::makePaddedInputInto(const Tensor3D &In, int64_t Pad, Layout L,
+                                  Tensor3D &Dst) {
+  const int64_t Hp = In.height() + 2 * Pad;
+  const int64_t Wp = In.width() + 2 * Pad;
+  if (Dst.channels() != In.channels() || Dst.height() != Hp ||
+      Dst.width() != Wp || Dst.layout() != L)
+    Dst = Tensor3D(In.channels(), Hp, Wp, L);
   if (Pad > 0)
-    Padded.zero();
+    Dst.zero();
   for (int64_t Ch = 0; Ch < In.channels(); ++Ch)
     for (int64_t Row = 0; Row < In.height(); ++Row)
       for (int64_t Col = 0; Col < In.width(); ++Col)
-        Padded.at(Ch, Row + Pad, Col + Pad) = In.at(Ch, Row, Col);
-  return Padded;
+        Dst.at(Ch, Row + Pad, Col + Pad) = In.at(Ch, Row, Col);
 }

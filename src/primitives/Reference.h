@@ -41,6 +41,12 @@ void referenceDepthwiseConv(const ConvScenario &S, const Tensor3D &In,
 /// indexing (Winograd, FFT, kn2 temporaries).
 Tensor3D makePaddedInput(const Tensor3D &In, int64_t Pad, Layout L);
 
+/// Same, but writing into \p Dst, which is (re)allocated only when its
+/// shape or layout does not match -- the serving hot path reuses the
+/// instance-held scratch tensor run after run.
+void makePaddedInputInto(const Tensor3D &In, int64_t Pad, Layout L,
+                         Tensor3D &Dst);
+
 } // namespace primsel
 
 #endif // PRIMSEL_PRIMITIVES_REFERENCE_H

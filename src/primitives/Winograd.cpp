@@ -75,9 +75,14 @@ void runFreqGemm(int TileBlock, const float *U, const float *V, float *Mo,
 /// Copy \p In into a zero-margin CHW buffer of Hp x Wp with the image at
 /// offset (Pad, Pad). Reads go through logical strides, so an HWC input
 /// pays its gather cost here.
-Tensor3D makeWinogradInput(const Tensor3D &In, int64_t Pad, int64_t Hp,
-                           int64_t Wp) {
-  Tensor3D P(In.channels(), Hp, Wp, Layout::CHW);
+/// Copy \p In into \p P, a zero-margined Hp x Wp CHW tensor; P is only
+/// (re)allocated when its shape changed, so the instance-held scratch is
+/// reused run after run.
+void makeWinogradInputInto(const Tensor3D &In, int64_t Pad, int64_t Hp,
+                           int64_t Wp, Tensor3D &P) {
+  if (P.channels() != In.channels() || P.height() != Hp || P.width() != Wp ||
+      P.layout() != Layout::CHW)
+    P = Tensor3D(In.channels(), Hp, Wp, Layout::CHW);
   P.zero();
   const int64_t SC = In.stride(Dim::C), SH = In.stride(Dim::H),
                 SW = In.stride(Dim::W);
@@ -94,7 +99,6 @@ Tensor3D makeWinogradInput(const Tensor3D &In, int64_t Pad, int64_t Hp,
         for (int64_t Col = 0; Col < In.width(); ++Col)
           DRow[Col] = SRow[Col * SW];
     }
-  return P;
 }
 
 /// Weight-side artifact shared by both Winograd schedules: the Toom-Cook
@@ -161,6 +165,10 @@ private:
   WinoConfig Cfg;
   ConvScenario S;
   std::shared_ptr<const WinoPrepared> PK;
+  Tensor3D PaddedScratch; ///< reused tile-margined input copy
+  AlignedBuffer V;        ///< reused transformed-input scratch
+  AlignedBuffer Mo;       ///< reused pointwise-product scratch
+  Tensor3D NativeScratch; ///< reused output staging when layouts differ
 };
 
 void Wino2DInstance::run(const Tensor3D &In, Tensor3D &Out,
@@ -174,11 +182,13 @@ void Wino2DInstance::run(const Tensor3D &In, Tensor3D &Out,
   const int64_t Hp = Th * M2 + Cfg.R - 1, Wp = Tw * M2 + Cfg.R - 1;
   ThreadPool *Pool = Ctx.Pool;
 
-  Tensor3D P = makeWinogradInput(In, S.Pad, Hp, Wp);
-  const float *PD = P.data();
+  makeWinogradInputInto(In, S.Pad, Hp, Wp, PaddedScratch);
+  const float *PD = PaddedScratch.data();
 
-  AlignedBuffer V(static_cast<size_t>(N * N * S.C * NumTiles));
-  AlignedBuffer Mo(static_cast<size_t>(N * N * S.M * NumTiles));
+  if (V.size() < static_cast<size_t>(N * N * S.C * NumTiles))
+    V.reset(static_cast<size_t>(N * N * S.C * NumTiles));
+  if (Mo.size() < static_cast<size_t>(N * N * S.M * NumTiles))
+    Mo.reset(static_cast<size_t>(N * N * S.M * NumTiles));
   Mo.fill(0.0f);
 
   // Input transform: V[freq][c][tile] = (B^T d B)[i][j].
@@ -212,7 +222,7 @@ void Wino2DInstance::run(const Tensor3D &In, Tensor3D &Out,
       }
   };
   if (Pool && Pool->numThreads() > 1)
-    Pool->parallelFor(0, S.C, TransformChannel);
+    Pool->parallelFor(0, S.C, TransformChannel, Ctx.MaxThreads);
   else
     for (int64_t Ch = 0; Ch < S.C; ++Ch)
       TransformChannel(Ch);
@@ -224,18 +234,18 @@ void Wino2DInstance::run(const Tensor3D &In, Tensor3D &Out,
                 Mo.data() + Freq * S.M * NumTiles, S.M, S.C, NumTiles);
   };
   if (Pool && Pool->numThreads() > 1)
-    Pool->parallelFor(0, N * N, FreqStage);
+    Pool->parallelFor(0, N * N, FreqStage, Ctx.MaxThreads);
   else
     for (int64_t Freq = 0; Freq < N * N; ++Freq)
       FreqStage(Freq);
 
   // Output transform into the native CHW layout, clipped at the edges.
   Layout Native = Layout::CHW;
-  Tensor3D NativeOut;
   Tensor3D *Target = &Out;
   if (Out.layout() != Native) {
-    NativeOut = Tensor3D(S.M, Ho, Wo, Native);
-    Target = &NativeOut;
+    if (!NativeScratch.sameShape(Out) || NativeScratch.layout() != Native)
+      NativeScratch = Tensor3D(S.M, Ho, Wo, Native);
+    Target = &NativeScratch;
   }
   float *OD = Target->data();
 
@@ -274,7 +284,7 @@ void Wino2DInstance::run(const Tensor3D &In, Tensor3D &Out,
     }
   };
   if (Pool && Pool->numThreads() > 1)
-    Pool->parallelFor(0, S.M, InverseFilter);
+    Pool->parallelFor(0, S.M, InverseFilter, Ctx.MaxThreads);
   else
     for (int64_t F = 0; F < S.M; ++F)
       InverseFilter(F);
@@ -298,6 +308,8 @@ private:
   WinoConfig Cfg;
   ConvScenario S;
   std::shared_ptr<const WinoPrepared> PK;
+  Tensor3D PaddedScratch; ///< reused tile-margined input copy
+  Tensor3D NativeScratch; ///< reused output staging when layouts differ
 };
 
 void Wino1DInstance::runRowRange(const float *PD, int64_t Hp, int64_t Wp,
@@ -366,28 +378,32 @@ void Wino1DInstance::run(const Tensor3D &In, Tensor3D &Out,
   const int64_t Wp = Tw * M1 + Cfg.R - 1;
   ThreadPool *Pool = Ctx.Pool;
 
-  Tensor3D P = makeWinogradInput(In, S.Pad, Hp, Wp);
+  makeWinogradInputInto(In, S.Pad, Hp, Wp, PaddedScratch);
 
   Layout Native = Layout::CHW;
-  Tensor3D NativeOut;
   Tensor3D *Target = &Out;
   if (Out.layout() != Native) {
-    NativeOut = Tensor3D(S.M, Ho, Wo, Native);
-    Target = &NativeOut;
+    if (!NativeScratch.sameShape(Out) || NativeScratch.layout() != Native)
+      NativeScratch = Tensor3D(S.M, Ho, Wo, Native);
+    Target = &NativeScratch;
   }
   float *OD = Target->data();
 
   if (Pool && Pool->numThreads() > 1) {
-    int64_t NumChunks = std::min<int64_t>(Pool->numThreads(), Ho);
+    int64_t MaxW = Ctx.MaxThreads > 0
+                       ? Ctx.MaxThreads
+                       : static_cast<int64_t>(Pool->numThreads());
+    int64_t NumChunks = std::min<int64_t>(
+        std::min<int64_t>(Pool->numThreads(), MaxW), Ho);
     int64_t ChunkSize = ceilDiv(Ho, NumChunks);
     Pool->parallelFor(0, NumChunks, [&](int64_t Chunk) {
       int64_t Begin = Chunk * ChunkSize;
       int64_t End = std::min(Ho, Begin + ChunkSize);
       if (Begin < End)
-        runRowRange(P.data(), Hp, Wp, OD, Begin, End);
+        runRowRange(PaddedScratch.data(), Hp, Wp, OD, Begin, End);
     });
   } else {
-    runRowRange(P.data(), Hp, Wp, OD, 0, Ho);
+    runRowRange(PaddedScratch.data(), Hp, Wp, OD, 0, Ho);
   }
 
   if (Target != &Out)

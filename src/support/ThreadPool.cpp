@@ -49,11 +49,15 @@ void ThreadPool::workerLoop(unsigned) {
 }
 
 void ThreadPool::parallelFor(int64_t Begin, int64_t End,
-                             const std::function<void(int64_t)> &Body) {
+                             const std::function<void(int64_t)> &Body,
+                             int MaxWorkers) {
   if (Begin >= End)
     return;
   int64_t N = End - Begin;
-  if (NumThreads == 1 || N == 1) {
+  int64_t Workers = NumThreads;
+  if (MaxWorkers > 0)
+    Workers = std::min<int64_t>(Workers, MaxWorkers);
+  if (Workers == 1 || N == 1) {
     Task All{Begin, End, &Body};
     runChunk(All);
     return;
@@ -61,7 +65,7 @@ void ThreadPool::parallelFor(int64_t Begin, int64_t End,
 
   // Split into one contiguous chunk per worker; the caller keeps the first
   // chunk for itself so small loops pay no synchronization for it.
-  int64_t NumChunks = std::min<int64_t>(NumThreads, N);
+  int64_t NumChunks = std::min<int64_t>(Workers, N);
   int64_t ChunkSize = (N + NumChunks - 1) / NumChunks;
   Task MyChunk{Begin, std::min(End, Begin + ChunkSize), &Body};
   {

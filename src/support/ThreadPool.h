@@ -42,8 +42,12 @@ public:
   /// Run Body(I) for every I in [Begin, End), splitting the range across all
   /// workers in contiguous chunks. Blocks until every iteration finished.
   /// The caller thread participates, so a 1-thread pool runs inline.
+  /// \p MaxWorkers > 0 caps how many workers the split may use (a plan that
+  /// priced a node at T threads runs it with at most T, whatever the pool
+  /// size); 0 means the whole pool.
   void parallelFor(int64_t Begin, int64_t End,
-                   const std::function<void(int64_t)> &Body);
+                   const std::function<void(int64_t)> &Body,
+                   int MaxWorkers = 0);
 
 private:
   struct Task {

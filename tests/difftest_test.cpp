@@ -226,6 +226,102 @@ INSTANTIATE_TEST_SUITE_P(Models, PipelineDiff,
                          modelCaseName);
 
 //===----------------------------------------------------------------------===//
+// 2c. The exec-threads axis: with ExecThreadCandidates {1, 2, 4} the solver
+//     annotates conv nodes with per-node worker counts, and the packed
+//     macro-kernels promise those annotations never change a single output
+//     bit -- tile partitioning redistributes whole micro-tiles across
+//     workers without reordering any per-element accumulation. The promise
+//     is pinned three ways: the annotated plan across pool widths 1/2/4,
+//     the annotated plan against its thread-stripped twin, and a plan
+//     force-annotated to 4 workers on every conv against the sequential
+//     baseline.
+//===----------------------------------------------------------------------===//
+
+/// runPlanOutputs with an explicit pool width (the harness helper derives
+/// Threads from ParallelBranches, which this axis must control directly).
+std::vector<Tensor3D> runPlanOutputsAtThreads(const NetworkGraph &Net,
+                                              const NetworkPlan &Plan,
+                                              unsigned PoolThreads,
+                                              const Tensor3D &Input) {
+  ExecutorOptions Opts;
+  Opts.Threads = PoolThreads;
+  Opts.WeightSeed = 7;
+  Executor Exec(Net, Plan, library(), Opts);
+  Exec.run(Input);
+  std::vector<Tensor3D> Outs;
+  for (NetworkGraph::NodeId N : Net.outputs())
+    Outs.push_back(convertToLayout(Exec.outputOf(N), Layout::CHW));
+  return Outs;
+}
+
+class ThreadsDiff : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ThreadsDiff, ThreadAnnotatedPlansBitIdenticalAcrossPoolWidths) {
+  std::optional<NetworkGraph> Net = buildModel(GetParam(), /*Scale=*/0.1);
+  ASSERT_TRUE(Net.has_value());
+
+  AnalyticCostProvider Costs(library(), MachineProfile::haswell());
+  EngineOptions EOpts;
+  EOpts.Solver = "reduction";
+  EOpts.ExecThreadCandidates = {1, 2, 4};
+  Engine Eng(library(), Costs, EOpts);
+  SelectionResult R = Eng.optimize(*Net);
+  ASSERT_FALSE(R.Plan.empty());
+  ASSERT_TRUE(isLegalized(R.Plan, *Net));
+
+  // The Amdahl terms make extra workers profitable on the large layers, so
+  // a non-trivial candidate axis must actually be used somewhere.
+  ASSERT_FALSE(R.Plan.ConvThreads.empty())
+      << GetParam() << ": thread axis requested but plan carries none";
+  unsigned MaxChosen = 1;
+  for (NetworkGraph::NodeId N : Net->convNodes())
+    MaxChosen = std::max(MaxChosen, R.Plan.convThreads(N));
+  EXPECT_GT(MaxChosen, 1u)
+      << GetParam() << ": no conv selected a multi-worker alternative";
+
+  const TensorShape &Sh = Net->node(0).OutShape;
+  Tensor3D Input(Sh.C, Sh.H, Sh.W, Layout::CHW);
+  Input.fillRandom(23);
+
+  // Sequential reference: the same selection with the thread annotations
+  // stripped, on a single-threaded executor (the historical code path).
+  NetworkPlan Stripped = R.Plan;
+  Stripped.ConvThreads.clear();
+  std::vector<Tensor3D> Baseline =
+      runPlanOutputsAtThreads(*Net, Stripped, /*PoolThreads=*/1, Input);
+
+  // The annotated plan, across pool widths (width 1 caps every annotation
+  // back to sequential execution; widths 2 and 4 actually fan out).
+  for (unsigned Pool : {1u, 2u, 4u})
+    expectOutputsBitIdentical(
+        runPlanOutputsAtThreads(*Net, R.Plan, Pool, Input), Baseline,
+        std::string(GetParam()) + "/exec-threads/pool" + std::to_string(Pool));
+
+  // Force the maximum annotation on every conv: even layers the solver
+  // kept sequential must split bit-identically.
+  NetworkPlan Forced = R.Plan;
+  Forced.ConvThreads.assign(Net->numNodes(), 1);
+  for (NetworkGraph::NodeId N : Net->convNodes())
+    Forced.ConvThreads[N] = 4;
+  expectOutputsBitIdentical(
+      runPlanOutputsAtThreads(*Net, Forced, /*PoolThreads=*/4, Input),
+      Baseline, std::string(GetParam()) + "/exec-threads/forced4");
+
+  // And the annotated plan still computes the network function.
+  AnalyticCostProvider RefCosts(library(), MachineProfile::haswell());
+  NetworkPlan Reference = referencePlan(*Net, library(), RefCosts);
+  expectOutputsClose(Baseline,
+                     runPlanOutputsAtThreads(*Net, Reference, 1, Input),
+                     std::string(GetParam()) + "/exec-threads/vs-reference");
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ThreadsDiff,
+                         ::testing::Values("alexnet", "resnet18", "mobilenet"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           return std::string(I.param);
+                         });
+
+//===----------------------------------------------------------------------===//
 // 3. All three backends, brute force included, on a reduced instance.
 //===----------------------------------------------------------------------===//
 

@@ -46,6 +46,13 @@
 // --amortize switches optimize/warm/serve to the serving-mode cost split
 // (per-inference PBQP costs); 'compile' and 'serve --compiled' imply it.
 //
+// --exec-threads N adds intra-op worker counts {1, 2, ..., N} as an extra
+// PBQP dimension: each conv node is annotated with its chosen count (the
+// ' tK' column in 'optimize'), and the candidate axis joins the plan-cache
+// cost identity -- warm and serve must agree on it to share an entry.
+// --simd scalar|avx2|avx512|native caps the GEMM micro-kernel dispatch
+// tier for the whole process (numerics of a given plan are unaffected).
+//
 // <model-or-file> is a model-zoo name (see 'models') or a path to a
 // network description in the nn/NetParser.h text format.
 //
@@ -56,6 +63,7 @@
 #include "cost/AnalyticModel.h"
 #include "cost/Profiler.h"
 #include "engine/Engine.h"
+#include "gemm/MicroKernel.h"
 #include "nn/Models.h"
 #include "nn/NetParser.h"
 #include "pbqp/TextIO.h"
@@ -107,6 +115,13 @@ struct CliOptions {
   /// True when --passes was supplied, so an empty list can be rejected
   /// instead of silently degrading to -O0.
   bool SawPassList = false;
+  /// --exec-threads: the widest intra-op worker count the solver may
+  /// assign per conv node (thread-count PBQP dimension). 1 = the
+  /// historical single-threaded formulation.
+  unsigned ExecThreads = 1;
+  /// --simd: force the GEMM dispatch tier ("scalar", "avx2", "avx512",
+  /// "native"); empty = runtime detection (plus the PRIMSEL_SIMD env cap).
+  std::string SimdName;
 };
 
 /// Split "a,b,c" into pass names.
@@ -170,11 +185,14 @@ int usage(const char *Argv0) {
       "  serve <model-or-file> [--compiled] [--requests N] [--threads N]\n"
       "           [--parallel] [--no-arena] [--plan-cache DIR] [--scale S]\n"
       "           [--arm] [--solver NAME] [-O0|-O1] [--passes LIST]\n"
-      "           [--amortize]\n"
+      "           [--amortize] [--exec-threads N]\n"
       "-O0 runs no graph-transform passes (default); -O1 runs the default\n"
       "pipeline; --passes LIST runs a comma-separated list (see docs/cli.md).\n"
       "--amortize prices selection on per-inference costs (weight\n"
-      "transforms amortized); 'compile' and 'serve --compiled' imply it.\n",
+      "transforms amortized); 'compile' and 'serve --compiled' imply it.\n"
+      "--exec-threads N adds intra-op worker counts up to N as a PBQP\n"
+      "dimension (optimize/warm/compile/serve); --simd\n"
+      "scalar|avx2|avx512|native forces the GEMM dispatch tier.\n",
       Argv0);
   return 2;
 }
@@ -247,6 +265,26 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
       Opts.Requests = Requests;
+    }
+    else if (Arg == "--exec-threads" && Next(Val)) {
+      if (!parseThreads(Val, Opts.ExecThreads)) {
+        std::fprintf(stderr,
+                     "error: --exec-threads expects an integer in "
+                     "[1, 1024], got '%s'\n",
+                     Val.c_str());
+        return false;
+      }
+    }
+    else if (Arg == "--simd" && Next(Val)) {
+      if (Val != "scalar" && Val != "avx2" && Val != "avx512" &&
+          Val != "native") {
+        std::fprintf(stderr,
+                     "error: --simd expects scalar|avx2|avx512|native, "
+                     "got '%s'\n",
+                     Val.c_str());
+        return false;
+      }
+      Opts.SimdName = Val;
     }
     else if (Arg == "--parallel" && !HasInline)
       Opts.Parallel = true;
@@ -328,6 +366,18 @@ bool amortizeActive(const CliOptions &Opts) {
          (Opts.Command == "serve" && Opts.Compiled);
 }
 
+/// The thread-candidate axis --exec-threads N describes: 1, the powers of
+/// two below N, and N itself. Geometric spacing keeps the PBQP alternative
+/// space small while covering the useful scaling range.
+std::vector<unsigned> execThreadCandidates(unsigned Max) {
+  std::vector<unsigned> C{1};
+  for (unsigned T = 2; T < Max; T *= 2)
+    C.push_back(T);
+  if (Max > 1)
+    C.push_back(Max);
+  return C;
+}
+
 /// The engine configuration the CLI options describe.
 EngineOptions engineOptions(const CliOptions &Opts) {
   EngineOptions EOpts;
@@ -339,6 +389,10 @@ EngineOptions engineOptions(const CliOptions &Opts) {
   EOpts.PlanCacheDir = Opts.PlanCacheDir;
   EOpts.Passes = Opts.Passes;
   EOpts.AmortizeWeightTransforms = amortizeActive(Opts);
+  // The thread-count dimension. Every engine-building command derives its
+  // options here, so a 'warm --exec-threads 4' and a 'serve --exec-threads
+  // 4' agree on the plan-cache cost identity and warm-then-serve hits.
+  EOpts.ExecThreadCandidates = execThreadCandidates(Opts.ExecThreads);
   return EOpts;
 }
 
@@ -536,9 +590,13 @@ int cmdOptimize(const CliOptions &Opts) {
               Opts.Threads, Opts.Threads == 1 ? "" : "s");
   // The plan indexes the pass-rewritten graph when a pipeline ran.
   const NetworkGraph &ExecNet = R.executionGraph(*Net);
-  for (NetworkGraph::NodeId N : ExecNet.convNodes())
-    std::printf("%-24s %s\n", ExecNet.node(N).L.Name.c_str(),
+  for (NetworkGraph::NodeId N : ExecNet.convNodes()) {
+    std::printf("%-24s %s", ExecNet.node(N).L.Name.c_str(),
                 Lib.get(R.Plan.ConvPrim[N]).name().c_str());
+    if (!R.Plan.ConvThreads.empty())
+      std::printf("  t%u", R.Plan.convThreads(N));
+    std::printf("\n");
+  }
   unsigned Hops = 0;
   for (const auto &[Edge, Chain] : R.Plan.Chains)
     Hops += static_cast<unsigned>(Chain.size()) - 1;
@@ -713,8 +771,10 @@ int serveCompiled(const CliOptions &Opts, Engine &Eng,
   CtxOpts.UseArena = !Opts.NoArena;
   // --parallel gives each worker's context a 2-wide pool for concurrent
   // branches; the worker threads themselves provide the request-level
-  // concurrency.
-  CtxOpts.Threads = Opts.Parallel ? 2 : 1;
+  // concurrency. --exec-threads widens the pool so the plan's per-node
+  // intra-op worker counts have workers to run on (the plan caps each
+  // node, so a wide pool never over-threads a node).
+  CtxOpts.Threads = std::max(Opts.Parallel ? 2u : 1u, Opts.ExecThreads);
   CtxOpts.ParallelBranches = Opts.Parallel;
 
   unsigned Workers = std::max(1u, Opts.Threads);
@@ -789,7 +849,9 @@ int cmdServe(const CliOptions &Opts) {
     return serveCompiled(Opts, Eng, *Net, R);
 
   ExecutorOptions XOpts;
-  XOpts.Threads = Opts.Threads;
+  // --exec-threads widens the pool for the plan's intra-op worker counts;
+  // each conv node is still capped at its assigned count.
+  XOpts.Threads = std::max(Opts.Threads, Opts.ExecThreads);
   XOpts.UseArena = !Opts.NoArena;
   XOpts.ParallelBranches = Opts.Parallel;
   // R owns the pass-rewritten graph the executor runs (R outlives Exec).
@@ -886,6 +948,24 @@ int main(int argc, char **argv) {
                    Name.c_str(), Known.c_str());
       return usage(argv[0]);
     }
+
+  // Apply the SIMD dispatch override before any kernel runs. "native"
+  // re-asserts runtime detection; requests above what the hardware
+  // supports fall back (reported so a forced-tier benchmark is never
+  // silently comparing the wrong kernels).
+  if (!Opts.SimdName.empty()) {
+    gemm::SimdTier Want = gemm::detectSimdTier();
+    if (Opts.SimdName == "scalar")
+      Want = gemm::SimdTier::Scalar;
+    else if (Opts.SimdName == "avx2")
+      Want = gemm::SimdTier::AVX2;
+    else if (Opts.SimdName == "avx512")
+      Want = gemm::SimdTier::AVX512;
+    gemm::SimdTier Got = gemm::setSimdTierOverride(Want);
+    if (Got != Want)
+      std::fprintf(stderr, "note: --simd %s unsupported here; using %s\n",
+                   Opts.SimdName.c_str(), gemm::simdTierName(Got));
+  }
 
   if (Opts.Command == "models")
     return cmdModels();
