@@ -32,6 +32,7 @@
 
 #include "engine/CompiledNet.h"
 #include "engine/Engine.h"
+#include "support/Stats.h"
 #include "support/Timer.h"
 
 #include <cstdio>
@@ -49,6 +50,7 @@ struct ModelRow {
   std::string Name;
   double ColdMs = 0.0;      ///< per-request: instantiate + run
   double CompiledMs = 0.0;  ///< steady state on one context
+  LatencySummary Steady;    ///< per-request steady-state distribution
   double PrepareMs = 0.0;   ///< one-time compile work
   double PreparedMiB = 0.0; ///< packed-weight footprint
   unsigned TransformPrims = 0;
@@ -146,10 +148,13 @@ int main() {
     CtxOpts.UseArena = true;
     std::unique_ptr<ExecutionContext> Ctx = CN->newContext(CtxOpts);
     Ctx->run(Input); // warm-up (first touch of the arena pages)
+    std::vector<double> Latencies;
+    Latencies.reserve(Config.Iters);
     Timer SteadyTimer;
     for (unsigned I = 0; I < Config.Iters; ++I)
-      Ctx->run(Input);
+      Latencies.push_back(Ctx->run(Input).TotalMillis);
     Row.CompiledMs = SteadyTimer.millis() / Config.Iters;
+    Row.Steady = summarizeLatencies(Latencies);
     Row.BitIdentical =
         maxAbsDifference(Ctx->networkOutput(), ColdOut) == 0.0f;
 
@@ -163,6 +168,10 @@ int main() {
                 Name, Row.ColdMs, Row.CompiledMs, Row.speedup(),
                 Row.PrepareMs, Row.TransformPrims, Row.PreparedMiB,
                 Row.BitIdentical ? "identical" : "DIFFER");
+    std::printf("%-10s steady-state latency: p50 %.2f ms, p95 %.2f ms, "
+                "p99 %.2f ms (worst %.2f ms)\n",
+                Name, Row.Steady.P50, Row.Steady.P95, Row.Steady.P99,
+                Row.Steady.Max);
     Rows.push_back(Row);
   }
 
@@ -181,10 +190,13 @@ int main() {
           "\"compiled_steady_ms_per_request\": %.4f, \"speedup\": %.3f, "
           "\"prepare_ms\": %.4f, \"prepared_mib\": %.3f, "
           "\"transform_primitives\": %u, "
-          "\"compiled_inferences_per_sec\": %.2f, \"bit_identical\": %s}%s\n",
+          "\"compiled_inferences_per_sec\": %.2f, "
+          "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, "
+          "\"bit_identical\": %s}%s\n",
           Row.Name.c_str(), Row.ColdMs, Row.CompiledMs, Row.speedup(),
           Row.PrepareMs, Row.PreparedMiB, Row.TransformPrims,
           Row.CompiledMs > 0.0 ? 1000.0 / Row.CompiledMs : 0.0,
+          Row.Steady.P50, Row.Steady.P95, Row.Steady.P99,
           Row.BitIdentical ? "true" : "false",
           I + 1 < Rows.size() ? "," : "");
     }

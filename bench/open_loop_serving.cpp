@@ -1,0 +1,254 @@
+//===- bench/open_loop_serving.cpp - Dynamic-batching acceptance bench ----===//
+//
+// The serve-layer story under open-loop load: Poisson arrivals at a swept
+// range of rates flow through the dynamic batcher (serve/Server.h) into
+// one shared CompiledNet, and each sweep point records sustained
+// throughput against the p50/p95/p99 latency distribution -- the classic
+// throughput/latency trade-off curve of a batched server.
+//
+// Rates are chosen relative to the measured sequential capacity (1 /
+// steady-state latency), so the sweep spans under-load through saturation
+// regardless of the host or PRIMSEL_SCALE.
+//
+// Two claims are checked:
+//   1. every Ok response across every sweep point is bit-identical to the
+//      sequential Executor's output for the same input -- batching,
+//      worker count, and arrival interleaving never change numerics.
+//      Always asserted; failure exits nonzero.
+//   2. at a saturating arrival rate, sustained throughput with max-batch
+//      >= 4 (slots running concurrently on the batch pool) strictly
+//      beats max-batch 1 on the same worker. This needs real cores to
+//      run slots on, so it is asserted only when the host reports >= 4
+//      hardware threads and reported as SKIP otherwise (same convention
+//      as bench/parallel_scaling.cpp).
+//
+// Results are emitted as machine-readable BENCH_open_loop.json (path
+// overridable via PRIMSEL_BENCH_JSON) so CI can track the serving-curve
+// trajectory. Environment knobs are the shared bench ones (PRIMSEL_SCALE,
+// PRIMSEL_ITERS).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "engine/Engine.h"
+#include "serve/OpenLoop.h"
+#include "support/Stats.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace primsel;
+using namespace primsel::bench;
+
+namespace {
+
+struct SweepRow {
+  double RatePerSec = 0.0;
+  unsigned MaxBatch = 0;
+  unsigned Workers = 0;
+  serve::OpenLoopResult Res;
+  LatencySummary Lat;
+  double MeanBatch = 0.0;
+  bool BitIdentical = true;
+};
+
+/// Run one open-loop point and verify every Ok output against the
+/// sequential references.
+SweepRow runPoint(std::shared_ptr<const CompiledNet> CN,
+                  const std::vector<Tensor3D> &Inputs,
+                  const std::vector<Tensor3D> &Reference, double RatePerSec,
+                  unsigned Requests, unsigned MaxBatch, unsigned Workers) {
+  serve::ServerOptions SOpts;
+  SOpts.Batch.MaxBatch = MaxBatch;
+  SOpts.Batch.MaxDelayNs = 2000 * serve::nsPerUs;
+  SOpts.Batch.MaxQueue = 512; // generous: measure throughput, not drops
+  SOpts.Workers = Workers;
+
+  serve::OpenLoopOptions LOpts;
+  LOpts.RatePerSec = RatePerSec;
+  LOpts.Requests = Requests;
+  LOpts.Seed = 7;
+
+  SweepRow Row;
+  Row.RatePerSec = RatePerSec;
+  Row.MaxBatch = MaxBatch;
+  Row.Workers = Workers;
+
+  std::vector<unsigned> InputIndex;
+  std::vector<serve::ServeResponse> Responses;
+  {
+    serve::Server Srv(CN, SOpts);
+    Row.Res = serve::runOpenLoop(Srv, Inputs, LOpts, &InputIndex, &Responses);
+    Srv.shutdown();
+    serve::BatcherStats BS = Srv.batcherStats();
+    Row.MeanBatch = BS.Batches ? static_cast<double>(BS.BatchedRequests) /
+                                     static_cast<double>(BS.Batches)
+                               : 0.0;
+  }
+
+  for (size_t I = 0; I < Responses.size(); ++I) {
+    if (!Responses[I].ok())
+      continue;
+    if (maxAbsDifference(Responses[I].Output, Reference[InputIndex[I]]) !=
+        0.0f)
+      Row.BitIdentical = false;
+  }
+  Row.Lat = summarizeLatencies(Row.Res.LatenciesMs);
+  return Row;
+}
+
+} // namespace
+
+int main() {
+  BenchConfig Config = BenchConfig::fromEnvironment();
+  PrimitiveLibrary Lib = buildFullLibrary();
+  const unsigned HwThreads =
+      std::max(1u, std::thread::hardware_concurrency());
+
+  NetworkGraph Net = mobileNet(Config.Scale);
+  AnalyticCostProvider Prov(Lib, MachineProfile::haswell(), 1);
+  EngineOptions EOpts;
+  EOpts.AmortizeWeightTransforms = true;
+  Engine Eng(Lib, Prov, EOpts);
+  SelectionResult R = Eng.optimize(Net);
+  if (R.Plan.empty()) {
+    std::fprintf(stderr, "FAIL: selection failed\n");
+    return 1;
+  }
+  std::shared_ptr<const CompiledNet> CN = Eng.compile(Net, R);
+  if (!CN) {
+    std::fprintf(stderr, "FAIL: compile failed\n");
+    return 1;
+  }
+
+  // Distinct inputs the open loop cycles through, plus the sequential
+  // Executor's output for each -- the bit-identity reference.
+  const NetworkGraph &ExecNet = CN->graph();
+  const TensorShape &Sh = ExecNet.node(0).OutShape;
+  std::vector<Tensor3D> Inputs;
+  std::vector<Tensor3D> Reference;
+  Executor Seq(ExecNet, CN->plan(), Lib);
+  for (unsigned I = 0; I < 4; ++I) {
+    Tensor3D T(Sh.C, Sh.H, Sh.W, Layout::CHW);
+    T.fillRandom(23 + I);
+    Seq.run(T);
+    const Tensor3D &O = Seq.networkOutput();
+    Tensor3D Ref(O.channels(), O.height(), O.width(), O.layout());
+    std::memcpy(Ref.data(), O.data(),
+                static_cast<size_t>(O.size()) * sizeof(float));
+    Reference.push_back(std::move(Ref));
+    Inputs.push_back(std::move(T));
+  }
+
+  // Sequential capacity anchors the sweep: rates are multiples of it.
+  ExecutionContextOptions CtxOpts;
+  std::unique_ptr<ExecutionContext> Ctx = CN->newContext(CtxOpts);
+  Ctx->run(Inputs[0]); // warm-up
+  Timer SeqTimer;
+  const unsigned SeqIters = std::max(8u, Config.Iters);
+  for (unsigned I = 0; I < SeqIters; ++I)
+    Ctx->run(Inputs[I % Inputs.size()]);
+  double SeqMs = SeqTimer.millis() / SeqIters;
+  double CapacityPerSec = 1000.0 / SeqMs;
+
+  const unsigned Requests = 120;
+  std::printf("# open-loop serving bench: mobilenet scale %.2f, %u "
+              "requests/point, sequential %.2f ms (capacity %.1f "
+              "req/sec), %u hardware threads\n",
+              Config.Scale, Requests, SeqMs, CapacityPerSec, HwThreads);
+
+  // --- Rate sweep: under-load through saturation at max-batch 4. ---------
+  const double Multipliers[] = {0.5, 1.0, 2.0, 4.0};
+  std::vector<SweepRow> Rows;
+  bool AllIdentical = true;
+  for (double M : Multipliers) {
+    SweepRow Row = runPoint(CN, Inputs, Reference, M * CapacityPerSec,
+                            Requests, /*MaxBatch=*/4, /*Workers=*/1);
+    AllIdentical &= Row.BitIdentical;
+    std::printf("rate %7.1f req/s (%.1fx cap): sustained %7.1f req/s, "
+                "p50 %7.2f ms, p95 %7.2f ms, p99 %7.2f ms, mean batch "
+                "%.2f, %u/%u ok, outputs %s\n",
+                Row.RatePerSec, M, Row.Res.SustainedPerSec, Row.Lat.P50,
+                Row.Lat.P95, Row.Lat.P99, Row.MeanBatch, Row.Res.Completed,
+                Row.Res.Offered,
+                Row.BitIdentical ? "identical" : "DIFFER");
+    Rows.push_back(std::move(Row));
+  }
+
+  // --- Saturation: max-batch 4 vs batch-size 1, same saturating load. ----
+  double SatRate = 4.0 * CapacityPerSec;
+  SweepRow Batch1 = runPoint(CN, Inputs, Reference, SatRate, Requests,
+                             /*MaxBatch=*/1, /*Workers=*/1);
+  SweepRow Batch4 = runPoint(CN, Inputs, Reference, SatRate, Requests,
+                             /*MaxBatch=*/4, /*Workers=*/1);
+  AllIdentical &= Batch1.BitIdentical && Batch4.BitIdentical;
+  double Speedup = Batch1.Res.SustainedPerSec > 0.0
+                       ? Batch4.Res.SustainedPerSec / Batch1.Res.SustainedPerSec
+                       : 0.0;
+  std::printf("saturation (%.1f req/s offered): batch-1 %7.1f req/s, "
+              "batch-4 %7.1f req/s (%.2fx)\n",
+              SatRate, Batch1.Res.SustainedPerSec,
+              Batch4.Res.SustainedPerSec, Speedup);
+
+  // Machine-readable trajectory record.
+  const char *JsonEnv = std::getenv("PRIMSEL_BENCH_JSON");
+  std::string JsonPath = JsonEnv ? JsonEnv : "BENCH_open_loop.json";
+  if (std::FILE *F = std::fopen(JsonPath.c_str(), "w")) {
+    std::fprintf(F,
+                 "{\n  \"bench\": \"open_loop_serving\",\n"
+                 "  \"model\": \"mobilenet\",\n  \"scale\": %.3f,\n"
+                 "  \"requests_per_point\": %u,\n"
+                 "  \"sequential_ms_per_request\": %.4f,\n"
+                 "  \"hardware_threads\": %u,\n  \"sweep\": [\n",
+                 Config.Scale, Requests, SeqMs, HwThreads);
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const SweepRow &Row = Rows[I];
+      std::fprintf(
+          F,
+          "    {\"rate_per_sec\": %.2f, \"max_batch\": %u, \"workers\": "
+          "%u, \"offered_per_sec\": %.2f, \"sustained_per_sec\": %.2f, "
+          "\"completed\": %u, \"rejected\": %u, \"p50_ms\": %.4f, "
+          "\"p95_ms\": %.4f, \"p99_ms\": %.4f, \"mean_batch\": %.3f, "
+          "\"bit_identical\": %s}%s\n",
+          Row.RatePerSec, Row.MaxBatch, Row.Workers, Row.Res.OfferedPerSec,
+          Row.Res.SustainedPerSec, Row.Res.Completed, Row.Res.Rejected,
+          Row.Lat.P50, Row.Lat.P95, Row.Lat.P99, Row.MeanBatch,
+          Row.BitIdentical ? "true" : "false",
+          I + 1 < Rows.size() ? "," : "");
+    }
+    std::fprintf(F,
+                 "  ],\n  \"saturation\": {\"offered_per_sec\": %.2f, "
+                 "\"batch1_sustained_per_sec\": %.2f, "
+                 "\"batch4_sustained_per_sec\": %.2f, \"speedup\": %.3f}\n"
+                 "}\n",
+                 SatRate, Batch1.Res.SustainedPerSec,
+                 Batch4.Res.SustainedPerSec, Speedup);
+    std::fclose(F);
+    std::printf("# wrote %s\n", JsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", JsonPath.c_str());
+  }
+
+  std::printf("%s batched responses bit-identical to the sequential "
+              "executor at every sweep point\n",
+              AllIdentical ? "PASS" : "FAIL");
+  bool ThroughputOk = true;
+  if (HwThreads >= 4) {
+    ThroughputOk = Batch4.Res.SustainedPerSec > Batch1.Res.SustainedPerSec;
+    std::printf("%s max-batch 4 sustains more than batch-size 1 at "
+                "saturation (%.2fx)\n",
+                ThroughputOk ? "PASS" : "FAIL", Speedup);
+  } else {
+    std::printf("SKIP saturation-throughput assertion: host has %u "
+                "hardware threads (< 4); batch slots cannot run "
+                "concurrently\n",
+                HwThreads);
+  }
+  return AllIdentical && ThroughputOk ? 0 : 1;
+}

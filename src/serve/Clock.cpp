@@ -1,0 +1,94 @@
+//===- serve/Clock.cpp ----------------------------------------------------===//
+
+#include "serve/Clock.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace primsel;
+using namespace primsel::serve;
+
+Clock::~Clock() = default;
+
+void Clock::attachWaiter(std::mutex &, std::condition_variable &) {}
+void Clock::detachWaiter(std::condition_variable &) {}
+
+//===----------------------------------------------------------------------===//
+// SteadyClock
+//===----------------------------------------------------------------------===//
+
+SteadyClock::SteadyClock() : Epoch(std::chrono::steady_clock::now()) {}
+
+TimeNs SteadyClock::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+void SteadyClock::waitUntil(std::unique_lock<std::mutex> &Lock,
+                            std::condition_variable &CV, TimeNs Deadline) {
+  CV.wait_until(Lock, Epoch + std::chrono::nanoseconds(Deadline));
+}
+
+Clock &primsel::serve::steadyClock() {
+  static SteadyClock C;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// VirtualClock
+//===----------------------------------------------------------------------===//
+
+TimeNs VirtualClock::now() const {
+  return Now.load(std::memory_order_seq_cst);
+}
+
+void VirtualClock::waitUntil(std::unique_lock<std::mutex> &Lock,
+                             std::condition_variable &CV, TimeNs) {
+  // Virtual time only moves when advance() is called, and advance wakes
+  // every attached waiter -- so there is nothing to time out against; the
+  // caller's predicate re-check supplies the deadline semantics.
+  CV.wait(Lock);
+}
+
+void VirtualClock::attachWaiter(std::mutex &M, std::condition_variable &CV) {
+  std::lock_guard<std::mutex> G(WaitersMutex);
+  Waiters.push_back({&M, &CV});
+}
+
+void VirtualClock::detachWaiter(std::condition_variable &CV) {
+  std::lock_guard<std::mutex> G(WaitersMutex);
+  Waiters.erase(std::remove_if(Waiters.begin(), Waiters.end(),
+                               [&](const Waiter &W) { return W.CV == &CV; }),
+                Waiters.end());
+}
+
+void VirtualClock::advance(TimeNs DeltaNs) {
+  assert(DeltaNs >= 0 && "virtual time cannot move backwards");
+  Now.fetch_add(DeltaNs, std::memory_order_seq_cst);
+  notifyWaiters();
+}
+
+void VirtualClock::advanceTo(TimeNs AbsNs) {
+  assert(AbsNs >= now() && "virtual time cannot move backwards");
+  Now.store(AbsNs, std::memory_order_seq_cst);
+  notifyWaiters();
+}
+
+void VirtualClock::notifyWaiters() {
+  // Snapshot under the registry lock, then wake. Locking each waiter's
+  // mutex (and releasing it) before notifying closes the lost-wakeup
+  // window: a waiter that read the old time under its mutex is, by the
+  // time we acquire that mutex, parked inside its wait and will receive
+  // the notification; a waiter that has not yet checked will read the new
+  // time.
+  std::vector<Waiter> Snapshot;
+  {
+    std::lock_guard<std::mutex> G(WaitersMutex);
+    Snapshot = Waiters;
+  }
+  for (const Waiter &W : Snapshot) {
+    { std::lock_guard<std::mutex> G(*W.M); }
+    W.CV->notify_all();
+  }
+}

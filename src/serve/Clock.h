@@ -1,0 +1,131 @@
+//===- serve/Clock.h - Abstract time for the serving front end --*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Time, abstracted so batching policy is deterministic under test. The
+/// dynamic batcher's behaviour (batch-window expiry, deadline misses,
+/// backpressure transitions) is entirely a function of *when things
+/// happen*; binding it to the wall clock would make every policy test a
+/// sleep-and-hope race. Instead the batcher reads time through this
+/// interface:
+///
+///  - SteadyClock (production): std::chrono::steady_clock, with timed
+///    condition-variable waits for batch-window expiry;
+///  - VirtualClock (tests): a manually-advanced counter. waitUntil blocks
+///    until someone calls advance()/advanceTo(), which (a) moves time and
+///    (b) wakes every attached waiter -- so a test advances virtual time
+///    past a batch window and the worker observably fires the partial
+///    batch, with zero wall-clock sleeps and no timing dependence.
+///
+/// Timestamps are int64 nanoseconds since the clock's epoch (process start
+/// for SteadyClock, 0 for VirtualClock). The serving layer never compares
+/// timestamps across clocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_SERVE_CLOCK_H
+#define PRIMSEL_SERVE_CLOCK_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace primsel {
+namespace serve {
+
+/// Nanoseconds since the owning clock's epoch.
+using TimeNs = int64_t;
+
+constexpr TimeNs nsPerUs = 1000;
+constexpr TimeNs nsPerMs = 1000 * 1000;
+constexpr TimeNs nsPerSec = 1000 * 1000 * 1000;
+
+/// The time source of a batching front end.
+///
+/// Waiting couples a clock to a caller-owned (mutex, condition_variable)
+/// pair: the caller holds the lock, has checked its predicate, and asks the
+/// clock to block until either the deadline passes or the CV is notified
+/// (spurious returns are allowed -- callers always re-check). A manual
+/// clock additionally needs to know the pair so advance() can wake the
+/// sleeper; attachWaiter/detachWaiter register it (no-ops on real clocks).
+class Clock {
+public:
+  virtual ~Clock();
+
+  /// Current time in nanoseconds since this clock's epoch.
+  virtual TimeNs now() const = 0;
+
+  /// Block on \p CV (releasing \p Lock) until roughly \p Deadline or a
+  /// notification, whichever comes first. May return early/spuriously;
+  /// callers re-check their predicate and deadline.
+  virtual void waitUntil(std::unique_lock<std::mutex> &Lock,
+                         std::condition_variable &CV, TimeNs Deadline) = 0;
+
+  /// Register a (mutex, CV) pair this clock must wake when time moves.
+  /// Real clocks ignore this (the OS wakes timed waits); VirtualClock
+  /// notifies every attached pair from advance(). \p M must be the mutex
+  /// \p CV waiters hold -- advance() serializes on it so a waiter that
+  /// checked its predicate before the advance is guaranteed to be inside
+  /// the wait (and thus woken) rather than between check and wait.
+  virtual void attachWaiter(std::mutex &M, std::condition_variable &CV);
+  virtual void detachWaiter(std::condition_variable &CV);
+};
+
+/// Production time: std::chrono::steady_clock with a process-lifetime
+/// epoch. waitUntil is a plain wait_until.
+class SteadyClock : public Clock {
+public:
+  SteadyClock();
+
+  TimeNs now() const override;
+  void waitUntil(std::unique_lock<std::mutex> &Lock,
+                 std::condition_variable &CV, TimeNs Deadline) override;
+
+private:
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+/// The process-wide steady clock (one shared epoch, so timestamps from
+/// different serving components are comparable).
+Clock &steadyClock();
+
+/// Manually-advanced time for deterministic tests. now() starts at 0 and
+/// moves only via advance()/advanceTo(). waitUntil ignores the deadline
+/// and blocks until notified -- by the batcher's own submit/close
+/// notifications or by advance(), which wakes every attached waiter after
+/// moving time. Thread-safe: tests typically advance from the main thread
+/// while a worker blocks in Batcher::waitPop.
+class VirtualClock : public Clock {
+public:
+  TimeNs now() const override;
+  void waitUntil(std::unique_lock<std::mutex> &Lock,
+                 std::condition_variable &CV, TimeNs Deadline) override;
+  void attachWaiter(std::mutex &M, std::condition_variable &CV) override;
+  void detachWaiter(std::condition_variable &CV) override;
+
+  /// Move time forward by \p DeltaNs (>= 0) and wake attached waiters.
+  void advance(TimeNs DeltaNs);
+  /// Move time to \p AbsNs (monotonicity asserted) and wake waiters.
+  void advanceTo(TimeNs AbsNs);
+
+private:
+  void notifyWaiters();
+
+  std::atomic<TimeNs> Now{0};
+  std::mutex WaitersMutex;
+  struct Waiter {
+    std::mutex *M;
+    std::condition_variable *CV;
+  };
+  std::vector<Waiter> Waiters;
+};
+
+} // namespace serve
+} // namespace primsel
+
+#endif // PRIMSEL_SERVE_CLOCK_H

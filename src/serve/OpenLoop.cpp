@@ -1,0 +1,91 @@
+//===- serve/OpenLoop.cpp -------------------------------------------------===//
+
+#include "serve/OpenLoop.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+using namespace primsel;
+using namespace primsel::serve;
+
+OpenLoopResult primsel::serve::runOpenLoop(
+    Server &Srv, const std::vector<Tensor3D> &Inputs,
+    const OpenLoopOptions &Options, std::vector<unsigned> *InputIndex,
+    std::vector<ServeResponse> *Responses) {
+  assert(!Inputs.empty() && "open loop needs at least one input tensor");
+  assert(Options.RatePerSec > 0.0 && "arrival rate must be positive");
+
+  OpenLoopResult Result;
+  if (InputIndex)
+    InputIndex->clear();
+  if (Responses)
+    Responses->clear();
+
+  Rng Gaps(Options.Seed);
+  Clock &Clk = Srv.clock();
+
+  std::vector<SubmitTicket> Tickets;
+  std::vector<TimeNs> SubmitNs;
+  Tickets.reserve(Options.Requests);
+  SubmitNs.reserve(Options.Requests);
+
+  using SteadyTime = std::chrono::steady_clock::time_point;
+  SteadyTime Start = std::chrono::steady_clock::now();
+  double NextArrivalNs = 0.0;
+
+  for (unsigned I = 0; I < Options.Requests; ++I) {
+    // Exponential inter-arrival gap: -ln(1-U)/rate, U in [0,1).
+    double U = Gaps.nextFloat();
+    NextArrivalNs +=
+        -std::log(1.0 - U) * static_cast<double>(nsPerSec) / Options.RatePerSec;
+    SteadyTime At =
+        Start + std::chrono::nanoseconds(
+                    static_cast<int64_t>(NextArrivalNs));
+    // Open loop: pace to the schedule, never to the server. If the server
+    // falls behind, arrivals keep coming and the queue absorbs (or
+    // rejects) them.
+    std::this_thread::sleep_until(At);
+
+    unsigned Idx = I % static_cast<unsigned>(Inputs.size());
+    if (InputIndex)
+      InputIndex->push_back(Idx);
+    TimeNs NowNs = Clk.now();
+    TimeNs Deadline = Options.SloNs != 0 ? NowNs + Options.SloNs : 0;
+    SubmitNs.push_back(NowNs);
+    Tickets.push_back(Srv.submit(Inputs[Idx], Deadline));
+  }
+  Result.Offered = Options.Requests;
+
+  for (unsigned I = 0; I < Tickets.size(); ++I) {
+    ServeResponse R = Tickets[I].Response.get();
+    if (R.ok()) {
+      ++Result.Completed;
+      if (R.MissedDeadline)
+        ++Result.DeadlineMisses;
+      TimeNs LatNs = R.TotalNs != 0 ? R.TotalNs : Clk.now() - SubmitNs[I];
+      Result.LatenciesMs.push_back(static_cast<double>(LatNs) /
+                                   static_cast<double>(nsPerMs));
+    } else {
+      ++Result.Rejected;
+    }
+    if (Responses)
+      Responses->push_back(std::move(R));
+  }
+
+  double WallNs = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  Result.WallMillis = WallNs / static_cast<double>(nsPerMs);
+  if (WallNs > 0.0) {
+    Result.OfferedPerSec =
+        static_cast<double>(Result.Offered) * nsPerSec / WallNs;
+    Result.SustainedPerSec =
+        static_cast<double>(Result.Completed) * nsPerSec / WallNs;
+  }
+  return Result;
+}

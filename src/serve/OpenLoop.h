@@ -1,0 +1,73 @@
+//===- serve/OpenLoop.h - Poisson open-loop load generator ------*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Open-loop load generation against a serve::Server: requests arrive on
+/// a Poisson process at a configured rate, independent of how fast the
+/// server completes them (arrivals are never gated on responses, unlike a
+/// closed loop). This is the arrival model that actually exercises the
+/// dynamic batcher -- queues grow under saturation, the batching window
+/// fills, and backpressure/deadline rejections become observable.
+///
+/// Inter-arrival gaps are sampled from the exponential distribution with
+/// a deterministic Rng, so a given (rate, requests, seed) triple offers
+/// the same arrival schedule every run; only the service side varies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_SERVE_OPENLOOP_H
+#define PRIMSEL_SERVE_OPENLOOP_H
+
+#include "serve/Server.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace primsel {
+namespace serve {
+
+struct OpenLoopOptions {
+  /// Offered load: mean arrivals per second of the Poisson process.
+  double RatePerSec = 100.0;
+  /// Total requests to offer.
+  unsigned Requests = 100;
+  /// Relative SLO per request (0 = no deadline): each request's absolute
+  /// deadline is its submit time plus this.
+  TimeNs SloNs = 0;
+  /// Seed for the exponential inter-arrival sampler.
+  uint64_t Seed = 1;
+};
+
+/// What one open-loop run observed.
+struct OpenLoopResult {
+  unsigned Offered = 0;   ///< requests submitted
+  unsigned Completed = 0; ///< resolved Ok
+  unsigned Rejected = 0;  ///< any non-Ok terminal status
+  unsigned DeadlineMisses = 0; ///< completed Ok but past the deadline
+  /// End-to-end latency (submit -> response) of each Ok request, in
+  /// milliseconds, in completion-collection order.
+  std::vector<double> LatenciesMs;
+  double WallMillis = 0.0;      ///< first submit -> last response collected
+  double OfferedPerSec = 0.0;   ///< Offered / wall time
+  double SustainedPerSec = 0.0; ///< Completed / wall time
+};
+
+/// Drive \p Srv with Poisson arrivals cycling through \p Inputs.
+/// Submission never blocks (rejections surface as statuses); futures are
+/// collected after the arrival schedule finishes. When \p InputIndex is
+/// non-null it receives, per offered request, the index into \p Inputs
+/// that was submitted; when \p Responses is non-null it receives every
+/// terminal response (same order), letting callers verify outputs
+/// bit-identically against a reference executor.
+OpenLoopResult runOpenLoop(Server &Srv, const std::vector<Tensor3D> &Inputs,
+                           const OpenLoopOptions &Options,
+                           std::vector<unsigned> *InputIndex = nullptr,
+                           std::vector<ServeResponse> *Responses = nullptr);
+
+} // namespace serve
+} // namespace primsel
+
+#endif // PRIMSEL_SERVE_OPENLOOP_H

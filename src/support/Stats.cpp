@@ -43,3 +43,28 @@ double SampleStats::stddev() const {
     SqSum += (S - M) * (S - M);
   return std::sqrt(SqSum / static_cast<double>(Samples.size()));
 }
+
+double primsel::percentileOfSorted(const std::vector<double> &Sorted,
+                                   double P) {
+  if (Sorted.empty())
+    return 0.0;
+  P = std::min(1.0, std::max(0.0, P));
+  size_t Index = static_cast<size_t>(P * (Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Index, Sorted.size() - 1)];
+}
+
+LatencySummary primsel::summarizeLatencies(std::vector<double> &Samples) {
+  LatencySummary S;
+  if (Samples.empty())
+    return S;
+  std::sort(Samples.begin(), Samples.end());
+  S.Count = Samples.size();
+  S.Mean = std::accumulate(Samples.begin(), Samples.end(), 0.0) /
+           static_cast<double>(Samples.size());
+  S.P50 = percentileOfSorted(Samples, 0.50);
+  S.P95 = percentileOfSorted(Samples, 0.95);
+  S.P99 = percentileOfSorted(Samples, 0.99);
+  S.Min = Samples.front();
+  S.Max = Samples.back();
+  return S;
+}

@@ -42,6 +42,28 @@ private:
   std::vector<double> Samples;
 };
 
+/// Percentile of an ascending-sorted sample vector using the nearest-rank
+/// index round(P * (N - 1)) -- the definition shared by the CLI latency
+/// report, the serving benchmarks, and their tests, so "p99" means the
+/// same sample everywhere. Returns 0 for an empty vector; P is clamped to
+/// [0, 1].
+double percentileOfSorted(const std::vector<double> &Sorted, double P);
+
+/// Mean plus the standard tail percentiles of a latency sample set.
+struct LatencySummary {
+  size_t Count = 0;
+  double Mean = 0.0;
+  double P50 = 0.0;
+  double P95 = 0.0;
+  double P99 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Sort \p Samples ascending in place and summarize them. An empty vector
+/// yields an all-zero summary.
+LatencySummary summarizeLatencies(std::vector<double> &Samples);
+
 } // namespace primsel
 
 #endif // PRIMSEL_SUPPORT_STATS_H

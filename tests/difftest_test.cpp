@@ -24,9 +24,14 @@
 #include "cost/AnalyticModel.h"
 #include "engine/Engine.h"
 #include "nn/Models.h"
+#include "runtime/Executor.h"
+#include "serve/Server.h"
 #include "transforms/Pass.h"
 
 #include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
 
 using namespace primsel;
 using namespace primsel::difftest;
@@ -387,5 +392,98 @@ TEST(BackendDiff, AllThreeBackendsAgreeOnResidualDepthwiseNet) {
           Config.describe());
   }
 }
+
+//===----------------------------------------------------------------------===//
+// 4. The batched-serving axis: responses from the dynamic-batching server
+//    (serve/Server.h) must be bit-identical to the sequential Executor on
+//    every (batch size x worker count) point, independent of how the
+//    concurrent submitters' arrivals interleave -- batching is a
+//    scheduling decision, never a numerics decision.
+//===----------------------------------------------------------------------===//
+
+class BatchedServeDiff : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(BatchedServeDiff, BatchedResponsesBitIdenticalToSequentialExecutor) {
+  std::optional<NetworkGraph> Net = buildModel(GetParam(), /*Scale=*/0.1);
+  ASSERT_TRUE(Net.has_value());
+  AnalyticCostProvider Costs(library(), MachineProfile::haswell(), 1);
+  EngineOptions EOpts;
+  EOpts.AmortizeWeightTransforms = true; // the serving-mode cost split
+  Engine Eng(library(), Costs, EOpts);
+  SelectionResult R = Eng.optimize(*Net);
+  ASSERT_FALSE(R.Plan.empty());
+  std::shared_ptr<const CompiledNet> CN = Eng.compile(*Net, R);
+  ASSERT_NE(CN, nullptr);
+
+  // Distinct inputs and the sequential Executor's output for each.
+  const TensorShape &Sh = CN->graph().node(0).OutShape;
+  std::vector<Tensor3D> Inputs;
+  std::vector<Tensor3D> Reference;
+  Executor Seq(CN->graph(), CN->plan(), library());
+  for (unsigned I = 0; I < 4; ++I) {
+    Tensor3D T(Sh.C, Sh.H, Sh.W, Layout::CHW);
+    T.fillRandom(53 + I);
+    Seq.run(T);
+    const Tensor3D &O = Seq.networkOutput();
+    Tensor3D Ref(O.channels(), O.height(), O.width(), O.layout());
+    std::memcpy(Ref.data(), O.data(),
+                static_cast<size_t>(O.size()) * sizeof(float));
+    Reference.push_back(std::move(Ref));
+    Inputs.push_back(std::move(T));
+  }
+
+  const unsigned RequestsPerSubmitter = 8;
+  for (unsigned MaxBatch : {1u, 2u, 4u}) {
+    for (unsigned Workers : {1u, 4u}) {
+      serve::ServerOptions SOpts;
+      SOpts.Batch.MaxBatch = MaxBatch;
+      SOpts.Batch.MaxDelayNs = 200 * serve::nsPerUs;
+      SOpts.Batch.MaxQueue = 64;
+      SOpts.Workers = Workers;
+      serve::Server Srv(CN, SOpts);
+
+      // Two concurrent submitters produce a nondeterministic arrival
+      // interleaving; each records which input every ticket carried so
+      // the response can be checked against the right reference.
+      std::vector<std::vector<serve::SubmitTicket>> Tickets(2);
+      std::vector<std::vector<unsigned>> Chose(2);
+      std::vector<std::thread> Submitters;
+      for (unsigned S = 0; S < 2; ++S)
+        Submitters.emplace_back([&, S] {
+          for (unsigned I = 0; I < RequestsPerSubmitter; ++I) {
+            unsigned Idx = (S * RequestsPerSubmitter + I) %
+                           static_cast<unsigned>(Inputs.size());
+            Chose[S].push_back(Idx);
+            Tickets[S].push_back(Srv.submit(Inputs[Idx]));
+          }
+        });
+      for (std::thread &T : Submitters)
+        T.join();
+      Srv.shutdown(); // drains: every admitted request completes
+
+      std::string Point = std::string(GetParam()) + "/batch" +
+                          std::to_string(MaxBatch) + "x" +
+                          std::to_string(Workers) + "w";
+      for (unsigned S = 0; S < 2; ++S)
+        for (unsigned I = 0; I < RequestsPerSubmitter; ++I) {
+          serve::ServeResponse Resp = Tickets[S][I].Response.get();
+          ASSERT_TRUE(Resp.ok())
+              << Point << ": " << serve::serveStatusName(Resp.Status);
+          EXPECT_LE(Resp.BatchSize, MaxBatch) << Point;
+          EXPECT_EQ(maxAbsDifference(Resp.Output, Reference[Chose[S][I]]),
+                    0.0f)
+              << Point << " submitter " << S << " request " << I;
+        }
+      EXPECT_EQ(Srv.stats().RequestsExecuted, 2u * RequestsPerSubmitter)
+          << Point;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, BatchedServeDiff,
+                         ::testing::Values("resnet18", "mobilenet"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           return std::string(I.param);
+                         });
 
 } // namespace

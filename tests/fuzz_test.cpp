@@ -10,7 +10,12 @@
 //      (optimality, whenever the solver proves its solution);
 //   3. executing the PBQP plan computes the same function as executing the
 //      sum2d baseline plan (whole-network functional equivalence);
-//   4. the text format round-trips the generated topologies.
+//   4. the text format round-trips the generated topologies;
+//   5. the dynamic batcher (serve/Batcher.h), driven by random
+//      submit/cancel/advance-clock/pop schedules on a VirtualClock, never
+//      loses or double-completes a request: every future resolves exactly
+//      once with a valid terminal status, and the number of Ok responses
+//      equals the number of requests the schedule actually executed.
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,10 +27,14 @@
 #include "nn/NetParser.h"
 #include "primitives/Registry.h"
 #include "runtime/Executor.h"
+#include "serve/Batcher.h"
+#include "support/Random.h"
 #include "tensor/Transform.h"
 #include "transforms/Pass.h"
 
 #include <gtest/gtest.h>
+
+#include <chrono>
 
 using namespace primsel;
 
@@ -320,5 +329,117 @@ TEST(RandomResidualNetwork, DeterministicPerSeed) {
   EXPECT_NE(serializeNetwork(randomResidualNetwork(42)),
             serializeNetwork(randomResidualNetwork(43)));
 }
+
+//===----------------------------------------------------------------------===//
+// 5. Batcher lifecycle property: random admission/cancel/advance/pop
+//    schedules on a VirtualClock (fully deterministic per seed).
+//===----------------------------------------------------------------------===//
+
+class BatcherFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatcherFuzz, RandomSchedulesNeverLoseOrDoubleCompleteRequests) {
+  Rng R(GetParam());
+  serve::VirtualClock Clk;
+  serve::BatcherOptions Opts;
+  Opts.MaxBatch = 1 + static_cast<unsigned>(R.nextBelow(4));
+  Opts.MaxDelayNs =
+      R.nextBelow(2) ? static_cast<serve::TimeNs>(1 + R.nextBelow(5)) *
+                           serve::nsPerMs
+                     : 0;
+  Opts.MaxQueue = 1 + static_cast<unsigned>(R.nextBelow(8));
+  Tensor3D In(1, 1, 1, Layout::CHW);
+  In.fillRandom(GetParam());
+
+  // Every ticket ever issued; nothing may be lost. Double completion is
+  // structurally loud: a second set_value on a promise throws.
+  std::vector<serve::SubmitTicket> All;
+  uint64_t ExecutedOk = 0;
+
+  auto completeBatch = [&](serve::Batch &B) {
+    EXPECT_LE(B.size(), Opts.MaxBatch);
+    EXPECT_GE(B.size(), 1u);
+    for (serve::BatchRequest &Rq : B.Requests) {
+      // Admitted requests only, popped before their deadline.
+      EXPECT_NE(Rq.Id, 0u);
+      if (Rq.DeadlineNs != 0)
+        EXPECT_GT(Rq.DeadlineNs, B.FormedNs);
+      serve::ServeResponse Resp;
+      Resp.Status = serve::ServeStatus::Ok;
+      Resp.BatchSize = static_cast<unsigned>(B.size());
+      Rq.Done.set_value(std::move(Resp));
+      ++ExecutedOk;
+    }
+  };
+
+  {
+    serve::Batcher Q(Opts, Clk);
+    for (int Step = 0; Step < 300; ++Step) {
+      switch (R.nextBelow(5)) {
+      case 0:
+      case 1: { // submit, sometimes with a (possibly hopeless) deadline
+        serve::TimeNs Deadline =
+            R.nextBelow(3) == 0
+                ? Clk.now() + static_cast<serve::TimeNs>(
+                                  R.nextBelow(4 * serve::nsPerMs))
+                : 0;
+        All.push_back(Q.submit(In, Deadline));
+        break;
+      }
+      case 2: // cancel a random ticket (often already resolved: must be
+              // a clean no-op, never a double completion)
+        if (!All.empty())
+          Q.cancel(All[R.nextBelow(All.size())].Id);
+        break;
+      case 3: // let virtual time pass (expires windows and deadlines)
+        Clk.advance(static_cast<serve::TimeNs>(
+            R.nextBelow(2 * serve::nsPerMs)));
+        break;
+      case 4: { // act as the draining worker
+        serve::Batch B;
+        if (Q.tryPop(B))
+          completeBatch(B);
+        break;
+      }
+      }
+    }
+
+    // Shutdown drain: close admission, pop until empty. Everything still
+    // queued either executes or expires -- nothing may linger.
+    Q.close();
+    serve::Batch B;
+    while (Q.tryPop(B))
+      completeBatch(B);
+    EXPECT_EQ(Q.queueDepth(), 0u);
+
+    serve::BatcherStats S = Q.stats();
+    EXPECT_EQ(S.Submitted, All.size());
+    // Conservation after a full drain: every admitted request was popped,
+    // cancelled, or expired in the queue.
+    EXPECT_EQ(S.Admitted, S.BatchedRequests + S.Cancelled + S.ExpiredInQueue);
+    EXPECT_EQ(S.Submitted,
+              S.Admitted + S.RejectedQueueFull + S.RejectedShutdown +
+                  (S.RejectedDeadline - S.ExpiredInQueue));
+    EXPECT_EQ(S.BatchedRequests, ExecutedOk);
+  }
+
+  // Exactly-once completion with a valid terminal status for every ticket.
+  uint64_t SawOk = 0;
+  for (serve::SubmitTicket &T : All) {
+    ASSERT_TRUE(T.Response.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready)
+        << "lost request " << T.Id;
+    serve::ServeResponse Resp = T.Response.get();
+    EXPECT_STRNE(serve::serveStatusName(Resp.Status), "unknown");
+    if (Resp.ok())
+      ++SawOk;
+    else
+      EXPECT_EQ(Resp.BatchSize, 0u);
+  }
+  EXPECT_EQ(SawOk, ExecutedOk)
+      << "Ok responses must match executions one-to-one";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatcherFuzz,
+                         ::testing::Range<uint64_t>(1, 33));
 
 } // namespace

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <numeric>
@@ -110,6 +111,70 @@ TEST(Stats, StddevOfConstantIsZero) {
   S.add(2.0);
   S.add(2.0);
   EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+TEST(Stats, PercentileSingleSampleIsEveryPercentile) {
+  // n = 1: index round(P * 0) = 0 for every P, including the extremes.
+  std::vector<double> One{7.5};
+  EXPECT_DOUBLE_EQ(percentileOfSorted(One, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentileOfSorted(One, 0.50), 7.5);
+  EXPECT_DOUBLE_EQ(percentileOfSorted(One, 0.99), 7.5);
+  EXPECT_DOUBLE_EQ(percentileOfSorted(One, 1.0), 7.5);
+}
+
+TEST(Stats, PercentileEmptyIsZero) {
+  std::vector<double> None;
+  EXPECT_DOUBLE_EQ(percentileOfSorted(None, 0.5), 0.0);
+  LatencySummary S = summarizeLatencies(None);
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_DOUBLE_EQ(S.P99, 0.0);
+}
+
+TEST(Stats, PercentileExactIndices) {
+  // 11 samples 0..10: P * (N-1) lands on integers, so p50 is exactly the
+  // middle sample and p0/p100 the extremes -- no interpolation involved.
+  std::vector<double> V{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentileOfSorted(V, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentileOfSorted(V, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentileOfSorted(V, 0.9), 9.0);
+  EXPECT_DOUBLE_EQ(percentileOfSorted(V, 1.0), 10.0);
+}
+
+TEST(Stats, PercentileNearestRankRounding) {
+  // 5 samples: p95 -> index round(0.95 * 4) = round(3.8) = 4 (the max);
+  // p50 -> round(2.0) = 2; p60 -> round(2.4) = 2 (rounds down).
+  std::vector<double> V{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentileOfSorted(V, 0.95), 50.0);
+  EXPECT_DOUBLE_EQ(percentileOfSorted(V, 0.50), 30.0);
+  EXPECT_DOUBLE_EQ(percentileOfSorted(V, 0.60), 30.0);
+}
+
+TEST(Stats, PercentileTiesCollapse) {
+  // Ties: every rank between the duplicates reads the same value, so the
+  // percentile is stable however the sort ordered them.
+  std::vector<double> V{1.0, 2.0, 2.0, 2.0, 2.0, 2.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentileOfSorted(V, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentileOfSorted(V, 0.50), 2.0);
+  EXPECT_DOUBLE_EQ(percentileOfSorted(V, 0.75), 2.0);
+}
+
+TEST(Stats, PercentileClampsOutOfRangeP) {
+  std::vector<double> V{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentileOfSorted(V, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentileOfSorted(V, 1.5), 3.0);
+}
+
+TEST(Stats, SummarizeLatenciesSortsAndSummarizes) {
+  std::vector<double> V{4.0, 1.0, 3.0, 2.0};
+  LatencySummary S = summarizeLatencies(V);
+  EXPECT_EQ(S.Count, 4u);
+  EXPECT_DOUBLE_EQ(S.Mean, 2.5);
+  EXPECT_DOUBLE_EQ(S.Min, 1.0);
+  EXPECT_DOUBLE_EQ(S.Max, 4.0);
+  // p50 -> round(0.5 * 3) = 2 -> the third-smallest sample.
+  EXPECT_DOUBLE_EQ(S.P50, 3.0);
+  EXPECT_DOUBLE_EQ(S.P99, 4.0);
+  EXPECT_TRUE(std::is_sorted(V.begin(), V.end()));
 }
 
 TEST(Timer, MeasuresNonNegative) {

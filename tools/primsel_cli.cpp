@@ -42,6 +42,11 @@
 //       per-thread ExecutionContexts (--threads concurrent workers over
 //       one CompiledNet); without it, every request still pays the
 //       executor's per-process instantiation once at startup.
+//       With --open-loop, requests instead arrive on a Poisson process at
+//       --rate R per second and flow through the dynamic batcher
+//       (serve/Server.h): --max-batch B and --max-delay-us U set the
+//       batching policy, --max-queue Q the admission bound, and --slo-ms D
+//       a per-request deadline. Implies --compiled.
 //
 // --amortize switches optimize/warm/serve to the serving-mode cost split
 // (per-inference PBQP costs); 'compile' and 'serve --compiled' imply it.
@@ -68,6 +73,8 @@
 #include "nn/NetParser.h"
 #include "pbqp/TextIO.h"
 #include "runtime/Executor.h"
+#include "serve/OpenLoop.h"
+#include "support/Stats.h"
 #include "support/Timer.h"
 #include "transforms/Pass.h"
 
@@ -122,6 +129,21 @@ struct CliOptions {
   /// --simd: force the GEMM dispatch tier ("scalar", "avx2", "avx512",
   /// "native"); empty = runtime detection (plus the PRIMSEL_SIMD env cap).
   std::string SimdName;
+  /// serve --open-loop: Poisson arrivals through the dynamic batcher
+  /// (implies --compiled; the batcher serves one shared CompiledNet).
+  bool OpenLoop = false;
+  /// --rate: mean arrivals per second of the open-loop Poisson process.
+  double RatePerSec = 100.0;
+  /// --slo-ms: per-request deadline (0 = none); requests that cannot make
+  /// it are rejected before execution.
+  double SloMs = 0.0;
+  /// --max-batch: largest minibatch the batcher may form.
+  unsigned MaxBatch = 4;
+  /// --max-delay-us: batching window -- longest a request may wait for
+  /// batch-mates before a partial batch fires.
+  unsigned MaxDelayUs = 1000;
+  /// --max-queue: admission bound; submits beyond it are rejected.
+  unsigned MaxQueue = 64;
 };
 
 /// Split "a,b,c" into pass names.
@@ -186,13 +208,18 @@ int usage(const char *Argv0) {
       "           [--parallel] [--no-arena] [--plan-cache DIR] [--scale S]\n"
       "           [--arm] [--solver NAME] [-O0|-O1] [--passes LIST]\n"
       "           [--amortize] [--exec-threads N]\n"
+      "           [--open-loop] [--rate R] [--slo-ms D] [--max-batch B]\n"
+      "           [--max-delay-us U] [--max-queue Q]\n"
       "-O0 runs no graph-transform passes (default); -O1 runs the default\n"
       "pipeline; --passes LIST runs a comma-separated list (see docs/cli.md).\n"
       "--amortize prices selection on per-inference costs (weight\n"
       "transforms amortized); 'compile' and 'serve --compiled' imply it.\n"
       "--exec-threads N adds intra-op worker counts up to N as a PBQP\n"
       "dimension (optimize/warm/compile/serve); --simd\n"
-      "scalar|avx2|avx512|native forces the GEMM dispatch tier.\n",
+      "scalar|avx2|avx512|native forces the GEMM dispatch tier.\n"
+      "serve --open-loop drives Poisson arrivals at --rate R/sec through\n"
+      "the dynamic batcher (--max-batch, --max-delay-us, --max-queue,\n"
+      "--slo-ms); implies --compiled.\n",
       Argv0);
   return 2;
 }
@@ -286,6 +313,62 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       }
       Opts.SimdName = Val;
     }
+    else if (Arg == "--open-loop" && !HasInline)
+      Opts.OpenLoop = true;
+    else if (Arg == "--rate" && Next(Val)) {
+      Opts.RatePerSec = std::atof(Val.c_str());
+      if (!(Opts.RatePerSec > 0.0)) {
+        std::fprintf(stderr,
+                     "error: --rate expects a positive arrivals/sec, got "
+                     "'%s'\n",
+                     Val.c_str());
+        return false;
+      }
+    }
+    else if (Arg == "--slo-ms" && Next(Val)) {
+      Opts.SloMs = std::atof(Val.c_str());
+      if (Opts.SloMs < 0.0) {
+        std::fprintf(stderr,
+                     "error: --slo-ms expects a non-negative deadline, got "
+                     "'%s'\n",
+                     Val.c_str());
+        return false;
+      }
+    }
+    else if (Arg == "--max-batch" && Next(Val)) {
+      // Batch slots each own an ExecutionContext; 1024 is already absurd.
+      if (!parseCount(Val, Opts.MaxBatch, 1024)) {
+        std::fprintf(stderr,
+                     "error: --max-batch expects an integer in [1, 1024], "
+                     "got '%s'\n",
+                     Val.c_str());
+        return false;
+      }
+    }
+    else if (Arg == "--max-delay-us" && Next(Val)) {
+      unsigned DelayUs = 0;
+      // 0 is meaningful (no batching window), so parse it specially.
+      if (Val == "0")
+        Opts.MaxDelayUs = 0;
+      else if (parseCount(Val, DelayUs, 60000000)) // <= 60 s
+        Opts.MaxDelayUs = DelayUs;
+      else {
+        std::fprintf(stderr,
+                     "error: --max-delay-us expects an integer in "
+                     "[0, 60000000], got '%s'\n",
+                     Val.c_str());
+        return false;
+      }
+    }
+    else if (Arg == "--max-queue" && Next(Val)) {
+      if (!parseCount(Val, Opts.MaxQueue, 1u << 20)) {
+        std::fprintf(stderr,
+                     "error: --max-queue expects an integer in [1, %u], "
+                     "got '%s'\n",
+                     1u << 20, Val.c_str());
+        return false;
+      }
+    }
     else if (Arg == "--parallel" && !HasInline)
       Opts.Parallel = true;
     else if (Arg == "--no-arena" && !HasInline)
@@ -363,7 +446,7 @@ std::optional<NetworkGraph> resolveNetwork(const std::string &Target,
 /// pricing them per-request would be self-defeating).
 bool amortizeActive(const CliOptions &Opts) {
   return Opts.Amortize || Opts.Command == "compile" ||
-         (Opts.Command == "serve" && Opts.Compiled);
+         (Opts.Command == "serve" && (Opts.Compiled || Opts.OpenLoop));
 }
 
 /// The thread-candidate axis --exec-threads N describes: 1, the powers of
@@ -405,32 +488,18 @@ void printServingCost(const SelectionResult &R) {
               R.ModelledPerRunMs, R.ModelledPrepareMs);
 }
 
-/// Latency percentile over a sample vector (sorted in place).
-double percentile(std::vector<double> &Sorted, double P) {
-  if (Sorted.empty())
-    return 0.0;
-  size_t Index = static_cast<size_t>(P * (Sorted.size() - 1) + 0.5);
-  return Sorted[std::min(Index, Sorted.size() - 1)];
-}
-
-/// The shared per-request latency summary of both serving paths.
+/// The shared per-request latency summary of every serving path
+/// (percentile definition: support/Stats.h).
 void printLatencySummary(std::vector<double> &LatenciesMs, double WallMillis,
                          unsigned Workers) {
-  std::sort(LatenciesMs.begin(), LatenciesMs.end());
-  double Total = 0.0;
-  for (double L : LatenciesMs)
-    Total += L;
-  size_t N = LatenciesMs.size();
-  double Mean = N ? Total / N : 0.0;
+  LatencySummary S = summarizeLatencies(LatenciesMs);
   std::printf("# served %zu requests on %u worker%s in %.1f ms: %.1f "
               "inferences/sec\n",
-              N, Workers, Workers == 1 ? "" : "s", WallMillis,
-              WallMillis > 0.0 ? 1000.0 * N / WallMillis : 0.0);
+              S.Count, Workers, Workers == 1 ? "" : "s", WallMillis,
+              WallMillis > 0.0 ? 1000.0 * S.Count / WallMillis : 0.0);
   std::printf("# latency: mean %.3f ms, p50 %.3f ms, p95 %.3f ms, p99 "
               "%.3f ms, best %.3f ms, worst %.3f ms\n",
-              Mean, percentile(LatenciesMs, 0.50),
-              percentile(LatenciesMs, 0.95), percentile(LatenciesMs, 0.99),
-              N ? LatenciesMs.front() : 0.0, N ? LatenciesMs.back() : 0.0);
+              S.Mean, S.P50, S.P95, S.P99, S.Min, S.Max);
 }
 
 /// One-line pass-pipeline report for optimize/warm/serve.
@@ -751,6 +820,86 @@ int cmdCompile(const CliOptions &Opts) {
   return 0;
 }
 
+/// serve --open-loop: one CompiledNet behind the dynamic batcher, driven
+/// by a Poisson arrival process at --rate requests/sec. --threads sets the
+/// batch-draining worker count; --max-batch/--max-delay-us/--max-queue the
+/// batching policy; --slo-ms a per-request deadline.
+int serveOpenLoop(const CliOptions &Opts, Engine &Eng,
+                  const NetworkGraph &Net, const SelectionResult &R) {
+  Timer CompileTimer;
+  std::shared_ptr<const CompiledNet> CN = Eng.compile(Net, R);
+  double CompileMillis = CompileTimer.millis();
+  if (!CN) {
+    std::fprintf(stderr, "error: compilation failed\n");
+    return 1;
+  }
+  std::printf("# compiled once in %.2f ms (prepare %.2f ms, %u kernels, "
+              "%.2f MiB packed weights)\n",
+              CompileMillis, CN->prepareMillis(), CN->numPreparedKernels(),
+              static_cast<double>(CN->preparedBytes()) / (1024.0 * 1024.0));
+
+  serve::ServerOptions SOpts;
+  SOpts.Batch.MaxBatch = Opts.MaxBatch;
+  SOpts.Batch.MaxDelayNs =
+      static_cast<serve::TimeNs>(Opts.MaxDelayUs) * serve::nsPerUs;
+  SOpts.Batch.MaxQueue = Opts.MaxQueue;
+  SOpts.Workers = std::max(1u, Opts.Threads);
+  SOpts.UseArena = !Opts.NoArena;
+
+  const TensorShape &Sh = CN->graph().node(0).OutShape;
+  std::vector<Tensor3D> Inputs;
+  for (unsigned I = 0; I < 4; ++I) {
+    Tensor3D T(Sh.C, Sh.H, Sh.W, Layout::CHW);
+    T.fillRandom(11 + I);
+    Inputs.push_back(std::move(T));
+  }
+
+  serve::OpenLoopOptions LOpts;
+  LOpts.RatePerSec = Opts.RatePerSec;
+  LOpts.Requests = Opts.Requests;
+  LOpts.SloNs = static_cast<serve::TimeNs>(Opts.SloMs *
+                                           static_cast<double>(serve::nsPerMs));
+  std::printf("# open loop: %.1f req/sec Poisson x %u requests, batcher "
+              "max-batch %u, window %u us, queue bound %u, %u worker%s%s\n",
+              LOpts.RatePerSec, LOpts.Requests, SOpts.Batch.MaxBatch,
+              Opts.MaxDelayUs, SOpts.Batch.MaxQueue, SOpts.Workers,
+              SOpts.Workers == 1 ? "" : "s",
+              Opts.SloMs > 0.0 ? ", SLO deadline set" : "");
+
+  serve::OpenLoopResult Res;
+  {
+    serve::Server Srv(CN, SOpts);
+    Res = serve::runOpenLoop(Srv, Inputs, LOpts);
+    Srv.shutdown();
+    serve::BatcherStats BS = Srv.batcherStats();
+    serve::ServerStats SS = Srv.stats();
+    std::printf("# batcher: %llu batches (%llu full, %llu window-expired), "
+                "mean batch %.2f, peak queue %llu\n",
+                static_cast<unsigned long long>(BS.Batches),
+                static_cast<unsigned long long>(BS.FullBatches),
+                static_cast<unsigned long long>(BS.TimeoutBatches),
+                BS.Batches ? static_cast<double>(BS.BatchedRequests) /
+                                 static_cast<double>(BS.Batches)
+                           : 0.0,
+                static_cast<unsigned long long>(BS.MaxQueueDepth));
+    std::printf("# admission: %llu submitted, %llu admitted, %llu "
+                "queue-full, %llu deadline-rejected (%llu expired queued), "
+                "%llu deadline misses\n",
+                static_cast<unsigned long long>(BS.Submitted),
+                static_cast<unsigned long long>(BS.Admitted),
+                static_cast<unsigned long long>(BS.RejectedQueueFull),
+                static_cast<unsigned long long>(BS.RejectedDeadline),
+                static_cast<unsigned long long>(BS.ExpiredInQueue),
+                static_cast<unsigned long long>(SS.DeadlineMisses));
+  }
+  std::printf("# offered %.1f req/sec, sustained %.1f req/sec, %u/%u "
+              "completed (%u rejected)\n",
+              Res.OfferedPerSec, Res.SustainedPerSec, Res.Completed,
+              Res.Offered, Res.Rejected);
+  printLatencySummary(Res.LatenciesMs, Res.WallMillis, SOpts.Workers);
+  return 0;
+}
+
 /// serve --compiled: one CompiledNet, --threads concurrent worker threads,
 /// each serving requests from its own ExecutionContext.
 int serveCompiled(const CliOptions &Opts, Engine &Eng,
@@ -845,6 +994,8 @@ int cmdServe(const CliOptions &Opts) {
   printServingCost(R);
   printPlanCacheStats(Eng);
 
+  if (Opts.OpenLoop)
+    return serveOpenLoop(Opts, Eng, *Net, R);
   if (Opts.Compiled)
     return serveCompiled(Opts, Eng, *Net, R);
 
