@@ -20,6 +20,8 @@ const char *primsel::serve::serveStatusName(ServeStatus S) {
     return "rejected-shutdown";
   case ServeStatus::Cancelled:
     return "cancelled";
+  case ServeStatus::RejectedModelUnavailable:
+    return "rejected-model-unavailable";
   }
   return "unknown";
 }
@@ -54,7 +56,11 @@ Batcher::~Batcher() {
   {
     std::lock_guard<std::mutex> G(Mutex);
     Orphans.swap(Pending);
-    Counters.RejectedShutdown += Orphans.size();
+    // Orphans were already counted in Admitted; crediting them to
+    // RejectedShutdown (which counts post-close submits, i.e. requests
+    // that were *not* admitted) would double-count them and break the
+    // Submitted-conservation identity. They get their own counter.
+    Counters.AbandonedAtShutdown += Orphans.size();
   }
   TimeNs NowNs = Clk.now();
   for (BatchRequest &R : Orphans)

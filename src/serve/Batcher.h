@@ -64,6 +64,8 @@ enum class ServeStatus : uint8_t {
   RejectedDeadline,  ///< deadline passed before execution started
   RejectedShutdown,  ///< submitted after close() (or left undrained)
   Cancelled,         ///< cancel(Id) removed it while queued
+  RejectedModelUnavailable, ///< fleet routing: no such model, or its
+                            ///< artifact cannot fit the memory budget
 };
 
 const char *serveStatusName(ServeStatus S);
@@ -84,6 +86,16 @@ struct ServeResponse {
   bool MissedDeadline = false;
 
   bool ok() const { return Status == ServeStatus::Ok; }
+
+  /// Latencies in milliseconds -- the one conversion every report (CLI
+  /// summaries, BENCH_*.json) must share, pinned by tests against
+  /// support/Stats fixtures so units and rounding can never drift.
+  double queueMillis() const {
+    return static_cast<double>(QueueNs) / static_cast<double>(nsPerMs);
+  }
+  double totalMillis() const {
+    return static_cast<double>(TotalNs) / static_cast<double>(nsPerMs);
+  }
 };
 
 /// One admitted request travelling through the batcher. The input tensor
@@ -129,6 +141,12 @@ struct BatcherStats {
   uint64_t ExpiredInQueue = 0;    ///< subset of RejectedDeadline: admitted,
                                   ///< then expired before execution
   uint64_t RejectedShutdown = 0;  ///< submitted after close()
+  /// Admitted requests still queued when the batcher was destroyed: they
+  /// resolve with RejectedShutdown, but are counted here -- not in
+  /// RejectedShutdown, which counts only post-close() submits -- so the
+  /// conservation identity Submitted == Admitted + RejectedQueueFull +
+  /// RejectedShutdown + dead-on-arrival holds with or without a drain.
+  uint64_t AbandonedAtShutdown = 0;
   uint64_t Cancelled = 0;
   uint64_t Batches = 0;          ///< popped batches
   uint64_t BatchedRequests = 0;  ///< requests across popped batches

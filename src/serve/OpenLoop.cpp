@@ -66,9 +66,13 @@ OpenLoopResult primsel::serve::runOpenLoop(
       ++Result.Completed;
       if (R.MissedDeadline)
         ++Result.DeadlineMisses;
-      TimeNs LatNs = R.TotalNs != 0 ? R.TotalNs : Clk.now() - SubmitNs[I];
-      Result.LatenciesMs.push_back(static_cast<double>(LatNs) /
-                                   static_cast<double>(nsPerMs));
+      if (R.TotalNs != 0) {
+        Result.LatenciesMs.push_back(R.totalMillis());
+      } else {
+        TimeNs LatNs = Clk.now() - SubmitNs[I];
+        Result.LatenciesMs.push_back(static_cast<double>(LatNs) /
+                                     static_cast<double>(nsPerMs));
+      }
     } else {
       ++Result.Rejected;
     }

@@ -22,6 +22,33 @@ Tensor3D cloneTensor(const Tensor3D &T) {
 
 } // namespace
 
+void primsel::serve::executeBatch(
+    const std::shared_ptr<const CompiledNet> &Net, Batch &B,
+    std::vector<std::unique_ptr<ExecutionContext>> &Slots,
+    const ExecutionContextOptions &CtxOpts, ThreadPool &SlotPool, Clock &Clk,
+    std::atomic<uint64_t> &DeadlineMisses) {
+  size_t K = B.Requests.size();
+  while (Slots.size() < K)
+    Slots.push_back(Net->newContext(CtxOpts));
+
+  SlotPool.parallelFor(0, static_cast<int64_t>(K), [&](int64_t I) {
+    BatchRequest &Rq = B.Requests[static_cast<size_t>(I)];
+    Slots[static_cast<size_t>(I)]->run(*Rq.Input);
+
+    ServeResponse Resp;
+    Resp.Status = ServeStatus::Ok;
+    Resp.Output = cloneTensor(Slots[static_cast<size_t>(I)]->networkOutput());
+    Resp.BatchSize = static_cast<unsigned>(K);
+    Resp.QueueNs = B.FormedNs - Rq.ArrivalNs;
+    TimeNs DoneNs = Clk.now();
+    Resp.TotalNs = DoneNs - Rq.ArrivalNs;
+    Resp.MissedDeadline = Rq.DeadlineNs != 0 && DoneNs > Rq.DeadlineNs;
+    if (Resp.MissedDeadline)
+      DeadlineMisses.fetch_add(1, std::memory_order_relaxed);
+    Rq.Done.set_value(std::move(Resp));
+  });
+}
+
 Server::Server(std::shared_ptr<const CompiledNet> Compiled,
                const ServerOptions &Options, Clock &Clk)
     : Net(std::move(Compiled)), Opts(Options), Queue(Options.Batch, Clk) {
@@ -77,27 +104,7 @@ void Server::workerLoop() {
   Batch B;
   while (Queue.waitPop(B)) {
     size_t K = B.Requests.size();
-    while (Slots.size() < K)
-      Slots.push_back(Net->newContext(CtxOpts));
-
-    SlotPool.parallelFor(0, static_cast<int64_t>(K), [&](int64_t I) {
-      BatchRequest &Rq = B.Requests[static_cast<size_t>(I)];
-      Slots[static_cast<size_t>(I)]->run(*Rq.Input);
-
-      ServeResponse Resp;
-      Resp.Status = ServeStatus::Ok;
-      Resp.Output =
-          cloneTensor(Slots[static_cast<size_t>(I)]->networkOutput());
-      Resp.BatchSize = static_cast<unsigned>(K);
-      Resp.QueueNs = B.FormedNs - Rq.ArrivalNs;
-      TimeNs DoneNs = Clk.now();
-      Resp.TotalNs = DoneNs - Rq.ArrivalNs;
-      Resp.MissedDeadline = Rq.DeadlineNs != 0 && DoneNs > Rq.DeadlineNs;
-      if (Resp.MissedDeadline)
-        DeadlineMisses.fetch_add(1, std::memory_order_relaxed);
-      Rq.Done.set_value(std::move(Resp));
-    });
-
+    executeBatch(Net, B, Slots, CtxOpts, SlotPool, Clk, DeadlineMisses);
     RequestsExecuted.fetch_add(K, std::memory_order_relaxed);
     BatchesExecuted.fetch_add(1, std::memory_order_relaxed);
     B.Requests.clear();

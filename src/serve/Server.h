@@ -35,7 +35,22 @@
 #include <vector>
 
 namespace primsel {
+
+class ThreadPool;
+
 namespace serve {
+
+/// Run every request of \p B on \p Net and resolve its promise with an Ok
+/// response -- the one execution path shared by the single-model Server
+/// and the fleet lanes, so both are bit-identical to the sequential
+/// Executor by construction. Grows \p Slots (one ExecutionContext per
+/// batch slot, created with \p CtxOpts) on demand and runs the slots
+/// concurrently on \p SlotPool; callers reuse both across batches.
+/// Ok-but-late completions bump \p DeadlineMisses.
+void executeBatch(const std::shared_ptr<const CompiledNet> &Net, Batch &B,
+                  std::vector<std::unique_ptr<ExecutionContext>> &Slots,
+                  const ExecutionContextOptions &CtxOpts, ThreadPool &SlotPool,
+                  Clock &Clk, std::atomic<uint64_t> &DeadlineMisses);
 
 /// Server configuration.
 struct ServerOptions {

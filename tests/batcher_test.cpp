@@ -296,6 +296,40 @@ TEST(Batcher, DestructorRejectsUndrainedRequests) {
   EXPECT_EQ(Orphan.Response.get().Status, ServeStatus::RejectedShutdown);
 }
 
+TEST(Batcher, ResponseMillisMatchRecordedNanosExactly) {
+  // The serve path reports latency in milliseconds via queueMillis()/
+  // totalMillis(); pin the conversion to exactly Ns / 1e6 with no
+  // integer truncation, so summaries built from these samples agree
+  // with the nanosecond timestamps the batcher recorded. Driven on a
+  // VirtualClock so both nanosecond values are hand-computable.
+  VirtualClock Clk;
+  BatcherOptions Opts;
+  Opts.MaxBatch = 1;
+  Opts.MaxDelayNs = 0;
+  Tensor3D In = dummyInput();
+
+  Batcher Q(Opts, Clk);
+  Clk.advance(3); // arrival at t = 3ns
+  SubmitTicket T = Q.submit(In);
+  Clk.advance(1500000); // queued for 1.5ms
+  Batch B;
+  ASSERT_TRUE(Q.tryPop(B));
+  ASSERT_EQ(B.size(), 1u);
+  Clk.advance(2250001); // "execution" takes 2.250001ms
+  ServeResponse Resp;
+  Resp.Status = ServeStatus::Ok;
+  Resp.QueueNs = B.FormedNs - B.Requests[0].ArrivalNs;
+  Resp.TotalNs = Clk.now() - B.Requests[0].ArrivalNs;
+  B.Requests[0].Done.set_value(std::move(Resp));
+
+  ServeResponse Got = T.Response.get();
+  EXPECT_EQ(Got.QueueNs, 1500000u);
+  EXPECT_EQ(Got.TotalNs, 3750001u);
+  // Sub-millisecond precision survives: 3750001ns is 3.750001ms, not 3ms.
+  EXPECT_DOUBLE_EQ(Got.queueMillis(), 1.5);
+  EXPECT_DOUBLE_EQ(Got.totalMillis(), 3.750001);
+}
+
 //===----------------------------------------------------------------------===//
 // Threaded: a blocked waitPop consumer woken by clock advances (the suite
 // ThreadSanitizer watches)

@@ -439,6 +439,177 @@ TEST_P(BatcherFuzz, RandomSchedulesNeverLoseOrDoubleCompleteRequests) {
       << "Ok responses must match executions one-to-one";
 }
 
+// Same property, but popped batches are HELD by simulated slow workers
+// instead of completing at pop time. This schedules the cancel-racing-fire
+// window: a cancel that loses the race to tryPop must be a clean no-op
+// (return false, no second completion) because the request now belongs to
+// the worker holding the batch.
+TEST_P(BatcherFuzz, CancelRacingPoppedBatchesNeverDoubleCompletes) {
+  Rng R(GetParam() * 7919 + 1);
+  serve::VirtualClock Clk;
+  serve::BatcherOptions Opts;
+  Opts.MaxBatch = 1 + static_cast<unsigned>(R.nextBelow(4));
+  Opts.MaxDelayNs = 0; // pop-eager: keeps batches flowing into the pool
+  Opts.MaxQueue = 2 + static_cast<unsigned>(R.nextBelow(8));
+  Tensor3D In(1, 1, 1, Layout::CHW);
+  In.fillRandom(GetParam());
+
+  std::vector<serve::SubmitTicket> All;
+  std::vector<serve::Batch> Held; // popped but not yet fired
+  uint64_t ExecutedOk = 0;
+
+  auto fire = [&](serve::Batch &B) {
+    for (serve::BatchRequest &Rq : B.Requests) {
+      serve::ServeResponse Resp;
+      Resp.Status = serve::ServeStatus::Ok;
+      Resp.BatchSize = static_cast<unsigned>(B.size());
+      Rq.Done.set_value(std::move(Resp)); // throws on double completion
+      ++ExecutedOk;
+    }
+  };
+
+  {
+    serve::Batcher Q(Opts, Clk);
+    for (int Step = 0; Step < 400; ++Step) {
+      switch (R.nextBelow(6)) {
+      case 0:
+      case 1:
+        All.push_back(Q.submit(In));
+        break;
+      case 2: { // cancel a random ticket -- possibly one sitting in a
+                // held batch. Popped requests belong to the worker: the
+                // cancel must report failure and must not touch them.
+        if (All.empty())
+          break;
+        uint64_t Id = All[R.nextBelow(All.size())].Id;
+        bool InHeld = false;
+        for (const serve::Batch &B : Held)
+          for (const serve::BatchRequest &Rq : B.Requests)
+            InHeld |= (Rq.Id == Id);
+        bool DidCancel = Q.cancel(Id);
+        if (InHeld)
+          EXPECT_FALSE(DidCancel)
+              << "cancel stole request " << Id << " from a popped batch";
+        break;
+      }
+      case 3: // pop into the held pool (slow worker picks up work)
+        Held.emplace_back();
+        if (!Q.tryPop(Held.back()))
+          Held.pop_back();
+        break;
+      case 4: // a held worker finally fires, in random order
+        if (!Held.empty()) {
+          size_t Pick = R.nextBelow(Held.size());
+          fire(Held[Pick]);
+          Held.erase(Held.begin() + static_cast<long>(Pick));
+        }
+        break;
+      case 5:
+        Clk.advance(static_cast<serve::TimeNs>(R.nextBelow(serve::nsPerMs)));
+        break;
+      }
+    }
+
+    Q.close();
+    serve::Batch B;
+    while (Q.tryPop(B))
+      fire(B);
+    for (serve::Batch &HB : Held)
+      fire(HB);
+    Held.clear();
+
+    serve::BatcherStats S = Q.stats();
+    EXPECT_EQ(S.Submitted, All.size());
+    EXPECT_EQ(S.Admitted, S.BatchedRequests + S.Cancelled + S.ExpiredInQueue);
+    EXPECT_EQ(S.BatchedRequests, ExecutedOk);
+  }
+
+  uint64_t SawOk = 0;
+  for (serve::SubmitTicket &T : All) {
+    ASSERT_TRUE(T.Response.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready)
+        << "lost request " << T.Id;
+    if (T.Response.get().ok())
+      ++SawOk;
+  }
+  EXPECT_EQ(SawOk, ExecutedOk);
+}
+
+// Destroy the batcher with requests still queued (no shutdown drain).
+// The destructor must resolve every orphan exactly once and credit them
+// to AbandonedAtShutdown -- not RejectedShutdown, which would double-count
+// them against Submitted -- so both conservation identities hold even on
+// the no-drain exit path.
+TEST_P(BatcherFuzz, AbandonedRequestsResolveOnceAndConserveCounts) {
+  Rng R(GetParam() * 104729 + 3);
+  serve::VirtualClock Clk;
+  serve::BatcherOptions Opts;
+  Opts.MaxBatch = 1 + static_cast<unsigned>(R.nextBelow(4));
+  Opts.MaxDelayNs =
+      static_cast<serve::TimeNs>(1 + R.nextBelow(5)) * serve::nsPerMs;
+  Opts.MaxQueue = 1 + static_cast<unsigned>(R.nextBelow(8));
+  Tensor3D In(1, 1, 1, Layout::CHW);
+  In.fillRandom(GetParam());
+
+  std::vector<serve::SubmitTicket> All;
+  uint64_t ExecutedOk = 0;
+  serve::BatcherStats S;
+
+  {
+    serve::Batcher Q(Opts, Clk);
+    for (int Step = 0; Step < 200; ++Step) {
+      switch (R.nextBelow(5)) {
+      case 0:
+      case 1:
+      case 2: // bias toward submits so the queue is non-empty at death
+        All.push_back(Q.submit(In));
+        break;
+      case 3:
+        if (!All.empty())
+          Q.cancel(All[R.nextBelow(All.size())].Id);
+        break;
+      case 4: {
+        serve::Batch B;
+        if (Q.tryPop(B)) {
+          for (serve::BatchRequest &Rq : B.Requests) {
+            serve::ServeResponse Resp;
+            Resp.Status = serve::ServeStatus::Ok;
+            Rq.Done.set_value(std::move(Resp));
+            ++ExecutedOk;
+          }
+        }
+        break;
+      }
+      }
+    }
+    S = Q.stats();
+    // No close(), no drain: the destructor abandons whatever is queued.
+  }
+
+  uint64_t Abandoned = 0;
+  for (serve::SubmitTicket &T : All) {
+    ASSERT_TRUE(T.Response.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready)
+        << "destructor lost request " << T.Id;
+    serve::ServeResponse Resp = T.Response.get();
+    if (Resp.ok())
+      continue;
+    if (Resp.Status == serve::ServeStatus::RejectedShutdown)
+      ++Abandoned;
+  }
+
+  // The pre-destruction snapshot misses only the abandonment credit;
+  // reconstruct it from the observed terminal statuses.
+  EXPECT_EQ(S.AbandonedAtShutdown, 0u);
+  EXPECT_EQ(S.Submitted, All.size());
+  EXPECT_EQ(S.Admitted, S.BatchedRequests + S.Cancelled + S.ExpiredInQueue +
+                            Abandoned);
+  EXPECT_EQ(S.Submitted,
+            S.Admitted + S.RejectedQueueFull + S.RejectedShutdown +
+                (S.RejectedDeadline - S.ExpiredInQueue));
+  EXPECT_EQ(S.BatchedRequests, ExecutedOk);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BatcherFuzz,
                          ::testing::Range<uint64_t>(1, 33));
 

@@ -177,6 +177,31 @@ TEST(Stats, SummarizeLatenciesSortsAndSummarizes) {
   EXPECT_TRUE(std::is_sorted(V.begin(), V.end()));
 }
 
+TEST(Stats, SummaryTailsMatchHandComputedNearestRank) {
+  // 20 samples 1..20 in scrambled order: every tail index is computed by
+  // hand against the nearest-rank rule index = trunc(P * (N-1) + 0.5),
+  // pinning the exact values the serve path reports.
+  //   p50: trunc(0.50 * 19 + 0.5) = trunc(10.00) = 10 -> sample 11
+  //   p95: trunc(0.95 * 19 + 0.5) = trunc(18.55) = 18 -> sample 19
+  //   p99: trunc(0.99 * 19 + 0.5) = trunc(19.31) = 19 -> sample 20
+  std::vector<double> V;
+  for (int I = 20; I >= 1; --I)
+    V.push_back(static_cast<double>(I));
+  LatencySummary S = summarizeLatencies(V);
+  EXPECT_EQ(S.Count, 20u);
+  EXPECT_DOUBLE_EQ(S.Mean, 10.5);
+  EXPECT_DOUBLE_EQ(S.Min, 1.0);
+  EXPECT_DOUBLE_EQ(S.Max, 20.0);
+  EXPECT_DOUBLE_EQ(S.P50, 11.0);
+  EXPECT_DOUBLE_EQ(S.P95, 19.0);
+  EXPECT_DOUBLE_EQ(S.P99, 20.0);
+  // The summary must agree with percentileOfSorted on the same data --
+  // one rounding rule, not two.
+  EXPECT_DOUBLE_EQ(S.P50, percentileOfSorted(V, 0.50));
+  EXPECT_DOUBLE_EQ(S.P95, percentileOfSorted(V, 0.95));
+  EXPECT_DOUBLE_EQ(S.P99, percentileOfSorted(V, 0.99));
+}
+
 TEST(Timer, MeasuresNonNegative) {
   Timer T;
   volatile double Sink = 0;

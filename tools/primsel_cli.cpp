@@ -73,12 +73,16 @@
 #include "nn/NetParser.h"
 #include "pbqp/TextIO.h"
 #include "runtime/Executor.h"
+#include "serve/Fleet.h"
 #include "serve/OpenLoop.h"
+#include "support/Random.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
 #include "transforms/Pass.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 
 #include <cstdio>
 #include <cstdlib>
@@ -144,9 +148,19 @@ struct CliOptions {
   unsigned MaxDelayUs = 1000;
   /// --max-queue: admission bound; submits beyond it are rejected.
   unsigned MaxQueue = 64;
+  /// serve --models a,b,c: fleet mode -- one ModelRegistry + FleetServer
+  /// over every named model, mixed Poisson traffic (implies the batcher).
+  std::vector<std::string> Models;
+  /// --mem-budget M: registry budget in MiB, fractional allowed so a
+  /// budget can sit strictly between one artifact and the fleet total
+  /// (0 = unlimited).
+  double MemBudgetMiB = 0.0;
+  /// --swaps N: hot-swap a recompiled artifact N times under live fleet
+  /// traffic (0 = never) -- exercises the RCU publish path end to end.
+  unsigned Swaps = 0;
 };
 
-/// Split "a,b,c" into pass names.
+/// Split "a,b,c" into names (pass lists, fleet model lists).
 std::vector<std::string> splitPassList(const std::string &S) {
   std::vector<std::string> Out;
   std::string Cur;
@@ -169,11 +183,43 @@ std::vector<std::string> splitPassList(const std::string &S) {
 bool parseCount(const std::string &Val, unsigned &Out, unsigned long Max) {
   if (Val.empty() || Val.find_first_not_of("0123456789") != std::string::npos)
     return false;
-  // strtoul saturates on overflow, which the range check below rejects.
-  unsigned long Count = std::strtoul(Val.c_str(), nullptr, 10);
-  if (Count < 1 || Count > Max)
+  // strtoul saturates on overflow, which the range check below rejects;
+  // the endptr check makes the full-token requirement explicit rather
+  // than relying on the character scan above alone.
+  char *End = nullptr;
+  unsigned long Count = std::strtoul(Val.c_str(), &End, 10);
+  if (End != Val.c_str() + Val.size() || Count < 1 || Count > Max)
     return false;
   Out = static_cast<unsigned>(Count);
+  return true;
+}
+
+/// Parse a strictly-numeric floating-point token. Garbage and trailing
+/// junk must be refused, not truncated: an unchecked atof turned
+/// '--rate 10abc' into 10 and '--slo-ms garbage' into a silent 0
+/// (no deadline at all).
+bool parseDouble(const std::string &Val, double &Out) {
+  if (Val.empty())
+    return false;
+  // strtod alone is too permissive for a CLI: it accepts leading
+  // whitespace, C99 hex floats ("0x1"), and "inf"/"nan". Pre-screen to
+  // plain decimal notation, then let strtod verify it consumes the whole
+  // token.
+  bool SawDigit = false;
+  for (char C : Val) {
+    if (C >= '0' && C <= '9')
+      SawDigit = true;
+    else if (C != '.' && C != 'e' && C != 'E' && C != '+' && C != '-')
+      return false;
+  }
+  if (!SawDigit)
+    return false;
+  const char *Begin = Val.c_str();
+  char *End = nullptr;
+  double V = std::strtod(Begin, &End);
+  if (End != Begin + Val.size())
+    return false;
+  Out = V;
   return true;
 }
 
@@ -210,6 +256,9 @@ int usage(const char *Argv0) {
       "           [--amortize] [--exec-threads N]\n"
       "           [--open-loop] [--rate R] [--slo-ms D] [--max-batch B]\n"
       "           [--max-delay-us U] [--max-queue Q]\n"
+      "  serve --models a,b,c [--mem-budget M] [--rate R] [--requests N]\n"
+      "           [--threads N] [--swaps K] [--slo-ms D] [--max-batch B]\n"
+      "           [--max-delay-us U] [--max-queue Q] [--scale S] [...]\n"
       "-O0 runs no graph-transform passes (default); -O1 runs the default\n"
       "pipeline; --passes LIST runs a comma-separated list (see docs/cli.md).\n"
       "--amortize prices selection on per-inference costs (weight\n"
@@ -219,7 +268,11 @@ int usage(const char *Argv0) {
       "scalar|avx2|avx512|native forces the GEMM dispatch tier.\n"
       "serve --open-loop drives Poisson arrivals at --rate R/sec through\n"
       "the dynamic batcher (--max-batch, --max-delay-us, --max-queue,\n"
-      "--slo-ms); implies --compiled.\n",
+      "--slo-ms); implies --compiled.\n"
+      "serve --models runs the multi-model fleet: one artifact registry\n"
+      "under a --mem-budget M (MiB; LRU eviction, recompiles hit the\n"
+      "shared plan cache), per-model batcher lanes, mixed Poisson traffic,\n"
+      "and --swaps K RCU hot-swaps under load.\n",
       Argv0);
   return 2;
 }
@@ -255,8 +308,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       return true;
     };
     std::string Val;
-    if (Arg == "--scale" && Next(Val))
-      Opts.Scale = std::atof(Val.c_str());
+    if (Arg == "--scale" && Next(Val)) {
+      if (!parseDouble(Val, Opts.Scale) || !(Opts.Scale > 0.0) ||
+          Opts.Scale > 16.0) {
+        std::fprintf(stderr,
+                     "error: --scale expects a number in (0, 16], got "
+                     "'%s'\n",
+                     Val.c_str());
+        return false;
+      }
+    }
     else if (Arg == "--threads" && Next(Val)) {
       if (!parseThreads(Val, Opts.Threads)) {
         std::fprintf(stderr,
@@ -316,8 +377,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     else if (Arg == "--open-loop" && !HasInline)
       Opts.OpenLoop = true;
     else if (Arg == "--rate" && Next(Val)) {
-      Opts.RatePerSec = std::atof(Val.c_str());
-      if (!(Opts.RatePerSec > 0.0)) {
+      if (!parseDouble(Val, Opts.RatePerSec) || !(Opts.RatePerSec > 0.0)) {
         std::fprintf(stderr,
                      "error: --rate expects a positive arrivals/sec, got "
                      "'%s'\n",
@@ -326,8 +386,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       }
     }
     else if (Arg == "--slo-ms" && Next(Val)) {
-      Opts.SloMs = std::atof(Val.c_str());
-      if (Opts.SloMs < 0.0) {
+      if (!parseDouble(Val, Opts.SloMs) || Opts.SloMs < 0.0) {
         std::fprintf(stderr,
                      "error: --slo-ms expects a non-negative deadline, got "
                      "'%s'\n",
@@ -366,6 +425,37 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
                      "error: --max-queue expects an integer in [1, %u], "
                      "got '%s'\n",
                      1u << 20, Val.c_str());
+        return false;
+      }
+    }
+    else if (Arg == "--models" && Next(Val)) {
+      Opts.Models = splitPassList(Val);
+      if (Opts.Models.empty()) {
+        std::fprintf(stderr, "error: --models expects a non-empty "
+                             "comma-separated model list\n");
+        return false;
+      }
+    }
+    else if (Arg == "--mem-budget" && Next(Val)) {
+      // 0 = unlimited; fractional MiB are allowed (a budget often has to
+      // sit strictly between one artifact and the fleet total).
+      if (!parseDouble(Val, Opts.MemBudgetMiB) || Opts.MemBudgetMiB < 0.0 ||
+          Opts.MemBudgetMiB > static_cast<double>(1u << 20)) {
+        std::fprintf(stderr,
+                     "error: --mem-budget expects MiB in [0, %u], got "
+                     "'%s'\n",
+                     1u << 20, Val.c_str());
+        return false;
+      }
+    }
+    else if (Arg == "--swaps" && Next(Val)) {
+      if (Val == "0")
+        Opts.Swaps = 0;
+      else if (!parseCount(Val, Opts.Swaps, 1000)) {
+        std::fprintf(stderr,
+                     "error: --swaps expects an integer in [0, 1000], got "
+                     "'%s'\n",
+                     Val.c_str());
         return false;
       }
     }
@@ -446,7 +536,8 @@ std::optional<NetworkGraph> resolveNetwork(const std::string &Target,
 /// pricing them per-request would be self-defeating).
 bool amortizeActive(const CliOptions &Opts) {
   return Opts.Amortize || Opts.Command == "compile" ||
-         (Opts.Command == "serve" && (Opts.Compiled || Opts.OpenLoop));
+         (Opts.Command == "serve" &&
+          (Opts.Compiled || Opts.OpenLoop || !Opts.Models.empty()));
 }
 
 /// The thread-candidate axis --exec-threads N describes: 1, the powers of
@@ -963,7 +1054,200 @@ int serveCompiled(const CliOptions &Opts, Engine &Eng,
   return 0;
 }
 
+/// serve --models a,b,c: the multi-model fleet. One shared Engine (one
+/// cost cache, one plan cache) compiles every model's artifact on demand
+/// into a budgeted ModelRegistry; per-model batcher lanes drain mixed
+/// Poisson traffic; --swaps K hot-swaps recompiled artifacts under load.
+int cmdServeFleet(const CliOptions &Opts) {
+  if (!checkSolver(Opts))
+    return 1;
+  PrimitiveLibrary Lib = buildFullLibrary();
+  std::unique_ptr<CostProvider> Owned = makeCosts(Opts, Lib, nullptr, 1);
+  EngineOptions EOpts = engineOptions(Opts);
+  EOpts.CachePlans = true; // the fleet warms once: every readmission and
+                           // swap must hit this cache, never re-solve
+  Engine Eng(Lib, *Owned, EOpts);
+
+  serve::RegistryOptions ROpts;
+  ROpts.MemBudgetBytes =
+      static_cast<size_t>(Opts.MemBudgetMiB * 1024.0 * 1024.0);
+  ROpts.ArenaSlabsPerModel = std::max(1u, Opts.MaxBatch);
+  serve::ModelRegistry Reg(Eng, ROpts);
+  for (const std::string &Name : Opts.Models) {
+    std::optional<NetworkGraph> Net = resolveNetwork(Name, Opts.Scale);
+    if (!Net)
+      return 1;
+    if (!Reg.addModel(Name, std::move(*Net))) {
+      std::fprintf(stderr, "error: model '%s' named twice in --models\n",
+                   Name.c_str());
+      return 1;
+    }
+  }
+
+  serve::FleetOptions FOpts;
+  FOpts.Batch.MaxBatch = Opts.MaxBatch;
+  FOpts.Batch.MaxDelayNs =
+      static_cast<serve::TimeNs>(Opts.MaxDelayUs) * serve::nsPerUs;
+  FOpts.Batch.MaxQueue = Opts.MaxQueue;
+  FOpts.WorkersPerModel = std::max(1u, Opts.Threads);
+  FOpts.UseArena = !Opts.NoArena;
+
+  // One deterministic input per model (shapes differ across the fleet).
+  std::vector<Tensor3D> Inputs;
+  for (size_t M = 0; M < Opts.Models.size(); ++M) {
+    const TensorShape &Sh = Reg.graphOf(Opts.Models[M])->node(0).OutShape;
+    Tensor3D T(Sh.C, Sh.H, Sh.W, Layout::CHW);
+    T.fillRandom(11 + static_cast<uint64_t>(M));
+    Inputs.push_back(std::move(T));
+  }
+
+  std::string BudgetStr = "unlimited";
+  if (Opts.MemBudgetMiB > 0.0) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.2f MiB", Opts.MemBudgetMiB);
+    BudgetStr = Buf;
+  }
+  std::printf("# fleet: %zu models, mem budget %s, %u worker%s/model, "
+              "batcher max-batch %u, window %u us\n",
+              Opts.Models.size(), BudgetStr.c_str(), FOpts.WorkersPerModel,
+              FOpts.WorkersPerModel == 1 ? "" : "s", FOpts.Batch.MaxBatch,
+              Opts.MaxDelayUs);
+
+  serve::TimeNs SloNs = static_cast<serve::TimeNs>(
+      Opts.SloMs * static_cast<double>(serve::nsPerMs));
+  Rng Pick(23), Gaps(29);
+  std::vector<std::future<serve::ServeResponse>> Futures;
+  std::vector<unsigned> ModelOf;
+  Futures.reserve(Opts.Requests);
+  ModelOf.reserve(Opts.Requests);
+  std::vector<double> LatenciesMs;
+  std::vector<uint64_t> OkPerModel(Opts.Models.size(), 0);
+  std::vector<uint64_t> RejPerModel(Opts.Models.size(), 0);
+  uint64_t Completed = 0, Rejected = 0;
+
+  Timer Wall;
+  {
+    serve::FleetServer Srv(Reg, FOpts);
+    serve::Clock &Clk = serve::steadyClock();
+    unsigned SwapEvery =
+        Opts.Swaps ? std::max(1u, Opts.Requests / (Opts.Swaps + 1)) : 0;
+    unsigned SwapsDone = 0;
+
+    using SteadyTime = std::chrono::steady_clock::time_point;
+    SteadyTime Start = std::chrono::steady_clock::now();
+    double NextArrivalNs = 0.0;
+    for (unsigned I = 0; I < Opts.Requests; ++I) {
+      double U = Gaps.nextFloat();
+      NextArrivalNs += -std::log(1.0 - U) *
+                       static_cast<double>(serve::nsPerSec) / Opts.RatePerSec;
+      std::this_thread::sleep_until(
+          Start + std::chrono::nanoseconds(
+                      static_cast<int64_t>(NextArrivalNs)));
+
+      // Hot-swap under live traffic: recompile (a plan-cache hit once the
+      // fleet is warm) and RCU-publish while the lanes keep draining.
+      if (SwapEvery && SwapsDone < Opts.Swaps && I > 0 &&
+          I % SwapEvery == 0) {
+        Reg.recompileAndSwap(
+            Opts.Models[SwapsDone % Opts.Models.size()]);
+        ++SwapsDone;
+      }
+
+      unsigned M = static_cast<unsigned>(
+          Pick.nextBelow(Opts.Models.size()));
+      serve::TimeNs Deadline = SloNs != 0 ? Clk.now() + SloNs : 0;
+      ModelOf.push_back(M);
+      Futures.push_back(
+          Srv.submit(Opts.Models[M], Inputs[M], Deadline).Response);
+    }
+
+    for (size_t I = 0; I < Futures.size(); ++I) {
+      serve::ServeResponse R = Futures[I].get();
+      if (R.ok()) {
+        ++Completed;
+        ++OkPerModel[ModelOf[I]];
+        LatenciesMs.push_back(R.totalMillis());
+      } else {
+        ++Rejected;
+        ++RejPerModel[ModelOf[I]];
+      }
+    }
+    Srv.shutdown();
+
+    for (size_t M = 0; M < Opts.Models.size(); ++M) {
+      serve::BatcherStats BS = Srv.batcherStats(Opts.Models[M]);
+      serve::LaneStats LS = Srv.laneStats(Opts.Models[M]);
+      std::printf("# model %s: %llu ok, %llu rejected, %llu batches "
+                  "(mean %.2f), %llu unavailable\n",
+                  Opts.Models[M].c_str(),
+                  static_cast<unsigned long long>(OkPerModel[M]),
+                  static_cast<unsigned long long>(RejPerModel[M]),
+                  static_cast<unsigned long long>(BS.Batches),
+                  BS.Batches
+                      ? static_cast<double>(BS.BatchedRequests) /
+                            static_cast<double>(BS.Batches)
+                      : 0.0,
+                  static_cast<unsigned long long>(LS.UnavailableRequests));
+    }
+  }
+  double WallMillis = Wall.millis();
+
+  serve::RegistryStats RS = Reg.stats();
+  std::printf("# registry: %llu compiles (%llu plan-cache hits, %llu "
+              "solves), %llu evictions, %llu swaps, %llu unavailable\n",
+              static_cast<unsigned long long>(RS.Compiles),
+              static_cast<unsigned long long>(RS.PlanCacheHits),
+              static_cast<unsigned long long>(RS.Solves),
+              static_cast<unsigned long long>(RS.Evictions),
+              static_cast<unsigned long long>(RS.Swaps),
+              static_cast<unsigned long long>(RS.Unavailable));
+  std::printf("# fleet-resident-mib %zu (peak %.2f MiB resident, budget "
+              "%s)\n",
+              (RS.PeakResidentBytes + (1024 * 1024 - 1)) / (1024 * 1024),
+              static_cast<double>(RS.PeakResidentBytes) / (1024.0 * 1024.0),
+              BudgetStr.c_str());
+  // When the whole fleet is resident (an unbudgeted probe run), emit a
+  // budget guaranteed to force eviction while keeping every model
+  // servable: strictly above the largest artifact, strictly below the
+  // fleet total. CI greps this anchor and reruns with it.
+  if (Opts.Models.size() > 1) {
+    size_t MaxBytes = 0, SumBytes = 0;
+    bool AllResident = true;
+    for (const std::string &Name : Opts.Models) {
+      std::shared_ptr<const CompiledNet> CN = Reg.current(Name);
+      if (!CN) {
+        AllResident = false;
+        break;
+      }
+      size_t B = serve::ModelRegistry::artifactBytes(
+          *CN, ROpts.ArenaSlabsPerModel);
+      MaxBytes = std::max(MaxBytes, B);
+      SumBytes += B;
+    }
+    if (AllResident && MaxBytes < SumBytes)
+      std::printf("# fleet-evict-budget-mib %.2f\n",
+                  static_cast<double>(MaxBytes + SumBytes) / 2.0 /
+                      (1024.0 * 1024.0));
+  }
+  printPlanCacheStats(Eng);
+  printLatencySummary(LatenciesMs, WallMillis,
+                      FOpts.WorkersPerModel *
+                          static_cast<unsigned>(Opts.Models.size()));
+  std::printf("# fleet total: %llu/%u completed, %llu rejected\n",
+              static_cast<unsigned long long>(Completed), Opts.Requests,
+              static_cast<unsigned long long>(Rejected));
+
+  if (Completed == 0) {
+    std::fprintf(stderr, "error: no request completed (budget too small "
+                         "for any artifact?)\n");
+    return 1;
+  }
+  return 0;
+}
+
 int cmdServe(const CliOptions &Opts) {
+  if (!Opts.Models.empty())
+    return cmdServeFleet(Opts);
   std::optional<NetworkGraph> Net = resolveNetwork(Opts.Target, Opts.Scale);
   if (!Net)
     return 1;
@@ -1076,7 +1360,15 @@ int main(int argc, char **argv) {
                  Opts.Command.c_str());
     return usage(argv[0]);
   }
-  if (requiresTarget(Opts.Command) && Opts.Target.empty()) {
+  // Fleet mode names its networks via --models instead of a positional
+  // target.
+  bool FleetMode = Opts.Command == "serve" && !Opts.Models.empty();
+  if (FleetMode && !Opts.Target.empty()) {
+    std::fprintf(stderr, "error: serve takes either <model-or-file> or "
+                         "--models LIST, not both\n");
+    return usage(argv[0]);
+  }
+  if (!FleetMode && requiresTarget(Opts.Command) && Opts.Target.empty()) {
     std::fprintf(stderr, "error: command '%s' requires a <model-or-file>\n",
                  Opts.Command.c_str());
     return usage(argv[0]);
