@@ -81,6 +81,9 @@ ModelRegistry::acquire(const std::string &Name) {
   E.Compiling = true;
   Lock.unlock();
 
+  if (TestOnCompileUnlocked)
+    TestOnCompileUnlocked(Name);
+
   // Compile outside the registry lock so resident models keep serving.
   // The Engine's cost cache and PlanCache are shared mutable state, so
   // Engine use itself is serialized.
@@ -102,6 +105,16 @@ ModelRegistry::acquire(const std::string &Name) {
     ++Counters.PlanCacheHits;
   else
     ++Counters.Solves;
+  // swap()/recompileAndSwap() may have published while we compiled with
+  // the lock released. That artifact is newer and already accounted;
+  // serve it and drop this compile -- republishing would clobber the
+  // newer artifact and re-add Bytes on top of the swap's accounting,
+  // inflating ResidentBytes with phantom bytes no entry owns.
+  if (std::shared_ptr<const CompiledNet> Cur = std::atomic_load(&E.Artifact)) {
+    E.LastUse = ++UseTick;
+    ++Counters.Hits;
+    return Cur;
+  }
   if (Opts.MemBudgetBytes != 0 && Bytes > Opts.MemBudgetBytes) {
     // The artifact alone busts the budget: never publish it. The compile
     // still warmed the shared PlanCache, so a later, larger budget serves

@@ -44,6 +44,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -146,6 +147,12 @@ public:
   /// The bytes an artifact is charged against the budget: prepared
   /// kernels plus \p ArenaSlabs copies of the arena template.
   static size_t artifactBytes(const CompiledNet &CN, unsigned ArenaSlabs);
+
+  /// Test-only hook: when set, invoked on the acquiring thread right
+  /// after acquire() releases the registry lock for a cold compile,
+  /// before it enters the engine. Lets tests deterministically
+  /// interleave a swap() into the compile window.
+  std::function<void(const std::string &)> TestOnCompileUnlocked;
 
 private:
   struct Entry {

@@ -239,6 +239,100 @@ TEST(ModelRegistry, SwapPublishesAndReaccounts) {
       0.0f);
 }
 
+TEST(ModelRegistry, SwapDuringCompileWinsAndConservesBytes) {
+  // Regression: acquire() compiles with the registry lock released
+  // (Compiling=true), so a concurrent swap() on the same model can
+  // publish first. Republishing the stale compile on relock used to add
+  // its bytes on top of the swap's accounting, permanently inflating
+  // ResidentBytes with phantom bytes no entry owned (spurious evictions,
+  // and eventually makeRoomLocked with no victim) -- and silently
+  // replaced the newer swapped artifact. The test hook pins the
+  // interleaving: the swap lands inside acquire()'s compile window.
+  FleetHarness H;
+  ModelRegistry Reg(*H.Eng);
+  ASSERT_TRUE(Reg.addModel("chain", tinyChain(16)));
+
+  std::atomic<unsigned> HookFires{0};
+  Reg.TestOnCompileUnlocked = [&](const std::string &Name) {
+    // Fire once: the recursive compile inside recompileAndSwap never
+    // re-enters acquire(), so a single guard suffices.
+    if (HookFires.fetch_add(1) == 0) {
+      EXPECT_EQ(Name, "chain");
+      EXPECT_TRUE(Reg.recompileAndSwap("chain"));
+    }
+  };
+  std::shared_ptr<const CompiledNet> Got = Reg.acquire("chain");
+  Reg.TestOnCompileUnlocked = nullptr;
+  ASSERT_NE(Got, nullptr);
+  EXPECT_EQ(HookFires.load(), 1u);
+
+  // The swapped artifact is newer: acquire must serve it, not the stale
+  // compile it raced.
+  EXPECT_EQ(Got.get(), Reg.current("chain").get());
+  RegistryStats S = Reg.stats();
+  EXPECT_EQ(S.Swaps, 1u);
+  EXPECT_EQ(S.Compiles, 2u); // the discarded compile still ran
+  EXPECT_EQ(S.ResidentBytes, ModelRegistry::artifactBytes(*Got, 1))
+      << "the discarded compile must not be double-accounted";
+
+  // Conservation: evicting the only model must drain to exactly zero.
+  EXPECT_TRUE(Reg.evict("chain"));
+  EXPECT_EQ(Reg.residentBytes(), 0u);
+}
+
+TEST(ModelRegistry, ThrashingAcquireEvictSwapHoldsBudgetInvariants) {
+  // Stochastic companion to the deterministic race test above: hammer
+  // concurrent acquire/evict/swap over two models under a budget that
+  // fits only one. The budget must hold throughout, and evicting
+  // everything afterwards must drain the accounting to exactly zero.
+  // Runs under TSan in the concurrency CI job.
+  FleetHarness H;
+  RegistryOptions ROpts;
+  ProbeSizes Sz = probeSizes(H.Lib, H.Prov, ROpts.ArenaSlabsPerModel);
+  size_t MaxB = std::max(Sz.ChainBytes, Sz.DagBytes);
+  size_t SumB = Sz.ChainBytes + Sz.DagBytes;
+  ASSERT_LT(MaxB, SumB);
+  ROpts.MemBudgetBytes = (MaxB + SumB) / 2; // fits either model, never both
+  ModelRegistry Reg(*H.Eng, ROpts);
+  ASSERT_TRUE(Reg.addModel("chain", tinyChain(16)));
+  ASSERT_TRUE(Reg.addModel("dag", tinyDag(16)));
+
+  const char *Names[] = {"chain", "dag"};
+  constexpr unsigned Iters = 150;
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Threads;
+  for (const char *Name : Names) {
+    // Each acquire evicts the other model, so iterations are cold
+    // compiles racing the swapper thread on the same entry.
+    Threads.emplace_back([&, Name] {
+      while (!Go.load())
+        std::this_thread::yield();
+      for (unsigned I = 0; I < Iters; ++I)
+        EXPECT_NE(Reg.acquire(Name), nullptr);
+    });
+    // Explicit evictions widen the cold window the acquires race through.
+    Threads.emplace_back([&, Name] {
+      while (!Go.load())
+        std::this_thread::yield();
+      for (unsigned I = 0; I < Iters; ++I)
+        Reg.evict(Name);
+    });
+  }
+  Go.store(true);
+  for (unsigned I = 0; I < Iters; ++I)
+    EXPECT_TRUE(Reg.recompileAndSwap(Names[I % 2]));
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_LE(Reg.stats().PeakResidentBytes, ROpts.MemBudgetBytes);
+  // Conservation: with every model evicted, no bytes may linger.
+  for (const char *Name : Names)
+    Reg.evict(Name);
+  EXPECT_EQ(Reg.residentBytes(), 0u);
+  EXPECT_EQ(Reg.current("chain"), nullptr);
+  EXPECT_EQ(Reg.current("dag"), nullptr);
+}
+
 //===----------------------------------------------------------------------===//
 // FleetServer lanes
 //===----------------------------------------------------------------------===//

@@ -219,6 +219,10 @@ bool parseDouble(const std::string &Val, double &Out) {
   double V = std::strtod(Begin, &End);
   if (End != Begin + Val.size())
     return false;
+  // Decimal overflow ("1e999") consumes the whole token but yields
+  // HUGE_VAL, which would sail through positivity checks downstream.
+  if (!std::isfinite(V))
+    return false;
   Out = V;
   return true;
 }
