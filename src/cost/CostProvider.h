@@ -115,6 +115,15 @@ public:
     return convCostBreakdown(S, Id);
   }
 
+  /// Modelled per-step interpreter overhead (ms): dispatch, per-step
+  /// timing and value-table bookkeeping the interpreted ExecutionContext
+  /// pays on every step and a JIT-compiled straight-line program does not.
+  /// The engine's JIT dimension credits this times the plan's step count;
+  /// keeping it non-negative guarantees the modelled JIT per-run cost
+  /// never exceeds the interpreted cost. Providers with measurements may
+  /// override.
+  virtual double dispatchOverheadMs() const { return 2e-4; }
+
   /// Stable text identity of the cost source -- the machine-profile
   /// component of the engine's plan-cache key (engine/PlanCache.h). Two
   /// providers that would return different costs for the same query must

@@ -12,6 +12,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <mutex>
 
@@ -68,6 +69,23 @@ CompiledNet::CompiledNet(const NetworkGraph &NetIn, const NetworkPlan &PlanIn,
     }
   }
   PrepareMs = PrepareTimer.millis();
+
+  // The JIT attempt runs after the interpreted state is fully built, so
+  // every rung of the fallback ladder lands on a working artifact: no
+  // compiler -> interpret, compile error -> interpret, per-context jit
+  // context failure -> that context interprets. Compile time is charged to
+  // the prepare phase -- it amortizes across requests exactly like kernel
+  // packing.
+  if (Opts.Jit) {
+    Jit = jit::JitProgram::create(Net, SelPlan, Lib, Opts.WeightSeed,
+                                  Opts.JitOpts, JitRep);
+    PrepareMs += JitRep.CompileMs;
+    if (!Jit)
+      std::fprintf(stderr,
+                   "primsel: warning: jit compile failed (%s); serving "
+                   "interpreted\n",
+                   JitRep.Error.c_str());
+  }
 }
 
 std::shared_ptr<const CompiledNet>
@@ -128,11 +146,29 @@ ExecutionContext::ExecutionContext(std::shared_ptr<const CompiledNet> CN,
         C.Lib.get(C.SelPlan.ConvPrim[N]), Node.Scenario, C.Prepared[N],
         C.Opts.WeightSeed + Node.BiasSeedId);
   }
+
+  // Jitted artifact: additionally bind a generated-code context. The
+  // interpreted instances above stay bound either way, so a failed jit
+  // context (allocation failure inside the object) silently degrades this
+  // one context to interpretation.
+  if (C.isJitted())
+    JitCtx = C.Jit->createContext();
 }
 
-ExecutionContext::~ExecutionContext() = default;
+ExecutionContext::~ExecutionContext() {
+  if (JitCtx)
+    Compiled->Jit->destroyContext(JitCtx);
+}
 
 const Tensor3D &ExecutionContext::outputOf(NetworkGraph::NodeId N) const {
+  if (JitOut) {
+    // The generated program materializes only the network output; other
+    // nodes' tensors live inside the jit context.
+    assert(!Compiled->Net.outputs().empty() &&
+           N == Compiled->Net.outputs().front() &&
+           "jitted contexts expose only the network output");
+    return *JitOut;
+  }
   const MemoryPlan &MPlan = Compiled->MPlan;
   assert((!Opts.UseArena || !MPlan.Values[MPlan.NodeValue[N]].inArena()) &&
          "arena mode recycles non-output intermediates; outputOf is only "
@@ -281,6 +317,17 @@ void ExecutionContext::executeStep(unsigned StepIndex, const Tensor3D &Input,
 RunResult ExecutionContext::run(const Tensor3D &Input) {
   RunResult R;
   Timer Total;
+
+  // Jitted path: one call into the generated straight-line program -- no
+  // per-step dispatch, timing or allocation. Bit-identical to the
+  // interpreted pass below by construction (same primitives, same bound
+  // instances, same layer operators, same seeds).
+  if (JitCtx) {
+    JitOut = &Compiled->Jit->run(JitCtx, Input, Pool.get());
+    R.TotalMillis = Total.millis();
+    return R;
+  }
+
   const MemoryPlan &MPlan = Compiled->MPlan;
 
   // Levels in order; a level's steps only read values defined in earlier

@@ -54,7 +54,8 @@ std::vector<unsigned> normalizedThreadCandidates(std::vector<unsigned> C) {
 /// solved over different node costs too).
 std::string costIdentityFor(const CostProvider &Raw,
                             bool AmortizeWeightTransforms,
-                            const std::vector<unsigned> &ThreadCandidates) {
+                            const std::vector<unsigned> &ThreadCandidates,
+                            bool ConsiderJit) {
   std::string Id = Raw.identity();
   if (AmortizeWeightTransforms)
     Id += "+amortized";
@@ -64,7 +65,21 @@ std::string costIdentityFor(const CostProvider &Raw,
     for (size_t I = 0; I < Axis.size(); ++I)
       Id += (I ? "," : "") + std::to_string(Axis[I]);
   }
+  // The JIT dimension solves over the same node costs but reports an
+  // extra modelled comparison; tag it so jit-aware and interpreter-only
+  // plans never serve each other from the cache.
+  if (ConsiderJit)
+    Id += ":jit";
   return Id;
+}
+
+/// Modelled one-time cost (ms) of JIT-compiling a plan with \p Steps
+/// execution steps: compiler process startup plus per-step source growth.
+/// Deliberately coarse -- it is amortizable prepare-phase cost, so its
+/// magnitude only matters against other prepare work, never against
+/// per-run cost.
+double modelledJitCompileMs(size_t Steps) {
+  return 150.0 + 2.0 * static_cast<double>(Steps);
 }
 
 } // namespace
@@ -79,7 +94,8 @@ PlanKey Engine::planKey(const NetworkGraph &Net) const {
     K.NetworkFingerprint = fingerprintNetwork(Rewritten, Lib);
   }
   K.CostIdentity = costIdentityFor(Raw, Opts.AmortizeWeightTransforms,
-                                   Opts.ExecThreadCandidates);
+                                   Opts.ExecThreadCandidates,
+                                   Opts.ConsiderJit);
   K.SolverFingerprint = fingerprintSolver(Opts.Solver, Opts.SolverOptions);
   K.PassFingerprint = transforms::fingerprintPasses(Opts.Passes);
   return K;
@@ -104,11 +120,33 @@ SelectionResult Engine::run(const NetworkGraph &Net,
     Target = Rewritten.get();
   }
 
+  // The JIT selection dimension, attached uniformly to solved and
+  // cache-hit results: the modelled steady-state cost of serving the plan
+  // through the generated straight-line program. Derived from the plan's
+  // own modelled cost minus the per-step dispatch overhead (clamped, so
+  // enabling the dimension can never increase the modelled cost), with
+  // the compiler invocation credited as amortizable prepare work. Queries
+  // go to the raw provider: CachingCostProvider memoizes only the conv/
+  // transform families.
+  auto attachJitModel = [&](SelectionResult &Res) {
+    if (!Options.ConsiderJit || Res.Plan.empty())
+      return;
+    size_t Steps =
+        ExecutionPlan::compile(*Target, Res.Plan, Lib).steps().size();
+    double Base = Options.AmortizeWeightTransforms ? Res.ModelledPerRunMs
+                                                   : Res.ModelledCostMs;
+    Res.JitConsidered = true;
+    Res.ModelledJitPerRunMs = std::max(
+        0.0, Base - Raw.dispatchOverheadMs() * static_cast<double>(Steps));
+    Res.ModelledJitCompileMs = modelledJitCompileMs(Steps);
+  };
+
   PlanKey Key;
   if (Plans) {
     Key.NetworkFingerprint = fingerprintNetwork(*Target, Lib);
     Key.CostIdentity = costIdentityFor(Raw, Options.AmortizeWeightTransforms,
-                                       Options.ExecThreadCandidates);
+                                       Options.ExecThreadCandidates,
+                                       Options.ConsiderJit);
     Key.SolverFingerprint =
         fingerprintSolver(SolverBackend.name(), Options.SolverOptions);
     Key.PassFingerprint = transforms::fingerprintPasses(Options.Passes);
@@ -126,6 +164,7 @@ SelectionResult Engine::run(const NetworkGraph &Net,
       // and a disk hit carries none.
       Hit->Rewritten = Rewritten;
       Hit->Passes = PassStats;
+      attachJitModel(*Hit);
       return *Hit;
     }
   }
@@ -164,6 +203,7 @@ SelectionResult Engine::run(const NetworkGraph &Net,
     R.Cache = Cache->stats();
   if (Plans)
     Plans->store(Key, R, *Target, Lib);
+  attachJitModel(R);
   return R;
 }
 
@@ -229,7 +269,12 @@ Engine::compile(const NetworkGraph &Net, const SelectionResult &R,
                 const CompileOptions &Options) const {
   if (R.Plan.empty())
     return nullptr;
-  return CompiledNet::build(R.executionGraph(Net), R.Plan, Lib, Options);
+  // JIT objects cache next to the plans: a fleet pointed at one warm
+  // directory skips the compiler the same way it skips the solver.
+  CompileOptions Effective = Options;
+  if (Effective.Jit && Effective.JitOpts.CacheDir.empty())
+    Effective.JitOpts.CacheDir = Opts.PlanCacheDir;
+  return CompiledNet::build(R.executionGraph(Net), R.Plan, Lib, Effective);
 }
 
 std::unique_ptr<Executor> Engine::instantiate(const NetworkGraph &Net,

@@ -99,6 +99,16 @@ struct EngineOptions {
   /// mix. Worker capping never changes results (the packed GEMM is bitwise
   /// thread-count-invariant), only speed.
   std::vector<unsigned> ExecThreadCandidates;
+  /// Make JIT compilation a selection dimension: optimize() additionally
+  /// models serving each plan through the generated straight-line program
+  /// (SelectionResult::ModelledJitPerRunMs, never more than the
+  /// interpreted per-run cost) with the compiler invocation credited as
+  /// prepare-phase amortizable cost (ModelledJitCompileMs). The mode joins
+  /// the plan-cache cost identity (":jit"), so jit-aware and
+  /// interpreter-only plans never mix. Engine::compile picks the serving
+  /// mode via CompileOptions::Jit; this flag only adds the modelled
+  /// comparison to selection results.
+  bool ConsiderJit = false;
   /// Graph-transform passes (transforms/Pass.h) applied to the network
   /// before formulation. Empty = O0: the graph is optimized exactly as
   /// given, the historical behaviour. For O1 use

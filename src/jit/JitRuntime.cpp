@@ -1,0 +1,335 @@
+//===- jit/JitRuntime.cpp -------------------------------------------------===//
+
+#include "jit/JitRuntime.h"
+
+#include "codegen/CodeGen.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+using namespace primsel;
+using namespace primsel::jit;
+
+namespace {
+
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string hex64(uint64_t H) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+/// Run \p Cmd with stderr folded into stdout; returns the exit status and
+/// fills \p Output. -1 when the process could not even be spawned.
+int runCommand(const std::string &Cmd, std::string &Output) {
+  Output.clear();
+  FILE *Pipe = ::popen((Cmd + " 2>&1").c_str(), "r");
+  if (!Pipe)
+    return -1;
+  char Buf[4096];
+  size_t N;
+  while ((N = ::fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    Output.append(Buf, N);
+  int Status = ::pclose(Pipe);
+  return Status;
+}
+
+/// `<compiler> --version` first line, memoized per path. Part of the cache
+/// fingerprint so a compiler upgrade invalidates every cached object.
+/// Empty when the compiler cannot be run at all.
+std::string compilerVersion(const std::string &Compiler) {
+  static std::mutex Mutex;
+  static std::map<std::string, std::string> Memo;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Memo.find(Compiler);
+  if (It != Memo.end())
+    return It->second;
+  std::string Out;
+  int Status = runCommand("\"" + Compiler + "\" --version", Out);
+  std::string Version;
+  if (Status == 0) {
+    size_t Eol = Out.find('\n');
+    Version = Eol == std::string::npos ? Out : Out.substr(0, Eol);
+  }
+  Memo[Compiler] = Version;
+  return Version;
+}
+
+/// The include root the generated source compiles against: the env
+/// override, else the source-tree path baked in at build time.
+std::string includeDir() {
+  if (const char *Env = std::getenv("PRIMSEL_JIT_INCLUDE"))
+    return Env;
+#ifdef PRIMSEL_JIT_INCLUDE_DIR
+  return PRIMSEL_JIT_INCLUDE_DIR;
+#else
+  return ".";
+#endif
+}
+
+/// The extern "C" entry points appended below emitPlanSource() output. This
+/// block is generated here, not by the code generator, because it embeds
+/// the fingerprint -- which hashes the base source.
+std::string abiBlock(const std::string &Fingerprint) {
+  std::ostringstream OS;
+  OS << "\n// --- primsel JIT ABI v" << AbiVersion
+     << " (appended by JitRuntime) ---\n"
+     << "extern \"C\" {\n"
+     << "int primsel_jit_abi_version() { return " << AbiVersion << "; }\n"
+     << "const char *primsel_jit_fingerprint() { return \"" << Fingerprint
+     << "\"; }\n"
+     << "void *primsel_jit_program_create(const void *Lib, "
+        "uint64_t WeightSeed) {\n"
+     << "  try {\n"
+     << "    return new generated::Program(\n"
+     << "        *static_cast<const primsel::PrimitiveLibrary *>(Lib), "
+        "WeightSeed);\n"
+     << "  } catch (...) {\n    return nullptr;\n  }\n}\n"
+     << "void primsel_jit_program_destroy(void *P) {\n"
+     << "  delete static_cast<generated::Program *>(P);\n}\n"
+     << "void *primsel_jit_context_create(void *P) {\n"
+     << "  try {\n"
+     << "    return new generated::Program::Context(\n"
+     << "        *static_cast<generated::Program *>(P));\n"
+     << "  } catch (...) {\n    return nullptr;\n  }\n}\n"
+     << "void primsel_jit_context_destroy(void *C) {\n"
+     << "  delete static_cast<generated::Program::Context *>(C);\n}\n"
+     << "const void *primsel_jit_context_run(void *C, const void *In, "
+        "void *Pool) {\n"
+     << "  return &static_cast<generated::Program::Context *>(C)->run(\n"
+     << "      *static_cast<const primsel::Tensor3D *>(In),\n"
+     << "      static_cast<primsel::ThreadPool *>(Pool));\n}\n"
+     << "} // extern \"C\"\n";
+  return OS.str();
+}
+
+/// dlopen \p Path and resolve + validate the versioned entry points.
+/// Returns the handle, or null with \p Error set (handle closed).
+void *loadAndValidate(const std::string &Path,
+                      const std::string &Fingerprint, std::string &Error) {
+  void *Handle = ::dlopen(Path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    const char *E = ::dlerror();
+    Error = E ? E : "dlopen failed";
+    return nullptr;
+  }
+  auto AbiFn =
+      reinterpret_cast<int (*)()>(::dlsym(Handle, "primsel_jit_abi_version"));
+  auto FpFn = reinterpret_cast<const char *(*)()>(
+      ::dlsym(Handle, "primsel_jit_fingerprint"));
+  if (!AbiFn || !FpFn) {
+    Error = "object lacks primsel_jit entry points";
+    ::dlclose(Handle);
+    return nullptr;
+  }
+  if (AbiFn() != AbiVersion) {
+    Error = "ABI version mismatch (got " + std::to_string(AbiFn()) +
+            ", want " + std::to_string(AbiVersion) + ")";
+    ::dlclose(Handle);
+    return nullptr;
+  }
+  if (Fingerprint != FpFn()) {
+    Error = "fingerprint mismatch (stale or foreign object)";
+    ::dlclose(Handle);
+    return nullptr;
+  }
+  return Handle;
+}
+
+size_t fileBytes(const std::string &Path) {
+  std::error_code EC;
+  uintmax_t N = std::filesystem::file_size(Path, EC);
+  return EC ? 0 : static_cast<size_t>(N);
+}
+
+} // namespace
+
+std::string primsel::jit::resolveJitCompiler(const JitOptions &Options) {
+  if (!Options.Compiler.empty())
+    return Options.Compiler;
+  if (const char *Env = std::getenv("PRIMSEL_CC"))
+    if (*Env)
+      return Env;
+  return "cc";
+}
+
+std::unique_ptr<JitProgram>
+JitProgram::create(const NetworkGraph &Net, const NetworkPlan &Plan,
+                   const PrimitiveLibrary &Lib, uint64_t WeightSeed,
+                   const JitOptions &Options, JitReport &Report) {
+  Report = JitReport();
+  Timer Total;
+
+  // 1. Emit. emitPlanSource is deterministic (tested), so the source text
+  //    is a faithful proxy for graph x plan x library in the cache key.
+  std::string Base = emitPlanSource(Net, Plan, Lib);
+
+  // 2. Compiler identity. A compiler that cannot even report a version is
+  //    treated as absent -- fail before spending a compile.
+  std::string Compiler = resolveJitCompiler(Options);
+  std::string Flags = "-std=c++17 -O2 -fPIC -shared";
+  if (!Options.ExtraFlags.empty())
+    Flags += " " + Options.ExtraFlags;
+  std::string Version = compilerVersion(Compiler);
+  if (Version.empty()) {
+    Report.Error = "compiler '" + Compiler + "' not available";
+    Report.CompileMs = Total.millis();
+    return nullptr;
+  }
+
+  // 3. Fingerprint = source x compiler identity. Embedded in the object so
+  //    a cached .so proves it was built from exactly this plan.
+  std::string Fingerprint =
+      hex64(fnv1a(Base + "\n" + Compiler + " " + Flags + "\n" + Version));
+  Report.Fingerprint = Fingerprint;
+
+  std::unique_ptr<JitProgram> P(new JitProgram());
+
+  // 4. Cache probe. Unloadable or mismatched objects are removed and
+  //    recompiled -- the PlanCache corrupt-file contract.
+  std::string CachePath;
+  if (!Options.CacheDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Options.CacheDir, EC);
+    CachePath = Options.CacheDir + "/jit-" + Fingerprint + ".so";
+    if (std::filesystem::exists(CachePath, EC)) {
+      std::string LoadError;
+      if (void *H = loadAndValidate(CachePath, Fingerprint, LoadError)) {
+        P->Handle = H;
+        Report.CacheHit = true;
+        Report.ObjectPath = CachePath;
+        Report.ObjectBytes = fileBytes(CachePath);
+      } else {
+        ++Report.CorruptObjects;
+        std::filesystem::remove(CachePath, EC);
+      }
+    }
+  }
+
+  // 5. Compile into a pid-unique scratch object, then atomically publish
+  //    (rename) into the cache -- or load-and-unlink when uncached.
+  if (!P->Handle) {
+    std::string ScratchDir =
+        Options.CacheDir.empty() ? std::string("/tmp") : Options.CacheDir;
+    std::string Stem = ScratchDir + "/jit-" + Fingerprint + ".tmp." +
+                       std::to_string(::getpid());
+    std::string SrcPath = Stem + ".cpp";
+    std::string ObjPath = Stem + ".so";
+    {
+      std::ofstream OS(SrcPath, std::ios::trunc);
+      OS << Base << abiBlock(Fingerprint);
+      if (!OS) {
+        Report.Error = "cannot write scratch source " + SrcPath;
+        Report.CompileMs = Total.millis();
+        return nullptr;
+      }
+    }
+
+    std::string Cmd = "\"" + Compiler + "\" " + Flags + " -I\"" +
+                      includeDir() + "\" \"" + SrcPath + "\" -o \"" +
+                      ObjPath + "\" -lstdc++ -lm";
+    std::string CompileOut;
+    ++Report.CompilerInvocations;
+    int Status = runCommand(Cmd, CompileOut);
+    std::error_code EC;
+    std::filesystem::remove(SrcPath, EC);
+    if (Status != 0) {
+      std::filesystem::remove(ObjPath, EC);
+      if (CompileOut.size() > 512)
+        CompileOut.resize(512);
+      Report.Error = "compile failed (status " + std::to_string(Status) +
+                     "): " + CompileOut;
+      Report.CompileMs = Total.millis();
+      return nullptr;
+    }
+
+    std::string LoadPath = ObjPath;
+    if (!CachePath.empty()) {
+      std::filesystem::rename(ObjPath, CachePath, EC);
+      if (!EC)
+        LoadPath = CachePath;
+    }
+    std::string LoadError;
+    P->Handle = loadAndValidate(LoadPath, Fingerprint, LoadError);
+    Report.ObjectBytes = fileBytes(LoadPath);
+    if (LoadPath == ObjPath)
+      std::filesystem::remove(ObjPath, EC); // mapped copy stays alive
+    if (!P->Handle) {
+      if (LoadPath == CachePath)
+        std::filesystem::remove(CachePath, EC);
+      Report.Error = "fresh object rejected: " + LoadError;
+      Report.CompileMs = Total.millis();
+      return nullptr;
+    }
+    Report.ObjectPath = CachePath;
+  }
+
+  // 6. Resolve the working entry points and instantiate the program (all
+  //    prepare-phase work runs inside the object here).
+  P->CtxCreate = reinterpret_cast<void *(*)(void *)>(
+      ::dlsym(P->Handle, "primsel_jit_context_create"));
+  P->CtxDestroy = reinterpret_cast<void (*)(void *)>(
+      ::dlsym(P->Handle, "primsel_jit_context_destroy"));
+  P->CtxRun = reinterpret_cast<const void *(*)(void *, const void *, void *)>(
+      ::dlsym(P->Handle, "primsel_jit_context_run"));
+  P->ProgDestroy = reinterpret_cast<void (*)(void *)>(
+      ::dlsym(P->Handle, "primsel_jit_program_destroy"));
+  auto ProgCreate = reinterpret_cast<void *(*)(const void *, uint64_t)>(
+      ::dlsym(P->Handle, "primsel_jit_program_create"));
+  if (!P->CtxCreate || !P->CtxDestroy || !P->CtxRun || !P->ProgDestroy ||
+      !ProgCreate) {
+    Report.Error = "object lacks primsel_jit entry points";
+    Report.CompileMs = Total.millis();
+    return nullptr;
+  }
+  P->Program = ProgCreate(&Lib, WeightSeed);
+  if (!P->Program) {
+    Report.Error = "generated program construction failed";
+    Report.CompileMs = Total.millis();
+    return nullptr;
+  }
+
+  Report.Loaded = true;
+  Report.CompileMs = Total.millis();
+  P->Report = Report;
+  return P;
+}
+
+JitProgram::~JitProgram() {
+  if (Program && ProgDestroy)
+    ProgDestroy(Program);
+  if (Handle)
+    ::dlclose(Handle);
+}
+
+void *JitProgram::createContext() const {
+  return CtxCreate ? CtxCreate(Program) : nullptr;
+}
+
+void JitProgram::destroyContext(void *Ctx) const {
+  if (Ctx && CtxDestroy)
+    CtxDestroy(Ctx);
+}
+
+const Tensor3D &JitProgram::run(void *Ctx, const Tensor3D &In,
+                                ThreadPool *Pool) const {
+  return *static_cast<const Tensor3D *>(CtxRun(Ctx, &In, Pool));
+}

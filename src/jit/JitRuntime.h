@@ -1,0 +1,127 @@
+//===- jit/JitRuntime.h - Runtime compilation of emitted plans --*- C++ -*-===//
+//
+// Part of primsel. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime half of the codegen loop: take emitPlanSource() output, shell
+/// out to the system C++ compiler (`cc -O2 -fPIC -shared`, overridable via
+/// JitOptions::Compiler / the PRIMSEL_CC environment variable), dlopen the
+/// resulting shared object behind an RAII handle, and expose the generated
+/// Program/Context pair through a versioned C ABI so a JIT-compiled plan can
+/// serve through the exact same per-request interface as the interpreted
+/// CompiledNet.
+///
+/// Compiled objects are cached (when JitOptions::CacheDir is set) as
+/// `jit-<fingerprint>.so`, where the fingerprint hashes the emitted source
+/// together with the compiler identity (path + flags + --version output) --
+/// so a compiler upgrade or a plan change never serves a stale object, and a
+/// warm cache costs zero compiler invocations. Writes are pid-unique
+/// temp+rename, mirroring PlanCache / CostDatabase atomicity; a cached
+/// object that fails to load or validate is counted, removed and recompiled.
+///
+/// Every failure mode (no compiler, compile error, dlopen failure, ABI
+/// mismatch) is reported through JitReport::Error -- callers fall back to
+/// the interpreted artifact, never abort.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIMSEL_JIT_JITRUNTIME_H
+#define PRIMSEL_JIT_JITRUNTIME_H
+
+#include "core/Plan.h"
+
+#include <memory>
+#include <string>
+
+namespace primsel {
+
+class Tensor3D;
+class ThreadPool;
+
+namespace jit {
+
+/// Version of the generated C entry-point contract. Bumped whenever the
+/// signatures or semantics of the primsel_jit_* symbols change; objects
+/// reporting a different version are treated as corrupt.
+constexpr int AbiVersion = 1;
+
+/// Knobs for one JIT compilation.
+struct JitOptions {
+  /// Compiler executable. Empty resolves PRIMSEL_CC, then "cc".
+  std::string Compiler;
+  /// Directory for cached objects and scratch files. Empty disables the
+  /// cache: the object is built in the temp directory and unlinked once
+  /// loaded.
+  std::string CacheDir;
+  /// Extra flags appended after the built-in `-std=c++17 -O2 -fPIC
+  /// -shared` (so e.g. "-O0" overrides the optimization level).
+  std::string ExtraFlags;
+};
+
+/// What one JitProgram::create run did -- the caller's basis for reporting
+/// and for the fallback decision.
+struct JitReport {
+  bool Loaded = false;   ///< a usable object is mapped
+  bool CacheHit = false; ///< served from CacheDir without compiling
+  unsigned CompilerInvocations = 0; ///< compile processes spawned
+  unsigned CorruptObjects = 0; ///< cached objects removed as unloadable
+  double CompileMs = 0.0;      ///< wall time in the compiler (+ dlopen)
+  size_t ObjectBytes = 0;      ///< size of the loaded shared object
+  std::string ObjectPath;      ///< cache path ("" when uncached)
+  std::string Fingerprint;     ///< source x compiler identity hash
+  std::string Error;           ///< first failure, empty on success
+};
+
+/// A loaded JIT-compiled plan: RAII over the dlopen handle and the
+/// generated Program instance. Create one per artifact; contexts are the
+/// cheap per-request half, exactly like CompiledNet's ExecutionContext.
+/// Thread-safe the same way: the program is immutable after creation, each
+/// context must be used by one thread at a time.
+class JitProgram {
+public:
+  /// Emit, fingerprint, (cache-probe or compile), load and instantiate.
+  /// Null on any failure, with the reason in \p Report.Error; \p Report is
+  /// filled in either case.
+  static std::unique_ptr<JitProgram>
+  create(const NetworkGraph &Net, const NetworkPlan &Plan,
+         const PrimitiveLibrary &Lib, uint64_t WeightSeed,
+         const JitOptions &Options, JitReport &Report);
+
+  ~JitProgram();
+  JitProgram(const JitProgram &) = delete;
+  JitProgram &operator=(const JitProgram &) = delete;
+
+  /// A fresh generated Context (preallocated intermediates + bound conv
+  /// instances). Null on failure. Destroy with destroyContext.
+  void *createContext() const;
+  void destroyContext(void *Ctx) const;
+
+  /// One forward pass on \p Ctx. Returns the context's preallocated output
+  /// tensor, valid until the next run on the same context.
+  const Tensor3D &run(void *Ctx, const Tensor3D &In, ThreadPool *Pool) const;
+
+  size_t objectBytes() const { return Report.ObjectBytes; }
+  const JitReport &report() const { return Report; }
+
+private:
+  JitProgram() = default;
+
+  void *Handle = nullptr;  ///< dlopen handle
+  void *Program = nullptr; ///< generated::Program instance
+  void *(*CtxCreate)(void *) = nullptr;
+  void (*CtxDestroy)(void *) = nullptr;
+  const void *(*CtxRun)(void *, const void *, void *) = nullptr;
+  void (*ProgDestroy)(void *) = nullptr;
+  JitReport Report;
+};
+
+/// The compiler JIT compilation would use under \p Options: explicit
+/// option, then PRIMSEL_CC, then "cc".
+std::string resolveJitCompiler(const JitOptions &Options);
+
+} // namespace jit
+} // namespace primsel
+
+#endif // PRIMSEL_JIT_JITRUNTIME_H

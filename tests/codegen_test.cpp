@@ -11,7 +11,9 @@
 #include "codegen/CodeGen.h"
 #include "core/Selector.h"
 #include "cost/AnalyticModel.h"
+#include "jit/JitRuntime.h"
 #include "nn/Models.h"
+#include "runtime/Executor.h"
 #include "runtime/LayerOps.h"
 #include "support/ThreadPool.h"
 #include "tensor/Transform.h"
@@ -211,13 +213,48 @@ TEST(CodeGen, EmitsTransformsForEveryChainHop) {
   size_t WantHops = 0;
   for (const auto &[Edge, Chain] : G.Plan.Chains)
     WantHops += Chain.size() - 1;
-  size_t Converts = 0;
-  // The input copy also uses convertToLayout; discount it.
-  for (size_t Pos = G.Source.find("convertToLayout(");
+  size_t Transforms = 0;
+  for (size_t Pos = G.Source.find("primsel::runTransform(");
        Pos != std::string::npos;
-       Pos = G.Source.find("convertToLayout(", Pos + 1))
-    ++Converts;
-  EXPECT_EQ(Converts, WantHops + 1);
+       Pos = G.Source.find("primsel::runTransform(", Pos + 1))
+    ++Transforms;
+  EXPECT_EQ(Transforms, WantHops);
+  // The network input is copied, not transformed: the interpreter asserts
+  // it already arrives in the canonical layout, and so does generated code.
+  EXPECT_NE(G.Source.find("std::memcpy(T0.data(), Input.data()"),
+            std::string::npos);
+}
+
+TEST(CodeGen, EmittedSourceIsDeterministic) {
+  // The .so cache keys on a fingerprint of the emitted source, so the same
+  // graph + plan must render byte-identically every time.
+  GeneratedModel A = generateFor(tinyDag(24));
+  GeneratedModel B = generateFor(tinyDag(24));
+  EXPECT_EQ(A.Source, B.Source);
+  GeneratedModel C = generateFor(googLeNet(0.125));
+  GeneratedModel D = generateFor(googLeNet(0.125));
+  EXPECT_EQ(C.Source, D.Source);
+}
+
+TEST(CodeGen, EmitsConvThreadCapsForThreadAnnotatedPlans) {
+  // A post-PR-6 plan carries per-conv worker counts; generated code must
+  // cap each conv's RunContext exactly like the interpreted
+  // ExecutionContext does.
+  GeneratedModel G = generateFor(tinyChain(24));
+  ASSERT_TRUE(G.Plan.ConvThreads.empty());
+  EXPECT_EQ(G.Source.find("Ctx.MaxThreads"), std::string::npos);
+
+  static PrimitiveLibrary Lib = buildFullLibrary();
+  NetworkPlan Threaded = G.Plan;
+  Threaded.ConvThreads.assign(G.Net.numNodes(), 0);
+  for (NetworkGraph::NodeId N : G.Net.convNodes())
+    Threaded.ConvThreads[N] = 3;
+  std::string Src = emitPlanSource(G.Net, Threaded, Lib);
+  size_t Caps = 0;
+  for (size_t Pos = Src.find("Ctx.MaxThreads = 3;"); Pos != std::string::npos;
+       Pos = Src.find("Ctx.MaxThreads = 3;", Pos + 1))
+    ++Caps;
+  EXPECT_EQ(Caps, G.Net.convNodes().size());
 }
 
 TEST(CodeGen, RespectsNamespaceAndClassOptions) {
@@ -237,6 +274,39 @@ TEST(CodeGen, EmitsLayerOpsForDummyLayers) {
   EXPECT_NE(G.Source.find("primsel::reluOp("), std::string::npos);
   EXPECT_NE(G.Source.find("primsel::poolOp("), std::string::npos);
   EXPECT_NE(G.Source.find("primsel::concatOp("), std::string::npos);
+}
+
+TEST(CodeGen, GeneratedProgramExecutesRandomResidualNetwork) {
+  // Beyond string checks: actually compile and execute the emitted program
+  // (via the JIT pipeline) for a pseudo-random residual/depthwise DAG and
+  // diff against the interpreting Executor oracle. The build-time check
+  // (examples/codegen_driver) only ever covers tinydag.
+  NetworkGraph Net = randomResidualNetwork(/*Seed=*/2026, /*InputSize=*/24,
+                                           /*Stages=*/2);
+  static PrimitiveLibrary Lib = buildFullLibrary();
+  MachineProfile Profile = MachineProfile::haswell();
+  AnalyticCostProvider Costs(Lib, Profile);
+  SelectionResult R = selectPBQP(Net, Lib, Costs);
+  ASSERT_FALSE(R.Plan.empty());
+
+  jit::JitOptions JO;
+  JO.ExtraFlags = "-O0"; // glue only; identity holds at any -O level
+  jit::JitReport Rep;
+  std::unique_ptr<jit::JitProgram> P =
+      jit::JitProgram::create(Net, R.Plan, Lib, /*WeightSeed=*/7, JO, Rep);
+  ASSERT_TRUE(P) << Rep.Error;
+
+  Executor Oracle(Net, R.Plan, Lib, /*Threads=*/1, /*WeightSeed=*/7);
+  const TensorShape &Sh = Net.node(0).OutShape;
+  Tensor3D In(Sh.C, Sh.H, Sh.W, Layout::CHW);
+  In.fillRandom(5);
+  Oracle.run(In);
+
+  void *Ctx = P->createContext();
+  ASSERT_NE(Ctx, nullptr);
+  const Tensor3D &Out = P->run(Ctx, In, nullptr);
+  EXPECT_EQ(maxAbsDifference(Out, Oracle.networkOutput()), 0.0f);
+  P->destroyContext(Ctx);
 }
 
 TEST(CodeGen, GoogLeNetScaleProgramEmits) {

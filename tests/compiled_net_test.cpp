@@ -349,6 +349,22 @@ TEST(AmortizedCosts, NeverIncreasesSelectedPlanPerInferenceCost) {
     // And the engine's own report matches the independent meter.
     EXPECT_NEAR(R1.ModelledPerRunMs, PerRun1, 1e-9 + 1e-9 * PerRun1)
         << Net.name();
+
+    // The JIT dimension extends the guarantee: with ConsiderJit the
+    // modelled plan cost never increases vs interpreter-only selection --
+    // the jitted per-run cost shaves (clamped) dispatch overhead off the
+    // same plan, and compile time lands in the amortizable prepare bucket.
+    EngineOptions JOpts = AOpts;
+    JOpts.ConsiderJit = true;
+    AnalyticCostProvider JProv = makeProvider();
+    Engine Jitted(lib(), JProv, JOpts);
+    SelectionResult R2 = Jitted.optimize(Net);
+    ASSERT_FALSE(R2.Plan.empty()) << Net.name();
+    EXPECT_TRUE(R2.JitConsidered) << Net.name();
+    EXPECT_LE(R2.ModelledJitPerRunMs, R2.ModelledPerRunMs) << Net.name();
+    EXPECT_LE(R2.ModelledJitPerRunMs, PerRun1 + 1e-9) << Net.name();
+    EXPECT_GE(R2.ModelledJitPerRunMs, 0.0) << Net.name();
+    EXPECT_GT(R2.ModelledJitCompileMs, 0.0) << Net.name();
   }
 }
 

@@ -1,0 +1,313 @@
+//===- tests/jit_test.cpp - Runtime JIT pipeline tests --------------------===//
+//
+// The codegen loop closed at runtime: emitPlanSource -> system compiler ->
+// dlopen -> serve. Covers the differential contract (JIT bit-identical to
+// the sequential Executor across the model zoo at both pass levels), the
+// fallback ladder (no compiler / corrupt cache -> interpret, never abort),
+// object-cache hygiene (warm cache = zero compiler invocations, pid-unique
+// scratch, poisoned objects recompiled), and the engine's JIT selection
+// dimension (modelled cost never increases, cache keys separate modes).
+//
+// Compiles here pass -O0 to the system compiler: the generated translation
+// unit is pure glue (all floating-point math runs inside the prebuilt
+// library the object links against), so bit-identity holds at any compiler
+// optimization level and the tests buy speed for free.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cost/AnalyticModel.h"
+#include "engine/Engine.h"
+#include "nn/Models.h"
+#include "runtime/Executor.h"
+#include "transforms/Pass.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+using namespace primsel;
+
+namespace {
+
+const PrimitiveLibrary &lib() {
+  static PrimitiveLibrary L = buildFullLibrary();
+  return L;
+}
+
+AnalyticCostProvider makeProvider() {
+  return AnalyticCostProvider(lib(), MachineProfile::haswell(), 1);
+}
+
+Tensor3D makeInput(const NetworkGraph &Net, uint64_t Seed = 5) {
+  const TensorShape &Sh = Net.node(0).OutShape;
+  Tensor3D In(Sh.C, Sh.H, Sh.W, Layout::CHW);
+  In.fillRandom(Seed);
+  return In;
+}
+
+/// A fresh per-test scratch directory under the system temp root.
+struct TempDir {
+  explicit TempDir(const std::string &Tag) {
+    Path = (std::filesystem::temp_directory_path() /
+            ("primsel-jit-" + Tag + "-" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+  std::string Path;
+};
+
+/// Compile-time knobs every test shares: JIT on, fast -O0 glue compiles.
+CompileOptions jitOptions(const std::string &CacheDir) {
+  CompileOptions CO;
+  CO.Jit = true;
+  CO.JitOpts.CacheDir = CacheDir;
+  CO.JitOpts.ExtraFlags = "-O0";
+  return CO;
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: JIT == sequential Executor, across the zoo, at both pass
+// levels
+//===----------------------------------------------------------------------===//
+
+TEST(JitDifferential, BitIdenticalToSequentialExecutorAcrossZoo) {
+  TempDir Dir("zoo");
+  AnalyticCostProvider Prov = makeProvider();
+  struct ModelCase {
+    const char *Name;
+    NetworkGraph Net;
+  };
+  std::vector<ModelCase> Models;
+  Models.push_back({"resnet18", resNet18(0.08)});
+  Models.push_back({"mobilenet", mobileNet(0.08)});
+  Models.push_back({"googlenet", googLeNet(0.08)});
+  Models.push_back({"alexnet", alexNet(0.08)});
+
+  // -O0 / -O1 in the graph-transform sense: without and with the default
+  // pass pipeline (epilogue fusion etc.), so fused plans are covered too.
+  std::vector<std::vector<std::string>> PassLevels = {
+      {}, transforms::PassPipeline::defaultPassNames()};
+
+  for (const ModelCase &M : Models) {
+    for (size_t Level = 0; Level < PassLevels.size(); ++Level) {
+      SCOPED_TRACE(std::string(M.Name) + " O" + std::to_string(Level));
+      EngineOptions EOpts;
+      EOpts.Passes = PassLevels[Level];
+      Engine Eng(lib(), Prov, EOpts);
+      SelectionResult R = Eng.optimize(M.Net);
+      ASSERT_FALSE(R.Plan.empty());
+
+      std::shared_ptr<const CompiledNet> CN =
+          Eng.compile(M.Net, R, jitOptions(Dir.Path));
+      ASSERT_TRUE(CN);
+      ASSERT_TRUE(CN->isJitted()) << CN->jitReport().Error;
+
+      std::unique_ptr<Executor> Oracle =
+          Eng.instantiate(M.Net, R, ExecutorOptions{});
+      Tensor3D In = makeInput(M.Net);
+      Oracle->run(In);
+
+      std::unique_ptr<ExecutionContext> Ctx = CN->newContext();
+      Ctx->run(In);
+      EXPECT_EQ(maxAbsDifference(Ctx->networkOutput(),
+                                 Oracle->networkOutput()),
+                0.0f);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fallback ladder
+//===----------------------------------------------------------------------===//
+
+TEST(JitFallback, MissingCompilerServesInterpreted) {
+  NetworkGraph Net = tinyDag(16);
+  AnalyticCostProvider Prov = makeProvider();
+  Engine Eng(lib(), Prov);
+  SelectionResult R = Eng.optimize(Net);
+
+  CompileOptions CO = jitOptions("");
+  CO.JitOpts.Compiler = "/nonexistent/primsel-no-such-cc";
+  std::shared_ptr<const CompiledNet> CN = Eng.compile(Net, R, CO);
+  ASSERT_TRUE(CN);
+  EXPECT_FALSE(CN->isJitted());
+  EXPECT_NE(CN->jitReport().Error.find("not available"), std::string::npos)
+      << CN->jitReport().Error;
+  EXPECT_EQ(CN->jitObjectBytes(), 0u);
+
+  // The artifact is fully functional interpreted.
+  std::unique_ptr<Executor> Oracle = Eng.instantiate(Net, R, ExecutorOptions{});
+  Tensor3D In = makeInput(Net);
+  Oracle->run(In);
+  std::unique_ptr<ExecutionContext> Ctx = CN->newContext();
+  Ctx->run(In);
+  EXPECT_EQ(maxAbsDifference(Ctx->networkOutput(), Oracle->networkOutput()),
+            0.0f);
+}
+
+TEST(JitFallback, CompileErrorServesInterpreted) {
+  NetworkGraph Net = tinyChain(16);
+  AnalyticCostProvider Prov = makeProvider();
+  Engine Eng(lib(), Prov);
+  SelectionResult R = Eng.optimize(Net);
+
+  TempDir Dir("badflags");
+  CompileOptions CO = jitOptions(Dir.Path);
+  CO.JitOpts.ExtraFlags = "-O0 -fsyntax-only"; // object never produced
+  std::shared_ptr<const CompiledNet> CN = Eng.compile(Net, R, CO);
+  ASSERT_TRUE(CN);
+  EXPECT_FALSE(CN->isJitted());
+  EXPECT_FALSE(CN->jitReport().Error.empty());
+
+  // Failure paths leave no scratch files behind.
+  unsigned Leftovers = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir.Path))
+    (void)E, ++Leftovers;
+  EXPECT_EQ(Leftovers, 0u);
+
+  Tensor3D In = makeInput(Net);
+  std::unique_ptr<ExecutionContext> Ctx = CN->newContext();
+  Ctx->run(In); // still serves
+  (void)Ctx->networkOutput();
+}
+
+//===----------------------------------------------------------------------===//
+// Object cache
+//===----------------------------------------------------------------------===//
+
+TEST(JitCache, WarmCacheSkipsTheCompiler) {
+  NetworkGraph Net = tinyDag(16);
+  AnalyticCostProvider Prov = makeProvider();
+  Engine Eng(lib(), Prov);
+  SelectionResult R = Eng.optimize(Net);
+  TempDir Dir("warm");
+
+  std::shared_ptr<const CompiledNet> Cold =
+      Eng.compile(Net, R, jitOptions(Dir.Path));
+  ASSERT_TRUE(Cold && Cold->isJitted()) << Cold->jitReport().Error;
+  EXPECT_FALSE(Cold->jitReport().CacheHit);
+  EXPECT_EQ(Cold->jitReport().CompilerInvocations, 1u);
+  EXPECT_GT(Cold->jitObjectBytes(), 0u);
+
+  std::shared_ptr<const CompiledNet> Warm =
+      Eng.compile(Net, R, jitOptions(Dir.Path));
+  ASSERT_TRUE(Warm && Warm->isJitted()) << Warm->jitReport().Error;
+  EXPECT_TRUE(Warm->jitReport().CacheHit);
+  EXPECT_EQ(Warm->jitReport().CompilerInvocations, 0u);
+  EXPECT_EQ(Warm->jitReport().ObjectPath, Cold->jitReport().ObjectPath);
+
+  // Identical outputs either way, and no pid-suffixed scratch litter.
+  Tensor3D In = makeInput(Net);
+  std::unique_ptr<ExecutionContext> A = Cold->newContext();
+  std::unique_ptr<ExecutionContext> B = Warm->newContext();
+  A->run(In);
+  B->run(In);
+  EXPECT_EQ(maxAbsDifference(A->networkOutput(), B->networkOutput()), 0.0f);
+  for (const auto &E : std::filesystem::directory_iterator(Dir.Path))
+    EXPECT_EQ(E.path().string().find(".tmp."), std::string::npos)
+        << E.path();
+}
+
+TEST(JitCache, PoisonedObjectRecompilesThenInterpretsAsLastResort) {
+  NetworkGraph Net = tinyDag(16);
+  AnalyticCostProvider Prov = makeProvider();
+  Engine Eng(lib(), Prov);
+  SelectionResult R = Eng.optimize(Net);
+  TempDir Dir("poison");
+
+  std::unique_ptr<Executor> Oracle = Eng.instantiate(Net, R, ExecutorOptions{});
+  Tensor3D In = makeInput(Net);
+  Oracle->run(In);
+
+  std::string ObjectPath;
+  {
+    std::shared_ptr<const CompiledNet> Cold =
+        Eng.compile(Net, R, jitOptions(Dir.Path));
+    ASSERT_TRUE(Cold && Cold->isJitted()) << Cold->jitReport().Error;
+    ObjectPath = Cold->jitReport().ObjectPath;
+    ASSERT_FALSE(ObjectPath.empty());
+    // Cold drops here, unmapping the object: poisoning a *mapped* .so in
+    // place would SIGBUS the running process. The library never does --
+    // writers publish with temp+rename, which replaces the directory
+    // entry, not the mapped inode.
+  }
+
+  // Rung 1: a corrupt cached object is detected, removed and recompiled.
+  {
+    std::ofstream OS(ObjectPath, std::ios::trunc);
+    OS << "this is not a shared object\n";
+  }
+  std::shared_ptr<const CompiledNet> Healed =
+      Eng.compile(Net, R, jitOptions(Dir.Path));
+  ASSERT_TRUE(Healed && Healed->isJitted()) << Healed->jitReport().Error;
+  EXPECT_FALSE(Healed->jitReport().CacheHit);
+  EXPECT_EQ(Healed->jitReport().CorruptObjects, 1u);
+  EXPECT_EQ(Healed->jitReport().CompilerInvocations, 1u);
+
+  std::unique_ptr<ExecutionContext> B = Healed->newContext();
+  B->run(In);
+  EXPECT_EQ(maxAbsDifference(B->networkOutput(), Oracle->networkOutput()),
+            0.0f);
+  Healed.reset();
+  B.reset();
+
+  // Rung 2: corrupt object *and* no working compiler -> interpret.
+  {
+    std::ofstream OS(ObjectPath, std::ios::trunc);
+    OS << "still not a shared object\n";
+  }
+  CompileOptions Broken = jitOptions(Dir.Path);
+  Broken.JitOpts.Compiler = "/nonexistent/primsel-no-such-cc";
+  std::shared_ptr<const CompiledNet> Last = Eng.compile(Net, R, Broken);
+  ASSERT_TRUE(Last);
+  EXPECT_FALSE(Last->isJitted());
+  std::unique_ptr<ExecutionContext> C = Last->newContext();
+  C->run(In);
+  EXPECT_EQ(maxAbsDifference(C->networkOutput(), Oracle->networkOutput()),
+            0.0f);
+}
+
+//===----------------------------------------------------------------------===//
+// The selection dimension
+//===----------------------------------------------------------------------===//
+
+TEST(JitSelection, ModelledJitCostNeverIncreases) {
+  AnalyticCostProvider Prov = makeProvider();
+  EngineOptions EOpts;
+  EOpts.AmortizeWeightTransforms = true;
+  EOpts.ConsiderJit = true;
+  Engine Eng(lib(), Prov, EOpts);
+
+  SelectionResult R = Eng.optimize(tinyDag(24));
+  ASSERT_FALSE(R.Plan.empty());
+  EXPECT_TRUE(R.JitConsidered);
+  EXPECT_LE(R.ModelledJitPerRunMs, R.ModelledPerRunMs);
+  EXPECT_GE(R.ModelledJitPerRunMs, 0.0);
+  // Compile time is amortizable prepare cost, reported separately.
+  EXPECT_GT(R.ModelledJitCompileMs, 0.0);
+}
+
+TEST(JitSelection, PlanCacheKeySeparatesJitMode) {
+  AnalyticCostProvider Prov = makeProvider();
+  NetworkGraph Net = tinyDag(24);
+
+  EngineOptions Plain;
+  Plain.CachePlans = true;
+  EngineOptions Jitted = Plain;
+  Jitted.ConsiderJit = true;
+
+  Engine A(lib(), Prov, Plain);
+  Engine B(lib(), Prov, Jitted);
+  EXPECT_NE(A.planKey(Net).combined(), B.planKey(Net).combined());
+  EXPECT_NE(B.planKey(Net).combined().find(":jit"), std::string::npos);
+}
+
+} // namespace

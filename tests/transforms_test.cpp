@@ -399,10 +399,11 @@ TEST(EpilogueExactness, GeneratedCodeCarriesEpilogues) {
   SelectionResult R = Eng.optimize(Net);
   ASSERT_NE(R.Rewritten, nullptr);
   std::string Source = Eng.emitSource(R.executionGraph(Net), R.Plan);
-  // The fused conv instantiates through the shared wrapper with its
-  // epilogue in the scenario literal; the fused Add applies the activation
-  // via the shared applier.
-  EXPECT_NE(Source.find("instantiateWithEpilogue"), std::string::npos);
+  // The fused conv prepares and binds through the shared epilogue
+  // wrappers with its epilogue in the scenario literal; the fused Add
+  // applies the activation via the shared applier.
+  EXPECT_NE(Source.find("prepareWithEpilogue"), std::string::npos);
+  EXPECT_NE(Source.find("bindWithEpilogue"), std::string::npos);
   EXPECT_NE(Source.find("EpilogueKind::BiasReLU"), std::string::npos);
   EXPECT_NE(Source.find("applyEpilogue(primsel::EpilogueKind::ReLU"),
             std::string::npos);

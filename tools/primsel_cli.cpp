@@ -158,6 +158,15 @@ struct CliOptions {
   /// --swaps N: hot-swap a recompiled artifact N times under live fleet
   /// traffic (0 = never) -- exercises the RCU publish path end to end.
   unsigned Swaps = 0;
+  /// --jit: compile the selected plan to native code through the system
+  /// compiler and serve it through the same ExecutionContext interface
+  /// (falls back to the interpreter, with a warning, if that fails).
+  /// Implies compiled serving under 'serve' and adds the modelled
+  /// jit-vs-interpreter cost dimension to selection.
+  bool Jit = false;
+  /// --jit-cc PATH: compiler driver for --jit (default: $PRIMSEL_CC,
+  /// then 'cc').
+  std::string JitCc;
 };
 
 /// Split "a,b,c" into names (pass lists, fleet model lists).
@@ -254,10 +263,11 @@ int usage(const char *Argv0) {
       "           [-O0|-O1] [--passes LIST] [--amortize]\n"
       "  compile <model-or-file> [--plan-cache DIR] [--scale S] [--arm]\n"
       "           [--solver NAME] [-O0|-O1] [--passes LIST]\n"
+      "           [--jit] [--jit-cc PATH]\n"
       "  serve <model-or-file> [--compiled] [--requests N] [--threads N]\n"
       "           [--parallel] [--no-arena] [--plan-cache DIR] [--scale S]\n"
       "           [--arm] [--solver NAME] [-O0|-O1] [--passes LIST]\n"
-      "           [--amortize] [--exec-threads N]\n"
+      "           [--amortize] [--exec-threads N] [--jit] [--jit-cc PATH]\n"
       "           [--open-loop] [--rate R] [--slo-ms D] [--max-batch B]\n"
       "           [--max-delay-us U] [--max-queue Q]\n"
       "  serve --models a,b,c [--mem-budget M] [--rate R] [--requests N]\n"
@@ -273,6 +283,10 @@ int usage(const char *Argv0) {
       "serve --open-loop drives Poisson arrivals at --rate R/sec through\n"
       "the dynamic batcher (--max-batch, --max-delay-us, --max-queue,\n"
       "--slo-ms); implies --compiled.\n"
+      "--jit compiles the selected plan to native code via the system\n"
+      "compiler (--jit-cc PATH or $PRIMSEL_CC, default 'cc') and serves\n"
+      "it; objects are cached in --plan-cache DIR; on any failure the\n"
+      "interpreter serves instead. Implies --compiled under 'serve'.\n"
       "serve --models runs the multi-model fleet: one artifact registry\n"
       "under a --mem-budget M (MiB; LRU eviction, recompiles hit the\n"
       "shared plan cache), per-model batcher lanes, mixed Poisson traffic,\n"
@@ -469,6 +483,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.NoArena = true;
     else if (Arg == "--compiled" && !HasInline)
       Opts.Compiled = true;
+    else if (Arg == "--jit" && !HasInline)
+      Opts.Jit = true;
+    else if (Arg == "--jit-cc" && Next(Val))
+      Opts.JitCc = Val;
     else if (Arg == "--amortize" && !HasInline)
       Opts.Amortize = true;
     else if (Arg == "-O0" && !HasInline)
@@ -541,7 +559,8 @@ std::optional<NetworkGraph> resolveNetwork(const std::string &Target,
 bool amortizeActive(const CliOptions &Opts) {
   return Opts.Amortize || Opts.Command == "compile" ||
          (Opts.Command == "serve" &&
-          (Opts.Compiled || Opts.OpenLoop || !Opts.Models.empty()));
+          (Opts.Compiled || Opts.OpenLoop || Opts.Jit ||
+           !Opts.Models.empty()));
 }
 
 /// The thread-candidate axis --exec-threads N describes: 1, the powers of
@@ -571,7 +590,60 @@ EngineOptions engineOptions(const CliOptions &Opts) {
   // options here, so a 'warm --exec-threads 4' and a 'serve --exec-threads
   // 4' agree on the plan-cache cost identity and warm-then-serve hits.
   EOpts.ExecThreadCandidates = execThreadCandidates(Opts.ExecThreads);
+  // --jit adds the modelled jit-vs-interpreter dimension (and the ":jit"
+  // cost-identity marker, so jit and interpreter plan-cache entries never
+  // mix).
+  EOpts.ConsiderJit = Opts.Jit;
   return EOpts;
+}
+
+/// The artifact configuration the CLI options describe. Engine::compile
+/// defaults the jit object cache into --plan-cache when one is set.
+CompileOptions compileOptions(const CliOptions &Opts) {
+  CompileOptions COpts;
+  COpts.Jit = Opts.Jit;
+  COpts.JitOpts.Compiler = Opts.JitCc;
+  return COpts;
+}
+
+/// One-line jit report for compile/serve --jit: did the native object
+/// load, where did it come from, and what did it cost.
+void printJitReport(const CompiledNet &CN) {
+  if (!CN.isJitted()) {
+    // The fallback warning already went to stderr; note the serving mode
+    // on stdout so transcripts are self-describing.
+    std::printf("# jit: unavailable, serving interpreted\n");
+    return;
+  }
+  const jit::JitReport &JR = CN.jitReport();
+  std::printf("# jit: %s object %.1f KiB in %.2f ms (%u compiler "
+              "invocation%s), fingerprint %s\n",
+              JR.CacheHit ? "cached" : "fresh",
+              static_cast<double>(JR.ObjectBytes) / 1024.0, JR.CompileMs,
+              JR.CompilerInvocations, JR.CompilerInvocations == 1 ? "" : "s",
+              JR.Fingerprint.c_str());
+}
+
+/// FNV-1a over the network output of one deterministic forward pass.
+/// Printed by compiled serving so CI can diff a --jit transcript against
+/// an interpreted one: identical checksums = bit-identical serving.
+uint64_t outputChecksum(const CompiledNet &CN) {
+  ExecutionContextOptions CtxOpts;
+  std::unique_ptr<ExecutionContext> Ctx = CN.newContext(CtxOpts);
+  const TensorShape &Sh = CN.graph().node(0).OutShape;
+  Tensor3D Input(Sh.C, Sh.H, Sh.W, Layout::CHW);
+  Input.fillRandom(11);
+  Ctx->run(Input);
+  const Tensor3D &Out = Ctx->networkOutput();
+  const unsigned char *Bytes =
+      reinterpret_cast<const unsigned char *>(Out.data());
+  uint64_t H = 1469598103934665603ull;
+  for (size_t I = 0; I < static_cast<size_t>(Out.size()) * sizeof(float);
+       ++I) {
+    H ^= Bytes[I];
+    H *= 1099511628211ull;
+  }
+  return H;
 }
 
 /// One-line serving-cost report for amortized-mode runs.
@@ -882,7 +954,7 @@ int cmdCompile(const CliOptions &Opts) {
     return 1;
   }
   Timer CompileTimer;
-  std::shared_ptr<const CompiledNet> CN = Eng.compile(*Net, R);
+  std::shared_ptr<const CompiledNet> CN = Eng.compile(*Net, R, compileOptions(Opts));
   double CompileMillis = CompileTimer.millis();
   if (!CN) {
     std::fprintf(stderr, "error: compilation failed\n");
@@ -903,6 +975,10 @@ int cmdCompile(const CliOptions &Opts) {
               CN->numPreparedKernels(),
               static_cast<double>(CN->preparedBytes()) / (1024.0 * 1024.0),
               CompileMillis, CN->prepareMillis());
+  // The jit compiler invocation is prepare-phase work: it lands inside
+  // prepareMillis above, and this line breaks it out.
+  if (Opts.Jit)
+    printJitReport(*CN);
   std::printf("# artifact: %u steps, %zu values, %zu levels, arena "
               "template %.2f MiB\n",
               static_cast<unsigned>(CN->program().steps().size()),
@@ -922,7 +998,8 @@ int cmdCompile(const CliOptions &Opts) {
 int serveOpenLoop(const CliOptions &Opts, Engine &Eng,
                   const NetworkGraph &Net, const SelectionResult &R) {
   Timer CompileTimer;
-  std::shared_ptr<const CompiledNet> CN = Eng.compile(Net, R);
+  std::shared_ptr<const CompiledNet> CN =
+      Eng.compile(Net, R, compileOptions(Opts));
   double CompileMillis = CompileTimer.millis();
   if (!CN) {
     std::fprintf(stderr, "error: compilation failed\n");
@@ -932,6 +1009,8 @@ int serveOpenLoop(const CliOptions &Opts, Engine &Eng,
               "%.2f MiB packed weights)\n",
               CompileMillis, CN->prepareMillis(), CN->numPreparedKernels(),
               static_cast<double>(CN->preparedBytes()) / (1024.0 * 1024.0));
+  if (Opts.Jit)
+    printJitReport(*CN);
 
   serve::ServerOptions SOpts;
   SOpts.Batch.MaxBatch = Opts.MaxBatch;
@@ -1000,7 +1079,8 @@ int serveOpenLoop(const CliOptions &Opts, Engine &Eng,
 int serveCompiled(const CliOptions &Opts, Engine &Eng,
                   const NetworkGraph &Net, const SelectionResult &R) {
   Timer CompileTimer;
-  std::shared_ptr<const CompiledNet> CN = Eng.compile(Net, R);
+  std::shared_ptr<const CompiledNet> CN =
+      Eng.compile(Net, R, compileOptions(Opts));
   double CompileMillis = CompileTimer.millis();
   if (!CN) {
     std::fprintf(stderr, "error: compilation failed\n");
@@ -1010,6 +1090,13 @@ int serveCompiled(const CliOptions &Opts, Engine &Eng,
               "%.2f MiB packed weights)\n",
               CompileMillis, CN->prepareMillis(), CN->numPreparedKernels(),
               static_cast<double>(CN->preparedBytes()) / (1024.0 * 1024.0));
+  if (Opts.Jit)
+    printJitReport(*CN);
+  // CI diffs this line between a --jit run and an interpreted run:
+  // identical checksums prove the native object serves bit-identical
+  // outputs.
+  std::printf("# output checksum %016llx\n",
+              static_cast<unsigned long long>(outputChecksum(*CN)));
 
   ExecutionContextOptions CtxOpts;
   CtxOpts.UseArena = !Opts.NoArena;
@@ -1076,6 +1163,9 @@ int cmdServeFleet(const CliOptions &Opts) {
   ROpts.MemBudgetBytes =
       static_cast<size_t>(Opts.MemBudgetMiB * 1024.0 * 1024.0);
   ROpts.ArenaSlabsPerModel = std::max(1u, Opts.MaxBatch);
+  // --jit fleets serve native objects; artifactBytes then charges the
+  // mapped .so against the memory budget alongside the packed weights.
+  ROpts.Compile = compileOptions(Opts);
   serve::ModelRegistry Reg(Eng, ROpts);
   for (const std::string &Name : Opts.Models) {
     std::optional<NetworkGraph> Net = resolveNetwork(Name, Opts.Scale);
@@ -1284,7 +1374,9 @@ int cmdServe(const CliOptions &Opts) {
 
   if (Opts.OpenLoop)
     return serveOpenLoop(Opts, Eng, *Net, R);
-  if (Opts.Compiled)
+  // --jit implies compiled serving: the native object is a CompiledNet
+  // artifact, so there is no jit variant of the plain Executor path.
+  if (Opts.Compiled || Opts.Jit)
     return serveCompiled(Opts, Eng, *Net, R);
 
   ExecutorOptions XOpts;
