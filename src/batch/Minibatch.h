@@ -134,6 +134,28 @@ public:
     B.PerRunMs *= static_cast<double>(Batch);
     return B;
   }
+  // The thread-count axis passes through untouched -- the CostProvider
+  // defaults would silently drop Threads (they fall back to convCost), and
+  // the batch-bucket ladder solves thread-aware formulations through this
+  // adapter.
+  double convCostAt(const ConvScenario &S, PrimitiveId Id,
+                    unsigned Threads) override {
+    return Inner.convCostAt(S, Id, Threads);
+  }
+  double convServingCostAt(const ConvScenario &S, PrimitiveId Id,
+                           unsigned Threads) override {
+    return Inner.convServingCostAt(S, Id, Threads);
+  }
+  CostBreakdown convCostBreakdownAt(const ConvScenario &S, PrimitiveId Id,
+                                    unsigned Threads) override {
+    return Inner.convCostBreakdownAt(S, Id, Threads);
+  }
+  double dispatchOverheadMs() const override {
+    return Inner.dispatchOverheadMs();
+  }
+  std::string identity() const override {
+    return Inner.identity() + ":bx" + std::to_string(Batch);
+  }
 
 private:
   CostProvider &Inner;

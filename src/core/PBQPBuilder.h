@@ -63,10 +63,21 @@ struct PBQPFormulation {
 /// formulation, bit-for-bit. A primitive's layouts do not depend on its
 /// worker count, so edge cost matrices replicate naturally across the
 /// thread axis and the PBQP structure is otherwise unchanged.
-PBQPFormulation buildPBQP(const NetworkGraph &Net, const PrimitiveLibrary &Lib,
-                          CostProvider &Costs, DTTableCache &Tables,
-                          bool AmortizeWeightTransforms = false,
-                          const std::vector<unsigned> &ThreadCandidates = {});
+///
+/// \p RestrictConv optionally narrows the selection space per conv node:
+/// when non-null, node N's primitive alternatives are the intersection of
+/// the library's supporting set and (*RestrictConv)[N] (an empty per-node
+/// list means unrestricted). The batch-bucket ladder uses this to solve
+/// each bucket over only the minibatch schedules of the anchor plan's
+/// routine, so the solver still chooses @bser/@bpar/threads per layer per
+/// bucket while every bucket computes the anchor's per-image function
+/// bit-for-bit. Asserts the intersection is non-empty for every conv node.
+PBQPFormulation
+buildPBQP(const NetworkGraph &Net, const PrimitiveLibrary &Lib,
+          CostProvider &Costs, DTTableCache &Tables,
+          bool AmortizeWeightTransforms = false,
+          const std::vector<unsigned> &ThreadCandidates = {},
+          const std::vector<std::vector<PrimitiveId>> *RestrictConv = nullptr);
 
 } // namespace primsel
 

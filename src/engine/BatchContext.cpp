@@ -1,0 +1,202 @@
+//===- engine/BatchContext.cpp --------------------------------------------===//
+
+#include "engine/BatchContext.h"
+
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+#include "tensor/Transform.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace primsel;
+
+BatchExecutionContext::BatchExecutionContext(
+    std::shared_ptr<const CompiledNet> CN,
+    const ExecutionContextOptions &Options)
+    : Compiled(std::move(CN)), Opts(Options),
+      Capacity(std::max<int64_t>(1, Compiled->graph().batch())) {
+  const CompiledNet &C = *Compiled;
+  if (Opts.Threads > 1)
+    Pool = std::make_unique<ThreadPool>(Opts.Threads);
+  if (Opts.UseArena)
+    Arena.reset(C.MPlan.ArenaFloats * static_cast<size_t>(Capacity));
+
+  Values.resize(C.MPlan.Values.size());
+  Instances.resize(C.Net.numNodes());
+  for (NetworkGraph::NodeId N = 0; N < C.Net.numNodes(); ++N) {
+    const NetworkGraph::Node &Node = C.Net.node(N);
+    if (isDummyKind(Node.L.Kind))
+      continue;
+    // Bind with the node's full (batched) scenario: minibatch wrappers
+    // materialize their schedule (one base instance for @bser, per-image
+    // slots for @bpar) against the one shared PreparedKernel.
+    Instances[N] = bindWithEpilogue(
+        C.Lib.get(C.SelPlan.ConvPrim[N]), Node.Scenario, C.Prepared[N],
+        C.Opts.WeightSeed + Node.BiasSeedId);
+  }
+
+  // Jitted artifact: the generated program is a per-image pass; one
+  // generated context serves the whole batch serially. Failure silently
+  // degrades this context to batched interpretation.
+  if (C.isJitted())
+    JitCtx = C.Jit->createContext();
+}
+
+BatchExecutionContext::~BatchExecutionContext() {
+  if (JitCtx)
+    Compiled->Jit->destroyContext(JitCtx);
+}
+
+Tensor3D BatchExecutionContext::viewOf(const Tensor3D &T) {
+  return Tensor3D(T.channels(), T.height(), T.width(), T.layout(),
+                  const_cast<float *>(T.data()));
+}
+
+/// The tensor for value \p V of image \p Image: a view into that image's
+/// slab of this context's arena when the value is packed, a fresh owned
+/// allocation otherwise.
+Tensor3D BatchExecutionContext::makeValueTensor(ValueId V, size_t Image) {
+  const ValueInfo &VI = Compiled->MPlan.Values[V];
+  if (Opts.UseArena && VI.inArena())
+    return Tensor3D(VI.Shape.C, VI.Shape.H, VI.Shape.W, VI.L,
+                    Arena.data() + Image * Compiled->MPlan.ArenaFloats +
+                        VI.ArenaOffset);
+  return Tensor3D(VI.Shape.C, VI.Shape.H, VI.Shape.W, VI.L);
+}
+
+const Tensor3D &BatchExecutionContext::output(size_t Image) const {
+  assert(Image < CurBatch && "image index out of the last run's batch");
+  if (JitCtx)
+    return JitOutputs[Image];
+  const CompiledNet &C = *Compiled;
+  std::vector<NetworkGraph::NodeId> Outs = C.Net.outputs();
+  assert(!Outs.empty() && "network without outputs");
+  ValueId V = C.MPlan.NodeValue[Outs.front()];
+  assert((!Opts.UseArena || !C.MPlan.Values[V].inArena()) &&
+         "network outputs must not be arena-recycled");
+  return Values[V][Image];
+}
+
+void BatchExecutionContext::executeStep(
+    unsigned StepIndex, const std::vector<const Tensor3D *> &Inputs,
+    RunResult &R) {
+  const CompiledNet &C = *Compiled;
+  const ExecStep &Step = C.Program.steps()[StepIndex];
+  const NetworkGraph::Node &Node = C.Net.node(Step.Node);
+  size_t K = Inputs.size();
+  std::vector<Tensor3D> &Produced = Values[C.MPlan.Produced[StepIndex]];
+  Produced.clear();
+  Produced.reserve(K);
+
+  switch (Step.K) {
+  case ExecStep::Kind::Input: {
+    for (size_t I = 0; I < K; ++I) {
+      const Tensor3D &In = *Inputs[I];
+      assert(In.layout() == C.SelPlan.OutLayout[Step.Node] &&
+             "network input must arrive in the canonical layout");
+      assert(In.channels() == Node.OutShape.C &&
+             In.height() == Node.OutShape.H &&
+             In.width() == Node.OutShape.W && "input shape mismatch");
+      Tensor3D Copy = makeValueTensor(C.MPlan.Produced[StepIndex], I);
+      std::memcpy(Copy.data(), In.data(),
+                  static_cast<size_t>(In.size()) * sizeof(float));
+      Produced.push_back(std::move(Copy));
+    }
+    break;
+  }
+
+  case ExecStep::Kind::Transform: {
+    const std::vector<Tensor3D> &Src = Values[C.MPlan.TransformSrc[StepIndex]];
+    assert(Src.size() == K && "value table out of sync with the batch");
+    Timer T;
+    for (size_t I = 0; I < K; ++I) {
+      assert(Src[I].layout() == Step.From && "chain out of sync");
+      Tensor3D Dst = makeValueTensor(C.MPlan.Produced[StepIndex], I);
+      runTransform(Src[I], Dst);
+      Produced.push_back(std::move(Dst));
+    }
+    R.TransformMillis += T.millis();
+    break;
+  }
+
+  case ExecStep::Kind::Conv: {
+    const std::vector<Tensor3D> &In =
+        Values[C.MPlan.inputValue(C.Net, Step.Node, 0)];
+    assert(In.size() == K && "value table out of sync with the batch");
+    // runBatch takes value-vectors; views alias the stored per-image
+    // tensors, so the schedule writes straight into this context's
+    // storage.
+    std::vector<Tensor3D> InViews, OutViews;
+    InViews.reserve(K);
+    OutViews.reserve(K);
+    for (size_t I = 0; I < K; ++I) {
+      InViews.push_back(viewOf(In[I]));
+      Produced.push_back(makeValueTensor(C.MPlan.Produced[StepIndex], I));
+      OutViews.push_back(viewOf(Produced.back()));
+    }
+    RunContext Ctx{Pool.get()};
+    // The plan's per-node worker count caps intra-op parallelism exactly
+    // as in the single-image path; the @bpar schedule distributes images
+    // over the pool itself and runs each image single-threaded.
+    if (!C.SelPlan.ConvThreads.empty())
+      Ctx.MaxThreads = static_cast<int>(C.SelPlan.convThreads(Step.Node));
+    Timer T;
+    Instances[Step.Node]->runBatch(InViews, OutViews, Ctx);
+    R.ConvMillis += T.millis();
+    break;
+  }
+
+  case ExecStep::Kind::Dummy: {
+    Timer T;
+    for (size_t I = 0; I < K; ++I) {
+      Tensor3D Out = makeValueTensor(C.MPlan.Produced[StepIndex], I);
+      detail::runDummyLayer(
+          Node,
+          [&](unsigned Input) -> const Tensor3D & {
+            return Values[C.MPlan.inputValue(C.Net, Step.Node, Input)][I];
+          },
+          C.FcWeights[Step.Node], Out, Pool.get());
+      Produced.push_back(std::move(Out));
+    }
+    R.OtherMillis += T.millis();
+    break;
+  }
+  }
+}
+
+RunResult BatchExecutionContext::run(
+    const std::vector<const Tensor3D *> &Inputs) {
+  assert(!Inputs.empty() && "empty batch");
+  assert(static_cast<int64_t>(Inputs.size()) <= Capacity &&
+         "batch exceeds the compiled bucket size");
+  RunResult R;
+  Timer Total;
+  CurBatch = Inputs.size();
+
+  // Jitted path: the generated per-image program, looped. Outputs are
+  // copied out because the generated context reuses one output tensor.
+  if (JitCtx) {
+    JitOutputs.clear();
+    JitOutputs.reserve(CurBatch);
+    for (const Tensor3D *In : Inputs) {
+      const Tensor3D &O = Compiled->Jit->run(JitCtx, *In, Pool.get());
+      Tensor3D Copy(O.channels(), O.height(), O.width(), O.layout());
+      std::memcpy(Copy.data(), O.data(),
+                  static_cast<size_t>(O.size()) * sizeof(float));
+      JitOutputs.push_back(std::move(Copy));
+    }
+    R.TotalMillis = Total.millis();
+    return R;
+  }
+
+  // Levels in order, one batched dispatch per step. Arena soundness is
+  // per image: image I only ever touches slab I, and within a slab the
+  // compile-time lifetimes hold exactly as in the single-image context.
+  for (const std::vector<unsigned> &Level : Compiled->MPlan.Levels)
+    for (unsigned StepIndex : Level)
+      executeStep(StepIndex, Inputs, R);
+  R.TotalMillis = Total.millis();
+  return R;
+}

@@ -64,6 +64,7 @@ LatencySummary primsel::summarizeLatencies(std::vector<double> &Samples) {
   S.P50 = percentileOfSorted(Samples, 0.50);
   S.P95 = percentileOfSorted(Samples, 0.95);
   S.P99 = percentileOfSorted(Samples, 0.99);
+  S.P999 = percentileOfSorted(Samples, 0.999);
   S.Min = Samples.front();
   S.Max = Samples.back();
   return S;

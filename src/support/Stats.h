@@ -49,13 +49,16 @@ private:
 /// [0, 1].
 double percentileOfSorted(const std::vector<double> &Sorted, double P);
 
-/// Mean plus the standard tail percentiles of a latency sample set.
+/// Mean plus the standard tail percentiles of a latency sample set. P999
+/// (p99.9) and Max exist for the saturation benches: at high load the
+/// interesting behaviour is the extreme tail, which p99 alone hides.
 struct LatencySummary {
   size_t Count = 0;
   double Mean = 0.0;
   double P50 = 0.0;
   double P95 = 0.0;
   double P99 = 0.0;
+  double P999 = 0.0;
   double Min = 0.0;
   double Max = 0.0;
 };

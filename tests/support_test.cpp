@@ -202,6 +202,31 @@ TEST(Stats, SummaryTailsMatchHandComputedNearestRank) {
   EXPECT_DOUBLE_EQ(S.P99, percentileOfSorted(V, 0.99));
 }
 
+TEST(Stats, SummaryP999MatchesHandComputedNearestRank) {
+  // 1000 samples 1..1000 in scrambled order. By hand, with
+  // index = trunc(P * (N-1) + 0.5) and N-1 = 999:
+  //   p99:   trunc(0.99  * 999 + 0.5) = trunc(989.51) = 989 -> sample 990
+  //   p99.9: trunc(0.999 * 999 + 0.5) = trunc(998.501) = 998 -> sample 999
+  // so p99.9 is strictly between p99 and the max -- the saturation tail
+  // the serve report needs, not just an alias for worst-case.
+  std::vector<double> V;
+  for (int I = 1000; I >= 1; --I)
+    V.push_back(static_cast<double>(I));
+  LatencySummary S = summarizeLatencies(V);
+  EXPECT_EQ(S.Count, 1000u);
+  EXPECT_DOUBLE_EQ(S.P99, 990.0);
+  EXPECT_DOUBLE_EQ(S.P999, 999.0);
+  EXPECT_DOUBLE_EQ(S.Max, 1000.0);
+  EXPECT_DOUBLE_EQ(S.P999, percentileOfSorted(V, 0.999));
+  // Small sample sets degrade gracefully: p99.9 of 4 samples is the max.
+  std::vector<double> Small{4.0, 1.0, 3.0, 2.0};
+  LatencySummary T = summarizeLatencies(Small);
+  EXPECT_DOUBLE_EQ(T.P999, 4.0);
+  // Empty stays all-zero.
+  std::vector<double> None;
+  EXPECT_DOUBLE_EQ(summarizeLatencies(None).P999, 0.0);
+}
+
 TEST(Timer, MeasuresNonNegative) {
   Timer T;
   volatile double Sink = 0;
